@@ -1,0 +1,44 @@
+//! Error type for the back-end simulators.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BackendError>;
+
+/// Errors raised by the ERP simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The document handed in is not in the system's native format.
+    WrongFormat { system: String, expected: String, found: String },
+    /// The document is malformed for this system.
+    BadDocument { system: String, reason: String },
+    /// A duplicate order number was stored.
+    DuplicateOrder { system: String, po_number: String },
+    /// An unknown order was referenced.
+    UnknownOrder { system: String, po_number: String },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WrongFormat { system, expected, found } => {
+                write!(f, "{system} expects {expected} documents, got {found}")
+            }
+            Self::BadDocument { system, reason } => write!(f, "{system}: bad document: {reason}"),
+            Self::DuplicateOrder { system, po_number } => {
+                write!(f, "{system}: order `{po_number}` already exists")
+            }
+            Self::UnknownOrder { system, po_number } => {
+                write!(f, "{system}: no order `{po_number}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<b2b_document::DocumentError> for BackendError {
+    fn from(e: b2b_document::DocumentError) -> Self {
+        Self::BadDocument { system: String::new(), reason: e.to_string() }
+    }
+}

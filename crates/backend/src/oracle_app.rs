@@ -1,0 +1,189 @@
+//! The Oracle-like ERP simulator (speaks interface-table rows).
+
+use crate::erp::{AckPolicy, BackendApplication};
+use crate::error::{BackendError, Result};
+use crate::orderbook::{OrderBook, OrderRecord, OrderState};
+use b2b_document::{record, Date, DocKind, Document, FormatId, Value};
+
+/// Oracle status codes (mirrors `b2b_document::formats` constants).
+fn oracle_status(normalized_status: &str) -> &'static str {
+    match normalized_status {
+        "rejected" => "REJECTED",
+        "accepted-with-changes" => "MODIFIED",
+        _ => "ACCEPTED",
+    }
+}
+
+/// Oracle-like back end: PO_HEADERS/PO_LINES in, PO_ACKNOWLEDGMENTS out.
+pub struct OracleSystem {
+    name: String,
+    policy: AckPolicy,
+    book: OrderBook,
+    filed_acks: Vec<Document>,
+}
+
+impl OracleSystem {
+    /// Creates a system named `Oracle` with the given policy.
+    pub fn new(policy: AckPolicy) -> Self {
+        Self {
+            name: "Oracle".to_string(),
+            policy,
+            book: OrderBook::new(),
+            filed_acks: Vec::new(),
+        }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> BackendError {
+        BackendError::BadDocument { system: self.name.clone(), reason: reason.into() }
+    }
+}
+
+impl BackendApplication for OracleSystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn native_format(&self) -> FormatId {
+        FormatId::ORACLE_APPS
+    }
+
+    fn store_po(&mut self, doc: &Document) -> Result<()> {
+        if doc.format() != &FormatId::ORACLE_APPS {
+            return Err(BackendError::WrongFormat {
+                system: self.name.clone(),
+                expected: FormatId::ORACLE_APPS.to_string(),
+                found: doc.format().to_string(),
+            });
+        }
+        if doc.kind() != DocKind::PurchaseOrder {
+            return Err(self.err(format!("cannot store a {}", doc.kind())));
+        }
+        let po_number = doc
+            .get("po_header.segment1")
+            .and_then(|v| v.as_text("po_header.segment1"))
+            .map_err(|e| self.err(e.to_string()))?
+            .to_string();
+        let amount = doc
+            .get("po_header.total_amount")
+            .and_then(|v| v.as_money("po_header.total_amount"))
+            .map_err(|e| self.err(e.to_string()))?;
+        let inserted = self.book.insert(OrderRecord {
+            po_number: po_number.clone(),
+            amount,
+            document: doc.clone(),
+            state: OrderState::Pending,
+            ack_status: None,
+        });
+        if !inserted {
+            return Err(BackendError::DuplicateOrder { system: self.name.clone(), po_number });
+        }
+        Ok(())
+    }
+
+    fn extract_poas(&mut self) -> Result<Vec<Document>> {
+        let mut out = Vec::new();
+        for po_number in self.book.pending() {
+            let (amount, stored) = {
+                let rec = self.book.get(&po_number).expect("pending order exists");
+                (rec.amount, rec.document.clone())
+            };
+            let status = self.policy.status_for(amount);
+            let code = oracle_status(status);
+            let ack_date = stored
+                .lookup("po_header.creation_date")
+                .and_then(|v| v.as_date("creation_date").ok())
+                .map(|d| d.plus_days(1))
+                .unwrap_or(Date::new(2001, 9, 18).expect("valid"));
+            let lines: Vec<Value> = stored
+                .get("po_lines")
+                .and_then(|v| v.as_list("po_lines"))
+                .map_err(|e| self.err(e.to_string()))?
+                .iter()
+                .map(|line| {
+                    let rec = line.as_record("po_lines").expect("stored PO validated");
+                    record! {
+                        "line_num" => rec["line_num"].clone(),
+                        "status" => Value::text(code),
+                        "quantity" => rec["quantity"].clone(),
+                    }
+                })
+                .collect();
+            let body = record! {
+                "ack_header" => record! {
+                    "po_number" => Value::text(&po_number),
+                    "status" => Value::text(code),
+                    "ack_date" => Value::Date(ack_date),
+                },
+                "ack_lines" => Value::List(lines),
+            };
+            out.push(stored.reply(DocKind::PurchaseOrderAck, FormatId::ORACLE_APPS, body));
+            self.book.mark_processed(&po_number, status);
+        }
+        Ok(out)
+    }
+
+    fn store_poa(&mut self, doc: &Document) -> Result<()> {
+        if doc.format() != &FormatId::ORACLE_APPS {
+            return Err(BackendError::WrongFormat {
+                system: self.name.clone(),
+                expected: FormatId::ORACLE_APPS.to_string(),
+                found: doc.format().to_string(),
+            });
+        }
+        if doc.kind() != DocKind::PurchaseOrderAck {
+            return Err(self.err(format!("cannot file a {} as a POA", doc.kind())));
+        }
+        self.filed_acks.push(doc.clone());
+        Ok(())
+    }
+
+    fn poa_count(&self) -> usize {
+        self.filed_acks.len()
+    }
+
+    fn order_count(&self) -> usize {
+        self.book.len()
+    }
+
+    fn order_status(&self, po_number: &str) -> Option<String> {
+        self.book.get(po_number).and_then(|o| o.ack_status.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::formats::sample_oracle_po;
+    use b2b_document::{Currency, Money};
+
+    #[test]
+    fn store_and_extract_round_trip() {
+        let mut ora = OracleSystem::new(AckPolicy::AcceptAll);
+        let po = sample_oracle_po("4711", 12);
+        ora.store_po(&po).unwrap();
+        let poas = ora.extract_poas().unwrap();
+        assert_eq!(poas.len(), 1);
+        assert_eq!(poas[0].get("ack_header.status").unwrap(), &Value::text("ACCEPTED"));
+        assert_eq!(poas[0].correlation(), po.correlation());
+        assert_eq!(ora.order_status("4711").as_deref(), Some("accepted"));
+    }
+
+    #[test]
+    fn modify_policy_marks_lines_modified() {
+        let mut ora =
+            OracleSystem::new(AckPolicy::ModifyAbove(Money::from_units(10, Currency::Usd)));
+        ora.store_po(&sample_oracle_po("big", 50)).unwrap();
+        let poas = ora.extract_poas().unwrap();
+        assert_eq!(poas[0].get("ack_lines[0].status").unwrap(), &Value::text("MODIFIED"));
+        assert_eq!(ora.order_status("big").as_deref(), Some("accepted-with-changes"));
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_duplicates() {
+        let mut ora = OracleSystem::new(AckPolicy::AcceptAll);
+        assert!(ora.store_po(&b2b_document::formats::sample_sap_po("1", 10)).is_err());
+        let po = sample_oracle_po("1", 10);
+        ora.store_po(&po).unwrap();
+        assert!(ora.store_po(&po).is_err());
+    }
+}

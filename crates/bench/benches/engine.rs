@@ -1,0 +1,50 @@
+//! E11 — integration-engine throughput and the cost of the binding
+//! indirection: complete PO–POA round trips through the full advanced
+//! stack vs. the inlined cooperative workflow (Figure 8).
+
+use b2b_core::figures::run_figure8_roundtrip;
+use b2b_core::scenario::TwoEnterpriseScenario;
+use b2b_network::FaultConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("advanced-full-stack", |bencher| {
+        bencher.iter(|| {
+            let mut s = TwoEnterpriseScenario::new(FaultConfig::reliable(), 42).unwrap();
+            let po = s.po("bench", 12_000).unwrap();
+            let c = s.submit(po).unwrap();
+            s.run_until_quiescent(60_000).unwrap();
+            black_box(s.buyer.session_state(&c))
+        })
+    });
+    group.bench_function("cooperative-inlined", |bencher| {
+        bencher.iter(|| black_box(run_figure8_roundtrip(12_000).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent-sessions");
+    for n in [1usize, 10, 50] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                let mut s =
+                    TwoEnterpriseScenario::new(FaultConfig::reliable(), 42).unwrap();
+                for i in 0..n {
+                    let po = s.po(&format!("b-{i}"), 1_000 + i as i64).unwrap();
+                    s.submit(po).unwrap();
+                }
+                s.run_until_quiescent(1_000_000).unwrap();
+                assert_eq!(s.buyer.completed_sessions(), n);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_concurrent_sessions);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 — model-generation cost for the Figure 9/10 explosion: generating
+//! the naïve monolithic type vs. the advanced artifact set as the
+//! configuration grows. The *sizes* are reported by the experiment
+//! runner; this bench shows definition-time work also diverges.
+
+use b2b_core::baseline::cooperative::{
+    advanced_model_size, monolithic_responder_type, IntegrationConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_explosion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model-generation");
+    for (p, t, b) in [(2, 2, 2), (3, 3, 2), (4, 8, 4)] {
+        let cfg = IntegrationConfig::synthetic(p, t, b);
+        group.bench_with_input(
+            BenchmarkId::new("naive-monolith", format!("p{p}-t{t}-b{b}")),
+            &cfg,
+            |bencher, cfg| bencher.iter(|| monolithic_responder_type(black_box(cfg)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("advanced-artifacts", format!("p{p}-t{t}-b{b}")),
+            &cfg,
+            |bencher, cfg| bencher.iter(|| advanced_model_size(black_box(cfg)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explosion);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! Baseline 2: cooperative workflows (Section 3) and the Figure 9/10
+//! workflow-type generator.
+//!
+//! Each enterprise runs one *local* monolithic workflow that inlines the
+//! message sequencing, the transformations, and the per-partner business
+//! rules. The [`monolithic_responder_type`] generator reproduces
+//! Figures 9 and 10 for arbitrary (protocols × partners × back ends) so
+//! experiment E5 can measure the "explosion" the paper argues.
+
+use crate::error::Result;
+use crate::metrics::ModelSize;
+use b2b_document::FormatId;
+use b2b_wfms::{StepDef, WorkflowBuilder, WorkflowType};
+
+/// A synthetic integration configuration of size (P protocols, T trading
+/// partners, B back ends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrationConfig {
+    /// Wire formats, one per B2B protocol.
+    pub protocols: Vec<FormatId>,
+    /// Trading partner names.
+    pub partners: Vec<String>,
+    /// Back ends: (name, native format).
+    pub backends: Vec<(String, FormatId)>,
+}
+
+impl IntegrationConfig {
+    /// Builds a configuration: the first protocols/back ends are the real
+    /// ones (EDI, RosettaNet, OAGIS / SAP, Oracle), further entries are
+    /// synthetic.
+    pub fn synthetic(protocols: usize, partners: usize, backends: usize) -> Self {
+        let builtin_protocols =
+            [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS];
+        let protocols = (0..protocols)
+            .map(|i| {
+                builtin_protocols
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| FormatId::custom(format!("proto-{i}")))
+            })
+            .collect();
+        let builtin_backends = [
+            ("SAP".to_string(), FormatId::SAP_IDOC),
+            ("Oracle".to_string(), FormatId::ORACLE_APPS),
+        ];
+        let backends = (0..backends)
+            .map(|i| {
+                builtin_backends
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        (format!("app-{i}"), FormatId::custom(format!("app-fmt-{i}")))
+                    })
+            })
+            .collect();
+        let partners = (1..=partners).map(|i| format!("TP{i}")).collect();
+        Self { protocols, partners, backends }
+    }
+
+    /// Approval threshold of partner `k` (deterministic; TP1 and TP2 match
+    /// the paper's 55 000 / 40 000).
+    pub fn threshold(&self, partner_index: usize) -> i64 {
+        match partner_index {
+            0 => 55_000,
+            1 => 40_000,
+            k => 10_000 + 5_000 * k as i64,
+        }
+    }
+
+    /// Which back end a partner's orders go to (round robin, mirroring the
+    /// figure's "Target" decision).
+    pub fn backend_of(&self, partner_index: usize) -> usize {
+        partner_index % self.backends.len().max(1)
+    }
+}
+
+/// Short printable name of a format (for step ids).
+fn fmt_tag(format: &FormatId) -> String {
+    format.as_str().replace([':', '/'], "-")
+}
+
+/// Generates the monolithic seller-side workflow type of Figures 9/10 for
+/// a configuration: per protocol a receive branch, per (protocol, back
+/// end) a transform/store/approve/extract/transform/send path, and the
+/// per-partner business rules inlined into edge guards exactly as the
+/// figures show them (`>= 55000 AND TP1 OR >= 40000 AND TP2 …`).
+pub fn monolithic_responder_type(cfg: &IntegrationConfig) -> Result<WorkflowType> {
+    assert!(
+        !cfg.protocols.is_empty() && !cfg.partners.is_empty() && !cfg.backends.is_empty(),
+        "a configuration needs at least one of each dimension"
+    );
+    let mut b = WorkflowBuilder::new("cooperative:monolithic-responder");
+
+    // The figures inline ALL partners' thresholds into EVERY backend
+    // branch.
+    let approval_guard: String = cfg
+        .partners
+        .iter()
+        .enumerate()
+        .map(|(k, tp)| {
+            format!("(source == \"{tp}\" and document.amount >= {})", cfg.threshold(k))
+        })
+        .collect::<Vec<_>>()
+        .join(" or ");
+    let no_approval_guard = format!("not ({approval_guard})");
+
+    for protocol in &cfg.protocols {
+        let p = fmt_tag(protocol);
+        let recv = format!("receive-{p}-po");
+        let target = format!("target-{p}");
+        let send = format!("send-{p}-poa");
+        b = b
+            .step(StepDef::receive(&recv, &format!("wire:{p}:in"), &format!("po_{p}")))
+            .step(StepDef::noop(&target))
+            .step(StepDef::send(&send, &format!("wire:{p}:out"), &format!("poa_{p}")))
+            .edge(&recv, &target);
+
+        for (bi, (backend, native)) in cfg.backends.iter().enumerate() {
+            let t_in = format!("transform-{p}-to-{backend}");
+            let store = format!("store-{backend}-{p}");
+            let approve = format!("approve-{backend}-{p}");
+            let joined = format!("approved-{backend}-{p}");
+            let extract = format!("extract-{backend}-{p}");
+            let t_out = format!("transform-{backend}-to-{p}");
+            let po_var = format!("po_{p}_{backend}");
+            let poa_var = format!("poa_{p}_{backend}");
+
+            // The "Target" decision routes by partner (inline names!).
+            let routed: Vec<String> = cfg
+                .partners
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| cfg.backend_of(*k) == bi)
+                .map(|(_, tp)| format!("source == \"{tp}\""))
+                .collect();
+            let target_guard = if routed.is_empty() {
+                "false".to_string()
+            } else {
+                routed.join(" or ")
+            };
+
+            b = b
+                .step(StepDef::transform(&t_in, native.clone(), &format!("po_{p}"), &po_var))
+                .step(StepDef::activity(&store, &format!("store-{backend}")))
+                .step(StepDef::activity(&approve, "approve"))
+                .step(StepDef::noop(&joined))
+                .step(StepDef::activity(&extract, &format!("extract-{backend}")))
+                .step(StepDef::transform(&t_out, protocol.clone(), &poa_var, &format!("poa_{p}")))
+                .guarded_edge(&target, &t_in, &format!("po_{p}"), &target_guard)
+                .edge(&t_in, &store)
+                .guarded_edge(&store, &approve, &po_var, &approval_guard)
+                .guarded_edge(&store, &joined, &po_var, &no_approval_guard)
+                .edge(&approve, &joined)
+                .edge(&joined, &extract)
+                .edge(&extract, &t_out)
+                .edge(&t_out, &send);
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Model size of the cooperative (naïve) architecture for a configuration:
+/// the monolithic type, with everything inline and nothing external.
+pub fn naive_model_size(cfg: &IntegrationConfig) -> Result<ModelSize> {
+    let wf = monolithic_responder_type(cfg)?;
+    Ok(ModelSize::of_types([&wf]))
+}
+
+/// Model size of the advanced architecture for the same configuration:
+/// one public process and one wire binding per protocol, one back-end
+/// binding per back end, ONE partner-independent private process, plus
+/// external registries (4 transformation programs per format; one
+/// approval rule per partner × back end and one routing rule per partner).
+pub fn advanced_model_size(cfg: &IntegrationConfig) -> Result<ModelSize> {
+    use crate::binding::{compile_backend_binding, compile_wire_binding, BindingRole};
+    use crate::compile::compile_public;
+    use crate::private_process::responder_private_process;
+    use b2b_document::DocKind;
+    use b2b_protocol::MessageExchangePattern;
+
+    let mut types = Vec::new();
+    for protocol in &cfg.protocols {
+        let (_, responder) = MessageExchangePattern::RequestReply {
+            request: DocKind::PurchaseOrder,
+            reply: DocKind::PurchaseOrderAck,
+        }
+        .role_processes(&format!("mep-{}", fmt_tag(protocol)), protocol.clone())?;
+        types.push(compile_public(&responder)?);
+        types.push(compile_wire_binding(protocol, BindingRole::Responder)?);
+    }
+    for (backend, native) in &cfg.backends {
+        types.push(compile_backend_binding(backend, native, BindingRole::Responder)?);
+    }
+    types.push(responder_private_process()?);
+
+    let mut m = ModelSize::of_types(types.iter());
+    // External registries, counted arithmetically (synthetic formats have
+    // no concrete programs, but each WOULD contribute the same four).
+    m.external_transforms = 4 * (cfg.protocols.len() + cfg.backends.len());
+    m.external_rules = cfg.partners.len() * cfg.backends.len() + cfg.partners.len();
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_configuration_matches_the_figure() {
+        // Figure 9: 2 protocols, 2 partners, 2 back ends.
+        let cfg = IntegrationConfig::synthetic(2, 2, 2);
+        let wf = monolithic_responder_type(&cfg).unwrap();
+        // Per protocol: receive + target + send = 3; per (p,b): 6 steps.
+        assert_eq!(wf.steps().len(), 2 * 3 + 4 * 6);
+        assert_eq!(cfg.threshold(0), 55_000);
+        assert_eq!(cfg.threshold(1), 40_000);
+    }
+
+    #[test]
+    fn figure10_adds_a_protocol_and_partner() {
+        let fig9 = naive_model_size(&IntegrationConfig::synthetic(2, 2, 2)).unwrap();
+        let fig10 = naive_model_size(&IntegrationConfig::synthetic(3, 3, 2)).unwrap();
+        assert!(fig10.steps > fig9.steps);
+        assert!(fig10.guard_nodes > fig9.guard_nodes, "new partner appears in every guard");
+        assert!(fig10.inline_transforms > fig9.inline_transforms);
+    }
+
+    #[test]
+    fn naive_grows_multiplicatively_advanced_additively() {
+        let small = IntegrationConfig::synthetic(2, 2, 2);
+        let big = IntegrationConfig::synthetic(4, 8, 4);
+        let naive_small = naive_model_size(&small).unwrap().workflow_elements();
+        let naive_big = naive_model_size(&big).unwrap().workflow_elements();
+        let adv_small = advanced_model_size(&small).unwrap().workflow_elements();
+        let adv_big = advanced_model_size(&big).unwrap().workflow_elements();
+        let naive_growth = naive_big as f64 / naive_small as f64;
+        let adv_growth = adv_big as f64 / adv_small as f64;
+        assert!(
+            naive_growth > 2.0 * adv_growth,
+            "naive ×{naive_growth:.1} vs advanced ×{adv_growth:.1}"
+        );
+        // Advanced transform steps live in bindings and grow linearly in
+        // P + B; the naive monolith's grow with P × B.
+        let adv_transforms = advanced_model_size(&big).unwrap().inline_transforms;
+        let naive_transforms = naive_model_size(&big).unwrap().inline_transforms;
+        assert!(adv_transforms < naive_transforms);
+        // And the private process itself carries none at all.
+        let private = crate::private_process::responder_private_process().unwrap();
+        assert_eq!(ModelSize::of_types([&private]).inline_transforms, 0);
+    }
+
+    #[test]
+    fn partner_names_are_inlined_in_the_naive_type_only() {
+        let cfg = IntegrationConfig::synthetic(2, 3, 2);
+        let naive = monolithic_responder_type(&cfg).unwrap();
+        let json = serde_json::to_string(&naive).unwrap();
+        assert!(json.contains("TP3"), "naive type hard-codes partner names");
+        let private = crate::private_process::responder_private_process().unwrap();
+        let json = serde_json::to_string(&private).unwrap();
+        assert!(!json.contains("TP3"));
+    }
+
+    #[test]
+    fn adding_a_partner_changes_the_naive_type_hash() {
+        // Section 3.3: "every time a trading partner is added … all the
+        // workflow types have to be revisited".
+        let before =
+            monolithic_responder_type(&IntegrationConfig::synthetic(2, 2, 2)).unwrap();
+        let after =
+            monolithic_responder_type(&IntegrationConfig::synthetic(2, 3, 2)).unwrap();
+        assert_ne!(before.definition_hash(), after.definition_hash());
+    }
+}

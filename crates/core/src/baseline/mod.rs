@@ -1,0 +1,4 @@
+//! The rejected architectures, implemented as measurable baselines.
+
+pub mod cooperative;
+pub mod distributed;

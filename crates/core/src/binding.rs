@@ -1,0 +1,184 @@
+//! Bindings: the processes between public and private processes
+//! (Section 4.2) and between private processes and back ends (Figure 14).
+//!
+//! A binding is "a process by itself": it receives documents from one
+//! side, runs the format transformation, and passes them to the other
+//! side. All transformations live here — public processes see only wire
+//! formats, private processes only the normalized format.
+
+use crate::channels;
+use crate::error::Result;
+use b2b_document::FormatId;
+use b2b_wfms::{WorkflowBuilder, WorkflowType, WorkflowTypeId};
+
+/// Which end of the exchange this binding serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingRole {
+    /// Responder (seller in the running example): wire document comes in
+    /// first, the reply goes out.
+    Responder,
+    /// Initiator (buyer): the private process starts the exchange.
+    Initiator,
+}
+
+/// The workflow-type id of the wire binding for a format and role.
+pub fn wire_binding_type_id(format: &FormatId, role: BindingRole) -> WorkflowTypeId {
+    let role = match role {
+        BindingRole::Responder => "responder",
+        BindingRole::Initiator => "initiator",
+    };
+    WorkflowTypeId::new(format!("binding:{format}:{role}"))
+}
+
+/// Compiles the wire binding for a request/reply protocol in `format`.
+///
+/// Responder shape (Figure 12, upper binding):
+/// `from-public → transform-to-normalized → to-private →
+///  from-private → transform-to-wire → to-public`.
+pub fn compile_wire_binding(format: &FormatId, role: BindingRole) -> Result<WorkflowType> {
+    use b2b_wfms::StepDef;
+    let id = wire_binding_type_id(format, role);
+    let wf = match role {
+        BindingRole::Responder => WorkflowBuilder::new(id.as_str())
+            .step(StepDef::receive("recv-wire", channels::from_public().as_str(), "wire_in"))
+            .step(StepDef::transform(
+                "transform-to-normalized",
+                FormatId::NORMALIZED,
+                "wire_in",
+                "norm_in",
+            ))
+            .step(StepDef::send("pass-inward", channels::to_private().as_str(), "norm_in"))
+            .step(StepDef::receive("recv-reply", channels::from_private().as_str(), "norm_out"))
+            .step(StepDef::transform(
+                "transform-to-wire",
+                format.clone(),
+                "norm_out",
+                "wire_out",
+            ))
+            .step(StepDef::send("pass-outward", channels::to_public().as_str(), "wire_out"))
+            .edge("recv-wire", "transform-to-normalized")
+            .edge("transform-to-normalized", "pass-inward")
+            .edge("pass-inward", "recv-reply")
+            .edge("recv-reply", "transform-to-wire")
+            .edge("transform-to-wire", "pass-outward")
+            .build()?,
+        BindingRole::Initiator => WorkflowBuilder::new(id.as_str())
+            .step(StepDef::receive("recv-request", channels::from_private().as_str(), "norm_out"))
+            .step(StepDef::transform(
+                "transform-to-wire",
+                format.clone(),
+                "norm_out",
+                "wire_out",
+            ))
+            .step(StepDef::send("pass-outward", channels::to_public().as_str(), "wire_out"))
+            .step(StepDef::receive("recv-wire", channels::from_public().as_str(), "wire_in"))
+            .step(StepDef::transform(
+                "transform-to-normalized",
+                FormatId::NORMALIZED,
+                "wire_in",
+                "norm_in",
+            ))
+            .step(StepDef::send("pass-inward", channels::to_private().as_str(), "norm_in"))
+            .edge("recv-request", "transform-to-wire")
+            .edge("transform-to-wire", "pass-outward")
+            .edge("pass-outward", "recv-wire")
+            .edge("recv-wire", "transform-to-normalized")
+            .edge("transform-to-normalized", "pass-inward")
+            .build()?,
+    };
+    Ok(wf)
+}
+
+/// The workflow-type id of the back-end binding for an application.
+pub fn backend_binding_type_id(app: &str, role: BindingRole) -> WorkflowTypeId {
+    let role = match role {
+        BindingRole::Responder => "responder",
+        BindingRole::Initiator => "initiator",
+    };
+    WorkflowTypeId::new(format!("backend-binding:{app}:{role}"))
+}
+
+/// Compiles the back-end binding (Figure 14, right-hand bindings).
+///
+/// Responder: the private process pushes a normalized PO down to the
+/// application and later gets the normalized POA back up.
+/// Initiator (buyer side): only the POA flows down, to be filed in the
+/// buyer's own ERP.
+pub fn compile_backend_binding(
+    app: &str,
+    native: &FormatId,
+    role: BindingRole,
+) -> Result<WorkflowType> {
+    use b2b_wfms::StepDef;
+    let id = backend_binding_type_id(app, role);
+    let wf = match role {
+        BindingRole::Responder => WorkflowBuilder::new(id.as_str())
+            .step(StepDef::receive("recv-norm", channels::from_private().as_str(), "norm_in"))
+            .step(StepDef::transform("transform-to-native", native.clone(), "norm_in", "native_in"))
+            .step(StepDef::send("store", channels::to_app().as_str(), "native_in"))
+            .step(StepDef::receive("extract", channels::from_app().as_str(), "native_out"))
+            .step(StepDef::transform(
+                "transform-to-normalized",
+                FormatId::NORMALIZED,
+                "native_out",
+                "norm_out",
+            ))
+            .step(StepDef::send("pass-up", channels::backend_out().as_str(), "norm_out"))
+            .edge("recv-norm", "transform-to-native")
+            .edge("transform-to-native", "store")
+            .edge("store", "extract")
+            .edge("extract", "transform-to-normalized")
+            .edge("transform-to-normalized", "pass-up")
+            .build()?,
+        BindingRole::Initiator => WorkflowBuilder::new(id.as_str())
+            .step(StepDef::receive("recv-norm", channels::from_private().as_str(), "norm_in"))
+            .step(StepDef::transform("transform-to-native", native.clone(), "norm_in", "native_in"))
+            .step(StepDef::send("store", channels::to_app().as_str(), "native_in"))
+            .edge("recv-norm", "transform-to-native")
+            .edge("transform-to-native", "store")
+            .build()?,
+    };
+    Ok(wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bindings_compile_for_all_formats() {
+        for format in [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS] {
+            for role in [BindingRole::Responder, BindingRole::Initiator] {
+                let wf = compile_wire_binding(&format, role).unwrap();
+                assert_eq!(wf.steps().len(), 6);
+                assert_eq!(wf.edges().len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_bindings_have_role_dependent_shapes() {
+        let responder =
+            compile_backend_binding("SAP", &FormatId::SAP_IDOC, BindingRole::Responder).unwrap();
+        assert_eq!(responder.steps().len(), 6);
+        let initiator =
+            compile_backend_binding("SAP", &FormatId::SAP_IDOC, BindingRole::Initiator).unwrap();
+        assert_eq!(initiator.steps().len(), 3);
+    }
+
+    #[test]
+    fn type_ids_distinguish_roles_and_formats() {
+        assert_ne!(
+            wire_binding_type_id(&FormatId::EDI_X12, BindingRole::Responder),
+            wire_binding_type_id(&FormatId::EDI_X12, BindingRole::Initiator),
+        );
+        assert_ne!(
+            wire_binding_type_id(&FormatId::EDI_X12, BindingRole::Responder),
+            wire_binding_type_id(&FormatId::OAGIS, BindingRole::Responder),
+        );
+        assert_ne!(
+            backend_binding_type_id("SAP", BindingRole::Responder),
+            backend_binding_type_id("Oracle", BindingRole::Responder),
+        );
+    }
+}

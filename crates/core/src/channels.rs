@@ -1,0 +1,114 @@
+//! Channel-name conventions between the three process layers.
+//!
+//! Channels are *logical* names inside workflow types; the integration
+//! engine routes each emitted document to the right peer instance of the
+//! same session (directed delivery), so concurrent sessions never
+//! cross-talk even though they share type definitions.
+
+use b2b_wfms::ChannelId;
+
+/// Public process: inbound business message from the partner.
+pub fn wire_in() -> ChannelId {
+    ChannelId::new("wire:in")
+}
+
+/// Public process: outbound business message to the partner.
+pub fn wire_out() -> ChannelId {
+    ChannelId::new("wire:out")
+}
+
+/// Public process → binding (connection step, Section 4.1.1).
+pub fn to_binding() -> ChannelId {
+    ChannelId::new("to-binding")
+}
+
+/// Binding → public process.
+pub fn from_binding() -> ChannelId {
+    ChannelId::new("from-binding")
+}
+
+/// Binding input from the public process.
+pub fn from_public() -> ChannelId {
+    ChannelId::new("from-public")
+}
+
+/// Binding output toward the private process.
+pub fn to_private() -> ChannelId {
+    ChannelId::new("to-private")
+}
+
+/// Binding input from the private process.
+pub fn from_private() -> ChannelId {
+    ChannelId::new("from-private")
+}
+
+/// Binding output toward the public process.
+pub fn to_public() -> ChannelId {
+    ChannelId::new("to-public")
+}
+
+/// Private process: inbound normalized document.
+pub fn private_in() -> ChannelId {
+    ChannelId::new("in")
+}
+
+/// Private process: outbound normalized document (to the wire binding).
+pub fn private_out() -> ChannelId {
+    ChannelId::new("out")
+}
+
+/// Private process → back-end binding.
+pub fn to_backend() -> ChannelId {
+    ChannelId::new("to-backend")
+}
+
+/// Back-end binding → private process.
+pub fn from_backend() -> ChannelId {
+    ChannelId::new("from-backend")
+}
+
+/// Back-end binding → application process (native document).
+pub fn to_app() -> ChannelId {
+    ChannelId::new("to-app")
+}
+
+/// Application process → back-end binding (native document).
+pub fn from_app() -> ChannelId {
+    ChannelId::new("from-app")
+}
+
+/// Back-end binding output toward the private process.
+pub fn backend_out() -> ChannelId {
+    ChannelId::new("backend-out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_names_are_distinct() {
+        let all = [
+            wire_in(),
+            wire_out(),
+            to_binding(),
+            from_binding(),
+            from_public(),
+            to_private(),
+            from_private(),
+            to_public(),
+            private_in(),
+            private_out(),
+            to_backend(),
+            from_backend(),
+            to_app(),
+            from_app(),
+            backend_out(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

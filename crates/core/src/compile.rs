@@ -1,0 +1,85 @@
+//! Compiling public-process definitions onto the WFMS.
+//!
+//! Protocol definitions (`b2b-protocol`) are pure data; this module turns
+//! them into executable workflow types. Send/receive steps map onto wire
+//! channels, connection steps onto the binding channels. Explicit receipt
+//! steps compile to no-ops at runtime because transport acknowledgments
+//! are provided by the reliable-messaging layer underneath (exactly the
+//! RNIF layering of Section 5.1); they still count as model elements for
+//! the change-management metrics.
+
+use crate::channels;
+use crate::error::Result;
+use b2b_protocol::{PublicAction, PublicProcessDef};
+use b2b_wfms::{Edge, StepDef, StepId, WorkflowType, WorkflowTypeId};
+
+/// The workflow-type id a public process compiles to.
+pub fn public_type_id(process_id: &str) -> WorkflowTypeId {
+    WorkflowTypeId::new(format!("public:{process_id}"))
+}
+
+/// Compiles a public process into a workflow type.
+pub fn compile_public(def: &PublicProcessDef) -> Result<WorkflowType> {
+    def.validate()?;
+    let mut steps = Vec::with_capacity(def.steps.len());
+    for step in &def.steps {
+        let compiled = match &step.action {
+            PublicAction::ReceiveFromPartner { var, .. } => {
+                StepDef::receive(&step.id, channels::wire_in().as_str(), var)
+            }
+            PublicAction::SendToPartner { var, .. } => {
+                StepDef::send(&step.id, channels::wire_out().as_str(), var)
+            }
+            PublicAction::ToBinding { var } => {
+                StepDef::send(&step.id, channels::to_binding().as_str(), var)
+            }
+            PublicAction::FromBinding { var } => {
+                StepDef::receive(&step.id, channels::from_binding().as_str(), var)
+            }
+            // Transport signals are handled by the reliable layer; keep
+            // the step as a structural marker.
+            PublicAction::SendReceipt { .. } | PublicAction::WaitReceipt { .. } => {
+                StepDef::noop(&step.id)
+            }
+        };
+        steps.push(compiled);
+    }
+    let edges = def
+        .edges
+        .iter()
+        .map(|(from, to)| Edge { from: StepId::new(from), to: StepId::new(to), guard: None })
+        .collect();
+    Ok(WorkflowType::new(public_type_id(&def.id), 1, steps, edges)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_protocol::edi_roundtrip::edi_roundtrip_processes;
+    use b2b_protocol::pip3a4::pip3a4_with_explicit_acks;
+    use b2b_wfms::StepKind;
+
+    #[test]
+    fn edi_roundtrip_compiles_to_send_receive_chains() {
+        let (buyer, seller) = edi_roundtrip_processes().unwrap();
+        let wf = compile_public(&seller).unwrap();
+        assert_eq!(wf.id(), &public_type_id(&seller.id));
+        let kinds: Vec<_> = wf.steps().iter().map(|s| s.kind.kind_name()).collect();
+        assert_eq!(kinds, ["receive", "send", "receive", "send"]);
+        let wf = compile_public(&buyer).unwrap();
+        assert_eq!(wf.steps().len(), 4);
+        assert_eq!(wf.edges().len(), 3);
+    }
+
+    #[test]
+    fn receipt_steps_compile_to_markers() {
+        let (buyer, _) = pip3a4_with_explicit_acks().unwrap();
+        let wf = compile_public(&buyer).unwrap();
+        let noops = wf
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::NoOp))
+            .count();
+        assert_eq!(noops, 2, "wait-receipt and send-receipt become markers");
+    }
+}

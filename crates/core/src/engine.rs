@@ -1,0 +1,705 @@
+//! The per-enterprise integration engine.
+//!
+//! One `IntegrationEngine` per organization. It hosts the three process
+//! layers of Section 4 on a single WFMS and routes every document between
+//! them per *session* (one business interaction = one session), so that
+//! the layers stay decoupled exactly as the paper prescribes: public
+//! processes never see the normalized format, private processes never see
+//! wire formats or partner specifics, and all transformations happen in
+//! binding instances.
+
+use crate::binding::{
+    backend_binding_type_id, compile_backend_binding, compile_wire_binding, wire_binding_type_id,
+    BindingRole,
+};
+use crate::channels;
+use crate::compile::{compile_public, public_type_id};
+use crate::error::{IntegrationError, Result};
+use crate::partner::{PartnerDirectory, TradingPartner};
+use crate::private_process::{
+    approve_activity, audit_activity, initiator_private_id, initiator_private_process,
+    make_quote_activity, quote_generation_id, quote_generation_process, record_quote_activity,
+    responder_private_id, responder_private_process, rfq_submission_id, rfq_submission_process,
+    APPROVE_ACTIVITY, AUDIT_ACTIVITY, MAKE_QUOTE_ACTIVITY, RECORD_QUOTE_ACTIVITY,
+};
+use b2b_document::DocKind;
+use b2b_backend::ApplicationProcess;
+use b2b_document::{CorrelationId, Document, FormatRegistry};
+use b2b_network::{
+    Bytes, EndpointId, MessageId, ReliableConfig, ReliableEndpoint, SimNetwork,
+};
+use b2b_protocol::{PublicProcessDef, TradingPartnerAgreement};
+use b2b_rules::RuleRegistry;
+use b2b_transform::TransformRegistry;
+use b2b_wfms::{
+    ChannelId, Engine as WfEngine, EngineId, InstanceId, InstanceStatus, Variable, WorkflowType,
+    WorkflowTypeId,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Rule function the engine consults to pick a back end for an inbound
+/// document (`result` must be the back-end name). When absent, the sole
+/// registered back end is used.
+pub const SELECT_BACKEND_RULE: &str = "select-backend";
+
+/// Externally visible state of one business interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionState {
+    /// Still exchanging messages.
+    InProgress,
+    /// Every process instance of the session completed.
+    Completed,
+    /// Some instance failed (reason recorded).
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Session {
+    correlation: CorrelationId,
+    agreement_id: String,
+    role: BindingRole,
+    partner: String,
+    public: InstanceId,
+    binding: InstanceId,
+    private: Option<InstanceId>,
+    backend_binding: Option<InstanceId>,
+    backend: Option<String>,
+    failure: Option<String>,
+}
+
+/// Counters for one integration engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrationStats {
+    /// Sessions started (either side).
+    pub sessions_started: u64,
+    /// Wire documents sent.
+    pub wire_sent: u64,
+    /// Wire documents received and routed.
+    pub wire_received: u64,
+    /// Wire payloads that failed to decode (corruption → rejected at the
+    /// edge).
+    pub decode_failures: u64,
+    /// Wire documents with no matching session or agreement.
+    pub unroutable: u64,
+    /// Reliable-messaging failures that killed a session.
+    pub delivery_failures: u64,
+}
+
+/// The integration engine of one enterprise.
+pub struct IntegrationEngine {
+    name: String,
+    endpoint: EndpointId,
+    wf: WfEngine,
+    reliable: ReliableEndpoint,
+    formats: FormatRegistry,
+    partners: PartnerDirectory,
+    agreements: BTreeMap<String, TradingPartnerAgreement>,
+    /// Our compiled public-process type per agreement.
+    public_types: BTreeMap<String, WorkflowTypeId>,
+    backends: BTreeMap<String, ApplicationProcess>,
+    sessions: Vec<Session>,
+    /// Wire routing key: one session per (correlation, counterparty) —
+    /// a broadcast RFQ shares a correlation across several partners.
+    by_corr_partner: HashMap<(CorrelationId, String), usize>,
+    by_instance: HashMap<InstanceId, usize>,
+    outstanding_wire: HashMap<MessageId, usize>,
+    stats: IntegrationStats,
+}
+
+impl IntegrationEngine {
+    /// Creates an engine for enterprise `name`, registering its endpoint
+    /// (`ep:<name>`) on the network and deploying the default private
+    /// processes and activities.
+    pub fn new(name: &str, net: &mut SimNetwork) -> Result<Self> {
+        Self::with_reliable_config(name, net, ReliableConfig::default())
+    }
+
+    /// Like [`IntegrationEngine::new`] with an explicit retry policy.
+    pub fn with_reliable_config(
+        name: &str,
+        net: &mut SimNetwork,
+        config: ReliableConfig,
+    ) -> Result<Self> {
+        let endpoint = EndpointId::new(format!("ep:{name}"));
+        let reliable = ReliableEndpoint::new(endpoint.clone(), config, net)?;
+        let mut wf = WfEngine::new(EngineId::new(name));
+        wf.set_transforms(TransformRegistry::with_builtins());
+        wf.deploy(responder_private_process()?);
+        wf.deploy(initiator_private_process()?);
+        wf.deploy(quote_generation_process()?);
+        wf.deploy(rfq_submission_process()?);
+        wf.register_activity(APPROVE_ACTIVITY, approve_activity());
+        wf.register_activity(AUDIT_ACTIVITY, audit_activity());
+        wf.register_activity(MAKE_QUOTE_ACTIVITY, make_quote_activity(name));
+        wf.register_activity(RECORD_QUOTE_ACTIVITY, record_quote_activity());
+        Ok(Self {
+            name: name.to_string(),
+            endpoint,
+            wf,
+            reliable,
+            formats: FormatRegistry::with_builtins(),
+            partners: PartnerDirectory::new(),
+            agreements: BTreeMap::new(),
+            public_types: BTreeMap::new(),
+            backends: BTreeMap::new(),
+            sessions: Vec::new(),
+            by_corr_partner: HashMap::new(),
+            by_instance: HashMap::new(),
+            outstanding_wire: HashMap::new(),
+            stats: IntegrationStats::default(),
+        })
+    }
+
+    /// Enterprise name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Network endpoint.
+    pub fn endpoint(&self) -> &EndpointId {
+        &self.endpoint
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &IntegrationStats {
+        &self.stats
+    }
+
+    /// The hosted WFMS (read access for experiments and assertions).
+    pub fn wf(&self) -> &WfEngine {
+        &self.wf
+    }
+
+    /// Mutable business-rule registry — the *only* thing that changes when
+    /// the trading-partner population changes (Section 4.3).
+    pub fn rules_mut(&mut self) -> &mut RuleRegistry {
+        self.wf.rules_mut()
+    }
+
+    /// Registers a trading partner.
+    pub fn add_partner(&mut self, partner: TradingPartner) {
+        self.partners.add(partner);
+    }
+
+    /// Registers a back-end application and deploys its binding types —
+    /// a purely local change (Section 4.6).
+    pub fn add_backend(&mut self, app: ApplicationProcess) -> Result<()> {
+        let native = app.native_format();
+        let name = app.name().to_string();
+        self.wf.deploy(compile_backend_binding(&name, &native, BindingRole::Responder)?);
+        self.wf.deploy(compile_backend_binding(&name, &native, BindingRole::Initiator)?);
+        self.backends.insert(name, app);
+        Ok(())
+    }
+
+    /// Installs an agreement: compiles and deploys *our* role's public
+    /// process and the wire bindings for the agreement's format. Adding a
+    /// protocol touches exactly this — no private process, no back end.
+    pub fn install_agreement(
+        &mut self,
+        agreement: TradingPartnerAgreement,
+        initiator_def: &PublicProcessDef,
+        responder_def: &PublicProcessDef,
+    ) -> Result<()> {
+        let ours = agreement.process_for(&self.name)?;
+        let def = if ours == initiator_def.id {
+            initiator_def
+        } else if ours == responder_def.id {
+            responder_def
+        } else {
+            return Err(IntegrationError::Config(format!(
+                "agreement `{}` names process `{ours}` which matches neither definition",
+                agreement.id
+            )));
+        };
+        self.wf.deploy(compile_public(def)?);
+        self.wf.deploy(compile_wire_binding(&agreement.format, BindingRole::Responder)?);
+        self.wf.deploy(compile_wire_binding(&agreement.format, BindingRole::Initiator)?);
+        self.public_types.insert(agreement.id.clone(), public_type_id(&def.id));
+        self.agreements.insert(agreement.id.clone(), agreement);
+        Ok(())
+    }
+
+    /// Replaces the responder private process (the Section 4.5 audit-step
+    /// change enters through here).
+    pub fn replace_responder_private(&mut self, wf: WorkflowType) -> Result<()> {
+        if wf.id() != &responder_private_id() {
+            return Err(IntegrationError::Config(format!(
+                "expected type `{}`, got `{}`",
+                responder_private_id(),
+                wf.id()
+            )));
+        }
+        self.wf.deploy(wf);
+        Ok(())
+    }
+
+    /// Hash of the deployed responder private process — the change
+    /// experiments compare this across configuration changes.
+    pub fn responder_private_hash(&self) -> Result<u64> {
+        Ok(self.wf.db().get_type(&responder_private_id())?.definition_hash())
+    }
+
+    /// Read access to a back end (assertions).
+    pub fn backend(&self, name: &str) -> Result<&ApplicationProcess> {
+        self.backends
+            .get(name)
+            .ok_or_else(|| IntegrationError::Config(format!("no backend `{name}`")))
+    }
+
+    /// Starts an outbound interaction (buyer side): the normalized PO is
+    /// handed to the initiator private process, which pushes it through
+    /// the binding and public process onto the wire.
+    pub fn initiate(
+        &mut self,
+        net: &mut SimNetwork,
+        agreement_id: &str,
+        po: Document,
+    ) -> Result<CorrelationId> {
+        let agreement = self
+            .agreements
+            .get(agreement_id)
+            .ok_or_else(|| IntegrationError::Config(format!("no agreement `{agreement_id}`")))?
+            .clone();
+        let partner = agreement.counterparty(&self.name)?.to_string();
+        let public_type = self
+            .public_types
+            .get(agreement_id)
+            .ok_or_else(|| {
+                IntegrationError::Config(format!("agreement `{agreement_id}` not installed"))
+            })?
+            .clone();
+        let correlation = po.correlation().clone();
+        let backend = self.select_backend(&partner, &po)?;
+        let private_type = Self::initiator_private_for(po.kind())?;
+
+        let public = self.wf.create_instance(
+            &public_type,
+            BTreeMap::new(),
+            &partner,
+            &self.name,
+        )?;
+        let binding = self.wf.create_instance(
+            &wire_binding_type_id(&agreement.format, BindingRole::Initiator),
+            BTreeMap::new(),
+            &partner,
+            &self.name,
+        )?;
+        let mut vars = BTreeMap::new();
+        vars.insert("po".to_string(), Variable::Document(po));
+        let target = backend.clone().unwrap_or_else(|| self.name.clone());
+        let private = self.wf.create_instance(&private_type, vars, &partner, &target)?;
+
+        let index = self.sessions.len();
+        self.sessions.push(Session {
+            correlation: correlation.clone(),
+            agreement_id: agreement_id.to_string(),
+            role: BindingRole::Initiator,
+            partner,
+            public,
+            binding,
+            private: Some(private),
+            backend_binding: None,
+            backend,
+            failure: None,
+        });
+        self.by_corr_partner
+            .insert((correlation.clone(), self.sessions[index].partner.clone()), index);
+        for id in [public, binding, private] {
+            self.by_instance.insert(id, index);
+        }
+        self.stats.sessions_started += 1;
+
+        self.wf.run(public)?;
+        self.wf.run(binding)?;
+        self.wf.run(private)?;
+        self.route_outputs(net)?;
+        Ok(correlation)
+    }
+
+    /// One pump cycle: receive wire traffic, poll back ends, route
+    /// everything the process instances emitted, drive timers and
+    /// retransmissions. Call after every `SimNetwork::advance`.
+    pub fn pump(&mut self, net: &mut SimNetwork) -> Result<()> {
+        self.wf.advance_time(net.now())?;
+        // 1. Inbound wire traffic.
+        let envelopes = self.reliable.receive(net)?;
+        for envelope in envelopes {
+            self.handle_wire(net, envelope)?;
+        }
+        // 2. Back-end processing cycles.
+        self.poll_backends()?;
+        // 3. Route emitted documents (loops internally to a fixpoint).
+        self.route_outputs(net)?;
+        // 4. Retransmissions; permanent failures kill their session.
+        let failed = self.reliable.tick(net)?;
+        for msg in failed {
+            if let Some(index) = self.outstanding_wire.remove(&msg) {
+                self.stats.delivery_failures += 1;
+                self.sessions[index].failure =
+                    Some(format!("wire delivery of {msg} failed permanently"));
+            }
+        }
+        Ok(())
+    }
+
+    /// State of the session(s) for a correlation id. With several
+    /// sessions under one correlation (broadcast), the aggregate is
+    /// Completed only when all are, and Failed when any is.
+    pub fn session_state(&self, correlation: &CorrelationId) -> SessionState {
+        let indices: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| &s.correlation == correlation)
+            .map(|(i, _)| i)
+            .collect();
+        if indices.is_empty() {
+            return SessionState::InProgress;
+        }
+        let mut all_complete = true;
+        for index in indices {
+            match self.single_session_state(index) {
+                SessionState::Failed(reason) => return SessionState::Failed(reason),
+                SessionState::InProgress => all_complete = false,
+                SessionState::Completed => {}
+            }
+        }
+        if all_complete {
+            SessionState::Completed
+        } else {
+            SessionState::InProgress
+        }
+    }
+
+    /// State of the session with a specific counterparty (broadcasts).
+    pub fn session_state_with(
+        &self,
+        correlation: &CorrelationId,
+        partner: &str,
+    ) -> SessionState {
+        match self.by_corr_partner.get(&(correlation.clone(), partner.to_string())) {
+            Some(&index) => self.single_session_state(index),
+            None => SessionState::InProgress,
+        }
+    }
+
+    fn single_session_state(&self, index: usize) -> SessionState {
+        let session = &self.sessions[index];
+        if let Some(reason) = &session.failure {
+            return SessionState::Failed(reason.clone());
+        }
+        let mut instances = vec![session.public, session.binding];
+        instances.extend(session.private);
+        instances.extend(session.backend_binding);
+        let mut all_complete = true;
+        for id in instances {
+            match self.wf.status(id) {
+                Ok(InstanceStatus::Completed) => {}
+                Ok(InstanceStatus::Failed(reason)) => return SessionState::Failed(reason),
+                Ok(InstanceStatus::Running) => all_complete = false,
+                Err(_) => all_complete = false,
+            }
+        }
+        if all_complete && session.private.is_some() {
+            SessionState::Completed
+        } else {
+            SessionState::InProgress
+        }
+    }
+
+    /// Correlations of all sessions this engine has seen.
+    pub fn correlations(&self) -> Vec<CorrelationId> {
+        self.sessions.iter().map(|s| s.correlation.clone()).collect()
+    }
+
+    /// Number of completed sessions.
+    pub fn completed_sessions(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| self.session_state(&s.correlation) == SessionState::Completed)
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+
+    fn initiator_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
+        match kind {
+            DocKind::PurchaseOrder => Ok(initiator_private_id()),
+            DocKind::RequestForQuote => Ok(rfq_submission_id()),
+            other => Err(IntegrationError::Config(format!(
+                "no initiator private process for {other}"
+            ))),
+        }
+    }
+
+    fn responder_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
+        match kind {
+            DocKind::PurchaseOrder => Ok(responder_private_id()),
+            DocKind::RequestForQuote => Ok(quote_generation_id()),
+            other => Err(IntegrationError::Config(format!(
+                "no responder private process for {other}"
+            ))),
+        }
+    }
+
+    fn select_backend(&self, partner: &str, doc: &Document) -> Result<Option<String>> {
+        // Back ends only participate in order flows; quotes are computed
+        // by rules alone.
+        if doc.kind() != DocKind::PurchaseOrder {
+            return Ok(None);
+        }
+        if self.backends.is_empty() {
+            return Ok(None);
+        }
+        if self.wf.rules().function(SELECT_BACKEND_RULE).is_ok() {
+            let value = self.wf.rules().invoke(SELECT_BACKEND_RULE, partner, "", doc)?;
+            let name = value
+                .as_text("select-backend result")
+                .map_err(IntegrationError::from)?
+                .to_string();
+            if !self.backends.contains_key(&name) {
+                return Err(IntegrationError::Config(format!(
+                    "select-backend chose unknown backend `{name}`"
+                )));
+            }
+            return Ok(Some(name));
+        }
+        if self.backends.len() == 1 {
+            return Ok(self.backends.keys().next().cloned());
+        }
+        Err(IntegrationError::Config(
+            "multiple backends but no `select-backend` rule".to_string(),
+        ))
+    }
+
+    fn handle_wire(&mut self, net: &mut SimNetwork, envelope: b2b_network::Envelope) -> Result<()> {
+        let doc = match self.formats.decode(&envelope.format, &envelope.payload) {
+            Ok(doc) => doc,
+            Err(_) => {
+                // Corrupt or malformed content is rejected at the edge.
+                self.stats.decode_failures += 1;
+                return Ok(());
+            }
+        };
+        self.stats.wire_received += 1;
+        let correlation = doc.correlation().clone();
+        let Ok(partner) = self.partners.name_of(&envelope.from) else {
+            self.stats.unroutable += 1;
+            return Ok(());
+        };
+        let partner = partner.to_string();
+        if let Some(&index) =
+            self.by_corr_partner.get(&(correlation.clone(), partner.clone()))
+        {
+            let public = self.sessions[index].public;
+            self.wf.deliver_to(public, &channels::wire_in(), doc)?;
+            return Ok(());
+        }
+        // New inbound interaction: find the agreement for (partner, format)
+        // where we respond.
+        let agreement = self
+            .agreements
+            .values()
+            .find(|a| {
+                a.format == envelope.format
+                    && a.responder == self.name
+                    && a.initiator == partner
+            })
+            .cloned();
+        let Some(agreement) = agreement else {
+            self.stats.unroutable += 1;
+            return Ok(());
+        };
+        if doc.kind().reply_kind().is_none() {
+            // Not an interaction-initiating document.
+            self.stats.unroutable += 1;
+            return Ok(());
+        }
+        let public_type = self.public_types[&agreement.id].clone();
+        let public =
+            self.wf.create_instance(&public_type, BTreeMap::new(), &partner, &self.name)?;
+        let binding = self.wf.create_instance(
+            &wire_binding_type_id(&agreement.format, BindingRole::Responder),
+            BTreeMap::new(),
+            &partner,
+            &self.name,
+        )?;
+        let index = self.sessions.len();
+        self.sessions.push(Session {
+            correlation: correlation.clone(),
+            agreement_id: agreement.id.clone(),
+            role: BindingRole::Responder,
+            partner: partner.clone(),
+            public,
+            binding,
+            private: None,
+            backend_binding: None,
+            backend: None,
+            failure: None,
+        });
+        self.by_corr_partner.insert((correlation, partner), index);
+        self.by_instance.insert(public, index);
+        self.by_instance.insert(binding, index);
+        self.stats.sessions_started += 1;
+        self.wf.run(public)?;
+        self.wf.run(binding)?;
+        self.wf.deliver_to(public, &channels::wire_in(), doc)?;
+        self.route_outputs(net)
+    }
+
+    fn poll_backends(&mut self) -> Result<()> {
+        let names: Vec<String> = self.backends.keys().cloned().collect();
+        for name in names {
+            let poas = self.backends.get_mut(&name).expect("key exists").poll()?;
+            for poa in poas {
+                let bb = self
+                    .sessions
+                    .iter()
+                    .find(|s| {
+                        &s.correlation == poa.correlation() && s.backend_binding.is_some()
+                    })
+                    .and_then(|s| s.backend_binding);
+                let Some(bb) = bb else {
+                    self.stats.unroutable += 1;
+                    continue;
+                };
+                self.wf.deliver_to(bb, &channels::from_app(), poa)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn route_outputs(&mut self, net: &mut SimNetwork) -> Result<()> {
+        loop {
+            let outputs = self.wf.drain_outbox();
+            if outputs.is_empty() {
+                return Ok(());
+            }
+            for (from, channel, doc) in outputs {
+                self.route_one(net, from, &channel, doc)?;
+            }
+        }
+    }
+
+    fn route_one(
+        &mut self,
+        net: &mut SimNetwork,
+        from: InstanceId,
+        channel: &ChannelId,
+        doc: Document,
+    ) -> Result<()> {
+        let index = *self.by_instance.get(&from).ok_or_else(|| {
+            IntegrationError::Config(format!("instance {from} belongs to no session"))
+        })?;
+        match channel.as_str() {
+            // Public process → binding.
+            "to-binding" => {
+                let binding = self.sessions[index].binding;
+                self.wf.deliver_to(binding, &channels::from_public(), doc)?;
+            }
+            // Public process → wire.
+            "wire:out" => {
+                let session = &self.sessions[index];
+                let agreement = &self.agreements[&session.agreement_id];
+                let partner_endpoint =
+                    self.partners.by_name(&session.partner)?.endpoint.clone();
+                let bytes = self.formats.encode(&doc)?;
+                let msg = self.reliable.send(
+                    net,
+                    &partner_endpoint,
+                    agreement.format.clone(),
+                    Bytes::from(bytes),
+                )?;
+                self.outstanding_wire.insert(msg, index);
+                self.stats.wire_sent += 1;
+            }
+            // Binding → private process.
+            "to-private" => {
+                let private = match self.sessions[index].private {
+                    Some(id) => id,
+                    None => {
+                        // Responder side: create the private process now,
+                        // selected by the document kind.
+                        let partner = self.sessions[index].partner.clone();
+                        let backend = self.select_backend(&partner, &doc)?;
+                        let target = backend.clone().unwrap_or_else(|| self.name.clone());
+                        let private_type = Self::responder_private_for(doc.kind())?;
+                        let id = self.wf.create_instance(
+                            &private_type,
+                            BTreeMap::new(),
+                            &partner,
+                            &target,
+                        )?;
+                        self.sessions[index].private = Some(id);
+                        self.sessions[index].backend = backend;
+                        self.by_instance.insert(id, index);
+                        self.wf.run(id)?;
+                        id
+                    }
+                };
+                self.wf.deliver_to(private, &channels::private_in(), doc)?;
+            }
+            // Binding → public process.
+            "to-public" => {
+                let public = self.sessions[index].public;
+                self.wf.deliver_to(public, &channels::from_binding(), doc)?;
+            }
+            // Private process → binding.
+            "out" => {
+                let binding = self.sessions[index].binding;
+                self.wf.deliver_to(binding, &channels::from_private(), doc)?;
+            }
+            // Private process → back-end binding.
+            "to-backend" => {
+                let bb = match self.sessions[index].backend_binding {
+                    Some(id) => id,
+                    None => {
+                        let Some(backend) = self.sessions[index].backend.clone() else {
+                            return Err(IntegrationError::Config(format!(
+                                "session {} has no backend to route to",
+                                self.sessions[index].correlation
+                            )));
+                        };
+                        let role = self.sessions[index].role;
+                        let partner = self.sessions[index].partner.clone();
+                        let id = self.wf.create_instance(
+                            &backend_binding_type_id(&backend, role),
+                            BTreeMap::new(),
+                            &partner,
+                            &backend,
+                        )?;
+                        self.sessions[index].backend_binding = Some(id);
+                        self.by_instance.insert(id, index);
+                        self.wf.run(id)?;
+                        id
+                    }
+                };
+                self.wf.deliver_to(bb, &channels::from_private(), doc)?;
+            }
+            // Back-end binding → application process.
+            "to-app" => {
+                let Some(backend) = self.sessions[index].backend.clone() else {
+                    return Err(IntegrationError::Config("to-app without a backend".into()));
+                };
+                self.backends
+                    .get_mut(&backend)
+                    .expect("session backend validated at selection")
+                    .handle(&doc)?;
+            }
+            // Back-end binding → private process.
+            "backend-out" => {
+                let Some(private) = self.sessions[index].private else {
+                    return Err(IntegrationError::Config("backend-out without a private".into()));
+                };
+                self.wf.deliver_to(private, &channels::from_backend(), doc)?;
+            }
+            other => {
+                return Err(IntegrationError::Config(format!(
+                    "instance {from} emitted on unknown channel `{other}`"
+                )))
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the integration layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IntegrationError>;
+
+/// Errors raised by the integration engine and its baselines.
+#[derive(Debug)]
+pub enum IntegrationError {
+    /// Document-layer failure.
+    Document(b2b_document::DocumentError),
+    /// Rule-layer failure.
+    Rules(b2b_rules::RuleError),
+    /// Transformation failure.
+    Transform(b2b_transform::TransformError),
+    /// Network failure.
+    Network(b2b_network::NetworkError),
+    /// WFMS failure.
+    Workflow(b2b_wfms::WfError),
+    /// Protocol-definition failure.
+    Protocol(b2b_protocol::ProtocolError),
+    /// Back-end failure.
+    Backend(b2b_backend::BackendError),
+    /// Integration-engine configuration or routing failure.
+    Config(String),
+}
+
+impl fmt::Display for IntegrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Document(e) => write!(f, "document: {e}"),
+            Self::Rules(e) => write!(f, "rules: {e}"),
+            Self::Transform(e) => write!(f, "transform: {e}"),
+            Self::Network(e) => write!(f, "network: {e}"),
+            Self::Workflow(e) => write!(f, "workflow: {e}"),
+            Self::Protocol(e) => write!(f, "protocol: {e}"),
+            Self::Backend(e) => write!(f, "backend: {e}"),
+            Self::Config(reason) => write!(f, "integration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrationError {}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for IntegrationError {
+            fn from(e: $ty) -> Self {
+                Self::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Document, b2b_document::DocumentError);
+from_error!(Rules, b2b_rules::RuleError);
+from_error!(Transform, b2b_transform::TransformError);
+from_error!(Network, b2b_network::NetworkError);
+from_error!(Workflow, b2b_wfms::WfError);
+from_error!(Protocol, b2b_protocol::ProtocolError);
+from_error!(Backend, b2b_backend::BackendError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: IntegrationError =
+            b2b_wfms::WfError::UnknownInstance { instance: 3 }.into();
+        assert!(e.to_string().contains("workflow"));
+        let e = IntegrationError::Config("no agreement".into());
+        assert!(e.to_string().contains("no agreement"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Model-size and knowledge-exposure metrics.
+//!
+//! The paper's Section 3 argument is quantitative in nature ("the
+//! complexity of the workflow types increases dramatically") but never
+//! measured; these metrics make it measurable. Experiment E5 sweeps them
+//! over (protocols × partners × back ends).
+
+use b2b_rules::RuleRegistry;
+use b2b_transform::TransformRegistry;
+use b2b_wfms::{StepKind, WorkflowType};
+use std::fmt;
+
+/// Size of a set of workflow types plus the external registries serving
+/// them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelSize {
+    /// Workflow type definitions.
+    pub types: usize,
+    /// Steps across all types.
+    pub steps: usize,
+    /// Control-flow edges across all types.
+    pub edges: usize,
+    /// Guard-expression AST nodes inlined in workflow types.
+    pub guard_nodes: usize,
+    /// Transform steps inlined in workflow types (the naïve designs put
+    /// transformations here; the advanced design has zero).
+    pub inline_transforms: usize,
+    /// Transformation programs held externally in the registry.
+    pub external_transforms: usize,
+    /// Business rules held externally in the registry.
+    pub external_rules: usize,
+}
+
+impl ModelSize {
+    /// Measures a set of workflow types (no external registries).
+    pub fn of_types<'a>(types: impl IntoIterator<Item = &'a WorkflowType>) -> Self {
+        let mut m = Self::default();
+        for wf in types {
+            m.types += 1;
+            m.steps += wf.steps().len();
+            m.edges += wf.edges().len();
+            m.guard_nodes += wf
+                .edges()
+                .iter()
+                .filter_map(|e| e.guard.as_ref())
+                .map(|g| g.node_count())
+                .sum::<usize>();
+            m.inline_transforms += wf
+                .steps()
+                .iter()
+                .filter(|s| matches!(s.kind, StepKind::Transform { .. }))
+                .count();
+        }
+        m
+    }
+
+    /// Adds the external registries.
+    pub fn with_registries(
+        mut self,
+        transforms: &TransformRegistry,
+        rules: &RuleRegistry,
+    ) -> Self {
+        self.external_transforms = transforms.len();
+        self.external_rules = rules.rule_count();
+        self
+    }
+
+    /// Total workflow-type elements (what a modeler maintains *inside*
+    /// workflow definitions — the explosion quantity).
+    pub fn workflow_elements(&self) -> usize {
+        self.steps + self.edges + self.guard_nodes
+    }
+
+    /// Total elements including the external registries.
+    pub fn total_elements(&self) -> usize {
+        self.workflow_elements() + self.external_transforms + self.external_rules
+    }
+}
+
+impl fmt::Display for ModelSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} types, {} steps, {} edges, {} guard nodes, {} inline transforms \
+             (+{} transforms / {} rules external)",
+            self.types,
+            self.steps,
+            self.edges,
+            self.guard_nodes,
+            self.inline_transforms,
+            self.external_transforms,
+            self.external_rules
+        )
+    }
+}
+
+/// What one enterprise can learn about another under a given architecture
+/// (experiment E3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExposureReport {
+    /// Full workflow type definitions visible to the partner (business
+    /// rules included) — the distributed approach's fatal flaw.
+    pub workflow_types_visible: usize,
+    /// Business-rule AST nodes readable by the partner.
+    pub rule_nodes_visible: usize,
+    /// Instance execution states visible (migration snapshots).
+    pub instance_states_visible: usize,
+    /// Subworkflow interfaces visible (variables only).
+    pub interfaces_visible: usize,
+    /// Message schemas visible (what the advanced approach shares: only
+    /// the agreed wire formats).
+    pub message_schemas_visible: usize,
+}
+
+impl ExposureReport {
+    /// A single scalar for ranking: weighted count of exposed artifacts
+    /// (full types and instance states weigh most, schemas least).
+    pub fn exposure_score(&self) -> usize {
+        self.workflow_types_visible * 100
+            + self.instance_states_visible * 100
+            + self.rule_nodes_visible * 10
+            + self.interfaces_visible * 5
+            + self.message_schemas_visible
+    }
+}
+
+impl fmt::Display for ExposureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "types={} rule-nodes={} instance-states={} interfaces={} schemas={} (score {})",
+            self.workflow_types_visible,
+            self.rule_nodes_visible,
+            self.instance_states_visible,
+            self.interfaces_visible,
+            self.message_schemas_visible,
+            self.exposure_score()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::private_process::responder_private_process;
+    use b2b_wfms::{StepDef, WorkflowBuilder};
+
+    #[test]
+    fn measures_steps_edges_and_guards() {
+        let wf = responder_private_process().unwrap();
+        let m = ModelSize::of_types([&wf]);
+        assert_eq!(m.types, 1);
+        assert_eq!(m.steps, 7);
+        assert_eq!(m.edges, 7);
+        assert!(m.guard_nodes > 0, "the two guarded edges count");
+        assert_eq!(m.inline_transforms, 0, "private processes have no transforms");
+        assert_eq!(m.workflow_elements(), m.steps + m.edges + m.guard_nodes);
+    }
+
+    #[test]
+    fn inline_transforms_are_counted() {
+        let wf = WorkflowBuilder::new("naive")
+            .step(StepDef::transform(
+                "t",
+                b2b_document::FormatId::SAP_IDOC,
+                "a",
+                "b",
+            ))
+            .build()
+            .unwrap();
+        let m = ModelSize::of_types([&wf]);
+        assert_eq!(m.inline_transforms, 1);
+    }
+
+    #[test]
+    fn registries_count_as_external() {
+        let wf = responder_private_process().unwrap();
+        let transforms = TransformRegistry::with_builtins();
+        let mut rules = b2b_rules::RuleRegistry::new();
+        rules.register(
+            b2b_rules::approval::check_need_for_approval(
+                &b2b_rules::approval::paper_thresholds(),
+            )
+            .unwrap(),
+        );
+        let m = ModelSize::of_types([&wf]).with_registries(&transforms, &rules);
+        assert_eq!(m.external_transforms, 24);
+        assert_eq!(m.external_rules, 4);
+        assert!(m.total_elements() > m.workflow_elements());
+    }
+
+    #[test]
+    fn exposure_score_orders_architectures() {
+        let distributed = ExposureReport {
+            workflow_types_visible: 3,
+            rule_nodes_visible: 40,
+            instance_states_visible: 2,
+            ..ExposureReport::default()
+        };
+        let advanced = ExposureReport { message_schemas_visible: 2, ..ExposureReport::default() };
+        assert!(distributed.exposure_score() > advanced.exposure_score());
+    }
+}

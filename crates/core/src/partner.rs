@@ -1,0 +1,91 @@
+//! Trading partners and the partner directory.
+
+use crate::error::{IntegrationError, Result};
+use b2b_network::EndpointId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One trading partner as an enterprise sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TradingPartner {
+    /// Partner name (the rule-context `source`, e.g. `TP1`).
+    pub name: String,
+    /// Network endpoint of the partner's B2B gateway.
+    pub endpoint: EndpointId,
+}
+
+impl TradingPartner {
+    /// Builds a partner entry; the endpoint follows the `ep:<name>`
+    /// convention used by [`crate::engine::IntegrationEngine`].
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), endpoint: EndpointId::new(format!("ep:{name}")) }
+    }
+}
+
+/// Directory of known partners, resolvable both ways.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartnerDirectory {
+    by_name: BTreeMap<String, TradingPartner>,
+    by_endpoint: BTreeMap<EndpointId, String>,
+}
+
+impl PartnerDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a partner.
+    pub fn add(&mut self, partner: TradingPartner) {
+        self.by_endpoint.insert(partner.endpoint.clone(), partner.name.clone());
+        self.by_name.insert(partner.name.clone(), partner);
+    }
+
+    /// Looks up by name.
+    pub fn by_name(&self, name: &str) -> Result<&TradingPartner> {
+        self.by_name
+            .get(name)
+            .ok_or_else(|| IntegrationError::Config(format!("unknown partner `{name}`")))
+    }
+
+    /// Looks up the partner name behind an endpoint.
+    pub fn name_of(&self, endpoint: &EndpointId) -> Result<&str> {
+        self.by_endpoint
+            .get(endpoint)
+            .map(String::as_str)
+            .ok_or_else(|| IntegrationError::Config(format!("unknown endpoint `{endpoint}`")))
+    }
+
+    /// Number of partners.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// All partner names (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        self.by_name.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_resolves_both_ways() {
+        let mut dir = PartnerDirectory::new();
+        dir.add(TradingPartner::new("TP1"));
+        dir.add(TradingPartner::new("TP2"));
+        assert_eq!(dir.len(), 2);
+        let tp1 = dir.by_name("TP1").unwrap().clone();
+        assert_eq!(dir.name_of(&tp1.endpoint).unwrap(), "TP1");
+        assert!(dir.by_name("TP9").is_err());
+        assert!(dir.name_of(&EndpointId::new("ghost")).is_err());
+        assert_eq!(dir.names(), ["TP1", "TP2"]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal calendar date (no time-of-day), used for delivery dates and
+//! document dates. Implemented from scratch to stay within the approved
+//! dependency set.
+
+use crate::error::{DocumentError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A proleptic Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Builds a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(DocumentError::Date { reason: format!("month {month} out of range") });
+        }
+        let dim = days_in_month(year, month);
+        if day == 0 || day > dim {
+            return Err(DocumentError::Date {
+                reason: format!("day {day} out of range for {year}-{month:02}"),
+            });
+        }
+        Ok(Self { year, month, day })
+    }
+
+    /// Parses ISO `YYYY-MM-DD`.
+    pub fn parse_iso(text: &str) -> Result<Self> {
+        let mut it = text.splitn(3, '-');
+        let (y, m, d) = match (it.next(), it.next(), it.next()) {
+            (Some(y), Some(m), Some(d)) => (y, m, d),
+            _ => {
+                return Err(DocumentError::Date {
+                    reason: format!("`{text}` is not YYYY-MM-DD"),
+                })
+            }
+        };
+        let parse = |s: &str, what: &str| -> Result<i64> {
+            s.parse().map_err(|_| DocumentError::Date {
+                reason: format!("bad {what} `{s}` in `{text}`"),
+            })
+        };
+        Self::new(parse(y, "year")? as i32, parse(m, "month")? as u8, parse(d, "day")? as u8)
+    }
+
+    /// Parses the compact EDI form `YYYYMMDD`.
+    pub fn parse_compact(text: &str) -> Result<Self> {
+        if text.len() != 8 || !text.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(DocumentError::Date { reason: format!("`{text}` is not YYYYMMDD") });
+        }
+        let year: i32 = text[0..4].parse().expect("digits");
+        let month: u8 = text[4..6].parse().expect("digits");
+        let day: u8 = text[6..8].parse().expect("digits");
+        Self::new(year, month, day)
+    }
+
+    /// Year component.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// Day component (1–31).
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// The date `days` later (or earlier for negative values).
+    pub fn plus_days(self, days: i64) -> Self {
+        let mut n = self.day_number() + days;
+        // Convert day number back to a date by linear scan over years; the
+        // range used in simulations is small, so this is fine.
+        let mut year = 1970;
+        loop {
+            let len = if is_leap(year) { 366 } else { 365 };
+            if n >= len {
+                n -= len;
+                year += 1;
+            } else if n < 0 {
+                year -= 1;
+                n += if is_leap(year) { 366 } else { 365 };
+            } else {
+                break;
+            }
+        }
+        let mut month = 1u8;
+        loop {
+            let dim = i64::from(days_in_month(year, month));
+            if n >= dim {
+                n -= dim;
+                month += 1;
+            } else {
+                break;
+            }
+        }
+        Self { year, month, day: (n + 1) as u8 }
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn day_number(self) -> i64 {
+        let mut days: i64 = 0;
+        if self.year >= 1970 {
+            for y in 1970..self.year {
+                days += if is_leap(y) { 366 } else { 365 };
+            }
+        } else {
+            for y in self.year..1970 {
+                days -= if is_leap(y) { 366 } else { 365 };
+            }
+        }
+        for m in 1..self.month {
+            days += i64::from(days_in_month(self.year, m));
+        }
+        days + i64::from(self.day) - 1
+    }
+
+    /// Compact `YYYYMMDD` form used by the EDI codec.
+    pub fn to_compact(self) -> String {
+        format!("{:04}{:02}{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_components() {
+        assert!(Date::new(2001, 2, 29).is_err());
+        assert!(Date::new(2000, 2, 29).is_ok());
+        assert!(Date::new(2001, 13, 1).is_err());
+        assert!(Date::new(2001, 0, 1).is_err());
+        assert!(Date::new(2001, 4, 31).is_err());
+    }
+
+    #[test]
+    fn iso_round_trip() {
+        let d = Date::parse_iso("2001-09-17").unwrap();
+        assert_eq!(d.to_string(), "2001-09-17");
+        assert!(Date::parse_iso("2001/09/17").is_err());
+        assert!(Date::parse_iso("2001-09").is_err());
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let d = Date::parse_compact("20010917").unwrap();
+        assert_eq!(d.to_compact(), "20010917");
+        assert!(Date::parse_compact("2001917").is_err());
+        assert!(Date::parse_compact("2001091x").is_err());
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        let d = Date::parse_iso("2001-12-30").unwrap();
+        assert_eq!(d.plus_days(3).to_string(), "2002-01-02");
+        let d = Date::parse_iso("2000-02-28").unwrap();
+        assert_eq!(d.plus_days(1).to_string(), "2000-02-29");
+        assert_eq!(d.plus_days(2).to_string(), "2000-03-01");
+    }
+
+    #[test]
+    fn plus_days_negative() {
+        let d = Date::parse_iso("2001-01-01").unwrap();
+        assert_eq!(d.plus_days(-1).to_string(), "2000-12-31");
+    }
+
+    #[test]
+    fn day_number_is_monotone() {
+        let a = Date::parse_iso("1999-12-31").unwrap();
+        let b = Date::parse_iso("2000-01-01").unwrap();
+        assert_eq!(a.day_number() + 1, b.day_number());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::parse_iso("2001-09-17").unwrap();
+        let b = Date::parse_iso("2001-10-01").unwrap();
+        assert!(a < b);
+    }
+}

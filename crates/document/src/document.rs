@@ -1,0 +1,234 @@
+//! The [`Document`] type: a value tree tagged with business kind and format.
+
+use crate::error::Result;
+use crate::formats::FormatId;
+use crate::ids::{CorrelationId, DocumentId};
+use crate::path::FieldPath;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The business meaning of a document, independent of its format.
+///
+/// A purchase order is a purchase order whether it travels as an EDI 850, a
+/// RosettaNet PIP 3A4 request, or a SAP IDoc — only the *shape* differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DocKind {
+    /// Purchase order (EDI 850, PIP 3A4 request, OAGIS ProcessPO).
+    PurchaseOrder,
+    /// Purchase-order acknowledgment (EDI 855, PIP 3A4 confirmation).
+    PurchaseOrderAck,
+    /// Invoice (mentioned in the paper's introduction).
+    Invoice,
+    /// Advance shipment notice.
+    ShipmentNotice,
+    /// Request for quotation (the paper's Section 2.3 example).
+    RequestForQuote,
+    /// Quote answering an RFQ.
+    Quote,
+    /// Transport-level acknowledgment (RNIF receipt acknowledgment).
+    Receipt,
+    /// Transport-level exception signal.
+    Exception,
+}
+
+impl DocKind {
+    /// Stable lowercase name used in registries and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::PurchaseOrder => "purchase-order",
+            Self::PurchaseOrderAck => "purchase-order-ack",
+            Self::Invoice => "invoice",
+            Self::ShipmentNotice => "shipment-notice",
+            Self::RequestForQuote => "request-for-quote",
+            Self::Quote => "quote",
+            Self::Receipt => "receipt",
+            Self::Exception => "exception",
+        }
+    }
+
+    /// The kind answering this kind in a request/reply exchange, if any.
+    pub fn reply_kind(self) -> Option<DocKind> {
+        match self {
+            Self::PurchaseOrder => Some(Self::PurchaseOrderAck),
+            Self::RequestForQuote => Some(Self::Quote),
+            _ => None,
+        }
+    }
+
+    /// All business kinds (excludes transport-level signals).
+    pub fn business_kinds() -> &'static [DocKind] {
+        &[
+            Self::PurchaseOrder,
+            Self::PurchaseOrderAck,
+            Self::Invoice,
+            Self::ShipmentNotice,
+            Self::RequestForQuote,
+            Self::Quote,
+        ]
+    }
+}
+
+impl fmt::Display for DocKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A business document: identity, correlation, kind, format, and content.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    id: DocumentId,
+    correlation: CorrelationId,
+    kind: DocKind,
+    format: FormatId,
+    body: Value,
+}
+
+impl Document {
+    /// Creates a document with a fresh id.
+    pub fn new(kind: DocKind, format: FormatId, correlation: CorrelationId, body: Value) -> Self {
+        Self { id: DocumentId::fresh("doc"), correlation, kind, format, body }
+    }
+
+    /// Creates a document with a caller-supplied id (e.g. parsed from wire).
+    pub fn with_id(
+        id: DocumentId,
+        kind: DocKind,
+        format: FormatId,
+        correlation: CorrelationId,
+        body: Value,
+    ) -> Self {
+        Self { id, correlation, kind, format, body }
+    }
+
+    /// Unique id of this document instance.
+    pub fn id(&self) -> &DocumentId {
+        &self.id
+    }
+
+    /// Correlation id linking this document to its business interaction.
+    pub fn correlation(&self) -> &CorrelationId {
+        &self.correlation
+    }
+
+    /// Business kind.
+    pub fn kind(&self) -> DocKind {
+        self.kind
+    }
+
+    /// Format whose shape the body follows.
+    pub fn format(&self) -> &FormatId {
+        &self.format
+    }
+
+    /// The content tree.
+    pub fn body(&self) -> &Value {
+        &self.body
+    }
+
+    /// Mutable access to the content tree.
+    pub fn body_mut(&mut self) -> &mut Value {
+        &mut self.body
+    }
+
+    /// Consumes the document, returning its content tree.
+    pub fn into_body(self) -> Value {
+        self.body
+    }
+
+    /// Reads a value by path string.
+    pub fn get(&self, path: &str) -> Result<&Value> {
+        FieldPath::parse(path)?.get(&self.body)
+    }
+
+    /// Reads a value by path string, `None` when absent.
+    pub fn lookup(&self, path: &str) -> Option<&Value> {
+        FieldPath::parse(path).ok()?.lookup(&self.body)
+    }
+
+    /// Writes a value by path string, creating intermediate records.
+    pub fn set(&mut self, path: &str, value: Value) -> Result<()> {
+        FieldPath::parse(path)?.set(&mut self.body, value)
+    }
+
+    /// Rebuilds this document's body under a new format tag.
+    ///
+    /// Used by transformations: the body they produce follows the target
+    /// format's shape, so the tag must change with it. Identity and
+    /// correlation are preserved — transformation changes representation,
+    /// not business identity.
+    pub fn reformatted(&self, format: FormatId, body: Value) -> Self {
+        Self {
+            id: self.id.clone(),
+            correlation: self.correlation.clone(),
+            kind: self.kind,
+            format,
+            body,
+        }
+    }
+
+    /// Derives a reply document (e.g. a POA answering a PO), keeping the
+    /// correlation id so the round trip can be matched up.
+    pub fn reply(&self, kind: DocKind, format: FormatId, body: Value) -> Self {
+        Self {
+            id: DocumentId::fresh("doc"),
+            correlation: self.correlation.clone(),
+            kind,
+            format,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::FormatId;
+    use crate::record;
+
+    fn po() -> Document {
+        Document::new(
+            DocKind::PurchaseOrder,
+            FormatId::NORMALIZED,
+            CorrelationId::for_po_number("4711"),
+            record! { "header" => record! { "po_number" => Value::text("4711") } },
+        )
+    }
+
+    #[test]
+    fn get_and_set_by_path() {
+        let mut doc = po();
+        assert_eq!(doc.get("header.po_number").unwrap(), &Value::text("4711"));
+        doc.set("header.status", Value::text("open")).unwrap();
+        assert_eq!(doc.get("header.status").unwrap(), &Value::text("open"));
+        assert!(doc.get("header.absent").is_err());
+        assert!(doc.lookup("header.absent").is_none());
+    }
+
+    #[test]
+    fn reply_preserves_correlation_with_new_id() {
+        let doc = po();
+        let ack = doc.reply(DocKind::PurchaseOrderAck, FormatId::NORMALIZED, Value::record());
+        assert_eq!(ack.correlation(), doc.correlation());
+        assert_ne!(ack.id(), doc.id());
+        assert_eq!(ack.kind(), DocKind::PurchaseOrderAck);
+    }
+
+    #[test]
+    fn reformatted_preserves_identity() {
+        let doc = po();
+        let re = doc.reformatted(FormatId::EDI_X12, Value::record());
+        assert_eq!(re.id(), doc.id());
+        assert_eq!(re.correlation(), doc.correlation());
+        assert_eq!(re.format(), &FormatId::EDI_X12);
+        assert_eq!(re.kind(), DocKind::PurchaseOrder);
+    }
+
+    #[test]
+    fn reply_kind_pairs_request_reply() {
+        assert_eq!(DocKind::PurchaseOrder.reply_kind(), Some(DocKind::PurchaseOrderAck));
+        assert_eq!(DocKind::RequestForQuote.reply_kind(), Some(DocKind::Quote));
+        assert_eq!(DocKind::Invoice.reply_kind(), None);
+    }
+}

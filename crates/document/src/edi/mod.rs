@@ -1,0 +1,144 @@
+//! EDI X12-style segment syntax.
+//!
+//! Implements the envelope and segment grammar of ANSI X12 as used by the
+//! EDI codec: an ISA…IEA interchange containing one GS…GE functional group
+//! containing ST…SE transaction sets. Segments are `ID*elem1*elem2~`.
+//!
+//! Simplification vs. real X12 (documented in DESIGN.md): the ISA segment
+//! is parsed positionally like any other segment rather than by fixed
+//! column widths, and exactly one functional group per interchange is
+//! supported — the running example never needs more.
+
+mod parse;
+mod write;
+
+pub use parse::parse_interchange;
+pub use write::write_interchange;
+
+use crate::error::{DocumentError, Result};
+
+/// Element separator used on the wire.
+pub const ELEMENT_SEP: char = '*';
+/// Segment terminator used on the wire.
+pub const SEGMENT_TERM: char = '~';
+
+/// One EDI segment: identifier plus data elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment identifier (`ISA`, `BEG`, `PO1`, …).
+    pub id: String,
+    /// Data elements following the identifier.
+    pub elements: Vec<String>,
+}
+
+impl Segment {
+    /// Builds a segment from an id and elements.
+    pub fn new(id: &str, elements: &[&str]) -> Self {
+        Self { id: id.to_string(), elements: elements.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Element by 1-based X12 position (`elem(1)` is the first element
+    /// after the segment id, matching X12 documentation like "BEG03").
+    pub fn elem(&self, pos: usize) -> Option<&str> {
+        if pos == 0 {
+            return None;
+        }
+        self.elements.get(pos - 1).map(String::as_str)
+    }
+
+    /// Element by position, as an error if absent or empty.
+    pub fn require(&self, pos: usize) -> Result<&str> {
+        match self.elem(pos) {
+            Some(v) if !v.is_empty() => Ok(v),
+            _ => Err(DocumentError::Parse {
+                format: "edi-x12".into(),
+                offset: 0,
+                reason: format!("segment {} is missing element {:02}", self.id, pos),
+            }),
+        }
+    }
+}
+
+/// A parsed interchange: envelope metadata plus transaction-set segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interchange {
+    /// ISA06 sender id (trimmed).
+    pub sender: String,
+    /// ISA08 receiver id (trimmed).
+    pub receiver: String,
+    /// ISA13 interchange control number.
+    pub control_number: String,
+    /// GS01 functional identifier code (`PO` for 850, `PR` for 855).
+    pub functional_code: String,
+    /// ST01 transaction set identifier (`850`, `855`).
+    pub transaction_set: String,
+    /// The segments between ST and SE (exclusive).
+    pub segments: Vec<Segment>,
+}
+
+impl Interchange {
+    /// Creates an interchange wrapping one transaction set.
+    pub fn new(
+        sender: &str,
+        receiver: &str,
+        control_number: &str,
+        functional_code: &str,
+        transaction_set: &str,
+        segments: Vec<Segment>,
+    ) -> Self {
+        Self {
+            sender: sender.to_string(),
+            receiver: receiver.to_string(),
+            control_number: control_number.to_string(),
+            functional_code: functional_code.to_string(),
+            transaction_set: transaction_set.to_string(),
+            segments,
+        }
+    }
+
+    /// First body segment with the given id.
+    pub fn find(&self, id: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.id == id)
+    }
+
+    /// All body segments with the given id, in order.
+    pub fn find_all<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a Segment> + 'a {
+        self.segments.iter().filter(move |s| s.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_uses_x12_positions() {
+        let seg = Segment::new("BEG", &["00", "NE", "4711", "", "20010917"]);
+        assert_eq!(seg.elem(1), Some("00"));
+        assert_eq!(seg.elem(3), Some("4711"));
+        assert_eq!(seg.elem(0), None);
+        assert_eq!(seg.elem(9), None);
+        assert!(seg.require(3).is_ok());
+        assert!(seg.require(4).is_err(), "empty element is not acceptable");
+        assert!(seg.require(9).is_err());
+    }
+
+    #[test]
+    fn interchange_round_trips_through_wire_form() {
+        let ic = Interchange::new(
+            "ACME",
+            "GADGET",
+            "000000001",
+            "PO",
+            "850",
+            vec![
+                Segment::new("BEG", &["00", "NE", "4711", "", "20010917"]),
+                Segment::new("PO1", &["1", "12", "EA", "1.00", "", "VP", "LAPTOP-T23"]),
+                Segment::new("CTT", &["1"]),
+            ],
+        );
+        let wire = write_interchange(&ic);
+        let back = parse_interchange(&wire).unwrap();
+        assert_eq!(back, ic);
+    }
+}

@@ -1,0 +1,167 @@
+//! EDI interchange parsing with envelope validation.
+
+use super::{Interchange, Segment, ELEMENT_SEP, SEGMENT_TERM};
+use crate::error::{DocumentError, Result};
+
+fn err(offset: usize, reason: impl Into<String>) -> DocumentError {
+    DocumentError::Parse { format: "edi-x12".into(), offset, reason: reason.into() }
+}
+
+/// Splits raw wire text into segments.
+pub fn parse_segments(input: &str) -> Result<Vec<Segment>> {
+    let mut segments = Vec::new();
+    let mut offset = 0usize;
+    for raw in input.split(SEGMENT_TERM) {
+        // Only line terminators between segments are insignificant;
+        // spaces inside elements are data.
+        let trimmed = raw.trim_matches(|c| c == '\n' || c == '\r');
+        if trimmed.is_empty() {
+            offset += raw.len() + 1;
+            continue;
+        }
+        let mut parts = trimmed.split(ELEMENT_SEP);
+        let id = parts.next().expect("split yields at least one part");
+        if id.is_empty() || !id.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(err(offset, format!("bad segment id `{id}`")));
+        }
+        segments.push(Segment {
+            id: id.to_string(),
+            elements: parts.map(str::to_string).collect(),
+        });
+        offset += raw.len() + 1;
+    }
+    if segments.is_empty() {
+        return Err(err(0, "no segments"));
+    }
+    Ok(segments)
+}
+
+/// Parses a full interchange and validates the ISA/GS/ST…SE/GE/IEA
+/// envelope: ids, control-number agreement, and segment/transaction counts.
+pub fn parse_interchange(input: &str) -> Result<Interchange> {
+    let segments = parse_segments(input)?;
+    let mut it = segments.into_iter();
+
+    let isa = it.next().filter(|s| s.id == "ISA").ok_or_else(|| err(0, "expected ISA"))?;
+    let sender = isa.require(6)?.trim().to_string();
+    let receiver = isa.require(8)?.trim().to_string();
+    let icn = isa.require(13)?.to_string();
+
+    let gs = it.next().filter(|s| s.id == "GS").ok_or_else(|| err(0, "expected GS"))?;
+    let functional_code = gs.require(1)?.to_string();
+    let group_control = gs.require(6)?.to_string();
+
+    let st = it.next().filter(|s| s.id == "ST").ok_or_else(|| err(0, "expected ST"))?;
+    let transaction_set = st.require(1)?.to_string();
+    let st_control = st.require(2)?.to_string();
+
+    let mut body = Vec::new();
+    let mut seen_se = None;
+    for seg in it.by_ref() {
+        if seg.id == "SE" {
+            seen_se = Some(seg);
+            break;
+        }
+        body.push(seg);
+    }
+    let se = seen_se.ok_or_else(|| err(0, "missing SE"))?;
+    // SE01 counts every segment in the set including ST and SE.
+    let declared: usize = se
+        .require(1)?
+        .parse()
+        .map_err(|_| err(0, "SE01 must be a segment count"))?;
+    if declared != body.len() + 2 {
+        return Err(err(
+            0,
+            format!("SE01 declares {declared} segments, found {}", body.len() + 2),
+        ));
+    }
+    if se.require(2)? != st_control {
+        return Err(err(0, "SE02 does not match ST02"));
+    }
+
+    let ge = it.next().filter(|s| s.id == "GE").ok_or_else(|| err(0, "expected GE"))?;
+    if ge.require(1)? != "1" {
+        return Err(err(0, "GE01 must declare exactly one transaction set"));
+    }
+    if ge.require(2)? != group_control {
+        return Err(err(0, "GE02 does not match GS06"));
+    }
+
+    let iea = it.next().filter(|s| s.id == "IEA").ok_or_else(|| err(0, "expected IEA"))?;
+    if iea.require(2)? != icn {
+        return Err(err(0, "IEA02 does not match ISA13"));
+    }
+    if it.next().is_some() {
+        return Err(err(0, "content after IEA"));
+    }
+
+    Ok(Interchange {
+        sender,
+        receiver,
+        control_number: icn,
+        functional_code,
+        transaction_set,
+        segments: body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edi::write::write_interchange;
+
+    fn sample_wire() -> String {
+        write_interchange(&Interchange::new(
+            "ACME",
+            "GADGET",
+            "000000007",
+            "PO",
+            "850",
+            vec![
+                Segment::new("BEG", &["00", "NE", "4711", "", "20010917"]),
+                Segment::new("CTT", &["0"]),
+            ],
+        ))
+    }
+
+    #[test]
+    fn parses_valid_interchange() {
+        let ic = parse_interchange(&sample_wire()).unwrap();
+        assert_eq!(ic.sender, "ACME");
+        assert_eq!(ic.transaction_set, "850");
+        assert_eq!(ic.segments.len(), 2);
+    }
+
+    #[test]
+    fn rejects_wrong_segment_count() {
+        let wire = sample_wire().replace("SE*4*", "SE*9*");
+        let e = parse_interchange(&wire).unwrap_err();
+        assert!(e.to_string().contains("declares 9"));
+    }
+
+    #[test]
+    fn rejects_control_number_mismatch() {
+        let wire = sample_wire().replace("IEA*1*000000007", "IEA*1*000000099");
+        assert!(parse_interchange(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_envelope_parts() {
+        assert!(parse_interchange("BEG*00*NE*1~").is_err());
+        assert!(parse_interchange("").is_err());
+        let no_se: String = sample_wire()
+            .split('~')
+            .filter(|s| !s.trim_start().starts_with("SE"))
+            .collect::<Vec<_>>()
+            .join("~");
+        assert!(parse_interchange(&no_se).is_err());
+    }
+
+    #[test]
+    fn segment_split_ignores_blank_lines() {
+        let segs = parse_segments("A*1~\n\nB*2~\n").unwrap();
+        assert_eq!(segs.len(), 2);
+        assert!(parse_segments("*oops~").is_err());
+    }
+}

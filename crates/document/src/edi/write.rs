@@ -1,0 +1,89 @@
+//! EDI interchange serialization.
+
+use super::{Interchange, Segment, ELEMENT_SEP, SEGMENT_TERM};
+
+/// Serializes one segment.
+fn write_segment(seg: &Segment, out: &mut String) {
+    out.push_str(&seg.id);
+    for el in &seg.elements {
+        out.push(ELEMENT_SEP);
+        out.push_str(el);
+    }
+    out.push(SEGMENT_TERM);
+    out.push('\n');
+}
+
+/// Serializes a full interchange, generating the ISA/GS/ST…SE/GE/IEA
+/// envelope with consistent control numbers and counts.
+pub fn write_interchange(ic: &Interchange) -> String {
+    let mut out = String::with_capacity(256 + ic.segments.len() * 40);
+    let st_control = "0001";
+    write_segment(
+        &Segment::new(
+            "ISA",
+            &[
+                "00", "          ", // authorization qualifier + info
+                "00", "          ", // security qualifier + info
+                "ZZ", &ic.sender,
+                "ZZ", &ic.receiver,
+                "010917", "1200", "U", "00401",
+                &ic.control_number,
+                "0", "P", ">",
+            ],
+        ),
+        &mut out,
+    );
+    write_segment(
+        &Segment::new(
+            "GS",
+            &[
+                &ic.functional_code,
+                &ic.sender,
+                &ic.receiver,
+                "20010917",
+                "1200",
+                &ic.control_number,
+                "X",
+                "004010",
+            ],
+        ),
+        &mut out,
+    );
+    write_segment(&Segment::new("ST", &[&ic.transaction_set, st_control]), &mut out);
+    for seg in &ic.segments {
+        write_segment(seg, &mut out);
+    }
+    let count = ic.segments.len() + 2;
+    write_segment(&Segment::new("SE", &[&count.to_string(), st_control]), &mut out);
+    write_segment(&Segment::new("GE", &["1", &ic.control_number]), &mut out);
+    write_segment(&Segment::new("IEA", &["1", &ic.control_number]), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_counts_are_consistent() {
+        let ic = Interchange::new(
+            "S",
+            "R",
+            "000000042",
+            "PO",
+            "850",
+            vec![Segment::new("BEG", &["00", "NE", "1"])],
+        );
+        let wire = write_interchange(&ic);
+        assert!(wire.contains("SE*3*0001~"), "{wire}");
+        assert!(wire.contains("IEA*1*000000042~"));
+        assert!(wire.starts_with("ISA*"));
+        assert!(wire.trim_end().ends_with('~'));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let ic = Interchange::new("S", "R", "1", "PO", "850", vec![]);
+        assert_eq!(write_interchange(&ic), write_interchange(&ic));
+    }
+}

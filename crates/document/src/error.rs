@@ -1,0 +1,76 @@
+//! Error type shared across the document crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DocumentError>;
+
+/// Errors raised while building, addressing, validating, encoding, or
+/// decoding documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocumentError {
+    /// A field path string could not be parsed.
+    PathSyntax { path: String, reason: String },
+    /// A path did not resolve against a document.
+    PathNotFound { path: String },
+    /// A value had a different type than the operation required.
+    TypeMismatch { expected: &'static str, found: &'static str, at: String },
+    /// Schema validation failed (carries the first violation for context).
+    Invalid { kind: String, detail: String },
+    /// Wire-format parse failure.
+    Parse { format: String, offset: usize, reason: String },
+    /// Wire-format encode failure (document missing required content).
+    Encode { format: String, reason: String },
+    /// No codec registered for the requested format.
+    UnknownFormat { format: String },
+    /// The codec does not handle the requested document kind.
+    UnsupportedKind { format: String, kind: String },
+    /// Money arithmetic crossed currencies or overflowed.
+    Money { reason: String },
+    /// A calendar date was out of range.
+    Date { reason: String },
+}
+
+impl fmt::Display for DocumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PathSyntax { path, reason } => {
+                write!(f, "invalid field path `{path}`: {reason}")
+            }
+            Self::PathNotFound { path } => write!(f, "path `{path}` not found in document"),
+            Self::TypeMismatch { expected, found, at } => {
+                write!(f, "expected {expected} at `{at}`, found {found}")
+            }
+            Self::Invalid { kind, detail } => write!(f, "invalid {kind} document: {detail}"),
+            Self::Parse { format, offset, reason } => {
+                write!(f, "{format} parse error at byte {offset}: {reason}")
+            }
+            Self::Encode { format, reason } => write!(f, "{format} encode error: {reason}"),
+            Self::UnknownFormat { format } => write!(f, "no codec registered for format `{format}`"),
+            Self::UnsupportedKind { format, kind } => {
+                write!(f, "format `{format}` does not support document kind `{kind}`")
+            }
+            Self::Money { reason } => write!(f, "money error: {reason}"),
+            Self::Date { reason } => write!(f, "date error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DocumentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DocumentError::PathNotFound { path: "header.amount".into() };
+        assert!(e.to_string().contains("header.amount"));
+        let e = DocumentError::Parse {
+            format: "edi-x12".into(),
+            offset: 17,
+            reason: "missing segment terminator".into(),
+        };
+        assert!(e.to_string().contains("byte 17"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Format identities, codecs, and the format registry.
+//!
+//! A *format* is a document shape plus a wire syntax: EDI X12, RosettaNet,
+//! OAGIS, the SAP and Oracle back-end formats, and the internal normalized
+//! format. Each built-in format is implemented in its own module; new
+//! formats can be added by implementing [`FormatCodec`] and registering it —
+//! without touching any other layer, which is exactly the locality-of-change
+//! property the paper claims for the advanced architecture.
+
+mod edi_x12;
+mod oagis;
+mod oracle_apps;
+mod registry;
+mod rosettanet;
+mod sap_idoc;
+mod util;
+
+pub use edi_x12::{sample_edi_po, EdiX12Codec, ACK_ACCEPT, ACK_CHANGED, ACK_REJECT};
+pub use oagis::{sample_oagis_po, OagisCodec, OAGIS_ACCEPT, OAGIS_MODIFIED, OAGIS_REJECT};
+pub use oracle_apps::{sample_oracle_po, OracleAppsCodec, ORA_ACCEPT, ORA_MODIFIED, ORA_REJECT};
+pub use registry::FormatRegistry;
+pub use rosettanet::{sample_rn_po, RosettaNetCodec, RN_ACCEPT, RN_MODIFY, RN_REJECT};
+pub use sap_idoc::{sample_sap_po, SapIdocCodec, SAP_ACCEPT, SAP_CHANGED, SAP_REJECT};
+
+use crate::document::{DocKind, Document};
+use crate::error::Result;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// Identifies a document format.
+///
+/// Built-in formats are available as constants; partner- or application-
+/// specific formats can be minted at runtime with [`FormatId::custom`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FormatId(Cow<'static, str>);
+
+impl FormatId {
+    /// The internal normalized format all private processes operate on.
+    pub const NORMALIZED: FormatId = FormatId(Cow::Borrowed("normalized"));
+    /// EDI X12 (850/855 style).
+    pub const EDI_X12: FormatId = FormatId(Cow::Borrowed("edi-x12"));
+    /// RosettaNet PIP documents.
+    pub const ROSETTANET: FormatId = FormatId(Cow::Borrowed("rosettanet"));
+    /// OAGIS business object documents.
+    pub const OAGIS: FormatId = FormatId(Cow::Borrowed("oagis"));
+    /// SAP IDoc-style back-end format.
+    pub const SAP_IDOC: FormatId = FormatId(Cow::Borrowed("sap-idoc"));
+    /// Oracle-applications-style back-end format.
+    pub const ORACLE_APPS: FormatId = FormatId(Cow::Borrowed("oracle-apps"));
+
+    /// Mints a format id for a custom format.
+    pub fn custom(name: impl Into<String>) -> Self {
+        Self(Cow::Owned(name.into()))
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for FormatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Encodes and decodes documents of one format to and from wire bytes.
+pub trait FormatCodec: Send + Sync {
+    /// The format this codec implements.
+    fn format(&self) -> FormatId;
+
+    /// Document kinds the codec can carry.
+    fn supported_kinds(&self) -> Vec<DocKind>;
+
+    /// Serializes a document (whose body must follow this format's shape).
+    fn encode(&self, doc: &Document) -> Result<Vec<u8>>;
+
+    /// Parses wire bytes into a format-shaped document.
+    fn decode(&self, bytes: &[u8]) -> Result<Document>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_distinct() {
+        let all = [
+            FormatId::NORMALIZED,
+            FormatId::EDI_X12,
+            FormatId::ROSETTANET,
+            FormatId::OAGIS,
+            FormatId::SAP_IDOC,
+            FormatId::ORACLE_APPS,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_ids_compare_by_name() {
+        assert_eq!(FormatId::custom("edifact"), FormatId::custom("edifact"));
+        assert_ne!(FormatId::custom("edifact"), FormatId::EDI_X12);
+        assert_eq!(FormatId::custom("normalized"), FormatId::NORMALIZED);
+    }
+}

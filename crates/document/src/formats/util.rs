@@ -1,0 +1,66 @@
+//! Helpers shared by the format codecs.
+
+use crate::error::{DocumentError, Result};
+use crate::money::{Currency, Money};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Formats money as a bare decimal string (`550.00`), as EDI and the XML
+/// standards carry amounts without an inline currency code.
+pub fn money_to_decimal(m: Money) -> String {
+    let sign = if m.cents() < 0 { "-" } else { "" };
+    let abs = m.cents().unsigned_abs();
+    format!("{sign}{}.{:02}", abs / 100, abs % 100)
+}
+
+/// Parses a bare decimal amount with an out-of-band currency.
+pub fn decimal_to_money(text: &str, currency: Currency, format: &str) -> Result<Money> {
+    Money::parse(&format!("{text} {}", currency.code())).map_err(|e| DocumentError::Parse {
+        format: format.to_string(),
+        offset: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Parses an integer element.
+pub fn parse_int(text: &str, what: &str, format: &str) -> Result<i64> {
+    text.parse().map_err(|_| DocumentError::Parse {
+        format: format.to_string(),
+        offset: 0,
+        reason: format!("{what} `{text}` is not an integer"),
+    })
+}
+
+/// Reads a required record field (codec-internal; paths are static).
+pub fn field<'v>(rec: &'v BTreeMap<String, Value>, name: &str, format: &str) -> Result<&'v Value> {
+    rec.get(name).ok_or_else(|| DocumentError::Encode {
+        format: format.to_string(),
+        reason: format!("missing field `{name}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_round_trip() {
+        let m = Money::from_cents(5_500_000, Currency::Usd);
+        let text = money_to_decimal(m);
+        assert_eq!(text, "55000.00");
+        assert_eq!(decimal_to_money(&text, Currency::Usd, "t").unwrap(), m);
+    }
+
+    #[test]
+    fn negative_amounts() {
+        let m = Money::from_cents(-101, Currency::Eur);
+        assert_eq!(money_to_decimal(m), "-1.01");
+        assert_eq!(decimal_to_money("-1.01", Currency::Eur, "t").unwrap(), m);
+    }
+
+    #[test]
+    fn parse_int_reports_context() {
+        let e = parse_int("x", "quantity", "edi-x12").unwrap_err();
+        assert!(e.to_string().contains("quantity"));
+    }
+}

@@ -1,0 +1,219 @@
+//! The dynamic value tree that documents are made of.
+
+use crate::date::Date;
+use crate::error::{DocumentError, Result};
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A node in a document tree.
+///
+/// Records use a `BTreeMap` so that document comparison, hashing of
+/// definitions, and serialized snapshots are deterministic — the change-
+/// management experiments depend on stable structural hashes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Explicit absence (distinct from a missing field).
+    Null,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer (quantities, control numbers).
+    Int(i64),
+    /// Exact monetary amount.
+    Money(Money),
+    /// Free text (names, codes, identifiers).
+    Text(String),
+    /// Calendar date.
+    Date(Date),
+    /// Ordered collection (e.g. purchase-order lines).
+    List(Vec<Value>),
+    /// Named fields.
+    Record(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::Int(_) => "int",
+            Self::Money(_) => "money",
+            Self::Text(_) => "text",
+            Self::Date(_) => "date",
+            Self::List(_) => "list",
+            Self::Record(_) => "record",
+        }
+    }
+
+    /// Builds an empty record.
+    pub fn record() -> Self {
+        Self::Record(BTreeMap::new())
+    }
+
+    /// Builds a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Self::Text(s.into())
+    }
+
+    /// Extracts a bool or reports a type mismatch at `at`.
+    pub fn as_bool(&self, at: &str) -> Result<bool> {
+        match self {
+            Self::Bool(b) => Ok(*b),
+            other => Err(mismatch("bool", other, at)),
+        }
+    }
+
+    /// Extracts an integer or reports a type mismatch at `at`.
+    pub fn as_int(&self, at: &str) -> Result<i64> {
+        match self {
+            Self::Int(i) => Ok(*i),
+            other => Err(mismatch("int", other, at)),
+        }
+    }
+
+    /// Extracts a money amount or reports a type mismatch at `at`.
+    pub fn as_money(&self, at: &str) -> Result<Money> {
+        match self {
+            Self::Money(m) => Ok(*m),
+            other => Err(mismatch("money", other, at)),
+        }
+    }
+
+    /// Extracts text or reports a type mismatch at `at`.
+    pub fn as_text(&self, at: &str) -> Result<&str> {
+        match self {
+            Self::Text(s) => Ok(s),
+            other => Err(mismatch("text", other, at)),
+        }
+    }
+
+    /// Extracts a date or reports a type mismatch at `at`.
+    pub fn as_date(&self, at: &str) -> Result<Date> {
+        match self {
+            Self::Date(d) => Ok(*d),
+            other => Err(mismatch("date", other, at)),
+        }
+    }
+
+    /// Extracts a list or reports a type mismatch at `at`.
+    pub fn as_list(&self, at: &str) -> Result<&[Value]> {
+        match self {
+            Self::List(items) => Ok(items),
+            other => Err(mismatch("list", other, at)),
+        }
+    }
+
+    /// Extracts a record or reports a type mismatch at `at`.
+    pub fn as_record(&self, at: &str) -> Result<&BTreeMap<String, Value>> {
+        match self {
+            Self::Record(fields) => Ok(fields),
+            other => Err(mismatch("record", other, at)),
+        }
+    }
+
+    /// Mutable record access.
+    pub fn as_record_mut(&mut self, at: &str) -> Result<&mut BTreeMap<String, Value>> {
+        match self {
+            Self::Record(fields) => Ok(fields),
+            other => Err(mismatch("record", other, at)),
+        }
+    }
+
+    /// Number of leaf values in the tree (used by model-size metrics).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Self::List(items) => items.iter().map(Value::leaf_count).sum(),
+            Self::Record(fields) => fields.values().map(Value::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+}
+
+fn mismatch(expected: &'static str, found: &Value, at: &str) -> DocumentError {
+    DocumentError::TypeMismatch { expected, found: found.type_name(), at: at.to_string() }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Null => f.write_str("null"),
+            Self::Bool(b) => write!(f, "{b}"),
+            Self::Int(i) => write!(f, "{i}"),
+            Self::Money(m) => write!(f, "{m}"),
+            Self::Text(s) => write!(f, "{s:?}"),
+            Self::Date(d) => write!(f, "{d}"),
+            Self::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Self::Record(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Convenience macro for building record values in tests and builders.
+#[macro_export]
+macro_rules! record {
+    ($($key:expr => $val:expr),* $(,)?) => {{
+        let mut fields = ::std::collections::BTreeMap::new();
+        $(fields.insert(::std::string::String::from($key), $val);)*
+        $crate::value::Value::Record(fields)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Currency;
+
+    #[test]
+    fn accessors_enforce_types() {
+        let v = Value::Int(7);
+        assert_eq!(v.as_int("x").unwrap(), 7);
+        let err = v.as_text("x").unwrap_err();
+        assert!(err.to_string().contains("expected text"));
+    }
+
+    #[test]
+    fn record_macro_builds_sorted_fields() {
+        let v = record! { "b" => Value::Int(2), "a" => Value::Int(1) };
+        let rec = v.as_record("v").unwrap();
+        let keys: Vec<_> = rec.keys().cloned().collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn leaf_count_walks_nesting() {
+        let v = record! {
+            "header" => record! { "n" => Value::text("1") },
+            "lines" => Value::List(vec![
+                record! { "q" => Value::Int(1), "p" => Value::Money(Money::from_units(5, Currency::Usd)) },
+                record! { "q" => Value::Int(2), "p" => Value::Money(Money::from_units(6, Currency::Usd)) },
+            ]),
+        };
+        assert_eq!(v.leaf_count(), 5);
+    }
+
+    #[test]
+    fn display_renders_nested() {
+        let v = record! { "a" => Value::List(vec![Value::Int(1), Value::Bool(true)]) };
+        assert_eq!(v.to_string(), "{a: [1, true]}");
+    }
+}

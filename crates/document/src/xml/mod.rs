@@ -1,0 +1,126 @@
+//! Minimal XML reader and writer.
+//!
+//! RosettaNet and OAGIS messages are XML on the wire. We only need the
+//! subset those codecs produce: elements, attributes, character data, and
+//! the five predefined entities. Comments and processing instructions are
+//! skipped on input; DTDs, namespaces-as-semantics, and CDATA are out of
+//! scope (the codecs never emit them).
+
+mod parse;
+mod write;
+
+pub use parse::parse_element;
+pub use write::write_element;
+
+use std::collections::BTreeMap;
+
+/// An XML element: name, attributes, children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in deterministic (sorted) order.
+    pub attrs: BTreeMap<String, String>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A node in an XML tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// Nested element.
+    Element(XmlElement),
+    /// Character data (entity-decoded).
+    Text(String),
+}
+
+impl XmlElement {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), attrs: BTreeMap::new(), children: Vec::new() }
+    }
+
+    /// Creates an element containing a single text node.
+    pub fn with_text(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let mut el = Self::new(name);
+        el.children.push(XmlNode::Text(text.into()));
+        el
+    }
+
+    /// Adds an attribute, builder style.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.insert(name.into(), value.into());
+        self
+    }
+
+    /// Adds a child element, builder style.
+    pub fn child(mut self, child: XmlElement) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find_map(|n| match n {
+            XmlNode::Element(el) if el.name == name => Some(el),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given name, in order.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            XmlNode::Element(el) if el.name == name => Some(el),
+            _ => None,
+        })
+    }
+
+    /// Concatenated direct text content, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let XmlNode::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Text content of the first child element with the given name.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.find(name).map(XmlElement::text)
+    }
+
+    /// Serializes the element to a string (no XML declaration).
+    pub fn to_xml(&self) -> String {
+        write_element(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let el = XmlElement::new("Pip3A4PurchaseOrderRequest")
+            .attr("version", "2.0")
+            .child(XmlElement::with_text("GlobalDocumentFunctionCode", "Request"))
+            .child(XmlElement::with_text("Line", "a"))
+            .child(XmlElement::with_text("Line", "b"));
+        assert_eq!(el.child_text("GlobalDocumentFunctionCode").as_deref(), Some("Request"));
+        assert_eq!(el.find_all("Line").count(), 2);
+        assert_eq!(el.attrs.get("version").map(String::as_str), Some("2.0"));
+        assert!(el.find("Missing").is_none());
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let el = XmlElement::new("a")
+            .attr("k", "v & \"w\"")
+            .child(XmlElement::with_text("b", "x < y"));
+        let text = el.to_xml();
+        let back = parse_element(&text).unwrap();
+        assert_eq!(back, el);
+    }
+}

@@ -1,0 +1,274 @@
+//! Recursive-descent XML parser for the subset the codecs emit.
+
+use super::{XmlElement, XmlNode};
+use crate::error::{DocumentError, Result};
+
+/// Parses a complete XML document (optionally preceded by an XML
+/// declaration) into its root element.
+pub fn parse_element(input: &str) -> Result<XmlElement> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_prolog();
+    let el = p.element()?;
+    p.skip_ws_and_misc();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(el)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &str) -> DocumentError {
+        DocumentError::Parse { format: "xml".into(), offset: self.pos, reason: reason.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_ws_and_misc();
+        if self.starts_with("<?xml") {
+            if let Some(end) = find(self.input, self.pos, "?>") {
+                self.pos = end + 2;
+            }
+        }
+        self.skip_ws_and_misc();
+    }
+
+    fn skip_ws_and_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.input, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match find(self.input, self.pos + 2, "?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn element(&mut self) -> Result<XmlElement> {
+        self.expect(b'<')?;
+        let name = self.name()?;
+        let mut el = XmlElement::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    el.attrs.insert(attr_name, decode_entities(&raw, self.pos)?);
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content until the matching end tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.name()?;
+                if end_name != el.name {
+                    return Err(self.err(&format!(
+                        "mismatched end tag `</{end_name}>` for `<{}>`",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(el);
+            } else if self.starts_with("<!--") {
+                match find(self.input, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.peek() == Some(b'<') {
+                el.children.push(XmlNode::Element(self.element()?));
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let text = decode_entities(&raw, start)?;
+                if !text.trim().is_empty() {
+                    el.children.push(XmlNode::Text(text));
+                }
+            } else {
+                return Err(self.err(&format!("unterminated element `<{}>`", el.name)));
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let needle = needle.as_bytes();
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+fn decode_entities(raw: &str, offset: usize) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| DocumentError::Parse {
+            format: "xml".into(),
+            offset,
+            reason: "unterminated entity".into(),
+        })?;
+        let entity = &after[..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other => {
+                return Err(DocumentError::Parse {
+                    format: "xml".into(),
+                    offset,
+                    reason: format!("unknown entity `&{other};`"),
+                })
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attrs() {
+        let el = parse_element(
+            r#"<?xml version="1.0"?>
+            <!-- envelope -->
+            <po id="4711">
+              <line n='1'>laptop</line>
+              <line n='2'>mouse</line>
+              <empty/>
+            </po>"#,
+        )
+        .unwrap();
+        assert_eq!(el.name, "po");
+        assert_eq!(el.attrs["id"], "4711");
+        assert_eq!(el.find_all("line").count(), 2);
+        assert_eq!(el.find("line").unwrap().text(), "laptop");
+        assert!(el.find("empty").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let el = parse_element("<a b=\"&lt;&amp;&gt;\">x &quot;y&quot; &apos;z&apos;</a>").unwrap();
+        assert_eq!(el.attrs["b"], "<&>");
+        assert_eq!(el.text(), "x \"y\" 'z'");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_element("<a><b></a></b>").is_err());
+        assert!(parse_element("<a>").is_err());
+        assert!(parse_element("<a></a><b></b>").is_err());
+        assert!(parse_element("<a x=unquoted></a>").is_err());
+        assert!(parse_element("<a>&bogus;</a>").is_err());
+        assert!(parse_element("").is_err());
+    }
+
+    #[test]
+    fn skips_comments_inside_content() {
+        let el = parse_element("<a>x<!-- hidden -->y</a>").unwrap();
+        assert_eq!(el.text(), "xy");
+    }
+}

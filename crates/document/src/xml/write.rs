@@ -1,0 +1,79 @@
+//! XML serialization with entity escaping.
+
+use super::{XmlElement, XmlNode};
+
+/// Serializes an element tree (no XML declaration, no pretty-printing —
+/// deterministic byte-for-byte output for a given tree).
+pub fn write_element(el: &XmlElement) -> String {
+    let mut out = String::with_capacity(256);
+    write_into(el, &mut out);
+    out
+}
+
+fn write_into(el: &XmlElement, out: &mut String) {
+    out.push('<');
+    out.push_str(&el.name);
+    for (name, value) in &el.attrs {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_into(value, true, out);
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &el.children {
+        match child {
+            XmlNode::Element(e) => write_into(e, out),
+            XmlNode::Text(t) => escape_into(t, false, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+fn escape_into(text: &str, in_attr: bool, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(write_element(&XmlElement::new("a")), "<a/>");
+    }
+
+    #[test]
+    fn attributes_are_sorted_and_escaped() {
+        let el = XmlElement::new("a").attr("z", "1").attr("b", "x\"y<z");
+        assert_eq!(write_element(&el), "<a b=\"x&quot;y&lt;z\" z=\"1\"/>");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let el = XmlElement::with_text("a", "1 < 2 & 3 > 2");
+        assert_eq!(write_element(&el), "<a>1 &lt; 2 &amp; 3 &gt; 2</a>");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let el = XmlElement::new("root")
+            .child(XmlElement::with_text("x", "1"))
+            .child(XmlElement::with_text("y", "2"));
+        assert_eq!(write_element(&el), write_element(&el));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the wire syntaxes: arbitrary trees and segment sets
+//! survive their encodings.
+
+use b2b_document::edi::{parse_interchange, write_interchange, Interchange, Segment};
+use b2b_document::xml::{parse_element, XmlElement, XmlNode};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// XML.
+
+fn xml_text() -> impl Strategy<Value = String> {
+    // Includes the characters that need escaping.
+    "[ -~]{1,20}".prop_map(|s| s.replace('\r', " "))
+}
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,12}"
+}
+
+fn xml_tree() -> impl Strategy<Value = XmlElement> {
+    let leaf = (xml_name(), prop::option::of(xml_text())).prop_map(|(name, text)| {
+        let mut el = XmlElement::new(name);
+        if let Some(t) = text {
+            // The parser drops whitespace-only text nodes; keep them
+            // meaningful.
+            if !t.trim().is_empty() {
+                el.children.push(XmlNode::Text(t));
+            }
+        }
+        el
+    });
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        (
+            xml_name(),
+            prop::collection::btree_map(xml_name(), xml_text(), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = XmlElement::new(name);
+                el.attrs = attrs;
+                for child in children {
+                    el.children.push(XmlNode::Element(child));
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn xml_write_parse_roundtrip(el in xml_tree()) {
+        let text = el.to_xml();
+        let back = parse_element(&text).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_element(&input);
+    }
+}
+
+// ---------------------------------------------------------------------
+// EDI.
+
+fn edi_element() -> impl Strategy<Value = String> {
+    // Any printable characters except the structural ones.
+    "[A-Za-z0-9 .,;:+/_-]{0,12}"
+}
+
+fn edi_segment() -> impl Strategy<Value = Segment> {
+    ("[A-Z0-9]{2,3}", prop::collection::vec(edi_element(), 0..8)).prop_map(|(id, elements)| {
+        Segment { id, elements }
+    })
+}
+
+proptest! {
+    #[test]
+    fn edi_interchange_roundtrip(
+        sender in "[A-Z]{2,10}",
+        receiver in "[A-Z]{2,10}",
+        control in "[0-9]{9}",
+        segments in prop::collection::vec(edi_segment(), 0..10),
+    ) {
+        // Body segments must not collide with envelope ids.
+        let segments: Vec<Segment> = segments
+            .into_iter()
+            .filter(|s| !matches!(s.id.as_str(), "ISA" | "GS" | "ST" | "SE" | "GE" | "IEA"))
+            .map(|mut s| {
+                // Trailing empty elements are not canonical on the wire
+                // (A*B*~ parses back as one element fewer); trim them.
+                while s.elements.last().map(String::as_str) == Some("") {
+                    s.elements.pop();
+                }
+                s
+            })
+            .collect();
+        let ic = Interchange::new(&sender, &receiver, &control, "PO", "850", segments);
+        let wire = write_interchange(&ic);
+        let back = parse_interchange(&wire).unwrap();
+        prop_assert_eq!(back, ic);
+    }
+
+    #[test]
+    fn edi_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_interchange(&input);
+    }
+}

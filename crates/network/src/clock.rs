@@ -1,0 +1,68 @@
+//! Logical simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Milliseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Self(ms)
+    }
+
+    /// As milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in milliseconds.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+impl Sub<u64> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, ms: u64) -> SimTime {
+        SimTime(self.0.saturating_sub(ms))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = SimTime::ZERO + 100;
+        assert_eq!(t.as_millis(), 100);
+        assert!(t > SimTime::ZERO);
+        assert_eq!((t + 50).since(t), 50);
+        assert_eq!(t.since(t + 50), 0, "since saturates");
+        assert_eq!((t - 200).as_millis(), 0, "sub saturates");
+    }
+}

@@ -1,0 +1,81 @@
+//! Fault-injection configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and delays applied to every transmitted envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a message is silently dropped.
+    pub loss: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a single payload byte is flipped in transit.
+    pub corrupt: f64,
+    /// Minimum one-way latency in milliseconds.
+    pub min_delay_ms: u64,
+    /// Maximum one-way latency in milliseconds; the spread produces
+    /// reordering when it exceeds the send spacing.
+    pub max_delay_ms: u64,
+}
+
+impl FaultConfig {
+    /// A perfect network: zero loss, zero duplication, fixed 1 ms latency.
+    pub fn reliable() -> Self {
+        Self { loss: 0.0, duplicate: 0.0, corrupt: 0.0, min_delay_ms: 1, max_delay_ms: 1 }
+    }
+
+    /// A flaky WAN profile used by the messaging experiments.
+    pub fn flaky(loss: f64) -> Self {
+        Self {
+            loss,
+            duplicate: loss / 2.0,
+            corrupt: 0.0,
+            min_delay_ms: 10,
+            max_delay_ms: 120,
+        }
+    }
+
+    /// Validates that probabilities are in range and delays ordered.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [("loss", self.loss), ("duplicate", self.duplicate), ("corrupt", self.corrupt)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} probability {p} out of [0,1]"));
+            }
+        }
+        if self.min_delay_ms > self.max_delay_ms {
+            return Err(format!(
+                "min_delay_ms {} exceeds max_delay_ms {}",
+                self.min_delay_ms, self.max_delay_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        FaultConfig::reliable().validate().unwrap();
+        FaultConfig::flaky(0.2).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = FaultConfig::reliable();
+        c.loss = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = FaultConfig::reliable();
+        c.min_delay_ms = 10;
+        c.max_delay_ms = 5;
+        assert!(c.validate().is_err());
+    }
+}

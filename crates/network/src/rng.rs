@@ -1,0 +1,98 @@
+//! Deterministic pseudo-randomness for the simulator.
+//!
+//! A SplitMix64 generator: tiny, fast, and good enough for fault injection.
+//! Implemented locally (rather than via the `rand` crate) so that network
+//! behaviour is bit-for-bit reproducible from a seed across rand versions.
+
+/// SplitMix64 PRNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(43);
+        assert_ne!(SimRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn range_is_inclusive_and_covers() {
+        let mut rng = SimRng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.range(10, 14);
+            assert!((10..=14).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range hit");
+        assert_eq!(rng.range(3, 3), 3);
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches() {
+        let mut rng = SimRng::new(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+}

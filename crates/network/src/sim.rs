@@ -1,0 +1,315 @@
+//! The discrete-event network simulator.
+
+use crate::clock::SimTime;
+use crate::error::{NetworkError, Result};
+use crate::fault::FaultConfig;
+use crate::message::{EndpointId, Envelope};
+use crate::rng::SimRng;
+use bytes::Bytes;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Counters describing what the network did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Envelopes handed to `send`.
+    pub sent: u64,
+    /// Envelopes delivered to inboxes (duplicates count).
+    pub delivered: u64,
+    /// Envelopes dropped by fault injection.
+    pub lost: u64,
+    /// Extra copies delivered by duplication.
+    pub duplicated: u64,
+    /// Payloads with a corrupted byte.
+    pub corrupted: u64,
+}
+
+/// An in-flight envelope ordered by delivery time (min-heap via reversed
+/// ordering; ties broken by sequence for determinism).
+struct InFlight {
+    deliver_at: SimTime,
+    seq: u64,
+    envelope: Envelope,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic simulated network connecting named endpoints.
+///
+/// Single-threaded discrete-event design: `send` enqueues with a sampled
+/// delay and fault decisions, `advance` moves logical time forward and
+/// moves due envelopes into per-endpoint inboxes, `poll` drains an inbox.
+pub struct SimNetwork {
+    now: SimTime,
+    rng: SimRng,
+    config: FaultConfig,
+    in_flight: BinaryHeap<InFlight>,
+    inboxes: BTreeMap<EndpointId, VecDeque<Envelope>>,
+    stats: NetworkStats,
+    seq: u64,
+}
+
+impl SimNetwork {
+    /// Creates a network with the given fault profile and RNG seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        config.validate().expect("fault config must be valid");
+        Self {
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            config,
+            in_flight: BinaryHeap::new(),
+            inboxes: BTreeMap::new(),
+            stats: NetworkStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Registers an endpoint; ids must be unique.
+    pub fn register(&mut self, endpoint: EndpointId) -> Result<()> {
+        if self.inboxes.contains_key(&endpoint) {
+            return Err(NetworkError::DuplicateEndpoint { endpoint: endpoint.to_string() });
+        }
+        self.inboxes.insert(endpoint, VecDeque::new());
+        Ok(())
+    }
+
+    /// Hands an envelope to the network. Fault decisions (loss,
+    /// duplication, corruption, latency) are made here, deterministically
+    /// from the seed.
+    pub fn send(&mut self, envelope: Envelope) -> Result<()> {
+        if !self.inboxes.contains_key(&envelope.to) {
+            return Err(NetworkError::UnknownEndpoint { endpoint: envelope.to.to_string() });
+        }
+        self.stats.sent += 1;
+        if self.rng.chance(self.config.loss) {
+            self.stats.lost += 1;
+            return Ok(());
+        }
+        let copies = if self.rng.chance(self.config.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = self.rng.range(self.config.min_delay_ms, self.config.max_delay_ms);
+            let mut env = envelope.clone();
+            if !env.payload.is_empty() && self.rng.chance(self.config.corrupt) {
+                self.stats.corrupted += 1;
+                let mut bytes = env.payload.to_vec();
+                let at = (self.rng.next_u64() as usize) % bytes.len();
+                bytes[at] ^= 0x20;
+                env.payload = Bytes::from(bytes);
+            }
+            self.seq += 1;
+            self.in_flight.push(InFlight { deliver_at: self.now + delay, seq: self.seq, envelope: env });
+        }
+        Ok(())
+    }
+
+    /// Advances logical time by `ms`, delivering everything due.
+    pub fn advance(&mut self, ms: u64) {
+        self.now = self.now + ms;
+        while let Some(top) = self.in_flight.peek() {
+            if top.deliver_at > self.now {
+                break;
+            }
+            let item = self.in_flight.pop().expect("peeked");
+            self.stats.delivered += 1;
+            self.inboxes
+                .get_mut(&item.envelope.to)
+                .expect("validated at send")
+                .push_back(item.envelope);
+        }
+    }
+
+    /// Drains the inbox of an endpoint.
+    pub fn poll(&mut self, endpoint: &EndpointId) -> Result<Vec<Envelope>> {
+        let inbox = self.inboxes.get_mut(endpoint).ok_or_else(|| {
+            NetworkError::UnknownEndpoint { endpoint: endpoint.to_string() }
+        })?;
+        Ok(inbox.drain(..).collect())
+    }
+
+    /// Whether any envelope is still in flight or queued in an inbox.
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty() && self.inboxes.values().all(VecDeque::is_empty)
+    }
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight.len())
+            .field("endpoints", &self.inboxes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::FormatId;
+
+    fn endpoints(net: &mut SimNetwork) -> (EndpointId, EndpointId) {
+        let a = EndpointId::new("acme");
+        let b = EndpointId::new("gadget");
+        net.register(a.clone()).unwrap();
+        net.register(b.clone()).unwrap();
+        (a, b)
+    }
+
+    fn msg(from: &EndpointId, to: &EndpointId, now: SimTime) -> Envelope {
+        Envelope::payload(
+            from.clone(),
+            to.clone(),
+            FormatId::EDI_X12,
+            Bytes::from_static(b"hello"),
+            now,
+        )
+    }
+
+    #[test]
+    fn reliable_network_delivers_in_order() {
+        let mut net = SimNetwork::new(FaultConfig::reliable(), 1);
+        let (a, b) = endpoints(&mut net);
+        for _ in 0..5 {
+            net.send(msg(&a, &b, net.now())).unwrap();
+        }
+        net.advance(10);
+        let got = net.poll(&b).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(net.idle());
+        assert_eq!(net.stats().delivered, 5);
+    }
+
+    #[test]
+    fn nothing_delivered_before_latency() {
+        let mut net = SimNetwork::new(
+            FaultConfig { min_delay_ms: 100, max_delay_ms: 100, ..FaultConfig::reliable() },
+            1,
+        );
+        let (a, b) = endpoints(&mut net);
+        net.send(msg(&a, &b, net.now())).unwrap();
+        net.advance(99);
+        assert!(net.poll(&b).unwrap().is_empty());
+        net.advance(1);
+        assert_eq!(net.poll(&b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let mut net = SimNetwork::new(
+            FaultConfig { loss: 1.0, ..FaultConfig::reliable() },
+            1,
+        );
+        let (a, b) = endpoints(&mut net);
+        net.send(msg(&a, &b, net.now())).unwrap();
+        net.advance(10);
+        assert!(net.poll(&b).unwrap().is_empty());
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut net = SimNetwork::new(
+            FaultConfig { duplicate: 1.0, ..FaultConfig::reliable() },
+            1,
+        );
+        let (a, b) = endpoints(&mut net);
+        net.send(msg(&a, &b, net.now())).unwrap();
+        net.advance(10);
+        let got = net.poll(&b).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, got[1].id, "duplicates share the message id");
+    }
+
+    #[test]
+    fn corruption_flips_a_byte() {
+        let mut net = SimNetwork::new(
+            FaultConfig { corrupt: 1.0, ..FaultConfig::reliable() },
+            1,
+        );
+        let (a, b) = endpoints(&mut net);
+        net.send(msg(&a, &b, net.now())).unwrap();
+        net.advance(10);
+        let got = net.poll(&b).unwrap();
+        assert_ne!(got[0].payload.as_ref(), b"hello");
+        assert_eq!(net.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let run = |seed| {
+            let mut net = SimNetwork::new(FaultConfig::flaky(0.3), seed);
+            let (a, b) = endpoints(&mut net);
+            for _ in 0..50 {
+                net.send(msg(&a, &b, net.now())).unwrap();
+                net.advance(5);
+            }
+            net.advance(1000);
+            net.poll(&b).unwrap().len()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8000), "different seeds almost surely differ");
+    }
+
+    #[test]
+    fn unknown_endpoints_are_errors() {
+        let mut net = SimNetwork::new(FaultConfig::reliable(), 1);
+        let a = EndpointId::new("acme");
+        net.register(a.clone()).unwrap();
+        assert!(net.register(a.clone()).is_err());
+        assert!(net.poll(&EndpointId::new("ghost")).is_err());
+        assert!(net.send(msg(&a, &EndpointId::new("ghost"), net.now())).is_err());
+    }
+
+    #[test]
+    fn variable_latency_reorders() {
+        let mut net = SimNetwork::new(
+            FaultConfig { min_delay_ms: 1, max_delay_ms: 500, ..FaultConfig::reliable() },
+            3,
+        );
+        let (a, b) = endpoints(&mut net);
+        let mut sent_ids = Vec::new();
+        for _ in 0..20 {
+            let m = msg(&a, &b, net.now());
+            sent_ids.push(m.id.clone());
+            net.send(m).unwrap();
+        }
+        net.advance(1000);
+        let got: Vec<_> = net.poll(&b).unwrap().into_iter().map(|e| e.id).collect();
+        assert_eq!(got.len(), 20);
+        assert_ne!(got, sent_ids, "wide latency spread should reorder");
+    }
+}

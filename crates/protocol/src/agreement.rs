@@ -1,0 +1,137 @@
+//! Trading-partner agreements (ebXML CPA-style).
+//!
+//! An agreement pins down everything two enterprises share: who plays
+//! which role of which protocol, over which wire format, with which
+//! reliability expectations. Crucially this is *all* they share — the
+//! point of the paper's architecture.
+
+use crate::error::{ProtocolError, Result};
+use crate::model::{PublicProcessDef, RoleId};
+use b2b_document::FormatId;
+use serde::{Deserialize, Serialize};
+
+/// A bilateral protocol agreement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TradingPartnerAgreement {
+    /// Agreement id.
+    pub id: String,
+    /// Partner playing the initiator role.
+    pub initiator: String,
+    /// Partner playing the responder role.
+    pub responder: String,
+    /// Wire format (determines codecs and transformations).
+    pub format: FormatId,
+    /// Public process the initiator runs.
+    pub initiator_process: String,
+    /// Public process the responder runs.
+    pub responder_process: String,
+    /// Whether the exchange runs over the reliable (RNIF-like) layer.
+    pub reliable: bool,
+}
+
+impl TradingPartnerAgreement {
+    /// Builds an agreement from two complementary role processes.
+    pub fn between(
+        id: &str,
+        initiator: &str,
+        responder: &str,
+        initiator_process: &PublicProcessDef,
+        responder_process: &PublicProcessDef,
+        reliable: bool,
+    ) -> Result<Self> {
+        if initiator == responder {
+            return Err(ProtocolError::BadAgreement {
+                reason: "an agreement needs two distinct partners".into(),
+            });
+        }
+        if initiator_process.format != responder_process.format {
+            return Err(ProtocolError::BadAgreement {
+                reason: format!(
+                    "role processes use different formats: {} vs {}",
+                    initiator_process.format, responder_process.format
+                ),
+            });
+        }
+        PublicProcessDef::check_complementary(initiator_process, responder_process)?;
+        Ok(Self {
+            id: id.to_string(),
+            initiator: initiator.to_string(),
+            responder: responder.to_string(),
+            format: initiator_process.format.clone(),
+            initiator_process: initiator_process.id.clone(),
+            responder_process: responder_process.id.clone(),
+            reliable,
+        })
+    }
+
+    /// The process id a given partner runs under this agreement.
+    pub fn process_for(&self, partner: &str) -> Result<&str> {
+        if partner == self.initiator {
+            Ok(&self.initiator_process)
+        } else if partner == self.responder {
+            Ok(&self.responder_process)
+        } else {
+            Err(ProtocolError::BadAgreement {
+                reason: format!("`{partner}` is not a party to agreement `{}`", self.id),
+            })
+        }
+    }
+
+    /// The counterparty of a given partner.
+    pub fn counterparty(&self, partner: &str) -> Result<&str> {
+        if partner == self.initiator {
+            Ok(&self.responder)
+        } else if partner == self.responder {
+            Ok(&self.initiator)
+        } else {
+            Err(ProtocolError::BadAgreement {
+                reason: format!("`{partner}` is not a party to agreement `{}`", self.id),
+            })
+        }
+    }
+
+    /// The role a partner plays.
+    pub fn role_for(&self, partner: &str) -> Result<RoleId> {
+        if partner == self.initiator {
+            Ok(RoleId::new("initiator"))
+        } else if partner == self.responder {
+            Ok(RoleId::new("responder"))
+        } else {
+            Err(ProtocolError::BadAgreement {
+                reason: format!("`{partner}` is not a party to agreement `{}`", self.id),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edi_roundtrip::edi_roundtrip_processes;
+
+    #[test]
+    fn agreement_routes_roles_and_counterparties() {
+        let (buyer, seller) = edi_roundtrip_processes().unwrap();
+        let a = TradingPartnerAgreement::between("a1", "ACME", "GADGET", &buyer, &seller, true)
+            .unwrap();
+        assert_eq!(a.process_for("ACME").unwrap(), buyer.id);
+        assert_eq!(a.process_for("GADGET").unwrap(), seller.id);
+        assert_eq!(a.counterparty("ACME").unwrap(), "GADGET");
+        assert_eq!(a.role_for("GADGET").unwrap(), RoleId::new("responder"));
+        assert!(a.process_for("MALLORY").is_err());
+        assert!(a.counterparty("MALLORY").is_err());
+    }
+
+    #[test]
+    fn agreement_rejects_inconsistencies() {
+        let (buyer, seller) = edi_roundtrip_processes().unwrap();
+        assert!(
+            TradingPartnerAgreement::between("a", "ACME", "ACME", &buyer, &seller, true).is_err()
+        );
+        assert!(
+            TradingPartnerAgreement::between("a", "ACME", "GADGET", &buyer, &buyer, true)
+                .is_err(),
+            "same-role processes are not complementary"
+        );
+    }
+}

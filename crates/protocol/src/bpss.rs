@@ -1,0 +1,240 @@
+//! An ebXML-BPSS-like collaboration language.
+//!
+//! "ebXML provides a general language (ebXML BPSS …) to define arbitrary
+//! public processes called collaborations. … two enterprises have to agree
+//! on a definition of their public processes first" (Section 5.1). This
+//! module is that mechanism: a small textual language two partners can
+//! negotiate in, compiled into the same [`PublicProcessDef`]s that
+//! pre-defined PIPs produce — so negotiated and standardized protocols
+//! bind identically.
+//!
+//! Syntax:
+//!
+//! ```text
+//! collaboration po-roundtrip using edi-x12 {
+//!   role buyer  { send purchase-order; receive purchase-order-ack; }
+//!   role seller { receive purchase-order; send purchase-order-ack; }
+//! }
+//! ```
+
+use crate::error::{ProtocolError, Result};
+use crate::model::{steps, PublicProcessDef, RoleId};
+use b2b_document::{DocKind, FormatId};
+
+/// A parsed collaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collaboration {
+    /// Collaboration name.
+    pub name: String,
+    /// Wire format.
+    pub format: FormatId,
+    /// Exactly two roles with their action sequences.
+    pub roles: Vec<(RoleId, Vec<(bool, DocKind)>)>,
+}
+
+fn kind_from_name(name: &str, line: usize) -> Result<DocKind> {
+    DocKind::business_kinds()
+        .iter()
+        .copied()
+        .find(|k| k.name() == name)
+        .ok_or(ProtocolError::BpssSyntax {
+            line,
+            reason: format!("unknown document kind `{name}`"),
+        })
+}
+
+/// Parses collaboration source text.
+pub fn parse_collaboration(source: &str) -> Result<Collaboration> {
+    let mut name = None;
+    let mut format = None;
+    let mut roles: Vec<(RoleId, Vec<(bool, DocKind)>)> = Vec::new();
+    let mut current_role: Option<(RoleId, Vec<(bool, DocKind)>)> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |reason: String| ProtocolError::BpssSyntax { line: line_no, reason };
+        if let Some(rest) = line.strip_prefix("collaboration ") {
+            let rest = rest.trim_end_matches('{').trim();
+            let mut parts = rest.split(" using ");
+            name = Some(
+                parts
+                    .next()
+                    .filter(|s| !s.trim().is_empty())
+                    .ok_or_else(|| err("missing collaboration name".into()))?
+                    .trim()
+                    .to_string(),
+            );
+            let f = parts.next().ok_or_else(|| err("missing `using <format>`".into()))?.trim();
+            format = Some(FormatId::custom(f));
+        } else if let Some(rest) = line.strip_prefix("role ") {
+            if current_role.is_some() {
+                return Err(err("nested role".into()));
+            }
+            let mut parts = rest.splitn(2, '{');
+            let role_name = parts.next().unwrap_or("").trim();
+            if role_name.is_empty() {
+                return Err(err("missing role name".into()));
+            }
+            let mut actions = Vec::new();
+            // Allow `role x { send a; receive b; }` on one line.
+            if let Some(inline) = parts.next() {
+                let inline = inline.trim().trim_end_matches('}').trim();
+                for stmt in inline.split(';') {
+                    let stmt = stmt.trim();
+                    if stmt.is_empty() {
+                        continue;
+                    }
+                    actions.push(parse_action(stmt, line_no)?);
+                }
+                if raw.contains('}') {
+                    roles.push((RoleId::new(role_name), actions));
+                    continue;
+                }
+            }
+            current_role = Some((RoleId::new(role_name), actions));
+        } else if line == "}" {
+            if let Some(role) = current_role.take() {
+                roles.push(role);
+            }
+            // A bare `}` may also close the collaboration block; ignore.
+        } else if let Some((_, actions)) = current_role.as_mut() {
+            for stmt in line.split(';') {
+                let stmt = stmt.trim();
+                if stmt.is_empty() {
+                    continue;
+                }
+                actions.push(parse_action(stmt, line_no)?);
+            }
+        } else {
+            return Err(err(format!("unexpected `{line}`")));
+        }
+    }
+
+    let name = name.ok_or(ProtocolError::BpssSyntax {
+        line: 0,
+        reason: "no `collaboration` header".into(),
+    })?;
+    let format = format.expect("set together with name");
+    if roles.len() != 2 {
+        return Err(ProtocolError::BpssSyntax {
+            line: 0,
+            reason: format!("a collaboration needs exactly two roles, found {}", roles.len()),
+        });
+    }
+    Ok(Collaboration { name, format, roles })
+}
+
+fn parse_action(stmt: &str, line: usize) -> Result<(bool, DocKind)> {
+    let err = |reason: String| ProtocolError::BpssSyntax { line, reason };
+    if let Some(kind) = stmt.strip_prefix("send ") {
+        Ok((true, kind_from_name(kind.trim(), line)?))
+    } else if let Some(kind) = stmt.strip_prefix("receive ") {
+        Ok((false, kind_from_name(kind.trim(), line)?))
+    } else {
+        Err(err(format!("expected `send <kind>` or `receive <kind>`, found `{stmt}`")))
+    }
+}
+
+impl Collaboration {
+    /// Compiles the collaboration into one public process per role,
+    /// inserting connection steps (after every partner receive the message
+    /// goes to the binding; before every partner send it is fetched from
+    /// the binding), then checks the two roles complement each other.
+    pub fn compile(&self) -> Result<Vec<PublicProcessDef>> {
+        let mut out = Vec::with_capacity(2);
+        for (role, actions) in &self.roles {
+            let mut defs = Vec::new();
+            for (i, (is_send, kind)) in actions.iter().enumerate() {
+                let var = format!("m{i}");
+                if *is_send {
+                    defs.push(steps::from_binding(&format!("fb{i}"), &var));
+                    defs.push(steps::send(&format!("send{i}"), *kind, &var));
+                } else {
+                    defs.push(steps::receive(&format!("recv{i}"), *kind, &var));
+                    defs.push(steps::to_binding(&format!("tb{i}"), &var));
+                }
+            }
+            out.push(PublicProcessDef::sequence(
+                &format!("{}:{}", self.name, role),
+                self.format.clone(),
+                role.clone(),
+                defs,
+            )?);
+        }
+        PublicProcessDef::check_complementary(&out[0], &out[1])?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = r#"
+        # negotiated between ACME and Gadget Supply
+        collaboration po-roundtrip using edi-x12 {
+          role buyer {
+            send purchase-order;
+            receive purchase-order-ack;
+          }
+          role seller {
+            receive purchase-order;
+            send purchase-order-ack;
+          }
+        }
+    "#;
+
+    #[test]
+    fn parses_and_compiles_the_roundtrip() {
+        let collab = parse_collaboration(SOURCE).unwrap();
+        assert_eq!(collab.name, "po-roundtrip");
+        assert_eq!(collab.format, FormatId::EDI_X12);
+        let processes = collab.compile().unwrap();
+        assert_eq!(processes.len(), 2);
+        assert_eq!(processes[0].step_count(), 4);
+    }
+
+    #[test]
+    fn line_item_acknowledgment_variant_compiles() {
+        // The paper's ebXML example: acknowledge "line items separately" —
+        // here as a multi-message responder sequence.
+        let source = r#"
+            collaboration po-lines using rosettanet {
+              role buyer { send purchase-order; receive purchase-order-ack; receive purchase-order-ack; }
+              role seller { receive purchase-order; send purchase-order-ack; send purchase-order-ack; }
+            }
+        "#;
+        let processes = parse_collaboration(source).unwrap().compile().unwrap();
+        assert_eq!(processes[0].traffic().len(), 3);
+    }
+
+    #[test]
+    fn non_complementary_roles_fail_compilation() {
+        let source = r#"
+            collaboration bad using edi-x12 {
+              role buyer { send purchase-order; }
+              role seller { send purchase-order; }
+            }
+        "#;
+        let collab = parse_collaboration(source).unwrap();
+        assert!(collab.compile().is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        match parse_collaboration("collaboration x using f {\n role a {\n frobnicate;\n }\n}") {
+            Err(ProtocolError::BpssSyntax { line, .. }) => assert_eq!(line, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_collaboration("").is_err());
+        assert!(parse_collaboration("collaboration x using f {\n}").is_err(), "no roles");
+        assert!(parse_collaboration(
+            "collaboration x using f {\n role a { send nonsense-kind; }\n}"
+        )
+        .is_err());
+    }
+}

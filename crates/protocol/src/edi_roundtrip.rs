@@ -1,0 +1,46 @@
+//! The EDI 850/855 purchase-order round trip — the paper's running
+//! example, as a pair of public processes.
+
+use crate::error::Result;
+use crate::model::PublicProcessDef;
+use crate::patterns::MessageExchangePattern;
+use b2b_document::{DocKind, FormatId};
+
+/// Process id prefix.
+pub const EDI_ROUNDTRIP: &str = "edi-roundtrip";
+
+/// The (buyer, seller) public processes of the EDI round trip.
+///
+/// EDI itself "neither defines public processes nor provides a mechanism
+/// to define public processes" (Section 5.1) — enterprises borrow a
+/// definition mechanism. This is that borrowed definition for the classic
+/// 850→855 exchange.
+pub fn edi_roundtrip_processes() -> Result<(PublicProcessDef, PublicProcessDef)> {
+    MessageExchangePattern::RequestReply {
+        request: DocKind::PurchaseOrder,
+        reply: DocKind::PurchaseOrderAck,
+    }
+    .role_processes(EDI_ROUNDTRIP, FormatId::EDI_X12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PublicAction;
+
+    #[test]
+    fn buyer_sends_po_seller_acknowledges() {
+        let (buyer, seller) = edi_roundtrip_processes().unwrap();
+        assert_eq!(buyer.format, FormatId::EDI_X12);
+        PublicProcessDef::check_complementary(&buyer, &seller).unwrap();
+        // The seller side starts by receiving the PO and hands it inward
+        // through a connection step (Figure 11, first public process).
+        match &seller.steps[0].action {
+            PublicAction::ReceiveFromPartner { kind, .. } => {
+                assert_eq!(*kind, DocKind::PurchaseOrder)
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(seller.steps[1].action, PublicAction::ToBinding { .. }));
+    }
+}

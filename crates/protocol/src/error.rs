@@ -1,0 +1,39 @@
+//! Error type for the protocol library.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+/// Errors raised while defining or checking public processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A public-process definition failed validation.
+    InvalidProcess { process: String, reason: String },
+    /// Two role processes do not complement each other (a send without a
+    /// matching receive, or vice versa).
+    NotComplementary { a: String, b: String, reason: String },
+    /// BPSS source text failed to parse.
+    BpssSyntax { line: usize, reason: String },
+    /// An agreement is inconsistent.
+    BadAgreement { reason: String },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProcess { process, reason } => {
+                write!(f, "invalid public process `{process}`: {reason}")
+            }
+            Self::NotComplementary { a, b, reason } => {
+                write!(f, "processes `{a}` and `{b}` do not complement: {reason}")
+            }
+            Self::BpssSyntax { line, reason } => {
+                write!(f, "BPSS syntax error on line {line}: {reason}")
+            }
+            Self::BadAgreement { reason } => write!(f, "bad agreement: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -1,0 +1,361 @@
+//! The public-process definition language.
+
+use crate::error::{ProtocolError, Result};
+use b2b_document::{DocKind, FormatId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A role in a collaboration (buyer/seller in PIP 3A4 terms).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoleId(String);
+
+impl RoleId {
+    /// Wraps a role name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RoleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What one public-process step does.
+///
+/// The two connection actions implement Section 4.1.1: a `ToBinding` step
+/// "passes execution control to a binding … like a parallel branch"; a
+/// `FromBinding` step "waits for control from a binding … like a parallel
+/// join".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PublicAction {
+    /// Receive a business document from the trading partner.
+    ReceiveFromPartner {
+        /// Expected document kind.
+        kind: DocKind,
+        /// Variable to store it in.
+        var: String,
+    },
+    /// Send a business document to the trading partner.
+    SendToPartner {
+        /// Document kind sent.
+        kind: DocKind,
+        /// Variable holding it.
+        var: String,
+    },
+    /// Connection step: pass a document (and control) to the binding.
+    ToBinding {
+        /// Variable holding the document to pass.
+        var: String,
+    },
+    /// Connection step: wait for a document (and control) from the binding.
+    FromBinding {
+        /// Variable the binding's document lands in.
+        var: String,
+    },
+    /// Send a transport-level receipt acknowledgment for the document in
+    /// `for_var` (RNIF behaviour, modeled explicitly when a protocol
+    /// requires it).
+    SendReceipt {
+        /// Variable holding the acknowledged document.
+        for_var: String,
+    },
+    /// Wait for a receipt acknowledgment, up to `timeout_ms`.
+    WaitReceipt {
+        /// Give-up deadline.
+        timeout_ms: u64,
+    },
+}
+
+impl PublicAction {
+    /// Partner-facing business traffic, if any: `(direction-is-send, kind)`.
+    pub fn partner_traffic(&self) -> Option<(bool, DocKind)> {
+        match self {
+            Self::SendToPartner { kind, .. } => Some((true, *kind)),
+            Self::ReceiveFromPartner { kind, .. } => Some((false, *kind)),
+            _ => None,
+        }
+    }
+}
+
+/// One step of a public process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicStepDef {
+    /// Step id, unique within the process.
+    pub id: String,
+    /// Behaviour.
+    pub action: PublicAction,
+}
+
+/// A public process: the message-exchange behaviour of one role under one
+/// B2B protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicProcessDef {
+    /// Process id (e.g. `pip3a4:seller`).
+    pub id: String,
+    /// Wire format of this protocol.
+    pub format: FormatId,
+    /// Role this process plays.
+    pub role: RoleId,
+    /// Steps.
+    pub steps: Vec<PublicStepDef>,
+    /// Control-flow edges (by step id). A linear protocol chains its
+    /// steps; RNIF-style protocols fork around receipt handling.
+    pub edges: Vec<(String, String)>,
+}
+
+impl PublicProcessDef {
+    /// Builds a *linear* public process: steps execute in the given order.
+    pub fn sequence(
+        id: &str,
+        format: FormatId,
+        role: RoleId,
+        steps: Vec<PublicStepDef>,
+    ) -> Result<Self> {
+        let edges = steps
+            .windows(2)
+            .map(|w| (w[0].id.clone(), w[1].id.clone()))
+            .collect();
+        let def = Self { id: id.to_string(), format, role, steps, edges };
+        def.validate()?;
+        Ok(def)
+    }
+
+    /// Builds a process with explicit edges.
+    pub fn graph(
+        id: &str,
+        format: FormatId,
+        role: RoleId,
+        steps: Vec<PublicStepDef>,
+        edges: Vec<(String, String)>,
+    ) -> Result<Self> {
+        let def = Self { id: id.to_string(), format, role, steps, edges };
+        def.validate()?;
+        Ok(def)
+    }
+
+    fn invalid(&self, reason: impl Into<String>) -> ProtocolError {
+        ProtocolError::InvalidProcess { process: self.id.clone(), reason: reason.into() }
+    }
+
+    /// Validates step uniqueness and edge integrity.
+    pub fn validate(&self) -> Result<()> {
+        if self.steps.is_empty() {
+            return Err(self.invalid("no steps"));
+        }
+        let mut ids = BTreeSet::new();
+        for step in &self.steps {
+            if !ids.insert(step.id.as_str()) {
+                return Err(self.invalid(format!("duplicate step `{}`", step.id)));
+            }
+        }
+        for (from, to) in &self.edges {
+            if !ids.contains(from.as_str()) || !ids.contains(to.as_str()) {
+                return Err(self.invalid(format!("edge `{from}`->`{to}` references unknown step")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The partner-facing traffic of this process in step order:
+    /// `(send?, kind)` per business message.
+    pub fn traffic(&self) -> Vec<(bool, DocKind)> {
+        self.steps.iter().filter_map(|s| s.action.partner_traffic()).collect()
+    }
+
+    /// Number of steps (model-size metrics).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Checks that two role processes complement each other: every message
+    /// one sends, the other receives, in the same order (Section 3: "for
+    /// each message sent by one enterprise there is a receiving step
+    /// within the other enterprise").
+    pub fn check_complementary(a: &PublicProcessDef, b: &PublicProcessDef) -> Result<()> {
+        let ta = a.traffic();
+        let tb = b.traffic();
+        let err = |reason: String| ProtocolError::NotComplementary {
+            a: a.id.clone(),
+            b: b.id.clone(),
+            reason,
+        };
+        if ta.len() != tb.len() {
+            return Err(err(format!(
+                "{} exchanges {} messages, {} exchanges {}",
+                a.id,
+                ta.len(),
+                b.id,
+                tb.len()
+            )));
+        }
+        for (i, ((a_send, a_kind), (b_send, b_kind))) in ta.iter().zip(&tb).enumerate() {
+            if a_kind != b_kind {
+                return Err(err(format!(
+                    "message {i}: kinds differ ({a_kind} vs {b_kind})"
+                )));
+            }
+            if a_send == b_send {
+                let dir = if *a_send { "send" } else { "receive" };
+                return Err(err(format!("message {i}: both sides {dir} {a_kind}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Step-building helpers.
+pub mod steps {
+    use super::{PublicAction, PublicStepDef};
+    use b2b_document::DocKind;
+
+    /// Receive from partner.
+    pub fn receive(id: &str, kind: DocKind, var: &str) -> PublicStepDef {
+        PublicStepDef {
+            id: id.to_string(),
+            action: PublicAction::ReceiveFromPartner { kind, var: var.to_string() },
+        }
+    }
+
+    /// Send to partner.
+    pub fn send(id: &str, kind: DocKind, var: &str) -> PublicStepDef {
+        PublicStepDef {
+            id: id.to_string(),
+            action: PublicAction::SendToPartner { kind, var: var.to_string() },
+        }
+    }
+
+    /// Connection step toward the binding.
+    pub fn to_binding(id: &str, var: &str) -> PublicStepDef {
+        PublicStepDef { id: id.to_string(), action: PublicAction::ToBinding { var: var.to_string() } }
+    }
+
+    /// Connection step from the binding.
+    pub fn from_binding(id: &str, var: &str) -> PublicStepDef {
+        PublicStepDef {
+            id: id.to_string(),
+            action: PublicAction::FromBinding { var: var.to_string() },
+        }
+    }
+
+    /// Explicit receipt acknowledgment.
+    pub fn send_receipt(id: &str, for_var: &str) -> PublicStepDef {
+        PublicStepDef {
+            id: id.to_string(),
+            action: PublicAction::SendReceipt { for_var: for_var.to_string() },
+        }
+    }
+
+    /// Wait for a receipt acknowledgment.
+    pub fn wait_receipt(id: &str, timeout_ms: u64) -> PublicStepDef {
+        PublicStepDef { id: id.to_string(), action: PublicAction::WaitReceipt { timeout_ms } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::steps::*;
+    use super::*;
+
+    fn seller() -> PublicProcessDef {
+        PublicProcessDef::sequence(
+            "t:seller",
+            FormatId::EDI_X12,
+            RoleId::new("seller"),
+            vec![
+                receive("r", DocKind::PurchaseOrder, "po"),
+                to_binding("tb", "po"),
+                from_binding("fb", "poa"),
+                send("s", DocKind::PurchaseOrderAck, "poa"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn buyer() -> PublicProcessDef {
+        PublicProcessDef::sequence(
+            "t:buyer",
+            FormatId::EDI_X12,
+            RoleId::new("buyer"),
+            vec![
+                from_binding("fb", "po"),
+                send("s", DocKind::PurchaseOrder, "po"),
+                receive("r", DocKind::PurchaseOrderAck, "poa"),
+                to_binding("tb", "poa"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequence_chains_steps() {
+        let p = seller();
+        assert_eq!(p.edges.len(), 3);
+        assert_eq!(p.traffic(), vec![
+            (false, DocKind::PurchaseOrder),
+            (true, DocKind::PurchaseOrderAck)
+        ]);
+    }
+
+    #[test]
+    fn complementarity_accepts_matching_roles() {
+        PublicProcessDef::check_complementary(&buyer(), &seller()).unwrap();
+    }
+
+    #[test]
+    fn complementarity_rejects_mismatches() {
+        // Both sides send: swap seller's receive into a send.
+        let mut bad = seller();
+        bad.steps[0] = send("r", DocKind::PurchaseOrder, "po");
+        assert!(PublicProcessDef::check_complementary(&buyer(), &bad).is_err());
+        // Different message count.
+        let short = PublicProcessDef::sequence(
+            "t:short",
+            FormatId::EDI_X12,
+            RoleId::new("seller"),
+            vec![receive("r", DocKind::PurchaseOrder, "po")],
+        )
+        .unwrap();
+        assert!(PublicProcessDef::check_complementary(&buyer(), &short).is_err());
+        // Different kinds.
+        let mut wrong_kind = seller();
+        wrong_kind.steps[0] = receive("r", DocKind::Invoice, "po");
+        assert!(PublicProcessDef::check_complementary(&buyer(), &wrong_kind).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_broken_definitions() {
+        assert!(PublicProcessDef::sequence(
+            "t",
+            FormatId::EDI_X12,
+            RoleId::new("r"),
+            vec![],
+        )
+        .is_err());
+        assert!(PublicProcessDef::graph(
+            "t",
+            FormatId::EDI_X12,
+            RoleId::new("r"),
+            vec![receive("a", DocKind::PurchaseOrder, "po")],
+            vec![("a".into(), "ghost".into())],
+        )
+        .is_err());
+        assert!(PublicProcessDef::sequence(
+            "t",
+            FormatId::EDI_X12,
+            RoleId::new("r"),
+            vec![
+                receive("a", DocKind::PurchaseOrder, "po"),
+                receive("a", DocKind::PurchaseOrder, "po2"),
+            ],
+        )
+        .is_err());
+    }
+}

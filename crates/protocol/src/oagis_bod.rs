@@ -1,0 +1,40 @@
+//! OAGIS BOD exchange: PROCESS_PO answered by ACKNOWLEDGE_PO.
+
+use crate::error::Result;
+use crate::model::PublicProcessDef;
+use crate::patterns::MessageExchangePattern;
+use b2b_document::{DocKind, FormatId};
+
+/// Process id prefix.
+pub const OAGIS_PO: &str = "oagis-po";
+
+/// The (buyer, seller) public processes of the OAGIS PO exchange.
+pub fn oagis_po_processes() -> Result<(PublicProcessDef, PublicProcessDef)> {
+    MessageExchangePattern::RequestReply {
+        request: DocKind::PurchaseOrder,
+        reply: DocKind::PurchaseOrderAck,
+    }
+    .role_processes(OAGIS_PO, FormatId::OAGIS)
+}
+
+/// A one-way OAGIS shipment notice (SYNC_SHIPMENT-style), exercising the
+/// one-way pattern with a real format.
+pub fn oagis_shipment_notice() -> Result<(PublicProcessDef, PublicProcessDef)> {
+    MessageExchangePattern::OneWay { kind: DocKind::ShipmentNotice }
+        .role_processes("oagis-asn", FormatId::OAGIS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oagis_processes_complement() {
+        let (b, s) = oagis_po_processes().unwrap();
+        PublicProcessDef::check_complementary(&b, &s).unwrap();
+        assert_eq!(b.format, FormatId::OAGIS);
+        let (ib, is) = oagis_shipment_notice().unwrap();
+        PublicProcessDef::check_complementary(&ib, &is).unwrap();
+        assert_eq!(ib.traffic().len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Message-exchange patterns (MEPs).
+//!
+//! Section 1: the concepts "support the general case of all possible
+//! patterns like one-way messages, broadcast messages or multi-step
+//! message exchanges". This module generates the two complementary role
+//! processes for each pattern — experiment E10 exercises all of them.
+
+use crate::error::Result;
+use crate::model::{steps, PublicProcessDef, RoleId};
+use b2b_document::{DocKind, FormatId};
+use serde::{Deserialize, Serialize};
+
+/// One leg of a multi-step exchange, from the initiator's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExchangeLeg {
+    /// `true` when the initiator sends this message.
+    pub initiator_sends: bool,
+    /// Document kind of the leg.
+    pub kind: DocKind,
+}
+
+/// A message-exchange pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageExchangePattern {
+    /// Initiator sends one message; no reply (e.g. a shipment notice).
+    OneWay {
+        /// Kind sent.
+        kind: DocKind,
+    },
+    /// The PO/POA round trip shape.
+    RequestReply {
+        /// Request kind.
+        request: DocKind,
+        /// Reply kind.
+        reply: DocKind,
+    },
+    /// Initiator sends the same message to `recipients` partners (e.g. an
+    /// RFQ blast). Each recipient runs the same responder process.
+    Broadcast {
+        /// Kind sent.
+        kind: DocKind,
+        /// Number of recipients.
+        recipients: usize,
+    },
+    /// Arbitrary ordered legs.
+    MultiStep {
+        /// The legs in order.
+        legs: Vec<ExchangeLeg>,
+    },
+}
+
+impl MessageExchangePattern {
+    /// The legs of the pattern, normalized.
+    pub fn legs(&self) -> Vec<ExchangeLeg> {
+        match self {
+            Self::OneWay { kind } => vec![ExchangeLeg { initiator_sends: true, kind: *kind }],
+            Self::RequestReply { request, reply } => vec![
+                ExchangeLeg { initiator_sends: true, kind: *request },
+                ExchangeLeg { initiator_sends: false, kind: *reply },
+            ],
+            Self::Broadcast { kind, .. } => {
+                vec![ExchangeLeg { initiator_sends: true, kind: *kind }]
+            }
+            Self::MultiStep { legs } => legs.clone(),
+        }
+    }
+
+    /// Short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::OneWay { .. } => "one-way",
+            Self::RequestReply { .. } => "request-reply",
+            Self::Broadcast { .. } => "broadcast",
+            Self::MultiStep { .. } => "multi-step",
+        }
+    }
+
+    /// Generates the complementary (initiator, responder) public
+    /// processes for this pattern under `format`.
+    pub fn role_processes(
+        &self,
+        id_prefix: &str,
+        format: FormatId,
+    ) -> Result<(PublicProcessDef, PublicProcessDef)> {
+        let legs = self.legs();
+        let mut initiator_steps = Vec::new();
+        let mut responder_steps = Vec::new();
+        for (i, leg) in legs.iter().enumerate() {
+            let var = format!("m{i}");
+            if leg.initiator_sends {
+                // Initiator gets the document from its binding and sends.
+                initiator_steps.push(steps::from_binding(&format!("fb{i}"), &var));
+                initiator_steps.push(steps::send(&format!("send{i}"), leg.kind, &var));
+                responder_steps.push(steps::receive(&format!("recv{i}"), leg.kind, &var));
+                responder_steps.push(steps::to_binding(&format!("tb{i}"), &var));
+            } else {
+                responder_steps.push(steps::from_binding(&format!("fb{i}"), &var));
+                responder_steps.push(steps::send(&format!("send{i}"), leg.kind, &var));
+                initiator_steps.push(steps::receive(&format!("recv{i}"), leg.kind, &var));
+                initiator_steps.push(steps::to_binding(&format!("tb{i}"), &var));
+            }
+        }
+        let initiator = PublicProcessDef::sequence(
+            &format!("{id_prefix}:initiator"),
+            format.clone(),
+            RoleId::new("initiator"),
+            initiator_steps,
+        )?;
+        let responder = PublicProcessDef::sequence(
+            &format!("{id_prefix}:responder"),
+            format,
+            RoleId::new("responder"),
+            responder_steps,
+        )?;
+        PublicProcessDef::check_complementary(&initiator, &responder)?;
+        Ok((initiator, responder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_matches_the_po_roundtrip() {
+        let mep = MessageExchangePattern::RequestReply {
+            request: DocKind::PurchaseOrder,
+            reply: DocKind::PurchaseOrderAck,
+        };
+        let (init, resp) = mep.role_processes("po", FormatId::EDI_X12).unwrap();
+        assert_eq!(init.traffic().len(), 2);
+        assert_eq!(resp.traffic().len(), 2);
+        assert_eq!(init.step_count(), 4);
+    }
+
+    #[test]
+    fn one_way_has_a_single_leg() {
+        let mep = MessageExchangePattern::OneWay { kind: DocKind::ShipmentNotice };
+        let (init, resp) = mep.role_processes("asn", FormatId::OAGIS).unwrap();
+        assert_eq!(init.traffic(), vec![(true, DocKind::ShipmentNotice)]);
+        assert_eq!(resp.traffic(), vec![(false, DocKind::ShipmentNotice)]);
+    }
+
+    #[test]
+    fn broadcast_reuses_the_one_way_responder_per_recipient() {
+        let mep = MessageExchangePattern::Broadcast { kind: DocKind::RequestForQuote, recipients: 3 };
+        let (_, resp) = mep.role_processes("rfq", FormatId::ROSETTANET).unwrap();
+        assert_eq!(resp.traffic(), vec![(false, DocKind::RequestForQuote)]);
+        assert_eq!(mep.legs().len(), 1);
+    }
+
+    #[test]
+    fn multi_step_generates_complementary_sequences() {
+        let mep = MessageExchangePattern::MultiStep {
+            legs: vec![
+                ExchangeLeg { initiator_sends: true, kind: DocKind::RequestForQuote },
+                ExchangeLeg { initiator_sends: false, kind: DocKind::Quote },
+                ExchangeLeg { initiator_sends: true, kind: DocKind::PurchaseOrder },
+                ExchangeLeg { initiator_sends: false, kind: DocKind::PurchaseOrderAck },
+                ExchangeLeg { initiator_sends: false, kind: DocKind::Invoice },
+            ],
+        };
+        let (init, resp) = mep.role_processes("procure", FormatId::EDI_X12).unwrap();
+        PublicProcessDef::check_complementary(&init, &resp).unwrap();
+        assert_eq!(init.traffic().len(), 5);
+        assert_eq!(mep.name(), "multi-step");
+    }
+}

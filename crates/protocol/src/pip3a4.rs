@@ -1,0 +1,89 @@
+//! RosettaNet PIP 3A4 with RNIF-style signals.
+//!
+//! PIP 3A4 "defines the exchange of a *create purchase order* message and
+//! a subsequent *purchase order acceptance* message between two
+//! organizations. Each organization plays a role, in 3A4 these are buyer
+//! and seller" (Section 5.1).
+//!
+//! Two variants are provided. The plain variant assumes RNIF's reliable
+//! transport underneath (acks handled by `b2b-network::reliable`, exactly
+//! as the paper describes: "PIPs assume a reliable message exchange layer
+//! and this is provided by RNIF"). The explicit variant models receipt
+//! acknowledgments *in* the public process — the change-management
+//! experiment uses it to show such a change stays local to the public
+//! process (Section 4.5).
+
+use crate::error::Result;
+use crate::model::{steps, PublicProcessDef, RoleId};
+use crate::patterns::MessageExchangePattern;
+use b2b_document::{DocKind, FormatId};
+
+/// Process id prefix.
+pub const PIP3A4: &str = "pip3a4";
+/// Default RNIF time-out for receipt acknowledgments (2 hours in the real
+/// spec; scaled down for simulation).
+pub const RNIF_RECEIPT_TIMEOUT_MS: u64 = 5_000;
+
+/// The (buyer, seller) processes of PIP 3A4 over reliable RNIF transport.
+pub fn pip3a4_processes() -> Result<(PublicProcessDef, PublicProcessDef)> {
+    MessageExchangePattern::RequestReply {
+        request: DocKind::PurchaseOrder,
+        reply: DocKind::PurchaseOrderAck,
+    }
+    .role_processes(PIP3A4, FormatId::ROSETTANET)
+}
+
+/// The same PIP with *explicit* receipt-acknowledgment modelling.
+pub fn pip3a4_with_explicit_acks() -> Result<(PublicProcessDef, PublicProcessDef)> {
+    let buyer = PublicProcessDef::sequence(
+        &format!("{PIP3A4}-acks:buyer"),
+        FormatId::ROSETTANET,
+        RoleId::new("buyer"),
+        vec![
+            steps::from_binding("fb0", "m0"),
+            steps::send("send0", DocKind::PurchaseOrder, "m0"),
+            steps::wait_receipt("wr0", RNIF_RECEIPT_TIMEOUT_MS),
+            steps::receive("recv1", DocKind::PurchaseOrderAck, "m1"),
+            steps::send_receipt("sr1", "m1"),
+            steps::to_binding("tb1", "m1"),
+        ],
+    )?;
+    let seller = PublicProcessDef::sequence(
+        &format!("{PIP3A4}-acks:seller"),
+        FormatId::ROSETTANET,
+        RoleId::new("seller"),
+        vec![
+            steps::receive("recv0", DocKind::PurchaseOrder, "m0"),
+            steps::send_receipt("sr0", "m0"),
+            steps::to_binding("tb0", "m0"),
+            steps::from_binding("fb1", "m1"),
+            steps::send("send1", DocKind::PurchaseOrderAck, "m1"),
+            steps::wait_receipt("wr1", RNIF_RECEIPT_TIMEOUT_MS),
+        ],
+    )?;
+    PublicProcessDef::check_complementary(&buyer, &seller)?;
+    Ok((buyer, seller))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_pip_is_a_request_reply() {
+        let (buyer, seller) = pip3a4_processes().unwrap();
+        assert_eq!(buyer.format, FormatId::ROSETTANET);
+        assert_eq!(buyer.step_count(), 4);
+        PublicProcessDef::check_complementary(&buyer, &seller).unwrap();
+    }
+
+    #[test]
+    fn explicit_ack_variant_adds_steps_but_same_business_traffic() {
+        let (plain_buyer, _) = pip3a4_processes().unwrap();
+        let (ack_buyer, ack_seller) = pip3a4_with_explicit_acks().unwrap();
+        assert!(ack_buyer.step_count() > plain_buyer.step_count());
+        // Business traffic is unchanged — acks are transport signals.
+        assert_eq!(ack_buyer.traffic(), plain_buyer.traffic());
+        PublicProcessDef::check_complementary(&ack_buyer, &ack_seller).unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's `check-need-for-approval` rule family (Section 4.3.2).
+//!
+//! Thresholds are per (target application, source trading partner). The
+//! generated function reproduces the paper's four-rule example and scales
+//! to any partner population; the only change when a partner is added is
+//! one threshold entry.
+
+use crate::error::Result;
+use crate::rule::{BusinessRule, RuleFunction};
+use serde::{Deserialize, Serialize};
+
+/// Canonical name of the approval function.
+pub const CHECK_NEED_FOR_APPROVAL: &str = "check-need-for-approval";
+
+/// One approval threshold: POs from `source` to `target` at or above
+/// `threshold_units` (whole currency units) need approval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApprovalThreshold {
+    /// Target back-end application name (e.g. `SAP`).
+    pub target: String,
+    /// Source trading partner name (e.g. `TP1`).
+    pub source: String,
+    /// Amount (whole units) at or above which approval is required.
+    pub threshold_units: i64,
+}
+
+impl ApprovalThreshold {
+    /// Builds a threshold entry.
+    pub fn new(target: &str, source: &str, threshold_units: i64) -> Self {
+        Self {
+            target: target.to_string(),
+            source: source.to_string(),
+            threshold_units,
+        }
+    }
+
+    fn to_rule(&self, index: usize) -> Result<BusinessRule> {
+        BusinessRule::parse(
+            &format!("business rule {}", index + 1),
+            &format!("target == \"{}\" and source == \"{}\"", self.target, self.source),
+            &format!("document.amount >= {}", self.threshold_units),
+        )
+    }
+}
+
+/// Builds the `check-need-for-approval` function from threshold entries.
+pub fn check_need_for_approval(thresholds: &[ApprovalThreshold]) -> Result<RuleFunction> {
+    let mut f = RuleFunction::new(CHECK_NEED_FOR_APPROVAL);
+    for (i, t) in thresholds.iter().enumerate() {
+        f.add_rule(t.to_rule(i)?);
+    }
+    Ok(f)
+}
+
+/// The paper's initial population: TP1 and TP2 against SAP and Oracle.
+pub fn paper_thresholds() -> Vec<ApprovalThreshold> {
+    vec![
+        ApprovalThreshold::new("SAP", "TP1", 55_000),
+        ApprovalThreshold::new("SAP", "TP2", 40_000),
+        ApprovalThreshold::new("Oracle", "TP1", 55_000),
+        ApprovalThreshold::new("Oracle", "TP2", 40_000),
+    ]
+}
+
+/// Adds one rule for a new partner to an existing function — the paper's
+/// Figure 15 change ("the only change … is the business rule that has to
+/// provide the logic for one more trading partner").
+pub fn add_partner(
+    function: &mut RuleFunction,
+    target: &str,
+    source: &str,
+    threshold_units: i64,
+) -> Result<()> {
+    let index = function.rules.len();
+    function.add_rule(ApprovalThreshold::new(target, source, threshold_units).to_rule(index)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::RuleContext;
+    use b2b_document::normalized::sample_po;
+    use b2b_document::Value;
+
+    #[test]
+    fn reproduces_the_papers_four_rules() {
+        let f = check_need_for_approval(&paper_thresholds()).unwrap();
+        assert_eq!(f.rules.len(), 4);
+        let doc = sample_po("1", 45_000);
+        let cases = [
+            ("TP1", "SAP", false),
+            ("TP2", "SAP", true),
+            ("TP1", "Oracle", false),
+            ("TP2", "Oracle", true),
+        ];
+        for (source, target, expected) in cases {
+            assert_eq!(
+                f.invoke(&RuleContext::new(source, target, &doc)).unwrap(),
+                Value::Bool(expected),
+                "{source}->{target}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let f = check_need_for_approval(&paper_thresholds()).unwrap();
+        let exactly = sample_po("1", 55_000);
+        assert_eq!(
+            f.invoke(&RuleContext::new("TP1", "SAP", &exactly)).unwrap(),
+            Value::Bool(true)
+        );
+        let below = sample_po("1", 54_999);
+        assert_eq!(
+            f.invoke(&RuleContext::new("TP1", "SAP", &below)).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unknown_partner_hits_error_case() {
+        let f = check_need_for_approval(&paper_thresholds()).unwrap();
+        let doc = sample_po("1", 45_000);
+        assert!(f.invoke(&RuleContext::new("TP3", "SAP", &doc)).is_err());
+    }
+
+    #[test]
+    fn add_partner_extends_without_touching_existing_rules() {
+        let mut f = check_need_for_approval(&paper_thresholds()).unwrap();
+        let before: Vec<String> = f.rules.iter().map(|r| r.name.clone()).collect();
+        add_partner(&mut f, "SAP", "TP3", 10_000).unwrap();
+        add_partner(&mut f, "Oracle", "TP3", 10_000).unwrap();
+        assert_eq!(f.rules.len(), 6);
+        let after: Vec<String> = f.rules[..4].iter().map(|r| r.name.clone()).collect();
+        assert_eq!(before, after, "existing rules untouched");
+        let doc = sample_po("1", 12_000);
+        assert_eq!(
+            f.invoke(&RuleContext::new("TP3", "SAP", &doc)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the rule engine.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RuleError>;
+
+/// Errors raised while parsing or evaluating business rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// Lexical error in a rule expression.
+    Lex { offset: usize, reason: String },
+    /// Syntax error in a rule expression.
+    Parse { offset: usize, reason: String },
+    /// Runtime evaluation error (type mismatch, missing path, …).
+    Eval { reason: String },
+    /// The paper's explicit error case: no rule in a function matched the
+    /// given source/target/document.
+    NoRuleApplies { function: String, source: String, target: String },
+    /// A workflow step referenced a rule function that is not registered.
+    UnknownFunction { function: String },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { offset, reason } => write!(f, "lex error at {offset}: {reason}"),
+            Self::Parse { offset, reason } => write!(f, "parse error at {offset}: {reason}"),
+            Self::Eval { reason } => write!(f, "evaluation error: {reason}"),
+            Self::NoRuleApplies { function, source, target } => write!(
+                f,
+                "no rule in `{function}` applies for source `{source}` and target `{target}`"
+            ),
+            Self::UnknownFunction { function } => {
+                write!(f, "rule function `{function}` is not registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<b2b_document::DocumentError> for RuleError {
+    fn from(e: b2b_document::DocumentError) -> Self {
+        Self::Eval { reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_function() {
+        let e = RuleError::NoRuleApplies {
+            function: "check-need-for-approval".into(),
+            source: "TP9".into(),
+            target: "SAP".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("check-need-for-approval"));
+        assert!(text.contains("TP9"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Tokenizer for the rule expression language.
+
+use crate::error::{Result, RuleError};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`source`, `and`, `date`, field names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Double-quoted string literal (no escapes needed by the rule corpus).
+    Str(String),
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.`
+    Dot,
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Tokenizes rule source text.
+pub fn lex(text: &str) -> Result<Vec<Token>> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'(' => push(&mut tokens, TokenKind::LParen, start, &mut i),
+            b')' => push(&mut tokens, TokenKind::RParen, start, &mut i),
+            b'[' => push(&mut tokens, TokenKind::LBracket, start, &mut i),
+            b']' => push(&mut tokens, TokenKind::RBracket, start, &mut i),
+            b'.' => push(&mut tokens, TokenKind::Dot, start, &mut i),
+            b'+' => push(&mut tokens, TokenKind::Plus, start, &mut i),
+            b'-' => push(&mut tokens, TokenKind::Minus, start, &mut i),
+            b'*' => push(&mut tokens, TokenKind::Star, start, &mut i),
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(RuleError::Lex {
+                        offset: start,
+                        reason: "single `=`; use `==`".into(),
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(RuleError::Lex {
+                        offset: start,
+                        reason: "single `!`; use `!=` or `not`".into(),
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    push(&mut tokens, TokenKind::Lt, start, &mut i);
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    push(&mut tokens, TokenKind::Gt, start, &mut i);
+                }
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(RuleError::Lex {
+                        offset: start,
+                        reason: "unterminated string".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(text[i + 1..j].to_string()),
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: i64 = text[i..j].parse().map_err(|_| RuleError::Lex {
+                    offset: start,
+                    reason: "integer out of range".into(),
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(n), offset: start });
+                i = j;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'-')
+                {
+                    j += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Ident(text[i..j].to_string()), offset: start });
+                i = j;
+            }
+            other => {
+                return Err(RuleError::Lex {
+                    offset: start,
+                    reason: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, offset: usize, i: &mut usize) {
+    tokens.push(Token { kind, offset });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_rule() {
+        let tokens = lex("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000")
+            .unwrap();
+        assert_eq!(tokens.len(), 13);
+        assert_eq!(tokens[0].kind, TokenKind::Ident("target".into()));
+        assert_eq!(tokens[1].kind, TokenKind::EqEq);
+        assert_eq!(tokens[2].kind, TokenKind::Str("SAP".into()));
+        assert_eq!(tokens[12].kind, TokenKind::Int(55000));
+    }
+
+    #[test]
+    fn lexes_operators_and_brackets() {
+        let tokens = lex("(a[0] + 1) * 2 - 3 <= 4 < 5 != 6 > 7").unwrap();
+        let kinds: Vec<_> = tokens.into_iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::LBracket));
+        assert!(kinds.contains(&TokenKind::Le));
+        assert!(kinds.contains(&TokenKind::NotEq));
+        assert!(kinds.contains(&TokenKind::Star));
+    }
+
+    #[test]
+    fn reports_lex_errors_with_offset() {
+        match lex("a = b") {
+            Err(RuleError::Lex { offset, .. }) => assert_eq!(offset, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("\"open").is_err());
+        assert!(lex("a ? b").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

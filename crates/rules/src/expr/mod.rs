@@ -1,0 +1,163 @@
+//! The rule expression language.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( "or" and )*
+//! and     := not ( "and" not )*
+//! not     := "not" not | cmp
+//! cmp     := sum ( ("=="|"!="|"<"|"<="|">"|">=") sum )?
+//! sum     := term ( ("+"|"-") term )*
+//! term    := factor ( "*" factor )*
+//! factor  := literal | path | call | "(" expr ")" | "-" factor
+//! literal := integer | string | "true" | "false"
+//! call    := ident "(" args ")"            e.g. date("2001-09-17"),
+//!                                          money("55000 USD"),
+//!                                          exists(document.note),
+//!                                          len(document.lines)
+//! path    := "source" | "target" | "document" ("." field | "[" n "]")*
+//! ```
+//!
+//! Comparing a [`Money`](b2b_document::Money) against an integer treats the
+//! integer as whole currency units, so the paper's `document.amount >=
+//! 55000` reads exactly as written.
+
+mod eval;
+mod lexer;
+mod parser;
+
+pub use eval::RuleContext;
+pub use lexer::{lex, Token, TokenKind};
+
+use crate::error::Result;
+use b2b_document::{FieldPath, Value};
+use serde::{Deserialize, Serialize};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Addition (ints, money).
+    Add,
+    /// Subtraction (ints, money).
+    Sub,
+    /// Multiplication (ints, money × int).
+    Mul,
+}
+
+/// The variable a path is rooted at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathRoot {
+    /// The trading partner or application the document came from.
+    Source,
+    /// The trading partner or application the document goes to.
+    Target,
+    /// The document under evaluation.
+    Document,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Builtin {
+    /// `date("YYYY-MM-DD")` — a date literal.
+    Date,
+    /// `money("55000 USD")` — a money literal.
+    Money,
+    /// `exists(path)` — whether the path resolves.
+    Exists,
+    /// `len(path)` — list length or text length.
+    Len,
+}
+
+/// A parsed rule expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Constant value.
+    Literal(Value),
+    /// `source` or `target` (compared as text) or `document...` path.
+    Path {
+        /// Which context variable the path starts at.
+        root: PathRoot,
+        /// Remaining path below the root (empty for bare `source`).
+        path: FieldPath,
+    },
+    /// Unary logical negation.
+    Not(Box<Expr>),
+    /// Unary arithmetic negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Built-in function call.
+    Call {
+        /// The function.
+        builtin: Builtin,
+        /// Its single argument.
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Parses an expression from source text.
+    pub fn parse(text: &str) -> Result<Self> {
+        parser::parse(text)
+    }
+
+    /// Evaluates against a context.
+    pub fn eval(&self, ctx: &RuleContext<'_>) -> Result<Value> {
+        eval::eval(self, ctx)
+    }
+
+    /// Evaluates expecting a boolean result.
+    pub fn eval_bool(&self, ctx: &RuleContext<'_>) -> Result<bool> {
+        match self.eval(ctx)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(crate::error::RuleError::Eval {
+                reason: format!("expected a boolean result, got {}", other.type_name()),
+            }),
+        }
+    }
+
+    /// Number of AST nodes — used by the model-size metrics to count the
+    /// complexity that inlined conditions add to workflow types.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Self::Literal(_) | Self::Path { .. } => 1,
+            Self::Not(e) | Self::Neg(e) | Self::Call { arg: e, .. } => 1 + e.node_count(),
+            Self::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        let e = Expr::parse("document.amount >= 55000 and source == \"TP1\"").unwrap();
+        assert_eq!(e.node_count(), 7);
+    }
+}

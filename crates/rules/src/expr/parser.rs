@@ -1,0 +1,276 @@
+//! Recursive-descent parser for rule expressions.
+
+use super::lexer::{lex, Token, TokenKind};
+use super::{BinOp, Builtin, Expr, PathRoot};
+use crate::error::{Result, RuleError};
+use b2b_document::{FieldPath, PathSeg, Value};
+
+/// Parses source text into an expression AST.
+pub fn parse(text: &str) -> Result<Expr> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, reason: &str) -> RuleError {
+        let offset = self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX);
+        RuleError::Parse { offset: if offset == usize::MAX { 0 } else { offset }, reason: reason.into() }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Ident(name)) = self.peek() {
+            if name == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.sum_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::EqEq) => Some(BinOp::Eq),
+            Some(TokenKind::NotEq) => Some(BinOp::Ne),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.sum_expr()?;
+            Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn sum_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        while self.eat(&TokenKind::Star) {
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(TokenKind::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(TokenKind::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(TokenKind::Minus) => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(TokenKind::LParen) => {
+                let inner = self.or_expr()?;
+                if !self.eat(&TokenKind::RParen) {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(TokenKind::Ident(name)) => self.ident_expr(name),
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn ident_expr(&mut self, name: String) -> Result<Expr> {
+        match name.as_str() {
+            "true" => return Ok(Expr::Literal(Value::Bool(true))),
+            "false" => return Ok(Expr::Literal(Value::Bool(false))),
+            "source" => return Ok(Expr::Path { root: PathRoot::Source, path: empty_path() }),
+            "target" => return Ok(Expr::Path { root: PathRoot::Target, path: empty_path() }),
+            "document" => {
+                let path = self.path_tail()?;
+                return Ok(Expr::Path { root: PathRoot::Document, path });
+            }
+            _ => {}
+        }
+        let builtin = match name.as_str() {
+            "date" => Builtin::Date,
+            "money" => Builtin::Money,
+            "exists" => Builtin::Exists,
+            "len" => Builtin::Len,
+            other => return Err(self.err(&format!("unknown identifier `{other}`"))),
+        };
+        if !self.eat(&TokenKind::LParen) {
+            return Err(self.err(&format!("`{name}` is a function; expected `(`")));
+        }
+        let arg = self.or_expr()?;
+        if !self.eat(&TokenKind::RParen) {
+            return Err(self.err("expected `)`"));
+        }
+        Ok(Expr::Call { builtin, arg: Box::new(arg) })
+    }
+
+    /// Parses `.field` / `[n]` chains after `document`.
+    fn path_tail(&mut self) -> Result<FieldPath> {
+        let mut segments = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                match self.bump() {
+                    Some(TokenKind::Ident(field)) => segments.push(PathSeg::Field(field)),
+                    _ => return Err(self.err("expected field name after `.`")),
+                }
+            } else if self.eat(&TokenKind::LBracket) {
+                match self.bump() {
+                    Some(TokenKind::Int(n)) if n >= 0 => {
+                        segments.push(PathSeg::Index(n as usize));
+                    }
+                    _ => return Err(self.err("expected index after `[`")),
+                }
+                if !self.eat(&TokenKind::RBracket) {
+                    return Err(self.err("expected `]`"));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(FieldPath::from_segments(segments))
+    }
+}
+
+fn empty_path() -> FieldPath {
+    FieldPath::from_segments(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_rule() {
+        let e = parse("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000")
+            .unwrap();
+        // Left-associative: ((t and s) and amount).
+        match e {
+            Expr::Binary { op: BinOp::And, .. } => {}
+            other => panic!("expected and, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_arithmetic_tighter_than_comparison() {
+        let e = parse("1 + 2 * 3 == 7").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Eq, lhs, .. } => match *lhs {
+                Expr::Binary { op: BinOp::Add, .. } => {}
+                other => panic!("expected add on lhs, got {other:?}"),
+            },
+            other => panic!("expected eq at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paths_with_indices() {
+        let e = parse("document.lines[0].quantity > 10").unwrap();
+        match e {
+            Expr::Binary { lhs, .. } => match *lhs {
+                Expr::Path { root: PathRoot::Document, path } => {
+                    assert_eq!(path.to_string(), "lines[0].quantity");
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_builtins_and_negation() {
+        assert!(parse("exists(document.note)").is_ok());
+        assert!(parse("len(document.lines) >= 2").is_ok());
+        assert!(parse("date(\"2001-09-17\") < date(\"2001-10-01\")").is_ok());
+        assert!(parse("money(\"55000 USD\") <= document.amount").is_ok());
+        assert!(parse("not (source == \"TP1\")").is_ok());
+        assert!(parse("-3 + 4 == 1").is_ok());
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        for bad in [
+            "",
+            "and",
+            "document.",
+            "document.lines[",
+            "document.lines[x]",
+            "(1 + 2",
+            "1 2",
+            "unknownfn(1)",
+            "date 2",
+            "frobnicate",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+}

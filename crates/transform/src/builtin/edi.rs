@@ -1,0 +1,201 @@
+//! EDI X12 ↔ normalized programs.
+
+use crate::context::ContextKey;
+use crate::mapping::MappingRule as R;
+use crate::program::TransformProgram;
+use b2b_document::{DocKind, FormatId};
+
+const LINE_STATUS: &[(&str, &str)] =
+    &[("accepted", "IA"), ("rejected", "IR"), ("accepted-with-changes", "IC")];
+const HEADER_STATUS: &[(&str, &str)] =
+    &[("accepted", "AD"), ("rejected", "RD"), ("accepted-with-changes", "AC")];
+
+/// The four EDI programs.
+pub fn edi_programs() -> Vec<TransformProgram> {
+    vec![po_to_normalized(), po_from_normalized(), poa_to_normalized(), poa_from_normalized()]
+}
+
+fn po_to_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::EDI_X12,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("beg.po_number", "header.po_number"),
+            R::pick("n1", "code", "BY", "name", "header.buyer"),
+            R::pick("n1", "code", "SE", "name", "header.seller"),
+            R::mv("beg.order_date", "header.order_date"),
+            R::for_each(
+                "po1",
+                "lines",
+                vec![
+                    R::mv("line_no", "line_no"),
+                    R::mv("item", "item"),
+                    R::mv("quantity", "quantity"),
+                    R::mv("unit_price", "unit_price"),
+                ],
+            ),
+            R::mv("amt", "amount"),
+        ],
+    )
+}
+
+fn po_from_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::NORMALIZED,
+        FormatId::EDI_X12,
+        vec![
+            R::context("envelope.sender", ContextKey::Sender),
+            R::context("envelope.receiver", ContextKey::Receiver),
+            R::context("envelope.control_number", ContextKey::ControlNumber),
+            R::const_text("beg.purpose_code", "00"),
+            R::const_text("beg.type_code", "NE"),
+            R::mv("header.po_number", "beg.po_number"),
+            R::mv("header.order_date", "beg.order_date"),
+            R::currency_of("amount", "cur.currency"),
+            R::append(
+                "n1",
+                vec![R::const_text("code", "BY"), R::mv("header.buyer", "name")],
+            ),
+            R::append(
+                "n1",
+                vec![R::const_text("code", "SE"), R::mv("header.seller", "name")],
+            ),
+            R::for_each(
+                "lines",
+                "po1",
+                vec![
+                    R::mv("line_no", "line_no"),
+                    R::mv("quantity", "quantity"),
+                    R::const_text("uom", "EA"),
+                    R::mv("unit_price", "unit_price"),
+                    R::mv("item", "item"),
+                ],
+            ),
+            R::mv("amount", "amt"),
+        ],
+    )
+}
+
+fn poa_to_normalized() -> TransformProgram {
+    let (_, line_back) = super::status_maps("status", "status_code", LINE_STATUS);
+    let (_, header_back) = super::status_maps("header.status", "bak.ack_type", HEADER_STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::EDI_X12,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("bak.po_number", "header.po_number"),
+            // The 855 carries no party names; interchange ids stand in.
+            R::mv("envelope.receiver", "header.buyer"),
+            R::mv("envelope.sender", "header.seller"),
+            R::mv("bak.ack_date", "header.ack_date"),
+            header_back,
+            R::for_each(
+                "ack",
+                "lines",
+                vec![R::mv("line_no", "line_no"), line_back, R::mv("quantity", "quantity")],
+            ),
+        ],
+    )
+}
+
+fn poa_from_normalized() -> TransformProgram {
+    let (line_fwd, _) = super::status_maps("status", "status_code", LINE_STATUS);
+    let (header_fwd, _) = super::status_maps("header.status", "bak.ack_type", HEADER_STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::NORMALIZED,
+        FormatId::EDI_X12,
+        vec![
+            R::context("envelope.sender", ContextKey::Sender),
+            R::context("envelope.receiver", ContextKey::Receiver),
+            R::context("envelope.control_number", ContextKey::ControlNumber),
+            R::const_text("bak.purpose_code", "00"),
+            header_fwd,
+            R::mv("header.po_number", "bak.po_number"),
+            R::mv("header.ack_date", "bak.ack_date"),
+            R::for_each(
+                "lines",
+                "ack",
+                vec![R::mv("line_no", "line_no"), line_fwd, R::mv("quantity", "quantity")],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TransformContext;
+    use b2b_document::formats::sample_edi_po;
+    use b2b_document::normalized::{build_poa, po_schema, poa_schema, PoBuilder};
+    use b2b_document::{Currency, Date, Money};
+
+    fn ctx() -> TransformContext {
+        TransformContext::new("ACME", "GADGET", "000000001", "i-1")
+    }
+
+    fn plain_po() -> b2b_document::Document {
+        PoBuilder::new(
+            "4711",
+            "ACME Manufacturing",
+            "Gadget Supply Co",
+            Date::new(2001, 9, 17).unwrap(),
+            Currency::Usd,
+        )
+        .line("LAPTOP-T23", 12, Money::from_units(1, Currency::Usd))
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn edi_po_to_normalized_validates() {
+        let normalized = po_to_normalized().apply(&sample_edi_po("4711", 12), &ctx()).unwrap();
+        assert!(
+            po_schema().accepts(&normalized),
+            "{:?}",
+            po_schema().validate(&normalized)
+        );
+        assert_eq!(
+            normalized.get("header.buyer").unwrap().as_text("b").unwrap(),
+            "ACME Manufacturing"
+        );
+    }
+
+    #[test]
+    fn normalized_po_round_trips_through_edi() {
+        let po = plain_po();
+        let edi = po_from_normalized().apply(&po, &ctx()).unwrap();
+        assert_eq!(edi.format(), &FormatId::EDI_X12);
+        let back = po_to_normalized().apply(&edi, &ctx()).unwrap();
+        assert_eq!(back.body(), po.body());
+    }
+
+    #[test]
+    fn normalized_poa_round_trips_through_edi() {
+        let po = plain_po();
+        let poa = build_poa(&po, "accepted-with-changes", Date::new(2001, 9, 18).unwrap()).unwrap();
+        // POA travels seller -> buyer.
+        let poa_ctx = TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "2", "i-2");
+        let edi = poa_from_normalized().apply(&poa, &poa_ctx).unwrap();
+        assert_eq!(
+            edi.get("bak.ack_type").unwrap().as_text("t").unwrap(),
+            "AC",
+            "status mapped to the EDI code"
+        );
+        let back = poa_to_normalized().apply(&edi, &poa_ctx).unwrap();
+        assert!(poa_schema().accepts(&back), "{:?}", poa_schema().validate(&back));
+        assert_eq!(back.body(), poa.body());
+    }
+
+    #[test]
+    fn unknown_status_code_is_rejected() {
+        let po = plain_po();
+        let mut poa = build_poa(&po, "accepted", Date::new(2001, 9, 18).unwrap()).unwrap();
+        poa.set("header.status", b2b_document::Value::text("weird")).unwrap();
+        assert!(poa_from_normalized().apply(&poa, &ctx()).is_err());
+    }
+}

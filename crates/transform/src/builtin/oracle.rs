@@ -1,0 +1,171 @@
+//! Oracle applications ↔ normalized programs.
+
+use crate::context::ContextKey;
+use crate::mapping::MappingRule as R;
+use crate::program::TransformProgram;
+use b2b_document::{DocKind, FieldPath, FormatId, Value};
+
+const STATUS: &[(&str, &str)] =
+    &[("accepted", "ACCEPTED"), ("rejected", "REJECTED"), ("accepted-with-changes", "MODIFIED")];
+
+/// Operating-unit id the simulator files everything under.
+const DEFAULT_ORG_ID: i64 = 204;
+
+/// The four Oracle programs.
+pub fn oracle_programs() -> Vec<TransformProgram> {
+    vec![po_to_normalized(), po_from_normalized(), poa_to_normalized(), poa_from_normalized()]
+}
+
+fn po_to_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::ORACLE_APPS,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("po_header.segment1", "header.po_number"),
+            R::mv("po_header.agent_name", "header.buyer"),
+            R::mv("po_header.vendor_name", "header.seller"),
+            R::mv("po_header.creation_date", "header.order_date"),
+            R::for_each(
+                "po_lines",
+                "lines",
+                vec![
+                    R::mv("line_num", "line_no"),
+                    R::mv("item_id", "item"),
+                    R::mv("quantity", "quantity"),
+                    R::mv("unit_price", "unit_price"),
+                ],
+            ),
+            R::mv("po_header.total_amount", "amount"),
+        ],
+    )
+}
+
+fn po_from_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::NORMALIZED,
+        FormatId::ORACLE_APPS,
+        vec![
+            R::mv("header.po_number", "po_header.segment1"),
+            R::Const {
+                to: FieldPath::parse("po_header.org_id").expect("static path"),
+                value: Value::Int(DEFAULT_ORG_ID),
+            },
+            R::mv("header.seller", "po_header.vendor_name"),
+            R::mv("header.buyer", "po_header.agent_name"),
+            R::currency_of("amount", "po_header.currency_code"),
+            R::mv("header.order_date", "po_header.creation_date"),
+            R::mv("amount", "po_header.total_amount"),
+            R::for_each(
+                "lines",
+                "po_lines",
+                vec![
+                    R::mv("line_no", "line_num"),
+                    R::mv("item", "item_id"),
+                    R::mv("quantity", "quantity"),
+                    R::mv("unit_price", "unit_price"),
+                ],
+            ),
+        ],
+    )
+}
+
+fn poa_to_normalized() -> TransformProgram {
+    let (_, header_back) = super::status_maps("header.status", "ack_header.status", STATUS);
+    let (_, line_back) = super::status_maps("status", "status", STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::ORACLE_APPS,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("ack_header.po_number", "header.po_number"),
+            R::context("header.buyer", ContextKey::Receiver),
+            R::context("header.seller", ContextKey::Sender),
+            R::mv("ack_header.ack_date", "header.ack_date"),
+            header_back,
+            R::for_each(
+                "ack_lines",
+                "lines",
+                vec![R::mv("line_num", "line_no"), line_back, R::mv("quantity", "quantity")],
+            ),
+        ],
+    )
+}
+
+fn poa_from_normalized() -> TransformProgram {
+    let (header_fwd, _) = super::status_maps("header.status", "ack_header.status", STATUS);
+    let (line_fwd, _) = super::status_maps("status", "status", STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::NORMALIZED,
+        FormatId::ORACLE_APPS,
+        vec![
+            R::mv("header.po_number", "ack_header.po_number"),
+            header_fwd,
+            R::mv("header.ack_date", "ack_header.ack_date"),
+            R::for_each(
+                "lines",
+                "ack_lines",
+                vec![R::mv("line_no", "line_num"), line_fwd, R::mv("quantity", "quantity")],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TransformContext;
+    use b2b_document::formats::sample_oracle_po;
+    use b2b_document::normalized::{build_poa, po_schema, poa_schema, PoBuilder};
+    use b2b_document::{Currency, Date, Money};
+
+    fn ctx() -> TransformContext {
+        TransformContext::new("ACME Manufacturing", "Gadget Supply Co", "1", "i-1")
+    }
+
+    fn plain_po() -> b2b_document::Document {
+        PoBuilder::new(
+            "4711",
+            "ACME Manufacturing",
+            "Gadget Supply Co",
+            Date::new(2001, 9, 17).unwrap(),
+            Currency::Usd,
+        )
+        .line("LAPTOP-T23", 12, Money::from_units(1, Currency::Usd))
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn oracle_po_to_normalized_validates() {
+        let normalized = po_to_normalized().apply(&sample_oracle_po("4711", 12), &ctx()).unwrap();
+        assert!(po_schema().accepts(&normalized), "{:?}", po_schema().validate(&normalized));
+    }
+
+    #[test]
+    fn normalized_po_round_trips_through_oracle() {
+        let po = plain_po();
+        let ora = po_from_normalized().apply(&po, &ctx()).unwrap();
+        assert_eq!(ora.get("po_header.org_id").unwrap().as_int("o").unwrap(), DEFAULT_ORG_ID);
+        let back = po_to_normalized().apply(&ora, &ctx()).unwrap();
+        assert_eq!(back.body(), po.body());
+    }
+
+    #[test]
+    fn normalized_poa_round_trips_through_oracle() {
+        let po = plain_po();
+        let poa = build_poa(&po, "accepted-with-changes", Date::new(2001, 9, 18).unwrap()).unwrap();
+        let poa_ctx = TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "2", "i-2");
+        let ora = poa_from_normalized().apply(&poa, &poa_ctx).unwrap();
+        assert_eq!(
+            ora.get("ack_header.status").unwrap().as_text("s").unwrap(),
+            "MODIFIED"
+        );
+        let back = poa_to_normalized().apply(&ora, &poa_ctx).unwrap();
+        assert!(poa_schema().accepts(&back), "{:?}", poa_schema().validate(&back));
+        assert_eq!(back.body(), poa.body());
+    }
+}

@@ -1,0 +1,295 @@
+//! RosettaNet ↔ normalized programs.
+
+use crate::context::ContextKey;
+use crate::mapping::MappingRule as R;
+use crate::program::TransformProgram;
+use b2b_document::{DocKind, FormatId};
+
+const STATUS: &[(&str, &str)] =
+    &[("accepted", "Accept"), ("rejected", "Reject"), ("accepted-with-changes", "Modify")];
+
+/// The eight RosettaNet programs (PO/POA plus the Section 2.3 RFQ/quote
+/// exchange).
+pub fn rosettanet_programs() -> Vec<TransformProgram> {
+    vec![
+        po_to_normalized(),
+        po_from_normalized(),
+        poa_to_normalized(),
+        poa_from_normalized(),
+        rfq_to_normalized(),
+        rfq_from_normalized(),
+        quote_to_normalized(),
+        quote_from_normalized(),
+    ]
+}
+
+fn rfq_to_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::RequestForQuote,
+        FormatId::ROSETTANET,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("quote_request.rfq_number", "header.rfq_number"),
+            R::mv("quote_request.buyer", "header.buyer"),
+            R::mv("quote_request.item", "header.item"),
+            R::mv("quote_request.quantity", "header.quantity"),
+            R::mv("quote_request.respond_by", "header.respond_by"),
+        ],
+    )
+}
+
+fn rfq_from_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::RequestForQuote,
+        FormatId::NORMALIZED,
+        FormatId::ROSETTANET,
+        vec![
+            R::context("service_header.from", ContextKey::Sender),
+            R::context("service_header.to", ContextKey::Receiver),
+            R::const_text("service_header.pip_code", "3A1"),
+            R::context("service_header.instance_id", ContextKey::InstanceId),
+            R::mv("header.rfq_number", "quote_request.rfq_number"),
+            R::mv("header.buyer", "quote_request.buyer"),
+            R::mv("header.item", "quote_request.item"),
+            R::mv("header.quantity", "quote_request.quantity"),
+            R::mv("header.respond_by", "quote_request.respond_by"),
+        ],
+    )
+}
+
+fn quote_to_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::Quote,
+        FormatId::ROSETTANET,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("quote.rfq_number", "header.rfq_number"),
+            R::mv("quote.seller", "header.seller"),
+            R::mv("quote.unit_price", "header.unit_price"),
+            R::mv("quote.valid_until", "header.valid_until"),
+        ],
+    )
+}
+
+fn quote_from_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::Quote,
+        FormatId::NORMALIZED,
+        FormatId::ROSETTANET,
+        vec![
+            R::context("service_header.from", ContextKey::Sender),
+            R::context("service_header.to", ContextKey::Receiver),
+            R::const_text("service_header.pip_code", "3A1"),
+            R::context("service_header.instance_id", ContextKey::InstanceId),
+            R::mv("header.rfq_number", "quote.rfq_number"),
+            R::mv("header.seller", "quote.seller"),
+            R::currency_of("header.unit_price", "quote.currency"),
+            R::mv("header.unit_price", "quote.unit_price"),
+            R::mv("header.valid_until", "quote.valid_until"),
+        ],
+    )
+}
+
+fn po_to_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::ROSETTANET,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("purchase_order.po_number", "header.po_number"),
+            R::mv("purchase_order.buyer", "header.buyer"),
+            R::mv("purchase_order.seller", "header.seller"),
+            R::mv("purchase_order.order_date", "header.order_date"),
+            R::for_each(
+                "purchase_order.lines",
+                "lines",
+                vec![
+                    R::mv("line_number", "line_no"),
+                    R::mv("product_id", "item"),
+                    R::mv("quantity", "quantity"),
+                    R::mv("unit_price", "unit_price"),
+                ],
+            ),
+            R::mv("purchase_order.total_amount", "amount"),
+        ],
+    )
+}
+
+fn po_from_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::NORMALIZED,
+        FormatId::ROSETTANET,
+        vec![
+            R::context("service_header.from", ContextKey::Sender),
+            R::context("service_header.to", ContextKey::Receiver),
+            R::const_text("service_header.pip_code", "3A4"),
+            R::context("service_header.instance_id", ContextKey::InstanceId),
+            R::mv("header.po_number", "purchase_order.po_number"),
+            R::mv("header.order_date", "purchase_order.order_date"),
+            R::currency_of("amount", "purchase_order.currency"),
+            R::mv("header.buyer", "purchase_order.buyer"),
+            R::mv("header.seller", "purchase_order.seller"),
+            R::for_each(
+                "lines",
+                "purchase_order.lines",
+                vec![
+                    R::mv("line_no", "line_number"),
+                    R::mv("item", "product_id"),
+                    R::mv("quantity", "quantity"),
+                    R::mv("unit_price", "unit_price"),
+                ],
+            ),
+            R::mv("amount", "purchase_order.total_amount"),
+        ],
+    )
+}
+
+fn poa_to_normalized() -> TransformProgram {
+    let (_, header_back) = super::status_maps("header.status", "confirmation.response_code", STATUS);
+    let (_, line_back) = super::status_maps("status", "response_code", STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::ROSETTANET,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("confirmation.po_number", "header.po_number"),
+            // The confirmation travels seller -> buyer.
+            R::mv("service_header.to", "header.buyer"),
+            R::mv("service_header.from", "header.seller"),
+            R::mv("confirmation.ack_date", "header.ack_date"),
+            header_back,
+            R::for_each(
+                "confirmation.lines",
+                "lines",
+                vec![R::mv("line_number", "line_no"), line_back, R::mv("quantity", "quantity")],
+            ),
+        ],
+    )
+}
+
+fn poa_from_normalized() -> TransformProgram {
+    let (header_fwd, _) = super::status_maps("header.status", "confirmation.response_code", STATUS);
+    let (line_fwd, _) = super::status_maps("status", "response_code", STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::NORMALIZED,
+        FormatId::ROSETTANET,
+        vec![
+            R::context("service_header.from", ContextKey::Sender),
+            R::context("service_header.to", ContextKey::Receiver),
+            R::const_text("service_header.pip_code", "3A4"),
+            R::context("service_header.instance_id", ContextKey::InstanceId),
+            R::mv("header.po_number", "confirmation.po_number"),
+            header_fwd,
+            R::mv("header.ack_date", "confirmation.ack_date"),
+            R::for_each(
+                "lines",
+                "confirmation.lines",
+                vec![R::mv("line_no", "line_number"), line_fwd, R::mv("quantity", "quantity")],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TransformContext;
+    use b2b_document::formats::sample_rn_po;
+    use b2b_document::normalized::{build_poa, po_schema, poa_schema, PoBuilder};
+    use b2b_document::{Currency, Date, Money};
+
+    fn po_ctx() -> TransformContext {
+        TransformContext::new("ACME Manufacturing", "Gadget Supply Co", "1", "pip-1")
+    }
+
+    fn plain_po() -> b2b_document::Document {
+        PoBuilder::new(
+            "4711",
+            "ACME Manufacturing",
+            "Gadget Supply Co",
+            Date::new(2001, 9, 17).unwrap(),
+            Currency::Usd,
+        )
+        .line("LAPTOP-T23", 12, Money::from_units(1, Currency::Usd))
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn rn_po_to_normalized_validates() {
+        let normalized = po_to_normalized().apply(&sample_rn_po("4711", 12), &po_ctx()).unwrap();
+        assert!(po_schema().accepts(&normalized), "{:?}", po_schema().validate(&normalized));
+    }
+
+    #[test]
+    fn normalized_po_round_trips_through_rosettanet() {
+        let po = plain_po();
+        let rn = po_from_normalized().apply(&po, &po_ctx()).unwrap();
+        assert_eq!(
+            rn.get("service_header.pip_code").unwrap().as_text("p").unwrap(),
+            "3A4"
+        );
+        let back = po_to_normalized().apply(&rn, &po_ctx()).unwrap();
+        assert_eq!(back.body(), po.body());
+    }
+
+    #[test]
+    fn rfq_and_quote_round_trip_through_rosettanet() {
+        use b2b_document::{record, CorrelationId, DocKind, Document, FormatId, Value};
+        let rfq = Document::new(
+            DocKind::RequestForQuote,
+            FormatId::NORMALIZED,
+            CorrelationId::for_rfq_number("9"),
+            record! {
+                "header" => record! {
+                    "rfq_number" => Value::text("9"),
+                    "buyer" => Value::text("ACME Manufacturing"),
+                    "item" => Value::text("LAPTOP-T23"),
+                    "quantity" => Value::Int(100),
+                    "respond_by" => Value::Date(Date::new(2001, 10, 1).unwrap()),
+                },
+            },
+        );
+        assert!(b2b_document::normalized::rfq_schema().accepts(&rfq));
+        let ctx = TransformContext::new("ACME Manufacturing", "Gadget Supply Co", "1", "pip-rfq");
+        let wire = rfq_from_normalized().apply(&rfq, &ctx).unwrap();
+        let back = rfq_to_normalized().apply(&wire, &ctx).unwrap();
+        assert_eq!(back.body(), rfq.body());
+
+        let quote = rfq.reply(
+            DocKind::Quote,
+            FormatId::NORMALIZED,
+            record! {
+                "header" => record! {
+                    "rfq_number" => Value::text("9"),
+                    "seller" => Value::text("Gadget Supply Co"),
+                    "unit_price" => Value::Money(Money::from_cents(94_999, Currency::Usd)),
+                    "valid_until" => Value::Date(Date::new(2001, 11, 1).unwrap()),
+                },
+            },
+        );
+        assert!(b2b_document::normalized::quote_schema().accepts(&quote));
+        let qctx = TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "2", "pip-q");
+        let wire = quote_from_normalized().apply(&quote, &qctx).unwrap();
+        let back = quote_to_normalized().apply(&wire, &qctx).unwrap();
+        assert_eq!(back.body(), quote.body());
+    }
+
+    #[test]
+    fn normalized_poa_round_trips_through_rosettanet() {
+        let po = plain_po();
+        let poa = build_poa(&po, "rejected", Date::new(2001, 9, 18).unwrap()).unwrap();
+        let poa_ctx = TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "2", "pip-2");
+        let rn = poa_from_normalized().apply(&poa, &poa_ctx).unwrap();
+        assert_eq!(
+            rn.get("confirmation.response_code").unwrap().as_text("c").unwrap(),
+            "Reject"
+        );
+        let back = poa_to_normalized().apply(&rn, &poa_ctx).unwrap();
+        assert!(poa_schema().accepts(&back), "{:?}", poa_schema().validate(&back));
+        assert_eq!(back.body(), poa.body());
+    }
+}

@@ -1,0 +1,180 @@
+//! SAP IDoc ↔ normalized programs (the paper's "Transform EDI to SAP PO"
+//! path goes EDI → normalized → SAP through two of these).
+
+use crate::context::ContextKey;
+use crate::mapping::MappingRule as R;
+use crate::program::TransformProgram;
+use b2b_document::{DocKind, FormatId};
+
+const STATUS: &[(&str, &str)] =
+    &[("accepted", "001"), ("rejected", "003"), ("accepted-with-changes", "002")];
+
+/// The four SAP programs.
+pub fn sap_programs() -> Vec<TransformProgram> {
+    vec![po_to_normalized(), po_from_normalized(), poa_to_normalized(), poa_from_normalized()]
+}
+
+fn po_to_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::SAP_IDOC,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("e1edk01.belnr", "header.po_number"),
+            R::pick("e1edka1", "parvw", "AG", "name", "header.buyer"),
+            R::pick("e1edka1", "parvw", "LF", "name", "header.seller"),
+            R::mv("e1edk01.audat", "header.order_date"),
+            R::for_each(
+                "e1edp01",
+                "lines",
+                vec![
+                    R::mv("posex", "line_no"),
+                    R::mv("matnr", "item"),
+                    R::mv("menge", "quantity"),
+                    R::mv("vprei", "unit_price"),
+                ],
+            ),
+            R::mv("e1eds01.summe", "amount"),
+        ],
+    )
+}
+
+fn po_from_normalized() -> TransformProgram {
+    TransformProgram::new(
+        DocKind::PurchaseOrder,
+        FormatId::NORMALIZED,
+        FormatId::SAP_IDOC,
+        vec![
+            R::const_text("control.idoctyp", "ORDERS05"),
+            R::context("control.sndprn", ContextKey::Sender),
+            R::context("control.rcvprn", ContextKey::Receiver),
+            R::context("control.docnum", ContextKey::ControlNumber),
+            R::mv("header.po_number", "e1edk01.belnr"),
+            R::currency_of("amount", "e1edk01.curcy"),
+            R::mv("header.order_date", "e1edk01.audat"),
+            R::append(
+                "e1edka1",
+                vec![R::const_text("parvw", "AG"), R::mv("header.buyer", "name")],
+            ),
+            R::append(
+                "e1edka1",
+                vec![R::const_text("parvw", "LF"), R::mv("header.seller", "name")],
+            ),
+            R::for_each(
+                "lines",
+                "e1edp01",
+                vec![
+                    R::mv("line_no", "posex"),
+                    R::mv("quantity", "menge"),
+                    R::mv("unit_price", "vprei"),
+                    R::mv("item", "matnr"),
+                ],
+            ),
+            R::mv("amount", "e1eds01.summe"),
+        ],
+    )
+}
+
+fn poa_to_normalized() -> TransformProgram {
+    let (_, header_back) = super::status_maps("header.status", "e1edk01.action", STATUS);
+    let (_, line_back) = super::status_maps("status", "action", STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::SAP_IDOC,
+        FormatId::NORMALIZED,
+        vec![
+            R::mv("e1edk01.belnr", "header.po_number"),
+            R::context("header.buyer", ContextKey::Receiver),
+            R::context("header.seller", ContextKey::Sender),
+            R::mv("e1edk01.audat", "header.ack_date"),
+            header_back,
+            R::for_each(
+                "e1edp01",
+                "lines",
+                vec![R::mv("posex", "line_no"), line_back, R::mv("menge", "quantity")],
+            ),
+        ],
+    )
+}
+
+fn poa_from_normalized() -> TransformProgram {
+    let (header_fwd, _) = super::status_maps("header.status", "e1edk01.action", STATUS);
+    let (line_fwd, _) = super::status_maps("status", "action", STATUS);
+    TransformProgram::new(
+        DocKind::PurchaseOrderAck,
+        FormatId::NORMALIZED,
+        FormatId::SAP_IDOC,
+        vec![
+            R::const_text("control.idoctyp", "ORDRSP"),
+            R::context("control.sndprn", ContextKey::Sender),
+            R::context("control.rcvprn", ContextKey::Receiver),
+            R::context("control.docnum", ContextKey::ControlNumber),
+            R::mv("header.po_number", "e1edk01.belnr"),
+            R::mv("header.ack_date", "e1edk01.audat"),
+            header_fwd,
+            R::for_each(
+                "lines",
+                "e1edp01",
+                vec![R::mv("line_no", "posex"), R::mv("quantity", "menge"), line_fwd],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TransformContext;
+    use b2b_document::formats::sample_sap_po;
+    use b2b_document::normalized::{build_poa, po_schema, poa_schema, PoBuilder};
+    use b2b_document::{Currency, Date, Money};
+
+    fn ctx() -> TransformContext {
+        TransformContext::new("ACME Manufacturing", "Gadget Supply Co", "idoc-1", "i-1")
+    }
+
+    fn plain_po() -> b2b_document::Document {
+        PoBuilder::new(
+            "4711",
+            "ACME Manufacturing",
+            "Gadget Supply Co",
+            Date::new(2001, 9, 17).unwrap(),
+            Currency::Usd,
+        )
+        .line("LAPTOP-T23", 12, Money::from_units(1, Currency::Usd))
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn sap_po_to_normalized_validates() {
+        let normalized = po_to_normalized().apply(&sample_sap_po("4711", 12), &ctx()).unwrap();
+        assert!(po_schema().accepts(&normalized), "{:?}", po_schema().validate(&normalized));
+    }
+
+    #[test]
+    fn normalized_po_round_trips_through_sap() {
+        let po = plain_po();
+        let idoc = po_from_normalized().apply(&po, &ctx()).unwrap();
+        assert_eq!(
+            idoc.get("control.idoctyp").unwrap().as_text("t").unwrap(),
+            "ORDERS05"
+        );
+        let back = po_to_normalized().apply(&idoc, &ctx()).unwrap();
+        assert_eq!(back.body(), po.body());
+    }
+
+    #[test]
+    fn normalized_poa_round_trips_through_sap() {
+        let po = plain_po();
+        let poa = build_poa(&po, "accepted", Date::new(2001, 9, 18).unwrap()).unwrap();
+        let poa_ctx =
+            TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "idoc-2", "i-2");
+        let idoc = poa_from_normalized().apply(&poa, &poa_ctx).unwrap();
+        assert_eq!(idoc.get("e1edk01.action").unwrap().as_text("a").unwrap(), "001");
+        let back = poa_to_normalized().apply(&idoc, &poa_ctx).unwrap();
+        assert!(poa_schema().accepts(&back), "{:?}", poa_schema().validate(&back));
+        assert_eq!(back.body(), poa.body());
+    }
+}

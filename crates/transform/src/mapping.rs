@@ -1,0 +1,445 @@
+//! The declarative mapping language.
+
+use crate::context::{ContextKey, TransformContext};
+use crate::error::{Result, TransformError};
+use b2b_document::{FieldPath, Money, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One mapping rule. Rules run in order against a source value tree and
+/// write into a target tree that starts empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MappingRule {
+    /// Copies the value at `from` to `to`. When `optional`, a missing
+    /// source is skipped silently; otherwise it is an error.
+    Move {
+        /// Source path.
+        from: FieldPath,
+        /// Target path.
+        to: FieldPath,
+        /// Skip silently when the source is missing.
+        optional: bool,
+    },
+    /// Writes a constant.
+    Const {
+        /// Target path.
+        to: FieldPath,
+        /// The constant.
+        value: Value,
+    },
+    /// Translates a text code through a lookup table (e.g. normalized
+    /// `accepted` ↔ EDI `IA`).
+    ValueMap {
+        /// Source path (must hold text).
+        from: FieldPath,
+        /// Target path.
+        to: FieldPath,
+        /// Code table.
+        map: BTreeMap<String, String>,
+        /// Fallback when the source code is not in the table; `None` makes
+        /// unknown codes an error.
+        default: Option<String>,
+    },
+    /// Maps every element of the source list into a new element of the
+    /// target list, applying `rules` with paths relative to the elements.
+    ForEach {
+        /// Source list path.
+        from: FieldPath,
+        /// Target list path.
+        to: FieldPath,
+        /// Per-element rules.
+        rules: Vec<MappingRule>,
+    },
+    /// Selects the element of a source list whose `match_field` equals
+    /// `equals`, then copies its `take` field to `to` (e.g. pick the N1
+    /// segment with code `BY` and take its name).
+    Pick {
+        /// Source list path.
+        from: FieldPath,
+        /// Field inside each element to match on.
+        match_field: String,
+        /// Value it must equal.
+        equals: String,
+        /// Field inside the matching element to copy.
+        take: String,
+        /// Target path.
+        to: FieldPath,
+    },
+    /// Appends one record to the target list at `to`, built by `rules`
+    /// evaluated against the *source root* (used to construct N1-style
+    /// party lists from flat header fields).
+    Append {
+        /// Target list path.
+        to: FieldPath,
+        /// Rules building the appended record.
+        rules: Vec<MappingRule>,
+    },
+    /// Injects a context value (sender, receiver, control number, …).
+    Context {
+        /// Target path.
+        to: FieldPath,
+        /// Which context value.
+        key: ContextKey,
+    },
+    /// Writes the currency code (text) of the money value at `from`.
+    CurrencyOf {
+        /// Source money path.
+        from: FieldPath,
+        /// Target path.
+        to: FieldPath,
+    },
+    /// Sums `field` (money) over the list at `over` and writes the total.
+    SumMoney {
+        /// Source list path.
+        over: FieldPath,
+        /// Money field inside each element.
+        field: String,
+        /// Target path.
+        to: FieldPath,
+    },
+}
+
+impl MappingRule {
+    /// Required move.
+    pub fn mv(from: &str, to: &str) -> Self {
+        Self::Move { from: path(from), to: path(to), optional: false }
+    }
+
+    /// Optional move.
+    pub fn mv_opt(from: &str, to: &str) -> Self {
+        Self::Move { from: path(from), to: path(to), optional: true }
+    }
+
+    /// Constant text.
+    pub fn const_text(to: &str, text: &str) -> Self {
+        Self::Const { to: path(to), value: Value::text(text) }
+    }
+
+    /// Code table translation.
+    pub fn value_map(from: &str, to: &str, pairs: &[(&str, &str)]) -> Self {
+        Self::ValueMap {
+            from: path(from),
+            to: path(to),
+            map: pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            default: None,
+        }
+    }
+
+    /// Per-element iteration.
+    pub fn for_each(from: &str, to: &str, rules: Vec<MappingRule>) -> Self {
+        Self::ForEach { from: path(from), to: path(to), rules }
+    }
+
+    /// List element selection.
+    pub fn pick(from: &str, match_field: &str, equals: &str, take: &str, to: &str) -> Self {
+        Self::Pick {
+            from: path(from),
+            match_field: match_field.to_string(),
+            equals: equals.to_string(),
+            take: take.to_string(),
+            to: path(to),
+        }
+    }
+
+    /// List element construction.
+    pub fn append(to: &str, rules: Vec<MappingRule>) -> Self {
+        Self::Append { to: path(to), rules }
+    }
+
+    /// Context injection.
+    pub fn context(to: &str, key: ContextKey) -> Self {
+        Self::Context { to: path(to), key }
+    }
+
+    /// Currency extraction.
+    pub fn currency_of(from: &str, to: &str) -> Self {
+        Self::CurrencyOf { from: path(from), to: path(to) }
+    }
+
+    /// Money aggregation.
+    pub fn sum_money(over: &str, field: &str, to: &str) -> Self {
+        Self::SumMoney { over: path(over), field: field.to_string(), to: path(to) }
+    }
+
+    /// Short description used in error messages and metrics.
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Move { from, to, .. } => format!("move {from} -> {to}"),
+            Self::Const { to, .. } => format!("const -> {to}"),
+            Self::ValueMap { from, to, .. } => format!("value-map {from} -> {to}"),
+            Self::ForEach { from, to, .. } => format!("for-each {from} -> {to}"),
+            Self::Pick { from, to, .. } => format!("pick {from} -> {to}"),
+            Self::Append { to, .. } => format!("append -> {to}"),
+            Self::Context { to, .. } => format!("context -> {to}"),
+            Self::CurrencyOf { from, to } => format!("currency-of {from} -> {to}"),
+            Self::SumMoney { over, to, .. } => format!("sum-money {over} -> {to}"),
+        }
+    }
+
+    /// Applies the rule.
+    pub fn apply(
+        &self,
+        program: &str,
+        source: &Value,
+        target: &mut Value,
+        ctx: &TransformContext,
+    ) -> Result<()> {
+        let err = |reason: String| TransformError::Rule {
+            program: program.to_string(),
+            rule: self.describe(),
+            reason,
+        };
+        match self {
+            Self::Move { from, to, optional } => match from.lookup(source) {
+                Some(v) => to.set(target, v.clone()).map_err(|e| err(e.to_string())),
+                None if *optional => Ok(()),
+                None => Err(err(format!("source path `{from}` not found"))),
+            },
+            Self::Const { to, value } => {
+                to.set(target, value.clone()).map_err(|e| err(e.to_string()))
+            }
+            Self::ValueMap { from, to, map, default } => {
+                let v = from
+                    .lookup(source)
+                    .ok_or_else(|| err(format!("source path `{from}` not found")))?;
+                let code = v.as_text(&from.to_string()).map_err(|e| err(e.to_string()))?;
+                let mapped = match map.get(code) {
+                    Some(m) => m.clone(),
+                    None => default
+                        .clone()
+                        .ok_or_else(|| err(format!("code `{code}` not in value map")))?,
+                };
+                to.set(target, Value::Text(mapped)).map_err(|e| err(e.to_string()))
+            }
+            Self::ForEach { from, to, rules } => {
+                let items = from
+                    .lookup(source)
+                    .ok_or_else(|| err(format!("source path `{from}` not found")))?
+                    .as_list(&from.to_string())
+                    .map_err(|e| err(e.to_string()))?;
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let mut element = Value::record();
+                    for rule in rules {
+                        rule.apply(program, item, &mut element, ctx)?;
+                    }
+                    out.push(element);
+                }
+                to.set(target, Value::List(out)).map_err(|e| err(e.to_string()))
+            }
+            Self::Pick { from, match_field, equals, take, to } => {
+                let items = from
+                    .lookup(source)
+                    .ok_or_else(|| err(format!("source path `{from}` not found")))?
+                    .as_list(&from.to_string())
+                    .map_err(|e| err(e.to_string()))?;
+                for item in items {
+                    let rec = item.as_record(&from.to_string()).map_err(|e| err(e.to_string()))?;
+                    if let Some(Value::Text(code)) = rec.get(match_field) {
+                        if code == equals {
+                            let taken = rec.get(take).ok_or_else(|| {
+                                err(format!("matched element has no field `{take}`"))
+                            })?;
+                            return to.set(target, taken.clone()).map_err(|e| err(e.to_string()));
+                        }
+                    }
+                }
+                Err(err(format!("no element with {match_field} == `{equals}`")))
+            }
+            Self::Append { to, rules } => {
+                let mut element = Value::record();
+                for rule in rules {
+                    rule.apply(program, source, &mut element, ctx)?;
+                }
+                match to.lookup(target) {
+                    Some(Value::List(_)) => {}
+                    Some(other) => {
+                        return Err(err(format!(
+                            "target `{to}` is {}, not a list",
+                            other.type_name()
+                        )))
+                    }
+                    None => {
+                        to.set(target, Value::List(Vec::new())).map_err(|e| err(e.to_string()))?
+                    }
+                }
+                // Re-borrow mutably and push.
+                let list = match to.lookup(target) {
+                    Some(Value::List(items)) => items.len(),
+                    _ => unreachable!("just ensured a list"),
+                };
+                let idx_path = FieldPath::parse(&format!("{to}[{list}]"));
+                // Indexing one past the end is not supported by set(), so
+                // rebuild the list instead.
+                drop(idx_path);
+                if let Some(Value::List(items)) = remove_at(target, to) {
+                    let mut items = items;
+                    items.push(element);
+                    to.set(target, Value::List(items)).map_err(|e| err(e.to_string()))?;
+                }
+                Ok(())
+            }
+            Self::Context { to, key } => {
+                to.set(target, Value::text(ctx.get(*key))).map_err(|e| err(e.to_string()))
+            }
+            Self::CurrencyOf { from, to } => {
+                let v = from
+                    .lookup(source)
+                    .ok_or_else(|| err(format!("source path `{from}` not found")))?;
+                let money = v.as_money(&from.to_string()).map_err(|e| err(e.to_string()))?;
+                to.set(target, Value::text(money.currency().code()))
+                    .map_err(|e| err(e.to_string()))
+            }
+            Self::SumMoney { over, field, to } => {
+                let items = over
+                    .lookup(source)
+                    .ok_or_else(|| err(format!("source path `{over}` not found")))?
+                    .as_list(&over.to_string())
+                    .map_err(|e| err(e.to_string()))?;
+                let mut sum: Option<Money> = None;
+                for (i, item) in items.iter().enumerate() {
+                    let at = format!("{over}[{i}]");
+                    let rec = item.as_record(&at).map_err(|e| err(e.to_string()))?;
+                    let m = rec
+                        .get(field)
+                        .ok_or_else(|| err(format!("{at} has no field `{field}`")))?
+                        .as_money(&at)
+                        .map_err(|e| err(e.to_string()))?;
+                    sum = Some(match sum {
+                        None => m,
+                        Some(acc) => acc.checked_add(m).map_err(|e| err(e.to_string()))?,
+                    });
+                }
+                let total = sum.ok_or_else(|| err("cannot sum an empty list".into()))?;
+                to.set(target, Value::Money(total)).map_err(|e| err(e.to_string()))
+            }
+        }
+    }
+}
+
+fn remove_at(target: &mut Value, at: &FieldPath) -> Option<Value> {
+    at.remove(target).ok().flatten()
+}
+
+fn path(text: &str) -> FieldPath {
+    FieldPath::parse(text).expect("builder paths are static and valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::{record, Currency};
+
+    fn ctx() -> TransformContext {
+        TransformContext::new("A", "B", "7", "i-1")
+    }
+
+    fn apply(rule: MappingRule, source: &Value) -> Result<Value> {
+        let mut target = Value::record();
+        rule.apply("test", source, &mut target, &ctx())?;
+        Ok(target)
+    }
+
+    #[test]
+    fn move_copies_and_reports_missing() {
+        let source = record! { "a" => record! { "b" => Value::Int(5) } };
+        let out = apply(MappingRule::mv("a.b", "x.y"), &source).unwrap();
+        assert_eq!(out, record! { "x" => record! { "y" => Value::Int(5) } });
+        assert!(apply(MappingRule::mv("a.z", "x"), &source).is_err());
+        assert_eq!(apply(MappingRule::mv_opt("a.z", "x"), &source).unwrap(), Value::record());
+    }
+
+    #[test]
+    fn value_map_translates_codes() {
+        let source = record! { "status" => Value::text("accepted") };
+        let rule = MappingRule::value_map("status", "code", &[("accepted", "IA"), ("rejected", "IR")]);
+        assert_eq!(apply(rule, &source).unwrap(), record! { "code" => Value::text("IA") });
+        let unknown = record! { "status" => Value::text("weird") };
+        let rule = MappingRule::value_map("status", "code", &[("accepted", "IA")]);
+        assert!(apply(rule, &unknown).is_err());
+    }
+
+    #[test]
+    fn for_each_maps_lines() {
+        let source = record! {
+            "lines" => Value::List(vec![
+                record! { "q" => Value::Int(1) },
+                record! { "q" => Value::Int(2) },
+            ]),
+        };
+        let rule = MappingRule::for_each("lines", "items", vec![MappingRule::mv("q", "qty")]);
+        let out = apply(rule, &source).unwrap();
+        assert_eq!(
+            out,
+            record! { "items" => Value::List(vec![
+                record! { "qty" => Value::Int(1) },
+                record! { "qty" => Value::Int(2) },
+            ]) }
+        );
+    }
+
+    #[test]
+    fn pick_selects_by_code() {
+        let source = record! {
+            "n1" => Value::List(vec![
+                record! { "code" => Value::text("BY"), "name" => Value::text("Buyer Inc") },
+                record! { "code" => Value::text("SE"), "name" => Value::text("Seller Inc") },
+            ]),
+        };
+        let out = apply(MappingRule::pick("n1", "code", "SE", "name", "seller"), &source).unwrap();
+        assert_eq!(out, record! { "seller" => Value::text("Seller Inc") });
+        assert!(apply(MappingRule::pick("n1", "code", "XX", "name", "x"), &source).is_err());
+    }
+
+    #[test]
+    fn append_builds_party_lists() {
+        let source = record! { "buyer" => Value::text("B"), "seller" => Value::text("S") };
+        let mut target = Value::record();
+        for (code, from) in [("BY", "buyer"), ("SE", "seller")] {
+            MappingRule::append(
+                "n1",
+                vec![MappingRule::const_text("code", code), MappingRule::mv(from, "name")],
+            )
+            .apply("test", &source, &mut target, &ctx())
+            .unwrap();
+        }
+        let n1 = FieldPath::parse("n1").unwrap();
+        let items = n1.get(&target).unwrap().as_list("n1").unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1], record! { "code" => Value::text("SE"), "name" => Value::text("S") });
+    }
+
+    #[test]
+    fn context_currency_and_sum() {
+        let m = |u| Value::Money(Money::from_units(u, Currency::Usd));
+        let source = record! {
+            "lines" => Value::List(vec![
+                record! { "ext" => m(10) },
+                record! { "ext" => m(32) },
+            ]),
+            "amount" => m(42),
+        };
+        let mut target = Value::record();
+        MappingRule::context("env.sender", ContextKey::Sender)
+            .apply("t", &source, &mut target, &ctx())
+            .unwrap();
+        MappingRule::currency_of("amount", "cur")
+            .apply("t", &source, &mut target, &ctx())
+            .unwrap();
+        MappingRule::sum_money("lines", "ext", "total")
+            .apply("t", &source, &mut target, &ctx())
+            .unwrap();
+        assert_eq!(
+            FieldPath::parse("env.sender").unwrap().get(&target).unwrap(),
+            &Value::text("A")
+        );
+        assert_eq!(FieldPath::parse("cur").unwrap().get(&target).unwrap(), &Value::text("USD"));
+        assert_eq!(FieldPath::parse("total").unwrap().get(&target).unwrap(), &m(42));
+    }
+
+    #[test]
+    fn sum_money_rejects_empty_list() {
+        let source = record! { "lines" => Value::List(vec![]) };
+        assert!(apply(MappingRule::sum_money("lines", "ext", "total"), &source).is_err());
+    }
+}

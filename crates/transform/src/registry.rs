@@ -1,0 +1,116 @@
+//! The transformation registry bindings resolve against.
+
+use crate::context::TransformContext;
+use crate::error::{Result, TransformError};
+use crate::program::TransformProgram;
+use b2b_document::{DocKind, Document, FormatId};
+use std::collections::BTreeMap;
+
+/// Registry of transformation programs keyed by
+/// (source format, target format, document kind).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransformRegistry {
+    programs: BTreeMap<(FormatId, FormatId, DocKind), TransformProgram>,
+}
+
+impl TransformRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with all built-in programs (every wire and
+    /// back-end format to and from the normalized format).
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        for program in crate::builtin::all_builtins() {
+            reg.register(program);
+        }
+        reg
+    }
+
+    /// Registers (or replaces) a program.
+    pub fn register(&mut self, program: TransformProgram) {
+        self.programs.insert(
+            (program.source_format().clone(), program.target_format().clone(), program.kind()),
+            program,
+        );
+    }
+
+    /// Looks up the program for a conversion.
+    pub fn program(
+        &self,
+        source: &FormatId,
+        target: &FormatId,
+        kind: DocKind,
+    ) -> Result<&TransformProgram> {
+        self.programs.get(&(source.clone(), target.clone(), kind)).ok_or_else(|| {
+            TransformError::NoProgram {
+                source: source.to_string(),
+                target: target.to_string(),
+                kind: kind.to_string(),
+            }
+        })
+    }
+
+    /// Transforms a document into `target` format, dispatching on the
+    /// document's own format and kind.
+    pub fn transform(
+        &self,
+        doc: &Document,
+        target: &FormatId,
+        ctx: &TransformContext,
+    ) -> Result<Document> {
+        self.program(doc.format(), target, doc.kind())?.apply(doc, ctx)
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Total rule count across programs (model-size metrics).
+    pub fn total_rule_count(&self) -> usize {
+        self.programs.values().map(TransformProgram::rule_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::formats::sample_edi_po;
+
+    #[test]
+    fn builtins_cover_all_format_pairs() {
+        let reg = TransformRegistry::with_builtins();
+        let wire_formats = [
+            FormatId::EDI_X12,
+            FormatId::ROSETTANET,
+            FormatId::OAGIS,
+            FormatId::SAP_IDOC,
+            FormatId::ORACLE_APPS,
+        ];
+        for f in &wire_formats {
+            for kind in [DocKind::PurchaseOrder, DocKind::PurchaseOrderAck] {
+                assert!(reg.program(f, &FormatId::NORMALIZED, kind).is_ok(), "{f} -> norm {kind}");
+                assert!(reg.program(&FormatId::NORMALIZED, f, kind).is_ok(), "norm -> {f} {kind}");
+            }
+        }
+        assert_eq!(reg.len(), 24);
+    }
+
+    #[test]
+    fn missing_program_is_reported() {
+        let reg = TransformRegistry::new();
+        let doc = sample_edi_po("1", 5);
+        match reg.transform(&doc, &FormatId::NORMALIZED, &TransformContext::default()) {
+            Err(TransformError::NoProgram { source, .. }) => assert_eq!(source, "edi-x12"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

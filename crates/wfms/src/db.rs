@@ -1,0 +1,162 @@
+//! The workflow database (Figure 4): workflow types plus instance states.
+
+use crate::engine::instance::WorkflowInstance;
+use crate::error::{Result, WfError};
+use crate::model::{InstanceId, WorkflowType, WorkflowTypeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// In-memory workflow database with snapshot/restore.
+///
+/// The engine checks types in and out of here on every advancement (unless
+/// the instance carries its type), reproducing the architecture the paper
+/// describes: "the workflow engine retrieves the state of the workflow
+/// instance in question, advances the workflow instance and stores the
+/// advanced state … back into the database".
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowDatabase {
+    types: BTreeMap<WorkflowTypeId, WorkflowType>,
+    instances: BTreeMap<InstanceId, WorkflowInstance>,
+    next_instance: u64,
+}
+
+impl WorkflowDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self { next_instance: 1, ..Self::default() }
+    }
+
+    /// Stores a workflow type (replaces same-id older versions).
+    pub fn put_type(&mut self, wf: WorkflowType) {
+        self.types.insert(wf.id().clone(), wf);
+    }
+
+    /// Whether a type is present (Figure 6, step ①).
+    pub fn has_type(&self, id: &WorkflowTypeId) -> bool {
+        self.types.contains_key(id)
+    }
+
+    /// Fetches a type.
+    pub fn get_type(&self, id: &WorkflowTypeId) -> Result<&WorkflowType> {
+        self.types.get(id).ok_or_else(|| WfError::UnknownType { workflow: id.to_string() })
+    }
+
+    /// All type ids (sorted).
+    pub fn type_ids(&self) -> Vec<&WorkflowTypeId> {
+        self.types.keys().collect()
+    }
+
+    /// Number of stored types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Allocates the next instance id.
+    pub fn allocate_instance_id(&mut self) -> InstanceId {
+        let id = InstanceId::new(self.next_instance);
+        self.next_instance += 1;
+        id
+    }
+
+    /// Inserts an instance.
+    pub fn put_instance(&mut self, inst: WorkflowInstance) {
+        self.instances.insert(inst.id, inst);
+    }
+
+    /// Removes an instance for in-engine state transition or migration.
+    pub fn take_instance(&mut self, id: InstanceId) -> Result<WorkflowInstance> {
+        self.instances
+            .remove(&id)
+            .ok_or(WfError::UnknownInstance { instance: id.value() })
+    }
+
+    /// Reads an instance without removing it.
+    pub fn get_instance(&self, id: InstanceId) -> Result<&WorkflowInstance> {
+        self.instances
+            .get(&id)
+            .ok_or(WfError::UnknownInstance { instance: id.value() })
+    }
+
+    /// Number of stored instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// All instance ids (sorted).
+    pub fn instance_ids(&self) -> Vec<InstanceId> {
+        self.instances.keys().copied().collect()
+    }
+
+    /// Serializes the whole database.
+    pub fn snapshot(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| WfError::Snapshot { reason: e.to_string() })
+    }
+
+    /// Restores a database from a snapshot.
+    pub fn restore(snapshot: &str) -> Result<Self> {
+        serde_json::from_str(snapshot).map_err(|e| WfError::Snapshot { reason: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StepDef, WorkflowBuilder};
+    use std::collections::BTreeMap;
+
+    fn wf(name: &str) -> WorkflowType {
+        WorkflowBuilder::new(name).step(StepDef::noop("a")).build().unwrap()
+    }
+
+    #[test]
+    fn types_are_stored_and_found() {
+        let mut db = WorkflowDatabase::new();
+        assert!(!db.has_type(&WorkflowTypeId::new("w")));
+        db.put_type(wf("w"));
+        assert!(db.has_type(&WorkflowTypeId::new("w")));
+        assert_eq!(db.type_count(), 1);
+        assert!(db.get_type(&WorkflowTypeId::new("ghost")).is_err());
+    }
+
+    #[test]
+    fn instance_ids_are_sequential() {
+        let mut db = WorkflowDatabase::new();
+        let a = db.allocate_instance_id();
+        let b = db.allocate_instance_id();
+        assert_ne!(a, b);
+        assert_eq!(b.value(), a.value() + 1);
+    }
+
+    #[test]
+    fn take_removes_the_instance() {
+        let mut db = WorkflowDatabase::new();
+        let w = wf("w");
+        let id = db.allocate_instance_id();
+        db.put_instance(WorkflowInstance::new(id, &w, BTreeMap::new(), "s", "t", false));
+        assert_eq!(db.instance_count(), 1);
+        let inst = db.take_instance(id).unwrap();
+        assert_eq!(db.instance_count(), 0);
+        assert!(db.take_instance(id).is_err());
+        db.put_instance(inst);
+        assert_eq!(db.instance_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut db = WorkflowDatabase::new();
+        db.put_type(wf("w"));
+        let id = db.allocate_instance_id();
+        db.put_instance(WorkflowInstance::new(
+            id,
+            &wf("w"),
+            BTreeMap::new(),
+            "s",
+            "t",
+            false,
+        ));
+        let snap = db.snapshot().unwrap();
+        let back = WorkflowDatabase::restore(&snap).unwrap();
+        assert_eq!(back, db);
+        assert!(WorkflowDatabase::restore("not json").is_err());
+    }
+}

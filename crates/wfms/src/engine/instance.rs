@@ -1,0 +1,226 @@
+//! Workflow instance state.
+
+use crate::error::{Result, WfError};
+use crate::model::{InstanceId, StepId, WorkflowType, WorkflowTypeId};
+use b2b_document::{record, CorrelationId, DocKind, Document, FormatId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A variable slot in an instance: either a business document or a plain
+/// value (rule results, counters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Variable {
+    /// A business document.
+    Document(Document),
+    /// A plain value.
+    Value(Value),
+}
+
+impl Variable {
+    /// Extracts a document, or errors naming the variable.
+    pub fn as_document(&self, var: &str) -> Result<&Document> {
+        match self {
+            Self::Document(d) => Ok(d),
+            Self::Value(v) => Err(WfError::StepFailed {
+                workflow: String::new(),
+                step: String::new(),
+                reason: format!("variable `{var}` holds a {} value, not a document", v.type_name()),
+            }),
+        }
+    }
+
+    /// Document a guard condition can evaluate against: documents pass
+    /// through; plain values are wrapped so guards address them as
+    /// `document.value`.
+    pub fn guard_document(&self) -> Document {
+        match self {
+            Self::Document(d) => d.clone(),
+            Self::Value(v) => Document::new(
+                DocKind::Receipt,
+                FormatId::custom("variable"),
+                CorrelationId::new("guard"),
+                record! { "value" => v.clone() },
+            ),
+        }
+    }
+}
+
+/// Per-step execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepState {
+    /// Not yet executed.
+    Pending,
+    /// Waiting for a message, timer, or subworkflow.
+    Waiting,
+    /// Finished.
+    Completed,
+    /// Eliminated by a false branch guard.
+    Skipped,
+}
+
+/// Per-edge resolution state (dead-path elimination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeState {
+    /// Source step not resolved yet.
+    Unresolved,
+    /// Token flowed along this edge.
+    Taken,
+    /// Guard was false or source was skipped.
+    Dead,
+}
+
+/// Overall instance status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceStatus {
+    /// Executing or blocked on receive/timer/subworkflow.
+    Running,
+    /// All steps completed or skipped.
+    Completed,
+    /// A step failed; the reason is recorded.
+    Failed(String),
+}
+
+/// One workflow instance. Fully serializable — migration between engines
+/// works by serializing this struct (Section 2.1's "at any point in time a
+/// workflow instance is either persisted in the database or in state
+/// transition in the workflow engine").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowInstance {
+    /// Instance id (engine-local).
+    pub id: InstanceId,
+    /// Type this instance executes.
+    pub type_id: WorkflowTypeId,
+    /// Type version captured at creation.
+    pub type_version: u32,
+    /// Overall status.
+    pub status: InstanceStatus,
+    /// Per-step states.
+    pub step_states: BTreeMap<StepId, StepState>,
+    /// Per-edge states, indexed like `WorkflowType::edges`.
+    pub edge_states: Vec<EdgeState>,
+    /// Variables.
+    pub vars: BTreeMap<String, Variable>,
+    /// Rule-context source (trading partner or application the triggering
+    /// document came from).
+    pub source: String,
+    /// Rule-context target.
+    pub target: String,
+    /// Parent (instance, step) when this is a subworkflow.
+    pub parent: Option<(InstanceId, StepId)>,
+    /// The carried copy of the type, when the engine runs in
+    /// carry-type-in-instance mode (Section 2.1's trade-off).
+    pub carried_type: Option<WorkflowType>,
+}
+
+impl WorkflowInstance {
+    /// Creates a fresh instance of `wf`.
+    pub fn new(
+        id: InstanceId,
+        wf: &WorkflowType,
+        vars: BTreeMap<String, Variable>,
+        source: &str,
+        target: &str,
+        carry_type: bool,
+    ) -> Self {
+        Self {
+            id,
+            type_id: wf.id().clone(),
+            type_version: wf.version(),
+            status: InstanceStatus::Running,
+            step_states: wf.steps().iter().map(|s| (s.id.clone(), StepState::Pending)).collect(),
+            edge_states: vec![EdgeState::Unresolved; wf.edges().len()],
+            vars,
+            source: source.to_string(),
+            target: target.to_string(),
+            parent: None,
+            carried_type: carry_type.then(|| wf.clone()),
+        }
+    }
+
+    /// State of a step.
+    pub fn step_state(&self, id: &StepId) -> StepState {
+        self.step_states.get(id).copied().unwrap_or(StepState::Pending)
+    }
+
+    /// Whether every step is completed or skipped.
+    pub fn all_steps_resolved(&self) -> bool {
+        self.step_states
+            .values()
+            .all(|s| matches!(s, StepState::Completed | StepState::Skipped))
+    }
+
+    /// Reads a variable.
+    pub fn var(&self, name: &str) -> Result<&Variable> {
+        self.vars.get(name).ok_or_else(|| WfError::StepFailed {
+            workflow: self.type_id.to_string(),
+            step: String::new(),
+            reason: format!("variable `{name}` is not set"),
+        })
+    }
+
+    /// Approximate in-memory size of the serialized instance — used by the
+    /// migration bench to compare carry-type vs. lookup mode.
+    pub fn snapshot_len(&self) -> usize {
+        serde_json::to_string(self).map(|s| s.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StepDef, WorkflowBuilder};
+
+    fn wf() -> WorkflowType {
+        WorkflowBuilder::new("w")
+            .step(StepDef::noop("a"))
+            .step(StepDef::noop("b"))
+            .edge("a", "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_instance_is_pending_everywhere() {
+        let inst =
+            WorkflowInstance::new(InstanceId::new(1), &wf(), BTreeMap::new(), "s", "t", false);
+        assert_eq!(inst.status, InstanceStatus::Running);
+        assert_eq!(inst.step_state(&StepId::new("a")), StepState::Pending);
+        assert_eq!(inst.edge_states, vec![EdgeState::Unresolved]);
+        assert!(!inst.all_steps_resolved());
+        assert!(inst.carried_type.is_none());
+    }
+
+    #[test]
+    fn carry_type_mode_embeds_the_definition() {
+        let plain =
+            WorkflowInstance::new(InstanceId::new(1), &wf(), BTreeMap::new(), "s", "t", false);
+        let carrying =
+            WorkflowInstance::new(InstanceId::new(2), &wf(), BTreeMap::new(), "s", "t", true);
+        assert!(carrying.carried_type.is_some());
+        assert!(
+            carrying.snapshot_len() > plain.snapshot_len(),
+            "carried type makes the instance strictly bigger on the wire"
+        );
+    }
+
+    #[test]
+    fn instance_round_trips_through_serde() {
+        let mut inst =
+            WorkflowInstance::new(InstanceId::new(1), &wf(), BTreeMap::new(), "s", "t", true);
+        inst.vars.insert(
+            "po".into(),
+            Variable::Document(b2b_document::normalized::sample_po("1", 10)),
+        );
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: WorkflowInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn guard_document_wraps_plain_values() {
+        let v = Variable::Value(Value::Bool(true));
+        let doc = v.guard_document();
+        assert_eq!(doc.get("value").unwrap(), &Value::Bool(true));
+        assert!(v.as_document("x").is_err());
+    }
+}

@@ -1,0 +1,896 @@
+//! The workflow engine: an interpreter for workflow instances.
+
+pub mod instance;
+
+#[cfg(test)]
+mod tests;
+
+pub use instance::{EdgeState, InstanceStatus, StepState, Variable, WorkflowInstance};
+
+use crate::db::WorkflowDatabase;
+use crate::error::{Result, WfError};
+use crate::federation::EngineId;
+use crate::history::{HistoryEvent, HistoryKind};
+use crate::model::{ChannelId, InstanceId, StepDef, StepId, StepKind, WorkflowType, WorkflowTypeId};
+use b2b_document::Document;
+use b2b_network::SimTime;
+use b2b_rules::{RuleError, RuleRegistry};
+use b2b_transform::{TransformContext, TransformRegistry};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Context handed to an [`Activity`] implementation.
+pub struct ActivityContext<'a> {
+    /// Instance variables (read and write).
+    pub vars: &'a mut BTreeMap<String, Variable>,
+    /// Rule-context source.
+    pub source: &'a str,
+    /// Rule-context target.
+    pub target: &'a str,
+    /// Current logical time.
+    pub now: SimTime,
+}
+
+impl ActivityContext<'_> {
+    /// Reads a document variable.
+    pub fn document(&self, var: &str) -> std::result::Result<&Document, String> {
+        match self.vars.get(var) {
+            Some(Variable::Document(d)) => Ok(d),
+            Some(Variable::Value(v)) => {
+                Err(format!("variable `{var}` holds a {} value", v.type_name()))
+            }
+            None => Err(format!("variable `{var}` is not set")),
+        }
+    }
+
+    /// Writes a document variable.
+    pub fn set_document(&mut self, var: &str, doc: Document) {
+        self.vars.insert(var.to_string(), Variable::Document(doc));
+    }
+
+    /// Writes a value variable.
+    pub fn set_value(&mut self, var: &str, value: b2b_document::Value) {
+        self.vars.insert(var.to_string(), Variable::Value(value));
+    }
+}
+
+/// An externally implemented step behaviour (ERP store/extract, approval,
+/// audit, …). Registered with the engine by name; workflow types only
+/// carry the name.
+pub trait Activity: Send + Sync {
+    /// Executes the activity; an `Err` fails the step (and the instance).
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> std::result::Result<(), String>;
+}
+
+impl<F> Activity for F
+where
+    F: Fn(&mut ActivityContext<'_>) -> std::result::Result<(), String> + Send + Sync,
+{
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> std::result::Result<(), String> {
+        self(ctx)
+    }
+}
+
+/// A subworkflow delegated to a remote engine, awaiting federation pickup.
+#[derive(Debug, Clone)]
+pub struct RemoteSubRequest {
+    /// Parent instance on this engine.
+    pub parent_instance: InstanceId,
+    /// The waiting subworkflow step.
+    pub step: StepId,
+    /// Engine the subworkflow should run on.
+    pub engine: EngineId,
+    /// Subworkflow type.
+    pub workflow: WorkflowTypeId,
+    /// Variable snapshot handed to the remote instance.
+    pub vars: BTreeMap<String, Variable>,
+    /// Rule-context source.
+    pub source: String,
+    /// Rule-context target.
+    pub target: String,
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instances created (including subworkflows).
+    pub instances_created: u64,
+    /// Steps executed to completion.
+    pub steps_executed: u64,
+    /// Documents emitted through send steps.
+    pub sends: u64,
+    /// Documents consumed by receive steps.
+    pub receives: u64,
+    /// Rule-function invocations.
+    pub rule_invocations: u64,
+    /// Transformations applied by transform steps.
+    pub transforms: u64,
+}
+
+enum ExecOutcome {
+    Completed,
+    Waiting,
+    Failed(String),
+}
+
+/// The workflow engine (Figure 4): database, activity registry, rule and
+/// transformation registries, channels, timers, and an outbox the host
+/// drains.
+pub struct Engine {
+    id: EngineId,
+    now: SimTime,
+    db: WorkflowDatabase,
+    activities: BTreeMap<String, Arc<dyn Activity>>,
+    rules: RuleRegistry,
+    transforms: TransformRegistry,
+    channel_queues: BTreeMap<ChannelId, VecDeque<Document>>,
+    directed_queues: BTreeMap<(InstanceId, ChannelId), VecDeque<Document>>,
+    waiters: BTreeMap<ChannelId, VecDeque<(InstanceId, StepId)>>,
+    outbox: Vec<(InstanceId, ChannelId, Document)>,
+    timers: Vec<(SimTime, InstanceId, StepId)>,
+    remote_requests: Vec<RemoteSubRequest>,
+    runnable: VecDeque<InstanceId>,
+    history: Vec<HistoryEvent>,
+    carry_types: bool,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(id: EngineId) -> Self {
+        Self {
+            id,
+            now: SimTime::ZERO,
+            db: WorkflowDatabase::new(),
+            activities: BTreeMap::new(),
+            rules: RuleRegistry::new(),
+            transforms: TransformRegistry::new(),
+            channel_queues: BTreeMap::new(),
+            directed_queues: BTreeMap::new(),
+            waiters: BTreeMap::new(),
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            remote_requests: Vec::new(),
+            runnable: VecDeque::new(),
+            history: Vec::new(),
+            carry_types: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Engine id.
+    pub fn id(&self) -> &EngineId {
+        &self.id
+    }
+
+    /// Switches to carry-type-in-instance mode (Section 2.1 trade-off;
+    /// ablated by the migration bench).
+    pub fn set_carry_types(&mut self, carry: bool) {
+        self.carry_types = carry;
+    }
+
+    /// The workflow database.
+    pub fn db(&self) -> &WorkflowDatabase {
+        &self.db
+    }
+
+    /// Mutable database access (used by federation for type migration).
+    pub fn db_mut(&mut self) -> &mut WorkflowDatabase {
+        &mut self.db
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Audit history.
+    pub fn history(&self) -> &[HistoryEvent] {
+        &self.history
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Registers an activity implementation.
+    pub fn register_activity(&mut self, name: &str, activity: Arc<dyn Activity>) {
+        self.activities.insert(name.to_string(), activity);
+    }
+
+    /// The rule registry (the paper's externalized business rules).
+    pub fn rules(&self) -> &RuleRegistry {
+        &self.rules
+    }
+
+    /// Mutable rule registry (changing partner rules touches nothing else).
+    pub fn rules_mut(&mut self) -> &mut RuleRegistry {
+        &mut self.rules
+    }
+
+    /// Installs the rule registry.
+    pub fn set_rules(&mut self, rules: RuleRegistry) {
+        self.rules = rules;
+    }
+
+    /// Installs the transformation registry.
+    pub fn set_transforms(&mut self, transforms: TransformRegistry) {
+        self.transforms = transforms;
+    }
+
+    /// The transformation registry.
+    pub fn transforms(&self) -> &TransformRegistry {
+        &self.transforms
+    }
+
+    /// Deploys a workflow type.
+    pub fn deploy(&mut self, wf: WorkflowType) {
+        self.db.put_type(wf);
+    }
+
+    /// Creates an instance; `source`/`target` seed the rule context.
+    pub fn create_instance(
+        &mut self,
+        type_id: &WorkflowTypeId,
+        vars: BTreeMap<String, Variable>,
+        source: &str,
+        target: &str,
+    ) -> Result<InstanceId> {
+        let wf = self.db.get_type(type_id)?.clone();
+        let id = self.db.allocate_instance_id();
+        let inst = WorkflowInstance::new(id, &wf, vars, source, target, self.carry_types);
+        self.db.put_instance(inst);
+        self.stats.instances_created += 1;
+        self.record(id, HistoryKind::InstanceCreated);
+        Ok(id)
+    }
+
+    /// Runs an instance (and everything it makes runnable) until blocked,
+    /// completed, or failed.
+    pub fn run(&mut self, id: InstanceId) -> Result<InstanceStatus> {
+        self.runnable.push_back(id);
+        self.drain_runnable()?;
+        self.status(id)
+    }
+
+    /// Status of an instance.
+    pub fn status(&self, id: InstanceId) -> Result<InstanceStatus> {
+        Ok(self.db.get_instance(id)?.status.clone())
+    }
+
+    /// Reads an instance variable (for assertions and hosts).
+    pub fn variable(&self, id: InstanceId, var: &str) -> Result<Variable> {
+        Ok(self.db.get_instance(id)?.var(var)?.clone())
+    }
+
+    /// Delivers a document to a channel; a waiting receive step consumes
+    /// it (FIFO), otherwise it queues until one does.
+    pub fn deliver(&mut self, channel: &ChannelId, doc: Document) -> Result<()> {
+        self.channel_queues.entry(channel.clone()).or_default().push_back(doc);
+        self.match_waiters(channel)?;
+        self.drain_runnable()
+    }
+
+    /// Delivers a document to one specific instance's receive step on
+    /// `channel` (hosts use this for session-scoped routing between
+    /// public processes, bindings, and private processes). If the
+    /// instance is not yet waiting there, the document queues until its
+    /// receive step executes.
+    pub fn deliver_to(
+        &mut self,
+        instance: InstanceId,
+        channel: &ChannelId,
+        doc: Document,
+    ) -> Result<()> {
+        let waiting = self
+            .db
+            .get_instance(instance)
+            .map(|i| i.status == InstanceStatus::Running)
+            .unwrap_or(false);
+        if !waiting {
+            return Err(WfError::Channel {
+                channel: channel.to_string(),
+                reason: format!("instance {instance} is not running"),
+            });
+        }
+        // Find whether the instance is currently waiting on this channel.
+        let step_waiting = {
+            let inst = self.db.get_instance(instance)?;
+            let wf = self.type_for(inst)?;
+            wf.steps()
+                .iter()
+                .find(|s| {
+                    matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
+                        && inst.step_state(&s.id) == StepState::Waiting
+                })
+                .map(|s| s.id.clone())
+        };
+        match step_waiting {
+            Some(step_id) => {
+                let wf = self.type_for(self.db.get_instance(instance)?)?;
+                let var = match &wf.step(&step_id)?.kind {
+                    StepKind::Receive { var, .. } => var.clone(),
+                    _ => unreachable!("matched receive above"),
+                };
+                // Drop the stale global waiter entry for this instance.
+                if let Some(q) = self.waiters.get_mut(channel) {
+                    q.retain(|(i, s)| !(*i == instance && *s == step_id));
+                }
+                let mut inst = self.db.take_instance(instance)?;
+                inst.vars.insert(var, Variable::Document(doc));
+                self.stats.receives += 1;
+                self.record(instance, HistoryKind::Delivered(step_id.clone()));
+                self.finish_step_and_resume(inst, &step_id)?;
+                self.drain_runnable()
+            }
+            None => {
+                self.directed_queues
+                    .entry((instance, channel.clone()))
+                    .or_default()
+                    .push_back(doc);
+                Ok(())
+            }
+        }
+    }
+
+    /// Takes everything send steps have emitted, tagged with the emitting
+    /// instance so hosts can route per session.
+    pub fn drain_outbox(&mut self) -> Vec<(InstanceId, ChannelId, Document)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Takes pending remote-subworkflow requests (federation calls this).
+    pub fn drain_remote_requests(&mut self) -> Vec<RemoteSubRequest> {
+        std::mem::take(&mut self.remote_requests)
+    }
+
+    /// Advances logical time and fires due timers.
+    pub fn advance_time(&mut self, now: SimTime) -> Result<()> {
+        self.now = now;
+        let mut due = Vec::new();
+        self.timers.retain(|(at, inst, step)| {
+            if *at <= now {
+                due.push((*inst, step.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (inst_id, step_id) in due {
+            self.complete_waiting_step(inst_id, &step_id)?;
+        }
+        self.drain_runnable()
+    }
+
+    /// Whether any instance is blocked (running but not finished).
+    pub fn blocked_instances(&self) -> Vec<InstanceId> {
+        self.db
+            .instance_ids()
+            .into_iter()
+            .filter(|id| {
+                self.db
+                    .get_instance(*id)
+                    .map(|i| i.status == InstanceStatus::Running && !i.all_steps_resolved())
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Migration support (used by federation).
+
+    /// Serializes an instance and removes it from this engine (Figure 5(a):
+    /// "stored in two different workflow engine databases at two different
+    /// points in time").
+    pub fn export_instance(&mut self, id: InstanceId) -> Result<String> {
+        let inst = self.db.take_instance(id)?;
+        if inst.parent.is_some() {
+            let err = WfError::Federation {
+                reason: format!("instance {id} is a subworkflow; migrate the parent"),
+            };
+            self.db.put_instance(inst);
+            return Err(err);
+        }
+        self.record(id, HistoryKind::MigratedOut(String::new()));
+        serde_json::to_string(&inst).map_err(|e| WfError::Snapshot { reason: e.to_string() })
+    }
+
+    /// Imports a serialized instance under a fresh local id. Fails when
+    /// this engine lacks the instance's workflow type (unless the instance
+    /// carries its type with it).
+    pub fn import_instance(&mut self, snapshot: &str) -> Result<InstanceId> {
+        let mut inst: WorkflowInstance = serde_json::from_str(snapshot)
+            .map_err(|e| WfError::Snapshot { reason: e.to_string() })?;
+        if inst.carried_type.is_none() && !self.db.has_type(&inst.type_id) {
+            return Err(WfError::UnknownType { workflow: inst.type_id.to_string() });
+        }
+        let id = self.db.allocate_instance_id();
+        inst.id = id;
+        // Re-register channel waiters for receive steps that were waiting
+        // when the instance left its previous engine — waiter registrations
+        // are engine-local and do not travel with the snapshot.
+        let wf = if let Some(t) = &inst.carried_type {
+            t.clone()
+        } else {
+            self.db.get_type(&inst.type_id)?.clone()
+        };
+        for step in wf.steps() {
+            if inst.step_state(&step.id) == StepState::Waiting {
+                if let StepKind::Receive { channel, .. } = &step.kind {
+                    self.waiters
+                        .entry(channel.clone())
+                        .or_default()
+                        .push_back((id, step.id.clone()));
+                }
+            }
+        }
+        self.db.put_instance(inst);
+        self.record(id, HistoryKind::MigratedIn(String::new()));
+        Ok(id)
+    }
+
+    /// Serializes the whole workflow database (crash-recovery point:
+    /// "at any point in time a workflow instance is either persisted in
+    /// the database or in state transition in the workflow engine",
+    /// Section 2.1). Volatile engine state — channel queues, timers,
+    /// outbox — is NOT part of the database, matching the paper's
+    /// architecture where only the database survives an engine restart.
+    pub fn snapshot_database(&self) -> Result<String> {
+        self.db.snapshot()
+    }
+
+    /// Rebuilds an engine's database from a snapshot, re-registering
+    /// channel waiters for every receive step that was waiting when the
+    /// snapshot was taken, so deliveries resume after a restart.
+    /// Activities, rules, and transformations must be re-installed by the
+    /// host (they are code, not data — exactly why the paper's engines
+    /// need "all the relevant workflow step types available").
+    pub fn restore_database(&mut self, snapshot: &str) -> Result<()> {
+        let db = WorkflowDatabase::restore(snapshot)?;
+        self.db = db;
+        self.waiters.clear();
+        self.channel_queues.clear();
+        self.directed_queues.clear();
+        self.timers.clear();
+        for id in self.db.instance_ids() {
+            let inst = self.db.get_instance(id)?;
+            if inst.status != InstanceStatus::Running {
+                continue;
+            }
+            let wf = self.type_for(inst)?;
+            for step in wf.steps() {
+                if inst.step_state(&step.id) == StepState::Waiting {
+                    if let StepKind::Receive { channel, .. } = &step.kind {
+                        self.waiters
+                            .entry(channel.clone())
+                            .or_default()
+                            .push_back((id, step.id.clone()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The workflow type needed to run `snapshot`, if the engine must
+    /// fetch it (Figure 6, step ①).
+    pub fn required_type_of(snapshot: &str) -> Result<Option<WorkflowTypeId>> {
+        let inst: WorkflowInstance = serde_json::from_str(snapshot)
+            .map_err(|e| WfError::Snapshot { reason: e.to_string() })?;
+        Ok(if inst.carried_type.is_some() { None } else { Some(inst.type_id) })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+
+    fn record(&mut self, instance: InstanceId, kind: HistoryKind) {
+        self.history.push(HistoryEvent { at: self.now, instance, kind });
+    }
+
+    fn drain_runnable(&mut self) -> Result<()> {
+        while let Some(id) = self.runnable.pop_front() {
+            self.run_one(id)?;
+        }
+        Ok(())
+    }
+
+    fn type_for(&self, inst: &WorkflowInstance) -> Result<WorkflowType> {
+        if let Some(t) = &inst.carried_type {
+            Ok(t.clone())
+        } else {
+            self.db.get_type(&inst.type_id).cloned()
+        }
+    }
+
+    fn run_one(&mut self, id: InstanceId) -> Result<()> {
+        let mut inst = self.db.take_instance(id)?;
+        if inst.status != InstanceStatus::Running {
+            self.db.put_instance(inst);
+            return Ok(());
+        }
+        let wf = match self.type_for(&inst) {
+            Ok(wf) => wf,
+            Err(e) => {
+                self.db.put_instance(inst);
+                return Err(e);
+            }
+        };
+        loop {
+            if inst.status != InstanceStatus::Running {
+                break;
+            }
+            let mut progressed = false;
+            for step in wf.steps() {
+                if inst.step_state(&step.id) != StepState::Pending {
+                    continue;
+                }
+                let incoming = wf.incoming(&step.id);
+                let resolved = incoming
+                    .iter()
+                    .all(|i| inst.edge_states[*i] != EdgeState::Unresolved);
+                if !resolved {
+                    continue;
+                }
+                let has_token = incoming.is_empty()
+                    || incoming.iter().any(|i| inst.edge_states[*i] == EdgeState::Taken);
+                if !has_token {
+                    // Dead path: skip and kill outgoing edges.
+                    inst.step_states.insert(step.id.clone(), StepState::Skipped);
+                    for i in wf.outgoing(&step.id) {
+                        inst.edge_states[i] = EdgeState::Dead;
+                    }
+                    self.record(id, HistoryKind::StepSkipped(step.id.clone()));
+                    progressed = true;
+                    continue;
+                }
+                progressed = true;
+                match self.execute_step(&mut inst, step) {
+                    ExecOutcome::Completed => {
+                        self.stats.steps_executed += 1;
+                        if let Err(reason) = mark_completed(&mut inst, &wf, &step.id) {
+                            inst.status = InstanceStatus::Failed(reason.clone());
+                            self.record(id, HistoryKind::InstanceFailed(reason));
+                            break;
+                        }
+                        self.record(id, HistoryKind::StepCompleted(step.id.clone()));
+                    }
+                    ExecOutcome::Waiting => {
+                        inst.step_states.insert(step.id.clone(), StepState::Waiting);
+                        self.record(id, HistoryKind::StepWaiting(step.id.clone()));
+                    }
+                    ExecOutcome::Failed(reason) => {
+                        let reason = format!("step `{}`: {reason}", step.id);
+                        inst.status = InstanceStatus::Failed(reason.clone());
+                        self.record(id, HistoryKind::InstanceFailed(reason));
+                        break;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if inst.status == InstanceStatus::Running && inst.all_steps_resolved() {
+            inst.status = InstanceStatus::Completed;
+            self.record(id, HistoryKind::InstanceCompleted);
+        }
+        let status = inst.status.clone();
+        let parent = inst.parent.clone();
+        let vars = inst.vars.clone();
+        self.db.put_instance(inst);
+        if let Some((parent_id, parent_step)) = parent {
+            match status {
+                InstanceStatus::Completed => {
+                    self.finish_parent(parent_id, &parent_step, vars, None)?;
+                }
+                InstanceStatus::Failed(reason) => {
+                    self.finish_parent(parent_id, &parent_step, BTreeMap::new(), Some(reason))?;
+                }
+                InstanceStatus::Running => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_step(
+        &mut self,
+        inst: &mut WorkflowInstance,
+        step: &StepDef,
+    ) -> ExecOutcome {
+        match &step.kind {
+            StepKind::NoOp => ExecOutcome::Completed,
+            StepKind::Activity { activity } => {
+                let Some(implementation) = self.activities.get(activity).cloned() else {
+                    return ExecOutcome::Failed(format!("unknown activity `{activity}`"));
+                };
+                let mut ctx = ActivityContext {
+                    vars: &mut inst.vars,
+                    source: &inst.source,
+                    target: &inst.target,
+                    now: self.now,
+                };
+                match implementation.execute(&mut ctx) {
+                    Ok(()) => ExecOutcome::Completed,
+                    Err(reason) => ExecOutcome::Failed(reason),
+                }
+            }
+            StepKind::RuleCheck { function, doc_var, out_var } => {
+                self.stats.rule_invocations += 1;
+                let doc = match inst.vars.get(doc_var) {
+                    Some(Variable::Document(d)) => d.clone(),
+                    _ => {
+                        return ExecOutcome::Failed(format!(
+                            "rule check needs document variable `{doc_var}`"
+                        ))
+                    }
+                };
+                match self.rules.invoke(function, &inst.source, &inst.target, &doc) {
+                    Ok(value) => {
+                        inst.vars.insert(out_var.clone(), Variable::Value(value));
+                        ExecOutcome::Completed
+                    }
+                    Err(e @ RuleError::NoRuleApplies { .. }) => {
+                        // The paper's explicit error case.
+                        ExecOutcome::Failed(e.to_string())
+                    }
+                    Err(e) => ExecOutcome::Failed(e.to_string()),
+                }
+            }
+            StepKind::Transform { target_format, var, out_var } => {
+                self.stats.transforms += 1;
+                let doc = match inst.vars.get(var) {
+                    Some(Variable::Document(d)) => d.clone(),
+                    _ => {
+                        return ExecOutcome::Failed(format!(
+                            "transform needs document variable `{var}`"
+                        ))
+                    }
+                };
+                // Direction-aware context: a document leaving the
+                // normalized format is outbound, so the enterprise
+                // (rule-context target) is the wire-level sender.
+                let outbound = doc.format() == &b2b_document::FormatId::NORMALIZED;
+                let (sender, receiver) = if outbound {
+                    (inst.target.as_str(), inst.source.as_str())
+                } else {
+                    (inst.source.as_str(), inst.target.as_str())
+                };
+                let ctx = TransformContext::new(
+                    sender,
+                    receiver,
+                    &format!("{:09}", inst.id.value()),
+                    &format!("i-{}", inst.id.value()),
+                );
+                match self.transforms.transform(&doc, target_format, &ctx) {
+                    Ok(out) => {
+                        inst.vars.insert(out_var.clone(), Variable::Document(out));
+                        ExecOutcome::Completed
+                    }
+                    Err(e) => ExecOutcome::Failed(e.to_string()),
+                }
+            }
+            StepKind::Send { channel, var } => {
+                let doc = match inst.vars.get(var) {
+                    Some(Variable::Document(d)) => d.clone(),
+                    _ => {
+                        return ExecOutcome::Failed(format!(
+                            "send needs document variable `{var}`"
+                        ))
+                    }
+                };
+                self.stats.sends += 1;
+                self.outbox.push((inst.id, channel.clone(), doc));
+                ExecOutcome::Completed
+            }
+            StepKind::Receive { channel, var } => {
+                let directed = self
+                    .directed_queues
+                    .get_mut(&(inst.id, channel.clone()))
+                    .and_then(VecDeque::pop_front);
+                if let Some(doc) =
+                    directed.or_else(|| {
+                        self.channel_queues.get_mut(channel).and_then(VecDeque::pop_front)
+                    })
+                {
+                    self.stats.receives += 1;
+                    inst.vars.insert(var.clone(), Variable::Document(doc));
+                    ExecOutcome::Completed
+                } else {
+                    self.waiters
+                        .entry(channel.clone())
+                        .or_default()
+                        .push_back((inst.id, step.id.clone()));
+                    ExecOutcome::Waiting
+                }
+            }
+            StepKind::Timer { delay_ms } => {
+                self.timers.push((self.now + *delay_ms, inst.id, step.id.clone()));
+                ExecOutcome::Waiting
+            }
+            StepKind::Subworkflow { workflow, remote } => {
+                if let Some(engine) = remote {
+                    self.remote_requests.push(RemoteSubRequest {
+                        parent_instance: inst.id,
+                        step: step.id.clone(),
+                        engine: engine.clone(),
+                        workflow: workflow.clone(),
+                        vars: inst.vars.clone(),
+                        source: inst.source.clone(),
+                        target: inst.target.clone(),
+                    });
+                    return ExecOutcome::Waiting;
+                }
+                let sub_wf = match self.db.get_type(workflow) {
+                    Ok(wf) => wf.clone(),
+                    Err(_) => {
+                        return ExecOutcome::Failed(format!(
+                            "subworkflow type `{workflow}` not in database"
+                        ))
+                    }
+                };
+                let child_id = self.db.allocate_instance_id();
+                let mut child = WorkflowInstance::new(
+                    child_id,
+                    &sub_wf,
+                    inst.vars.clone(),
+                    &inst.source,
+                    &inst.target,
+                    self.carry_types,
+                );
+                child.parent = Some((inst.id, step.id.clone()));
+                self.db.put_instance(child);
+                self.stats.instances_created += 1;
+                self.record(child_id, HistoryKind::InstanceCreated);
+                self.runnable.push_back(child_id);
+                // Subworkflows return control ONLY on completion
+                // (Section 3.1) — the parent step waits.
+                ExecOutcome::Waiting
+            }
+        }
+    }
+
+    fn match_waiters(&mut self, channel: &ChannelId) -> Result<()> {
+        loop {
+            let queue_len =
+                self.channel_queues.get(channel).map(VecDeque::len).unwrap_or(0);
+            if queue_len == 0 {
+                return Ok(());
+            }
+            let Some((inst_id, step_id)) =
+                self.waiters.get_mut(channel).and_then(VecDeque::pop_front)
+            else {
+                return Ok(());
+            };
+            // Stale waiter (instance failed or was migrated): drop it.
+            let Ok(inst) = self.db.get_instance(inst_id) else { continue };
+            if inst.step_state(&step_id) != StepState::Waiting {
+                continue;
+            }
+            let doc = self
+                .channel_queues
+                .get_mut(channel)
+                .and_then(VecDeque::pop_front)
+                .expect("queue checked non-empty");
+            let var = {
+                let wf = self.type_for(self.db.get_instance(inst_id)?)?;
+                match &wf.step(&step_id)?.kind {
+                    StepKind::Receive { var, .. } => var.clone(),
+                    other => {
+                        return Err(WfError::Channel {
+                            channel: channel.to_string(),
+                            reason: format!(
+                                "waiter step `{step_id}` is a {}",
+                                other.kind_name()
+                            ),
+                        })
+                    }
+                }
+            };
+            let mut inst = self.db.take_instance(inst_id)?;
+            inst.vars.insert(var, Variable::Document(doc));
+            self.stats.receives += 1;
+            self.record(inst_id, HistoryKind::Delivered(step_id.clone()));
+            self.finish_step_and_resume(inst, &step_id)?;
+        }
+    }
+
+    fn complete_waiting_step(&mut self, inst_id: InstanceId, step_id: &StepId) -> Result<()> {
+        let Ok(inst) = self.db.get_instance(inst_id) else { return Ok(()) };
+        if inst.step_state(step_id) != StepState::Waiting {
+            return Ok(());
+        }
+        let inst = self.db.take_instance(inst_id)?;
+        self.finish_step_and_resume(inst, step_id)
+    }
+
+    fn finish_parent(
+        &mut self,
+        parent_id: InstanceId,
+        parent_step: &StepId,
+        child_vars: BTreeMap<String, Variable>,
+        failure: Option<String>,
+    ) -> Result<()> {
+        let mut parent = self.db.take_instance(parent_id)?;
+        if let Some(reason) = failure {
+            let reason = format!("subworkflow at `{parent_step}` failed: {reason}");
+            parent.status = InstanceStatus::Failed(reason.clone());
+            let grandparent = parent.parent.clone();
+            self.db.put_instance(parent);
+            self.record(parent_id, HistoryKind::InstanceFailed(reason.clone()));
+            if let Some((gp_id, gp_step)) = grandparent {
+                self.finish_parent(gp_id, &gp_step, BTreeMap::new(), Some(reason))?;
+            }
+            return Ok(());
+        }
+        parent.vars.extend(child_vars);
+        self.stats.steps_executed += 1;
+        self.finish_step_and_resume(parent, parent_step)
+    }
+
+    /// Marks a (previously waiting) step completed on a taken-out
+    /// instance, resolves its outgoing edges, stores it back and resumes.
+    fn finish_step_and_resume(
+        &mut self,
+        mut inst: WorkflowInstance,
+        step_id: &StepId,
+    ) -> Result<()> {
+        let id = inst.id;
+        let wf = match self.type_for(&inst) {
+            Ok(wf) => wf,
+            Err(e) => {
+                self.db.put_instance(inst);
+                return Err(e);
+            }
+        };
+        if let Err(reason) = mark_completed(&mut inst, &wf, step_id) {
+            inst.status = InstanceStatus::Failed(reason.clone());
+            self.db.put_instance(inst);
+            self.record(id, HistoryKind::InstanceFailed(reason));
+            return Ok(());
+        }
+        self.record(id, HistoryKind::StepCompleted(step_id.clone()));
+        self.db.put_instance(inst);
+        self.runnable.push_back(id);
+        Ok(())
+    }
+
+    /// Resolves a remote subworkflow (called by federation with the
+    /// results from the remote engine).
+    pub fn resolve_remote(
+        &mut self,
+        parent_instance: InstanceId,
+        step: &StepId,
+        vars: BTreeMap<String, Variable>,
+        failure: Option<String>,
+    ) -> Result<()> {
+        self.finish_parent(parent_instance, step, vars, failure)?;
+        self.drain_runnable()
+    }
+}
+
+/// Marks a step completed and resolves its outgoing edges (guard
+/// evaluation); returns a failure reason when a guard cannot be evaluated.
+fn mark_completed(
+    inst: &mut WorkflowInstance,
+    wf: &WorkflowType,
+    step_id: &StepId,
+) -> std::result::Result<(), String> {
+    inst.step_states.insert(step_id.clone(), StepState::Completed);
+    for i in wf.outgoing(step_id) {
+        let edge = &wf.edges()[i];
+        let taken = match &edge.guard {
+            None => true,
+            Some(cond) => {
+                let var = inst
+                    .vars
+                    .get(&cond.var)
+                    .ok_or_else(|| format!("guard variable `{}` is not set", cond.var))?;
+                let doc = var.guard_document();
+                cond.eval(&doc, &inst.source, &inst.target).map_err(|e| e.to_string())?
+            }
+        };
+        inst.edge_states[i] = if taken { EdgeState::Taken } else { EdgeState::Dead };
+    }
+    Ok(())
+}

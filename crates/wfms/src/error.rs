@@ -1,0 +1,63 @@
+//! Error type for the WFMS.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WfError>;
+
+/// Errors raised by the workflow engine and federation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WfError {
+    /// A workflow type failed validation at deployment.
+    InvalidType { workflow: String, reason: String },
+    /// A referenced workflow type is not in the engine's database.
+    UnknownType { workflow: String },
+    /// A referenced instance does not exist.
+    UnknownInstance { instance: u64 },
+    /// A step referenced an activity that is not registered.
+    UnknownActivity { activity: String },
+    /// A step execution failed.
+    StepFailed { workflow: String, step: String, reason: String },
+    /// The instance is in a state that does not permit the operation.
+    BadState { instance: u64, state: String, operation: String },
+    /// A channel delivery could not be routed.
+    Channel { channel: String, reason: String },
+    /// Federation-level failure (migration, distribution).
+    Federation { reason: String },
+    /// Snapshot encode/decode failure.
+    Snapshot { reason: String },
+}
+
+impl fmt::Display for WfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidType { workflow, reason } => {
+                write!(f, "invalid workflow type `{workflow}`: {reason}")
+            }
+            Self::UnknownType { workflow } => write!(f, "unknown workflow type `{workflow}`"),
+            Self::UnknownInstance { instance } => write!(f, "unknown instance {instance}"),
+            Self::UnknownActivity { activity } => write!(f, "unknown activity `{activity}`"),
+            Self::StepFailed { workflow, step, reason } => {
+                write!(f, "step `{step}` of `{workflow}` failed: {reason}")
+            }
+            Self::BadState { instance, state, operation } => {
+                write!(f, "instance {instance} is {state}; cannot {operation}")
+            }
+            Self::Channel { channel, reason } => write!(f, "channel `{channel}`: {reason}"),
+            Self::Federation { reason } => write!(f, "federation error: {reason}"),
+            Self::Snapshot { reason } => write!(f, "snapshot error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WfError {}
+
+impl From<b2b_rules::RuleError> for WfError {
+    fn from(e: b2b_rules::RuleError) -> Self {
+        Self::StepFailed {
+            workflow: String::new(),
+            step: "<rule>".into(),
+            reason: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Engine federation: the paper's distributed workflow management.
+//!
+//! Implements the three distribution mechanisms of Section 2.1:
+//!
+//! * **Workflow instance migration** (Figure 5(a)) — an instance is
+//!   serialized out of one engine's database and imported into another's.
+//! * **Automatic workflow type migration** (Figure 6) — before migrating
+//!   an instance, the federation checks whether the target engine has the
+//!   workflow type (①), copies it and all transitively referenced
+//!   subworkflow types if not (②), then migrates the instance (③).
+//! * **Subworkflow distribution** (Figure 5(b)) — a `Subworkflow` step
+//!   with a remote engine runs on that engine; the master engine sees only
+//!   the subworkflow's interface (its variables), the remote engine must
+//!   hold the subworkflow type.
+//!
+//! The federation records exactly what crossed engine boundaries — the
+//! knowledge-exposure experiment (E3) reads these ledgers.
+
+use crate::engine::{Engine, InstanceStatus, Variable};
+use crate::error::{Result, WfError};
+use crate::model::{InstanceId, StepId, WorkflowTypeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Identifies an engine (one per organization in the paper's figures).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EngineId(String);
+
+impl EngineId {
+    /// Wraps an engine name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for EngineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What crossed an engine boundary (the competitive-knowledge ledger).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharedArtifact {
+    /// A full workflow type definition was copied from one engine to
+    /// another — the receiver can now read the sender's business rules.
+    TypeCopied {
+        /// Sending engine.
+        from: EngineId,
+        /// Receiving engine.
+        to: EngineId,
+        /// The copied type.
+        workflow: WorkflowTypeId,
+    },
+    /// A serialized instance (full execution state) moved between engines.
+    InstanceMoved {
+        /// Sending engine.
+        from: EngineId,
+        /// Receiving engine.
+        to: EngineId,
+        /// Snapshot size in bytes (what the receiver can inspect).
+        snapshot_bytes: usize,
+    },
+    /// Only a subworkflow *interface* (variable snapshot) crossed — the
+    /// master engine never sees the remote definition.
+    InterfaceShared {
+        /// Master engine.
+        from: EngineId,
+        /// Remote engine.
+        to: EngineId,
+        /// Subworkflow whose interface was exercised.
+        workflow: WorkflowTypeId,
+    },
+}
+
+/// Aggregate migration counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Figure 6 step ① checks performed.
+    pub type_checks: u64,
+    /// Types copied between engines (step ②).
+    pub types_migrated: u64,
+    /// Instances moved between engines (step ③ / Figure 5(a)).
+    pub instances_migrated: u64,
+    /// Remote subworkflows started (Figure 5(b)).
+    pub remote_subworkflows: u64,
+}
+
+struct PendingRemote {
+    source_engine: EngineId,
+    parent_instance: InstanceId,
+    step: StepId,
+    remote_engine: EngineId,
+    remote_instance: InstanceId,
+}
+
+/// A set of engines plus the inter-engine transfer machinery.
+#[derive(Default)]
+pub struct Federation {
+    engines: BTreeMap<EngineId, Engine>,
+    pending_remote: VecDeque<PendingRemote>,
+    ledger: Vec<SharedArtifact>,
+    stats: FederationStats,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an engine.
+    pub fn add_engine(&mut self, engine: Engine) {
+        self.engines.insert(engine.id().clone(), engine);
+    }
+
+    /// Borrows an engine.
+    pub fn engine(&self, id: &EngineId) -> Result<&Engine> {
+        self.engines
+            .get(id)
+            .ok_or_else(|| WfError::Federation { reason: format!("no engine `{id}`") })
+    }
+
+    /// Mutably borrows an engine.
+    pub fn engine_mut(&mut self, id: &EngineId) -> Result<&mut Engine> {
+        self.engines
+            .get_mut(id)
+            .ok_or_else(|| WfError::Federation { reason: format!("no engine `{id}`") })
+    }
+
+    /// Transfer ledger (what each engine could learn about the others).
+    pub fn ledger(&self) -> &[SharedArtifact] {
+        &self.ledger
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &FederationStats {
+        &self.stats
+    }
+
+    /// Migrates an instance from one engine to another with automatic
+    /// type migration (Figure 6). Returns the instance's id on the target.
+    pub fn migrate_instance(
+        &mut self,
+        from: &EngineId,
+        to: &EngineId,
+        instance: InstanceId,
+    ) -> Result<InstanceId> {
+        if from == to {
+            return Err(WfError::Federation { reason: "source and target engine are equal".into() });
+        }
+        let snapshot = self.engine_mut(from)?.export_instance(instance)?;
+        // Step ①: does the target have the required type?
+        self.stats.type_checks += 1;
+        if let Some(type_id) = Engine::required_type_of(&snapshot)? {
+            if !self.engine(to)?.db().has_type(&type_id) {
+                // Step ②: migrate the type closure.
+                self.migrate_type_closure(from, to, &type_id)?;
+            }
+        }
+        // Step ③: migrate the instance.
+        let new_id = match self.engine_mut(to)?.import_instance(&snapshot) {
+            Ok(id) => id,
+            Err(e) => {
+                // Roll back: the instance must not be lost.
+                self.engine_mut(from)?.import_instance(&snapshot)?;
+                return Err(e);
+            }
+        };
+        self.stats.instances_migrated += 1;
+        self.ledger.push(SharedArtifact::InstanceMoved {
+            from: from.clone(),
+            to: to.clone(),
+            snapshot_bytes: snapshot.len(),
+        });
+        Ok(new_id)
+    }
+
+    /// Copies a type and everything it references to the target engine
+    /// (consistent copies, as Section 2.1 requires).
+    pub fn migrate_type_closure(
+        &mut self,
+        from: &EngineId,
+        to: &EngineId,
+        root: &WorkflowTypeId,
+    ) -> Result<usize> {
+        let mut to_copy = vec![root.clone()];
+        let mut seen = BTreeSet::new();
+        let mut copied = 0usize;
+        while let Some(type_id) = to_copy.pop() {
+            if !seen.insert(type_id.clone()) {
+                continue;
+            }
+            let wf = self.engine(from)?.db().get_type(&type_id)?.clone();
+            to_copy.extend(wf.referenced_types().into_iter().cloned());
+            if !self.engine(to)?.db().has_type(&type_id) {
+                self.engine_mut(to)?.deploy(wf);
+                copied += 1;
+                self.stats.types_migrated += 1;
+                self.ledger.push(SharedArtifact::TypeCopied {
+                    from: from.clone(),
+                    to: to.clone(),
+                    workflow: type_id,
+                });
+            }
+        }
+        Ok(copied)
+    }
+
+    /// Processes remote-subworkflow traffic: starts requested subworkflows
+    /// on their remote engines and resolves completed ones back to their
+    /// masters. Returns `true` when any progress was made; call repeatedly
+    /// (interleaved with message deliveries) until it returns `false`.
+    pub fn pump(&mut self) -> Result<bool> {
+        let mut progressed = false;
+        // Start newly requested remote subworkflows.
+        let engine_ids: Vec<EngineId> = self.engines.keys().cloned().collect();
+        for source in &engine_ids {
+            let requests = self.engine_mut(source)?.drain_remote_requests();
+            for req in requests {
+                progressed = true;
+                self.stats.remote_subworkflows += 1;
+                self.ledger.push(SharedArtifact::InterfaceShared {
+                    from: source.clone(),
+                    to: req.engine.clone(),
+                    workflow: req.workflow.clone(),
+                });
+                let start = (|| -> Result<InstanceId> {
+                    let remote = self.engine_mut(&req.engine)?;
+                    if !remote.db().has_type(&req.workflow) {
+                        return Err(WfError::UnknownType { workflow: req.workflow.to_string() });
+                    }
+                    let id = remote.create_instance(
+                        &req.workflow,
+                        req.vars.clone(),
+                        &req.source,
+                        &req.target,
+                    )?;
+                    remote.run(id)?;
+                    Ok(id)
+                })();
+                match start {
+                    Ok(remote_instance) => self.pending_remote.push_back(PendingRemote {
+                        source_engine: source.clone(),
+                        parent_instance: req.parent_instance,
+                        step: req.step,
+                        remote_engine: req.engine,
+                        remote_instance,
+                    }),
+                    Err(e) => {
+                        self.engine_mut(source)?.resolve_remote(
+                            req.parent_instance,
+                            &req.step,
+                            BTreeMap::new(),
+                            Some(e.to_string()),
+                        )?;
+                    }
+                }
+            }
+        }
+        // Resolve completed remote subworkflows.
+        let mut still_pending = VecDeque::new();
+        while let Some(p) = self.pending_remote.pop_front() {
+            let status = self.engine(&p.remote_engine)?.status(p.remote_instance)?;
+            match status {
+                InstanceStatus::Running => still_pending.push_back(p),
+                InstanceStatus::Completed => {
+                    progressed = true;
+                    let vars: BTreeMap<String, Variable> = self
+                        .engine(&p.remote_engine)?
+                        .db()
+                        .get_instance(p.remote_instance)?
+                        .vars
+                        .clone();
+                    self.engine_mut(&p.source_engine)?.resolve_remote(
+                        p.parent_instance,
+                        &p.step,
+                        vars,
+                        None,
+                    )?;
+                }
+                InstanceStatus::Failed(reason) => {
+                    progressed = true;
+                    self.engine_mut(&p.source_engine)?.resolve_remote(
+                        p.parent_instance,
+                        &p.step,
+                        BTreeMap::new(),
+                        Some(reason),
+                    )?;
+                }
+            }
+        }
+        self.pending_remote = still_pending;
+        Ok(progressed)
+    }
+
+    /// Pumps until quiescent (no pending remote work makes progress).
+    pub fn pump_to_quiescence(&mut self) -> Result<()> {
+        while self.pump()? {}
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StepDef, WorkflowBuilder};
+    use b2b_document::Value;
+
+    fn noop_engine(name: &str) -> Engine {
+        Engine::new(EngineId::new(name))
+    }
+
+    fn simple_type(name: &str) -> crate::model::WorkflowType {
+        WorkflowBuilder::new(name)
+            .step(StepDef::noop("a"))
+            .step(StepDef::noop("b"))
+            .edge("a", "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn migration_with_automatic_type_migration() {
+        let mut fed = Federation::new();
+        let mut alpha = noop_engine("alpha");
+        alpha.deploy(simple_type("w"));
+        fed.add_engine(alpha);
+        fed.add_engine(noop_engine("beta"));
+        let (a, b) = (EngineId::new("alpha"), EngineId::new("beta"));
+        let id = fed
+            .engine_mut(&a)
+            .unwrap()
+            .create_instance(&WorkflowTypeId::new("w"), BTreeMap::new(), "s", "t")
+            .unwrap();
+        assert!(!fed.engine(&b).unwrap().db().has_type(&WorkflowTypeId::new("w")));
+        let new_id = fed.migrate_instance(&a, &b, id).unwrap();
+        // Target got the type (Figure 6 ②) and the instance (③).
+        assert!(fed.engine(&b).unwrap().db().has_type(&WorkflowTypeId::new("w")));
+        assert_eq!(fed.stats().types_migrated, 1);
+        assert_eq!(fed.stats().instances_migrated, 1);
+        // Source no longer has it.
+        assert!(fed.engine(&a).unwrap().status(id).is_err());
+        // And it still runs to completion on the target.
+        let status = fed.engine_mut(&b).unwrap().run(new_id).unwrap();
+        assert_eq!(status, InstanceStatus::Completed);
+        // Exposure ledger shows a full type copy — the paper's complaint.
+        assert!(fed
+            .ledger()
+            .iter()
+            .any(|a| matches!(a, SharedArtifact::TypeCopied { .. })));
+    }
+
+    #[test]
+    fn migration_closure_includes_subworkflow_types() {
+        let mut fed = Federation::new();
+        let mut alpha = noop_engine("alpha");
+        alpha.deploy(simple_type("sub"));
+        let parent = WorkflowBuilder::new("parent")
+            .step(StepDef::subworkflow("call", &WorkflowTypeId::new("sub")))
+            .build()
+            .unwrap();
+        alpha.deploy(parent);
+        fed.add_engine(alpha);
+        fed.add_engine(noop_engine("beta"));
+        let (a, b) = (EngineId::new("alpha"), EngineId::new("beta"));
+        let copied = fed.migrate_type_closure(&a, &b, &WorkflowTypeId::new("parent")).unwrap();
+        assert_eq!(copied, 2, "parent and sub both copied");
+        assert!(fed.engine(&b).unwrap().db().has_type(&WorkflowTypeId::new("sub")));
+    }
+
+    #[test]
+    fn carried_type_instances_migrate_without_type_copy() {
+        let mut fed = Federation::new();
+        let mut alpha = noop_engine("alpha");
+        alpha.set_carry_types(true);
+        alpha.deploy(simple_type("w"));
+        fed.add_engine(alpha);
+        fed.add_engine(noop_engine("beta"));
+        let (a, b) = (EngineId::new("alpha"), EngineId::new("beta"));
+        let id = fed
+            .engine_mut(&a)
+            .unwrap()
+            .create_instance(&WorkflowTypeId::new("w"), BTreeMap::new(), "s", "t")
+            .unwrap();
+        let new_id = fed.migrate_instance(&a, &b, id).unwrap();
+        assert_eq!(fed.stats().types_migrated, 0, "type travels inside the instance");
+        assert!(!fed.engine(&b).unwrap().db().has_type(&WorkflowTypeId::new("w")));
+        let status = fed.engine_mut(&b).unwrap().run(new_id).unwrap();
+        assert_eq!(status, InstanceStatus::Completed);
+    }
+
+    #[test]
+    fn remote_subworkflow_runs_on_the_slave_engine() {
+        let mut fed = Federation::new();
+        let mut alpha = noop_engine("alpha");
+        let mut beta = noop_engine("beta");
+        // Beta holds the subworkflow type; alpha only references it.
+        let sub = WorkflowBuilder::new("remote-sub")
+            .step(StepDef::activity("work", "do-work"))
+            .build()
+            .unwrap();
+        beta.deploy(sub);
+        beta.register_activity(
+            "do-work",
+            std::sync::Arc::new(|ctx: &mut crate::engine::ActivityContext<'_>| {
+                ctx.set_value("result", Value::Int(99));
+                Ok(())
+            }),
+        );
+        let parent = WorkflowBuilder::new("master")
+            .step(StepDef::remote_subworkflow(
+                "delegate",
+                &WorkflowTypeId::new("remote-sub"),
+                &EngineId::new("beta"),
+            ))
+            .build()
+            .unwrap();
+        alpha.deploy(parent);
+        fed.add_engine(alpha);
+        fed.add_engine(beta);
+        let a = EngineId::new("alpha");
+        let id = fed
+            .engine_mut(&a)
+            .unwrap()
+            .create_instance(&WorkflowTypeId::new("master"), BTreeMap::new(), "s", "t")
+            .unwrap();
+        fed.engine_mut(&a).unwrap().run(id).unwrap();
+        fed.pump_to_quiescence().unwrap();
+        assert_eq!(fed.engine(&a).unwrap().status(id).unwrap(), InstanceStatus::Completed);
+        // The slave's results flowed back into the master's variables.
+        let v = fed.engine(&a).unwrap().variable(id, "result").unwrap();
+        assert_eq!(v, Variable::Value(Value::Int(99)));
+        // Only the interface crossed the boundary.
+        assert!(fed.ledger().iter().any(|x| matches!(
+            x,
+            SharedArtifact::InterfaceShared { workflow, .. } if workflow.as_str() == "remote-sub"
+        )));
+        assert_eq!(fed.stats().remote_subworkflows, 1);
+    }
+
+    #[test]
+    fn remote_subworkflow_without_type_fails_the_master() {
+        let mut fed = Federation::new();
+        let mut alpha = noop_engine("alpha");
+        let parent = WorkflowBuilder::new("master")
+            .step(StepDef::remote_subworkflow(
+                "delegate",
+                &WorkflowTypeId::new("missing"),
+                &EngineId::new("beta"),
+            ))
+            .build()
+            .unwrap();
+        alpha.deploy(parent);
+        fed.add_engine(alpha);
+        fed.add_engine(noop_engine("beta"));
+        let a = EngineId::new("alpha");
+        let id = fed
+            .engine_mut(&a)
+            .unwrap()
+            .create_instance(&WorkflowTypeId::new("master"), BTreeMap::new(), "s", "t")
+            .unwrap();
+        fed.engine_mut(&a).unwrap().run(id).unwrap();
+        fed.pump_to_quiescence().unwrap();
+        match fed.engine(&a).unwrap().status(id).unwrap() {
+            InstanceStatus::Failed(reason) => assert!(reason.contains("missing")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn migrating_to_the_same_engine_is_rejected() {
+        let mut fed = Federation::new();
+        fed.add_engine(noop_engine("alpha"));
+        let a = EngineId::new("alpha");
+        assert!(fed.migrate_instance(&a, &a, InstanceId::new(1)).is_err());
+    }
+}

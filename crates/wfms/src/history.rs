@@ -1,0 +1,56 @@
+//! Audit history of workflow execution.
+
+use crate::model::{InstanceId, StepId};
+use b2b_network::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryKind {
+    /// Instance created.
+    InstanceCreated,
+    /// Instance reached completion.
+    InstanceCompleted,
+    /// Instance failed with the given reason.
+    InstanceFailed(String),
+    /// A step completed.
+    StepCompleted(StepId),
+    /// A step was skipped by dead-path elimination.
+    StepSkipped(StepId),
+    /// A step began waiting (receive or timer).
+    StepWaiting(StepId),
+    /// A document was delivered to a waiting step.
+    Delivered(StepId),
+    /// The instance was migrated in from another engine.
+    MigratedIn(String),
+    /// The instance was migrated out to another engine.
+    MigratedOut(String),
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryEvent {
+    /// Logical time of the event.
+    pub at: SimTime,
+    /// Instance concerned.
+    pub instance: InstanceId,
+    /// What happened.
+    pub kind: HistoryKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize() {
+        let e = HistoryEvent {
+            at: SimTime::from_millis(5),
+            instance: InstanceId::new(1),
+            kind: HistoryKind::StepCompleted(StepId::new("send-po")),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: HistoryEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

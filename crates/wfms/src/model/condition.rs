@@ -1,0 +1,65 @@
+//! Guard conditions on control-flow edges.
+
+use crate::error::{Result, WfError};
+use b2b_document::Document;
+use b2b_rules::{Expr, RuleContext};
+use serde::{Deserialize, Serialize};
+
+/// A guard: an expression evaluated against one instance variable
+/// (`PO.amount > 10000` in Figure 1 becomes `var: "po", expr:
+/// document.amount > 10000`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Instance variable holding the document the expression reads.
+    pub var: String,
+    /// The boolean expression (`document` refers to the variable).
+    pub expr: Expr,
+}
+
+impl Condition {
+    /// Parses a condition from expression source.
+    pub fn parse(var: &str, expr: &str) -> Result<Self> {
+        let expr = Expr::parse(expr).map_err(|e| WfError::InvalidType {
+            workflow: String::new(),
+            reason: format!("bad condition on `{var}`: {e}"),
+        })?;
+        Ok(Self { var: var.to_string(), expr })
+    }
+
+    /// Evaluates the guard.
+    pub fn eval(&self, document: &Document, source: &str, target: &str) -> Result<bool> {
+        self.expr
+            .eval_bool(&RuleContext::new(source, target, document))
+            .map_err(WfError::from)
+    }
+
+    /// AST size (model metrics: inlined conditions bloat workflow types).
+    pub fn node_count(&self) -> usize {
+        self.expr.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::normalized::sample_po;
+
+    #[test]
+    fn guard_evaluates_against_a_document() {
+        let c = Condition::parse("po", "document.amount > 10000").unwrap();
+        assert!(c.eval(&sample_po("1", 20_000), "s", "t").unwrap());
+        assert!(!c.eval(&sample_po("1", 5_000), "s", "t").unwrap());
+        assert!(c.node_count() >= 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_expressions() {
+        assert!(Condition::parse("po", "document.amount >").is_err());
+    }
+
+    #[test]
+    fn non_boolean_guard_is_a_runtime_error() {
+        let c = Condition::parse("po", "1 + 1").unwrap();
+        assert!(c.eval(&sample_po("1", 1), "s", "t").is_err());
+    }
+}

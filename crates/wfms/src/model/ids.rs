@@ -1,0 +1,108 @@
+//! Identifier newtypes for the WFMS.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a workflow type (definition).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkflowTypeId(String);
+
+impl WorkflowTypeId {
+    /// Wraps a type name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for WorkflowTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifies a step within a workflow type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StepId(String);
+
+impl StepId {
+    /// Wraps a step name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifies a message channel (mailbox) on an engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelId(String);
+
+impl ChannelId {
+    /// Wraps a channel name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifies a workflow instance within one engine's database.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// Wraps a raw id (allocated by the database).
+    pub fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wf-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_their_content() {
+        assert_eq!(WorkflowTypeId::new("po-roundtrip").to_string(), "po-roundtrip");
+        assert_eq!(StepId::new("send-po").to_string(), "send-po");
+        assert_eq!(ChannelId::new("edi:in").to_string(), "edi:in");
+        assert_eq!(InstanceId::new(7).to_string(), "wf-7");
+        assert_eq!(InstanceId::new(7).value(), 7);
+    }
+}

@@ -1,0 +1,11 @@
+//! Workflow type model: steps, control flow, conditions.
+
+mod condition;
+mod ids;
+mod step;
+mod workflow;
+
+pub use condition::Condition;
+pub use ids::{ChannelId, InstanceId, StepId, WorkflowTypeId};
+pub use step::{StepDef, StepKind};
+pub use workflow::{Edge, WorkflowBuilder, WorkflowType};

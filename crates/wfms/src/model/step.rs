@@ -1,0 +1,188 @@
+//! Step definitions.
+
+use super::ids::{ChannelId, StepId, WorkflowTypeId};
+use crate::federation::EngineId;
+use b2b_document::FormatId;
+use serde::{Deserialize, Serialize};
+
+/// What a step does when it executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// Structural marker (start/end/audit points); completes immediately.
+    NoOp,
+    /// Invokes a named activity registered with the engine (ERP extract /
+    /// store, approval, …). The workflow type only names the activity; its
+    /// implementation lives outside, as the paper requires.
+    Activity {
+        /// Registered activity name.
+        activity: String,
+    },
+    /// Runs another workflow type as a subworkflow; the step completes
+    /// only when the subworkflow completes (Section 3.1 semantics).
+    Subworkflow {
+        /// The subworkflow's type.
+        workflow: WorkflowTypeId,
+        /// `Some(engine)` distributes the subworkflow to a remote engine
+        /// (Figure 5(b) / 7(b)); `None` runs it locally.
+        remote: Option<EngineId>,
+    },
+    /// Emits the document in `var` on a channel (the engine's outbox; the
+    /// host routes it to the network, a binding, or a back end).
+    Send {
+        /// Channel to emit on.
+        channel: ChannelId,
+        /// Variable holding the document to send.
+        var: String,
+    },
+    /// Waits for a document on a channel and stores it in `var`.
+    Receive {
+        /// Channel to wait on.
+        channel: ChannelId,
+        /// Variable the received document is stored in.
+        var: String,
+    },
+    /// The paper's generic business-rule step: invokes a named rule
+    /// function with `(source, target, document)` and stores the result.
+    RuleCheck {
+        /// Rule function name (e.g. `check-need-for-approval`).
+        function: String,
+        /// Variable holding the document passed to the rules.
+        doc_var: String,
+        /// Variable the result is stored into.
+        out_var: String,
+    },
+    /// Invokes the transformation registry to convert `var` into
+    /// `target_format`, storing the result in `out_var`. (Only the naïve
+    /// baselines put this inside workflows; the advanced architecture
+    /// keeps it in bindings — the engine supports both so the comparison
+    /// is fair.)
+    Transform {
+        /// Desired format.
+        target_format: FormatId,
+        /// Input document variable.
+        var: String,
+        /// Output document variable.
+        out_var: String,
+    },
+    /// Waits until `delay_ms` of logical time has passed (time-outs in
+    /// public processes).
+    Timer {
+        /// Delay in milliseconds.
+        delay_ms: u64,
+    },
+}
+
+impl StepKind {
+    /// Short kind name for metrics and display.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::NoOp => "noop",
+            Self::Activity { .. } => "activity",
+            Self::Subworkflow { .. } => "subworkflow",
+            Self::Send { .. } => "send",
+            Self::Receive { .. } => "receive",
+            Self::RuleCheck { .. } => "rule-check",
+            Self::Transform { .. } => "transform",
+            Self::Timer { .. } => "timer",
+        }
+    }
+}
+
+/// A step definition: identity plus behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepDef {
+    /// Step id, unique within the workflow type.
+    pub id: StepId,
+    /// What the step does.
+    pub kind: StepKind,
+}
+
+impl StepDef {
+    /// Builds a step.
+    pub fn new(id: &str, kind: StepKind) -> Self {
+        Self { id: StepId::new(id), kind }
+    }
+
+    /// A no-op marker step.
+    pub fn noop(id: &str) -> Self {
+        Self::new(id, StepKind::NoOp)
+    }
+
+    /// An activity step.
+    pub fn activity(id: &str, activity: &str) -> Self {
+        Self::new(id, StepKind::Activity { activity: activity.to_string() })
+    }
+
+    /// A local subworkflow step.
+    pub fn subworkflow(id: &str, workflow: &WorkflowTypeId) -> Self {
+        Self::new(id, StepKind::Subworkflow { workflow: workflow.clone(), remote: None })
+    }
+
+    /// A distributed subworkflow step.
+    pub fn remote_subworkflow(id: &str, workflow: &WorkflowTypeId, engine: &EngineId) -> Self {
+        Self::new(
+            id,
+            StepKind::Subworkflow { workflow: workflow.clone(), remote: Some(engine.clone()) },
+        )
+    }
+
+    /// A send step.
+    pub fn send(id: &str, channel: &str, var: &str) -> Self {
+        Self::new(id, StepKind::Send { channel: ChannelId::new(channel), var: var.to_string() })
+    }
+
+    /// A receive step.
+    pub fn receive(id: &str, channel: &str, var: &str) -> Self {
+        Self::new(id, StepKind::Receive { channel: ChannelId::new(channel), var: var.to_string() })
+    }
+
+    /// A rule-check step.
+    pub fn rule_check(id: &str, function: &str, doc_var: &str, out_var: &str) -> Self {
+        Self::new(
+            id,
+            StepKind::RuleCheck {
+                function: function.to_string(),
+                doc_var: doc_var.to_string(),
+                out_var: out_var.to_string(),
+            },
+        )
+    }
+
+    /// A transform step.
+    pub fn transform(id: &str, target_format: FormatId, var: &str, out_var: &str) -> Self {
+        Self::new(
+            id,
+            StepKind::Transform {
+                target_format,
+                var: var.to_string(),
+                out_var: out_var.to_string(),
+            },
+        )
+    }
+
+    /// A timer step.
+    pub fn timer(id: &str, delay_ms: u64) -> Self {
+        Self::new(id, StepKind::Timer { delay_ms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_kind() {
+        assert_eq!(StepDef::noop("a").kind.kind_name(), "noop");
+        assert_eq!(StepDef::activity("a", "store-po").kind.kind_name(), "activity");
+        assert_eq!(StepDef::send("a", "c", "v").kind.kind_name(), "send");
+        assert_eq!(StepDef::receive("a", "c", "v").kind.kind_name(), "receive");
+        assert_eq!(StepDef::rule_check("a", "f", "d", "o").kind.kind_name(), "rule-check");
+        assert_eq!(StepDef::timer("a", 5).kind.kind_name(), "timer");
+        let wf = WorkflowTypeId::new("sub");
+        assert_eq!(StepDef::subworkflow("a", &wf).kind.kind_name(), "subworkflow");
+        assert_eq!(
+            StepDef::transform("a", FormatId::NORMALIZED, "v", "o").kind.kind_name(),
+            "transform"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Error handling on a hostile network: the RNIF-style reliable layer
+//! recovers from loss and duplication; corrupted payloads are rejected at
+//! the edge (the paper's "lost messages, incorrect message content or
+//! duplicate messages" — Section 1).
+//!
+//! Run with: `cargo run --example failure_recovery`
+
+use b2b_core::scenario::TwoEnterpriseScenario;
+use b2b_core::SessionState;
+use b2b_network::FaultConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 25% loss, 12% duplication, 10–120 ms latency spread (reordering).
+    let faults = FaultConfig::flaky(0.25);
+    println!(
+        "network profile: loss={:.0}% duplicate={:.0}% latency={}–{} ms",
+        faults.loss * 100.0,
+        faults.duplicate * 100.0,
+        faults.min_delay_ms,
+        faults.max_delay_ms
+    );
+    let mut scenario = TwoEnterpriseScenario::new(faults, 1234)?;
+
+    let mut correlations = Vec::new();
+    for i in 0..10 {
+        let po = scenario.po(&format!("PO-FLAKY-{i}"), 2_000 + i)?;
+        correlations.push(scenario.submit(po)?);
+    }
+    let elapsed = scenario.run_until_quiescent(600_000)?;
+
+    let completed = correlations
+        .iter()
+        .filter(|c| scenario.buyer.session_state(c) == SessionState::Completed)
+        .count();
+    let net = scenario.net.stats();
+    println!("{completed}/10 round trips completed after {elapsed} simulated ms");
+    println!(
+        "network: {} sent, {} delivered, {} lost, {} duplicated",
+        net.sent, net.delivered, net.lost, net.duplicated
+    );
+    println!(
+        "seller: {} wire docs received, {} decode failures, {} unroutable",
+        scenario.seller.stats().wire_received,
+        scenario.seller.stats().decode_failures,
+        scenario.seller.stats().unroutable
+    );
+    println!(
+        "seller SAP holds {} orders (exactly-once despite duplicates)",
+        scenario.seller.backend("SAP")?.backend().order_count()
+    );
+
+    assert_eq!(completed, 10, "retransmission recovered every exchange");
+    assert_eq!(
+        scenario.seller.backend("SAP")?.backend().order_count(),
+        10,
+        "no duplicate orders reached the ERP"
+    );
+    assert!(net.lost > 0, "the network really was hostile");
+    println!("OK");
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Negotiated public processes: instead of a pre-defined PIP, the two
+//! enterprises agree on a collaboration written in the BPSS-like language
+//! (Section 5.1's ebXML path), compile it, and run it — binding to the
+//! very same private process the standardized protocols use.
+//!
+//! Run with: `cargo run --example negotiated_protocol`
+
+use b2b_backend::{AckPolicy, ApplicationProcess, SapSystem};
+use b2b_core::engine::IntegrationEngine;
+use b2b_core::partner::TradingPartner;
+use b2b_core::scenario::seller_rules;
+use b2b_core::SessionState;
+use b2b_document::normalized::PoBuilder;
+use b2b_document::{Currency, Date, Money};
+use b2b_network::{FaultConfig, SimNetwork};
+use b2b_protocol::bpss::parse_collaboration;
+use b2b_protocol::TradingPartnerAgreement;
+
+const NEGOTIATED: &str = r#"
+    # Negotiated bilaterally between TP1 and GadgetSupply, 2001-09.
+    collaboration negotiated-po using edi-x12 {
+      role buyer {
+        send purchase-order;
+        receive purchase-order-ack;
+      }
+      role seller {
+        receive purchase-order;
+        send purchase-order-ack;
+      }
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse and compile the negotiated collaboration. Compilation
+    //    checks that the two roles complement each other — the agreement
+    //    cannot even be formed from mismatched sequences.
+    let collaboration = parse_collaboration(NEGOTIATED)?;
+    let processes = collaboration.compile()?;
+    let (buyer_proc, seller_proc) = (&processes[0], &processes[1]);
+    println!(
+        "negotiated `{}` over {}: buyer {} steps, seller {} steps",
+        collaboration.name,
+        collaboration.format,
+        buyer_proc.step_count(),
+        seller_proc.step_count()
+    );
+
+    // 2. Wire up the enterprises exactly as for a standardized protocol.
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 77);
+    let mut buyer = IntegrationEngine::new("TP1", &mut net)?;
+    let mut seller = IntegrationEngine::new("GadgetSupply", &mut net)?;
+    buyer.add_partner(TradingPartner::new("GadgetSupply"));
+    seller.add_partner(TradingPartner::new("TP1"));
+    buyer.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
+        AckPolicy::AcceptAll,
+    ))))?;
+    seller.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
+        AckPolicy::AcceptAll,
+    ))))?;
+    seller_rules(&mut seller)?;
+
+    let agreement = TradingPartnerAgreement::between(
+        "negotiated-po-agreement",
+        "TP1",
+        "GadgetSupply",
+        buyer_proc,
+        seller_proc,
+        true,
+    )?;
+    buyer.install_agreement(agreement.clone(), buyer_proc, seller_proc)?;
+    seller.install_agreement(agreement.clone(), buyer_proc, seller_proc)?;
+
+    // 3. Run a round trip under the negotiated protocol.
+    let po = PoBuilder::new(
+        "PO-NEG-1",
+        "TP1",
+        "GadgetSupply",
+        Date::new(2001, 9, 17)?,
+        Currency::Usd,
+    )
+    .line("LAPTOP-T23", 30_000, Money::from_units(1, Currency::Usd))?
+    .build()?;
+    let correlation = buyer.initiate(&mut net, &agreement.id, po)?;
+    for _ in 0..1_000 {
+        net.advance(10);
+        buyer.pump(&mut net)?;
+        seller.pump(&mut net)?;
+        if net.idle() {
+            break;
+        }
+    }
+
+    println!("buyer session:  {:?}", buyer.session_state(&correlation));
+    println!("seller session: {:?}", seller.session_state(&correlation));
+    assert_eq!(buyer.session_state(&correlation), SessionState::Completed);
+    assert_eq!(seller.session_state(&correlation), SessionState::Completed);
+    assert_eq!(
+        seller.backend("SAP")?.backend().order_status("PO-NEG-1").as_deref(),
+        Some("accepted")
+    );
+    println!("OK");
+    Ok(())
+}

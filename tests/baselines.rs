@@ -1,0 +1,81 @@
+//! The three architectures, compared on the same business interaction:
+//! all reach the same outcome; what differs is what crosses the enterprise
+//! boundary and how the models grow.
+
+use semantic_b2b::integration::baseline::cooperative::{
+    advanced_model_size, naive_model_size, IntegrationConfig,
+};
+use semantic_b2b::integration::baseline::distributed::run_distributed_roundtrip;
+use semantic_b2b::integration::figures::run_figure8_roundtrip;
+use semantic_b2b::integration::scenario::TwoEnterpriseScenario;
+use semantic_b2b::integration::SessionState;
+use semantic_b2b::network::FaultConfig;
+
+#[test]
+fn all_three_architectures_complete_the_same_interaction() {
+    // 1. Distributed inter-organizational workflow (Section 2).
+    let distributed = run_distributed_roundtrip(12_000).unwrap();
+    assert!(distributed.completed);
+    // 2. Cooperative workflows (Section 3).
+    assert!(run_figure8_roundtrip(12_000).unwrap());
+    // 3. The advanced architecture (Section 4).
+    let mut s = TwoEnterpriseScenario::new(FaultConfig::reliable(), 11).unwrap();
+    let c = s.submit(s.po("tri", 12_000).unwrap()).unwrap();
+    s.run_until_quiescent(60_000).unwrap();
+    assert_eq!(s.buyer.session_state(&c), SessionState::Completed);
+}
+
+#[test]
+fn exposure_strictly_decreases_across_the_architectures() {
+    // Distributed: full types + instance states cross.
+    let distributed = run_distributed_roundtrip(12_000).unwrap();
+    let distributed_score = distributed.exposure.exposure_score();
+    assert!(distributed.exposure.workflow_types_visible >= 1);
+    assert!(distributed.exposure.rule_nodes_visible > 0);
+    // Advanced: only the agreed message schemas are shared (PO + POA).
+    let advanced_score = 2;
+    assert!(
+        distributed_score > 100 * advanced_score,
+        "distributed exposes {distributed_score}, advanced {advanced_score}"
+    );
+}
+
+#[test]
+fn explosion_sweep_is_monotone_and_diverging() {
+    let mut last_ratio = 0.0;
+    for (p, t, b) in [(2, 2, 2), (3, 4, 2), (4, 8, 4), (6, 16, 4)] {
+        let cfg = IntegrationConfig::synthetic(p, t, b);
+        let naive = naive_model_size(&cfg).unwrap().workflow_elements();
+        let advanced = advanced_model_size(&cfg).unwrap().workflow_elements();
+        let ratio = naive as f64 / advanced as f64;
+        assert!(
+            ratio > last_ratio,
+            "ratio must diverge: {ratio:.1} after {last_ratio:.1} at ({p},{t},{b})"
+        );
+        last_ratio = ratio;
+    }
+    assert!(last_ratio > 10.0, "the explosion is real: {last_ratio:.1}x");
+}
+
+#[test]
+fn naive_guard_sizes_grow_linearly_in_partners_per_branch() {
+    // Every added partner lengthens the inlined approval disjunction in
+    // EVERY (protocol, backend) branch — the figures' core complaint.
+    let g4 = naive_model_size(&IntegrationConfig::synthetic(2, 4, 2)).unwrap().guard_nodes;
+    let g8 = naive_model_size(&IntegrationConfig::synthetic(2, 8, 2)).unwrap().guard_nodes;
+    let g16 = naive_model_size(&IntegrationConfig::synthetic(2, 16, 2)).unwrap().guard_nodes;
+    assert!(g8 > g4 && g16 > g8);
+    let first_delta = g8 - g4;
+    let second_delta = g16 - g8;
+    assert!(
+        second_delta >= 2 * first_delta - first_delta / 2,
+        "per-partner guard growth compounds across branches: +{first_delta}, +{second_delta}"
+    );
+}
+
+#[test]
+fn distributed_migration_counts_match_the_protocol() {
+    let outcome = run_distributed_roundtrip(4_000).unwrap();
+    assert_eq!(outcome.instances_migrated, 2, "buyer→seller and back");
+    assert_eq!(outcome.types_migrated, 1, "type copied once, reused on return");
+}

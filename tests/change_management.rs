@@ -1,0 +1,92 @@
+//! Change management across crates (Sections 4.5/4.6): the locality
+//! claims hold on *running* integration engines, not just on paper.
+
+use semantic_b2b::integration::change::{advanced_impact, naive_impact, ChangeKind};
+use semantic_b2b::integration::private_process::responder_private_with_audit;
+use semantic_b2b::integration::baseline::cooperative::IntegrationConfig;
+use semantic_b2b::integration::scenario::TwoEnterpriseScenario;
+use semantic_b2b::integration::SessionState;
+use semantic_b2b::network::FaultConfig;
+use semantic_b2b::rules::approval::{add_partner, CHECK_NEED_FOR_APPROVAL};
+
+#[test]
+fn adding_a_partner_at_runtime_touches_only_rules() {
+    let mut s = TwoEnterpriseScenario::new(FaultConfig::reliable(), 21).unwrap();
+    let hash_before = s.seller.responder_private_hash().unwrap();
+    let types_before = s.seller.wf().db().type_count();
+
+    let f = s.seller.rules_mut().function_mut(CHECK_NEED_FOR_APPROVAL).unwrap();
+    add_partner(f, "SAP", "TP7", 30_000).unwrap();
+    add_partner(f, "Oracle", "TP7", 30_000).unwrap();
+
+    assert_eq!(s.seller.responder_private_hash().unwrap(), hash_before);
+    assert_eq!(s.seller.wf().db().type_count(), types_before, "no type deployed or removed");
+
+    // Traffic still flows.
+    let c = s.submit(s.po("after-partner", 5_000).unwrap()).unwrap();
+    s.run_until_quiescent(60_000).unwrap();
+    assert_eq!(s.seller.session_state(&c), SessionState::Completed);
+}
+
+#[test]
+fn replacing_the_private_process_does_not_disturb_other_layers() {
+    let mut s = TwoEnterpriseScenario::new(FaultConfig::reliable(), 22).unwrap();
+    // Record the hashes of every non-private type.
+    let other_hashes: Vec<(String, u64)> = s
+        .seller
+        .wf()
+        .db()
+        .type_ids()
+        .into_iter()
+        .filter(|id| !id.as_str().starts_with("private:order-processing"))
+        .map(|id| {
+            (id.to_string(), s.seller.wf().db().get_type(id).unwrap().definition_hash())
+        })
+        .collect();
+
+    s.seller.replace_responder_private(responder_private_with_audit().unwrap()).unwrap();
+
+    for (id, before) in &other_hashes {
+        let id = semantic_b2b::wfms::WorkflowTypeId::new(id.clone());
+        let after = s.seller.wf().db().get_type(&id).unwrap().definition_hash();
+        assert_eq!(*before, after, "{id} must be untouched by a private-process change");
+    }
+
+    // The audited definition executes.
+    let c = s.submit(s.po("audited", 70_000).unwrap()).unwrap();
+    s.run_until_quiescent(60_000).unwrap();
+    assert_eq!(s.seller.session_state(&c), SessionState::Completed);
+}
+
+#[test]
+fn impact_table_is_consistent_across_base_sizes() {
+    for (p, t, b) in [(1, 1, 1), (2, 2, 2), (4, 8, 4)] {
+        let base = IntegrationConfig::synthetic(p, t, b);
+        for kind in ChangeKind::all() {
+            let adv = advanced_impact(*kind, &base).unwrap();
+            let naive = naive_impact(*kind, &base).unwrap();
+            assert!(
+                adv.elements_to_review <= naive.elements_to_review,
+                "({p},{t},{b}) {}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn advanced_partner_addition_cost_is_independent_of_protocol_count() {
+    // The paper's scalability section: partner addition cost must not grow
+    // with the number of protocols or the size of existing models.
+    let small = advanced_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(1, 1, 2))
+        .unwrap();
+    let large = advanced_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(8, 32, 2))
+        .unwrap();
+    assert_eq!(small.touched_artifacts(), large.touched_artifacts());
+    // While the naive cost explodes with the base size.
+    let naive_small =
+        naive_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(1, 1, 2)).unwrap();
+    let naive_large =
+        naive_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(8, 32, 2)).unwrap();
+    assert!(naive_large.elements_to_review > 10 * naive_small.elements_to_review);
+}

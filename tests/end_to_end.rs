@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: the advanced architecture end to end.
+
+use semantic_b2b::backend::{AckPolicy, ApplicationProcess, OracleSystem, SapSystem};
+use semantic_b2b::integration::engine::IntegrationEngine;
+use semantic_b2b::integration::partner::TradingPartner;
+use semantic_b2b::integration::scenario::{
+    seller_rules, ScenarioProtocol, TwoEnterpriseScenario, BUYER, SELLER,
+};
+use semantic_b2b::integration::SessionState;
+use semantic_b2b::network::{FaultConfig, ReliableConfig, SimNetwork};
+use semantic_b2b::protocol::edi_roundtrip::edi_roundtrip_processes;
+use semantic_b2b::protocol::TradingPartnerAgreement;
+
+#[test]
+fn the_running_example_roundtrip() {
+    let mut s = TwoEnterpriseScenario::new(FaultConfig::reliable(), 1).unwrap();
+    let po = s.po("e2e-1", 12_000).unwrap();
+    let c = s.submit(po).unwrap();
+    s.run_until_quiescent(60_000).unwrap();
+    assert_eq!(s.buyer.session_state(&c), SessionState::Completed);
+    assert_eq!(s.seller.session_state(&c), SessionState::Completed);
+    assert_eq!(
+        s.seller.backend("SAP").unwrap().backend().order_status("e2e-1").as_deref(),
+        Some("accepted")
+    );
+}
+
+#[test]
+fn every_protocol_reaches_the_same_business_outcome() {
+    for protocol in
+        [ScenarioProtocol::Edi, ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis]
+    {
+        let mut s =
+            TwoEnterpriseScenario::with_protocol(protocol, FaultConfig::reliable(), 1).unwrap();
+        let po = s.po("same-outcome", 7_000).unwrap();
+        let c = s.submit(po).unwrap();
+        s.run_until_quiescent(60_000).unwrap();
+        assert_eq!(s.seller.session_state(&c), SessionState::Completed, "{protocol:?}");
+        assert_eq!(
+            s.seller.backend("SAP").unwrap().backend().order_status("same-outcome").as_deref(),
+            Some("accepted"),
+            "{protocol:?}: the private process behaves identically under every protocol"
+        );
+    }
+}
+
+#[test]
+fn rejection_policy_propagates_back_to_the_buyer() {
+    // A seller whose SAP rejects orders above 50 000.
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 5);
+    let mut buyer = IntegrationEngine::new(BUYER, &mut net).unwrap();
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    buyer.add_partner(TradingPartner::new(SELLER));
+    seller.add_partner(TradingPartner::new(BUYER));
+    buyer
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    seller
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
+            AckPolicy::RejectAbove(semantic_b2b::document::Money::from_units(
+                50_000,
+                semantic_b2b::document::Currency::Usd,
+            )),
+        ))))
+        .unwrap();
+    seller_rules(&mut seller).unwrap();
+    let (init, resp) = edi_roundtrip_processes().unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("a", BUYER, SELLER, &init, &resp, true).unwrap();
+    buyer.install_agreement(agreement.clone(), &init, &resp).unwrap();
+    seller.install_agreement(agreement, &init, &resp).unwrap();
+
+    let po = semantic_b2b::document::normalized::PoBuilder::new(
+        "too-big",
+        BUYER,
+        SELLER,
+        semantic_b2b::document::Date::new(2001, 9, 17).unwrap(),
+        semantic_b2b::document::Currency::Usd,
+    )
+    .line("LAPTOP-T23", 60_000, semantic_b2b::document::Money::from_units(1, semantic_b2b::document::Currency::Usd))
+    .unwrap()
+    .build()
+    .unwrap();
+    let c = buyer.initiate(&mut net, "a", po).unwrap();
+    for _ in 0..1000 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+        if net.idle() {
+            break;
+        }
+    }
+    assert_eq!(buyer.session_state(&c), SessionState::Completed);
+    // The seller's ERP rejected; the rejection travelled back as an EDI
+    // 855 and was filed at the buyer.
+    assert_eq!(
+        seller.backend("SAP").unwrap().backend().order_status("too-big").as_deref(),
+        Some("rejected")
+    );
+    assert_eq!(buyer.backend("SAP").unwrap().backend().poa_count(), 1);
+}
+
+#[test]
+fn twenty_concurrent_sessions_under_loss() {
+    let mut s = TwoEnterpriseScenario::new(FaultConfig::flaky(0.2), 77).unwrap();
+    let mut correlations = Vec::new();
+    for i in 0..20 {
+        let po = s.po(&format!("conc-{i}"), 1_000 + i).unwrap();
+        correlations.push(s.submit(po).unwrap());
+    }
+    s.run_until_quiescent(600_000).unwrap();
+    for c in &correlations {
+        assert_eq!(s.buyer.session_state(c), SessionState::Completed, "{c}");
+        assert_eq!(s.seller.session_state(c), SessionState::Completed, "{c}");
+    }
+    assert_eq!(s.seller.backend("SAP").unwrap().backend().order_count(), 20);
+    assert_eq!(s.buyer.backend("SAP").unwrap().backend().poa_count(), 20);
+}
+
+#[test]
+fn total_partition_fails_the_session_cleanly() {
+    let mut net = SimNetwork::new(
+        FaultConfig { loss: 1.0, ..FaultConfig::reliable() },
+        3,
+    );
+    let mut buyer = IntegrationEngine::with_reliable_config(
+        BUYER,
+        &mut net,
+        ReliableConfig { retry_timeout_ms: 50, max_retries: 2 },
+    )
+    .unwrap();
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    buyer.add_partner(TradingPartner::new(SELLER));
+    seller.add_partner(TradingPartner::new(BUYER));
+    buyer
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    seller
+        .add_backend(ApplicationProcess::new(Box::new(OracleSystem::new(
+            AckPolicy::AcceptAll,
+        ))))
+        .unwrap();
+    seller_rules(&mut seller).unwrap();
+    let (init, resp) = edi_roundtrip_processes().unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("a", BUYER, SELLER, &init, &resp, true).unwrap();
+    buyer.install_agreement(agreement.clone(), &init, &resp).unwrap();
+    seller.install_agreement(agreement, &init, &resp).unwrap();
+
+    let po = semantic_b2b::document::normalized::sample_po("partitioned", 1_000);
+    let c = buyer.initiate(&mut net, "a", po).unwrap();
+    for _ in 0..100 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+    }
+    match buyer.session_state(&c) {
+        SessionState::Failed(reason) => {
+            assert!(reason.contains("failed permanently"), "{reason}")
+        }
+        other => panic!("expected a failed session, got {other:?}"),
+    }
+    assert_eq!(buyer.stats().delivery_failures, 1);
+    // The seller never saw anything.
+    assert_eq!(seller.stats().wire_received, 0);
+}
+
+#[test]
+fn unknown_sender_is_unroutable_not_fatal() {
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 9);
+    let mut buyer = IntegrationEngine::new(BUYER, &mut net).unwrap();
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    // Seller does NOT register the buyer as a partner.
+    buyer.add_partner(TradingPartner::new(SELLER));
+    buyer
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    let (init, resp) = edi_roundtrip_processes().unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("a", BUYER, SELLER, &init, &resp, true).unwrap();
+    buyer.install_agreement(agreement, &init, &resp).unwrap();
+    let po = semantic_b2b::document::normalized::sample_po("stranger", 1_000);
+    buyer.initiate(&mut net, "a", po).unwrap();
+    for _ in 0..50 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+    }
+    assert_eq!(seller.stats().unroutable, 1);
+    assert_eq!(seller.stats().sessions_started, 0);
+}

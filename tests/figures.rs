@@ -1,0 +1,101 @@
+//! Every paper figure, built and exercised through the public API.
+
+use semantic_b2b::integration::baseline::cooperative::naive_model_size;
+use semantic_b2b::integration::figures;
+use semantic_b2b::protocol::PublicProcessDef;
+use semantic_b2b::wfms::StepKind;
+
+#[test]
+fn figure2_contains_both_sides_knowledge() {
+    let wf = figures::figure2_type().unwrap();
+    let json = serde_json::to_string(&wf).unwrap();
+    // The single definition carries BOTH approval thresholds — the
+    // knowledge-sharing problem in one assert.
+    assert!(json.contains("10000"), "buyer threshold inlined");
+    assert!(json.contains("550000"), "seller threshold inlined");
+}
+
+#[test]
+fn figure3_subworkflows_reference_the_erp_types() {
+    let types = figures::figure3().unwrap();
+    let main = &types[2];
+    let subs: Vec<_> = main
+        .steps()
+        .iter()
+        .filter(|s| matches!(s.kind, StepKind::Subworkflow { .. }))
+        .collect();
+    assert_eq!(subs.len(), 2, "buyer and seller ERP subworkflows");
+    assert_eq!(main.referenced_types().len(), 2);
+}
+
+#[test]
+fn figure8_buyer_has_the_added_control_flow_edge() {
+    let (buyer, _) = figures::figure8_types().unwrap();
+    // Section 3: after the split, send-po -> receive-poa needs an explicit
+    // ordering edge that the joint workflow got for free.
+    assert!(buyer
+        .edges()
+        .iter()
+        .any(|e| e.from.as_str() == "send-po" && e.to.as_str() == "receive-poa"));
+}
+
+#[test]
+fn figure9_and_10_sizes_match_the_narrative() {
+    let nine = naive_model_size(&figures::figure9_config()).unwrap();
+    let ten = naive_model_size(&figures::figure10_config()).unwrap();
+    // "The workflow type has to be changed significantly" — adding one
+    // protocol and one partner grows the monolith by more than half.
+    let growth = ten.workflow_elements() as f64 / nine.workflow_elements() as f64;
+    assert!(growth > 1.5, "figure 10 is {growth:.2}x figure 9");
+}
+
+#[test]
+fn figure11_processes_pair_up() {
+    let processes = figures::figure11_public_processes().unwrap();
+    PublicProcessDef::check_complementary(&processes[0], &processes[1]).unwrap();
+    PublicProcessDef::check_complementary(&processes[2], &processes[3]).unwrap();
+}
+
+#[test]
+fn figure12_bindings_hold_all_transformations() {
+    for binding in figures::figure12_bindings().unwrap() {
+        let transforms = binding
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Transform { .. }))
+            .count();
+        assert_eq!(transforms, 2, "to-normalized and to-wire");
+    }
+}
+
+#[test]
+fn figure13_private_process_is_partner_free() {
+    let wf = figures::figure13_private_process().unwrap();
+    let json = serde_json::to_string(&wf).unwrap();
+    for name in ["TP1", "TP2", "TP3", "55000", "40000", "edi", "rosettanet"] {
+        assert!(!json.contains(name), "private process mentions `{name}`");
+    }
+    // It carries exactly one generic rule-check step instead.
+    assert_eq!(
+        wf.steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::RuleCheck { .. }))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn figure14_backend_bindings_speak_native_formats() {
+    let bindings = figures::figure14_backend_bindings().unwrap();
+    let json = serde_json::to_string(&bindings[0]).unwrap();
+    assert!(json.contains("sap-idoc"));
+    let json = serde_json::to_string(&bindings[1]).unwrap();
+    assert!(json.contains("oracle-apps"));
+}
+
+#[test]
+fn figure15_keeps_the_private_process_stable() {
+    let (before, after, _) = figures::figure15_addition_is_local().unwrap();
+    assert_eq!(before, after);
+}

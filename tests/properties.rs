@@ -1,0 +1,206 @@
+//! Property-based tests over the core data structures and the
+//! document/transformation pipeline.
+
+use proptest::prelude::*;
+use semantic_b2b::document::normalized::{build_poa, check_total_consistency, PoBuilder};
+use semantic_b2b::document::{
+    Currency, Date, Document, FieldPath, FormatId, FormatRegistry, Money,
+};
+use semantic_b2b::rules::{Expr, RuleContext};
+use semantic_b2b::transform::{TransformContext, TransformRegistry};
+
+// ---------------------------------------------------------------------
+// Strategies.
+
+fn currency() -> impl Strategy<Value = Currency> {
+    prop_oneof![
+        Just(Currency::Usd),
+        Just(Currency::Eur),
+        Just(Currency::Gbp),
+        Just(Currency::Jpy)
+    ]
+}
+
+fn date() -> impl Strategy<Value = Date> {
+    (1990i32..2100, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| Date::new(y, m, d).unwrap())
+}
+
+prop_compose! {
+    fn po_line()(item in "[A-Z]{2,8}-[0-9]{1,4}", qty in 1i64..10_000, cents in 1i64..5_000_000)
+        -> (String, i64, i64)
+    {
+        (item, qty, cents)
+    }
+}
+
+prop_compose! {
+    fn normalized_po()(
+        po_number in "[A-Z0-9]{1,12}",
+        buyer in "[A-Za-z][A-Za-z ]{0,20}",
+        seller in "[A-Za-z][A-Za-z ]{0,20}",
+        order_date in date(),
+        cur in currency(),
+        lines in prop::collection::vec(po_line(), 1..6),
+    ) -> Document {
+        let mut b = PoBuilder::new(&po_number, buyer.trim(), seller.trim(), order_date, cur);
+        for (item, qty, cents) in &lines {
+            b = b.line(item, *qty, Money::from_cents(*cents, cur)).unwrap();
+        }
+        b.build().unwrap()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive invariants.
+
+proptest! {
+    #[test]
+    fn money_display_parse_roundtrip(cents in -1_000_000_000_000i64..1_000_000_000_000, cur in currency()) {
+        let m = Money::from_cents(cents, cur);
+        let back = Money::parse(&m.to_string()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn date_plus_days_is_invertible(d in date(), delta in -100_000i64..100_000) {
+        let there = d.plus_days(delta);
+        let back = there.plus_days(-delta);
+        prop_assert_eq!(back, d);
+        prop_assert_eq!(there.day_number() - d.day_number(), delta);
+    }
+
+    #[test]
+    fn date_compact_roundtrip(d in date()) {
+        prop_assert_eq!(Date::parse_compact(&d.to_compact()).unwrap(), d);
+        prop_assert_eq!(Date::parse_iso(&d.to_string()).unwrap(), d);
+    }
+
+    #[test]
+    fn field_path_display_parse_roundtrip(
+        segs in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
+        idx in prop::option::of(0usize..100),
+    ) {
+        let mut text = segs.join(".");
+        if let Some(i) = idx {
+            text.push_str(&format!("[{i}]"));
+        }
+        let p = FieldPath::parse(&text).unwrap();
+        prop_assert_eq!(p.to_string(), text);
+    }
+
+    #[test]
+    fn expression_parser_never_panics(input in ".{0,60}") {
+        let _ = Expr::parse(&input); // may Err, must not panic
+    }
+
+    #[test]
+    fn lexable_garbage_never_panics_the_evaluator(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("source".to_string()), Just("target".to_string()),
+                Just("document".to_string()), Just("and".to_string()),
+                Just("or".to_string()), Just("not".to_string()),
+                Just("==".to_string()), Just(">=".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("amount".to_string()), Just(".".to_string()),
+                Just("55000".to_string()), Just("\"TP1\"".to_string()),
+            ],
+            0..12,
+        ),
+    ) {
+        let text = tokens.join(" ");
+        if let Ok(expr) = Expr::parse(&text) {
+            let doc = semantic_b2b::document::normalized::sample_po("p", 10);
+            let _ = expr.eval(&RuleContext::new("TP1", "SAP", &doc)); // may Err
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline invariants: random POs survive every format round trip.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_pos_are_internally_consistent(po in normalized_po()) {
+        prop_assert!(check_total_consistency(&po).is_ok());
+        prop_assert!(semantic_b2b::document::normalized::po_schema().accepts(&po));
+    }
+
+    #[test]
+    fn normalized_po_roundtrips_through_every_format(po in normalized_po()) {
+        let transforms = TransformRegistry::with_builtins();
+        let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
+        for format in [
+            FormatId::EDI_X12,
+            FormatId::ROSETTANET,
+            FormatId::OAGIS,
+            FormatId::SAP_IDOC,
+            FormatId::ORACLE_APPS,
+        ] {
+            let down = transforms.transform(&po, &format, &ctx).unwrap();
+            let back = transforms.transform(&down, &FormatId::NORMALIZED, &ctx).unwrap();
+            prop_assert_eq!(back.body(), po.body(), "{}", format);
+        }
+    }
+
+    #[test]
+    fn wire_codecs_roundtrip_transformed_pos(po in normalized_po()) {
+        let transforms = TransformRegistry::with_builtins();
+        let formats = FormatRegistry::with_builtins();
+        let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
+        for format in [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS] {
+            let wire_doc = transforms.transform(&po, &format, &ctx).unwrap();
+            let bytes = formats.encode(&wire_doc).unwrap();
+            let decoded = formats.decode(&format, &bytes).unwrap();
+            prop_assert_eq!(decoded.body(), wire_doc.body(), "{}", format);
+            prop_assert_eq!(decoded.correlation(), wire_doc.correlation());
+        }
+    }
+
+    #[test]
+    fn poas_roundtrip_through_every_format(
+        po in normalized_po(),
+        status in prop_oneof![
+            Just("accepted"),
+            Just("rejected"),
+            Just("accepted-with-changes")
+        ],
+        ack in date(),
+    ) {
+        let poa = build_poa(&po, status, ack).unwrap();
+        let transforms = TransformRegistry::with_builtins();
+        // POA travels seller -> buyer.
+        let seller = po.get("header.seller").unwrap().as_text("s").unwrap().to_string();
+        let buyer = po.get("header.buyer").unwrap().as_text("b").unwrap().to_string();
+        let ctx = TransformContext::new(&seller, &buyer, "000000002", "i-2");
+        for format in [
+            FormatId::EDI_X12,
+            FormatId::ROSETTANET,
+            FormatId::OAGIS,
+            FormatId::SAP_IDOC,
+            FormatId::ORACLE_APPS,
+        ] {
+            let down = transforms.transform(&poa, &format, &ctx).unwrap();
+            let back = transforms.transform(&down, &FormatId::NORMALIZED, &ctx).unwrap();
+            prop_assert_eq!(back.body(), poa.body(), "{}", format);
+        }
+    }
+
+    #[test]
+    fn approval_rule_agrees_with_direct_comparison(
+        amount in 0i64..200_000,
+        threshold in 0i64..200_000,
+    ) {
+        let f = semantic_b2b::rules::approval::check_need_for_approval(&[
+            semantic_b2b::rules::approval::ApprovalThreshold::new("SAP", "TP1", threshold),
+        ]).unwrap();
+        let po = semantic_b2b::document::normalized::sample_po("p", amount);
+        let result = f.invoke(&RuleContext::new("TP1", "SAP", &po)).unwrap();
+        prop_assert_eq!(
+            result,
+            semantic_b2b::document::Value::Bool(amount >= threshold)
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's Section 2.3 example, end to end: a buyer broadcasts a
+//! request for quotation to several sellers. Each seller prices the RFQ
+//! with its own *externalized* rule — precisely the competitive knowledge
+//! the paper says must never leave the enterprise — and the buyer
+//! receives one quote per seller, routed by (correlation, partner).
+
+use semantic_b2b::document::{record, CorrelationId, Currency, Date, DocKind, Document, FormatId, Money, Value};
+use semantic_b2b::integration::engine::IntegrationEngine;
+use semantic_b2b::integration::partner::TradingPartner;
+use semantic_b2b::integration::private_process::QUOTE_PRICE_RULE;
+use semantic_b2b::integration::SessionState;
+use semantic_b2b::network::{FaultConfig, SimNetwork};
+use semantic_b2b::protocol::{MessageExchangePattern, TradingPartnerAgreement};
+use semantic_b2b::rules::{BusinessRule, RuleFunction};
+
+fn normalized_rfq(rfq_number: &str, item: &str, quantity: i64) -> Document {
+    Document::new(
+        DocKind::RequestForQuote,
+        FormatId::NORMALIZED,
+        CorrelationId::for_rfq_number(rfq_number),
+        record! {
+            "header" => record! {
+                "rfq_number" => Value::text(rfq_number),
+                "buyer" => Value::text("ACME"),
+                "item" => Value::text(item),
+                "quantity" => Value::Int(quantity),
+                "respond_by" => Value::Date(Date::new(2001, 10, 1).unwrap()),
+            },
+        },
+    )
+}
+
+fn quote_rule(price_cents: i64) -> RuleFunction {
+    let mut f = RuleFunction::new(QUOTE_PRICE_RULE);
+    f.add_rule(
+        BusinessRule::parse(
+            "flat price",
+            "true",
+            &format!(
+                "money(\"{}.{:02} USD\")",
+                price_cents / 100,
+                price_cents % 100
+            ),
+        )
+        .unwrap(),
+    );
+    f
+}
+
+#[test]
+fn broadcast_rfq_collects_one_quote_per_seller() {
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 31);
+    let mut buyer = IntegrationEngine::new("ACME", &mut net).unwrap();
+    let mut sellers = Vec::new();
+    // Two sellers with different (secret) pricing rules.
+    for (name, price_cents) in [("SellerA", 94_999i64), ("SellerB", 89_950)] {
+        let mut seller = IntegrationEngine::new(name, &mut net).unwrap();
+        seller.add_partner(TradingPartner::new("ACME"));
+        seller.rules_mut().register(quote_rule(price_cents));
+        buyer.add_partner(TradingPartner::new(name));
+        let (init, resp) = MessageExchangePattern::RequestReply {
+            request: DocKind::RequestForQuote,
+            reply: DocKind::Quote,
+        }
+        .role_processes(&format!("rfq-{name}"), FormatId::ROSETTANET)
+        .unwrap();
+        let agreement = TradingPartnerAgreement::between(
+            &format!("rfq-{name}"),
+            "ACME",
+            name,
+            &init,
+            &resp,
+            true,
+        )
+        .unwrap();
+        buyer.install_agreement(agreement.clone(), &init, &resp).unwrap();
+        seller.install_agreement(agreement.clone(), &init, &resp).unwrap();
+        sellers.push((seller, agreement.id));
+    }
+
+    // Broadcast: the SAME correlation goes to both sellers.
+    let rfq = normalized_rfq("RFQ-9", "LAPTOP-T23", 100);
+    let correlation = rfq.correlation().clone();
+    for (_, agreement_id) in &sellers {
+        buyer.initiate(&mut net, agreement_id, rfq.clone()).unwrap();
+    }
+
+    for _ in 0..1_000 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        for (seller, _) in sellers.iter_mut() {
+            seller.pump(&mut net).unwrap();
+        }
+        if net.idle() {
+            break;
+        }
+    }
+
+    // Per-partner session states on the buyer.
+    for (seller, _) in &sellers {
+        assert_eq!(
+            buyer.session_state_with(&correlation, seller.name()),
+            SessionState::Completed,
+            "{}",
+            seller.name()
+        );
+        assert_eq!(seller.session_state(&correlation), SessionState::Completed);
+    }
+    // The aggregate completes only when every leg did.
+    assert_eq!(buyer.session_state(&correlation), SessionState::Completed);
+    assert_eq!(buyer.stats().sessions_started, 2);
+    assert_eq!(buyer.stats().wire_received, 2, "one quote per seller");
+}
+
+#[test]
+fn quote_prices_come_from_the_sellers_private_rules() {
+    // Single seller; verify the quoted price is exactly the rule's value
+    // and valid_until derives from the RFQ deadline.
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 32);
+    let mut buyer = IntegrationEngine::new("ACME", &mut net).unwrap();
+    let mut seller = IntegrationEngine::new("SellerA", &mut net).unwrap();
+    buyer.add_partner(TradingPartner::new("SellerA"));
+    seller.add_partner(TradingPartner::new("ACME"));
+    seller.rules_mut().register(quote_rule(94_999));
+    let (init, resp) = MessageExchangePattern::RequestReply {
+        request: DocKind::RequestForQuote,
+        reply: DocKind::Quote,
+    }
+    .role_processes("rfq", FormatId::ROSETTANET)
+    .unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("rfq", "ACME", "SellerA", &init, &resp, true).unwrap();
+    buyer.install_agreement(agreement.clone(), &init, &resp).unwrap();
+    seller.install_agreement(agreement, &init, &resp).unwrap();
+
+    let rfq = normalized_rfq("RFQ-1", "WIDGET", 10);
+    let correlation = buyer.initiate(&mut net, "rfq", rfq).unwrap();
+    for _ in 0..1_000 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+        if net.idle() {
+            break;
+        }
+    }
+    assert_eq!(buyer.session_state(&correlation), SessionState::Completed);
+    // The recorded price on the buyer's private process equals the
+    // seller's secret rule value.
+    let expected = Money::from_cents(94_999, Currency::Usd);
+    assert!(buyer.correlations().contains(&correlation), "session exists");
+    // Find the buyer's private instance variable through the WFMS.
+    let found = buyer
+        .wf()
+        .db()
+        .instance_ids()
+        .into_iter()
+        .filter_map(|id| buyer.wf().db().get_instance(id).ok())
+        .filter_map(|inst| inst.vars.get("recorded_price").cloned())
+        .next();
+    match found {
+        Some(semantic_b2b::wfms::Variable::Value(Value::Money(m))) => {
+            assert_eq!(m, expected)
+        }
+        other => panic!("recorded price missing: {other:?}"),
+    }
+}
