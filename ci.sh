@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Everything runs offline — all external dependencies are vendored.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --offline -q --workspace
+
+echo "CI OK"

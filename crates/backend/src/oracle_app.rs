@@ -25,12 +25,7 @@ pub struct OracleSystem {
 impl OracleSystem {
     /// Creates a system named `Oracle` with the given policy.
     pub fn new(policy: AckPolicy) -> Self {
-        Self {
-            name: "Oracle".to_string(),
-            policy,
-            book: OrderBook::new(),
-            filed_acks: Vec::new(),
-        }
+        Self { name: "Oracle".to_string(), policy, book: OrderBook::new(), filed_acks: Vec::new() }
     }
 
     fn err(&self, reason: impl Into<String>) -> BackendError {

@@ -204,16 +204,10 @@ mod tests {
     fn rejects_wrong_format_kind_and_duplicates() {
         let mut sap = SapSystem::new(AckPolicy::AcceptAll);
         let normalized = b2b_document::normalized::sample_po("1", 10);
-        assert!(matches!(
-            sap.store_po(&normalized),
-            Err(BackendError::WrongFormat { .. })
-        ));
+        assert!(matches!(sap.store_po(&normalized), Err(BackendError::WrongFormat { .. })));
         let po = sample_sap_po("1", 10);
         sap.store_po(&po).unwrap();
-        assert!(matches!(
-            sap.store_po(&po),
-            Err(BackendError::DuplicateOrder { .. })
-        ));
+        assert!(matches!(sap.store_po(&po), Err(BackendError::DuplicateOrder { .. })));
         let ack = sap.extract_poas().unwrap().remove(0);
         assert!(sap.store_po(&ack).is_err(), "cannot store an ack as an order");
     }

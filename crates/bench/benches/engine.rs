@@ -32,8 +32,7 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
             bencher.iter(|| {
-                let mut s =
-                    TwoEnterpriseScenario::new(FaultConfig::reliable(), 42).unwrap();
+                let mut s = TwoEnterpriseScenario::new(FaultConfig::reliable(), 42).unwrap();
                 for i in 0..n {
                     let po = s.po(&format!("b-{i}"), 1_000 + i as i64).unwrap();
                     s.submit(po).unwrap();

@@ -16,7 +16,7 @@ fn run_reliable(loss: f64, seed: u64) -> usize {
         FaultConfig { loss, duplicate: loss / 2.0, ..FaultConfig::flaky(loss) },
         seed,
     );
-    let config = ReliableConfig { retry_timeout_ms: 200, max_retries: 10 };
+    let config = ReliableConfig::fixed(200, 10);
     let mut a = ReliableEndpoint::new(EndpointId::new("a"), config.clone(), &mut net).unwrap();
     let mut b = ReliableEndpoint::new(EndpointId::new("b"), config, &mut net).unwrap();
     let to = b.id().clone();

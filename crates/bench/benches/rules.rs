@@ -31,9 +31,8 @@ fn bench_rule_function(c: &mut Criterion) {
             BenchmarkId::new("last-partner-match", partners),
             &f,
             |bencher, f| {
-                bencher.iter(|| {
-                    black_box(f.invoke(&RuleContext::new(&last, "Oracle", &doc)).unwrap())
-                })
+                bencher
+                    .iter(|| black_box(f.invoke(&RuleContext::new(&last, "Oracle", &doc)).unwrap()))
             },
         );
     }
@@ -74,10 +73,8 @@ fn bench_parse(c: &mut Criterion) {
     c.bench_function("parse-paper-rule", |bencher| {
         bencher.iter(|| {
             black_box(
-                Expr::parse(
-                    "target == \"SAP\" and source == \"TP1\" and document.amount >= 55000",
-                )
-                .unwrap(),
+                Expr::parse("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000")
+                    .unwrap(),
             )
         })
     });

@@ -25,8 +25,7 @@ fn bench_transform(c: &mut Criterion) {
             BenchmarkId::new("normalized-to", target.as_str()),
             &target,
             |bencher, target| {
-                bencher
-                    .iter(|| black_box(registry.transform(&normalized, target, &ctx).unwrap()))
+                bencher.iter(|| black_box(registry.transform(&normalized, target, &ctx).unwrap()))
             },
         );
     }

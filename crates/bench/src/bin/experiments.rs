@@ -12,9 +12,11 @@ use b2b_core::baseline::distributed::run_distributed_roundtrip;
 use b2b_core::change::{advanced_impact, naive_impact, ChangeKind};
 use b2b_core::figures;
 use b2b_core::scenario::{ScenarioProtocol, TwoEnterpriseScenario};
+use b2b_core::SessionState;
 use b2b_document::DocKind;
 use b2b_network::{
-    Bytes, DeliveryStatus, EndpointId, FaultConfig, ReliableConfig, ReliableEndpoint, SimNetwork,
+    BackoffPolicy, Bytes, DeliveryStatus, EndpointId, FaultConfig, ReliableConfig,
+    ReliableEndpoint, SimNetwork,
 };
 use b2b_protocol::{MessageExchangePattern, PublicProcessDef};
 
@@ -33,6 +35,7 @@ fn main() {
         ("e8", "Section 4.6: scalability of additions", e8),
         ("e9", "RNIF reliability under loss", e9),
         ("e10", "Message exchange patterns", e10),
+        ("e13", "Failure containment: exactly-once-or-dead-lettered", e13),
     ];
     for (id, title, run) in experiments {
         if want(id) {
@@ -89,7 +92,10 @@ fn e4() {
 }
 
 fn e5() {
-    println!("{:>3} {:>3} {:>3} | {:>14} {:>17} {:>14} | {:>6}", "P", "T", "B", "naive elements", "advanced elements", "advanced total", "ratio");
+    println!(
+        "{:>3} {:>3} {:>3} | {:>14} {:>17} {:>14} | {:>6}",
+        "P", "T", "B", "naive elements", "advanced elements", "advanced total", "ratio"
+    );
     for (p, t, b) in [
         (1, 1, 1),
         (2, 2, 2), // Figure 9
@@ -114,9 +120,7 @@ fn e5() {
 }
 
 fn e6() {
-    for protocol in
-        [ScenarioProtocol::Edi, ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis]
-    {
+    for protocol in [ScenarioProtocol::Edi, ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis] {
         let mut s = TwoEnterpriseScenario::with_protocol(protocol, FaultConfig::reliable(), 42)
             .expect("scenario");
         let before = s.seller.responder_private_hash().expect("hash");
@@ -131,8 +135,7 @@ fn e6() {
             before == after
         );
     }
-    let (before, after, new_artifacts) =
-        figures::figure15_addition_is_local().expect("figure 15");
+    let (before, after, new_artifacts) = figures::figure15_addition_is_local().expect("figure 15");
     println!(
         "figure-15 (add TP3 + OAGIS): private hash {before:#x} -> {after:#x} \
          (unchanged={}), {new_artifacts} new artifacts",
@@ -175,7 +178,7 @@ fn e9() {
             FaultConfig { loss, duplicate: loss / 2.0, ..FaultConfig::flaky(loss) },
             99,
         );
-        let config = ReliableConfig { retry_timeout_ms: 200, max_retries: 10 };
+        let config = ReliableConfig::fixed(200, 10);
         let mut a =
             ReliableEndpoint::new(EndpointId::new("a"), config.clone(), &mut net).expect("a");
         let mut b = ReliableEndpoint::new(EndpointId::new("b"), config, &mut net).expect("b");
@@ -198,10 +201,8 @@ fn e9() {
             b.receive(&mut net).expect("receive");
             a.receive(&mut net).expect("receive");
         }
-        let acked = ids
-            .iter()
-            .filter(|id| a.delivery_status(id) == DeliveryStatus::Acknowledged)
-            .count();
+        let acked =
+            ids.iter().filter(|id| a.delivery_status(id) == DeliveryStatus::Acknowledged).count();
         println!(
             "{loss:>4.1} | {:>4} {:>5} {:>7} {:>8} | {:>5.1}%",
             a.stats().sends,
@@ -255,12 +256,125 @@ fn e10() {
         );
     }
     // Throughput sanity: 10 concurrent request/replies end to end.
-    let (done, elapsed) =
-        run_roundtrips(10, FaultConfig::reliable(), 5).expect("round trips");
+    let (done, elapsed) = run_roundtrips(10, FaultConfig::reliable(), 5).expect("round trips");
     println!("10 concurrent request/reply sessions: {done} completed in {elapsed} sim-ms");
     // Live broadcast: one RFQ correlation fanned out to three sellers,
     // each quoting with its own externalized pricing rule (§2.3).
     broadcast_rfq_live();
+}
+
+fn e13() {
+    // Part 1: transport level. Sweep (loss, duplication, corruption) ×
+    // backoff policy and classify every send: delivered to the receiver's
+    // application, or failed at the sender (→ dead-lettered by the
+    // engine). `cover` counts messages in the union — it must equal
+    // `sent`: nothing is ever silently lost, whatever the fault mix.
+    println!("transport: every send ends delivered or dead-lettered, never silently lost");
+    println!("loss  dup corr | policy | sent deliv dead cover | retries nack-rtx corrupt-rej");
+    let grid = [
+        (0.0, 0.0, 0.0),
+        (0.3, 0.0, 0.0),
+        (0.0, 0.3, 0.0),
+        (0.0, 0.0, 0.3),
+        (0.3, 0.15, 0.15),
+        (0.5, 0.25, 0.25),
+        (0.2, 0.1, 0.6),
+        (1.0, 0.0, 0.0),
+    ];
+    let policies: [(&str, ReliableConfig); 2] = [
+        ("fixed", ReliableConfig::fixed(200, 10)),
+        (
+            "expo",
+            ReliableConfig {
+                retry_timeout_ms: 200,
+                max_retries: 10,
+                backoff: BackoffPolicy::Exponential { max_interval_ms: 2_000, jitter: 0.1 },
+                deadline_ms: None,
+                jitter_seed: 7,
+            },
+        ),
+    ];
+    for (loss, duplicate, corrupt) in grid {
+        for (name, config) in &policies {
+            let faults =
+                FaultConfig { loss, duplicate, corrupt, min_delay_ms: 10, max_delay_ms: 120 };
+            let mut net = SimNetwork::new(faults, 4242);
+            let mut a =
+                ReliableEndpoint::new(EndpointId::new("a"), config.clone(), &mut net).expect("a");
+            let mut b =
+                ReliableEndpoint::new(EndpointId::new("b"), config.clone(), &mut net).expect("b");
+            let to = b.id().clone();
+            let mut ids = Vec::new();
+            for i in 0..40 {
+                ids.push(
+                    a.send(
+                        &mut net,
+                        &to,
+                        b2b_document::FormatId::EDI_X12,
+                        Bytes::from(format!("po-{i}")),
+                    )
+                    .expect("send"),
+                );
+            }
+            let mut delivered = std::collections::BTreeSet::new();
+            let mut dead = std::collections::BTreeSet::new();
+            for _ in 0..6_000 {
+                net.advance(10);
+                dead.extend(a.tick(&mut net).expect("tick").into_iter().map(|e| e.id));
+                for env in b.receive(&mut net).expect("receive") {
+                    assert!(env.verify_integrity(), "no corrupt payload surfaces");
+                    assert!(delivered.insert(env.id), "no duplicate surfaces");
+                }
+                a.receive(&mut net).expect("receive");
+            }
+            let cover = ids.iter().filter(|id| delivered.contains(id) || dead.contains(id)).count();
+            assert_eq!(cover, ids.len(), "every message delivered or dead-lettered");
+            println!(
+                "{loss:>4.1} {duplicate:>4.2} {corrupt:>4.2} | {name:<6} | {:>4} {:>5} {:>4} {:>5} | {:>7} {:>8} {:>11}",
+                ids.len(),
+                delivered.len(),
+                dead.len(),
+                cover,
+                a.stats().retries,
+                a.stats().nack_retransmits,
+                b.stats().corrupt_rejected,
+            );
+        }
+    }
+
+    // Part 2: engine level. Failed interactions are dead-lettered and the
+    // counterparty is notified; completed + failed always accounts for
+    // every session.
+    println!();
+    println!("engine: 8 EDI round trips per row; failed sessions notify the counterparty");
+    println!("loss | completed failed | dead-lettered notified(sent/recv)");
+    for loss in [0.0, 0.3, 1.0] {
+        let faults = if loss == 0.0 {
+            FaultConfig::reliable()
+        } else {
+            FaultConfig { loss, ..FaultConfig::flaky(loss) }
+        };
+        let mut s = TwoEnterpriseScenario::new(faults, 77).expect("scenario");
+        let mut correlations = Vec::new();
+        for i in 0..8 {
+            let po = s.po(&format!("E13-{i}"), 1_000 + i).expect("po");
+            correlations.push(s.submit(po).expect("submit"));
+        }
+        s.run_until_quiescent(600_000).expect("run");
+        let completed = correlations
+            .iter()
+            .filter(|c| s.buyer.session_state(c) == SessionState::Completed)
+            .count();
+        let failed = correlations
+            .iter()
+            .filter(|c| matches!(s.buyer.session_state(c), SessionState::Failed(_)))
+            .count();
+        assert_eq!(completed + failed, 8, "every session reaches a terminal state");
+        let dead = s.buyer.stats().dead_lettered + s.seller.stats().dead_lettered;
+        let sent = s.buyer.stats().notifications_sent + s.seller.stats().notifications_sent;
+        let recv = s.buyer.stats().notifications_received + s.seller.stats().notifications_received;
+        println!("{loss:>4.1} | {completed:>9} {failed:>6} | {dead:>13} {sent:>8}/{recv}");
+    }
 }
 
 fn broadcast_rfq_live() {
@@ -280,8 +394,7 @@ fn broadcast_rfq_live() {
         seller.add_partner(TradingPartner::new("ACME"));
         let mut f = RuleFunction::new(QUOTE_PRICE_RULE);
         f.add_rule(
-            BusinessRule::parse("flat", "true", &format!("money(\"{price} USD\")"))
-                .expect("rule"),
+            BusinessRule::parse("flat", "true", &format!("money(\"{price} USD\")")).expect("rule"),
         );
         seller.rules_mut().register(f);
         buyer.add_partner(TradingPartner::new(name));

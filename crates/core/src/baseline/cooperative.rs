@@ -29,8 +29,7 @@ impl IntegrationConfig {
     /// ones (EDI, RosettaNet, OAGIS / SAP, Oracle), further entries are
     /// synthetic.
     pub fn synthetic(protocols: usize, partners: usize, backends: usize) -> Self {
-        let builtin_protocols =
-            [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS];
+        let builtin_protocols = [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS];
         let protocols = (0..protocols)
             .map(|i| {
                 builtin_protocols
@@ -45,12 +44,9 @@ impl IntegrationConfig {
         ];
         let backends = (0..backends)
             .map(|i| {
-                builtin_backends
-                    .get(i)
-                    .cloned()
-                    .unwrap_or_else(|| {
-                        (format!("app-{i}"), FormatId::custom(format!("app-fmt-{i}")))
-                    })
+                builtin_backends.get(i).cloned().unwrap_or_else(|| {
+                    (format!("app-{i}"), FormatId::custom(format!("app-fmt-{i}")))
+                })
             })
             .collect();
         let partners = (1..=partners).map(|i| format!("TP{i}")).collect();
@@ -97,9 +93,7 @@ pub fn monolithic_responder_type(cfg: &IntegrationConfig) -> Result<WorkflowType
         .partners
         .iter()
         .enumerate()
-        .map(|(k, tp)| {
-            format!("(source == \"{tp}\" and document.amount >= {})", cfg.threshold(k))
-        })
+        .map(|(k, tp)| format!("(source == \"{tp}\" and document.amount >= {})", cfg.threshold(k)))
         .collect::<Vec<_>>()
         .join(" or ");
     let no_approval_guard = format!("not ({approval_guard})");
@@ -133,11 +127,8 @@ pub fn monolithic_responder_type(cfg: &IntegrationConfig) -> Result<WorkflowType
                 .filter(|(k, _)| cfg.backend_of(*k) == bi)
                 .map(|(_, tp)| format!("source == \"{tp}\""))
                 .collect();
-            let target_guard = if routed.is_empty() {
-                "false".to_string()
-            } else {
-                routed.join(" or ")
-            };
+            let target_guard =
+                if routed.is_empty() { "false".to_string() } else { routed.join(" or ") };
 
             b = b
                 .step(StepDef::transform(&t_in, native.clone(), &format!("po_{p}"), &po_var))
@@ -264,10 +255,8 @@ mod tests {
     fn adding_a_partner_changes_the_naive_type_hash() {
         // Section 3.3: "every time a trading partner is added … all the
         // workflow types have to be revisited".
-        let before =
-            monolithic_responder_type(&IntegrationConfig::synthetic(2, 2, 2)).unwrap();
-        let after =
-            monolithic_responder_type(&IntegrationConfig::synthetic(2, 3, 2)).unwrap();
+        let before = monolithic_responder_type(&IntegrationConfig::synthetic(2, 2, 2)).unwrap();
+        let after = monolithic_responder_type(&IntegrationConfig::synthetic(2, 3, 2)).unwrap();
         assert_ne!(before.definition_hash(), after.definition_hash());
     }
 }

@@ -250,8 +250,7 @@ pub fn run_distributed_roundtrip(amount_units: i64) -> Result<DistributedOutcome
     let id_back = fed.migrate_instance(&seller_id, &buyer_id, id_at_seller)?;
     fed.engine_mut(&buyer_id)?.deliver(&ChannelId::new("wire-back"), wire_poa)?;
 
-    let completed =
-        fed.engine(&buyer_id)?.status(id_back)? == InstanceStatus::Completed;
+    let completed = fed.engine(&buyer_id)?.status(id_back)? == InstanceStatus::Completed;
     Ok(DistributedOutcome {
         completed,
         exposure: exposure_from_ledger(&fed, &buyer_id, &seller_id)?,
@@ -319,10 +318,7 @@ mod tests {
             engine.deliver(&ChannelId::new(channel_in), doc).unwrap();
         }
         assert_eq!(engine.status(id).unwrap(), InstanceStatus::Completed);
-        assert_eq!(
-            engine.variable(id, "poa_stored").unwrap(),
-            Variable::Value(Value::Bool(true))
-        );
+        assert_eq!(engine.variable(id, "poa_stored").unwrap(), Variable::Value(Value::Bool(true)));
     }
 
     #[test]

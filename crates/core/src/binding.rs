@@ -49,12 +49,7 @@ pub fn compile_wire_binding(format: &FormatId, role: BindingRole) -> Result<Work
             ))
             .step(StepDef::send("pass-inward", channels::to_private().as_str(), "norm_in"))
             .step(StepDef::receive("recv-reply", channels::from_private().as_str(), "norm_out"))
-            .step(StepDef::transform(
-                "transform-to-wire",
-                format.clone(),
-                "norm_out",
-                "wire_out",
-            ))
+            .step(StepDef::transform("transform-to-wire", format.clone(), "norm_out", "wire_out"))
             .step(StepDef::send("pass-outward", channels::to_public().as_str(), "wire_out"))
             .edge("recv-wire", "transform-to-normalized")
             .edge("transform-to-normalized", "pass-inward")
@@ -64,12 +59,7 @@ pub fn compile_wire_binding(format: &FormatId, role: BindingRole) -> Result<Work
             .build()?,
         BindingRole::Initiator => WorkflowBuilder::new(id.as_str())
             .step(StepDef::receive("recv-request", channels::from_private().as_str(), "norm_out"))
-            .step(StepDef::transform(
-                "transform-to-wire",
-                format.clone(),
-                "norm_out",
-                "wire_out",
-            ))
+            .step(StepDef::transform("transform-to-wire", format.clone(), "norm_out", "wire_out"))
             .step(StepDef::send("pass-outward", channels::to_public().as_str(), "wire_out"))
             .step(StepDef::receive("recv-wire", channels::from_public().as_str(), "wire_in"))
             .step(StepDef::transform(

@@ -110,11 +110,9 @@ pub fn advanced_impact(kind: ChangeKind, base: &IntegrationConfig) -> Result<Cha
         }
         // New public process + wire binding, four transformation
         // programs; nothing existing is modified.
-        ChangeKind::AddProtocol => ChangeImpact {
-            new_types: 2,
-            transform_changes: 4,
-            ..ChangeImpact::default()
-        },
+        ChangeKind::AddProtocol => {
+            ChangeImpact { new_types: 2, transform_changes: 4, ..ChangeImpact::default() }
+        }
         // New back-end binding + its four programs + a rule entry per
         // partner (who may now route there).
         ChangeKind::AddBackend => ChangeImpact {
@@ -140,8 +138,7 @@ pub fn advanced_impact(kind: ChangeKind, base: &IntegrationConfig) -> Result<Cha
             let (acked, _) = b2b_protocol::pip3a4::pip3a4_with_explicit_acks()?;
             ChangeImpact {
                 modified_types: 1,
-                elements_to_review: acked.step_count() - plain.step_count()
-                    + acked.step_count(),
+                elements_to_review: acked.step_count() - plain.step_count() + acked.step_count(),
                 ..ChangeImpact::default()
             }
         }
@@ -167,9 +164,9 @@ pub fn naive_impact(kind: ChangeKind, base: &IntegrationConfig) -> Result<Change
         ChangeKind::AddProtocol => Some(IntegrationConfig::synthetic(p + 1, t, b)),
         ChangeKind::AddBackend => Some(IntegrationConfig::synthetic(p, t, b + 1)),
         // Local-ish changes still modify the one monolithic type.
-        ChangeKind::AddAuditStep
-        | ChangeKind::AddExplicitAcks
-        | ChangeKind::AddNormalizedField => None,
+        ChangeKind::AddAuditStep | ChangeKind::AddExplicitAcks | ChangeKind::AddNormalizedField => {
+            None
+        }
     };
     let before = monolithic_responder_type(base)?;
     let review;
@@ -193,7 +190,9 @@ pub fn naive_impact(kind: ChangeKind, base: &IntegrationConfig) -> Result<Change
 }
 
 /// Convenience: naive vs. advanced model sizes for a sweep point (E5).
-pub fn model_sizes(cfg: &IntegrationConfig) -> Result<(crate::metrics::ModelSize, crate::metrics::ModelSize)> {
+pub fn model_sizes(
+    cfg: &IntegrationConfig,
+) -> Result<(crate::metrics::ModelSize, crate::metrics::ModelSize)> {
     Ok((naive_model_size(cfg)?, advanced_model_size(cfg)?))
 }
 
@@ -237,10 +236,7 @@ mod tests {
     #[test]
     fn the_non_local_change_is_honestly_non_local() {
         let adv = advanced_impact(ChangeKind::AddNormalizedField, &base()).unwrap();
-        assert!(
-            adv.touched_artifacts() > 3,
-            "the paper concedes this ripples through bindings"
-        );
+        assert!(adv.touched_artifacts() > 3, "the paper concedes this ripples through bindings");
     }
 
     #[test]

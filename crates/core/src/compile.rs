@@ -75,11 +75,7 @@ mod tests {
     fn receipt_steps_compile_to_markers() {
         let (buyer, _) = pip3a4_with_explicit_acks().unwrap();
         let wf = compile_public(&buyer).unwrap();
-        let noops = wf
-            .steps()
-            .iter()
-            .filter(|s| matches!(s.kind, StepKind::NoOp))
-            .count();
+        let noops = wf.steps().iter().filter(|s| matches!(s.kind, StepKind::NoOp)).count();
         assert_eq!(noops, 2, "wait-receipt and send-receipt become markers");
     }
 }

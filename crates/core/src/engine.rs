@@ -14,6 +14,7 @@ use crate::binding::{
 };
 use crate::channels;
 use crate::compile::{compile_public, public_type_id};
+use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
 use crate::error::{IntegrationError, Result};
 use crate::partner::{PartnerDirectory, TradingPartner};
 use crate::private_process::{
@@ -22,13 +23,14 @@ use crate::private_process::{
     responder_private_id, responder_private_process, rfq_submission_id, rfq_submission_process,
     APPROVE_ACTIVITY, AUDIT_ACTIVITY, MAKE_QUOTE_ACTIVITY, RECORD_QUOTE_ACTIVITY,
 };
-use b2b_document::DocKind;
 use b2b_backend::ApplicationProcess;
-use b2b_document::{CorrelationId, Document, FormatRegistry};
+use b2b_document::DocKind;
+use b2b_document::{CorrelationId, Document, FormatId, FormatRegistry};
 use b2b_network::{
-    Bytes, EndpointId, MessageId, ReliableConfig, ReliableEndpoint, SimNetwork,
+    Bytes, EndpointId, Envelope, MessageId, ReliableConfig, ReliableEndpoint, ReliableSnapshot,
+    SimNetwork, WireClass,
 };
-use b2b_protocol::{PublicProcessDef, TradingPartnerAgreement};
+use b2b_protocol::{FailureNotice, PublicAction, PublicProcessDef, TradingPartnerAgreement};
 use b2b_rules::RuleRegistry;
 use b2b_transform::TransformRegistry;
 use b2b_wfms::{
@@ -65,6 +67,10 @@ struct Session {
     backend_binding: Option<InstanceId>,
     backend: Option<String>,
     failure: Option<String>,
+    /// Whether the counterparty has been (or need not be) told about a
+    /// failure of this session — set on notify-out and on notify-in, so
+    /// notifications never echo back and forth.
+    notified: bool,
 }
 
 /// Counters for one integration engine.
@@ -83,6 +89,14 @@ pub struct IntegrationStats {
     pub unroutable: u64,
     /// Reliable-messaging failures that killed a session.
     pub delivery_failures: u64,
+    /// Messages quarantined in the dead-letter queue (all reasons).
+    pub dead_lettered: u64,
+    /// Failure notifications sent to counterparties.
+    pub notifications_sent: u64,
+    /// Failure notifications received from counterparties.
+    pub notifications_received: u64,
+    /// Dead letters replayed through the engine.
+    pub replays: u64,
 }
 
 /// The integration engine of one enterprise.
@@ -96,6 +110,9 @@ pub struct IntegrationEngine {
     agreements: BTreeMap<String, TradingPartnerAgreement>,
     /// Our compiled public-process type per agreement.
     public_types: BTreeMap<String, WorkflowTypeId>,
+    /// Per-agreement wire-send deadline, derived from the public process's
+    /// tightest `WaitReceipt { timeout_ms }` step.
+    receipt_deadlines: BTreeMap<String, u64>,
     backends: BTreeMap<String, ApplicationProcess>,
     sessions: Vec<Session>,
     /// Wire routing key: one session per (correlation, counterparty) —
@@ -103,6 +120,7 @@ pub struct IntegrationEngine {
     by_corr_partner: HashMap<(CorrelationId, String), usize>,
     by_instance: HashMap<InstanceId, usize>,
     outstanding_wire: HashMap<MessageId, usize>,
+    dead_letters: DeadLetterQueue,
     stats: IntegrationStats,
 }
 
@@ -141,11 +159,13 @@ impl IntegrationEngine {
             partners: PartnerDirectory::new(),
             agreements: BTreeMap::new(),
             public_types: BTreeMap::new(),
+            receipt_deadlines: BTreeMap::new(),
             backends: BTreeMap::new(),
             sessions: Vec::new(),
             by_corr_partner: HashMap::new(),
             by_instance: HashMap::new(),
             outstanding_wire: HashMap::new(),
+            dead_letters: DeadLetterQueue::default(),
             stats: IntegrationStats::default(),
         })
     }
@@ -216,6 +236,20 @@ impl IntegrationEngine {
         self.wf.deploy(compile_wire_binding(&agreement.format, BindingRole::Responder)?);
         self.wf.deploy(compile_wire_binding(&agreement.format, BindingRole::Initiator)?);
         self.public_types.insert(agreement.id.clone(), public_type_id(&def.id));
+        // A WaitReceipt step bounds how long this side is willing to wait
+        // for transport acknowledgment: map the tightest one onto a
+        // per-message deadline in the reliable layer.
+        let receipt_deadline = def
+            .steps
+            .iter()
+            .filter_map(|s| match &s.action {
+                PublicAction::WaitReceipt { timeout_ms } => Some(*timeout_ms),
+                _ => None,
+            })
+            .min();
+        if let Some(ms) = receipt_deadline {
+            self.receipt_deadlines.insert(agreement.id.clone(), ms);
+        }
         self.agreements.insert(agreement.id.clone(), agreement);
         Ok(())
     }
@@ -273,12 +307,8 @@ impl IntegrationEngine {
         let backend = self.select_backend(&partner, &po)?;
         let private_type = Self::initiator_private_for(po.kind())?;
 
-        let public = self.wf.create_instance(
-            &public_type,
-            BTreeMap::new(),
-            &partner,
-            &self.name,
-        )?;
+        let public =
+            self.wf.create_instance(&public_type, BTreeMap::new(), &partner, &self.name)?;
         let binding = self.wf.create_instance(
             &wire_binding_type_id(&agreement.format, BindingRole::Initiator),
             BTreeMap::new(),
@@ -302,6 +332,7 @@ impl IntegrationEngine {
             backend_binding: None,
             backend,
             failure: None,
+            notified: false,
         });
         self.by_corr_partner
             .insert((correlation.clone(), self.sessions[index].partner.clone()), index);
@@ -322,24 +353,41 @@ impl IntegrationEngine {
     /// retransmissions. Call after every `SimNetwork::advance`.
     pub fn pump(&mut self, net: &mut SimNetwork) -> Result<()> {
         self.wf.advance_time(net.now())?;
-        // 1. Inbound wire traffic.
+        // 1. Inbound wire traffic: business payloads and failure notices.
         let envelopes = self.reliable.receive(net)?;
         for envelope in envelopes {
-            self.handle_wire(net, envelope)?;
+            match envelope.class {
+                WireClass::Notify => self.handle_notify(net, envelope)?,
+                _ => self.handle_wire(net, envelope)?,
+            }
         }
         // 2. Back-end processing cycles.
         self.poll_backends()?;
         // 3. Route emitted documents (loops internally to a fixpoint).
         self.route_outputs(net)?;
-        // 4. Retransmissions; permanent failures kill their session.
+        // 4. Retransmissions; permanent failures kill their session, and
+        //    the unacknowledged envelope is quarantined, not dropped.
         let failed = self.reliable.tick(net)?;
-        for msg in failed {
-            if let Some(index) = self.outstanding_wire.remove(&msg) {
+        for envelope in failed {
+            let attempts = self.reliable.attempts(&envelope.id);
+            if let Some(index) = self.outstanding_wire.remove(&envelope.id) {
                 self.stats.delivery_failures += 1;
-                self.sessions[index].failure =
-                    Some(format!("wire delivery of {msg} failed permanently"));
+                self.sessions[index].failure = Some(format!(
+                    "wire delivery of {} failed permanently after {attempts} attempts",
+                    envelope.id
+                ));
             }
+            self.stats.dead_lettered += 1;
+            self.dead_letters.push(
+                DeadLetterReason::DeliveryFailure { attempts },
+                envelope,
+                net.now(),
+            );
         }
+        // 5. Failure containment: any session newly observed as Failed
+        //    owes its counterparty a PIP-0A1-style notification so both
+        //    sides terminate deterministically.
+        self.notify_failed_sessions(net)?;
         Ok(())
     }
 
@@ -373,11 +421,7 @@ impl IntegrationEngine {
     }
 
     /// State of the session with a specific counterparty (broadcasts).
-    pub fn session_state_with(
-        &self,
-        correlation: &CorrelationId,
-        partner: &str,
-    ) -> SessionState {
+    pub fn session_state_with(&self, correlation: &CorrelationId, partner: &str) -> SessionState {
         match self.by_corr_partner.get(&(correlation.clone(), partner.to_string())) {
             Some(&index) => self.single_session_state(index),
             None => SessionState::InProgress,
@@ -421,15 +465,194 @@ impl IntegrationEngine {
             .count()
     }
 
+    /// The dead-letter queue: every message this engine rejected or gave
+    /// up on, kept for inspection and replay.
+    pub fn dead_letters(&self) -> &DeadLetterQueue {
+        &self.dead_letters
+    }
+
+    /// Replays a quarantined message. Inbound letters (decode failures,
+    /// unroutable documents) re-enter edge routing exactly as if they had
+    /// just arrived — useful after registering the missing partner or
+    /// agreement. Outbound letters (delivery failures) are re-sent
+    /// reliably and re-armed against their session, clearing its failure
+    /// marker. A replay that fails again re-quarantines the original
+    /// letter with its replay count bumped.
+    pub fn replay_dead_letter(&mut self, net: &mut SimNetwork, seq: u64) -> Result<()> {
+        let letter = self
+            .dead_letters
+            .take(seq)
+            .ok_or_else(|| IntegrationError::Config(format!("no dead letter #{seq}")))?;
+        self.stats.replays += 1;
+        match &letter.reason {
+            DeadLetterReason::DecodeFailure(_) | DeadLetterReason::Unroutable(_) => {
+                let before = self.dead_letters.len();
+                self.handle_wire(net, letter.envelope.clone())?;
+                if self.dead_letters.len() > before {
+                    // Still rejected: collapse the fresh letter back into
+                    // the original so its identity and history survive.
+                    self.dead_letters.take_last();
+                    self.dead_letters.requeue(letter);
+                }
+            }
+            DeadLetterReason::DeliveryFailure { .. } => {
+                let envelope = letter.envelope.clone();
+                let doc = match self.formats.decode(&envelope.format, &envelope.payload) {
+                    Ok(doc) => doc,
+                    Err(e) => {
+                        self.dead_letters.requeue(letter);
+                        return Err(IntegrationError::Config(format!(
+                            "dead letter #{seq} no longer decodes: {e}"
+                        )));
+                    }
+                };
+                let Ok(partner) = self.partners.name_of(&envelope.to).map(str::to_string) else {
+                    self.dead_letters.requeue(letter);
+                    return Err(IntegrationError::Config(format!(
+                        "dead letter #{seq} addresses unknown endpoint {}",
+                        envelope.to
+                    )));
+                };
+                let key = (doc.correlation().clone(), partner);
+                let Some(&index) = self.by_corr_partner.get(&key) else {
+                    self.dead_letters.requeue(letter);
+                    return Err(IntegrationError::Config(format!(
+                        "dead letter #{seq} belongs to no session"
+                    )));
+                };
+                let msg = self.reliable.send(
+                    net,
+                    &envelope.to,
+                    envelope.format.clone(),
+                    envelope.payload.clone(),
+                )?;
+                self.outstanding_wire.insert(msg, index);
+                // The session gets another chance: in flight again.
+                self.sessions[index].failure = None;
+                self.sessions[index].notified = false;
+                self.stats.wire_sent += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializable snapshot of the reliable-messaging state (outstanding
+    /// envelopes, retry state, dedup set) for crash recovery.
+    pub fn reliable_snapshot(&self) -> ReliableSnapshot {
+        self.reliable.snapshot()
+    }
+
+    /// Reliable-messaging counters (retries, NACK retransmits, …).
+    pub fn reliable_stats(&self) -> &b2b_network::ReliableStats {
+        self.reliable.stats()
+    }
+
     // ------------------------------------------------------------------
+
+    fn quarantine(&mut self, reason: DeadLetterReason, envelope: Envelope, net: &SimNetwork) {
+        self.stats.dead_lettered += 1;
+        self.dead_letters.push(reason, envelope, net.now());
+    }
+
+    /// Routes an inbound failure notification: the counterparty's half of
+    /// the interaction failed, so ours terminates deterministically.
+    fn handle_notify(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
+        let notice: FailureNotice = match std::str::from_utf8(&envelope.payload)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+        {
+            Ok(notice) => notice,
+            Err(e) => {
+                self.stats.decode_failures += 1;
+                self.quarantine(
+                    DeadLetterReason::DecodeFailure(format!("failure notice: {e}")),
+                    envelope,
+                    net,
+                );
+                return Ok(());
+            }
+        };
+        self.stats.notifications_received += 1;
+        // Route by the *authenticated* sender endpoint, not the claimed
+        // reporter name.
+        let Ok(partner) = self.partners.name_of(&envelope.from).map(str::to_string) else {
+            self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "failure notice from unknown endpoint {}",
+                    envelope.from
+                )),
+                envelope,
+                net,
+            );
+            return Ok(());
+        };
+        let key = (CorrelationId::new(notice.correlation.clone()), partner.clone());
+        let Some(&index) = self.by_corr_partner.get(&key) else {
+            self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "failure notice for unknown session {} with `{partner}`",
+                    notice.correlation
+                )),
+                envelope,
+                net,
+            );
+            return Ok(());
+        };
+        let session = &mut self.sessions[index];
+        if session.failure.is_none() {
+            session.failure =
+                Some(format!("partner `{partner}` reported failure: {}", notice.reason));
+        }
+        // Never echo a notification back for a failure the partner told
+        // us about.
+        session.notified = true;
+        Ok(())
+    }
+
+    /// Sends a PIP-0A1-style failure notification for every session newly
+    /// observed in a failed state.
+    fn notify_failed_sessions(&mut self, net: &mut SimNetwork) -> Result<()> {
+        for index in 0..self.sessions.len() {
+            if self.sessions[index].notified {
+                continue;
+            }
+            let SessionState::Failed(reason) = self.single_session_state(index) else {
+                continue;
+            };
+            self.sessions[index].notified = true;
+            let session = &self.sessions[index];
+            let Ok(endpoint) = self.partners.by_name(&session.partner).map(|p| p.endpoint.clone())
+            else {
+                continue; // nowhere to send the notice
+            };
+            let notice = FailureNotice::new(
+                session.correlation.to_string(),
+                session.agreement_id.clone(),
+                self.name.clone(),
+                reason,
+            );
+            let payload = serde_json::to_string(&notice)
+                .map_err(|e| IntegrationError::Config(format!("encoding notice: {e}")))?;
+            self.reliable.send_notify(
+                net,
+                &endpoint,
+                FormatId::ROSETTANET,
+                Bytes::from(payload.into_bytes()),
+            )?;
+            self.stats.notifications_sent += 1;
+        }
+        Ok(())
+    }
 
     fn initiator_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
         match kind {
             DocKind::PurchaseOrder => Ok(initiator_private_id()),
             DocKind::RequestForQuote => Ok(rfq_submission_id()),
-            other => Err(IntegrationError::Config(format!(
-                "no initiator private process for {other}"
-            ))),
+            other => {
+                Err(IntegrationError::Config(format!("no initiator private process for {other}")))
+            }
         }
     }
 
@@ -437,9 +660,9 @@ impl IntegrationEngine {
         match kind {
             DocKind::PurchaseOrder => Ok(responder_private_id()),
             DocKind::RequestForQuote => Ok(quote_generation_id()),
-            other => Err(IntegrationError::Config(format!(
-                "no responder private process for {other}"
-            ))),
+            other => {
+                Err(IntegrationError::Config(format!("no responder private process for {other}")))
+            }
         }
     }
 
@@ -454,10 +677,8 @@ impl IntegrationEngine {
         }
         if self.wf.rules().function(SELECT_BACKEND_RULE).is_ok() {
             let value = self.wf.rules().invoke(SELECT_BACKEND_RULE, partner, "", doc)?;
-            let name = value
-                .as_text("select-backend result")
-                .map_err(IntegrationError::from)?
-                .to_string();
+            let name =
+                value.as_text("select-backend result").map_err(IntegrationError::from)?.to_string();
             if !self.backends.contains_key(&name) {
                 return Err(IntegrationError::Config(format!(
                     "select-backend chose unknown backend `{name}`"
@@ -468,17 +689,18 @@ impl IntegrationEngine {
         if self.backends.len() == 1 {
             return Ok(self.backends.keys().next().cloned());
         }
-        Err(IntegrationError::Config(
-            "multiple backends but no `select-backend` rule".to_string(),
-        ))
+        Err(IntegrationError::Config("multiple backends but no `select-backend` rule".to_string()))
     }
 
-    fn handle_wire(&mut self, net: &mut SimNetwork, envelope: b2b_network::Envelope) -> Result<()> {
+    fn handle_wire(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
         let doc = match self.formats.decode(&envelope.format, &envelope.payload) {
             Ok(doc) => doc,
-            Err(_) => {
-                // Corrupt or malformed content is rejected at the edge.
+            Err(e) => {
+                // Malformed content is rejected at the edge — but kept:
+                // the raw bytes go to the dead-letter queue for inspection
+                // and replay, never silently dropped.
                 self.stats.decode_failures += 1;
+                self.quarantine(DeadLetterReason::DecodeFailure(e.to_string()), envelope, net);
                 return Ok(());
             }
         };
@@ -486,12 +708,16 @@ impl IntegrationEngine {
         let correlation = doc.correlation().clone();
         let Ok(partner) = self.partners.name_of(&envelope.from) else {
             self.stats.unroutable += 1;
+            let from = envelope.from.clone();
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!("unknown partner endpoint {from}")),
+                envelope,
+                net,
+            );
             return Ok(());
         };
         let partner = partner.to_string();
-        if let Some(&index) =
-            self.by_corr_partner.get(&(correlation.clone(), partner.clone()))
-        {
+        if let Some(&index) = self.by_corr_partner.get(&(correlation.clone(), partner.clone())) {
             let public = self.sessions[index].public;
             self.wf.deliver_to(public, &channels::wire_in(), doc)?;
             return Ok(());
@@ -502,18 +728,32 @@ impl IntegrationEngine {
             .agreements
             .values()
             .find(|a| {
-                a.format == envelope.format
-                    && a.responder == self.name
-                    && a.initiator == partner
+                a.format == envelope.format && a.responder == self.name && a.initiator == partner
             })
             .cloned();
         let Some(agreement) = agreement else {
             self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "no agreement with `{partner}` for format {}",
+                    envelope.format
+                )),
+                envelope,
+                net,
+            );
             return Ok(());
         };
         if doc.kind().reply_kind().is_none() {
             // Not an interaction-initiating document.
             self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "{} from `{partner}` starts no known interaction",
+                    doc.kind()
+                )),
+                envelope,
+                net,
+            );
             return Ok(());
         }
         let public_type = self.public_types[&agreement.id].clone();
@@ -537,6 +777,7 @@ impl IntegrationEngine {
             backend_binding: None,
             backend: None,
             failure: None,
+            notified: false,
         });
         self.by_corr_partner.insert((correlation, partner), index);
         self.by_instance.insert(public, index);
@@ -556,9 +797,7 @@ impl IntegrationEngine {
                 let bb = self
                     .sessions
                     .iter()
-                    .find(|s| {
-                        &s.correlation == poa.correlation() && s.backend_binding.is_some()
-                    })
+                    .find(|s| &s.correlation == poa.correlation() && s.backend_binding.is_some())
                     .and_then(|s| s.backend_binding);
                 let Some(bb) = bb else {
                     self.stats.unroutable += 1;
@@ -602,15 +841,25 @@ impl IntegrationEngine {
             "wire:out" => {
                 let session = &self.sessions[index];
                 let agreement = &self.agreements[&session.agreement_id];
-                let partner_endpoint =
-                    self.partners.by_name(&session.partner)?.endpoint.clone();
+                let partner_endpoint = self.partners.by_name(&session.partner)?.endpoint.clone();
                 let bytes = self.formats.encode(&doc)?;
-                let msg = self.reliable.send(
-                    net,
-                    &partner_endpoint,
-                    agreement.format.clone(),
-                    Bytes::from(bytes),
-                )?;
+                // A protocol-level WaitReceipt bounds this send's lifetime.
+                let deadline = self.receipt_deadlines.get(&session.agreement_id).copied();
+                let msg = match deadline {
+                    Some(ms) => self.reliable.send_with_deadline(
+                        net,
+                        &partner_endpoint,
+                        agreement.format.clone(),
+                        Bytes::from(bytes),
+                        Some(ms),
+                    )?,
+                    None => self.reliable.send(
+                        net,
+                        &partner_endpoint,
+                        agreement.format.clone(),
+                        Bytes::from(bytes),
+                    )?,
+                };
                 self.outstanding_wire.insert(msg, index);
                 self.stats.wire_sent += 1;
             }

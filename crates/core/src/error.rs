@@ -67,8 +67,7 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: IntegrationError =
-            b2b_wfms::WfError::UnknownInstance { instance: 3 }.into();
+        let e: IntegrationError = b2b_wfms::WfError::UnknownInstance { instance: 3 }.into();
         assert!(e.to_string().contains("workflow"));
         let e = IntegrationError::Config("no agreement".into());
         assert!(e.to_string().contains("no agreement"));

@@ -47,12 +47,7 @@ pub fn figure8_types() -> Result<(WorkflowType, WorkflowType)> {
         .step(StepDef::transform("transform-po", FormatId::EDI_X12, "po", "po_wire"))
         .step(StepDef::send("send-po", "wire", "po_wire"))
         .step(StepDef::receive("receive-poa", "wire-back", "poa_wire_in"))
-        .step(StepDef::transform(
-            "transform-poa",
-            FormatId::NORMALIZED,
-            "poa_wire_in",
-            "poa_buyer",
-        ))
+        .step(StepDef::transform("transform-poa", FormatId::NORMALIZED, "poa_wire_in", "poa_buyer"))
         .step(StepDef::activity("store-poa", "store-poa"))
         .edge("extract-po", "transform-po")
         .edge("transform-po", "send-po")
@@ -64,12 +59,7 @@ pub fn figure8_types() -> Result<(WorkflowType, WorkflowType)> {
         .build()?;
     let seller = WorkflowBuilder::new("cooperative:seller")
         .step(StepDef::receive("receive-po", "wire", "po_wire_in"))
-        .step(StepDef::transform(
-            "transform-po",
-            FormatId::NORMALIZED,
-            "po_wire_in",
-            "po_seller",
-        ))
+        .step(StepDef::transform("transform-po", FormatId::NORMALIZED, "po_wire_in", "po_seller"))
         .step(StepDef::activity("approve-po", "approve"))
         .step(StepDef::noop("approved"))
         .step(StepDef::activity("store-po", "store-po"))
@@ -78,12 +68,7 @@ pub fn figure8_types() -> Result<(WorkflowType, WorkflowType)> {
         .step(StepDef::send("send-poa", "wire-back", "poa_wire"))
         .edge("receive-po", "transform-po")
         .guarded_edge("transform-po", "approve-po", "po_seller", "document.amount > 550000")
-        .guarded_edge(
-            "transform-po",
-            "approved",
-            "po_seller",
-            "not (document.amount > 550000)",
-        )
+        .guarded_edge("transform-po", "approved", "po_seller", "not (document.amount > 550000)")
         .edge("approve-po", "approved")
         .edge("approved", "store-po")
         .edge("store-po", "extract-poa")
@@ -108,8 +93,7 @@ pub fn run_figure8_roundtrip(amount_units: i64) -> Result<bool> {
     buyer.deploy(buyer_wf);
     seller.deploy(seller_wf);
 
-    let po =
-        b2b_document::normalized::sample_po(&format!("coop-{amount_units}"), amount_units);
+    let po = b2b_document::normalized::sample_po(&format!("coop-{amount_units}"), amount_units);
     let mut vars = BTreeMap::new();
     vars.insert("po".to_string(), Variable::Document(po));
     let buyer_inst = buyer.create_instance(&buyer_type, vars, "GadgetSupply", "TP1")?;
@@ -224,10 +208,8 @@ mod tests {
 
     #[test]
     fn figure10_is_strictly_bigger_than_figure9() {
-        let nine =
-            crate::baseline::cooperative::naive_model_size(&figure9_config()).unwrap();
-        let ten =
-            crate::baseline::cooperative::naive_model_size(&figure10_config()).unwrap();
+        let nine = crate::baseline::cooperative::naive_model_size(&figure9_config()).unwrap();
+        let ten = crate::baseline::cooperative::naive_model_size(&figure10_config()).unwrap();
         assert!(ten.workflow_elements() > nine.workflow_elements());
     }
 }

@@ -36,6 +36,7 @@ pub mod binding;
 pub mod change;
 pub mod channels;
 pub mod compile;
+pub mod deadletter;
 pub mod engine;
 pub mod error;
 pub mod figures;
@@ -44,7 +45,8 @@ pub mod partner;
 pub mod private_process;
 pub mod scenario;
 
-pub use engine::{IntegrationEngine, SessionState};
+pub use deadletter::{DeadLetter, DeadLetterQueue, DeadLetterReason};
+pub use engine::{IntegrationEngine, IntegrationStats, SessionState};
 pub use error::{IntegrationError, Result};
 pub use partner::{PartnerDirectory, TradingPartner};
 pub use scenario::TwoEnterpriseScenario;

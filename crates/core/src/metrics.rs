@@ -45,21 +45,14 @@ impl ModelSize {
                 .filter_map(|e| e.guard.as_ref())
                 .map(|g| g.node_count())
                 .sum::<usize>();
-            m.inline_transforms += wf
-                .steps()
-                .iter()
-                .filter(|s| matches!(s.kind, StepKind::Transform { .. }))
-                .count();
+            m.inline_transforms +=
+                wf.steps().iter().filter(|s| matches!(s.kind, StepKind::Transform { .. })).count();
         }
         m
     }
 
     /// Adds the external registries.
-    pub fn with_registries(
-        mut self,
-        transforms: &TransformRegistry,
-        rules: &RuleRegistry,
-    ) -> Self {
+    pub fn with_registries(mut self, transforms: &TransformRegistry, rules: &RuleRegistry) -> Self {
         self.external_transforms = transforms.len();
         self.external_rules = rules.rule_count();
         self
@@ -160,12 +153,7 @@ mod tests {
     #[test]
     fn inline_transforms_are_counted() {
         let wf = WorkflowBuilder::new("naive")
-            .step(StepDef::transform(
-                "t",
-                b2b_document::FormatId::SAP_IDOC,
-                "a",
-                "b",
-            ))
+            .step(StepDef::transform("t", b2b_document::FormatId::SAP_IDOC, "a", "b"))
             .build()
             .unwrap();
         let m = ModelSize::of_types([&wf]);
@@ -178,10 +166,8 @@ mod tests {
         let transforms = TransformRegistry::with_builtins();
         let mut rules = b2b_rules::RuleRegistry::new();
         rules.register(
-            b2b_rules::approval::check_need_for_approval(
-                &b2b_rules::approval::paper_thresholds(),
-            )
-            .unwrap(),
+            b2b_rules::approval::check_need_for_approval(&b2b_rules::approval::paper_thresholds())
+                .unwrap(),
         );
         let m = ModelSize::of_types([&wf]).with_registries(&transforms, &rules);
         assert_eq!(m.external_transforms, 24);

@@ -55,7 +55,12 @@ pub fn rfq_submission_id() -> WorkflowTypeId {
 pub fn responder_private_process() -> Result<WorkflowType> {
     Ok(WorkflowBuilder::new(responder_private_id().as_str())
         .step(StepDef::receive("receive-po", channels::private_in().as_str(), "po"))
-        .step(StepDef::rule_check("check-need-for-approval", CHECK_NEED_FOR_APPROVAL, "po", "needs"))
+        .step(StepDef::rule_check(
+            "check-need-for-approval",
+            CHECK_NEED_FOR_APPROVAL,
+            "po",
+            "needs",
+        ))
         .step(StepDef::activity("approve-po", APPROVE_ACTIVITY))
         .step(StepDef::noop("forward"))
         .step(StepDef::send("store-po", channels::to_backend().as_str(), "po"))
@@ -139,11 +144,8 @@ pub fn make_quote_activity(seller: &str) -> Arc<dyn Activity> {
                 "valid_until" => b2b_document::Value::Date(respond_by.plus_days(30)),
             },
         };
-        let quote = rfq.reply(
-            b2b_document::DocKind::Quote,
-            b2b_document::FormatId::NORMALIZED,
-            body,
-        );
+        let quote =
+            rfq.reply(b2b_document::DocKind::Quote, b2b_document::FormatId::NORMALIZED, body);
         ctx.set_document("quote", quote);
         Ok(())
     })
@@ -195,7 +197,12 @@ pub fn responder_private_with_audit() -> Result<WorkflowType> {
     Ok(WorkflowBuilder::new(responder_private_id().as_str())
         .version(2)
         .step(StepDef::receive("receive-po", channels::private_in().as_str(), "po"))
-        .step(StepDef::rule_check("check-need-for-approval", CHECK_NEED_FOR_APPROVAL, "po", "needs"))
+        .step(StepDef::rule_check(
+            "check-need-for-approval",
+            CHECK_NEED_FOR_APPROVAL,
+            "po",
+            "needs",
+        ))
         .step(StepDef::activity("approve-po", APPROVE_ACTIVITY))
         .step(StepDef::noop("forward"))
         .step(StepDef::send("store-po", channels::to_backend().as_str(), "po"))
@@ -222,11 +229,8 @@ mod tests {
     fn responder_process_builds_with_a_single_rule_step() {
         let wf = responder_private_process().unwrap();
         assert_eq!(wf.steps().len(), 7);
-        let rule_steps = wf
-            .steps()
-            .iter()
-            .filter(|s| matches!(s.kind, StepKind::RuleCheck { .. }))
-            .count();
+        let rule_steps =
+            wf.steps().iter().filter(|s| matches!(s.kind, StepKind::RuleCheck { .. })).count();
         assert_eq!(rule_steps, 1);
         // Crucially: NO transform steps and NO partner names in the type.
         assert!(!wf.steps().iter().any(|s| matches!(s.kind, StepKind::Transform { .. })));

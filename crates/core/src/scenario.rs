@@ -92,12 +92,10 @@ impl TwoEnterpriseScenario {
 
         // Back ends: the buyer files POAs in its own SAP; the seller runs
         // SAP and Oracle.
-        buyer.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-            AckPolicy::AcceptAll,
-        ))))?;
-        seller.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-            AckPolicy::AcceptAll,
-        ))))?;
+        buyer
+            .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
+        seller
+            .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
         seller.add_backend(ApplicationProcess::new(Box::new(OracleSystem::new(
             AckPolicy::AcceptAll,
         ))))?;
@@ -214,12 +212,8 @@ mod tests {
     #[test]
     fn rosettanet_and_oagis_round_trips_complete() {
         for protocol in [ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis] {
-            let mut s = TwoEnterpriseScenario::with_protocol(
-                protocol,
-                FaultConfig::reliable(),
-                42,
-            )
-            .unwrap();
+            let mut s = TwoEnterpriseScenario::with_protocol(protocol, FaultConfig::reliable(), 42)
+                .unwrap();
             let po = s.po("9001", 5_000).unwrap();
             let correlation = s.submit(po).unwrap();
             s.run_until_quiescent(60_000).unwrap();

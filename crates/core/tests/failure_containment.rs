@@ -1,0 +1,225 @@
+//! Failure containment end to end: dead-letter quarantine, replay, the
+//! PIP-0A1-style failure notification, and WaitReceipt-driven deadlines.
+
+use b2b_backend::{AckPolicy, ApplicationProcess, SapSystem};
+use b2b_core::deadletter::DeadLetterReason;
+use b2b_core::scenario::{seller_rules, TwoEnterpriseScenario, BUYER, SELLER};
+use b2b_core::{IntegrationEngine, SessionState, TradingPartner};
+use b2b_network::{FaultConfig, ReliableConfig, SimNetwork};
+use b2b_protocol::edi_roundtrip::edi_roundtrip_processes;
+use b2b_protocol::pip3a4::{pip3a4_processes, pip3a4_with_explicit_acks};
+use b2b_protocol::TradingPartnerAgreement;
+use b2b_rules::approval::{check_need_for_approval, ApprovalThreshold};
+
+/// On total loss the buyer's PO exhausts its retries: the session fails,
+/// the undeliverable envelope is quarantined (not dropped), and a failure
+/// notification is at least attempted.
+#[test]
+fn total_loss_dead_letters_the_po_and_fails_the_session() {
+    let faults = FaultConfig { loss: 1.0, ..FaultConfig::reliable() };
+    let mut s = TwoEnterpriseScenario::new(faults, 9).unwrap();
+    let po = s.po("doomed", 1_000).unwrap();
+    let correlation = s.submit(po).unwrap();
+    s.run_until_quiescent(120_000).unwrap();
+
+    assert!(matches!(s.buyer.session_state(&correlation), SessionState::Failed(_)));
+    assert_eq!(s.buyer.stats().delivery_failures, 1);
+    assert!(s.buyer.stats().dead_lettered >= 1);
+    assert_eq!(s.buyer.stats().notifications_sent, 1, "notification was attempted");
+    let letter = s.buyer.dead_letters().iter().next().unwrap();
+    match &letter.reason {
+        DeadLetterReason::DeliveryFailure { attempts } => {
+            assert!(*attempts >= 1, "recorded real attempts, got {attempts}")
+        }
+        other => panic!("expected a delivery failure, got {other}"),
+    }
+    // The failure reason reports the actual attempt count, not a formula.
+    let SessionState::Failed(reason) = s.buyer.session_state(&correlation) else { unreachable!() };
+    assert!(reason.contains("attempts"), "reason: {reason}");
+    // The seller never heard anything; no silent half-open session there.
+    assert_eq!(s.seller.stats().sessions_started, 0);
+}
+
+/// A WaitReceipt timeout in the public process bounds wire delivery: when
+/// the network is slower than the protocol allows, the sender's session
+/// fails at the deadline and the counterparty is notified and terminates —
+/// both sides reach a terminal state in bounded simulated time.
+#[test]
+fn receipt_timeout_notifies_the_counterparty_which_terminates() {
+    // One-way latency (6 s) exceeds the PIP's 5 s receipt timeout, so no
+    // acknowledgment can ever arrive in time; nothing is lost, only late.
+    let faults =
+        FaultConfig { min_delay_ms: 6_000, max_delay_ms: 6_200, ..FaultConfig::reliable() };
+    let mut net = SimNetwork::new(faults, 17);
+    // Generous retry budgets: only the protocol deadline may fail a send.
+    let cfg = ReliableConfig::fixed(1_000, 50);
+    let mut buyer = IntegrationEngine::with_reliable_config(BUYER, &mut net, cfg.clone()).unwrap();
+    let mut seller = IntegrationEngine::with_reliable_config(SELLER, &mut net, cfg).unwrap();
+    buyer.add_partner(TradingPartner::new(SELLER));
+    seller.add_partner(TradingPartner::new(BUYER));
+    buyer
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    seller
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    seller_rules(&mut seller).unwrap();
+    // Asymmetric receipt handling: only the *buyer* models WaitReceipt, so
+    // only its sends carry the 5 s deadline — the seller can then fail
+    // solely through the buyer's notification, not on its own.
+    let (init_def, _) = pip3a4_with_explicit_acks().unwrap();
+    let (_, resp_def) = pip3a4_processes().unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("pip3a4-acks", BUYER, SELLER, &init_def, &resp_def, true)
+            .unwrap();
+    buyer.install_agreement(agreement.clone(), &init_def, &resp_def).unwrap();
+    seller.install_agreement(agreement, &init_def, &resp_def).unwrap();
+
+    let po =
+        TwoEnterpriseScenario::new(FaultConfig::reliable(), 1).unwrap().po("late", 1_000).unwrap();
+    let correlation = buyer.initiate(&mut net, "pip3a4-acks", po).unwrap();
+    for _ in 0..6_000 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+        // Stop as soon as both sides are terminal.
+        if matches!(buyer.session_state(&correlation), SessionState::Failed(_))
+            && matches!(seller.session_state(&correlation), SessionState::Failed(_))
+        {
+            break;
+        }
+    }
+
+    let SessionState::Failed(buyer_reason) = buyer.session_state(&correlation) else {
+        panic!("buyer session should have failed at the receipt deadline");
+    };
+    assert!(buyer_reason.contains("failed permanently"), "buyer: {buyer_reason}");
+    assert_eq!(buyer.stats().notifications_sent, 1);
+    let SessionState::Failed(seller_reason) = seller.session_state(&correlation) else {
+        panic!("seller session should terminate on the buyer's notification");
+    };
+    assert!(
+        seller_reason.contains("reported failure"),
+        "seller terminated by notification, got: {seller_reason}"
+    );
+    assert_eq!(seller.stats().notifications_received, 1);
+    assert!(
+        net.now().as_millis() < 60_000,
+        "terminal well within bounded sim-time, took {}",
+        net.now()
+    );
+}
+
+/// A document from an unknown partner is quarantined as unroutable; after
+/// the operator registers the partner and agreement, replaying the dead
+/// letter runs the interaction to completion.
+#[test]
+fn unroutable_document_is_quarantined_then_replayed_to_completion() {
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 21);
+    let mut buyer = IntegrationEngine::new("TP9", &mut net).unwrap();
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    // Only the buyer knows the seller — the seller has never heard of TP9.
+    buyer.add_partner(TradingPartner::new(SELLER));
+    buyer
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    seller
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    seller.rules_mut().register(
+        check_need_for_approval(&[ApprovalThreshold::new("SAP", "TP9", 55_000)]).unwrap(),
+    );
+    let (init_def, resp_def) = edi_roundtrip_processes().unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("edi-tp9", "TP9", SELLER, &init_def, &resp_def, true)
+            .unwrap();
+    buyer.install_agreement(agreement.clone(), &init_def, &resp_def).unwrap();
+
+    let po = b2b_document::normalized::PoBuilder::new(
+        "stray-1",
+        "TP9",
+        SELLER,
+        b2b_document::Date::new(2001, 9, 17).unwrap(),
+        b2b_document::Currency::Usd,
+    )
+    .line("LAPTOP-T23", 900, b2b_document::Money::from_units(1, b2b_document::Currency::Usd))
+    .unwrap()
+    .build()
+    .unwrap();
+    let correlation = buyer.initiate(&mut net, "edi-tp9", po).unwrap();
+    for _ in 0..200 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+    }
+
+    // The seller rejected the stranger's PO — but kept the evidence.
+    assert_eq!(seller.stats().unroutable, 1);
+    assert_eq!(seller.stats().sessions_started, 0);
+    assert_eq!(seller.dead_letters().len(), 1);
+    let letter = seller.dead_letters().iter().next().unwrap();
+    assert!(matches!(letter.reason, DeadLetterReason::Unroutable(_)));
+    let seq = letter.seq;
+
+    // Operator fixes the configuration, then replays the quarantined PO.
+    seller.add_partner(TradingPartner::new("TP9"));
+    seller.install_agreement(agreement, &init_def, &resp_def).unwrap();
+    seller.replay_dead_letter(&mut net, seq).unwrap();
+    for _ in 0..500 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+    }
+
+    assert!(seller.dead_letters().is_empty(), "the letter was consumed by replay");
+    assert_eq!(seller.stats().replays, 1);
+    assert_eq!(seller.session_state(&correlation), SessionState::Completed);
+    assert_eq!(buyer.session_state(&correlation), SessionState::Completed);
+    assert_eq!(
+        seller.backend("SAP").unwrap().backend().order_status("stray-1").as_deref(),
+        Some("accepted")
+    );
+}
+
+/// Replaying a letter whose cause is *not* fixed re-quarantines the same
+/// letter (same sequence number) with its replay count bumped.
+#[test]
+fn failed_replay_requeues_the_original_letter() {
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 3);
+    let mut buyer = IntegrationEngine::new("TP9", &mut net).unwrap();
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    buyer.add_partner(TradingPartner::new(SELLER));
+    buyer
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
+        .unwrap();
+    let (init_def, resp_def) = edi_roundtrip_processes().unwrap();
+    let agreement =
+        TradingPartnerAgreement::between("edi-tp9", "TP9", SELLER, &init_def, &resp_def, true)
+            .unwrap();
+    buyer.install_agreement(agreement, &init_def, &resp_def).unwrap();
+    let po = b2b_document::normalized::PoBuilder::new(
+        "stray-2",
+        "TP9",
+        SELLER,
+        b2b_document::Date::new(2001, 9, 17).unwrap(),
+        b2b_document::Currency::Usd,
+    )
+    .line("LAPTOP-T23", 100, b2b_document::Money::from_units(1, b2b_document::Currency::Usd))
+    .unwrap()
+    .build()
+    .unwrap();
+    buyer.initiate(&mut net, "edi-tp9", po).unwrap();
+    for _ in 0..100 {
+        net.advance(10);
+        buyer.pump(&mut net).unwrap();
+        seller.pump(&mut net).unwrap();
+    }
+    assert_eq!(seller.dead_letters().len(), 1);
+    let seq = seller.dead_letters().iter().next().unwrap().seq;
+
+    // Nothing was fixed; the replay must not lose the letter.
+    seller.replay_dead_letter(&mut net, seq).unwrap();
+    assert_eq!(seller.dead_letters().len(), 1);
+    let letter = seller.dead_letters().get(seq).expect("same sequence number survives");
+    assert_eq!(letter.replays, 1);
+}

@@ -34,11 +34,7 @@ impl Date {
         let mut it = text.splitn(3, '-');
         let (y, m, d) = match (it.next(), it.next(), it.next()) {
             (Some(y), Some(m), Some(d)) => (y, m, d),
-            _ => {
-                return Err(DocumentError::Date {
-                    reason: format!("`{text}` is not YYYY-MM-DD"),
-                })
-            }
+            _ => return Err(DocumentError::Date { reason: format!("`{text}` is not YYYY-MM-DD") }),
         };
         let parse = |s: &str, what: &str| -> Result<i64> {
             s.parse().map_err(|_| DocumentError::Date {

@@ -24,10 +24,8 @@ pub fn parse_segments(input: &str) -> Result<Vec<Segment>> {
         if id.is_empty() || !id.chars().all(|c| c.is_ascii_alphanumeric()) {
             return Err(err(offset, format!("bad segment id `{id}`")));
         }
-        segments.push(Segment {
-            id: id.to_string(),
-            elements: parts.map(str::to_string).collect(),
-        });
+        segments
+            .push(Segment { id: id.to_string(), elements: parts.map(str::to_string).collect() });
         offset += raw.len() + 1;
     }
     if segments.is_empty() {
@@ -66,15 +64,10 @@ pub fn parse_interchange(input: &str) -> Result<Interchange> {
     }
     let se = seen_se.ok_or_else(|| err(0, "missing SE"))?;
     // SE01 counts every segment in the set including ST and SE.
-    let declared: usize = se
-        .require(1)?
-        .parse()
-        .map_err(|_| err(0, "SE01 must be a segment count"))?;
+    let declared: usize =
+        se.require(1)?.parse().map_err(|_| err(0, "SE01 must be a segment count"))?;
     if declared != body.len() + 2 {
-        return Err(err(
-            0,
-            format!("SE01 declares {declared} segments, found {}", body.len() + 2),
-        ));
+        return Err(err(0, format!("SE01 declares {declared} segments, found {}", body.len() + 2)));
     }
     if se.require(2)? != st_control {
         return Err(err(0, "SE02 does not match ST02"));

@@ -22,13 +22,22 @@ pub fn write_interchange(ic: &Interchange) -> String {
         &Segment::new(
             "ISA",
             &[
-                "00", "          ", // authorization qualifier + info
-                "00", "          ", // security qualifier + info
-                "ZZ", &ic.sender,
-                "ZZ", &ic.receiver,
-                "010917", "1200", "U", "00401",
+                "00",
+                "          ", // authorization qualifier + info
+                "00",
+                "          ", // security qualifier + info
+                "ZZ",
+                &ic.sender,
+                "ZZ",
+                &ic.receiver,
+                "010917",
+                "1200",
+                "U",
+                "00401",
                 &ic.control_number,
-                "0", "P", ">",
+                "0",
+                "P",
+                ">",
             ],
         ),
         &mut out,

@@ -46,7 +46,9 @@ impl fmt::Display for DocumentError {
                 write!(f, "{format} parse error at byte {offset}: {reason}")
             }
             Self::Encode { format, reason } => write!(f, "{format} encode error: {reason}"),
-            Self::UnknownFormat { format } => write!(f, "no codec registered for format `{format}`"),
+            Self::UnknownFormat { format } => {
+                write!(f, "no codec registered for format `{format}`")
+            }
             Self::UnsupportedKind { format, kind } => {
                 write!(f, "format `{format}` does not support document kind `{kind}`")
             }

@@ -71,10 +71,7 @@ impl OagisCodec {
         let da = field(body, "data_area", FORMAT)?.as_record("data_area")?;
         let hdr = field(da, "po_header", FORMAT)?.as_record("po_header")?;
         let header_el = XmlElement::new("POHEADER")
-            .child(XmlElement::with_text(
-                "POID",
-                field(hdr, "po_id", FORMAT)?.as_text("po_id")?,
-            ))
+            .child(XmlElement::with_text("POID", field(hdr, "po_id", FORMAT)?.as_text("po_id")?))
             .child(XmlElement::with_text(
                 "PODATE",
                 field(hdr, "po_date", FORMAT)?.as_date("po_date")?.to_string(),
@@ -105,10 +102,7 @@ impl OagisCodec {
                         "LINENUM",
                         field(rec, "line_num", FORMAT)?.as_int(&at)?.to_string(),
                     ))
-                    .child(XmlElement::with_text(
-                        "ITEM",
-                        field(rec, "item", FORMAT)?.as_text(&at)?,
-                    ))
+                    .child(XmlElement::with_text("ITEM", field(rec, "item", FORMAT)?.as_text(&at)?))
                     .child(XmlElement::with_text(
                         "QUANTITY",
                         field(rec, "quantity", FORMAT)?.as_int(&at)?.to_string(),
@@ -130,10 +124,7 @@ impl OagisCodec {
         let da = field(body, "data_area", FORMAT)?.as_record("data_area")?;
         let hdr = field(da, "ack_header", FORMAT)?.as_record("ack_header")?;
         let header_el = XmlElement::new("ACKHEADER")
-            .child(XmlElement::with_text(
-                "POID",
-                field(hdr, "po_id", FORMAT)?.as_text("po_id")?,
-            ))
+            .child(XmlElement::with_text("POID", field(hdr, "po_id", FORMAT)?.as_text("po_id")?))
             .child(XmlElement::with_text(
                 "ACKSTATUS",
                 field(hdr, "status", FORMAT)?.as_text("status")?,
@@ -143,8 +134,7 @@ impl OagisCodec {
                 field(hdr, "ack_date", FORMAT)?.as_date("ack_date")?.to_string(),
             ));
         let mut data_el = XmlElement::new("DATAAREA").child(header_el);
-        for (i, line) in field(da, "ack_lines", FORMAT)?.as_list("ack_lines")?.iter().enumerate()
-        {
+        for (i, line) in field(da, "ack_lines", FORMAT)?.as_list("ack_lines")?.iter().enumerate() {
             let at = format!("ack_lines[{i}]");
             let rec = line.as_record(&at)?;
             data_el = data_el.child(
@@ -191,9 +181,8 @@ impl OagisCodec {
                 "unit_price" => Value::Money(decimal_to_money(&get("UNITPRICE")?, currency, FORMAT)?),
             });
         }
-        let reference = control.as_record("control_area")?["reference_id"]
-            .as_text("reference_id")?
-            .to_string();
+        let reference =
+            control.as_record("control_area")?["reference_id"].as_text("reference_id")?.to_string();
         let body = record! {
             "control_area" => control,
             "data_area" => record! {
@@ -236,9 +225,8 @@ impl OagisCodec {
                 "quantity" => Value::Int(parse_int(&get("QUANTITY")?, "QUANTITY", FORMAT)?),
             });
         }
-        let reference = control.as_record("control_area")?["reference_id"]
-            .as_text("reference_id")?
-            .to_string();
+        let reference =
+            control.as_record("control_area")?["reference_id"].as_text("reference_id")?.to_string();
         let body = record! {
             "control_area" => control,
             "data_area" => record! {

@@ -92,16 +92,30 @@ impl OracleAppsCodec {
             &[
                 ("SEGMENT1", field(hdr, "segment1", FORMAT)?.as_text("segment1")?.to_string()),
                 ("ORG_ID", field(hdr, "org_id", FORMAT)?.as_int("org_id")?.to_string()),
-                ("VENDOR_NAME", field(hdr, "vendor_name", FORMAT)?.as_text("vendor_name")?.to_string()),
-                ("AGENT_NAME", field(hdr, "agent_name", FORMAT)?.as_text("agent_name")?.to_string()),
-                ("CURRENCY_CODE", field(hdr, "currency_code", FORMAT)?.as_text("currency_code")?.to_string()),
-                ("CREATION_DATE", field(hdr, "creation_date", FORMAT)?.as_date("creation_date")?.to_string()),
-                ("TOTAL_AMOUNT", money_to_decimal(field(hdr, "total_amount", FORMAT)?.as_money("total_amount")?)),
+                (
+                    "VENDOR_NAME",
+                    field(hdr, "vendor_name", FORMAT)?.as_text("vendor_name")?.to_string(),
+                ),
+                (
+                    "AGENT_NAME",
+                    field(hdr, "agent_name", FORMAT)?.as_text("agent_name")?.to_string(),
+                ),
+                (
+                    "CURRENCY_CODE",
+                    field(hdr, "currency_code", FORMAT)?.as_text("currency_code")?.to_string(),
+                ),
+                (
+                    "CREATION_DATE",
+                    field(hdr, "creation_date", FORMAT)?.as_date("creation_date")?.to_string(),
+                ),
+                (
+                    "TOTAL_AMOUNT",
+                    money_to_decimal(field(hdr, "total_amount", FORMAT)?.as_money("total_amount")?),
+                ),
             ],
             &mut out,
         );
-        for (i, line) in field(body, "po_lines", FORMAT)?.as_list("po_lines")?.iter().enumerate()
-        {
+        for (i, line) in field(body, "po_lines", FORMAT)?.as_list("po_lines")?.iter().enumerate() {
             let at = format!("po_lines[{i}]");
             let rec = line.as_record(&at)?;
             write_row(
@@ -110,7 +124,10 @@ impl OracleAppsCodec {
                     ("LINE_NUM", field(rec, "line_num", FORMAT)?.as_int(&at)?.to_string()),
                     ("ITEM_ID", field(rec, "item_id", FORMAT)?.as_text(&at)?.to_string()),
                     ("QUANTITY", field(rec, "quantity", FORMAT)?.as_int(&at)?.to_string()),
-                    ("UNIT_PRICE", money_to_decimal(field(rec, "unit_price", FORMAT)?.as_money(&at)?)),
+                    (
+                        "UNIT_PRICE",
+                        money_to_decimal(field(rec, "unit_price", FORMAT)?.as_money(&at)?),
+                    ),
                 ],
                 &mut out,
             );

@@ -1,8 +1,7 @@
 //! The format registry: the single place where codecs are looked up.
 
 use super::{
-    EdiX12Codec, FormatCodec, FormatId, OagisCodec, OracleAppsCodec, RosettaNetCodec,
-    SapIdocCodec,
+    EdiX12Codec, FormatCodec, FormatId, OagisCodec, OracleAppsCodec, RosettaNetCodec, SapIdocCodec,
 };
 use crate::document::{DocKind, Document};
 use crate::error::{DocumentError, Result};
@@ -43,9 +42,9 @@ impl FormatRegistry {
 
     /// Looks up the codec for a format.
     pub fn codec(&self, format: &FormatId) -> Result<&Arc<dyn FormatCodec>> {
-        self.codecs.get(format).ok_or_else(|| DocumentError::UnknownFormat {
-            format: format.to_string(),
-        })
+        self.codecs
+            .get(format)
+            .ok_or_else(|| DocumentError::UnknownFormat { format: format.to_string() })
     }
 
     /// Encodes a document using the codec its format tag names.
@@ -67,10 +66,7 @@ impl FormatRegistry {
 
     /// Whether a format can carry a document kind.
     pub fn supports(&self, format: &FormatId, kind: DocKind) -> bool {
-        self.codecs
-            .get(format)
-            .map(|c| c.supported_kinds().contains(&kind))
-            .unwrap_or(false)
+        self.codecs.get(format).map(|c| c.supported_kinds().contains(&kind)).unwrap_or(false)
     }
 }
 

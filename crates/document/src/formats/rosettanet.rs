@@ -173,8 +173,7 @@ impl RosettaNetCodec {
 
     fn encode_signal(&self, doc: &Document, root: &str) -> Result<String> {
         let body = doc.body().as_record("$")?;
-        let reference =
-            field(body, "ref_instance_id", FORMAT)?.as_text("ref_instance_id")?;
+        let reference = field(body, "ref_instance_id", FORMAT)?.as_text("ref_instance_id")?;
         Ok(XmlElement::new(root)
             .child(service_header_xml(doc)?)
             .child(XmlElement::with_text("ReferencedInstanceId", reference))
@@ -193,8 +192,7 @@ impl RosettaNetCodec {
         let mut lines = Vec::new();
         for (i, item) in po.find_all("ProductLineItem").enumerate() {
             let get = |name: &str| -> Result<String> {
-                item.child_text(name)
-                    .ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
+                item.child_text(name).ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
             };
             lines.push(record! {
                 "line_number" => Value::Int(parse_int(&get("LineNumber")?, "LineNumber", FORMAT)?),
@@ -236,8 +234,7 @@ impl RosettaNetCodec {
         let mut lines = Vec::new();
         for (i, item) in conf.find_all("ProductLineItem").enumerate() {
             let get = |name: &str| -> Result<String> {
-                item.child_text(name)
-                    .ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
+                item.child_text(name).ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
             };
             lines.push(record! {
                 "line_number" => Value::Int(parse_int(&get("LineNumber")?, "LineNumber", FORMAT)?),
@@ -287,10 +284,7 @@ impl RosettaNetCodec {
                 "QuoteDeadline",
                 field(rfq, "respond_by", FORMAT)?.as_date("respond_by")?.to_string(),
             ));
-        Ok(XmlElement::new("Pip3A1QuoteRequest")
-            .child(service_header_xml(doc)?)
-            .child(el)
-            .to_xml())
+        Ok(XmlElement::new("Pip3A1QuoteRequest").child(service_header_xml(doc)?).child(el).to_xml())
     }
 
     fn encode_quote(&self, doc: &Document) -> Result<String> {
@@ -317,10 +311,7 @@ impl RosettaNetCodec {
                 "QuoteValidUntil",
                 field(quote, "valid_until", FORMAT)?.as_date("valid_until")?.to_string(),
             ));
-        Ok(XmlElement::new("Pip3A1Quote")
-            .child(service_header_xml(doc)?)
-            .child(el)
-            .to_xml())
+        Ok(XmlElement::new("Pip3A1Quote").child(service_header_xml(doc)?).child(el).to_xml())
     }
 
     fn decode_rfq(&self, root: &XmlElement) -> Result<Document> {

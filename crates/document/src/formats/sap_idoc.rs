@@ -111,8 +111,7 @@ impl SapIdocCodec {
             ],
             &mut out,
         );
-        for (i, partner) in field(body, "e1edka1", FORMAT)?.as_list("e1edka1")?.iter().enumerate()
-        {
+        for (i, partner) in field(body, "e1edka1", FORMAT)?.as_list("e1edka1")?.iter().enumerate() {
             let at = format!("e1edka1[{i}]");
             let rec = partner.as_record(&at)?;
             flat_line(
@@ -412,7 +411,9 @@ mod tests {
         let codec = SapIdocCodec;
         assert!(codec.decode(b"").is_err());
         assert!(codec.decode(b"E1EDK01|BELNR=1\n").is_err(), "missing control record");
-        assert!(codec.decode(b"EDI_DC40|IDOCTYP=WHATEVER|SNDPRN=a|RCVPRN=b|DOCNUM=1\nE1EDK01|BELNR=1\n").is_err());
+        assert!(codec
+            .decode(b"EDI_DC40|IDOCTYP=WHATEVER|SNDPRN=a|RCVPRN=b|DOCNUM=1\nE1EDK01|BELNR=1\n")
+            .is_err());
         assert!(codec.decode(b"EDI_DC40|oops\n").is_err());
     }
 }

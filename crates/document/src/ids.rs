@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn correlation_for_po_number_is_stable() {
-        assert_eq!(
-            CorrelationId::for_po_number("4711"),
-            CorrelationId::for_po_number("4711")
-        );
+        assert_eq!(CorrelationId::for_po_number("4711"), CorrelationId::for_po_number("4711"));
         assert_eq!(CorrelationId::for_po_number("4711").as_str(), "po:4711");
     }
 }

@@ -93,26 +93,29 @@ impl Money {
     /// Checked addition; fails across currencies or on overflow.
     pub fn checked_add(self, other: Money) -> Result<Money> {
         self.require_same_currency(other, "add")?;
-        let cents = self.cents.checked_add(other.cents).ok_or_else(|| DocumentError::Money {
-            reason: "overflow in addition".into(),
-        })?;
+        let cents = self
+            .cents
+            .checked_add(other.cents)
+            .ok_or_else(|| DocumentError::Money { reason: "overflow in addition".into() })?;
         Ok(Self { cents, currency: self.currency })
     }
 
     /// Checked subtraction; fails across currencies or on overflow.
     pub fn checked_sub(self, other: Money) -> Result<Money> {
         self.require_same_currency(other, "subtract")?;
-        let cents = self.cents.checked_sub(other.cents).ok_or_else(|| DocumentError::Money {
-            reason: "overflow in subtraction".into(),
-        })?;
+        let cents = self
+            .cents
+            .checked_sub(other.cents)
+            .ok_or_else(|| DocumentError::Money { reason: "overflow in subtraction".into() })?;
         Ok(Self { cents, currency: self.currency })
     }
 
     /// Checked multiplication by a quantity (e.g. line quantity × unit price).
     pub fn checked_mul(self, factor: i64) -> Result<Money> {
-        let cents = self.cents.checked_mul(factor).ok_or_else(|| DocumentError::Money {
-            reason: "overflow in multiplication".into(),
-        })?;
+        let cents = self
+            .cents
+            .checked_mul(factor)
+            .ok_or_else(|| DocumentError::Money { reason: "overflow in multiplication".into() })?;
         Ok(Self { cents, currency: self.currency })
     }
 
@@ -150,16 +153,20 @@ impl Money {
                 reason: format!("more than two decimal places in `{text}`"),
             });
         }
-        let units: i64 = units_str.parse().map_err(|_| DocumentError::Money {
-            reason: format!("bad amount `{amount}`"),
-        })?;
+        let units: i64 = units_str
+            .parse()
+            .map_err(|_| DocumentError::Money { reason: format!("bad amount `{amount}`") })?;
         let cents_part: i64 = if cents_str.is_empty() {
             0
         } else {
-            let parsed: i64 = cents_str.parse().map_err(|_| DocumentError::Money {
-                reason: format!("bad cents `{cents_str}`"),
-            })?;
-            if cents_str.len() == 1 { parsed * 10 } else { parsed }
+            let parsed: i64 = cents_str
+                .parse()
+                .map_err(|_| DocumentError::Money { reason: format!("bad cents `{cents_str}`") })?;
+            if cents_str.len() == 1 {
+                parsed * 10
+            } else {
+                parsed
+            }
         };
         let cents = units
             .checked_mul(100)

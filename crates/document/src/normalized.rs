@@ -94,18 +94,16 @@ pub fn rfq_schema() -> Schema {
     Schema::new(
         FormatId::NORMALIZED,
         DocKind::RequestForQuote,
-        vec![
-            FieldSpec::required(
-                "header",
-                TypeSpec::Record(vec![
-                    FieldSpec::required("rfq_number", TypeSpec::text()),
-                    FieldSpec::required("buyer", TypeSpec::text()),
-                    FieldSpec::required("item", TypeSpec::text()),
-                    FieldSpec::required("quantity", TypeSpec::Int),
-                    FieldSpec::required("respond_by", TypeSpec::Date),
-                ]),
-            ),
-        ],
+        vec![FieldSpec::required(
+            "header",
+            TypeSpec::Record(vec![
+                FieldSpec::required("rfq_number", TypeSpec::text()),
+                FieldSpec::required("buyer", TypeSpec::text()),
+                FieldSpec::required("item", TypeSpec::text()),
+                FieldSpec::required("quantity", TypeSpec::Int),
+                FieldSpec::required("respond_by", TypeSpec::Date),
+            ]),
+        )],
         false,
     )
 }
@@ -115,17 +113,15 @@ pub fn quote_schema() -> Schema {
     Schema::new(
         FormatId::NORMALIZED,
         DocKind::Quote,
-        vec![
-            FieldSpec::required(
-                "header",
-                TypeSpec::Record(vec![
-                    FieldSpec::required("rfq_number", TypeSpec::text()),
-                    FieldSpec::required("seller", TypeSpec::text()),
-                    FieldSpec::required("unit_price", TypeSpec::Money),
-                    FieldSpec::required("valid_until", TypeSpec::Date),
-                ]),
-            ),
-        ],
+        vec![FieldSpec::required(
+            "header",
+            TypeSpec::Record(vec![
+                FieldSpec::required("rfq_number", TypeSpec::text()),
+                FieldSpec::required("seller", TypeSpec::text()),
+                FieldSpec::required("unit_price", TypeSpec::Money),
+                FieldSpec::required("valid_until", TypeSpec::Date),
+            ]),
+        )],
         false,
     )
 }
@@ -383,10 +379,7 @@ mod tests {
         let poa = build_poa(&po, "accepted", Date::new(2001, 9, 18).unwrap()).unwrap();
         assert!(poa_schema().accepts(&poa));
         assert_eq!(poa.correlation(), po.correlation());
-        assert_eq!(
-            poa.get("lines[0].quantity").unwrap().as_int("q").unwrap(),
-            12_000
-        );
+        assert_eq!(poa.get("lines[0].quantity").unwrap().as_int("q").unwrap(), 12_000);
     }
 
     #[test]

@@ -108,10 +108,10 @@ impl FieldPath {
     /// transformation `ForEach` rules, never implicitly).
     pub fn set(&self, root: &mut Value, value: Value) -> Result<()> {
         let mut cur = root;
-        let (last, init) = self
-            .segments
-            .split_last()
-            .ok_or_else(|| DocumentError::PathSyntax { path: String::new(), reason: "empty path".into() })?;
+        let (last, init) = self.segments.split_last().ok_or_else(|| DocumentError::PathSyntax {
+            path: String::new(),
+            reason: "empty path".into(),
+        })?;
         for seg in init {
             match seg {
                 PathSeg::Field(name) => {
@@ -122,9 +122,9 @@ impl FieldPath {
                     let at = self.to_string();
                     match cur {
                         Value::List(items) => {
-                            cur = items.get_mut(*i).ok_or(DocumentError::PathNotFound {
-                                path: at,
-                            })?;
+                            cur = items
+                                .get_mut(*i)
+                                .ok_or(DocumentError::PathNotFound { path: at })?;
                         }
                         other => {
                             return Err(DocumentError::TypeMismatch {
@@ -147,9 +147,8 @@ impl FieldPath {
                 let at = self.to_string();
                 match cur {
                     Value::List(items) => {
-                        let slot = items
-                            .get_mut(*i)
-                            .ok_or(DocumentError::PathNotFound { path: at })?;
+                        let slot =
+                            items.get_mut(*i).ok_or(DocumentError::PathNotFound { path: at })?;
                         *slot = value;
                         Ok(())
                     }
@@ -165,10 +164,10 @@ impl FieldPath {
 
     /// Removes the value at this path; `Ok(None)` if it was absent.
     pub fn remove(&self, root: &mut Value) -> Result<Option<Value>> {
-        let (last, init) = self
-            .segments
-            .split_last()
-            .ok_or_else(|| DocumentError::PathSyntax { path: String::new(), reason: "empty path".into() })?;
+        let (last, init) = self.segments.split_last().ok_or_else(|| DocumentError::PathSyntax {
+            path: String::new(),
+            reason: "empty path".into(),
+        })?;
         let mut cur = root;
         for seg in init {
             let next = match (seg, cur) {
@@ -273,21 +272,14 @@ mod tests {
     fn set_into_existing_list_slot() {
         let mut doc = sample();
         FieldPath::parse("lines[0].qty").unwrap().set(&mut doc, Value::Int(9)).unwrap();
-        assert_eq!(
-            FieldPath::parse("lines[0].qty").unwrap().get(&doc).unwrap(),
-            &Value::Int(9)
-        );
-        assert!(FieldPath::parse("lines[5].qty")
-            .unwrap()
-            .set(&mut doc, Value::Int(1))
-            .is_err());
+        assert_eq!(FieldPath::parse("lines[0].qty").unwrap().get(&doc).unwrap(), &Value::Int(9));
+        assert!(FieldPath::parse("lines[5].qty").unwrap().set(&mut doc, Value::Int(1)).is_err());
     }
 
     #[test]
     fn remove_returns_removed_value() {
         let mut doc = sample();
-        let removed =
-            FieldPath::parse("header.po_number").unwrap().remove(&mut doc).unwrap();
+        let removed = FieldPath::parse("header.po_number").unwrap().remove(&mut doc).unwrap();
         assert_eq!(removed, Some(Value::text("4711")));
         assert!(FieldPath::parse("header.po_number").unwrap().lookup(&doc).is_none());
         assert_eq!(FieldPath::parse("header.gone").unwrap().remove(&mut doc).unwrap(), None);

@@ -159,10 +159,9 @@ fn check_record(
         let child_at = format!("{at}.{}", spec.name);
         match fields.get(&spec.name) {
             Some(v) => check_type(&spec.ty, v, &child_at, out),
-            None if spec.required => out.push(Violation {
-                at: child_at,
-                problem: "required field missing".into(),
-            }),
+            None if spec.required => {
+                out.push(Violation { at: child_at, problem: "required field missing".into() })
+            }
             None => {}
         }
     }
@@ -257,12 +256,7 @@ mod tests {
     }
 
     fn doc(body: Value) -> Document {
-        Document::new(
-            DocKind::PurchaseOrder,
-            FormatId::NORMALIZED,
-            CorrelationId::new("c"),
-            body,
-        )
+        Document::new(DocKind::PurchaseOrder, FormatId::NORMALIZED, CorrelationId::new("c"), body)
     }
 
     #[test]

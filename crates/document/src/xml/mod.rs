@@ -116,9 +116,8 @@ mod tests {
 
     #[test]
     fn round_trip_through_text() {
-        let el = XmlElement::new("a")
-            .attr("k", "v & \"w\"")
-            .child(XmlElement::with_text("b", "x < y"));
+        let el =
+            XmlElement::new("a").attr("k", "v & \"w\"").child(XmlElement::with_text("b", "x < y"));
         let text = el.to_xml();
         let back = parse_element(&text).unwrap();
         assert_eq!(back, el);

@@ -148,10 +148,8 @@ impl<'a> Parser<'a> {
                 self.pos += 2;
                 let end_name = self.name()?;
                 if end_name != el.name {
-                    return Err(self.err(&format!(
-                        "mismatched end tag `</{end_name}>` for `<{}>`",
-                        el.name
-                    )));
+                    return Err(self
+                        .err(&format!("mismatched end tag `</{end_name}>` for `<{}>`", el.name)));
                 }
                 self.skip_ws();
                 self.expect(b'>')?;
@@ -185,10 +183,7 @@ impl<'a> Parser<'a> {
 
 fn find(haystack: &[u8], from: usize, needle: &str) -> Option<usize> {
     let needle = needle.as_bytes();
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|i| from + i)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|i| from + i)
 }
 
 fn decode_entities(raw: &str, offset: usize) -> Result<String> {

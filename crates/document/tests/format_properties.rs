@@ -69,9 +69,8 @@ fn edi_element() -> impl Strategy<Value = String> {
 }
 
 fn edi_segment() -> impl Strategy<Value = Segment> {
-    ("[A-Z0-9]{2,3}", prop::collection::vec(edi_element(), 0..8)).prop_map(|(id, elements)| {
-        Segment { id, elements }
-    })
+    ("[A-Z0-9]{2,3}", prop::collection::vec(edi_element(), 0..8))
+        .prop_map(|(id, elements)| Segment { id, elements })
 }
 
 proptest! {

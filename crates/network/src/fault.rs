@@ -26,18 +26,14 @@ impl FaultConfig {
 
     /// A flaky WAN profile used by the messaging experiments.
     pub fn flaky(loss: f64) -> Self {
-        Self {
-            loss,
-            duplicate: loss / 2.0,
-            corrupt: 0.0,
-            min_delay_ms: 10,
-            max_delay_ms: 120,
-        }
+        Self { loss, duplicate: loss / 2.0, corrupt: 0.0, min_delay_ms: 10, max_delay_ms: 120 }
     }
 
     /// Validates that probabilities are in range and delays ordered.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, p) in [("loss", self.loss), ("duplicate", self.duplicate), ("corrupt", self.corrupt)] {
+        for (name, p) in
+            [("loss", self.loss), ("duplicate", self.duplicate), ("corrupt", self.corrupt)]
+        {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} probability {p} out of [0,1]"));
             }

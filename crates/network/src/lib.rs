@@ -29,8 +29,11 @@ pub use bytes::Bytes;
 pub use clock::SimTime;
 pub use error::{NetworkError, Result};
 pub use fault::FaultConfig;
-pub use message::{EndpointId, Envelope, MessageId, WireClass};
-pub use reliable::{DeliveryStatus, ReliableConfig, ReliableEndpoint};
+pub use message::{checksum_of, EndpointId, Envelope, MessageId, WireClass};
+pub use reliable::{
+    BackoffPolicy, DeliveryStatus, ReliableConfig, ReliableEndpoint, ReliableSnapshot,
+    ReliableStats,
+};
 pub use rng::SimRng;
 pub use sim::{NetworkStats, SimNetwork};
 pub use van::Van;

@@ -60,14 +60,23 @@ pub enum WireClass {
     Payload,
     /// Transport-level receipt acknowledgment for `ref_id`.
     Ack,
+    /// Negative acknowledgment for `ref_id`: the bytes arrived but failed
+    /// the integrity check, so the sender should retransmit.
+    Nack,
+    /// Process-level failure notification (RosettaNet PIP0A1 style): the
+    /// sender's side of the exchange identified by the payload has failed
+    /// and the receiver must terminate its half. Travels reliably, like a
+    /// payload: checksummed, acknowledged, and deduplicated.
+    Notify,
 }
 
 /// One message on the wire: routing, framing, and opaque payload bytes.
 ///
 /// The payload is the *encoded* document — the network never sees parsed
 /// documents, mirroring reality (and letting the fault injector corrupt
-/// bytes).
-#[derive(Debug, Clone, PartialEq)]
+/// bytes). The `checksum` seals the payload at construction so receivers
+/// can reject in-flight corruption *before* acknowledging.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Envelope {
     /// Message id (stable across retransmits).
     pub id: MessageId,
@@ -79,12 +88,24 @@ pub struct Envelope {
     pub format: FormatId,
     /// Payload vs. transport signal.
     pub class: WireClass,
-    /// For acks: the message being acknowledged.
+    /// For acks/nacks: the message being (n)acked.
     pub ref_id: Option<MessageId>,
-    /// Encoded document (empty for acks).
+    /// Encoded document (empty for acks and nacks).
     pub payload: Bytes,
     /// When the sender handed it to the network.
     pub sent_at: SimTime,
+    /// FNV-1a checksum of the payload bytes at construction time.
+    pub checksum: u64,
+}
+
+/// FNV-1a over a byte slice: the integrity seal carried by envelopes.
+pub fn checksum_of(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
 }
 
 impl Envelope {
@@ -96,6 +117,7 @@ impl Envelope {
         payload: Bytes,
         sent_at: SimTime,
     ) -> Self {
+        let checksum = checksum_of(&payload);
         Self {
             id: MessageId::fresh(),
             from,
@@ -105,6 +127,7 @@ impl Envelope {
             ref_id: None,
             payload,
             sent_at,
+            checksum,
         }
     }
 
@@ -119,7 +142,53 @@ impl Envelope {
             ref_id: Some(of.id.clone()),
             payload: Bytes::new(),
             sent_at,
+            checksum: checksum_of(&[]),
         }
+    }
+
+    /// Builds a negative acknowledgment for `of` (integrity check failed;
+    /// please retransmit).
+    pub fn nack(from: EndpointId, to: EndpointId, of: &Envelope, sent_at: SimTime) -> Self {
+        Self {
+            id: MessageId::fresh(),
+            from,
+            to,
+            format: of.format.clone(),
+            class: WireClass::Nack,
+            ref_id: Some(of.id.clone()),
+            payload: Bytes::new(),
+            sent_at,
+            checksum: checksum_of(&[]),
+        }
+    }
+
+    /// Builds a failure-notification envelope carrying an encoded
+    /// [`FailureNotice`](crate::reliable)-style body.
+    pub fn notify(
+        from: EndpointId,
+        to: EndpointId,
+        format: FormatId,
+        payload: Bytes,
+        sent_at: SimTime,
+    ) -> Self {
+        let checksum = checksum_of(&payload);
+        Self {
+            id: MessageId::fresh(),
+            from,
+            to,
+            format,
+            class: WireClass::Notify,
+            ref_id: None,
+            payload,
+            sent_at,
+            checksum,
+        }
+    }
+
+    /// Whether the payload still matches the checksum sealed at
+    /// construction.
+    pub fn verify_integrity(&self) -> bool {
+        checksum_of(&self.payload) == self.checksum
     }
 }
 
@@ -148,5 +217,55 @@ mod tests {
     #[test]
     fn message_ids_are_unique() {
         assert_ne!(MessageId::fresh(), MessageId::fresh());
+    }
+
+    #[test]
+    fn checksum_detects_a_flipped_byte() {
+        let a = EndpointId::new("acme");
+        let b = EndpointId::new("gadget");
+        let mut msg = Envelope::payload(
+            a,
+            b,
+            FormatId::EDI_X12,
+            Bytes::from_static(b"ISA*00*"),
+            SimTime::ZERO,
+        );
+        assert!(msg.verify_integrity());
+        let mut bytes = msg.payload.to_vec();
+        bytes[3] ^= 0x20; // the simulator's corruption pattern
+        msg.payload = Bytes::from(bytes);
+        assert!(!msg.verify_integrity());
+    }
+
+    #[test]
+    fn nack_references_the_original() {
+        let a = EndpointId::new("acme");
+        let b = EndpointId::new("gadget");
+        let msg = Envelope::payload(
+            a.clone(),
+            b.clone(),
+            FormatId::EDI_X12,
+            Bytes::from_static(b"ISA*"),
+            SimTime::ZERO,
+        );
+        let nack = Envelope::nack(b, a, &msg, SimTime::ZERO + 5);
+        assert_eq!(nack.class, WireClass::Nack);
+        assert_eq!(nack.ref_id.as_ref(), Some(&msg.id));
+        assert!(nack.verify_integrity(), "empty body checksums cleanly");
+    }
+
+    #[test]
+    fn envelopes_roundtrip_through_serde() {
+        let msg = Envelope::notify(
+            EndpointId::new("acme"),
+            EndpointId::new("gadget"),
+            FormatId::ROSETTANET,
+            Bytes::from_static(b"{\"reason\":\"timeout\"}"),
+            SimTime::ZERO + 17,
+        );
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+        assert!(back.verify_integrity());
     }
 }

@@ -45,10 +45,7 @@ impl PartialOrd for InFlight {
 impl Ord for InFlight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .deliver_at
-            .cmp(&self.deliver_at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.deliver_at.cmp(&self.deliver_at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -130,7 +127,11 @@ impl SimNetwork {
                 env.payload = Bytes::from(bytes);
             }
             self.seq += 1;
-            self.in_flight.push(InFlight { deliver_at: self.now + delay, seq: self.seq, envelope: env });
+            self.in_flight.push(InFlight {
+                deliver_at: self.now + delay,
+                seq: self.seq,
+                envelope: env,
+            });
         }
         Ok(())
     }
@@ -153,9 +154,10 @@ impl SimNetwork {
 
     /// Drains the inbox of an endpoint.
     pub fn poll(&mut self, endpoint: &EndpointId) -> Result<Vec<Envelope>> {
-        let inbox = self.inboxes.get_mut(endpoint).ok_or_else(|| {
-            NetworkError::UnknownEndpoint { endpoint: endpoint.to_string() }
-        })?;
+        let inbox = self
+            .inboxes
+            .get_mut(endpoint)
+            .ok_or_else(|| NetworkError::UnknownEndpoint { endpoint: endpoint.to_string() })?;
         Ok(inbox.drain(..).collect())
     }
 
@@ -229,10 +231,7 @@ mod tests {
 
     #[test]
     fn loss_drops_messages() {
-        let mut net = SimNetwork::new(
-            FaultConfig { loss: 1.0, ..FaultConfig::reliable() },
-            1,
-        );
+        let mut net = SimNetwork::new(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }, 1);
         let (a, b) = endpoints(&mut net);
         net.send(msg(&a, &b, net.now())).unwrap();
         net.advance(10);
@@ -242,10 +241,7 @@ mod tests {
 
     #[test]
     fn duplication_delivers_twice() {
-        let mut net = SimNetwork::new(
-            FaultConfig { duplicate: 1.0, ..FaultConfig::reliable() },
-            1,
-        );
+        let mut net = SimNetwork::new(FaultConfig { duplicate: 1.0, ..FaultConfig::reliable() }, 1);
         let (a, b) = endpoints(&mut net);
         net.send(msg(&a, &b, net.now())).unwrap();
         net.advance(10);
@@ -256,10 +252,7 @@ mod tests {
 
     #[test]
     fn corruption_flips_a_byte() {
-        let mut net = SimNetwork::new(
-            FaultConfig { corrupt: 1.0, ..FaultConfig::reliable() },
-            1,
-        );
+        let mut net = SimNetwork::new(FaultConfig { corrupt: 1.0, ..FaultConfig::reliable() }, 1);
         let (a, b) = endpoints(&mut net);
         net.send(msg(&a, &b, net.now())).unwrap();
         net.advance(10);

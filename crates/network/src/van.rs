@@ -53,9 +53,10 @@ impl Van {
             let w = self.batch_window_ms;
             SimTime::from_millis(now.as_millis().div_ceil(w).max(1) * w)
         };
-        let mailbox = self.mailboxes.get_mut(&envelope.to).ok_or_else(|| {
-            NetworkError::UnknownEndpoint { endpoint: envelope.to.to_string() }
-        })?;
+        let mailbox = self
+            .mailboxes
+            .get_mut(&envelope.to)
+            .ok_or_else(|| NetworkError::UnknownEndpoint { endpoint: envelope.to.to_string() })?;
         self.deposits += 1;
         mailbox.push(Deposit { available_at, envelope });
         Ok(())
@@ -63,9 +64,10 @@ impl Van {
 
     /// Picks up everything visible at time `now` (in deposit order).
     pub fn pickup(&mut self, endpoint: &EndpointId, now: SimTime) -> Result<Vec<Envelope>> {
-        let mailbox = self.mailboxes.get_mut(endpoint).ok_or_else(|| {
-            NetworkError::UnknownEndpoint { endpoint: endpoint.to_string() }
-        })?;
+        let mailbox = self
+            .mailboxes
+            .get_mut(endpoint)
+            .ok_or_else(|| NetworkError::UnknownEndpoint { endpoint: endpoint.to_string() })?;
         let mut ready = Vec::new();
         let mut waiting = Vec::new();
         for deposit in mailbox.drain(..) {

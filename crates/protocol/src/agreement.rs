@@ -129,8 +129,7 @@ mod tests {
             TradingPartnerAgreement::between("a", "ACME", "ACME", &buyer, &seller, true).is_err()
         );
         assert!(
-            TradingPartnerAgreement::between("a", "ACME", "GADGET", &buyer, &buyer, true)
-                .is_err(),
+            TradingPartnerAgreement::between("a", "ACME", "GADGET", &buyer, &buyer, true).is_err(),
             "same-role processes are not complementary"
         );
     }

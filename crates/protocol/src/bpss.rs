@@ -33,14 +33,9 @@ pub struct Collaboration {
 }
 
 fn kind_from_name(name: &str, line: usize) -> Result<DocKind> {
-    DocKind::business_kinds()
-        .iter()
-        .copied()
-        .find(|k| k.name() == name)
-        .ok_or(ProtocolError::BpssSyntax {
-            line,
-            reason: format!("unknown document kind `{name}`"),
-        })
+    DocKind::business_kinds().iter().copied().find(|k| k.name() == name).ok_or(
+        ProtocolError::BpssSyntax { line, reason: format!("unknown document kind `{name}`") },
+    )
 }
 
 /// Parses collaboration source text.
@@ -114,10 +109,8 @@ pub fn parse_collaboration(source: &str) -> Result<Collaboration> {
         }
     }
 
-    let name = name.ok_or(ProtocolError::BpssSyntax {
-        line: 0,
-        reason: "no `collaboration` header".into(),
-    })?;
+    let name = name
+        .ok_or(ProtocolError::BpssSyntax { line: 0, reason: "no `collaboration` header".into() })?;
     let format = format.expect("set together with name");
     if roles.len() != 2 {
         return Err(ProtocolError::BpssSyntax {

@@ -17,13 +17,16 @@
 //! * [`bpss`] — an ebXML-BPSS-like textual language for *negotiated*
 //!   public processes, with complementarity checking,
 //! * [`agreement`] — trading-partner agreements binding two partners to a
-//!   protocol (CPA-style).
+//!   protocol (CPA-style),
+//! * [`notification`] — the PIP-0A1-style failure notification exchanged
+//!   when one side of a running interaction fails permanently.
 
 pub mod agreement;
 pub mod bpss;
 pub mod edi_roundtrip;
 pub mod error;
 pub mod model;
+pub mod notification;
 pub mod oagis_bod;
 pub mod patterns;
 pub mod pip3a4;
@@ -31,4 +34,5 @@ pub mod pip3a4;
 pub use agreement::TradingPartnerAgreement;
 pub use error::{ProtocolError, Result};
 pub use model::{PublicAction, PublicProcessDef, PublicStepDef, RoleId};
+pub use notification::FailureNotice;
 pub use patterns::MessageExchangePattern;

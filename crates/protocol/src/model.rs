@@ -119,10 +119,7 @@ impl PublicProcessDef {
         role: RoleId,
         steps: Vec<PublicStepDef>,
     ) -> Result<Self> {
-        let edges = steps
-            .windows(2)
-            .map(|w| (w[0].id.clone(), w[1].id.clone()))
-            .collect();
+        let edges = steps.windows(2).map(|w| (w[0].id.clone(), w[1].id.clone())).collect();
         let def = Self { id: id.to_string(), format, role, steps, edges };
         def.validate()?;
         Ok(def)
@@ -198,9 +195,7 @@ impl PublicProcessDef {
         }
         for (i, ((a_send, a_kind), (b_send, b_kind))) in ta.iter().zip(&tb).enumerate() {
             if a_kind != b_kind {
-                return Err(err(format!(
-                    "message {i}: kinds differ ({a_kind} vs {b_kind})"
-                )));
+                return Err(err(format!("message {i}: kinds differ ({a_kind} vs {b_kind})")));
             }
             if a_send == b_send {
                 let dir = if *a_send { "send" } else { "receive" };
@@ -234,7 +229,10 @@ pub mod steps {
 
     /// Connection step toward the binding.
     pub fn to_binding(id: &str, var: &str) -> PublicStepDef {
-        PublicStepDef { id: id.to_string(), action: PublicAction::ToBinding { var: var.to_string() } }
+        PublicStepDef {
+            id: id.to_string(),
+            action: PublicAction::ToBinding { var: var.to_string() },
+        }
     }
 
     /// Connection step from the binding.
@@ -298,10 +296,10 @@ mod tests {
     fn sequence_chains_steps() {
         let p = seller();
         assert_eq!(p.edges.len(), 3);
-        assert_eq!(p.traffic(), vec![
-            (false, DocKind::PurchaseOrder),
-            (true, DocKind::PurchaseOrderAck)
-        ]);
+        assert_eq!(
+            p.traffic(),
+            vec![(false, DocKind::PurchaseOrder), (true, DocKind::PurchaseOrderAck)]
+        );
     }
 
     #[test]
@@ -332,13 +330,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_broken_definitions() {
-        assert!(PublicProcessDef::sequence(
-            "t",
-            FormatId::EDI_X12,
-            RoleId::new("r"),
-            vec![],
-        )
-        .is_err());
+        assert!(
+            PublicProcessDef::sequence("t", FormatId::EDI_X12, RoleId::new("r"), vec![],).is_err()
+        );
         assert!(PublicProcessDef::graph(
             "t",
             FormatId::EDI_X12,

@@ -1,0 +1,56 @@
+//! Failure notification (RosettaNet PIP 0A1 style).
+//!
+//! When one side of a running exchange fails permanently — delivery gave
+//! up, a deadline passed, a process instance died — it owes the
+//! counterparty a *Notification of Failure* so both sides terminate the
+//! interaction deterministically instead of one waiting forever.
+//! RosettaNet models this as its own tiny PIP (0A1); here it is a single
+//! document carried in a transport-level `Notify` envelope by the
+//! reliable-messaging layer.
+
+use serde::{Deserialize, Serialize};
+
+/// The business content of a failure notification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureNotice {
+    /// Correlation id of the failed interaction (as a string, so the
+    /// notice is self-contained on the wire).
+    pub correlation: String,
+    /// Agreement under which the interaction ran.
+    pub agreement_id: String,
+    /// Enterprise reporting the failure.
+    pub reporter: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl FailureNotice {
+    /// Builds a notice.
+    pub fn new(
+        correlation: impl Into<String>,
+        agreement_id: impl Into<String>,
+        reporter: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> Self {
+        Self {
+            correlation: correlation.into(),
+            agreement_id: agreement_id.into(),
+            reporter: reporter.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notice_carries_all_routing_fields() {
+        let n = FailureNotice::new("corr-1", "edi-TP1-GS", "TP1", "delivery failed");
+        assert_eq!(n.correlation, "corr-1");
+        assert_eq!(n.agreement_id, "edi-TP1-GS");
+        assert_eq!(n.reporter, "TP1");
+        assert!(n.reason.contains("delivery"));
+    }
+}

@@ -143,7 +143,8 @@ mod tests {
 
     #[test]
     fn broadcast_reuses_the_one_way_responder_per_recipient() {
-        let mep = MessageExchangePattern::Broadcast { kind: DocKind::RequestForQuote, recipients: 3 };
+        let mep =
+            MessageExchangePattern::Broadcast { kind: DocKind::RequestForQuote, recipients: 3 };
         let (_, resp) = mep.role_processes("rfq", FormatId::ROSETTANET).unwrap();
         assert_eq!(resp.traffic(), vec![(false, DocKind::RequestForQuote)]);
         assert_eq!(mep.legs().len(), 1);

@@ -27,11 +27,7 @@ pub struct ApprovalThreshold {
 impl ApprovalThreshold {
     /// Builds a threshold entry.
     pub fn new(target: &str, source: &str, threshold_units: i64) -> Self {
-        Self {
-            target: target.to_string(),
-            source: source.to_string(),
-            threshold_units,
-        }
+        Self { target: target.to_string(), source: source.to_string(), threshold_units }
     }
 
     fn to_rule(&self, index: usize) -> Result<BusinessRule> {
@@ -107,15 +103,9 @@ mod tests {
     fn boundary_is_inclusive() {
         let f = check_need_for_approval(&paper_thresholds()).unwrap();
         let exactly = sample_po("1", 55_000);
-        assert_eq!(
-            f.invoke(&RuleContext::new("TP1", "SAP", &exactly)).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(f.invoke(&RuleContext::new("TP1", "SAP", &exactly)).unwrap(), Value::Bool(true));
         let below = sample_po("1", 54_999);
-        assert_eq!(
-            f.invoke(&RuleContext::new("TP1", "SAP", &below)).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(f.invoke(&RuleContext::new("TP1", "SAP", &below)).unwrap(), Value::Bool(false));
     }
 
     #[test]
@@ -135,9 +125,6 @@ mod tests {
         let after: Vec<String> = f.rules[..4].iter().map(|r| r.name.clone()).collect();
         assert_eq!(before, after, "existing rules untouched");
         let doc = sample_po("1", 12_000);
-        assert_eq!(
-            f.invoke(&RuleContext::new("TP3", "SAP", &doc)).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(f.invoke(&RuleContext::new("TP3", "SAP", &doc)).unwrap(), Value::Bool(true));
     }
 }

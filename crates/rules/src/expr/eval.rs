@@ -55,9 +55,9 @@ pub fn eval(expr: &Expr, ctx: &RuleContext<'_>) -> Result<Value> {
             Value::Int(n) => Ok(Value::Int(
                 n.checked_neg().ok_or_else(|| eval_err("integer negation overflow"))?,
             )),
-            Value::Money(m) => Ok(Value::Money(
-                m.checked_mul(-1).map_err(|e| eval_err(e.to_string()))?,
-            )),
+            Value::Money(m) => {
+                Ok(Value::Money(m.checked_mul(-1).map_err(|e| eval_err(e.to_string()))?))
+            }
             other => Err(eval_err(format!("`-` needs int or money, got {}", other.type_name()))),
         },
         Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, ctx),
@@ -112,18 +112,16 @@ fn compare(l: &Value, r: &Value) -> Result<Ordering> {
         (Value::Text(a), Value::Text(b)) => Ok(a.cmp(b)),
         (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
         (Value::Date(a), Value::Date(b)) => Ok(a.cmp(b)),
-        (Value::Money(a), Value::Money(b)) => a.checked_cmp(*b).map_err(|e| eval_err(e.to_string())),
-        (Value::Money(a), Value::Int(b)) => a
-            .checked_cmp(Money::from_units(*b, a.currency()))
-            .map_err(|e| eval_err(e.to_string())),
-        (Value::Int(a), Value::Money(b)) => Money::from_units(*a, b.currency())
-            .checked_cmp(*b)
-            .map_err(|e| eval_err(e.to_string())),
-        (a, b) => Err(eval_err(format!(
-            "cannot compare {} with {}",
-            a.type_name(),
-            b.type_name()
-        ))),
+        (Value::Money(a), Value::Money(b)) => {
+            a.checked_cmp(*b).map_err(|e| eval_err(e.to_string()))
+        }
+        (Value::Money(a), Value::Int(b)) => {
+            a.checked_cmp(Money::from_units(*b, a.currency())).map_err(|e| eval_err(e.to_string()))
+        }
+        (Value::Int(a), Value::Money(b)) => {
+            Money::from_units(*a, b.currency()).checked_cmp(*b).map_err(|e| eval_err(e.to_string()))
+        }
+        (a, b) => Err(eval_err(format!("cannot compare {} with {}", a.type_name(), b.type_name()))),
     }
 }
 
@@ -147,7 +145,8 @@ fn arithmetic(op: BinOp, lhs: &Expr, rhs: &Expr, ctx: &RuleContext<'_>) -> Resul
         (BinOp::Sub, Value::Money(a), Value::Money(b)) => {
             Ok(Value::Money(a.checked_sub(b).map_err(|e| eval_err(e.to_string()))?))
         }
-        (BinOp::Mul, Value::Money(a), Value::Int(b)) | (BinOp::Mul, Value::Int(b), Value::Money(a)) => {
+        (BinOp::Mul, Value::Money(a), Value::Int(b))
+        | (BinOp::Mul, Value::Int(b), Value::Money(a)) => {
             Ok(Value::Money(a.checked_mul(b).map_err(|e| eval_err(e.to_string()))?))
         }
         (op, a, b) => Err(eval_err(format!(
@@ -218,10 +217,7 @@ mod tests {
             check("false and document.bogus == 1", "s", "t", 1).unwrap(),
             Value::Bool(false)
         );
-        assert_eq!(
-            check("true or document.bogus == 1", "s", "t", 1).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(check("true or document.bogus == 1", "s", "t", 1).unwrap(), Value::Bool(true));
         assert!(check("true and document.bogus == 1", "s", "t", 1).is_err());
     }
 

@@ -145,7 +145,8 @@ pub fn lex(text: &str) -> Result<Vec<Token>> {
                 {
                     j += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Ident(text[i..j].to_string()), offset: start });
+                tokens
+                    .push(Token { kind: TokenKind::Ident(text[i..j].to_string()), offset: start });
                 i = j;
             }
             other => {
@@ -170,8 +171,8 @@ mod tests {
 
     #[test]
     fn lexes_the_paper_rule() {
-        let tokens = lex("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000")
-            .unwrap();
+        let tokens =
+            lex("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000").unwrap();
         assert_eq!(tokens.len(), 13);
         assert_eq!(tokens[0].kind, TokenKind::Ident("target".into()));
         assert_eq!(tokens[1].kind, TokenKind::EqEq);

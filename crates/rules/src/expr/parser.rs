@@ -24,7 +24,10 @@ struct Parser {
 impl Parser {
     fn err(&self, reason: &str) -> RuleError {
         let offset = self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX);
-        RuleError::Parse { offset: if offset == usize::MAX { 0 } else { offset }, reason: reason.into() }
+        RuleError::Parse {
+            offset: if offset == usize::MAX { 0 } else { offset },
+            reason: reason.into(),
+        }
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -211,8 +214,8 @@ mod tests {
 
     #[test]
     fn parses_the_paper_rule() {
-        let e = parse("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000")
-            .unwrap();
+        let e =
+            parse("target == \"SAP\" and source == \"TP1\" and document.amount >= 55000").unwrap();
         // Left-associative: ((t and s) and amount).
         match e {
             Expr::Binary { op: BinOp::And, .. } => {}

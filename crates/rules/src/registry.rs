@@ -79,9 +79,10 @@ mod tests {
     #[test]
     fn registry_dispatches_by_name() {
         let mut reg = RuleRegistry::new();
-        reg.register(RuleFunction::new("always-true").with_rule(
-            BusinessRule::parse("r", "true", "true").unwrap(),
-        ));
+        reg.register(
+            RuleFunction::new("always-true")
+                .with_rule(BusinessRule::parse("r", "true", "true").unwrap()),
+        );
         let doc = sample_po("1", 1);
         assert_eq!(reg.invoke("always-true", "s", "t", &doc).unwrap(), Value::Bool(true));
         match reg.invoke("missing", "s", "t", &doc) {
@@ -93,12 +94,13 @@ mod tests {
     #[test]
     fn counts_aggregate_over_functions() {
         let mut reg = RuleRegistry::new();
-        reg.register(RuleFunction::new("a").with_rule(
-            BusinessRule::parse("r1", "true", "1 + 1").unwrap(),
-        ));
-        reg.register(RuleFunction::new("b").with_rule(
-            BusinessRule::parse("r2", "source == \"x\"", "true").unwrap(),
-        ));
+        reg.register(
+            RuleFunction::new("a").with_rule(BusinessRule::parse("r1", "true", "1 + 1").unwrap()),
+        );
+        reg.register(
+            RuleFunction::new("b")
+                .with_rule(BusinessRule::parse("r2", "source == \"x\"", "true").unwrap()),
+        );
         assert_eq!(reg.rule_count(), 2);
         assert_eq!(reg.function_names(), ["a", "b"]);
         assert!(reg.node_count() >= 7);
@@ -108,9 +110,7 @@ mod tests {
     fn function_mut_allows_in_place_evolution() {
         let mut reg = RuleRegistry::new();
         reg.register(RuleFunction::new("f"));
-        reg.function_mut("f")
-            .unwrap()
-            .add_rule(BusinessRule::parse("r", "true", "42").unwrap());
+        reg.function_mut("f").unwrap().add_rule(BusinessRule::parse("r", "true", "42").unwrap());
         let doc = sample_po("1", 1);
         assert_eq!(reg.invoke("f", "s", "t", &doc).unwrap(), Value::Int(42));
     }

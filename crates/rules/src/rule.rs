@@ -23,11 +23,7 @@ pub struct BusinessRule {
 impl BusinessRule {
     /// Parses a rule from guard and body source text.
     pub fn parse(name: &str, guard: &str, body: &str) -> Result<Self> {
-        Ok(Self {
-            name: name.to_string(),
-            guard: Expr::parse(guard)?,
-            body: Expr::parse(body)?,
-        })
+        Ok(Self { name: name.to_string(), guard: Expr::parse(guard)?, body: Expr::parse(body)? })
     }
 
     /// AST size of guard plus body (model-size metrics).
@@ -161,10 +157,7 @@ mod tests {
         );
         assert_eq!(f.rules.len(), before + 1);
         let doc = sample_po("1", 12_000);
-        assert_eq!(
-            f.invoke(&RuleContext::new("TP3", "SAP", &doc)).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(f.invoke(&RuleContext::new("TP3", "SAP", &doc)).unwrap(), Value::Bool(true));
     }
 
     #[test]

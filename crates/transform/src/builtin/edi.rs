@@ -54,14 +54,8 @@ fn po_from_normalized() -> TransformProgram {
             R::mv("header.po_number", "beg.po_number"),
             R::mv("header.order_date", "beg.order_date"),
             R::currency_of("amount", "cur.currency"),
-            R::append(
-                "n1",
-                vec![R::const_text("code", "BY"), R::mv("header.buyer", "name")],
-            ),
-            R::append(
-                "n1",
-                vec![R::const_text("code", "SE"), R::mv("header.seller", "name")],
-            ),
+            R::append("n1", vec![R::const_text("code", "BY"), R::mv("header.buyer", "name")]),
+            R::append("n1", vec![R::const_text("code", "SE"), R::mv("header.seller", "name")]),
             R::for_each(
                 "lines",
                 "po1",
@@ -154,11 +148,7 @@ mod tests {
     #[test]
     fn edi_po_to_normalized_validates() {
         let normalized = po_to_normalized().apply(&sample_edi_po("4711", 12), &ctx()).unwrap();
-        assert!(
-            po_schema().accepts(&normalized),
-            "{:?}",
-            po_schema().validate(&normalized)
-        );
+        assert!(po_schema().accepts(&normalized), "{:?}", po_schema().validate(&normalized));
         assert_eq!(
             normalized.get("header.buyer").unwrap().as_text("b").unwrap(),
             "ACME Manufacturing"

@@ -61,8 +61,7 @@ mod tests {
     fn all_programs_have_unique_ids() {
         let programs = all_builtins();
         assert_eq!(programs.len(), 24);
-        let ids: BTreeSet<String> =
-            programs.iter().map(|p| p.id().to_string()).collect();
+        let ids: BTreeSet<String> = programs.iter().map(|p| p.id().to_string()).collect();
         assert_eq!(ids.len(), 24);
     }
 

@@ -67,7 +67,8 @@ fn po_from_normalized() -> TransformProgram {
 }
 
 fn poa_to_normalized() -> TransformProgram {
-    let (_, header_back) = super::status_maps("header.status", "data_area.ack_header.status", STATUS);
+    let (_, header_back) =
+        super::status_maps("header.status", "data_area.ack_header.status", STATUS);
     let (_, line_back) = super::status_maps("status", "status", STATUS);
     TransformProgram::new(
         DocKind::PurchaseOrderAck,
@@ -90,7 +91,8 @@ fn poa_to_normalized() -> TransformProgram {
 }
 
 fn poa_from_normalized() -> TransformProgram {
-    let (header_fwd, _) = super::status_maps("header.status", "data_area.ack_header.status", STATUS);
+    let (header_fwd, _) =
+        super::status_maps("header.status", "data_area.ack_header.status", STATUS);
     let (line_fwd, _) = super::status_maps("status", "status", STATUS);
     TransformProgram::new(
         DocKind::PurchaseOrderAck,

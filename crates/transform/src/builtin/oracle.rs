@@ -160,10 +160,7 @@ mod tests {
         let poa = build_poa(&po, "accepted-with-changes", Date::new(2001, 9, 18).unwrap()).unwrap();
         let poa_ctx = TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "2", "i-2");
         let ora = poa_from_normalized().apply(&poa, &poa_ctx).unwrap();
-        assert_eq!(
-            ora.get("ack_header.status").unwrap().as_text("s").unwrap(),
-            "MODIFIED"
-        );
+        assert_eq!(ora.get("ack_header.status").unwrap().as_text("s").unwrap(), "MODIFIED");
         let back = poa_to_normalized().apply(&ora, &poa_ctx).unwrap();
         assert!(poa_schema().accepts(&back), "{:?}", poa_schema().validate(&back));
         assert_eq!(back.body(), poa.body());

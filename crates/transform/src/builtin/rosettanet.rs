@@ -146,7 +146,8 @@ fn po_from_normalized() -> TransformProgram {
 }
 
 fn poa_to_normalized() -> TransformProgram {
-    let (_, header_back) = super::status_maps("header.status", "confirmation.response_code", STATUS);
+    let (_, header_back) =
+        super::status_maps("header.status", "confirmation.response_code", STATUS);
     let (_, line_back) = super::status_maps("status", "response_code", STATUS);
     TransformProgram::new(
         DocKind::PurchaseOrderAck,
@@ -228,10 +229,7 @@ mod tests {
     fn normalized_po_round_trips_through_rosettanet() {
         let po = plain_po();
         let rn = po_from_normalized().apply(&po, &po_ctx()).unwrap();
-        assert_eq!(
-            rn.get("service_header.pip_code").unwrap().as_text("p").unwrap(),
-            "3A4"
-        );
+        assert_eq!(rn.get("service_header.pip_code").unwrap().as_text("p").unwrap(), "3A4");
         let back = po_to_normalized().apply(&rn, &po_ctx()).unwrap();
         assert_eq!(back.body(), po.body());
     }
@@ -284,10 +282,7 @@ mod tests {
         let poa = build_poa(&po, "rejected", Date::new(2001, 9, 18).unwrap()).unwrap();
         let poa_ctx = TransformContext::new("Gadget Supply Co", "ACME Manufacturing", "2", "pip-2");
         let rn = poa_from_normalized().apply(&poa, &poa_ctx).unwrap();
-        assert_eq!(
-            rn.get("confirmation.response_code").unwrap().as_text("c").unwrap(),
-            "Reject"
-        );
+        assert_eq!(rn.get("confirmation.response_code").unwrap().as_text("c").unwrap(), "Reject");
         let back = poa_to_normalized().apply(&rn, &poa_ctx).unwrap();
         assert!(poa_schema().accepts(&back), "{:?}", poa_schema().validate(&back));
         assert_eq!(back.body(), poa.body());

@@ -52,10 +52,7 @@ fn po_from_normalized() -> TransformProgram {
             R::mv("header.po_number", "e1edk01.belnr"),
             R::currency_of("amount", "e1edk01.curcy"),
             R::mv("header.order_date", "e1edk01.audat"),
-            R::append(
-                "e1edka1",
-                vec![R::const_text("parvw", "AG"), R::mv("header.buyer", "name")],
-            ),
+            R::append("e1edka1", vec![R::const_text("parvw", "AG"), R::mv("header.buyer", "name")]),
             R::append(
                 "e1edka1",
                 vec![R::const_text("parvw", "LF"), R::mv("header.seller", "name")],
@@ -157,10 +154,7 @@ mod tests {
     fn normalized_po_round_trips_through_sap() {
         let po = plain_po();
         let idoc = po_from_normalized().apply(&po, &ctx()).unwrap();
-        assert_eq!(
-            idoc.get("control.idoctyp").unwrap().as_text("t").unwrap(),
-            "ORDERS05"
-        );
+        assert_eq!(idoc.get("control.idoctyp").unwrap().as_text("t").unwrap(), "ORDERS05");
         let back = po_to_normalized().apply(&idoc, &ctx()).unwrap();
         assert_eq!(back.body(), po.body());
     }

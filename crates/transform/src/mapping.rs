@@ -287,8 +287,7 @@ impl MappingRule {
                     .lookup(source)
                     .ok_or_else(|| err(format!("source path `{from}` not found")))?;
                 let money = v.as_money(&from.to_string()).map_err(|e| err(e.to_string()))?;
-                to.set(target, Value::text(money.currency().code()))
-                    .map_err(|e| err(e.to_string()))
+                to.set(target, Value::text(money.currency().code())).map_err(|e| err(e.to_string()))
             }
             Self::SumMoney { over, field, to } => {
                 let items = over
@@ -352,7 +351,8 @@ mod tests {
     #[test]
     fn value_map_translates_codes() {
         let source = record! { "status" => Value::text("accepted") };
-        let rule = MappingRule::value_map("status", "code", &[("accepted", "IA"), ("rejected", "IR")]);
+        let rule =
+            MappingRule::value_map("status", "code", &[("accepted", "IA"), ("rejected", "IR")]);
         assert_eq!(apply(rule, &source).unwrap(), record! { "code" => Value::text("IA") });
         let unknown = record! { "status" => Value::text("weird") };
         let rule = MappingRule::value_map("status", "code", &[("accepted", "IA")]);
@@ -423,9 +423,7 @@ mod tests {
         MappingRule::context("env.sender", ContextKey::Sender)
             .apply("t", &source, &mut target, &ctx())
             .unwrap();
-        MappingRule::currency_of("amount", "cur")
-            .apply("t", &source, &mut target, &ctx())
-            .unwrap();
+        MappingRule::currency_of("amount", "cur").apply("t", &source, &mut target, &ctx()).unwrap();
         MappingRule::sum_money("lines", "ext", "total")
             .apply("t", &source, &mut target, &ctx())
             .unwrap();

@@ -105,11 +105,7 @@ impl TransformProgram {
         if doc.format() != &self.source_format {
             return Err(TransformError::WrongInput {
                 program: self.id.to_string(),
-                reason: format!(
-                    "expected format {}, got {}",
-                    self.source_format,
-                    doc.format()
-                ),
+                reason: format!("expected format {}, got {}", self.source_format, doc.format()),
             });
         }
         if doc.kind() != self.kind {

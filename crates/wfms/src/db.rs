@@ -65,16 +65,12 @@ impl WorkflowDatabase {
 
     /// Removes an instance for in-engine state transition or migration.
     pub fn take_instance(&mut self, id: InstanceId) -> Result<WorkflowInstance> {
-        self.instances
-            .remove(&id)
-            .ok_or(WfError::UnknownInstance { instance: id.value() })
+        self.instances.remove(&id).ok_or(WfError::UnknownInstance { instance: id.value() })
     }
 
     /// Reads an instance without removing it.
     pub fn get_instance(&self, id: InstanceId) -> Result<&WorkflowInstance> {
-        self.instances
-            .get(&id)
-            .ok_or(WfError::UnknownInstance { instance: id.value() })
+        self.instances.get(&id).ok_or(WfError::UnknownInstance { instance: id.value() })
     }
 
     /// Number of stored instances.
@@ -146,14 +142,7 @@ mod tests {
         let mut db = WorkflowDatabase::new();
         db.put_type(wf("w"));
         let id = db.allocate_instance_id();
-        db.put_instance(WorkflowInstance::new(
-            id,
-            &wf("w"),
-            BTreeMap::new(),
-            "s",
-            "t",
-            false,
-        ));
+        db.put_instance(WorkflowInstance::new(id, &wf("w"), BTreeMap::new(), "s", "t", false));
         let snap = db.snapshot().unwrap();
         let back = WorkflowDatabase::restore(&snap).unwrap();
         assert_eq!(back, db);

@@ -144,9 +144,7 @@ impl WorkflowInstance {
 
     /// Whether every step is completed or skipped.
     pub fn all_steps_resolved(&self) -> bool {
-        self.step_states
-            .values()
-            .all(|s| matches!(s, StepState::Completed | StepState::Skipped))
+        self.step_states.values().all(|s| matches!(s, StepState::Completed | StepState::Skipped))
     }
 
     /// Reads a variable.
@@ -207,10 +205,8 @@ mod tests {
     fn instance_round_trips_through_serde() {
         let mut inst =
             WorkflowInstance::new(InstanceId::new(1), &wf(), BTreeMap::new(), "s", "t", true);
-        inst.vars.insert(
-            "po".into(),
-            Variable::Document(b2b_document::normalized::sample_po("1", 10)),
-        );
+        inst.vars
+            .insert("po".into(), Variable::Document(b2b_document::normalized::sample_po("1", 10)));
         let json = serde_json::to_string(&inst).unwrap();
         let back: WorkflowInstance = serde_json::from_str(&json).unwrap();
         assert_eq!(back, inst);

@@ -11,7 +11,9 @@ use crate::db::WorkflowDatabase;
 use crate::error::{Result, WfError};
 use crate::federation::EngineId;
 use crate::history::{HistoryEvent, HistoryKind};
-use crate::model::{ChannelId, InstanceId, StepDef, StepId, StepKind, WorkflowType, WorkflowTypeId};
+use crate::model::{
+    ChannelId, InstanceId, StepDef, StepId, StepKind, WorkflowType, WorkflowTypeId,
+};
 use b2b_document::Document;
 use b2b_network::SimTime;
 use b2b_rules::{RuleError, RuleRegistry};
@@ -325,10 +327,7 @@ impl Engine {
                 self.drain_runnable()
             }
             None => {
-                self.directed_queues
-                    .entry((instance, channel.clone()))
-                    .or_default()
-                    .push_back(doc);
+                self.directed_queues.entry((instance, channel.clone())).or_default().push_back(doc);
                 Ok(())
             }
         }
@@ -526,9 +525,8 @@ impl Engine {
                     continue;
                 }
                 let incoming = wf.incoming(&step.id);
-                let resolved = incoming
-                    .iter()
-                    .all(|i| inst.edge_states[*i] != EdgeState::Unresolved);
+                let resolved =
+                    incoming.iter().all(|i| inst.edge_states[*i] != EdgeState::Unresolved);
                 if !resolved {
                     continue;
                 }
@@ -593,11 +591,7 @@ impl Engine {
         Ok(())
     }
 
-    fn execute_step(
-        &mut self,
-        inst: &mut WorkflowInstance,
-        step: &StepDef,
-    ) -> ExecOutcome {
+    fn execute_step(&mut self, inst: &mut WorkflowInstance, step: &StepDef) -> ExecOutcome {
         match &step.kind {
             StepKind::NoOp => ExecOutcome::Completed,
             StepKind::Activity { activity } => {
@@ -674,9 +668,7 @@ impl Engine {
                 let doc = match inst.vars.get(var) {
                     Some(Variable::Document(d)) => d.clone(),
                     _ => {
-                        return ExecOutcome::Failed(format!(
-                            "send needs document variable `{var}`"
-                        ))
+                        return ExecOutcome::Failed(format!("send needs document variable `{var}`"))
                     }
                 };
                 self.stats.sends += 1;
@@ -688,10 +680,8 @@ impl Engine {
                     .directed_queues
                     .get_mut(&(inst.id, channel.clone()))
                     .and_then(VecDeque::pop_front);
-                if let Some(doc) =
-                    directed.or_else(|| {
-                        self.channel_queues.get_mut(channel).and_then(VecDeque::pop_front)
-                    })
+                if let Some(doc) = directed
+                    .or_else(|| self.channel_queues.get_mut(channel).and_then(VecDeque::pop_front))
                 {
                     self.stats.receives += 1;
                     inst.vars.insert(var.clone(), Variable::Document(doc));
@@ -752,8 +742,7 @@ impl Engine {
 
     fn match_waiters(&mut self, channel: &ChannelId) -> Result<()> {
         loop {
-            let queue_len =
-                self.channel_queues.get(channel).map(VecDeque::len).unwrap_or(0);
+            let queue_len = self.channel_queues.get(channel).map(VecDeque::len).unwrap_or(0);
             if queue_len == 0 {
                 return Ok(());
             }
@@ -779,10 +768,7 @@ impl Engine {
                     other => {
                         return Err(WfError::Channel {
                             channel: channel.to_string(),
-                            reason: format!(
-                                "waiter step `{step_id}` is a {}",
-                                other.kind_name()
-                            ),
+                            reason: format!("waiter step `{step_id}` is a {}", other.kind_name()),
                         })
                     }
                 }

@@ -30,9 +30,7 @@ fn linear_workflow_completes() {
             .build()
             .unwrap(),
     );
-    let id = e
-        .create_instance(&WorkflowTypeId::new("linear"), BTreeMap::new(), "s", "t")
-        .unwrap();
+    let id = e.create_instance(&WorkflowTypeId::new("linear"), BTreeMap::new(), "s", "t").unwrap();
     assert_eq!(e.run(id).unwrap(), InstanceStatus::Completed);
     assert_eq!(e.stats().steps_executed, 3);
 }
@@ -131,10 +129,7 @@ fn receive_blocks_until_delivery() {
 fn early_message_is_queued_for_a_later_receive() {
     let mut e = engine();
     e.deploy(
-        WorkflowBuilder::new("recv")
-            .step(StepDef::receive("wait", "in", "po"))
-            .build()
-            .unwrap(),
+        WorkflowBuilder::new("recv").step(StepDef::receive("wait", "in", "po")).build().unwrap(),
     );
     e.deliver(&ChannelId::new("in"), sample_po("9", 10)).unwrap();
     let id = e.create_instance(&WorkflowTypeId::new("recv"), BTreeMap::new(), "s", "t").unwrap();
@@ -145,10 +140,7 @@ fn early_message_is_queued_for_a_later_receive() {
 fn send_lands_in_the_outbox() {
     let mut e = engine();
     e.deploy(
-        WorkflowBuilder::new("send")
-            .step(StepDef::send("emit", "out", "po"))
-            .build()
-            .unwrap(),
+        WorkflowBuilder::new("send").step(StepDef::send("emit", "out", "po")).build().unwrap(),
     );
     let id = e.create_instance(&WorkflowTypeId::new("send"), doc_vars(10), "s", "t").unwrap();
     e.run(id).unwrap();
@@ -182,9 +174,7 @@ fn timer_fires_on_time_advance() {
 fn rule_check_branches_on_external_rules() {
     let mut e = engine();
     let mut f = RuleFunction::new("check-need-for-approval");
-    f.add_rule(
-        BusinessRule::parse("r1", "source == \"TP1\"", "document.amount >= 55000").unwrap(),
-    );
+    f.add_rule(BusinessRule::parse("r1", "source == \"TP1\"", "document.amount >= 55000").unwrap());
     e.rules_mut().register(f);
     e.deploy(
         WorkflowBuilder::new("rules")
@@ -204,7 +194,8 @@ fn rule_check_branches_on_external_rules() {
             Ok(())
         }),
     );
-    let id = e.create_instance(&WorkflowTypeId::new("rules"), doc_vars(60_000), "TP1", "SAP").unwrap();
+    let id =
+        e.create_instance(&WorkflowTypeId::new("rules"), doc_vars(60_000), "TP1", "SAP").unwrap();
     assert_eq!(e.run(id).unwrap(), InstanceStatus::Completed);
     assert_eq!(e.variable(id, "approved").unwrap(), Variable::Value(Value::Bool(true)));
     assert_eq!(e.stats().rule_invocations, 1);
@@ -220,8 +211,7 @@ fn no_rule_applies_fails_the_instance() {
             .build()
             .unwrap(),
     );
-    let id =
-        e.create_instance(&WorkflowTypeId::new("rules"), doc_vars(1), "TP9", "SAP").unwrap();
+    let id = e.create_instance(&WorkflowTypeId::new("rules"), doc_vars(1), "TP9", "SAP").unwrap();
     match e.run(id).unwrap() {
         InstanceStatus::Failed(reason) => assert!(reason.contains("no rule"), "{reason}"),
         other => panic!("{other:?}"),
@@ -249,12 +239,7 @@ fn transform_step_uses_the_registry() {
 #[test]
 fn subworkflow_completes_into_parent() {
     let mut e = engine();
-    e.deploy(
-        WorkflowBuilder::new("sub")
-            .step(StepDef::activity("work", "mark"))
-            .build()
-            .unwrap(),
-    );
+    e.deploy(WorkflowBuilder::new("sub").step(StepDef::activity("work", "mark")).build().unwrap());
     e.deploy(
         WorkflowBuilder::new("parent")
             .step(StepDef::noop("before"))
@@ -327,10 +312,7 @@ fn subworkflow_cannot_return_control_midway() {
 fn failing_activity_fails_instance_and_parent() {
     let mut e = engine();
     e.deploy(
-        WorkflowBuilder::new("sub")
-            .step(StepDef::activity("boom", "explode"))
-            .build()
-            .unwrap(),
+        WorkflowBuilder::new("sub").step(StepDef::activity("boom", "explode")).build().unwrap(),
     );
     e.deploy(
         WorkflowBuilder::new("parent")
@@ -353,10 +335,7 @@ fn failing_activity_fails_instance_and_parent() {
 fn unknown_activity_fails_cleanly() {
     let mut e = engine();
     e.deploy(
-        WorkflowBuilder::new("w")
-            .step(StepDef::activity("a", "not-registered"))
-            .build()
-            .unwrap(),
+        WorkflowBuilder::new("w").step(StepDef::activity("a", "not-registered")).build().unwrap(),
     );
     let id = e.create_instance(&WorkflowTypeId::new("w"), BTreeMap::new(), "s", "t").unwrap();
     match e.run(id).unwrap() {
@@ -368,20 +347,13 @@ fn unknown_activity_fails_cleanly() {
 #[test]
 fn create_instance_requires_deployed_type() {
     let mut e = engine();
-    assert!(e
-        .create_instance(&WorkflowTypeId::new("ghost"), BTreeMap::new(), "s", "t")
-        .is_err());
+    assert!(e.create_instance(&WorkflowTypeId::new("ghost"), BTreeMap::new(), "s", "t").is_err());
 }
 
 #[test]
 fn history_records_the_execution() {
     let mut e = engine();
-    e.deploy(
-        WorkflowBuilder::new("w")
-            .step(StepDef::noop("a"))
-            .build()
-            .unwrap(),
-    );
+    e.deploy(WorkflowBuilder::new("w").step(StepDef::noop("a")).build().unwrap());
     let id = e.create_instance(&WorkflowTypeId::new("w"), BTreeMap::new(), "s", "t").unwrap();
     e.run(id).unwrap();
     let kinds: Vec<_> = e.history().iter().map(|h| &h.kind).collect();
@@ -394,10 +366,7 @@ fn history_records_the_execution() {
 fn two_instances_on_one_channel_are_served_fifo() {
     let mut e = engine();
     e.deploy(
-        WorkflowBuilder::new("recv")
-            .step(StepDef::receive("wait", "in", "po"))
-            .build()
-            .unwrap(),
+        WorkflowBuilder::new("recv").step(StepDef::receive("wait", "in", "po")).build().unwrap(),
     );
     let first = e.create_instance(&WorkflowTypeId::new("recv"), BTreeMap::new(), "s", "t").unwrap();
     let second =
@@ -411,15 +380,11 @@ fn two_instances_on_one_channel_are_served_fifo() {
     assert_eq!(e.status(second).unwrap(), InstanceStatus::Completed);
 }
 
-
 #[test]
 fn deliver_to_targets_one_instance_among_waiters() {
     let mut e = engine();
     e.deploy(
-        WorkflowBuilder::new("recv")
-            .step(StepDef::receive("wait", "in", "po"))
-            .build()
-            .unwrap(),
+        WorkflowBuilder::new("recv").step(StepDef::receive("wait", "in", "po")).build().unwrap(),
     );
     let first = e.create_instance(&WorkflowTypeId::new("recv"), BTreeMap::new(), "s", "t").unwrap();
     let second =
@@ -517,12 +482,7 @@ fn transform_context_swaps_for_outbound_documents() {
     let mut vars = BTreeMap::new();
     vars.insert("wire".to_string(), Variable::Document(wire));
     let bid = buyer
-        .create_instance(
-            &WorkflowTypeId::new("up"),
-            vars,
-            "Gadget Supply Co",
-            "ACME Manufacturing",
-        )
+        .create_instance(&WorkflowTypeId::new("up"), vars, "Gadget Supply Co", "ACME Manufacturing")
         .unwrap();
     assert_eq!(buyer.run(bid).unwrap(), InstanceStatus::Completed);
     match buyer.variable(bid, "back").unwrap() {

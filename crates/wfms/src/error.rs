@@ -54,10 +54,6 @@ impl std::error::Error for WfError {}
 
 impl From<b2b_rules::RuleError> for WfError {
     fn from(e: b2b_rules::RuleError) -> Self {
-        Self::StepFailed {
-            workflow: String::new(),
-            step: "<rule>".into(),
-            reason: e.to_string(),
-        }
+        Self::StepFailed { workflow: String::new(), step: "<rule>".into(), reason: e.to_string() }
     }
 }

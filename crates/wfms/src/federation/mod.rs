@@ -153,7 +153,9 @@ impl Federation {
         instance: InstanceId,
     ) -> Result<InstanceId> {
         if from == to {
-            return Err(WfError::Federation { reason: "source and target engine are equal".into() });
+            return Err(WfError::Federation {
+                reason: "source and target engine are equal".into(),
+            });
         }
         let snapshot = self.engine_mut(from)?.export_instance(instance)?;
         // Step ①: does the target have the required type?
@@ -351,10 +353,7 @@ mod tests {
         let status = fed.engine_mut(&b).unwrap().run(new_id).unwrap();
         assert_eq!(status, InstanceStatus::Completed);
         // Exposure ledger shows a full type copy — the paper's complaint.
-        assert!(fed
-            .ledger()
-            .iter()
-            .any(|a| matches!(a, SharedArtifact::TypeCopied { .. })));
+        assert!(fed.ledger().iter().any(|a| matches!(a, SharedArtifact::TypeCopied { .. })));
     }
 
     #[test]

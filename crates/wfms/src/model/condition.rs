@@ -28,9 +28,7 @@ impl Condition {
 
     /// Evaluates the guard.
     pub fn eval(&self, document: &Document, source: &str, target: &str) -> Result<bool> {
-        self.expr
-            .eval_bool(&RuleContext::new(source, target, document))
-            .map_err(WfError::from)
+        self.expr.eval_bool(&RuleContext::new(source, target, document)).map_err(WfError::from)
     }
 
     /// AST size (model metrics: inlined conditions bloat workflow types).

@@ -70,9 +70,7 @@ impl fmt::Display for ChannelId {
 }
 
 /// Identifies a workflow instance within one engine's database.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct InstanceId(u64);
 
 impl InstanceId {

@@ -135,22 +135,12 @@ impl WorkflowType {
 
     /// Incoming edges of a step (by edge index).
     pub fn incoming(&self, id: &StepId) -> Vec<usize> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| &e.to == id)
-            .map(|(i, _)| i)
-            .collect()
+        self.edges.iter().enumerate().filter(|(_, e)| &e.to == id).map(|(i, _)| i).collect()
     }
 
     /// Outgoing edges of a step (by edge index).
     pub fn outgoing(&self, id: &StepId) -> Vec<usize> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| &e.from == id)
-            .map(|(i, _)| i)
-            .collect()
+        self.edges.iter().enumerate().filter(|(_, e)| &e.from == id).map(|(i, _)| i).collect()
     }
 
     /// Subworkflow types this type references directly.
@@ -226,11 +216,7 @@ impl WorkflowBuilder {
     /// Adds a guarded edge; the guard reads variable `var`.
     pub fn guarded_edge(mut self, from: &str, to: &str, var: &str, expr: &str) -> Self {
         let guard = Condition::parse(var, expr).expect("builder guards are static");
-        self.edges.push(Edge {
-            from: StepId::new(from),
-            to: StepId::new(to),
-            guard: Some(guard),
-        });
+        self.edges.push(Edge { from: StepId::new(from), to: StepId::new(to), guard: Some(guard) });
         self
     }
 
@@ -305,11 +291,10 @@ mod tests {
     fn definition_hash_is_stable_and_content_sensitive() {
         assert_eq!(linear().definition_hash(), linear().definition_hash());
         let changed = linear()
-            .with_added_step(StepDef::noop("audit"), vec![Edge {
-                from: StepId::new("c"),
-                to: StepId::new("audit"),
-                guard: None,
-            }])
+            .with_added_step(
+                StepDef::noop("audit"),
+                vec![Edge { from: StepId::new("c"), to: StepId::new("audit"), guard: None }],
+            )
             .unwrap();
         assert_ne!(linear().definition_hash(), changed.definition_hash());
         assert_eq!(changed.version(), 2);
@@ -318,10 +303,7 @@ mod tests {
     #[test]
     fn referenced_types_lists_subworkflows() {
         let sub = WorkflowTypeId::new("sub");
-        let wf = WorkflowBuilder::new("w")
-            .step(StepDef::subworkflow("s", &sub))
-            .build()
-            .unwrap();
+        let wf = WorkflowBuilder::new("w").step(StepDef::subworkflow("s", &sub)).build().unwrap();
         assert_eq!(wf.referenced_types(), vec![&sub]);
     }
 

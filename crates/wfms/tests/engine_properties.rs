@@ -46,12 +46,9 @@ fn build_and_run(dag: &RandomDag) -> InstanceStatus {
             None => builder = builder.edge(&from, &to),
             // Guards read a seeded PO of amount 10_000: `true` guards
             // compare >= 1, `false` guards compare >= 1_000_000.
-            Some(true) => {
-                builder = builder.guarded_edge(&from, &to, "po", "document.amount >= 1")
-            }
+            Some(true) => builder = builder.guarded_edge(&from, &to, "po", "document.amount >= 1"),
             Some(false) => {
-                builder =
-                    builder.guarded_edge(&from, &to, "po", "document.amount >= 1000000")
+                builder = builder.guarded_edge(&from, &to, "po", "document.amount >= 1000000")
             }
         }
     }

@@ -68,10 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kind in [ChangeKind::AddPartner, ChangeKind::AddAuditStep] {
         let adv = advanced_impact(kind, &base)?;
         let naive = naive_impact(kind, &base)?;
-        println!(
-            "{:<24} advanced: {adv} | naive: {naive}",
-            format!("[{}]", kind.name())
-        );
+        println!("{:<24} advanced: {adv} | naive: {naive}", format!("[{}]", kind.name()));
     }
     let _ = BUYER2;
     println!("OK");

@@ -23,33 +23,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = SimNetwork::new(FaultConfig::reliable(), 7);
 
     let mut seller = IntegrationEngine::new("GadgetSupply", &mut net)?;
-    seller.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-        AckPolicy::AcceptAll,
-    ))))?;
-    seller.add_backend(ApplicationProcess::new(Box::new(OracleSystem::new(
-        AckPolicy::AcceptAll,
-    ))))?;
+    seller.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
+    seller
+        .add_backend(ApplicationProcess::new(Box::new(OracleSystem::new(AckPolicy::AcceptAll))))?;
     seller_rules(&mut seller)?;
 
     let private_hash_before = seller.responder_private_hash()?;
 
     // Three buyers on three protocols.
-    type ProcPair =
-        (b2b_protocol::PublicProcessDef, b2b_protocol::PublicProcessDef);
+    type ProcPair = (b2b_protocol::PublicProcessDef, b2b_protocol::PublicProcessDef);
     type ProcFn = fn() -> b2b_protocol::Result<ProcPair>;
     let mut buyers = Vec::new();
-    let protocols: [(&str, ProcFn); 3] = [
-        ("TP1", edi_roundtrip_processes),
-        ("TP2", pip3a4_processes),
-        ("TP3", oagis_po_processes),
-    ];
+    let protocols: [(&str, ProcFn); 3] =
+        [("TP1", edi_roundtrip_processes), ("TP2", pip3a4_processes), ("TP3", oagis_po_processes)];
     for (name, processes) in protocols {
         let mut buyer = IntegrationEngine::new(name, &mut net)?;
         buyer.add_partner(TradingPartner::new("GadgetSupply"));
         // Each buyer files returned POAs in its own ERP.
-        buyer.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-            AckPolicy::AcceptAll,
-        ))))?;
+        buyer
+            .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
         seller.add_partner(TradingPartner::new(name));
         let (init, resp) = processes()?;
         let agreement = TradingPartnerAgreement::between(

@@ -51,12 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut seller = IntegrationEngine::new("GadgetSupply", &mut net)?;
     buyer.add_partner(TradingPartner::new("GadgetSupply"));
     seller.add_partner(TradingPartner::new("TP1"));
-    buyer.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-        AckPolicy::AcceptAll,
-    ))))?;
-    seller.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-        AckPolicy::AcceptAll,
-    ))))?;
+    buyer.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
+    seller.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
     seller_rules(&mut seller)?;
 
     let agreement = TradingPartnerAgreement::between(
@@ -71,15 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     seller.install_agreement(agreement.clone(), buyer_proc, seller_proc)?;
 
     // 3. Run a round trip under the negotiated protocol.
-    let po = PoBuilder::new(
-        "PO-NEG-1",
-        "TP1",
-        "GadgetSupply",
-        Date::new(2001, 9, 17)?,
-        Currency::Usd,
-    )
-    .line("LAPTOP-T23", 30_000, Money::from_units(1, Currency::Usd))?
-    .build()?;
+    let po =
+        PoBuilder::new("PO-NEG-1", "TP1", "GadgetSupply", Date::new(2001, 9, 17)?, Currency::Usd)
+            .line("LAPTOP-T23", 30_000, Money::from_units(1, Currency::Usd))?
+            .build()?;
     let correlation = buyer.initiate(&mut net, &agreement.id, po)?;
     for _ in 0..1_000 {
         net.advance(10);

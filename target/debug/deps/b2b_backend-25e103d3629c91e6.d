@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/b2b_backend-25e103d3629c91e6.d: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+/root/repo/target/debug/deps/b2b_backend-25e103d3629c91e6: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/adapter.rs:
+crates/backend/src/erp.rs:
+crates/backend/src/error.rs:
+crates/backend/src/oracle_app.rs:
+crates/backend/src/orderbook.rs:
+crates/backend/src/sap.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/b2b_backend-6d447f5ecab417d1.d: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_backend-6d447f5ecab417d1.rmeta: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs Cargo.toml
+
+crates/backend/src/lib.rs:
+crates/backend/src/adapter.rs:
+crates/backend/src/erp.rs:
+crates/backend/src/error.rs:
+crates/backend/src/oracle_app.rs:
+crates/backend/src/orderbook.rs:
+crates/backend/src/sap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/b2b_backend-dbfa0c93cf28af08.d: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+/root/repo/target/debug/deps/libb2b_backend-dbfa0c93cf28af08.rlib: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+/root/repo/target/debug/deps/libb2b_backend-dbfa0c93cf28af08.rmeta: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/adapter.rs:
+crates/backend/src/erp.rs:
+crates/backend/src/error.rs:
+crates/backend/src/oracle_app.rs:
+crates/backend/src/orderbook.rs:
+crates/backend/src/sap.rs:

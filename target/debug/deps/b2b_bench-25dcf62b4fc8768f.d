@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/b2b_bench-25dcf62b4fc8768f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libb2b_bench-25dcf62b4fc8768f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libb2b_bench-25dcf62b4fc8768f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

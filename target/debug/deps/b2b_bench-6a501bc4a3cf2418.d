@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/b2b_bench-6a501bc4a3cf2418.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_bench-6a501bc4a3cf2418.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/b2b_bench-86a0f8fd0c9e10d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/b2b_bench-86a0f8fd0c9e10d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/b2b_core-4d8cd7acd2adbe7a.d: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/cooperative.rs crates/core/src/baseline/distributed.rs crates/core/src/binding.rs crates/core/src/change.rs crates/core/src/channels.rs crates/core/src/compile.rs crates/core/src/deadletter.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/figures.rs crates/core/src/metrics.rs crates/core/src/partner.rs crates/core/src/private_process.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_core-4d8cd7acd2adbe7a.rmeta: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/cooperative.rs crates/core/src/baseline/distributed.rs crates/core/src/binding.rs crates/core/src/change.rs crates/core/src/channels.rs crates/core/src/compile.rs crates/core/src/deadletter.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/figures.rs crates/core/src/metrics.rs crates/core/src/partner.rs crates/core/src/private_process.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline/mod.rs:
+crates/core/src/baseline/cooperative.rs:
+crates/core/src/baseline/distributed.rs:
+crates/core/src/binding.rs:
+crates/core/src/change.rs:
+crates/core/src/channels.rs:
+crates/core/src/compile.rs:
+crates/core/src/deadletter.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/figures.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partner.rs:
+crates/core/src/private_process.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

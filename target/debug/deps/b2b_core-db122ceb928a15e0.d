@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/b2b_core-db122ceb928a15e0.d: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/cooperative.rs crates/core/src/baseline/distributed.rs crates/core/src/binding.rs crates/core/src/change.rs crates/core/src/channels.rs crates/core/src/compile.rs crates/core/src/deadletter.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/figures.rs crates/core/src/metrics.rs crates/core/src/partner.rs crates/core/src/private_process.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/b2b_core-db122ceb928a15e0: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/cooperative.rs crates/core/src/baseline/distributed.rs crates/core/src/binding.rs crates/core/src/change.rs crates/core/src/channels.rs crates/core/src/compile.rs crates/core/src/deadletter.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/figures.rs crates/core/src/metrics.rs crates/core/src/partner.rs crates/core/src/private_process.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline/mod.rs:
+crates/core/src/baseline/cooperative.rs:
+crates/core/src/baseline/distributed.rs:
+crates/core/src/binding.rs:
+crates/core/src/change.rs:
+crates/core/src/channels.rs:
+crates/core/src/compile.rs:
+crates/core/src/deadletter.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/figures.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partner.rs:
+crates/core/src/private_process.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/b2b_document-345bbca90323c51f.d: crates/document/src/lib.rs crates/document/src/date.rs crates/document/src/document.rs crates/document/src/edi/mod.rs crates/document/src/edi/parse.rs crates/document/src/edi/write.rs crates/document/src/error.rs crates/document/src/formats/mod.rs crates/document/src/formats/edi_x12.rs crates/document/src/formats/oagis.rs crates/document/src/formats/oracle_apps.rs crates/document/src/formats/registry.rs crates/document/src/formats/rosettanet.rs crates/document/src/formats/sap_idoc.rs crates/document/src/formats/util.rs crates/document/src/ids.rs crates/document/src/money.rs crates/document/src/normalized.rs crates/document/src/path.rs crates/document/src/schema.rs crates/document/src/value.rs crates/document/src/xml/mod.rs crates/document/src/xml/parse.rs crates/document/src/xml/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_document-345bbca90323c51f.rmeta: crates/document/src/lib.rs crates/document/src/date.rs crates/document/src/document.rs crates/document/src/edi/mod.rs crates/document/src/edi/parse.rs crates/document/src/edi/write.rs crates/document/src/error.rs crates/document/src/formats/mod.rs crates/document/src/formats/edi_x12.rs crates/document/src/formats/oagis.rs crates/document/src/formats/oracle_apps.rs crates/document/src/formats/registry.rs crates/document/src/formats/rosettanet.rs crates/document/src/formats/sap_idoc.rs crates/document/src/formats/util.rs crates/document/src/ids.rs crates/document/src/money.rs crates/document/src/normalized.rs crates/document/src/path.rs crates/document/src/schema.rs crates/document/src/value.rs crates/document/src/xml/mod.rs crates/document/src/xml/parse.rs crates/document/src/xml/write.rs Cargo.toml
+
+crates/document/src/lib.rs:
+crates/document/src/date.rs:
+crates/document/src/document.rs:
+crates/document/src/edi/mod.rs:
+crates/document/src/edi/parse.rs:
+crates/document/src/edi/write.rs:
+crates/document/src/error.rs:
+crates/document/src/formats/mod.rs:
+crates/document/src/formats/edi_x12.rs:
+crates/document/src/formats/oagis.rs:
+crates/document/src/formats/oracle_apps.rs:
+crates/document/src/formats/registry.rs:
+crates/document/src/formats/rosettanet.rs:
+crates/document/src/formats/sap_idoc.rs:
+crates/document/src/formats/util.rs:
+crates/document/src/ids.rs:
+crates/document/src/money.rs:
+crates/document/src/normalized.rs:
+crates/document/src/path.rs:
+crates/document/src/schema.rs:
+crates/document/src/value.rs:
+crates/document/src/xml/mod.rs:
+crates/document/src/xml/parse.rs:
+crates/document/src/xml/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/b2b_network-a6213d55ae939c18.d: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+/root/repo/target/debug/deps/libb2b_network-a6213d55ae939c18.rlib: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+/root/repo/target/debug/deps/libb2b_network-a6213d55ae939c18.rmeta: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+crates/network/src/lib.rs:
+crates/network/src/clock.rs:
+crates/network/src/error.rs:
+crates/network/src/fault.rs:
+crates/network/src/message.rs:
+crates/network/src/reliable.rs:
+crates/network/src/rng.rs:
+crates/network/src/sim.rs:
+crates/network/src/van.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/b2b_network-b925d8ec3bddb272.d: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_network-b925d8ec3bddb272.rmeta: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs Cargo.toml
+
+crates/network/src/lib.rs:
+crates/network/src/clock.rs:
+crates/network/src/error.rs:
+crates/network/src/fault.rs:
+crates/network/src/message.rs:
+crates/network/src/reliable.rs:
+crates/network/src/rng.rs:
+crates/network/src/sim.rs:
+crates/network/src/van.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/b2b_network-ca675045535627c4.d: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+/root/repo/target/debug/deps/b2b_network-ca675045535627c4: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+crates/network/src/lib.rs:
+crates/network/src/clock.rs:
+crates/network/src/error.rs:
+crates/network/src/fault.rs:
+crates/network/src/message.rs:
+crates/network/src/reliable.rs:
+crates/network/src/rng.rs:
+crates/network/src/sim.rs:
+crates/network/src/van.rs:

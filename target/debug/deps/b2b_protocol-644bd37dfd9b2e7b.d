@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/b2b_protocol-644bd37dfd9b2e7b.d: crates/protocol/src/lib.rs crates/protocol/src/agreement.rs crates/protocol/src/bpss.rs crates/protocol/src/edi_roundtrip.rs crates/protocol/src/error.rs crates/protocol/src/model.rs crates/protocol/src/notification.rs crates/protocol/src/oagis_bod.rs crates/protocol/src/patterns.rs crates/protocol/src/pip3a4.rs
+
+/root/repo/target/debug/deps/libb2b_protocol-644bd37dfd9b2e7b.rlib: crates/protocol/src/lib.rs crates/protocol/src/agreement.rs crates/protocol/src/bpss.rs crates/protocol/src/edi_roundtrip.rs crates/protocol/src/error.rs crates/protocol/src/model.rs crates/protocol/src/notification.rs crates/protocol/src/oagis_bod.rs crates/protocol/src/patterns.rs crates/protocol/src/pip3a4.rs
+
+/root/repo/target/debug/deps/libb2b_protocol-644bd37dfd9b2e7b.rmeta: crates/protocol/src/lib.rs crates/protocol/src/agreement.rs crates/protocol/src/bpss.rs crates/protocol/src/edi_roundtrip.rs crates/protocol/src/error.rs crates/protocol/src/model.rs crates/protocol/src/notification.rs crates/protocol/src/oagis_bod.rs crates/protocol/src/patterns.rs crates/protocol/src/pip3a4.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/agreement.rs:
+crates/protocol/src/bpss.rs:
+crates/protocol/src/edi_roundtrip.rs:
+crates/protocol/src/error.rs:
+crates/protocol/src/model.rs:
+crates/protocol/src/notification.rs:
+crates/protocol/src/oagis_bod.rs:
+crates/protocol/src/patterns.rs:
+crates/protocol/src/pip3a4.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/b2b_protocol-84b31777533cd123.d: crates/protocol/src/lib.rs crates/protocol/src/agreement.rs crates/protocol/src/bpss.rs crates/protocol/src/edi_roundtrip.rs crates/protocol/src/error.rs crates/protocol/src/model.rs crates/protocol/src/notification.rs crates/protocol/src/oagis_bod.rs crates/protocol/src/patterns.rs crates/protocol/src/pip3a4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_protocol-84b31777533cd123.rmeta: crates/protocol/src/lib.rs crates/protocol/src/agreement.rs crates/protocol/src/bpss.rs crates/protocol/src/edi_roundtrip.rs crates/protocol/src/error.rs crates/protocol/src/model.rs crates/protocol/src/notification.rs crates/protocol/src/oagis_bod.rs crates/protocol/src/patterns.rs crates/protocol/src/pip3a4.rs Cargo.toml
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/agreement.rs:
+crates/protocol/src/bpss.rs:
+crates/protocol/src/edi_roundtrip.rs:
+crates/protocol/src/error.rs:
+crates/protocol/src/model.rs:
+crates/protocol/src/notification.rs:
+crates/protocol/src/oagis_bod.rs:
+crates/protocol/src/patterns.rs:
+crates/protocol/src/pip3a4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/b2b_rules-02ed9aec07f5a042.d: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_rules-02ed9aec07f5a042.rmeta: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs Cargo.toml
+
+crates/rules/src/lib.rs:
+crates/rules/src/approval.rs:
+crates/rules/src/error.rs:
+crates/rules/src/expr/mod.rs:
+crates/rules/src/expr/eval.rs:
+crates/rules/src/expr/lexer.rs:
+crates/rules/src/expr/parser.rs:
+crates/rules/src/registry.rs:
+crates/rules/src/rule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

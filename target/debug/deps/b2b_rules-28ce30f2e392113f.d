@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/b2b_rules-28ce30f2e392113f.d: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+/root/repo/target/debug/deps/b2b_rules-28ce30f2e392113f: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/approval.rs:
+crates/rules/src/error.rs:
+crates/rules/src/expr/mod.rs:
+crates/rules/src/expr/eval.rs:
+crates/rules/src/expr/lexer.rs:
+crates/rules/src/expr/parser.rs:
+crates/rules/src/registry.rs:
+crates/rules/src/rule.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/b2b_rules-7a436726e6610b1f.d: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+/root/repo/target/debug/deps/libb2b_rules-7a436726e6610b1f.rlib: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+/root/repo/target/debug/deps/libb2b_rules-7a436726e6610b1f.rmeta: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/approval.rs:
+crates/rules/src/error.rs:
+crates/rules/src/expr/mod.rs:
+crates/rules/src/expr/eval.rs:
+crates/rules/src/expr/lexer.rs:
+crates/rules/src/expr/parser.rs:
+crates/rules/src/registry.rs:
+crates/rules/src/rule.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/b2b_transform-1d58ed01d5e24c7f.d: crates/transform/src/lib.rs crates/transform/src/builtin/mod.rs crates/transform/src/builtin/edi.rs crates/transform/src/builtin/oagis.rs crates/transform/src/builtin/oracle.rs crates/transform/src/builtin/rosettanet.rs crates/transform/src/builtin/sap.rs crates/transform/src/context.rs crates/transform/src/error.rs crates/transform/src/mapping.rs crates/transform/src/program.rs crates/transform/src/registry.rs
+
+/root/repo/target/debug/deps/libb2b_transform-1d58ed01d5e24c7f.rlib: crates/transform/src/lib.rs crates/transform/src/builtin/mod.rs crates/transform/src/builtin/edi.rs crates/transform/src/builtin/oagis.rs crates/transform/src/builtin/oracle.rs crates/transform/src/builtin/rosettanet.rs crates/transform/src/builtin/sap.rs crates/transform/src/context.rs crates/transform/src/error.rs crates/transform/src/mapping.rs crates/transform/src/program.rs crates/transform/src/registry.rs
+
+/root/repo/target/debug/deps/libb2b_transform-1d58ed01d5e24c7f.rmeta: crates/transform/src/lib.rs crates/transform/src/builtin/mod.rs crates/transform/src/builtin/edi.rs crates/transform/src/builtin/oagis.rs crates/transform/src/builtin/oracle.rs crates/transform/src/builtin/rosettanet.rs crates/transform/src/builtin/sap.rs crates/transform/src/context.rs crates/transform/src/error.rs crates/transform/src/mapping.rs crates/transform/src/program.rs crates/transform/src/registry.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/builtin/mod.rs:
+crates/transform/src/builtin/edi.rs:
+crates/transform/src/builtin/oagis.rs:
+crates/transform/src/builtin/oracle.rs:
+crates/transform/src/builtin/rosettanet.rs:
+crates/transform/src/builtin/sap.rs:
+crates/transform/src/context.rs:
+crates/transform/src/error.rs:
+crates/transform/src/mapping.rs:
+crates/transform/src/program.rs:
+crates/transform/src/registry.rs:

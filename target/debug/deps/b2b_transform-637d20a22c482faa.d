@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/b2b_transform-637d20a22c482faa.d: crates/transform/src/lib.rs crates/transform/src/builtin/mod.rs crates/transform/src/builtin/edi.rs crates/transform/src/builtin/oagis.rs crates/transform/src/builtin/oracle.rs crates/transform/src/builtin/rosettanet.rs crates/transform/src/builtin/sap.rs crates/transform/src/context.rs crates/transform/src/error.rs crates/transform/src/mapping.rs crates/transform/src/program.rs crates/transform/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_transform-637d20a22c482faa.rmeta: crates/transform/src/lib.rs crates/transform/src/builtin/mod.rs crates/transform/src/builtin/edi.rs crates/transform/src/builtin/oagis.rs crates/transform/src/builtin/oracle.rs crates/transform/src/builtin/rosettanet.rs crates/transform/src/builtin/sap.rs crates/transform/src/context.rs crates/transform/src/error.rs crates/transform/src/mapping.rs crates/transform/src/program.rs crates/transform/src/registry.rs Cargo.toml
+
+crates/transform/src/lib.rs:
+crates/transform/src/builtin/mod.rs:
+crates/transform/src/builtin/edi.rs:
+crates/transform/src/builtin/oagis.rs:
+crates/transform/src/builtin/oracle.rs:
+crates/transform/src/builtin/rosettanet.rs:
+crates/transform/src/builtin/sap.rs:
+crates/transform/src/context.rs:
+crates/transform/src/error.rs:
+crates/transform/src/mapping.rs:
+crates/transform/src/program.rs:
+crates/transform/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/b2b_wfms-3acf5f5b8728701c.d: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/engine/tests.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs
+
+/root/repo/target/debug/deps/b2b_wfms-3acf5f5b8728701c: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/engine/tests.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/db.rs:
+crates/wfms/src/engine/mod.rs:
+crates/wfms/src/engine/instance.rs:
+crates/wfms/src/engine/tests.rs:
+crates/wfms/src/error.rs:
+crates/wfms/src/federation/mod.rs:
+crates/wfms/src/history.rs:
+crates/wfms/src/model/mod.rs:
+crates/wfms/src/model/condition.rs:
+crates/wfms/src/model/ids.rs:
+crates/wfms/src/model/step.rs:
+crates/wfms/src/model/workflow.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/b2b_wfms-7dfc5c172c831041.d: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/engine/tests.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libb2b_wfms-7dfc5c172c831041.rmeta: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/engine/tests.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs Cargo.toml
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/db.rs:
+crates/wfms/src/engine/mod.rs:
+crates/wfms/src/engine/instance.rs:
+crates/wfms/src/engine/tests.rs:
+crates/wfms/src/error.rs:
+crates/wfms/src/federation/mod.rs:
+crates/wfms/src/history.rs:
+crates/wfms/src/model/mod.rs:
+crates/wfms/src/model/condition.rs:
+crates/wfms/src/model/ids.rs:
+crates/wfms/src/model/step.rs:
+crates/wfms/src/model/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-c2ac00b861d8411c.d: tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-c2ac00b861d8411c.rmeta: tests/baselines.rs Cargo.toml
+
+tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

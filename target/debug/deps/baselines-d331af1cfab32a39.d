@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-d331af1cfab32a39.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-d331af1cfab32a39: tests/baselines.rs
+
+tests/baselines.rs:

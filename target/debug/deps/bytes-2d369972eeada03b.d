@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-2d369972eeada03b.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-2d369972eeada03b: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-dc14469f0339cf83.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-dc14469f0339cf83.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-dc14469f0339cf83.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

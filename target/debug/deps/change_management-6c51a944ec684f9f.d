@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/change_management-6c51a944ec684f9f.d: tests/change_management.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchange_management-6c51a944ec684f9f.rmeta: tests/change_management.rs Cargo.toml
+
+tests/change_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

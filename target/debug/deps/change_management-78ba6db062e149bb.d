@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/change_management-78ba6db062e149bb.d: tests/change_management.rs
+
+/root/repo/target/debug/deps/change_management-78ba6db062e149bb: tests/change_management.rs
+
+tests/change_management.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7a35f27df1e8c56d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7a35f27df1e8c56d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

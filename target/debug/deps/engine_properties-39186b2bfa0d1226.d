@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-39186b2bfa0d1226.d: crates/wfms/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-39186b2bfa0d1226: crates/wfms/tests/engine_properties.rs
+
+crates/wfms/tests/engine_properties.rs:

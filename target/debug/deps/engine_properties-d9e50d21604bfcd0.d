@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-d9e50d21604bfcd0.d: crates/wfms/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-d9e50d21604bfcd0.rmeta: crates/wfms/tests/engine_properties.rs Cargo.toml
+
+crates/wfms/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-539a9f1f9f8ccbd5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-539a9f1f9f8ccbd5: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

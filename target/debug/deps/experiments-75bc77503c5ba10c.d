@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-75bc77503c5ba10c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-75bc77503c5ba10c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explosion-a7e3cfa8316316cd.d: crates/bench/benches/explosion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplosion-a7e3cfa8316316cd.rmeta: crates/bench/benches/explosion.rs Cargo.toml
+
+crates/bench/benches/explosion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

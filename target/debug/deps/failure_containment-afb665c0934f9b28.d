@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_containment-afb665c0934f9b28.d: crates/core/tests/failure_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_containment-afb665c0934f9b28.rmeta: crates/core/tests/failure_containment.rs Cargo.toml
+
+crates/core/tests/failure_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_containment-d5c9351b3fef1166.d: crates/core/tests/failure_containment.rs
+
+/root/repo/target/debug/deps/failure_containment-d5c9351b3fef1166: crates/core/tests/failure_containment.rs
+
+crates/core/tests/failure_containment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b0f746d498b1d65e.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-b0f746d498b1d65e: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_properties-52387f5cb815a26c.d: crates/document/tests/format_properties.rs
+
+/root/repo/target/debug/deps/format_properties-52387f5cb815a26c: crates/document/tests/format_properties.rs
+
+crates/document/tests/format_properties.rs:

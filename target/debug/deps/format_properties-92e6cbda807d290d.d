@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_properties-92e6cbda807d290d.d: crates/document/tests/format_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_properties-92e6cbda807d290d.rmeta: crates/document/tests/format_properties.rs Cargo.toml
+
+crates/document/tests/format_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/messaging-127b3347982e55c6.d: crates/bench/benches/messaging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmessaging-127b3347982e55c6.rmeta: crates/bench/benches/messaging.rs Cargo.toml
+
+crates/bench/benches/messaging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

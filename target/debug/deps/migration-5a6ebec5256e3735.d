@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration-5a6ebec5256e3735.d: crates/bench/benches/migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration-5a6ebec5256e3735.rmeta: crates/bench/benches/migration.rs Cargo.toml
+
+crates/bench/benches/migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f7d91805ee3d2004.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f7d91805ee3d2004: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rfq_broadcast-38200b4156127d2c.d: tests/rfq_broadcast.rs
+
+/root/repo/target/debug/deps/rfq_broadcast-38200b4156127d2c: tests/rfq_broadcast.rs
+
+tests/rfq_broadcast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rfq_broadcast-47b04f3870655771.d: tests/rfq_broadcast.rs Cargo.toml
+
+/root/repo/target/debug/deps/librfq_broadcast-47b04f3870655771.rmeta: tests/rfq_broadcast.rs Cargo.toml
+
+tests/rfq_broadcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rules-69b3dfcd737fa703.d: crates/bench/benches/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/librules-69b3dfcd737fa703.rmeta: crates/bench/benches/rules.rs Cargo.toml
+
+crates/bench/benches/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantic_b2b-29ab1221406b13b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/semantic_b2b-29ab1221406b13b9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantic_b2b-331a23247ec682c7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantic_b2b-331a23247ec682c7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semantic_b2b-d6d7c6f6071109bc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemantic_b2b-d6d7c6f6071109bc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemantic_b2b-d6d7c6f6071109bc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9d958951de26068f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-9d958951de26068f: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-644cc96a5f90c6f8.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-644cc96a5f90c6f8: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d989bd95c527138f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d989bd95c527138f.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d989bd95c527138f.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transform-71eb3fdf6562034a.d: crates/bench/benches/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransform-71eb3fdf6562034a.rmeta: crates/bench/benches/transform.rs Cargo.toml
+
+crates/bench/benches/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/change_management-278fd7197d845fdc.d: examples/change_management.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchange_management-278fd7197d845fdc.rmeta: examples/change_management.rs Cargo.toml
+
+examples/change_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

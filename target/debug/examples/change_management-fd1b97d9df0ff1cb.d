@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/change_management-fd1b97d9df0ff1cb.d: examples/change_management.rs
+
+/root/repo/target/debug/examples/change_management-fd1b97d9df0ff1cb: examples/change_management.rs
+
+examples/change_management.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_recovery-7dae33b365a36e7b.d: examples/failure_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_recovery-7dae33b365a36e7b.rmeta: examples/failure_recovery.rs Cargo.toml
+
+examples/failure_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

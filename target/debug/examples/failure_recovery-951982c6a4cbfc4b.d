@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-951982c6a4cbfc4b.d: examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-951982c6a4cbfc4b: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

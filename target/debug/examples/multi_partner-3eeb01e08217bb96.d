@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_partner-3eeb01e08217bb96.d: examples/multi_partner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_partner-3eeb01e08217bb96.rmeta: examples/multi_partner.rs Cargo.toml
+
+examples/multi_partner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_partner-cc653e1aab182370.d: examples/multi_partner.rs
+
+/root/repo/target/debug/examples/multi_partner-cc653e1aab182370: examples/multi_partner.rs
+
+examples/multi_partner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/negotiated_protocol-9dc3ecd1df02f490.d: examples/negotiated_protocol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnegotiated_protocol-9dc3ecd1df02f490.rmeta: examples/negotiated_protocol.rs Cargo.toml
+
+examples/negotiated_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

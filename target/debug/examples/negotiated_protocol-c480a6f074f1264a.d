@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/negotiated_protocol-c480a6f074f1264a.d: examples/negotiated_protocol.rs
+
+/root/repo/target/debug/examples/negotiated_protocol-c480a6f074f1264a: examples/negotiated_protocol.rs
+
+examples/negotiated_protocol.rs:

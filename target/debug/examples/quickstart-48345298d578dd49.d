@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-48345298d578dd49.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-48345298d578dd49: examples/quickstart.rs
+
+examples/quickstart.rs:

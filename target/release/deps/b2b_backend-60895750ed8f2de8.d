@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/b2b_backend-60895750ed8f2de8.d: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+/root/repo/target/release/deps/libb2b_backend-60895750ed8f2de8.rlib: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+/root/repo/target/release/deps/libb2b_backend-60895750ed8f2de8.rmeta: crates/backend/src/lib.rs crates/backend/src/adapter.rs crates/backend/src/erp.rs crates/backend/src/error.rs crates/backend/src/oracle_app.rs crates/backend/src/orderbook.rs crates/backend/src/sap.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/adapter.rs:
+crates/backend/src/erp.rs:
+crates/backend/src/error.rs:
+crates/backend/src/oracle_app.rs:
+crates/backend/src/orderbook.rs:
+crates/backend/src/sap.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/b2b_network-cd6dbe24b587d01a.d: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+/root/repo/target/release/deps/libb2b_network-cd6dbe24b587d01a.rlib: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+/root/repo/target/release/deps/libb2b_network-cd6dbe24b587d01a.rmeta: crates/network/src/lib.rs crates/network/src/clock.rs crates/network/src/error.rs crates/network/src/fault.rs crates/network/src/message.rs crates/network/src/reliable.rs crates/network/src/rng.rs crates/network/src/sim.rs crates/network/src/van.rs
+
+crates/network/src/lib.rs:
+crates/network/src/clock.rs:
+crates/network/src/error.rs:
+crates/network/src/fault.rs:
+crates/network/src/message.rs:
+crates/network/src/reliable.rs:
+crates/network/src/rng.rs:
+crates/network/src/sim.rs:
+crates/network/src/van.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/b2b_rules-b2470f1b1bd8f1f1.d: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+/root/repo/target/release/deps/libb2b_rules-b2470f1b1bd8f1f1.rlib: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+/root/repo/target/release/deps/libb2b_rules-b2470f1b1bd8f1f1.rmeta: crates/rules/src/lib.rs crates/rules/src/approval.rs crates/rules/src/error.rs crates/rules/src/expr/mod.rs crates/rules/src/expr/eval.rs crates/rules/src/expr/lexer.rs crates/rules/src/expr/parser.rs crates/rules/src/registry.rs crates/rules/src/rule.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/approval.rs:
+crates/rules/src/error.rs:
+crates/rules/src/expr/mod.rs:
+crates/rules/src/expr/eval.rs:
+crates/rules/src/expr/lexer.rs:
+crates/rules/src/expr/parser.rs:
+crates/rules/src/registry.rs:
+crates/rules/src/rule.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/b2b_wfms-4bb16583b72963ce.d: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs
+
+/root/repo/target/release/deps/libb2b_wfms-4bb16583b72963ce.rlib: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs
+
+/root/repo/target/release/deps/libb2b_wfms-4bb16583b72963ce.rmeta: crates/wfms/src/lib.rs crates/wfms/src/db.rs crates/wfms/src/engine/mod.rs crates/wfms/src/engine/instance.rs crates/wfms/src/error.rs crates/wfms/src/federation/mod.rs crates/wfms/src/history.rs crates/wfms/src/model/mod.rs crates/wfms/src/model/condition.rs crates/wfms/src/model/ids.rs crates/wfms/src/model/step.rs crates/wfms/src/model/workflow.rs
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/db.rs:
+crates/wfms/src/engine/mod.rs:
+crates/wfms/src/engine/instance.rs:
+crates/wfms/src/error.rs:
+crates/wfms/src/federation/mod.rs:
+crates/wfms/src/history.rs:
+crates/wfms/src/model/mod.rs:
+crates/wfms/src/model/condition.rs:
+crates/wfms/src/model/ids.rs:
+crates/wfms/src/model/step.rs:
+crates/wfms/src/model/workflow.rs:

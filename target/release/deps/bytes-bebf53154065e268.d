@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-bebf53154065e268.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-bebf53154065e268.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-bebf53154065e268.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

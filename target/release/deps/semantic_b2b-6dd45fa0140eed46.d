@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semantic_b2b-6dd45fa0140eed46.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemantic_b2b-6dd45fa0140eed46.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemantic_b2b-6dd45fa0140eed46.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-18d37f3b599dcd5d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-18d37f3b599dcd5d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-18d37f3b599dcd5d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

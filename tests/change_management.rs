@@ -1,9 +1,9 @@
 //! Change management across crates (Sections 4.5/4.6): the locality
 //! claims hold on *running* integration engines, not just on paper.
 
+use semantic_b2b::integration::baseline::cooperative::IntegrationConfig;
 use semantic_b2b::integration::change::{advanced_impact, naive_impact, ChangeKind};
 use semantic_b2b::integration::private_process::responder_private_with_audit;
-use semantic_b2b::integration::baseline::cooperative::IntegrationConfig;
 use semantic_b2b::integration::scenario::TwoEnterpriseScenario;
 use semantic_b2b::integration::SessionState;
 use semantic_b2b::network::FaultConfig;
@@ -39,9 +39,7 @@ fn replacing_the_private_process_does_not_disturb_other_layers() {
         .type_ids()
         .into_iter()
         .filter(|id| !id.as_str().starts_with("private:order-processing"))
-        .map(|id| {
-            (id.to_string(), s.seller.wf().db().get_type(id).unwrap().definition_hash())
-        })
+        .map(|id| (id.to_string(), s.seller.wf().db().get_type(id).unwrap().definition_hash()))
         .collect();
 
     s.seller.replace_responder_private(responder_private_with_audit().unwrap()).unwrap();
@@ -78,10 +76,10 @@ fn impact_table_is_consistent_across_base_sizes() {
 fn advanced_partner_addition_cost_is_independent_of_protocol_count() {
     // The paper's scalability section: partner addition cost must not grow
     // with the number of protocols or the size of existing models.
-    let small = advanced_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(1, 1, 2))
-        .unwrap();
-    let large = advanced_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(8, 32, 2))
-        .unwrap();
+    let small =
+        advanced_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(1, 1, 2)).unwrap();
+    let large =
+        advanced_impact(ChangeKind::AddPartner, &IntegrationConfig::synthetic(8, 32, 2)).unwrap();
     assert_eq!(small.touched_artifacts(), large.touched_artifacts());
     // While the naive cost explodes with the base size.
     let naive_small =

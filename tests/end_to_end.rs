@@ -27,9 +27,7 @@ fn the_running_example_roundtrip() {
 
 #[test]
 fn every_protocol_reaches_the_same_business_outcome() {
-    for protocol in
-        [ScenarioProtocol::Edi, ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis]
-    {
+    for protocol in [ScenarioProtocol::Edi, ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis] {
         let mut s =
             TwoEnterpriseScenario::with_protocol(protocol, FaultConfig::reliable(), 1).unwrap();
         let po = s.po("same-outcome", 7_000).unwrap();
@@ -56,12 +54,12 @@ fn rejection_policy_propagates_back_to_the_buyer() {
         .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
         .unwrap();
     seller
-        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(
-            AckPolicy::RejectAbove(semantic_b2b::document::Money::from_units(
+        .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::RejectAbove(
+            semantic_b2b::document::Money::from_units(
                 50_000,
                 semantic_b2b::document::Currency::Usd,
-            )),
-        ))))
+            ),
+        )))))
         .unwrap();
     seller_rules(&mut seller).unwrap();
     let (init, resp) = edi_roundtrip_processes().unwrap();
@@ -77,7 +75,11 @@ fn rejection_policy_propagates_back_to_the_buyer() {
         semantic_b2b::document::Date::new(2001, 9, 17).unwrap(),
         semantic_b2b::document::Currency::Usd,
     )
-    .line("LAPTOP-T23", 60_000, semantic_b2b::document::Money::from_units(1, semantic_b2b::document::Currency::Usd))
+    .line(
+        "LAPTOP-T23",
+        60_000,
+        semantic_b2b::document::Money::from_units(1, semantic_b2b::document::Currency::Usd),
+    )
     .unwrap()
     .build()
     .unwrap();
@@ -119,16 +121,10 @@ fn twenty_concurrent_sessions_under_loss() {
 
 #[test]
 fn total_partition_fails_the_session_cleanly() {
-    let mut net = SimNetwork::new(
-        FaultConfig { loss: 1.0, ..FaultConfig::reliable() },
-        3,
-    );
-    let mut buyer = IntegrationEngine::with_reliable_config(
-        BUYER,
-        &mut net,
-        ReliableConfig { retry_timeout_ms: 50, max_retries: 2 },
-    )
-    .unwrap();
+    let mut net = SimNetwork::new(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }, 3);
+    let mut buyer =
+        IntegrationEngine::with_reliable_config(BUYER, &mut net, ReliableConfig::fixed(50, 2))
+            .unwrap();
     let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
     buyer.add_partner(TradingPartner::new(SELLER));
     seller.add_partner(TradingPartner::new(BUYER));
@@ -136,9 +132,7 @@ fn total_partition_fails_the_session_cleanly() {
         .add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))
         .unwrap();
     seller
-        .add_backend(ApplicationProcess::new(Box::new(OracleSystem::new(
-            AckPolicy::AcceptAll,
-        ))))
+        .add_backend(ApplicationProcess::new(Box::new(OracleSystem::new(AckPolicy::AcceptAll))))
         .unwrap();
     seller_rules(&mut seller).unwrap();
     let (init, resp) = edi_roundtrip_processes().unwrap();

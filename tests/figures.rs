@@ -19,11 +19,8 @@ fn figure2_contains_both_sides_knowledge() {
 fn figure3_subworkflows_reference_the_erp_types() {
     let types = figures::figure3().unwrap();
     let main = &types[2];
-    let subs: Vec<_> = main
-        .steps()
-        .iter()
-        .filter(|s| matches!(s.kind, StepKind::Subworkflow { .. }))
-        .collect();
+    let subs: Vec<_> =
+        main.steps().iter().filter(|s| matches!(s.kind, StepKind::Subworkflow { .. })).collect();
     assert_eq!(subs.len(), 2, "buyer and seller ERP subworkflows");
     assert_eq!(main.referenced_types().len(), 2);
 }
@@ -59,11 +56,8 @@ fn figure11_processes_pair_up() {
 #[test]
 fn figure12_bindings_hold_all_transformations() {
     for binding in figures::figure12_bindings().unwrap() {
-        let transforms = binding
-            .steps()
-            .iter()
-            .filter(|s| matches!(s.kind, StepKind::Transform { .. }))
-            .count();
+        let transforms =
+            binding.steps().iter().filter(|s| matches!(s.kind, StepKind::Transform { .. })).count();
         assert_eq!(transforms, 2, "to-normalized and to-wire");
     }
 }
@@ -77,10 +71,7 @@ fn figure13_private_process_is_partner_free() {
     }
     // It carries exactly one generic rule-check step instead.
     assert_eq!(
-        wf.steps()
-            .iter()
-            .filter(|s| matches!(s.kind, StepKind::RuleCheck { .. }))
-            .count(),
+        wf.steps().iter().filter(|s| matches!(s.kind, StepKind::RuleCheck { .. })).count(),
         1
     );
 }

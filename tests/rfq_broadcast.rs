@@ -4,7 +4,9 @@
 //! the paper says must never leave the enterprise — and the buyer
 //! receives one quote per seller, routed by (correlation, partner).
 
-use semantic_b2b::document::{record, CorrelationId, Currency, Date, DocKind, Document, FormatId, Money, Value};
+use semantic_b2b::document::{
+    record, CorrelationId, Currency, Date, DocKind, Document, FormatId, Money, Value,
+};
 use semantic_b2b::integration::engine::IntegrationEngine;
 use semantic_b2b::integration::partner::TradingPartner;
 use semantic_b2b::integration::private_process::QUOTE_PRICE_RULE;
@@ -36,11 +38,7 @@ fn quote_rule(price_cents: i64) -> RuleFunction {
         BusinessRule::parse(
             "flat price",
             "true",
-            &format!(
-                "money(\"{}.{:02} USD\")",
-                price_cents / 100,
-                price_cents % 100
-            ),
+            &format!("money(\"{}.{:02} USD\")", price_cents / 100, price_cents % 100),
         )
         .unwrap(),
     );

@@ -1,0 +1,161 @@
+//! Minimal offline replacement for the `bytes` crate: a cheaply clonable,
+//! immutable byte buffer. Only the API surface used by this workspace is
+//! provided.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self(Arc::from(&[][..]))
+    }
+
+    /// Wraps a static byte slice (copied once into the shared buffer).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self(Arc::from(bytes))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Self::from_static(b)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::from_static(s.as_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+// Serialized as a hex string: compact and unambiguous for arbitrary bytes.
+impl serde::Serialize for Bytes {
+    fn to_content(&self) -> serde::Content {
+        let mut hex = String::with_capacity(self.0.len() * 2);
+        for b in self.0.iter() {
+            hex.push_str(&format!("{b:02x}"));
+        }
+        serde::Content::Str(hex)
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let hex = match content {
+            serde::Content::Str(s) => s,
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "Bytes expects a hex string, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        if hex.len() % 2 != 0 {
+            return Err(serde::Error::custom("Bytes hex string has odd length"));
+        }
+        let mut out = Vec::with_capacity(hex.len() / 2);
+        let digits = hex.as_bytes();
+        for pair in digits.chunks(2) {
+            let hi = (pair[0] as char).to_digit(16);
+            let lo = (pair[1] as char).to_digit(16);
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => out.push((hi * 16 + lo) as u8),
+                _ => return Err(serde::Error::custom("Bytes hex string has non-hex digit")),
+            }
+        }
+        Ok(Self::from(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_ref(), b"hello");
+        assert_eq!(b.to_vec(), b"hello".to_vec());
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from("hi".to_string()).as_ref(), b"hi");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = Bytes::from(vec![0x00, 0xff, 0x7f, b'a']);
+        let content = serde::Serialize::to_content(&b);
+        let back: Bytes = serde::Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, b);
+    }
+}

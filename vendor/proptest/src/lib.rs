@@ -1,0 +1,800 @@
+//! Minimal offline replacement for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` /
+//! `prop_compose!` / `prop_oneof!` / `prop_assert*!` macros, integer-range
+//! and regex-subset string strategies, tuples, `prop::collection::{vec,
+//! btree_map}`, `prop::option::of`, `any::<T>()`, and the `prop_map` /
+//! `prop_flat_map` / `prop_recursive` combinators.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (full reproducibility, no persistence
+//! files) and there is **no shrinking** — a failing case reports its
+//! inputs verbatim.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (SplitMix64, same generator family as the simulator).
+
+/// Deterministic random source handed to strategies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds directly.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Derives the seed for one test case from the test's path and index,
+    /// so every run of the suite generates identical cases.
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self(h ^ case.wrapping_mul(0x9e3779b97f4a7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Core trait and combinators.
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Grows `self` (the leaf case) into a recursive structure at most
+    /// `depth` levels deep. The size/branch hints accepted by the real
+    /// crate are ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of the same value type
+/// (the engine behind `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Wraps a plain closure as a strategy (used by `prop_compose!`).
+pub struct Composed<F>(F);
+
+/// See [`Composed`].
+pub fn composed<T, F: Fn(&mut TestRng) -> T>(f: F) -> Composed<F> {
+    Composed(f)
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for Composed<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: integer ranges and regex-subset strings.
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// String literals act as regex-subset patterns, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+mod regex {
+    //! Generator for the regex subset used as string strategies:
+    //! literal characters, `.`, `[...]` classes with ranges, and the
+    //! `{n}` / `{n,m}` / `?` / `*` / `+` quantifiers.
+
+    use super::TestRng;
+
+    enum Piece {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Any,
+    }
+
+    /// Characters `.` draws from beyond printable ASCII, to exercise
+    /// multi-byte handling in never-panic tests.
+    const EXOTIC: &[char] = &['\n', '\t', '\u{0}', 'é', 'Ω', '中', '😀'];
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (piece, min, max) in parse(pattern) {
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &piece {
+                    Piece::Literal(c) => out.push(*c),
+                    Piece::Any => {
+                        if rng.below(20) == 0 {
+                            out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                    Piece::Class(ranges) => {
+                        let total: u64 =
+                            ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let size = *hi as u64 - *lo as u64 + 1;
+                            if pick < size {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<(Piece, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let mut pieces = Vec::new();
+        while pos < chars.len() {
+            let piece = match chars[pos] {
+                '[' => {
+                    pos += 1;
+                    let mut ranges = Vec::new();
+                    while pos < chars.len() && chars[pos] != ']' {
+                        let lo = if chars[pos] == '\\' {
+                            pos += 1;
+                            chars[pos]
+                        } else {
+                            chars[pos]
+                        };
+                        pos += 1;
+                        if pos + 1 < chars.len() && chars[pos] == '-' && chars[pos + 1] != ']' {
+                            let hi = chars[pos + 1];
+                            assert!(lo <= hi, "bad class range in pattern `{pattern}`");
+                            ranges.push((lo, hi));
+                            pos += 2;
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(pos < chars.len(), "unclosed class in pattern `{pattern}`");
+                    pos += 1; // ']'
+                    Piece::Class(ranges)
+                }
+                '.' => {
+                    pos += 1;
+                    Piece::Any
+                }
+                '\\' => {
+                    pos += 1;
+                    let c = chars[pos];
+                    pos += 1;
+                    Piece::Literal(c)
+                }
+                c => {
+                    pos += 1;
+                    Piece::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(pos) {
+                Some('{') => {
+                    let close =
+                        chars[pos..].iter().position(|&c| c == '}').expect("unclosed quantifier")
+                            + pos;
+                    let body: String = chars[pos + 1..close].iter().collect();
+                    pos = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    pos += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    pos += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    pos += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "bad quantifier in pattern `{pattern}`");
+            pieces.push((piece, min, max));
+        }
+        pieces
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples.
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---------------------------------------------------------------------
+// `any::<T>()`.
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections and Option.
+
+pub mod collection {
+    //! Strategies for variable-size collections.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// A map of up to `size` entries (duplicate keys collapse, as in the
+    /// real crate).
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| (self.keys.generate(rng), self.values.generate(rng))).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option<T>`.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner plumbing.
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert*!` inside a test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_desc(args: &[(&str, String)]) -> String {
+    args.iter().map(|(name, value)| format!("  {name} = {value}")).collect::<Vec<_>>().join("\n")
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let desc = $crate::__case_desc(&[
+                        $((stringify!($arg), format!("{:?}", $arg))),*
+                    ]);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case #{case} failed: {e}\nwith inputs:\n{desc}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declares a named strategy-returning function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($outer:tt)*)
+     ( $($arg:ident in $strat:expr),* $(,)? ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::composed(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Mirror of the real crate's `prelude::prop` module shortcut.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let gen1: Vec<u64> = {
+            let mut rng = TestRng::for_case("t", 0);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let gen2: Vec<u64> = {
+            let mut rng = TestRng::for_case("t", 0);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(gen1, gen2);
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Z]{2,8}-[0-9]{1,4}", &mut rng);
+            let (alpha, digits) = s.split_once('-').unwrap();
+            assert!((2..=8).contains(&alpha.len()));
+            assert!(alpha.chars().all(|c| c.is_ascii_uppercase()));
+            assert!((1..=4).contains(&digits.len()));
+            assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[A-Za-z0-9 .,;:+/_-]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::generate(&(1u8..=12), &mut rng);
+            assert!((1..=12).contains(&u));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_runs(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Minimal offline replacement for the `serde` facade.
+//!
+//! Instead of serde's visitor-based zero-copy data model, values serialize
+//! into an owned JSON-like [`Content`] tree and deserialize back out of
+//! one. `serde_json` (also vendored) renders `Content` to JSON text and
+//! parses it back. This supports exactly what the workspace needs —
+//! `#[derive(Serialize, Deserialize)]` on attribute-free structs and
+//! enums, plus `serde_json::to_string`/`from_str` round trips — and
+//! nothing else.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so u64 > i64::MAX round-trips).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value pairs; keys need not be strings.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Variant name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::Int(_) => "int",
+            Self::UInt(_) => "uint",
+            Self::Float(_) => "float",
+            Self::Str(_) => "string",
+            Self::Seq(_) => "sequence",
+            Self::Map(_) => "map",
+        }
+    }
+
+    /// The pairs of a map.
+    pub fn as_map(&self, expected: &str) -> Result<&[(Content, Content)], Error> {
+        match self {
+            Self::Map(pairs) => Ok(pairs),
+            other => Err(Error::custom(format!("{expected} expects a map, got {}", other.kind()))),
+        }
+    }
+
+    /// The elements of a sequence.
+    pub fn as_seq(&self, expected: &str) -> Result<&[Content], Error> {
+        match self {
+            Self::Seq(items) => Ok(items),
+            other => {
+                Err(Error::custom(format!("{expected} expects a sequence, got {}", other.kind())))
+            }
+        }
+    }
+}
+
+/// Deserialization (or serialization) failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Wraps a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the value tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+
+/// Looks up a struct field by name in a map.
+pub fn field<'c>(content: &'c Content, name: &str, ty: &str) -> Result<&'c Content, Error> {
+    let pairs = content.as_map(ty)?;
+    pairs
+        .iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("{ty} is missing field `{name}`")))
+}
+
+/// Splits an externally tagged enum value into `(variant, body)`.
+/// A bare string is a unit variant; a single-pair map carries a body.
+pub fn enum_parts<'c>(
+    content: &'c Content,
+    ty: &str,
+) -> Result<(&'c str, Option<&'c Content>), Error> {
+    match content {
+        Content::Str(tag) => Ok((tag, None)),
+        Content::Map(pairs) if pairs.len() == 1 => match &pairs[0] {
+            (Content::Str(tag), body) => Ok((tag, Some(body))),
+            _ => Err(Error::custom(format!("{ty} enum tag must be a string"))),
+        },
+        other => Err(Error::custom(format!(
+            "{ty} expects a variant string or single-entry map, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Checks a fixed-arity sequence (tuple structs / tuple variants).
+pub fn tuple_seq<'c>(content: &'c Content, len: usize, ty: &str) -> Result<&'c [Content], Error> {
+    let items = content.as_seq(ty)?;
+    if items.len() != len {
+        return Err(Error::custom(format!("{ty} expects {len} elements, got {}", items.len())));
+    }
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------
+// Primitive implementations.
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide: i64 = match content {
+                    Content::Int(v) => *v,
+                    Content::UInt(v) if *v <= i64::MAX as u64 => *v as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide: u64 = match content {
+                    Content::UInt(v) => *v,
+                    Content::Int(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+uint_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Float(v) => Ok(*v),
+            Content::Int(v) => Ok(*v as f64),
+            Content::UInt(v) => Ok(*v as f64),
+            other => Err(Error::custom(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Cow<'_, str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Cow<'static, str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(Cow::Owned)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container implementations.
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content.as_seq("Vec")?.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_content(), v.to_content())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?))).collect()
+            }
+            // Maps with non-string keys render to JSON as arrays of pairs
+            // and parse back as sequences.
+            Content::Seq(items) => items
+                .iter()
+                .map(|item| {
+                    let pair = tuple_seq(item, 2, "map entry")?;
+                    Ok((K::from_content(&pair[0])?, V::from_content(&pair[1])?))
+                })
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content.as_seq("BTreeSet")?.iter().map(T::from_content).collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let items = tuple_seq(content, $len, "tuple")?;
+                Ok(($($t::from_content(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => A.0);
+tuple_impl!(2 => A.0, B.1);
+tuple_impl!(3 => A.0, B.1, C.2);
+tuple_impl!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            u8::from_content(&Content::Int(300)),
+            Err(Error::custom("300 out of range for u8"))
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let m: BTreeMap<String, i64> = [("a".to_string(), 1i64)].into_iter().collect();
+        assert_eq!(BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(), m);
+        let o: Option<u32> = Some(5);
+        assert_eq!(Option::<u32>::from_content(&o.to_content()).unwrap(), o);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        let t = (1u32, "x".to_string());
+        assert_eq!(<(u32, String)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn maps_with_nonstring_keys_roundtrip_via_seq() {
+        let m: BTreeMap<u64, String> = [(1u64, "one".to_string())].into_iter().collect();
+        let as_seq = Content::Seq(vec![Content::Seq(vec![
+            Content::UInt(1),
+            Content::Str("one".to_string()),
+        ])]);
+        assert_eq!(BTreeMap::<u64, String>::from_content(&as_seq).unwrap(), m);
+    }
+}

@@ -1,0 +1,383 @@
+//! Minimal offline replacement for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! attribute-free, non-generic structs and enums used in this workspace.
+//! The input is parsed directly from the token stream (no syn/quote) —
+//! only the shape (field names / arities) matters, since the generated
+//! code defers all typing to trait method calls.
+//!
+//! Encoding (must stay in sync with the vendored `::serde::Content` docs):
+//! - named struct        -> `Map[(Str(field), value), ...]`
+//! - newtype struct      -> inner value, transparently
+//! - tuple struct (n>1)  -> `Seq[values...]`
+//! - unit struct         -> `Null`
+//! - unit variant        -> `Str(name)`
+//! - newtype variant     -> `Map[(Str(name), inner)]`
+//! - tuple variant       -> `Map[(Str(name), Seq[values...])]`
+//! - struct variant      -> `Map[(Str(name), Map[(Str(field), value), ...])]`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the deriving type, with only what code generation needs.
+enum Data {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, data) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return format!("compile_error!({msg:?});").parse().unwrap(),
+    };
+    let body = if serialize { gen_serialize(&name, &data) } else { gen_deserialize(&name, &data) };
+    body.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+fn parse(input: TokenStream) -> Result<(String, Data), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("derive expects a struct or enum".to_string()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("derive expects a type name".to_string()),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("vendored serde_derive does not support generics (type `{name}`)"));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Data::Named(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Data::Tuple(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Data::Unit)),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Data::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("enum `{name}` has no body")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' and the bracketed group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped by
+/// scanning to the next comma outside angle brackets (parens/brackets
+/// arrive pre-grouped, so only `<`/`>` need explicit depth tracking).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        match &tokens[pos] {
+            TokenTree::Ident(i) => fields.push(i.to_string()),
+            other => return Err(format!("expected field name, found `{other}`")),
+        }
+        pos += 1;
+        if !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{}`", fields.last().unwrap()));
+        }
+        pos += 1;
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // the comma (or one past the end)
+    }
+    Ok(fields)
+}
+
+/// Field count of a `(TypeA, TypeB, ...)` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!("variant `{name}`: explicit discriminants are unsupported"));
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+
+fn str_content(text: &str) -> String {
+    format!("::serde::Content::Str({text:?}.to_string())")
+}
+
+fn gen_serialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::to_content(&self.{f}))", str_content(f)))
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+        }
+        Data::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Data::Unit => "::serde::Content::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| {
+                    let tag = str_content(v);
+                    match kind {
+                        VariantKind::Unit => format!("Self::{v} => {tag},"),
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{v}(f0) => ::serde::Content::Map(vec![({tag}, \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{v}({}) => ::serde::Content::Map(vec![({tag}, \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::to_content({f}))",
+                                        str_content(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{v} {{ {} }} => ::serde::Content::Map(vec![({tag}, \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::field(content, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Data::Tuple(1) => "Ok(Self(::serde::Deserialize::from_content(content)?))".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::tuple_seq(content, {n}, {name:?})?;\n\
+                 Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Data::Unit => "Ok(Self)".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| {
+                    let ty = format!("{name}::{v}");
+                    let need_body = format!(
+                        "body.ok_or_else(|| ::serde::Error::custom(\
+                         \"variant `{ty}` expects a body\"))?"
+                    );
+                    match kind {
+                        VariantKind::Unit => format!("{v:?} => Ok(Self::{v}),"),
+                        VariantKind::Tuple(1) => format!(
+                            "{v:?} => {{ let body = {need_body}; \
+                             Ok(Self::{v}(::serde::Deserialize::from_content(body)?)) }}"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{v:?} => {{ let body = {need_body}; \
+                                 let items = ::serde::tuple_seq(body, {n}, {ty:?})?; \
+                                 Ok(Self::{v}({})) }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::field(body, {f:?}, {ty:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{v:?} => {{ let body = {need_body}; \
+                                 Ok(Self::{v} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (tag, body) = ::serde::enum_parts(content, {name:?})?;\n\
+                 let _ = &body;\n\
+                 match tag {{ {} other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))), }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let _ = content;\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
