@@ -10,7 +10,13 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== cargo test =="
-cargo test --offline -q --workspace
+# The suite runs twice: once sequential, once with the execute stage
+# sharded across 4 workers, so the parallel path is exercised on every
+# commit. Results must be identical (see tests/sharding.rs).
+echo "== cargo test (B2B_SHARDS=1) =="
+B2B_SHARDS=1 cargo test --offline -q --workspace
+
+echo "== cargo test (B2B_SHARDS=4) =="
+B2B_SHARDS=4 cargo test --offline -q --workspace
 
 echo "CI OK"

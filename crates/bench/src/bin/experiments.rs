@@ -36,6 +36,7 @@ fn main() {
         ("e9", "RNIF reliability under loss", e9),
         ("e10", "Message exchange patterns", e10),
         ("e13", "Failure containment: exactly-once-or-dead-lettered", e13),
+        ("e14", "Sharded runtime: throughput vs shard count", e14),
     ];
     for (id, title, run) in experiments {
         if want(id) {
@@ -374,6 +375,143 @@ fn e13() {
         let sent = s.buyer.stats().notifications_sent + s.seller.stats().notifications_sent;
         let recv = s.buyer.stats().notifications_received + s.seller.stats().notifications_received;
         println!("{loss:>4.1} | {completed:>9} {failed:>6} | {dead:>13} {sent:>8}/{recv}");
+    }
+}
+
+fn e14() {
+    use b2b_core::engine::{IntegrationEngine, IntegrationStats};
+    use b2b_core::partner::TradingPartner;
+    use b2b_core::private_process::QUOTE_PRICE_RULE;
+    use b2b_document::{record, CorrelationId, Date, Document, FormatId, Value};
+    use b2b_protocol::TradingPartnerAgreement;
+    use b2b_rules::{BusinessRule, RuleFunction};
+
+    const SELLERS: usize = 24;
+
+    // One buyer broadcasts an RFQ to SELLERS sellers over one correlation:
+    // SELLERS independent sessions on the buyer's engine, the workload the
+    // sharded execute stage partitions by hash of (correlation, partner).
+    let run = |shards: usize| -> (f64, u64, IntegrationStats, IntegrationStats, usize) {
+        let mut net = SimNetwork::new(FaultConfig::reliable(), 14);
+        let mut buyer = IntegrationEngine::new("ACME", &mut net).expect("buyer");
+        buyer.set_shards(shards);
+        let mut sellers = Vec::new();
+        for i in 0..SELLERS {
+            let name = format!("Seller{i:02}");
+            let mut seller = IntegrationEngine::new(&name, &mut net).expect("seller");
+            seller.set_shards(shards);
+            seller.add_partner(TradingPartner::new("ACME"));
+            let mut f = RuleFunction::new(QUOTE_PRICE_RULE);
+            f.add_rule(
+                BusinessRule::parse("flat", "true", &format!("money(\"{}.00 USD\")", 800 + i))
+                    .expect("rule"),
+            );
+            seller.rules_mut().register(f);
+            buyer.add_partner(TradingPartner::new(&name));
+            let (init, resp) = MessageExchangePattern::RequestReply {
+                request: DocKind::RequestForQuote,
+                reply: DocKind::Quote,
+            }
+            .role_processes(&format!("rfq-{name}"), FormatId::ROSETTANET)
+            .expect("processes");
+            let agreement = TradingPartnerAgreement::between(
+                &format!("rfq-{name}"),
+                "ACME",
+                &name,
+                &init,
+                &resp,
+                true,
+            )
+            .expect("agreement");
+            buyer.install_agreement(agreement.clone(), &init, &resp).expect("install");
+            seller.install_agreement(agreement.clone(), &init, &resp).expect("install");
+            sellers.push((seller, agreement.id));
+        }
+        let rfq = Document::new(
+            DocKind::RequestForQuote,
+            FormatId::NORMALIZED,
+            CorrelationId::for_rfq_number("E14"),
+            record! {
+                "header" => record! {
+                    "rfq_number" => Value::text("E14"),
+                    "buyer" => Value::text("ACME"),
+                    "item" => Value::text("LAPTOP-T23"),
+                    "quantity" => Value::Int(100),
+                    "respond_by" => Value::Date(Date::new(2001, 10, 1).expect("date")),
+                },
+            },
+        );
+        let correlation = rfq.correlation().clone();
+        let started = std::time::Instant::now();
+        for (_, agreement_id) in &sellers {
+            buyer.initiate(&mut net, agreement_id, rfq.clone()).expect("initiate");
+        }
+        for _ in 0..2_000 {
+            net.advance(10);
+            buyer.pump(&mut net).expect("pump");
+            for (seller, _) in sellers.iter_mut() {
+                seller.pump(&mut net).expect("pump");
+            }
+            if net.idle() {
+                break;
+            }
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(
+            buyer.session_state(&correlation),
+            SessionState::Completed,
+            "broadcast completes at {shards} shards"
+        );
+        let mut seller_stats = IntegrationStats::default();
+        for (seller, _) in &sellers {
+            let s = seller.stats();
+            seller_stats.sessions_started += s.sessions_started;
+            seller_stats.wire_sent += s.wire_sent;
+            seller_stats.wire_received += s.wire_received;
+            seller_stats.dead_lettered += s.dead_lettered;
+        }
+        (
+            wall_ms,
+            net.now().as_millis(),
+            buyer.stats().clone(),
+            seller_stats,
+            buyer.completed_sessions(),
+        )
+    };
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("{SELLERS}-seller RFQ broadcast; results asserted identical at every shard count");
+    println!("host cores: {cores} (speedup is bounded by physical parallelism)");
+    println!("shards | wall ms | sessions/s | speedup | completed sim-ms");
+    let baseline = run(1);
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (wall_ms, sim_ms, stats, seller_stats, completed) =
+            if shards == 1 { baseline.clone() } else { run(shards) };
+        // Byte-identity with the sequential run: counters, completion,
+        // simulated clock.
+        assert_eq!(stats, baseline.2, "buyer stats diverged at {shards} shards");
+        assert_eq!(seller_stats, baseline.3, "seller stats diverged at {shards} shards");
+        assert_eq!(completed, baseline.4, "completions diverged at {shards} shards");
+        assert_eq!(sim_ms, baseline.1, "simulated time diverged at {shards} shards");
+        let per_s = completed as f64 / (wall_ms / 1_000.0);
+        let speedup = baseline.0 / wall_ms;
+        println!(
+            "{shards:>6} | {wall_ms:>7.1} | {per_s:>10.0} | {speedup:>6.2}x | {completed:>9} {sim_ms:>6}"
+        );
+        rows.push(format!(
+            "    {{\"shards\": {shards}, \"wall_ms\": {wall_ms:.2}, \"sessions_per_s\": {per_s:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"sharding\",\n  \"workload\": \"rfq-broadcast\",\n  \
+         \"sellers\": {SELLERS},\n  \"host_cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_sharding.json", &json) {
+        println!("(BENCH_sharding.json not written: {e})");
+    } else {
+        println!("wrote BENCH_sharding.json");
     }
 }
 

@@ -7,71 +7,41 @@
 //! processes never see the normalized format, private processes never see
 //! wire formats or partner specifics, and all transformations happen in
 //! binding instances.
+//!
+//! This module is the configuration facade: partners, agreements, back
+//! ends, and outbound initiation. The per-pump machinery lives in
+//! [`crate::runtime`] (edge → route → execute → emit), session state in
+//! [`crate::session`].
 
 use crate::binding::{
-    backend_binding_type_id, compile_backend_binding, compile_wire_binding, wire_binding_type_id,
-    BindingRole,
+    compile_backend_binding, compile_wire_binding, wire_binding_type_id, BindingRole,
 };
-use crate::channels;
 use crate::compile::{compile_public, public_type_id};
 use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
 use crate::error::{IntegrationError, Result};
 use crate::partner::{PartnerDirectory, TradingPartner};
 use crate::private_process::{
-    approve_activity, audit_activity, initiator_private_id, initiator_private_process,
-    make_quote_activity, quote_generation_id, quote_generation_process, record_quote_activity,
-    responder_private_id, responder_private_process, rfq_submission_id, rfq_submission_process,
-    APPROVE_ACTIVITY, AUDIT_ACTIVITY, MAKE_QUOTE_ACTIVITY, RECORD_QUOTE_ACTIVITY,
+    approve_activity, audit_activity, initiator_private_process, make_quote_activity,
+    quote_generation_process, record_quote_activity, responder_private_id,
+    responder_private_process, rfq_submission_process, APPROVE_ACTIVITY, AUDIT_ACTIVITY,
+    MAKE_QUOTE_ACTIVITY, RECORD_QUOTE_ACTIVITY,
 };
+use crate::runtime::edge::Edge;
+use crate::session::{Session, SessionTable};
 use b2b_backend::ApplicationProcess;
-use b2b_document::DocKind;
-use b2b_document::{CorrelationId, Document, FormatId, FormatRegistry};
-use b2b_network::{
-    Bytes, EndpointId, Envelope, MessageId, ReliableConfig, ReliableEndpoint, ReliableSnapshot,
-    SimNetwork, WireClass,
-};
-use b2b_protocol::{FailureNotice, PublicAction, PublicProcessDef, TradingPartnerAgreement};
+use b2b_document::{CorrelationId, Document};
+use b2b_network::{EndpointId, MessageId, ReliableConfig, ReliableSnapshot, SimNetwork};
+use b2b_protocol::{PublicAction, PublicProcessDef, TradingPartnerAgreement};
 use b2b_rules::RuleRegistry;
-use b2b_transform::TransformRegistry;
-use b2b_wfms::{
-    ChannelId, Engine as WfEngine, EngineId, InstanceId, InstanceStatus, Variable, WorkflowType,
-    WorkflowTypeId,
-};
+use b2b_wfms::{Engine as WfEngine, EngineId, Variable, WorkflowType, WorkflowTypeId};
 use std::collections::{BTreeMap, HashMap};
+
+pub use crate::session::SessionState;
 
 /// Rule function the engine consults to pick a back end for an inbound
 /// document (`result` must be the back-end name). When absent, the sole
 /// registered back end is used.
 pub const SELECT_BACKEND_RULE: &str = "select-backend";
-
-/// Externally visible state of one business interaction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SessionState {
-    /// Still exchanging messages.
-    InProgress,
-    /// Every process instance of the session completed.
-    Completed,
-    /// Some instance failed (reason recorded).
-    Failed(String),
-}
-
-#[derive(Debug)]
-struct Session {
-    correlation: CorrelationId,
-    agreement_id: String,
-    role: BindingRole,
-    partner: String,
-    public: InstanceId,
-    binding: InstanceId,
-    private: Option<InstanceId>,
-    backend_binding: Option<InstanceId>,
-    backend: Option<String>,
-    failure: Option<String>,
-    /// Whether the counterparty has been (or need not be) told about a
-    /// failure of this session — set on notify-out and on notify-in, so
-    /// notifications never echo back and forth.
-    notified: bool,
-}
 
 /// Counters for one integration engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -101,33 +71,30 @@ pub struct IntegrationStats {
 
 /// The integration engine of one enterprise.
 pub struct IntegrationEngine {
-    name: String,
-    endpoint: EndpointId,
-    wf: WfEngine,
-    reliable: ReliableEndpoint,
-    formats: FormatRegistry,
-    partners: PartnerDirectory,
-    agreements: BTreeMap<String, TradingPartnerAgreement>,
+    pub(crate) name: String,
+    pub(crate) endpoint: EndpointId,
+    pub(crate) wf: WfEngine,
+    pub(crate) edge: Edge,
+    pub(crate) partners: PartnerDirectory,
+    pub(crate) agreements: BTreeMap<String, TradingPartnerAgreement>,
     /// Our compiled public-process type per agreement.
-    public_types: BTreeMap<String, WorkflowTypeId>,
+    pub(crate) public_types: BTreeMap<String, WorkflowTypeId>,
     /// Per-agreement wire-send deadline, derived from the public process's
     /// tightest `WaitReceipt { timeout_ms }` step.
-    receipt_deadlines: BTreeMap<String, u64>,
-    backends: BTreeMap<String, ApplicationProcess>,
-    sessions: Vec<Session>,
-    /// Wire routing key: one session per (correlation, counterparty) —
-    /// a broadcast RFQ shares a correlation across several partners.
-    by_corr_partner: HashMap<(CorrelationId, String), usize>,
-    by_instance: HashMap<InstanceId, usize>,
-    outstanding_wire: HashMap<MessageId, usize>,
-    dead_letters: DeadLetterQueue,
-    stats: IntegrationStats,
+    pub(crate) receipt_deadlines: BTreeMap<String, u64>,
+    pub(crate) backends: BTreeMap<String, ApplicationProcess>,
+    pub(crate) table: SessionTable,
+    pub(crate) outstanding_wire: HashMap<MessageId, usize>,
+    pub(crate) stats: IntegrationStats,
+    /// Worker count for the execute stage (`B2B_SHARDS`, default 1).
+    pub(crate) shards: usize,
 }
 
 impl IntegrationEngine {
     /// Creates an engine for enterprise `name`, registering its endpoint
     /// (`ep:<name>`) on the network and deploying the default private
-    /// processes and activities.
+    /// processes and activities. The execute stage's worker count comes
+    /// from `B2B_SHARDS` (default 1); results are identical either way.
     pub fn new(name: &str, net: &mut SimNetwork) -> Result<Self> {
         Self::with_reliable_config(name, net, ReliableConfig::default())
     }
@@ -139,9 +106,9 @@ impl IntegrationEngine {
         config: ReliableConfig,
     ) -> Result<Self> {
         let endpoint = EndpointId::new(format!("ep:{name}"));
-        let reliable = ReliableEndpoint::new(endpoint.clone(), config, net)?;
+        let edge = Edge::new(endpoint.clone(), config, net)?;
         let mut wf = WfEngine::new(EngineId::new(name));
-        wf.set_transforms(TransformRegistry::with_builtins());
+        wf.set_transforms(b2b_transform::TransformRegistry::with_builtins());
         wf.deploy(responder_private_process()?);
         wf.deploy(initiator_private_process()?);
         wf.deploy(quote_generation_process()?);
@@ -150,23 +117,25 @@ impl IntegrationEngine {
         wf.register_activity(AUDIT_ACTIVITY, audit_activity());
         wf.register_activity(MAKE_QUOTE_ACTIVITY, make_quote_activity(name));
         wf.register_activity(RECORD_QUOTE_ACTIVITY, record_quote_activity());
+        let shards = std::env::var("B2B_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
         Ok(Self {
             name: name.to_string(),
             endpoint,
             wf,
-            reliable,
-            formats: FormatRegistry::with_builtins(),
+            edge,
             partners: PartnerDirectory::new(),
             agreements: BTreeMap::new(),
             public_types: BTreeMap::new(),
             receipt_deadlines: BTreeMap::new(),
             backends: BTreeMap::new(),
-            sessions: Vec::new(),
-            by_corr_partner: HashMap::new(),
-            by_instance: HashMap::new(),
+            table: SessionTable::new(),
             outstanding_wire: HashMap::new(),
-            dead_letters: DeadLetterQueue::default(),
             stats: IntegrationStats::default(),
+            shards,
         })
     }
 
@@ -188,6 +157,17 @@ impl IntegrationEngine {
     /// The hosted WFMS (read access for experiments and assertions).
     pub fn wf(&self) -> &WfEngine {
         &self.wf
+    }
+
+    /// Worker count of the execute stage.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Overrides the execute-stage worker count. Results are identical
+    /// for every count ≥ 1 — only wall-clock changes.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// Mutable business-rule registry — the *only* thing that changes when
@@ -320,8 +300,7 @@ impl IntegrationEngine {
         let target = backend.clone().unwrap_or_else(|| self.name.clone());
         let private = self.wf.create_instance(&private_type, vars, &partner, &target)?;
 
-        let index = self.sessions.len();
-        self.sessions.push(Session {
+        self.table.insert(Session {
             correlation: correlation.clone(),
             agreement_id: agreement_id.to_string(),
             role: BindingRole::Initiator,
@@ -334,141 +313,46 @@ impl IntegrationEngine {
             failure: None,
             notified: false,
         });
-        self.by_corr_partner
-            .insert((correlation.clone(), self.sessions[index].partner.clone()), index);
-        for id in [public, binding, private] {
-            self.by_instance.insert(id, index);
-        }
         self.stats.sessions_started += 1;
 
-        self.wf.run(public)?;
-        self.wf.run(binding)?;
-        self.wf.run(private)?;
-        self.route_outputs(net)?;
+        self.wf.schedule(public);
+        self.wf.schedule(binding);
+        self.wf.schedule(private);
+        self.settle_and_route(net)?;
         Ok(correlation)
-    }
-
-    /// One pump cycle: receive wire traffic, poll back ends, route
-    /// everything the process instances emitted, drive timers and
-    /// retransmissions. Call after every `SimNetwork::advance`.
-    pub fn pump(&mut self, net: &mut SimNetwork) -> Result<()> {
-        self.wf.advance_time(net.now())?;
-        // 1. Inbound wire traffic: business payloads and failure notices.
-        let envelopes = self.reliable.receive(net)?;
-        for envelope in envelopes {
-            match envelope.class {
-                WireClass::Notify => self.handle_notify(net, envelope)?,
-                _ => self.handle_wire(net, envelope)?,
-            }
-        }
-        // 2. Back-end processing cycles.
-        self.poll_backends()?;
-        // 3. Route emitted documents (loops internally to a fixpoint).
-        self.route_outputs(net)?;
-        // 4. Retransmissions; permanent failures kill their session, and
-        //    the unacknowledged envelope is quarantined, not dropped.
-        let failed = self.reliable.tick(net)?;
-        for envelope in failed {
-            let attempts = self.reliable.attempts(&envelope.id);
-            if let Some(index) = self.outstanding_wire.remove(&envelope.id) {
-                self.stats.delivery_failures += 1;
-                self.sessions[index].failure = Some(format!(
-                    "wire delivery of {} failed permanently after {attempts} attempts",
-                    envelope.id
-                ));
-            }
-            self.stats.dead_lettered += 1;
-            self.dead_letters.push(
-                DeadLetterReason::DeliveryFailure { attempts },
-                envelope,
-                net.now(),
-            );
-        }
-        // 5. Failure containment: any session newly observed as Failed
-        //    owes its counterparty a PIP-0A1-style notification so both
-        //    sides terminate deterministically.
-        self.notify_failed_sessions(net)?;
-        Ok(())
     }
 
     /// State of the session(s) for a correlation id. With several
     /// sessions under one correlation (broadcast), the aggregate is
-    /// Completed only when all are, and Failed when any is.
+    /// Completed only when all are, and Failed when any is. O(1) in the
+    /// number of sessions (cached in the [`SessionTable`]).
     pub fn session_state(&self, correlation: &CorrelationId) -> SessionState {
-        let indices: Vec<usize> = self
-            .sessions
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| &s.correlation == correlation)
-            .map(|(i, _)| i)
-            .collect();
-        if indices.is_empty() {
-            return SessionState::InProgress;
-        }
-        let mut all_complete = true;
-        for index in indices {
-            match self.single_session_state(index) {
-                SessionState::Failed(reason) => return SessionState::Failed(reason),
-                SessionState::InProgress => all_complete = false,
-                SessionState::Completed => {}
-            }
-        }
-        if all_complete {
-            SessionState::Completed
-        } else {
-            SessionState::InProgress
-        }
+        self.table.aggregate_state(correlation)
     }
 
     /// State of the session with a specific counterparty (broadcasts).
     pub fn session_state_with(&self, correlation: &CorrelationId, partner: &str) -> SessionState {
-        match self.by_corr_partner.get(&(correlation.clone(), partner.to_string())) {
-            Some(&index) => self.single_session_state(index),
+        match self.table.index_of(correlation, partner) {
+            Some(index) => self.table.state(index).clone(),
             None => SessionState::InProgress,
-        }
-    }
-
-    fn single_session_state(&self, index: usize) -> SessionState {
-        let session = &self.sessions[index];
-        if let Some(reason) = &session.failure {
-            return SessionState::Failed(reason.clone());
-        }
-        let mut instances = vec![session.public, session.binding];
-        instances.extend(session.private);
-        instances.extend(session.backend_binding);
-        let mut all_complete = true;
-        for id in instances {
-            match self.wf.status(id) {
-                Ok(InstanceStatus::Completed) => {}
-                Ok(InstanceStatus::Failed(reason)) => return SessionState::Failed(reason),
-                Ok(InstanceStatus::Running) => all_complete = false,
-                Err(_) => all_complete = false,
-            }
-        }
-        if all_complete && session.private.is_some() {
-            SessionState::Completed
-        } else {
-            SessionState::InProgress
         }
     }
 
     /// Correlations of all sessions this engine has seen.
     pub fn correlations(&self) -> Vec<CorrelationId> {
-        self.sessions.iter().map(|s| s.correlation.clone()).collect()
+        self.table.correlations()
     }
 
-    /// Number of completed sessions.
+    /// Number of completed sessions. O(1): maintained incrementally by
+    /// the [`SessionTable`].
     pub fn completed_sessions(&self) -> usize {
-        self.sessions
-            .iter()
-            .filter(|s| self.session_state(&s.correlation) == SessionState::Completed)
-            .count()
+        self.table.completed_sessions()
     }
 
     /// The dead-letter queue: every message this engine rejected or gave
     /// up on, kept for inspection and replay.
     pub fn dead_letters(&self) -> &DeadLetterQueue {
-        &self.dead_letters
+        self.edge.dead_letters()
     }
 
     /// Replays a quarantined message. Inbound letters (decode failures,
@@ -480,56 +364,57 @@ impl IntegrationEngine {
     /// letter with its replay count bumped.
     pub fn replay_dead_letter(&mut self, net: &mut SimNetwork, seq: u64) -> Result<()> {
         let letter = self
-            .dead_letters
+            .edge
+            .dead_letters_mut()
             .take(seq)
             .ok_or_else(|| IntegrationError::Config(format!("no dead letter #{seq}")))?;
         self.stats.replays += 1;
         match &letter.reason {
             DeadLetterReason::DecodeFailure(_) | DeadLetterReason::Unroutable(_) => {
-                let before = self.dead_letters.len();
-                self.handle_wire(net, letter.envelope.clone())?;
-                if self.dead_letters.len() > before {
+                let before = self.edge.dead_letters().len();
+                self.route_inbound(net, letter.envelope.clone())?;
+                if self.edge.dead_letters().len() > before {
                     // Still rejected: collapse the fresh letter back into
                     // the original so its identity and history survive.
-                    self.dead_letters.take_last();
-                    self.dead_letters.requeue(letter);
+                    self.edge.dead_letters_mut().take_last();
+                    self.edge.dead_letters_mut().requeue(letter);
                 }
+                self.settle_and_route(net)?;
             }
             DeadLetterReason::DeliveryFailure { .. } => {
                 let envelope = letter.envelope.clone();
-                let doc = match self.formats.decode(&envelope.format, &envelope.payload) {
+                let doc = match self.edge.decode(&envelope) {
                     Ok(doc) => doc,
                     Err(e) => {
-                        self.dead_letters.requeue(letter);
+                        self.edge.dead_letters_mut().requeue(letter);
                         return Err(IntegrationError::Config(format!(
                             "dead letter #{seq} no longer decodes: {e}"
                         )));
                     }
                 };
                 let Ok(partner) = self.partners.name_of(&envelope.to).map(str::to_string) else {
-                    self.dead_letters.requeue(letter);
+                    self.edge.dead_letters_mut().requeue(letter);
                     return Err(IntegrationError::Config(format!(
                         "dead letter #{seq} addresses unknown endpoint {}",
                         envelope.to
                     )));
                 };
-                let key = (doc.correlation().clone(), partner);
-                let Some(&index) = self.by_corr_partner.get(&key) else {
-                    self.dead_letters.requeue(letter);
+                let Some(index) = self.table.index_of(doc.correlation(), &partner) else {
+                    self.edge.dead_letters_mut().requeue(letter);
                     return Err(IntegrationError::Config(format!(
                         "dead letter #{seq} belongs to no session"
                     )));
                 };
-                let msg = self.reliable.send(
+                let msg = self.edge.send_payload(
                     net,
                     &envelope.to,
                     envelope.format.clone(),
                     envelope.payload.clone(),
+                    None,
                 )?;
                 self.outstanding_wire.insert(msg, index);
                 // The session gets another chance: in flight again.
-                self.sessions[index].failure = None;
-                self.sessions[index].notified = false;
+                self.table.clear_failure(index, &self.wf);
                 self.stats.wire_sent += 1;
             }
         }
@@ -539,416 +424,11 @@ impl IntegrationEngine {
     /// Serializable snapshot of the reliable-messaging state (outstanding
     /// envelopes, retry state, dedup set) for crash recovery.
     pub fn reliable_snapshot(&self) -> ReliableSnapshot {
-        self.reliable.snapshot()
+        self.edge.snapshot()
     }
 
     /// Reliable-messaging counters (retries, NACK retransmits, …).
     pub fn reliable_stats(&self) -> &b2b_network::ReliableStats {
-        self.reliable.stats()
-    }
-
-    // ------------------------------------------------------------------
-
-    fn quarantine(&mut self, reason: DeadLetterReason, envelope: Envelope, net: &SimNetwork) {
-        self.stats.dead_lettered += 1;
-        self.dead_letters.push(reason, envelope, net.now());
-    }
-
-    /// Routes an inbound failure notification: the counterparty's half of
-    /// the interaction failed, so ours terminates deterministically.
-    fn handle_notify(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
-        let notice: FailureNotice = match std::str::from_utf8(&envelope.payload)
-            .map_err(|e| e.to_string())
-            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
-        {
-            Ok(notice) => notice,
-            Err(e) => {
-                self.stats.decode_failures += 1;
-                self.quarantine(
-                    DeadLetterReason::DecodeFailure(format!("failure notice: {e}")),
-                    envelope,
-                    net,
-                );
-                return Ok(());
-            }
-        };
-        self.stats.notifications_received += 1;
-        // Route by the *authenticated* sender endpoint, not the claimed
-        // reporter name.
-        let Ok(partner) = self.partners.name_of(&envelope.from).map(str::to_string) else {
-            self.stats.unroutable += 1;
-            self.quarantine(
-                DeadLetterReason::Unroutable(format!(
-                    "failure notice from unknown endpoint {}",
-                    envelope.from
-                )),
-                envelope,
-                net,
-            );
-            return Ok(());
-        };
-        let key = (CorrelationId::new(notice.correlation.clone()), partner.clone());
-        let Some(&index) = self.by_corr_partner.get(&key) else {
-            self.stats.unroutable += 1;
-            self.quarantine(
-                DeadLetterReason::Unroutable(format!(
-                    "failure notice for unknown session {} with `{partner}`",
-                    notice.correlation
-                )),
-                envelope,
-                net,
-            );
-            return Ok(());
-        };
-        let session = &mut self.sessions[index];
-        if session.failure.is_none() {
-            session.failure =
-                Some(format!("partner `{partner}` reported failure: {}", notice.reason));
-        }
-        // Never echo a notification back for a failure the partner told
-        // us about.
-        session.notified = true;
-        Ok(())
-    }
-
-    /// Sends a PIP-0A1-style failure notification for every session newly
-    /// observed in a failed state.
-    fn notify_failed_sessions(&mut self, net: &mut SimNetwork) -> Result<()> {
-        for index in 0..self.sessions.len() {
-            if self.sessions[index].notified {
-                continue;
-            }
-            let SessionState::Failed(reason) = self.single_session_state(index) else {
-                continue;
-            };
-            self.sessions[index].notified = true;
-            let session = &self.sessions[index];
-            let Ok(endpoint) = self.partners.by_name(&session.partner).map(|p| p.endpoint.clone())
-            else {
-                continue; // nowhere to send the notice
-            };
-            let notice = FailureNotice::new(
-                session.correlation.to_string(),
-                session.agreement_id.clone(),
-                self.name.clone(),
-                reason,
-            );
-            let payload = serde_json::to_string(&notice)
-                .map_err(|e| IntegrationError::Config(format!("encoding notice: {e}")))?;
-            self.reliable.send_notify(
-                net,
-                &endpoint,
-                FormatId::ROSETTANET,
-                Bytes::from(payload.into_bytes()),
-            )?;
-            self.stats.notifications_sent += 1;
-        }
-        Ok(())
-    }
-
-    fn initiator_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
-        match kind {
-            DocKind::PurchaseOrder => Ok(initiator_private_id()),
-            DocKind::RequestForQuote => Ok(rfq_submission_id()),
-            other => {
-                Err(IntegrationError::Config(format!("no initiator private process for {other}")))
-            }
-        }
-    }
-
-    fn responder_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
-        match kind {
-            DocKind::PurchaseOrder => Ok(responder_private_id()),
-            DocKind::RequestForQuote => Ok(quote_generation_id()),
-            other => {
-                Err(IntegrationError::Config(format!("no responder private process for {other}")))
-            }
-        }
-    }
-
-    fn select_backend(&self, partner: &str, doc: &Document) -> Result<Option<String>> {
-        // Back ends only participate in order flows; quotes are computed
-        // by rules alone.
-        if doc.kind() != DocKind::PurchaseOrder {
-            return Ok(None);
-        }
-        if self.backends.is_empty() {
-            return Ok(None);
-        }
-        if self.wf.rules().function(SELECT_BACKEND_RULE).is_ok() {
-            let value = self.wf.rules().invoke(SELECT_BACKEND_RULE, partner, "", doc)?;
-            let name =
-                value.as_text("select-backend result").map_err(IntegrationError::from)?.to_string();
-            if !self.backends.contains_key(&name) {
-                return Err(IntegrationError::Config(format!(
-                    "select-backend chose unknown backend `{name}`"
-                )));
-            }
-            return Ok(Some(name));
-        }
-        if self.backends.len() == 1 {
-            return Ok(self.backends.keys().next().cloned());
-        }
-        Err(IntegrationError::Config("multiple backends but no `select-backend` rule".to_string()))
-    }
-
-    fn handle_wire(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
-        let doc = match self.formats.decode(&envelope.format, &envelope.payload) {
-            Ok(doc) => doc,
-            Err(e) => {
-                // Malformed content is rejected at the edge — but kept:
-                // the raw bytes go to the dead-letter queue for inspection
-                // and replay, never silently dropped.
-                self.stats.decode_failures += 1;
-                self.quarantine(DeadLetterReason::DecodeFailure(e.to_string()), envelope, net);
-                return Ok(());
-            }
-        };
-        self.stats.wire_received += 1;
-        let correlation = doc.correlation().clone();
-        let Ok(partner) = self.partners.name_of(&envelope.from) else {
-            self.stats.unroutable += 1;
-            let from = envelope.from.clone();
-            self.quarantine(
-                DeadLetterReason::Unroutable(format!("unknown partner endpoint {from}")),
-                envelope,
-                net,
-            );
-            return Ok(());
-        };
-        let partner = partner.to_string();
-        if let Some(&index) = self.by_corr_partner.get(&(correlation.clone(), partner.clone())) {
-            let public = self.sessions[index].public;
-            self.wf.deliver_to(public, &channels::wire_in(), doc)?;
-            return Ok(());
-        }
-        // New inbound interaction: find the agreement for (partner, format)
-        // where we respond.
-        let agreement = self
-            .agreements
-            .values()
-            .find(|a| {
-                a.format == envelope.format && a.responder == self.name && a.initiator == partner
-            })
-            .cloned();
-        let Some(agreement) = agreement else {
-            self.stats.unroutable += 1;
-            self.quarantine(
-                DeadLetterReason::Unroutable(format!(
-                    "no agreement with `{partner}` for format {}",
-                    envelope.format
-                )),
-                envelope,
-                net,
-            );
-            return Ok(());
-        };
-        if doc.kind().reply_kind().is_none() {
-            // Not an interaction-initiating document.
-            self.stats.unroutable += 1;
-            self.quarantine(
-                DeadLetterReason::Unroutable(format!(
-                    "{} from `{partner}` starts no known interaction",
-                    doc.kind()
-                )),
-                envelope,
-                net,
-            );
-            return Ok(());
-        }
-        let public_type = self.public_types[&agreement.id].clone();
-        let public =
-            self.wf.create_instance(&public_type, BTreeMap::new(), &partner, &self.name)?;
-        let binding = self.wf.create_instance(
-            &wire_binding_type_id(&agreement.format, BindingRole::Responder),
-            BTreeMap::new(),
-            &partner,
-            &self.name,
-        )?;
-        let index = self.sessions.len();
-        self.sessions.push(Session {
-            correlation: correlation.clone(),
-            agreement_id: agreement.id.clone(),
-            role: BindingRole::Responder,
-            partner: partner.clone(),
-            public,
-            binding,
-            private: None,
-            backend_binding: None,
-            backend: None,
-            failure: None,
-            notified: false,
-        });
-        self.by_corr_partner.insert((correlation, partner), index);
-        self.by_instance.insert(public, index);
-        self.by_instance.insert(binding, index);
-        self.stats.sessions_started += 1;
-        self.wf.run(public)?;
-        self.wf.run(binding)?;
-        self.wf.deliver_to(public, &channels::wire_in(), doc)?;
-        self.route_outputs(net)
-    }
-
-    fn poll_backends(&mut self) -> Result<()> {
-        let names: Vec<String> = self.backends.keys().cloned().collect();
-        for name in names {
-            let poas = self.backends.get_mut(&name).expect("key exists").poll()?;
-            for poa in poas {
-                let bb = self
-                    .sessions
-                    .iter()
-                    .find(|s| &s.correlation == poa.correlation() && s.backend_binding.is_some())
-                    .and_then(|s| s.backend_binding);
-                let Some(bb) = bb else {
-                    self.stats.unroutable += 1;
-                    continue;
-                };
-                self.wf.deliver_to(bb, &channels::from_app(), poa)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn route_outputs(&mut self, net: &mut SimNetwork) -> Result<()> {
-        loop {
-            let outputs = self.wf.drain_outbox();
-            if outputs.is_empty() {
-                return Ok(());
-            }
-            for (from, channel, doc) in outputs {
-                self.route_one(net, from, &channel, doc)?;
-            }
-        }
-    }
-
-    fn route_one(
-        &mut self,
-        net: &mut SimNetwork,
-        from: InstanceId,
-        channel: &ChannelId,
-        doc: Document,
-    ) -> Result<()> {
-        let index = *self.by_instance.get(&from).ok_or_else(|| {
-            IntegrationError::Config(format!("instance {from} belongs to no session"))
-        })?;
-        match channel.as_str() {
-            // Public process → binding.
-            "to-binding" => {
-                let binding = self.sessions[index].binding;
-                self.wf.deliver_to(binding, &channels::from_public(), doc)?;
-            }
-            // Public process → wire.
-            "wire:out" => {
-                let session = &self.sessions[index];
-                let agreement = &self.agreements[&session.agreement_id];
-                let partner_endpoint = self.partners.by_name(&session.partner)?.endpoint.clone();
-                let bytes = self.formats.encode(&doc)?;
-                // A protocol-level WaitReceipt bounds this send's lifetime.
-                let deadline = self.receipt_deadlines.get(&session.agreement_id).copied();
-                let msg = match deadline {
-                    Some(ms) => self.reliable.send_with_deadline(
-                        net,
-                        &partner_endpoint,
-                        agreement.format.clone(),
-                        Bytes::from(bytes),
-                        Some(ms),
-                    )?,
-                    None => self.reliable.send(
-                        net,
-                        &partner_endpoint,
-                        agreement.format.clone(),
-                        Bytes::from(bytes),
-                    )?,
-                };
-                self.outstanding_wire.insert(msg, index);
-                self.stats.wire_sent += 1;
-            }
-            // Binding → private process.
-            "to-private" => {
-                let private = match self.sessions[index].private {
-                    Some(id) => id,
-                    None => {
-                        // Responder side: create the private process now,
-                        // selected by the document kind.
-                        let partner = self.sessions[index].partner.clone();
-                        let backend = self.select_backend(&partner, &doc)?;
-                        let target = backend.clone().unwrap_or_else(|| self.name.clone());
-                        let private_type = Self::responder_private_for(doc.kind())?;
-                        let id = self.wf.create_instance(
-                            &private_type,
-                            BTreeMap::new(),
-                            &partner,
-                            &target,
-                        )?;
-                        self.sessions[index].private = Some(id);
-                        self.sessions[index].backend = backend;
-                        self.by_instance.insert(id, index);
-                        self.wf.run(id)?;
-                        id
-                    }
-                };
-                self.wf.deliver_to(private, &channels::private_in(), doc)?;
-            }
-            // Binding → public process.
-            "to-public" => {
-                let public = self.sessions[index].public;
-                self.wf.deliver_to(public, &channels::from_binding(), doc)?;
-            }
-            // Private process → binding.
-            "out" => {
-                let binding = self.sessions[index].binding;
-                self.wf.deliver_to(binding, &channels::from_private(), doc)?;
-            }
-            // Private process → back-end binding.
-            "to-backend" => {
-                let bb = match self.sessions[index].backend_binding {
-                    Some(id) => id,
-                    None => {
-                        let Some(backend) = self.sessions[index].backend.clone() else {
-                            return Err(IntegrationError::Config(format!(
-                                "session {} has no backend to route to",
-                                self.sessions[index].correlation
-                            )));
-                        };
-                        let role = self.sessions[index].role;
-                        let partner = self.sessions[index].partner.clone();
-                        let id = self.wf.create_instance(
-                            &backend_binding_type_id(&backend, role),
-                            BTreeMap::new(),
-                            &partner,
-                            &backend,
-                        )?;
-                        self.sessions[index].backend_binding = Some(id);
-                        self.by_instance.insert(id, index);
-                        self.wf.run(id)?;
-                        id
-                    }
-                };
-                self.wf.deliver_to(bb, &channels::from_private(), doc)?;
-            }
-            // Back-end binding → application process.
-            "to-app" => {
-                let Some(backend) = self.sessions[index].backend.clone() else {
-                    return Err(IntegrationError::Config("to-app without a backend".into()));
-                };
-                self.backends
-                    .get_mut(&backend)
-                    .expect("session backend validated at selection")
-                    .handle(&doc)?;
-            }
-            // Back-end binding → private process.
-            "backend-out" => {
-                let Some(private) = self.sessions[index].private else {
-                    return Err(IntegrationError::Config("backend-out without a private".into()));
-                };
-                self.wf.deliver_to(private, &channels::from_backend(), doc)?;
-            }
-            other => {
-                return Err(IntegrationError::Config(format!(
-                    "instance {from} emitted on unknown channel `{other}`"
-                )))
-            }
-        }
-        Ok(())
+        self.edge.stats()
     }
 }

@@ -43,10 +43,13 @@ pub mod figures;
 pub mod metrics;
 pub mod partner;
 pub mod private_process;
+pub mod runtime;
 pub mod scenario;
+pub mod session;
 
 pub use deadletter::{DeadLetter, DeadLetterQueue, DeadLetterReason};
 pub use engine::{IntegrationEngine, IntegrationStats, SessionState};
 pub use error::{IntegrationError, Result};
 pub use partner::{PartnerDirectory, TradingPartner};
+pub use runtime::{EdgeError, RouteError};
 pub use scenario::TwoEnterpriseScenario;

@@ -1,0 +1,144 @@
+//! Stage 1 of the pump: the wire edge.
+//!
+//! The edge owns everything that touches raw bytes — the reliable
+//! endpoint, the format registry, and the dead-letter queue — and is the
+//! ONLY place malformed traffic is handled: payloads that fail to decode
+//! or verify are quarantined here, before routing ever sees them, and
+//! failure notices are parsed here. Inner stages (route, execute, emit)
+//! therefore deal exclusively in well-formed documents.
+
+use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
+use b2b_document::{Document, FormatId, FormatRegistry};
+use b2b_network::{
+    Bytes, EndpointId, Envelope, InboundBatch, MessageId, ReliableConfig, ReliableEndpoint,
+    SimNetwork,
+};
+use b2b_protocol::FailureNotice;
+use std::fmt;
+
+/// What the edge rejects (and quarantines) without involving routing.
+#[derive(Debug)]
+pub enum EdgeError {
+    /// Payload bytes did not decode in the declared format.
+    Decode(String),
+    /// A failure-notice body did not parse.
+    Notice(String),
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Decode(e) => f.write_str(e),
+            Self::Notice(e) => write!(f, "failure notice: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+/// The byte boundary of one enterprise: reliable messaging outward,
+/// decode/verify plus quarantine inward.
+pub(crate) struct Edge {
+    reliable: ReliableEndpoint,
+    formats: FormatRegistry,
+    dead_letters: DeadLetterQueue,
+}
+
+impl Edge {
+    pub fn new(
+        endpoint: EndpointId,
+        config: ReliableConfig,
+        net: &mut SimNetwork,
+    ) -> b2b_network::Result<Self> {
+        Ok(Self {
+            reliable: ReliableEndpoint::new(endpoint, config, net)?,
+            formats: FormatRegistry::with_builtins(),
+            dead_letters: DeadLetterQueue::default(),
+        })
+    }
+
+    /// Drains inbound wire traffic, already acknowledged, deduplicated,
+    /// and integrity-checked, classified into payloads and notices.
+    pub fn receive(&mut self, net: &mut SimNetwork) -> b2b_network::Result<InboundBatch> {
+        self.reliable.receive_classified(net)
+    }
+
+    /// Decodes a payload envelope into a document.
+    pub fn decode(&self, envelope: &Envelope) -> Result<Document, EdgeError> {
+        self.formats
+            .decode(&envelope.format, &envelope.payload)
+            .map_err(|e| EdgeError::Decode(e.to_string()))
+    }
+
+    /// Parses a failure-notice body.
+    pub fn parse_notice(envelope: &Envelope) -> Result<FailureNotice, EdgeError> {
+        std::str::from_utf8(&envelope.payload)
+            .map_err(|e| EdgeError::Notice(e.to_string()))
+            .and_then(|s| serde_json::from_str(s).map_err(|e| EdgeError::Notice(e.to_string())))
+    }
+
+    /// Encodes a document for the wire.
+    pub fn encode(&self, doc: &Document) -> Result<Vec<u8>, b2b_document::DocumentError> {
+        self.formats.encode(doc)
+    }
+
+    /// Sends a payload reliably, optionally bounded by a receipt deadline.
+    pub fn send_payload(
+        &mut self,
+        net: &mut SimNetwork,
+        to: &EndpointId,
+        format: FormatId,
+        bytes: Bytes,
+        deadline_ms: Option<u64>,
+    ) -> b2b_network::Result<MessageId> {
+        match deadline_ms {
+            Some(ms) => self.reliable.send_with_deadline(net, to, format, bytes, Some(ms)),
+            None => self.reliable.send(net, to, format, bytes),
+        }
+    }
+
+    /// Sends a failure notice reliably.
+    pub fn send_notice(
+        &mut self,
+        net: &mut SimNetwork,
+        to: &EndpointId,
+        payload: Bytes,
+    ) -> b2b_network::Result<MessageId> {
+        self.reliable.send_notify(net, to, FormatId::ROSETTANET, payload)
+    }
+
+    /// Drives retransmissions; returns envelopes that failed permanently.
+    pub fn tick(&mut self, net: &mut SimNetwork) -> b2b_network::Result<Vec<Envelope>> {
+        self.reliable.tick(net)
+    }
+
+    /// Quarantines an envelope; never drops it.
+    pub fn quarantine(
+        &mut self,
+        reason: DeadLetterReason,
+        envelope: Envelope,
+        now: b2b_network::SimTime,
+    ) {
+        self.dead_letters.push(reason, envelope, now);
+    }
+
+    pub fn dead_letters(&self) -> &DeadLetterQueue {
+        &self.dead_letters
+    }
+
+    pub fn dead_letters_mut(&mut self) -> &mut DeadLetterQueue {
+        &mut self.dead_letters
+    }
+
+    pub fn attempts(&self, id: &MessageId) -> u32 {
+        self.reliable.attempts(id)
+    }
+
+    pub fn snapshot(&self) -> b2b_network::ReliableSnapshot {
+        self.reliable.snapshot()
+    }
+
+    pub fn stats(&self) -> &b2b_network::ReliableStats {
+        self.reliable.stats()
+    }
+}

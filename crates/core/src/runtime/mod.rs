@@ -1,0 +1,143 @@
+//! The layered session runtime.
+//!
+//! One [`IntegrationEngine::pump`] is a fixed pipeline of stages:
+//!
+//! 1. **edge** — drain the reliable endpoint; decode/verify bytes;
+//!    quarantine rejects ([`edge`]).
+//! 2. **route** — map documents to sessions; create responder sessions;
+//!    queue documents into instances ([`route`]). Single-threaded: owns
+//!    session creation and the instance-id allocator.
+//! 3. **execute** — settle all runnable instances to quiescence,
+//!    sharded across workers by session identity
+//!    ([`b2b_wfms::Engine::settle`]).
+//! 4. **emit** — drain the canonically sorted outbox; wire sends and
+//!    cross-instance hand-offs happen here, in deterministic order.
+//!
+//! Stages 3 and 4 alternate until the outbox stays empty, then failure
+//! containment runs (retransmission deadlines, dead-lettering, failure
+//! notifications). Because routing is sequential, the outbox order is
+//! canonical, and shard assignment is a pure function of session
+//! identity, a run with `shards = N` is byte-identical to `shards = 1`.
+
+pub mod edge;
+pub mod route;
+
+pub use edge::EdgeError;
+pub use route::RouteError;
+
+use crate::deadletter::DeadLetterReason;
+use crate::engine::IntegrationEngine;
+use crate::error::Result;
+use crate::session::SessionState;
+use b2b_network::{Bytes, SimNetwork};
+use b2b_protocol::FailureNotice;
+
+impl IntegrationEngine {
+    /// Runs one pipeline pass: edge → route → (execute ⇄ emit) →
+    /// failure containment. Call repeatedly, advancing the network
+    /// in between, to drive interactions to completion.
+    pub fn pump(&mut self, net: &mut SimNetwork) -> Result<()> {
+        // Stage 0: let protocol timers (receipt deadlines, timeouts) fire.
+        self.wf.advance_time(net.now())?;
+
+        // Stage 1: the edge drains the wire and classifies traffic.
+        let batch = self.edge.receive(net)?;
+
+        // Stage 2: routing — sequential, canonical.
+        for envelope in batch.notices {
+            self.handle_notify(net, envelope)?;
+        }
+        for envelope in batch.payloads {
+            self.route_inbound(net, envelope)?;
+        }
+        self.poll_backends()?;
+
+        // Stages 3+4: execute (sharded) and emit, alternating to a
+        // fixpoint.
+        self.settle_and_route(net)?;
+
+        // Stage 5: retransmission deadlines — messages the reliable layer
+        // has given up on fail their sessions and are dead-lettered.
+        let failed = self.edge.tick(net)?;
+        for envelope in failed {
+            let attempts = self.edge.attempts(&envelope.id);
+            if let Some(index) = self.outstanding_wire.remove(&envelope.id) {
+                self.stats.delivery_failures += 1;
+                self.table.mark_failure(
+                    index,
+                    format!(
+                        "wire delivery of {} failed permanently after {attempts} attempts",
+                        envelope.id
+                    ),
+                    true,
+                );
+            }
+            self.quarantine(DeadLetterReason::DeliveryFailure { attempts }, envelope, net.now());
+        }
+
+        // Stage 6: failure containment — tell counterparties about
+        // sessions that died on our side.
+        self.notify_failed_sessions(net)?;
+        Ok(())
+    }
+
+    /// Alternates the execute and emit stages until quiescent, then
+    /// refreshes the session table from the instances that ran.
+    ///
+    /// Execution is sharded: each session's instances are pinned to a
+    /// worker chosen by a hash of `(correlation, partner)`, so every
+    /// instance of one session always settles on the same worker
+    /// regardless of the shard count.
+    pub(crate) fn settle_and_route(&mut self, net: &mut SimNetwork) -> Result<()> {
+        loop {
+            {
+                let table = &self.table;
+                self.wf.settle(self.shards, &|id| table.shard_of_instance(id) as usize)?;
+            }
+            // The outbox is sorted by (instance, channel): emission order
+            // is a function of what ran, not of which worker ran it.
+            let outputs = self.wf.drain_outbox();
+            if outputs.is_empty() {
+                break;
+            }
+            for (from, channel, doc) in outputs {
+                self.route_one(net, from, &channel, doc)?;
+            }
+        }
+        let touched = self.wf.drain_touched();
+        self.table.refresh_instances(&self.wf, &touched);
+        Ok(())
+    }
+
+    /// Sends a failure notification for every failed, not-yet-notified
+    /// session, so counterparties can terminate their half deterministically
+    /// instead of waiting forever.
+    pub(crate) fn notify_failed_sessions(&mut self, net: &mut SimNetwork) -> Result<()> {
+        for index in 0..self.table.len() {
+            if self.table.session(index).notified {
+                continue;
+            }
+            let SessionState::Failed(reason) = self.table.state(index).clone() else {
+                continue;
+            };
+            self.table.set_notified(index);
+            let session = self.table.session(index);
+            let Ok(partner) = self.partners.by_name(&session.partner) else {
+                continue;
+            };
+            let endpoint = partner.endpoint.clone();
+            let notice = FailureNotice::new(
+                session.correlation.to_string(),
+                session.agreement_id.clone(),
+                self.name.clone(),
+                reason,
+            );
+            let payload = serde_json::to_string(&notice).map_err(|e| {
+                crate::error::IntegrationError::Config(format!("encoding notice: {e}"))
+            })?;
+            self.edge.send_notice(net, &endpoint, Bytes::from(payload.into_bytes()))?;
+            self.stats.notifications_sent += 1;
+        }
+        Ok(())
+    }
+}

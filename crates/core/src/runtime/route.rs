@@ -1,0 +1,429 @@
+//! Stage 2 of the pump: routing.
+//!
+//! Routing is single-threaded by design: it owns the session table and
+//! the instance-id allocator (session creation), both of which must stay
+//! canonical for the sharded execute stage to be deterministic. Routing
+//! never *steps* an instance — it only queues documents
+//! ([`b2b_wfms::Engine::enqueue_to`]) and marks instances runnable
+//! ([`b2b_wfms::Engine::schedule`]); the execute stage settles them, in
+//! parallel, afterwards.
+
+use crate::binding::{backend_binding_type_id, wire_binding_type_id, BindingRole};
+use crate::channels;
+use crate::deadletter::DeadLetterReason;
+use crate::engine::{IntegrationEngine, SELECT_BACKEND_RULE};
+use crate::error::{IntegrationError, Result};
+use crate::private_process::{
+    initiator_private_id, quote_generation_id, responder_private_id, rfq_submission_id,
+};
+use crate::runtime::edge::Edge;
+use crate::session::Session;
+use b2b_document::{CorrelationId, DocKind, Document};
+use b2b_network::{Bytes, Envelope, SimNetwork};
+use b2b_wfms::{ChannelId, InstanceId, WorkflowTypeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What routing can reject: emissions from unknown instances or on
+/// unknown channels, and sessions missing the layer a document targets.
+#[derive(Debug)]
+pub enum RouteError {
+    /// An instance emitted a document but belongs to no session.
+    NoSession { instance: InstanceId },
+    /// An instance emitted on a channel the router does not know.
+    UnknownChannel { instance: InstanceId, channel: String },
+    /// A document targets the back end of a session that has none.
+    NoBackendTarget { correlation: String },
+    /// `to-app` emitted by a session without a back end.
+    MissingBackend,
+    /// `backend-out` emitted by a session without a private process.
+    MissingPrivate,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSession { instance } => {
+                write!(f, "instance {instance} belongs to no session")
+            }
+            Self::UnknownChannel { instance, channel } => {
+                write!(f, "instance {instance} emitted on unknown channel `{channel}`")
+            }
+            Self::NoBackendTarget { correlation } => {
+                write!(f, "session {correlation} has no backend to route to")
+            }
+            Self::MissingBackend => f.write_str("to-app without a backend"),
+            Self::MissingPrivate => f.write_str("backend-out without a private"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl From<RouteError> for IntegrationError {
+    fn from(e: RouteError) -> Self {
+        IntegrationError::Config(e.to_string())
+    }
+}
+
+impl IntegrationEngine {
+    /// Quarantines an envelope in the dead-letter queue.
+    pub(crate) fn quarantine(
+        &mut self,
+        reason: DeadLetterReason,
+        envelope: Envelope,
+        now: b2b_network::SimTime,
+    ) {
+        self.stats.dead_lettered += 1;
+        self.edge.quarantine(reason, envelope, now);
+    }
+
+    /// Routes an inbound failure notification: the counterparty's half of
+    /// the interaction failed, so ours terminates deterministically.
+    pub(crate) fn handle_notify(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
+        let notice = match Edge::parse_notice(&envelope) {
+            Ok(notice) => notice,
+            Err(e) => {
+                self.stats.decode_failures += 1;
+                self.quarantine(
+                    DeadLetterReason::DecodeFailure(e.to_string()),
+                    envelope,
+                    net.now(),
+                );
+                return Ok(());
+            }
+        };
+        self.stats.notifications_received += 1;
+        // Route by the *authenticated* sender endpoint, not the claimed
+        // reporter name.
+        let Ok(partner) = self.partners.name_of(&envelope.from).map(str::to_string) else {
+            self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "failure notice from unknown endpoint {}",
+                    envelope.from
+                )),
+                envelope,
+                net.now(),
+            );
+            return Ok(());
+        };
+        let correlation = CorrelationId::new(notice.correlation.clone());
+        let Some(index) = self.table.index_of(&correlation, &partner) else {
+            self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "failure notice for unknown session {} with `{partner}`",
+                    notice.correlation
+                )),
+                envelope,
+                net.now(),
+            );
+            return Ok(());
+        };
+        self.table.mark_failure(
+            index,
+            format!("partner `{partner}` reported failure: {}", notice.reason),
+            false,
+        );
+        // Never echo a notification back for a failure the partner told
+        // us about.
+        self.table.set_notified(index);
+        Ok(())
+    }
+
+    /// Routes one inbound payload: decode at the edge, then hand the
+    /// document to the session's public process (creating the session
+    /// when the document starts a new interaction). Only queues and
+    /// schedules — the execute stage does the stepping.
+    pub(crate) fn route_inbound(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
+        let doc = match self.edge.decode(&envelope) {
+            Ok(doc) => doc,
+            Err(e) => {
+                // Malformed content is rejected at the edge — but kept:
+                // the raw bytes go to the dead-letter queue for inspection
+                // and replay, never silently dropped.
+                self.stats.decode_failures += 1;
+                self.quarantine(
+                    DeadLetterReason::DecodeFailure(e.to_string()),
+                    envelope,
+                    net.now(),
+                );
+                return Ok(());
+            }
+        };
+        self.stats.wire_received += 1;
+        let correlation = doc.correlation().clone();
+        let Ok(partner) = self.partners.name_of(&envelope.from) else {
+            self.stats.unroutable += 1;
+            let from = envelope.from.clone();
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!("unknown partner endpoint {from}")),
+                envelope,
+                net.now(),
+            );
+            return Ok(());
+        };
+        let partner = partner.to_string();
+        if let Some(index) = self.table.index_of(&correlation, &partner) {
+            let public = self.table.session(index).public;
+            self.wf.enqueue_to(public, &channels::wire_in(), doc)?;
+            return Ok(());
+        }
+        // New inbound interaction: find the agreement for (partner, format)
+        // where we respond.
+        let agreement = self
+            .agreements
+            .values()
+            .find(|a| {
+                a.format == envelope.format && a.responder == self.name && a.initiator == partner
+            })
+            .cloned();
+        let Some(agreement) = agreement else {
+            self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "no agreement with `{partner}` for format {}",
+                    envelope.format
+                )),
+                envelope,
+                net.now(),
+            );
+            return Ok(());
+        };
+        if doc.kind().reply_kind().is_none() {
+            // Not an interaction-initiating document.
+            self.stats.unroutable += 1;
+            self.quarantine(
+                DeadLetterReason::Unroutable(format!(
+                    "{} from `{partner}` starts no known interaction",
+                    doc.kind()
+                )),
+                envelope,
+                net.now(),
+            );
+            return Ok(());
+        }
+        let public_type = self.public_types[&agreement.id].clone();
+        let public =
+            self.wf.create_instance(&public_type, BTreeMap::new(), &partner, &self.name)?;
+        let binding = self.wf.create_instance(
+            &wire_binding_type_id(&agreement.format, BindingRole::Responder),
+            BTreeMap::new(),
+            &partner,
+            &self.name,
+        )?;
+        self.table.insert(Session {
+            correlation,
+            agreement_id: agreement.id.clone(),
+            role: BindingRole::Responder,
+            partner,
+            public,
+            binding,
+            private: None,
+            backend_binding: None,
+            backend: None,
+            failure: None,
+            notified: false,
+        });
+        self.stats.sessions_started += 1;
+        self.wf.schedule(public);
+        self.wf.schedule(binding);
+        self.wf.enqueue_to(public, &channels::wire_in(), doc)?;
+        Ok(())
+    }
+
+    /// Queues back-end output documents against their sessions' back-end
+    /// bindings.
+    pub(crate) fn poll_backends(&mut self) -> Result<()> {
+        let names: Vec<String> = self.backends.keys().cloned().collect();
+        for name in names {
+            let poas = self.backends.get_mut(&name).expect("key exists").poll()?;
+            for poa in poas {
+                let bb = self
+                    .table
+                    .indices_of_correlation(poa.correlation())
+                    .iter()
+                    .find_map(|&i| self.table.session(i).backend_binding);
+                let Some(bb) = bb else {
+                    self.stats.unroutable += 1;
+                    continue;
+                };
+                self.wf.enqueue_to(bb, &channels::from_app(), poa)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one emitted document to its peer — queueing, never stepping.
+    /// Wire sends happen here, in the canonical order of the sorted
+    /// outbox, so the network's fault-decision stream is independent of
+    /// the shard count.
+    pub(crate) fn route_one(
+        &mut self,
+        net: &mut SimNetwork,
+        from: InstanceId,
+        channel: &ChannelId,
+        doc: Document,
+    ) -> Result<()> {
+        let index =
+            self.table.index_of_instance(from).ok_or(RouteError::NoSession { instance: from })?;
+        match channel.as_str() {
+            // Public process → binding.
+            "to-binding" => {
+                let binding = self.table.session(index).binding;
+                self.wf.enqueue_to(binding, &channels::from_public(), doc)?;
+            }
+            // Public process → wire.
+            "wire:out" => {
+                let session = self.table.session(index);
+                let agreement = &self.agreements[&session.agreement_id];
+                let format = agreement.format.clone();
+                let partner_endpoint = self.partners.by_name(&session.partner)?.endpoint.clone();
+                // A protocol-level WaitReceipt bounds this send's lifetime.
+                let deadline = self.receipt_deadlines.get(&session.agreement_id).copied();
+                let bytes = self.edge.encode(&doc)?;
+                let msg = self.edge.send_payload(
+                    net,
+                    &partner_endpoint,
+                    format,
+                    Bytes::from(bytes),
+                    deadline,
+                )?;
+                self.outstanding_wire.insert(msg, index);
+                self.stats.wire_sent += 1;
+            }
+            // Binding → private process.
+            "to-private" => {
+                let private = match self.table.session(index).private {
+                    Some(id) => id,
+                    None => {
+                        // Responder side: create the private process now,
+                        // selected by the document kind.
+                        let partner = self.table.session(index).partner.clone();
+                        let backend = self.select_backend(&partner, &doc)?;
+                        let target = backend.clone().unwrap_or_else(|| self.name.clone());
+                        let private_type = Self::responder_private_for(doc.kind())?;
+                        let id = self.wf.create_instance(
+                            &private_type,
+                            BTreeMap::new(),
+                            &partner,
+                            &target,
+                        )?;
+                        self.table.set_private(index, id, backend);
+                        self.wf.schedule(id);
+                        id
+                    }
+                };
+                self.wf.enqueue_to(private, &channels::private_in(), doc)?;
+            }
+            // Binding → public process.
+            "to-public" => {
+                let public = self.table.session(index).public;
+                self.wf.enqueue_to(public, &channels::from_binding(), doc)?;
+            }
+            // Private process → binding.
+            "out" => {
+                let binding = self.table.session(index).binding;
+                self.wf.enqueue_to(binding, &channels::from_private(), doc)?;
+            }
+            // Private process → back-end binding.
+            "to-backend" => {
+                let bb = match self.table.session(index).backend_binding {
+                    Some(id) => id,
+                    None => {
+                        let Some(backend) = self.table.session(index).backend.clone() else {
+                            return Err(RouteError::NoBackendTarget {
+                                correlation: self.table.session(index).correlation.to_string(),
+                            }
+                            .into());
+                        };
+                        let role = self.table.session(index).role;
+                        let partner = self.table.session(index).partner.clone();
+                        let id = self.wf.create_instance(
+                            &backend_binding_type_id(&backend, role),
+                            BTreeMap::new(),
+                            &partner,
+                            &backend,
+                        )?;
+                        self.table.set_backend_binding(index, id);
+                        self.wf.schedule(id);
+                        id
+                    }
+                };
+                self.wf.enqueue_to(bb, &channels::from_private(), doc)?;
+            }
+            // Back-end binding → application process.
+            "to-app" => {
+                let Some(backend) = self.table.session(index).backend.clone() else {
+                    return Err(RouteError::MissingBackend.into());
+                };
+                self.backends
+                    .get_mut(&backend)
+                    .expect("session backend validated at selection")
+                    .handle(&doc)?;
+            }
+            // Back-end binding → private process.
+            "backend-out" => {
+                let Some(private) = self.table.session(index).private else {
+                    return Err(RouteError::MissingPrivate.into());
+                };
+                self.wf.enqueue_to(private, &channels::from_backend(), doc)?;
+            }
+            other => {
+                return Err(RouteError::UnknownChannel {
+                    instance: from,
+                    channel: other.to_string(),
+                }
+                .into())
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn initiator_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
+        match kind {
+            DocKind::PurchaseOrder => Ok(initiator_private_id()),
+            DocKind::RequestForQuote => Ok(rfq_submission_id()),
+            other => {
+                Err(IntegrationError::Config(format!("no initiator private process for {other}")))
+            }
+        }
+    }
+
+    pub(crate) fn responder_private_for(kind: DocKind) -> Result<WorkflowTypeId> {
+        match kind {
+            DocKind::PurchaseOrder => Ok(responder_private_id()),
+            DocKind::RequestForQuote => Ok(quote_generation_id()),
+            other => {
+                Err(IntegrationError::Config(format!("no responder private process for {other}")))
+            }
+        }
+    }
+
+    pub(crate) fn select_backend(&self, partner: &str, doc: &Document) -> Result<Option<String>> {
+        // Back ends only participate in order flows; quotes are computed
+        // by rules alone.
+        if doc.kind() != DocKind::PurchaseOrder {
+            return Ok(None);
+        }
+        if self.backends.is_empty() {
+            return Ok(None);
+        }
+        if self.wf.rules().function(SELECT_BACKEND_RULE).is_ok() {
+            let value = self.wf.rules().invoke(SELECT_BACKEND_RULE, partner, "", doc)?;
+            let name =
+                value.as_text("select-backend result").map_err(IntegrationError::from)?.to_string();
+            if !self.backends.contains_key(&name) {
+                return Err(IntegrationError::Config(format!(
+                    "select-backend chose unknown backend `{name}`"
+                )));
+            }
+            return Ok(Some(name));
+        }
+        if self.backends.len() == 1 {
+            return Ok(self.backends.keys().next().cloned());
+        }
+        Err(IntegrationError::Config("multiple backends but no `select-backend` rule".to_string()))
+    }
+}

@@ -1,0 +1,370 @@
+//! Session lifecycle and indexing.
+//!
+//! A *session* is one business interaction: the public, binding, private,
+//! and (optionally) back-end binding instances an enterprise runs for one
+//! `(correlation, counterparty)` pair. The [`SessionTable`] owns every
+//! session plus the indexes the runtime routes through — all O(1):
+//!
+//! * `(correlation, partner)` → session (wire routing key; a broadcast RFQ
+//!   shares one correlation across several partners),
+//! * instance id → session (outbox routing),
+//! * correlation → member sessions (aggregate queries),
+//!
+//! and it *caches* each session's [`SessionState`] plus per-correlation
+//! completion counters, so `session_state`, `session_state_with`, and
+//! `completed_sessions` never scan the table. Callers mutate failure
+//! markers only through table methods, which keep the caches coherent;
+//! after the engine settles, [`SessionTable::refresh_instances`] folds the
+//! touched instances back into the caches.
+//!
+//! The table also fixes each session's *shard seed* — an FNV-1a hash of
+//! `(correlation, partner)` — at insertion. The sharded runtime partitions
+//! work by this seed, so every instance of a session lands on the same
+//! worker and the assignment is a pure function of session identity.
+
+use crate::binding::BindingRole;
+use b2b_document::CorrelationId;
+use b2b_network::checksum_of;
+use b2b_wfms::{Engine as WfEngine, InstanceId, InstanceStatus};
+use std::collections::{BTreeSet, HashMap};
+
+/// Externally visible state of one business interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionState {
+    /// Still exchanging messages.
+    InProgress,
+    /// Every process instance of the session completed.
+    Completed,
+    /// Some instance failed (reason recorded).
+    Failed(String),
+}
+
+/// One enterprise's half of one business interaction.
+#[derive(Debug)]
+pub(crate) struct Session {
+    pub correlation: CorrelationId,
+    pub agreement_id: String,
+    pub role: BindingRole,
+    pub partner: String,
+    pub public: InstanceId,
+    pub binding: InstanceId,
+    pub private: Option<InstanceId>,
+    pub backend_binding: Option<InstanceId>,
+    pub backend: Option<String>,
+    pub failure: Option<String>,
+    /// Whether the counterparty has been (or need not be) told about a
+    /// failure of this session — set on notify-out and on notify-in, so
+    /// notifications never echo back and forth.
+    pub notified: bool,
+}
+
+/// Per-correlation aggregate counters.
+#[derive(Debug, Default)]
+struct Group {
+    total: usize,
+    completed: usize,
+    failed: usize,
+}
+
+impl Group {
+    fn is_complete(&self) -> bool {
+        self.total > 0 && self.failed == 0 && self.completed == self.total
+    }
+}
+
+/// All sessions of one engine plus the routing indexes and state caches.
+#[derive(Debug, Default)]
+pub(crate) struct SessionTable {
+    sessions: Vec<Session>,
+    /// Cached state per session, refreshed from touched instances.
+    states: Vec<SessionState>,
+    /// FNV-1a of (correlation, partner): the shard assignment key.
+    shard_seeds: Vec<u64>,
+    by_corr_partner: HashMap<(CorrelationId, String), usize>,
+    by_correlation: HashMap<CorrelationId, Vec<usize>>,
+    by_instance: HashMap<InstanceId, usize>,
+    groups: HashMap<CorrelationId, Group>,
+    /// Σ group size over complete groups — `completed_sessions` in O(1).
+    completed_total: usize,
+}
+
+impl SessionTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Adds a session (cached state starts `InProgress`) and registers its
+    /// instances; returns its index.
+    pub fn insert(&mut self, session: Session) -> usize {
+        let index = self.sessions.len();
+        let corr = session.correlation.clone();
+        let seed = checksum_of(format!("{}\u{0}{}", corr, session.partner).as_bytes());
+        self.by_corr_partner.insert((corr.clone(), session.partner.clone()), index);
+        self.by_correlation.entry(corr.clone()).or_default().push(index);
+        self.by_instance.insert(session.public, index);
+        self.by_instance.insert(session.binding, index);
+        if let Some(p) = session.private {
+            self.by_instance.insert(p, index);
+        }
+        let group = self.groups.entry(corr).or_default();
+        if group.is_complete() {
+            // A fresh in-progress member reopens a completed group.
+            self.completed_total -= group.total;
+        }
+        group.total += 1;
+        self.sessions.push(session);
+        self.states.push(SessionState::InProgress);
+        self.shard_seeds.push(seed);
+        index
+    }
+
+    pub fn session(&self, index: usize) -> &Session {
+        &self.sessions[index]
+    }
+
+    /// Cached state of one session (O(1)).
+    pub fn state(&self, index: usize) -> &SessionState {
+        &self.states[index]
+    }
+
+    /// Correlations of all sessions, in creation order.
+    pub fn correlations(&self) -> Vec<CorrelationId> {
+        self.sessions.iter().map(|s| s.correlation.clone()).collect()
+    }
+
+    pub fn index_of(&self, correlation: &CorrelationId, partner: &str) -> Option<usize> {
+        self.by_corr_partner.get(&(correlation.clone(), partner.to_string())).copied()
+    }
+
+    pub fn index_of_instance(&self, id: InstanceId) -> Option<usize> {
+        self.by_instance.get(&id).copied()
+    }
+
+    /// Member sessions of a correlation, in creation order.
+    pub fn indices_of_correlation(&self, correlation: &CorrelationId) -> &[usize] {
+        self.by_correlation.get(correlation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Aggregate state over all sessions of a correlation: Completed only
+    /// when all are, Failed when any is (first failure in index order).
+    pub fn aggregate_state(&self, correlation: &CorrelationId) -> SessionState {
+        let Some(group) = self.groups.get(correlation) else {
+            return SessionState::InProgress;
+        };
+        if group.failed > 0 {
+            for &i in self.indices_of_correlation(correlation) {
+                if let SessionState::Failed(reason) = &self.states[i] {
+                    return SessionState::Failed(reason.clone());
+                }
+            }
+        }
+        if group.is_complete() {
+            SessionState::Completed
+        } else {
+            SessionState::InProgress
+        }
+    }
+
+    /// Number of sessions whose correlation aggregate is Completed (O(1)).
+    pub fn completed_sessions(&self) -> usize {
+        self.completed_total
+    }
+
+    /// The shard seed of the session owning `id` (0 for foreign
+    /// instances). A pure function of session identity, so the shard
+    /// assignment never depends on execution order.
+    pub fn shard_of_instance(&self, id: InstanceId) -> u64 {
+        self.by_instance.get(&id).map(|&i| self.shard_seeds[i]).unwrap_or(0)
+    }
+
+    /// Attaches a lazily created private process to a session.
+    pub fn set_private(&mut self, index: usize, id: InstanceId, backend: Option<String>) {
+        self.sessions[index].private = Some(id);
+        self.sessions[index].backend = backend;
+        self.by_instance.insert(id, index);
+    }
+
+    /// Attaches a lazily created back-end binding to a session.
+    pub fn set_backend_binding(&mut self, index: usize, id: InstanceId) {
+        self.sessions[index].backend_binding = Some(id);
+        self.by_instance.insert(id, index);
+    }
+
+    /// Records a failure. `overwrite` replaces an existing reason (wire
+    /// delivery failures do); otherwise the first reason wins.
+    pub fn mark_failure(&mut self, index: usize, reason: String, overwrite: bool) {
+        if overwrite || self.sessions[index].failure.is_none() {
+            self.sessions[index].failure = Some(reason);
+        }
+        let state = SessionState::Failed(self.sessions[index].failure.clone().expect("just set"));
+        self.apply_state(index, state);
+    }
+
+    /// Clears a failure marker (dead-letter replay gives the session
+    /// another chance) and recomputes the cached state.
+    pub fn clear_failure(&mut self, index: usize, wf: &WfEngine) {
+        self.sessions[index].failure = None;
+        self.sessions[index].notified = false;
+        self.refresh(index, wf);
+    }
+
+    /// Marks a session's counterparty as informed (or not needing to be).
+    pub fn set_notified(&mut self, index: usize) {
+        self.sessions[index].notified = true;
+    }
+
+    /// Recomputes one session's cached state from the WFMS.
+    pub fn refresh(&mut self, index: usize, wf: &WfEngine) {
+        let state = compute_state(&self.sessions[index], wf);
+        self.apply_state(index, state);
+    }
+
+    /// Folds a batch of touched instances back into the caches: each
+    /// owning session is recomputed exactly once.
+    pub fn refresh_instances(&mut self, wf: &WfEngine, touched: &[InstanceId]) {
+        let indices: BTreeSet<usize> =
+            touched.iter().filter_map(|id| self.by_instance.get(id).copied()).collect();
+        for index in indices {
+            self.refresh(index, wf);
+        }
+    }
+
+    /// Swaps in a new cached state, keeping the group counters and the
+    /// completed total consistent.
+    fn apply_state(&mut self, index: usize, new: SessionState) {
+        if self.states[index] == new {
+            return;
+        }
+        let old = std::mem::replace(&mut self.states[index], new);
+        let corr = &self.sessions[index].correlation;
+        let group = self.groups.get_mut(corr).expect("session has a group");
+        let was_complete = group.is_complete();
+        match old {
+            SessionState::Completed => group.completed -= 1,
+            SessionState::Failed(_) => group.failed -= 1,
+            SessionState::InProgress => {}
+        }
+        match &self.states[index] {
+            SessionState::Completed => group.completed += 1,
+            SessionState::Failed(_) => group.failed += 1,
+            SessionState::InProgress => {}
+        }
+        let is_complete = group.is_complete();
+        if was_complete && !is_complete {
+            self.completed_total -= group.total;
+        } else if !was_complete && is_complete {
+            self.completed_total += group.total;
+        }
+    }
+}
+
+/// One session's state, read from the WFMS: Failed if marked or any
+/// instance failed; Completed when every instance (including a present
+/// private process) completed.
+fn compute_state(session: &Session, wf: &WfEngine) -> SessionState {
+    if let Some(reason) = &session.failure {
+        return SessionState::Failed(reason.clone());
+    }
+    let mut instances = vec![session.public, session.binding];
+    instances.extend(session.private);
+    instances.extend(session.backend_binding);
+    let mut all_complete = true;
+    for id in instances {
+        match wf.status(id) {
+            Ok(InstanceStatus::Completed) => {}
+            Ok(InstanceStatus::Failed(reason)) => return SessionState::Failed(reason),
+            Ok(InstanceStatus::Running) => all_complete = false,
+            Err(_) => all_complete = false,
+        }
+    }
+    if all_complete && session.private.is_some() {
+        SessionState::Completed
+    } else {
+        SessionState::InProgress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(corr: &str, partner: &str, first_instance: u64) -> Session {
+        Session {
+            correlation: CorrelationId::new(corr),
+            agreement_id: "tpa".into(),
+            role: BindingRole::Initiator,
+            partner: partner.into(),
+            public: InstanceId::new(first_instance),
+            binding: InstanceId::new(first_instance + 1),
+            private: Some(InstanceId::new(first_instance + 2)),
+            backend_binding: None,
+            backend: None,
+            failure: None,
+            notified: false,
+        }
+    }
+
+    #[test]
+    fn indexes_answer_in_constant_time_paths() {
+        let mut table = SessionTable::new();
+        let a = table.insert(session("c-1", "TP1", 10));
+        let b = table.insert(session("c-1", "TP2", 20));
+        let c = table.insert(session("c-2", "TP1", 30));
+        assert_eq!(table.index_of(&CorrelationId::new("c-1"), "TP2"), Some(b));
+        assert_eq!(table.index_of_instance(InstanceId::new(31)), Some(c));
+        assert_eq!(table.indices_of_correlation(&CorrelationId::new("c-1")), &[a, b]);
+        assert_eq!(table.index_of(&CorrelationId::new("c-9"), "TP1"), None);
+    }
+
+    #[test]
+    fn completion_counters_track_group_transitions() {
+        let mut table = SessionTable::new();
+        let a = table.insert(session("c-1", "TP1", 10));
+        let b = table.insert(session("c-1", "TP2", 20));
+        assert_eq!(table.completed_sessions(), 0);
+        table.apply_state(a, SessionState::Completed);
+        assert_eq!(table.completed_sessions(), 0, "half-complete group");
+        table.apply_state(b, SessionState::Completed);
+        assert_eq!(table.completed_sessions(), 2, "both members count");
+        assert_eq!(table.aggregate_state(&CorrelationId::new("c-1")), SessionState::Completed);
+        // A failure reopens the group.
+        table.mark_failure(b, "boom".into(), true);
+        assert_eq!(table.completed_sessions(), 0);
+        assert_eq!(
+            table.aggregate_state(&CorrelationId::new("c-1")),
+            SessionState::Failed("boom".into())
+        );
+    }
+
+    #[test]
+    fn late_member_reopens_a_completed_group() {
+        let mut table = SessionTable::new();
+        let a = table.insert(session("c-1", "TP1", 10));
+        table.apply_state(a, SessionState::Completed);
+        assert_eq!(table.completed_sessions(), 1);
+        table.insert(session("c-1", "TP2", 20));
+        assert_eq!(table.completed_sessions(), 0);
+        assert_eq!(table.aggregate_state(&CorrelationId::new("c-1")), SessionState::InProgress);
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_per_session_identity() {
+        let mut t1 = SessionTable::new();
+        let mut t2 = SessionTable::new();
+        t1.insert(session("c-1", "TP1", 10));
+        t2.insert(session("c-2", "TP9", 1));
+        t2.insert(session("c-1", "TP1", 50));
+        // Same (correlation, partner) → same seed, regardless of insertion
+        // order or instance ids.
+        assert_eq!(
+            t1.shard_of_instance(InstanceId::new(10)),
+            t2.shard_of_instance(InstanceId::new(50))
+        );
+        assert_eq!(t1.shard_of_instance(InstanceId::new(999)), 0, "foreign instances default");
+    }
+}

@@ -31,8 +31,8 @@ pub use error::{NetworkError, Result};
 pub use fault::FaultConfig;
 pub use message::{checksum_of, EndpointId, Envelope, MessageId, WireClass};
 pub use reliable::{
-    BackoffPolicy, DeliveryStatus, ReliableConfig, ReliableEndpoint, ReliableSnapshot,
-    ReliableStats,
+    BackoffPolicy, DeliveryStatus, InboundBatch, ReliableConfig, ReliableEndpoint,
+    ReliableSnapshot, ReliableStats,
 };
 pub use rng::SimRng;
 pub use sim::{NetworkStats, SimNetwork};

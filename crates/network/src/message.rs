@@ -36,9 +36,19 @@ pub struct MessageId(u64);
 
 impl MessageId {
     /// Allocates a fresh process-unique id.
+    ///
+    /// Prefer [`SimNetwork::alloc_message_id`](crate::SimNetwork) where a
+    /// network is at hand: network-scoped ids are a pure function of the
+    /// traffic so far, which keeps independent runs comparable (the
+    /// process-global counter here depends on what else ran before).
     pub fn fresh() -> Self {
         static NEXT: AtomicU64 = AtomicU64::new(1);
         Self(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Wraps a raw id value (allocated by a network).
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
     }
 
     /// Raw value (for logs).
@@ -109,8 +119,9 @@ pub fn checksum_of(bytes: &[u8]) -> u64 {
 }
 
 impl Envelope {
-    /// Builds a payload envelope.
-    pub fn payload(
+    /// Builds a payload envelope with an explicit (network-allocated) id.
+    pub fn payload_with_id(
+        id: MessageId,
         from: EndpointId,
         to: EndpointId,
         format: FormatId,
@@ -119,7 +130,7 @@ impl Envelope {
     ) -> Self {
         let checksum = checksum_of(&payload);
         Self {
-            id: MessageId::fresh(),
+            id,
             from,
             to,
             format,
@@ -131,10 +142,27 @@ impl Envelope {
         }
     }
 
-    /// Builds an acknowledgment for `of`.
-    pub fn ack(from: EndpointId, to: EndpointId, of: &Envelope, sent_at: SimTime) -> Self {
+    /// Builds a payload envelope with a process-unique id.
+    pub fn payload(
+        from: EndpointId,
+        to: EndpointId,
+        format: FormatId,
+        payload: Bytes,
+        sent_at: SimTime,
+    ) -> Self {
+        Self::payload_with_id(MessageId::fresh(), from, to, format, payload, sent_at)
+    }
+
+    /// Builds an acknowledgment for `of` with an explicit id.
+    pub fn ack_with_id(
+        id: MessageId,
+        from: EndpointId,
+        to: EndpointId,
+        of: &Envelope,
+        sent_at: SimTime,
+    ) -> Self {
         Self {
-            id: MessageId::fresh(),
+            id,
             from,
             to,
             format: of.format.clone(),
@@ -146,11 +174,22 @@ impl Envelope {
         }
     }
 
+    /// Builds an acknowledgment for `of`.
+    pub fn ack(from: EndpointId, to: EndpointId, of: &Envelope, sent_at: SimTime) -> Self {
+        Self::ack_with_id(MessageId::fresh(), from, to, of, sent_at)
+    }
+
     /// Builds a negative acknowledgment for `of` (integrity check failed;
-    /// please retransmit).
-    pub fn nack(from: EndpointId, to: EndpointId, of: &Envelope, sent_at: SimTime) -> Self {
+    /// please retransmit) with an explicit id.
+    pub fn nack_with_id(
+        id: MessageId,
+        from: EndpointId,
+        to: EndpointId,
+        of: &Envelope,
+        sent_at: SimTime,
+    ) -> Self {
         Self {
-            id: MessageId::fresh(),
+            id,
             from,
             to,
             format: of.format.clone(),
@@ -159,6 +198,34 @@ impl Envelope {
             payload: Bytes::new(),
             sent_at,
             checksum: checksum_of(&[]),
+        }
+    }
+
+    /// Builds a negative acknowledgment for `of`.
+    pub fn nack(from: EndpointId, to: EndpointId, of: &Envelope, sent_at: SimTime) -> Self {
+        Self::nack_with_id(MessageId::fresh(), from, to, of, sent_at)
+    }
+
+    /// Builds a failure-notification envelope with an explicit id.
+    pub fn notify_with_id(
+        id: MessageId,
+        from: EndpointId,
+        to: EndpointId,
+        format: FormatId,
+        payload: Bytes,
+        sent_at: SimTime,
+    ) -> Self {
+        let checksum = checksum_of(&payload);
+        Self {
+            id,
+            from,
+            to,
+            format,
+            class: WireClass::Notify,
+            ref_id: None,
+            payload,
+            sent_at,
+            checksum,
         }
     }
 
@@ -171,18 +238,7 @@ impl Envelope {
         payload: Bytes,
         sent_at: SimTime,
     ) -> Self {
-        let checksum = checksum_of(&payload);
-        Self {
-            id: MessageId::fresh(),
-            from,
-            to,
-            format,
-            class: WireClass::Notify,
-            ref_id: None,
-            payload,
-            sent_at,
-            checksum,
-        }
+        Self::notify_with_id(MessageId::fresh(), from, to, format, payload, sent_at)
     }
 
     /// Whether the payload still matches the checksum sealed at

@@ -193,6 +193,26 @@ impl ReliableSnapshot {
     }
 }
 
+/// One poll's worth of fresh inbound envelopes, already classified by
+/// wire class so a staged runtime can hand each batch to the right
+/// pipeline stage (payloads to session routing, notices to failure
+/// handling) without re-inspecting every envelope. Order within each
+/// batch is arrival order.
+#[derive(Debug, Default)]
+pub struct InboundBatch {
+    /// Fresh business payloads, exactly once, arrival order.
+    pub payloads: Vec<Envelope>,
+    /// Fresh failure notifications, exactly once, arrival order.
+    pub notices: Vec<Envelope>,
+}
+
+impl InboundBatch {
+    /// Whether the poll surfaced nothing new.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty() && self.notices.is_empty()
+    }
+}
+
 /// Reliable-messaging endpoint layered over [`SimNetwork`].
 pub struct ReliableEndpoint {
     id: EndpointId,
@@ -267,7 +287,9 @@ impl ReliableEndpoint {
         payload: Bytes,
     ) -> Result<MessageId> {
         let deadline = self.config.deadline_ms;
-        let envelope = Envelope::payload(self.id.clone(), to.clone(), format, payload, net.now());
+        let id = net.alloc_message_id();
+        let envelope =
+            Envelope::payload_with_id(id, self.id.clone(), to.clone(), format, payload, net.now());
         self.send_envelope(net, envelope, deadline)
     }
 
@@ -282,7 +304,9 @@ impl ReliableEndpoint {
         payload: Bytes,
         deadline_ms: Option<u64>,
     ) -> Result<MessageId> {
-        let envelope = Envelope::payload(self.id.clone(), to.clone(), format, payload, net.now());
+        let id = net.alloc_message_id();
+        let envelope =
+            Envelope::payload_with_id(id, self.id.clone(), to.clone(), format, payload, net.now());
         self.send_envelope(net, envelope, deadline_ms)
     }
 
@@ -296,7 +320,9 @@ impl ReliableEndpoint {
         payload: Bytes,
     ) -> Result<MessageId> {
         let deadline = self.config.deadline_ms;
-        let envelope = Envelope::notify(self.id.clone(), to.clone(), format, payload, net.now());
+        let id = net.alloc_message_id();
+        let envelope =
+            Envelope::notify_with_id(id, self.id.clone(), to.clone(), format, payload, net.now());
         self.send_envelope(net, envelope, deadline)
     }
 
@@ -437,7 +463,9 @@ impl ReliableEndpoint {
                         // Do NOT acknowledge: a corrupt copy must not
                         // cancel retransmission. NACK to heal faster.
                         self.stats.corrupt_rejected += 1;
-                        let nack = Envelope::nack(
+                        let id = net.alloc_message_id();
+                        let nack = Envelope::nack_with_id(
+                            id,
                             self.id.clone(),
                             envelope.from.clone(),
                             &envelope,
@@ -448,8 +476,14 @@ impl ReliableEndpoint {
                     }
                     // Acknowledge even duplicates — the sender may have
                     // missed our previous ack.
-                    let ack =
-                        Envelope::ack(self.id.clone(), envelope.from.clone(), &envelope, net.now());
+                    let id = net.alloc_message_id();
+                    let ack = Envelope::ack_with_id(
+                        id,
+                        self.id.clone(),
+                        envelope.from.clone(),
+                        &envelope,
+                        net.now(),
+                    );
                     net.send(ack)?;
                     if self.seen.insert(envelope.id.clone()) {
                         self.stats.delivered += 1;
@@ -461,6 +495,21 @@ impl ReliableEndpoint {
             }
         }
         Ok(fresh)
+    }
+
+    /// Like [`receive`](Self::receive), but classifies the fresh
+    /// envelopes by wire class on the way out. Staged hosts use this to
+    /// hand payload batches to shard routing and notices to edge failure
+    /// handling in one pass.
+    pub fn receive_classified(&mut self, net: &mut SimNetwork) -> Result<InboundBatch> {
+        let mut batch = InboundBatch::default();
+        for envelope in self.receive(net)? {
+            match envelope.class {
+                WireClass::Notify => batch.notices.push(envelope),
+                _ => batch.payloads.push(envelope),
+            }
+        }
+        Ok(batch)
     }
 
     /// Error value for a failed delivery (convenience for callers),

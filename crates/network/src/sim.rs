@@ -3,7 +3,7 @@
 use crate::clock::SimTime;
 use crate::error::{NetworkError, Result};
 use crate::fault::FaultConfig;
-use crate::message::{EndpointId, Envelope};
+use crate::message::{EndpointId, Envelope, MessageId};
 use crate::rng::SimRng;
 use bytes::Bytes;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -62,7 +62,13 @@ pub struct SimNetwork {
     inboxes: BTreeMap<EndpointId, VecDeque<Envelope>>,
     stats: NetworkStats,
     seq: u64,
+    next_msg: u64,
 }
+
+/// Network-scoped message ids live in their own range so they can never
+/// collide with ids from the process-global [`MessageId::fresh`] counter
+/// (mixed usage within one test would otherwise confuse deduplication).
+const MSG_ID_BASE: u64 = 1 << 32;
 
 impl SimNetwork {
     /// Creates a network with the given fault profile and RNG seed.
@@ -76,7 +82,19 @@ impl SimNetwork {
             inboxes: BTreeMap::new(),
             stats: NetworkStats::default(),
             seq: 0,
+            next_msg: MSG_ID_BASE,
         }
+    }
+
+    /// Allocates the next network-scoped message id. Unlike
+    /// [`MessageId::fresh`], the result is a pure function of this
+    /// network's traffic so far, so two runs with the same seed produce
+    /// the same ids — the property the sharded runtime's byte-identity
+    /// checks rest on.
+    pub fn alloc_message_id(&mut self) -> MessageId {
+        let id = MessageId::from_raw(self.next_msg);
+        self.next_msg += 1;
+        id
     }
 
     /// Current logical time.

@@ -83,6 +83,25 @@ impl WorkflowDatabase {
         self.instances.keys().copied().collect()
     }
 
+    /// The full type map (read-only; shard workers share it by reference).
+    pub(crate) fn types_map(&self) -> &BTreeMap<WorkflowTypeId, WorkflowType> {
+        &self.types
+    }
+
+    /// Splits the database into disjoint borrows: shared types, mutable
+    /// instances, and the mutable id counter. The execution layer needs
+    /// all three at once (types are read by every step, instances are the
+    /// per-shard mutable state, the counter gates spawns).
+    pub(crate) fn split_mut(
+        &mut self,
+    ) -> (
+        &BTreeMap<WorkflowTypeId, WorkflowType>,
+        &mut BTreeMap<InstanceId, WorkflowInstance>,
+        &mut u64,
+    ) {
+        (&self.types, &mut self.instances, &mut self.next_instance)
+    }
+
     /// Serializes the whole database.
     pub fn snapshot(&self) -> Result<String> {
         serde_json::to_string(self).map_err(|e| WfError::Snapshot { reason: e.to_string() })

