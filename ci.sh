@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# The release profile (thin/fat LTO, single codegen unit) is what the
+# experiments and benches run under; make sure it keeps building.
+echo "== cargo build --release =="
+cargo build --offline --release --workspace
+
 # The suite runs twice: once sequential, once with the execute stage
 # sharded across 4 workers, so the parallel path is exercised on every
 # commit. Results must be identical (see tests/sharding.rs).

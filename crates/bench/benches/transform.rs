@@ -63,5 +63,34 @@ fn bench_full_binding_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_transform, bench_codecs, bench_full_binding_path);
+fn bench_dispatch_modes(c: &mut Criterion) {
+    // The tree-walking interpreter against the compiled instruction
+    // stream on the same EDI → normalized → EDI round trip that E15
+    // measures; the two must produce identical documents, so the only
+    // difference on the wire is latency.
+    let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
+    let po = sample_edi_po("4711", 7);
+    let mut group = c.benchmark_group("dispatch");
+    group.throughput(Throughput::Elements(1));
+    for interpreted in [true, false] {
+        let mut transforms = TransformRegistry::with_builtins();
+        transforms.set_interpreted(interpreted);
+        let name = if interpreted { "edi-roundtrip/interpreted" } else { "edi-roundtrip/compiled" };
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                let norm = transforms.transform(&po, &FormatId::NORMALIZED, &ctx).unwrap();
+                black_box(transforms.transform(&norm, &FormatId::EDI_X12, &ctx).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_codecs,
+    bench_full_binding_path,
+    bench_dispatch_modes
+);
 criterion_main!(benches);

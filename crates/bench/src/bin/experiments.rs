@@ -37,6 +37,7 @@ fn main() {
         ("e10", "Message exchange patterns", e10),
         ("e13", "Failure containment: exactly-once-or-dead-lettered", e13),
         ("e14", "Sharded runtime: throughput vs shard count", e14),
+        ("e15", "Binding hot path: compiled transforms and codec caching", e15),
     ];
     for (id, title, run) in experiments {
         if want(id) {
@@ -512,6 +513,188 @@ fn e14() {
         println!("(BENCH_sharding.json not written: {e})");
     } else {
         println!("wrote BENCH_sharding.json");
+    }
+}
+
+fn e15() {
+    use b2b_core::engine::{IntegrationEngine, IntegrationStats};
+    use b2b_core::metrics::CodecCacheStats;
+    use b2b_core::partner::TradingPartner;
+    use b2b_core::private_process::QUOTE_PRICE_RULE;
+    use b2b_document::formats::sample_edi_po;
+    use b2b_document::{record, CorrelationId, Date, Document, FormatId, Value};
+    use b2b_protocol::TradingPartnerAgreement;
+    use b2b_rules::{BusinessRule, RuleFunction};
+    use b2b_transform::{TransformContext, TransformRegistry};
+
+    // Part 1: per-document transform latency, rule-tree interpreter vs
+    // compiled instruction stream, on the PO round trip a binding actually
+    // runs per inbound order (EDI -> normalized -> EDI). Identity is
+    // asserted in the same run: both dispatch modes must produce equal
+    // documents before timing counts.
+    const BATCHES: u32 = 10;
+    const BATCH_ITERS: u32 = 1_000;
+    let mut reg = TransformRegistry::with_builtins();
+    let ctx = TransformContext::new("ACME", "GADGET", "000000042", "i-e15");
+    let doc = sample_edi_po("E15", 7);
+
+    let compiled_norm = reg.transform(&doc, &FormatId::NORMALIZED, &ctx).expect("compiled norm");
+    let compiled_back =
+        reg.transform(&compiled_norm, &FormatId::EDI_X12, &ctx).expect("compiled back");
+    reg.set_interpreted(true);
+    let interp_norm = reg.transform(&doc, &FormatId::NORMALIZED, &ctx).expect("interpreted norm");
+    let interp_back =
+        reg.transform(&interp_norm, &FormatId::EDI_X12, &ctx).expect("interpreted back");
+    assert_eq!(compiled_norm, interp_norm, "dispatch modes agree on EDI -> normalized");
+    assert_eq!(compiled_back, interp_back, "dispatch modes agree on normalized -> EDI");
+
+    // One timed batch per call; the caller interleaves modes and keeps the
+    // per-mode minimum, which is robust against scheduler noise.
+    let time_batch = |reg: &TransformRegistry| -> f64 {
+        let started = std::time::Instant::now();
+        for _ in 0..BATCH_ITERS {
+            let norm = reg.transform(&doc, &FormatId::NORMALIZED, &ctx).expect("norm");
+            let back = reg.transform(&norm, &FormatId::EDI_X12, &ctx).expect("back");
+            std::hint::black_box(back);
+        }
+        started.elapsed().as_secs_f64() * 1e6 / BATCH_ITERS as f64
+    };
+    let (mut interp_us, mut compiled_us) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..BATCHES {
+        reg.set_interpreted(true);
+        interp_us = interp_us.min(time_batch(&reg));
+        reg.set_interpreted(false);
+        compiled_us = compiled_us.min(time_batch(&reg));
+    }
+    let speedup = interp_us / compiled_us;
+    println!(
+        "PO round trip (EDI -> normalized -> EDI), \
+         best of {BATCHES}x{BATCH_ITERS} iterations:"
+    );
+    println!("  interpreted: {interp_us:>8.2} us/round-trip");
+    println!("  compiled:    {compiled_us:>8.2} us/round-trip  ({speedup:.2}x)");
+
+    // Part 2: end to end. The E14 broadcast workload (one buyer, 24
+    // sellers, RosettaNet RFQ -> Quote) with the whole fleet toggled
+    // between dispatch modes. Outcomes must be identical — the toggle may
+    // only move wall-clock time.
+    const SELLERS: usize = 24;
+    let run = |interpret: bool| -> (f64, u64, IntegrationStats, usize, CodecCacheStats) {
+        let mut net = SimNetwork::new(FaultConfig::reliable(), 15);
+        let mut buyer = IntegrationEngine::new("ACME", &mut net).expect("buyer");
+        buyer.set_interpreted_transforms(interpret);
+        let mut sellers = Vec::new();
+        for i in 0..SELLERS {
+            let name = format!("Seller{i:02}");
+            let mut seller = IntegrationEngine::new(&name, &mut net).expect("seller");
+            seller.set_interpreted_transforms(interpret);
+            seller.add_partner(TradingPartner::new("ACME"));
+            let mut f = RuleFunction::new(QUOTE_PRICE_RULE);
+            f.add_rule(
+                BusinessRule::parse("flat", "true", &format!("money(\"{}.00 USD\")", 800 + i))
+                    .expect("rule"),
+            );
+            seller.rules_mut().register(f);
+            buyer.add_partner(TradingPartner::new(&name));
+            let (init, resp) = MessageExchangePattern::RequestReply {
+                request: DocKind::RequestForQuote,
+                reply: DocKind::Quote,
+            }
+            .role_processes(&format!("rfq-{name}"), FormatId::ROSETTANET)
+            .expect("processes");
+            let agreement = TradingPartnerAgreement::between(
+                &format!("rfq-{name}"),
+                "ACME",
+                &name,
+                &init,
+                &resp,
+                true,
+            )
+            .expect("agreement");
+            buyer.install_agreement(agreement.clone(), &init, &resp).expect("install");
+            seller.install_agreement(agreement.clone(), &init, &resp).expect("install");
+            sellers.push((seller, agreement.id));
+        }
+        let rfq = Document::new(
+            DocKind::RequestForQuote,
+            FormatId::NORMALIZED,
+            CorrelationId::for_rfq_number("E15"),
+            record! {
+                "header" => record! {
+                    "rfq_number" => Value::text("E15"),
+                    "buyer" => Value::text("ACME"),
+                    "item" => Value::text("LAPTOP-T23"),
+                    "quantity" => Value::Int(100),
+                    "respond_by" => Value::Date(Date::new(2001, 10, 1).expect("date")),
+                },
+            },
+        );
+        let correlation = rfq.correlation().clone();
+        let started = std::time::Instant::now();
+        for (_, agreement_id) in &sellers {
+            buyer.initiate(&mut net, agreement_id, rfq.clone()).expect("initiate");
+        }
+        for _ in 0..2_000 {
+            net.advance(10);
+            buyer.pump(&mut net).expect("pump");
+            for (seller, _) in sellers.iter_mut() {
+                seller.pump(&mut net).expect("pump");
+            }
+            if net.idle() {
+                break;
+            }
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(
+            buyer.session_state(&correlation),
+            SessionState::Completed,
+            "broadcast completes (interpret={interpret})"
+        );
+        (
+            wall_ms,
+            net.now().as_millis(),
+            buyer.stats().clone(),
+            buyer.completed_sessions(),
+            *buyer.codec_cache_stats(),
+        )
+    };
+
+    let (interp_wall, interp_sim, interp_stats, interp_done, interp_cache) = run(true);
+    let (comp_wall, comp_sim, comp_stats, comp_done, comp_cache) = run(false);
+    assert_eq!(comp_stats, interp_stats, "dispatch modes diverged (buyer stats)");
+    assert_eq!(comp_done, interp_done, "dispatch modes diverged (completions)");
+    assert_eq!(comp_sim, interp_sim, "dispatch modes diverged (simulated clock)");
+    assert_eq!(comp_cache, interp_cache, "dispatch modes diverged (codec cache traffic)");
+    let interp_per_s = interp_done as f64 / (interp_wall / 1_000.0);
+    let comp_per_s = comp_done as f64 / (comp_wall / 1_000.0);
+    println!();
+    println!("{SELLERS}-seller RFQ broadcast, end to end (results asserted identical):");
+    println!("  interpreted: {interp_wall:>7.1} ms wall  {interp_per_s:>8.0} sessions/s");
+    println!(
+        "  compiled:    {comp_wall:>7.1} ms wall  {comp_per_s:>8.0} sessions/s  ({:.2}x)",
+        interp_wall / comp_wall
+    );
+    println!("  buyer codec caches: {comp_cache}");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"binding\",\n  \"roundtrip\": {{\"batches\": {BATCHES}, \
+         \"batch_iters\": {BATCH_ITERS}, \
+         \"interpreted_us_per_doc\": {interp_us:.3}, \"compiled_us_per_doc\": {compiled_us:.3}, \
+         \"speedup\": {speedup:.3}}},\n  \"rfq_broadcast\": {{\"sellers\": {SELLERS}, \
+         \"interpreted_wall_ms\": {interp_wall:.2}, \"compiled_wall_ms\": {comp_wall:.2}, \
+         \"interpreted_sessions_per_s\": {interp_per_s:.1}, \"compiled_sessions_per_s\": \
+         {comp_per_s:.1}, \"speedup\": {:.3}}},\n  \"codec_cache\": {{\"decode_hits\": {}, \
+         \"decode_misses\": {}, \"encode_buffer_reuses\": {}, \"encode_buffer_allocs\": {}}}\n}}\n",
+        interp_wall / comp_wall,
+        comp_cache.decode_hits,
+        comp_cache.decode_misses,
+        comp_cache.encode_buffer_reuses,
+        comp_cache.encode_buffer_allocs,
+    );
+    if let Err(e) = std::fs::write("BENCH_binding.json", &json) {
+        println!("(BENCH_binding.json not written: {e})");
+    } else {
+        println!("wrote BENCH_binding.json");
     }
 }
 

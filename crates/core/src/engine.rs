@@ -176,6 +176,18 @@ impl IntegrationEngine {
         self.wf.rules_mut()
     }
 
+    /// Counters for the edge's decode memo and encode buffers.
+    pub fn codec_cache_stats(&self) -> &crate::metrics::CodecCacheStats {
+        self.edge.cache_stats()
+    }
+
+    /// Switches the transform registry between the compiled executor
+    /// (default) and the rule-tree interpreter. The two are observably
+    /// identical; experiments toggle this to measure the difference.
+    pub fn set_interpreted_transforms(&mut self, interpret: bool) {
+        self.wf.transforms_mut().set_interpreted(interpret);
+    }
+
     /// Registers a trading partner.
     pub fn add_partner(&mut self, partner: TradingPartner) {
         self.partners.add(partner);

@@ -87,6 +87,39 @@ impl fmt::Display for ModelSize {
     }
 }
 
+/// Counters for the edge's codec caches (experiment E15).
+///
+/// The decode memo keys on `(format, payload checksum)`: a hit means the
+/// edge skipped re-parsing bytes it had already decoded (retransmitted
+/// duplicates, dead-letter replays). The encode buffers are reused per
+/// `(format, kind)`, so after warm-up every outbound encode appends into
+/// an existing allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecCacheStats {
+    /// Decodes answered from the memo without re-parsing.
+    pub decode_hits: u64,
+    /// Decodes that had to parse the payload bytes.
+    pub decode_misses: u64,
+    /// Outbound encodes that reused an existing per-(format, kind) buffer.
+    pub encode_buffer_reuses: u64,
+    /// Outbound encodes that allocated a fresh buffer (first use of a
+    /// (format, kind) pair).
+    pub encode_buffer_allocs: u64,
+}
+
+impl fmt::Display for CodecCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decode {} hit / {} miss, encode buffers {} reused / {} allocated",
+            self.decode_hits,
+            self.decode_misses,
+            self.encode_buffer_reuses,
+            self.encode_buffer_allocs
+        )
+    }
+}
+
 /// What one enterprise can learn about another under a given architecture
 /// (experiment E3).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

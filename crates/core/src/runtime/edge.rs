@@ -8,13 +8,20 @@
 //! therefore deal exclusively in well-formed documents.
 
 use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
-use b2b_document::{Document, FormatId, FormatRegistry};
+use crate::metrics::CodecCacheStats;
+use b2b_document::{DocKind, Document, FormatId, FormatRegistry};
 use b2b_network::{
     Bytes, EndpointId, Envelope, InboundBatch, MessageId, ReliableConfig, ReliableEndpoint,
     SimNetwork,
 };
 use b2b_protocol::FailureNotice;
+use std::collections::HashMap;
 use std::fmt;
+
+/// Decode-memo bound: past this many distinct payloads the memo is
+/// cleared wholesale (deterministic, unlike an LRU, and the memo exists
+/// for short retransmission windows, not long-term storage).
+const DECODE_MEMO_CAP: usize = 1024;
 
 /// What the edge rejects (and quarantines) without involving routing.
 #[derive(Debug)]
@@ -42,6 +49,14 @@ pub(crate) struct Edge {
     reliable: ReliableEndpoint,
     formats: FormatRegistry,
     dead_letters: DeadLetterQueue,
+    /// Memoized decodes keyed by (declared format, payload checksum); the
+    /// stored payload guards against checksum collisions. Retransmitted
+    /// duplicates and dead-letter replays skip re-parsing.
+    decode_memo: HashMap<(FormatId, u64), (Bytes, Document)>,
+    /// Reusable encode buffers, one per (format, kind): after warm-up,
+    /// outbound encodes append into an existing allocation.
+    encode_buffers: HashMap<(FormatId, DocKind), Vec<u8>>,
+    cache_stats: CodecCacheStats,
 }
 
 impl Edge {
@@ -54,6 +69,9 @@ impl Edge {
             reliable: ReliableEndpoint::new(endpoint, config, net)?,
             formats: FormatRegistry::with_builtins(),
             dead_letters: DeadLetterQueue::default(),
+            decode_memo: HashMap::new(),
+            encode_buffers: HashMap::new(),
+            cache_stats: CodecCacheStats::default(),
         })
     }
 
@@ -63,11 +81,45 @@ impl Edge {
         self.reliable.receive_classified(net)
     }
 
-    /// Decodes a payload envelope into a document.
-    pub fn decode(&self, envelope: &Envelope) -> Result<Document, EdgeError> {
-        self.formats
+    /// Decodes a payload envelope into a document, memoizing by
+    /// (format, payload checksum). Decoding is deterministic, so a memo
+    /// hit returns exactly the document a fresh parse would.
+    pub fn decode(&mut self, envelope: &Envelope) -> Result<Document, EdgeError> {
+        let key = (envelope.format.clone(), envelope.checksum);
+        if let Some((payload, doc)) = self.decode_memo.get(&key) {
+            if payload == &envelope.payload {
+                self.cache_stats.decode_hits += 1;
+                return Ok(doc.clone());
+            }
+        }
+        let doc = self
+            .formats
             .decode(&envelope.format, &envelope.payload)
-            .map_err(|e| EdgeError::Decode(e.to_string()))
+            .map_err(|e| EdgeError::Decode(e.to_string()))?;
+        self.cache_stats.decode_misses += 1;
+        if self.decode_memo.len() >= DECODE_MEMO_CAP {
+            self.decode_memo.clear();
+        }
+        self.decode_memo.insert(key, (envelope.payload.clone(), doc.clone()));
+        Ok(doc)
+    }
+
+    /// Counts a suppressed duplicate delivery against the decode memo: a
+    /// hit means the memo would have saved a re-parse had the duplicate
+    /// been decoded. Never parses (duplicates are not routed), so a
+    /// duplicate of a payload the memo no longer holds counts nothing.
+    pub fn note_duplicate(&mut self, envelope: &Envelope) {
+        let key = (envelope.format.clone(), envelope.checksum);
+        if let Some((payload, _)) = self.decode_memo.get(&key) {
+            if payload == &envelope.payload {
+                self.cache_stats.decode_hits += 1;
+            }
+        }
+    }
+
+    /// Counters for the decode memo and encode buffers.
+    pub fn cache_stats(&self) -> &CodecCacheStats {
+        &self.cache_stats
     }
 
     /// Parses a failure-notice body.
@@ -77,9 +129,26 @@ impl Edge {
             .and_then(|s| serde_json::from_str(s).map_err(|e| EdgeError::Notice(e.to_string())))
     }
 
-    /// Encodes a document for the wire.
-    pub fn encode(&self, doc: &Document) -> Result<Vec<u8>, b2b_document::DocumentError> {
-        self.formats.encode(doc)
+    /// Encodes a document for the wire, reusing a per-(format, kind)
+    /// buffer so steady-state encodes never grow a fresh allocation.
+    pub fn encode(&mut self, doc: &Document) -> Result<Bytes, b2b_document::DocumentError> {
+        let key = (doc.format().clone(), doc.kind());
+        match self.encode_buffers.get_mut(&key) {
+            Some(buf) => {
+                self.cache_stats.encode_buffer_reuses += 1;
+                buf.clear();
+                self.formats.encode_into(doc, buf)?;
+                Ok(Bytes::copy_from_slice(buf))
+            }
+            None => {
+                self.cache_stats.encode_buffer_allocs += 1;
+                let mut buf = Vec::with_capacity(256);
+                self.formats.encode_into(doc, &mut buf)?;
+                let bytes = Bytes::copy_from_slice(&buf);
+                self.encode_buffers.insert(key, buf);
+                Ok(bytes)
+            }
+        }
     }
 
     /// Sends a payload reliably, optionally bounded by a receipt deadline.

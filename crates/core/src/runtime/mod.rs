@@ -50,6 +50,11 @@ impl IntegrationEngine {
         for envelope in batch.payloads {
             self.route_inbound(net, envelope)?;
         }
+        // Suppressed duplicates are never routed; they only tell the
+        // decode memo how many re-parses it saved.
+        for envelope in &batch.duplicates {
+            self.edge.note_duplicate(envelope);
+        }
         self.poll_backends()?;
 
         // Stages 3+4: execute (sharded) and emit, alternating to a

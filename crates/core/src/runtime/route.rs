@@ -19,7 +19,7 @@ use crate::private_process::{
 use crate::runtime::edge::Edge;
 use crate::session::Session;
 use b2b_document::{CorrelationId, DocKind, Document};
-use b2b_network::{Bytes, Envelope, SimNetwork};
+use b2b_network::{Envelope, SimNetwork};
 use b2b_wfms::{ChannelId, InstanceId, WorkflowTypeId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -283,13 +283,8 @@ impl IntegrationEngine {
                 // A protocol-level WaitReceipt bounds this send's lifetime.
                 let deadline = self.receipt_deadlines.get(&session.agreement_id).copied();
                 let bytes = self.edge.encode(&doc)?;
-                let msg = self.edge.send_payload(
-                    net,
-                    &partner_endpoint,
-                    format,
-                    Bytes::from(bytes),
-                    deadline,
-                )?;
+                let msg =
+                    self.edge.send_payload(net, &partner_endpoint, format, bytes, deadline)?;
                 self.outstanding_wire.insert(msg, index);
                 self.stats.wire_sent += 1;
             }

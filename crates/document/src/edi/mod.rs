@@ -13,7 +13,7 @@ mod parse;
 mod write;
 
 pub use parse::parse_interchange;
-pub use write::write_interchange;
+pub use write::{write_interchange, write_interchange_into};
 
 use crate::error::{DocumentError, Result};
 

@@ -16,7 +16,15 @@ fn write_segment(seg: &Segment, out: &mut String) {
 /// Serializes a full interchange, generating the ISA/GS/ST…SE/GE/IEA
 /// envelope with consistent control numbers and counts.
 pub fn write_interchange(ic: &Interchange) -> String {
-    let mut out = String::with_capacity(256 + ic.segments.len() * 40);
+    let mut out = String::new();
+    write_interchange_into(ic, &mut out);
+    out
+}
+
+/// Like [`write_interchange`], appending to a caller-owned buffer so the
+/// edge's encode buffers can reuse one allocation across documents.
+pub fn write_interchange_into(ic: &Interchange, out: &mut String) {
+    out.reserve(256 + ic.segments.len() * 40);
     let st_control = "0001";
     write_segment(
         &Segment::new(
@@ -40,7 +48,7 @@ pub fn write_interchange(ic: &Interchange) -> String {
                 ">",
             ],
         ),
-        &mut out,
+        out,
     );
     write_segment(
         &Segment::new(
@@ -56,17 +64,16 @@ pub fn write_interchange(ic: &Interchange) -> String {
                 "004010",
             ],
         ),
-        &mut out,
+        out,
     );
-    write_segment(&Segment::new("ST", &[&ic.transaction_set, st_control]), &mut out);
+    write_segment(&Segment::new("ST", &[&ic.transaction_set, st_control]), out);
     for seg in &ic.segments {
-        write_segment(seg, &mut out);
+        write_segment(seg, out);
     }
     let count = ic.segments.len() + 2;
-    write_segment(&Segment::new("SE", &[&count.to_string(), st_control]), &mut out);
-    write_segment(&Segment::new("GE", &["1", &ic.control_number]), &mut out);
-    write_segment(&Segment::new("IEA", &["1", &ic.control_number]), &mut out);
-    out
+    write_segment(&Segment::new("SE", &[&count.to_string(), st_control]), out);
+    write_segment(&Segment::new("GE", &["1", &ic.control_number]), out);
+    write_segment(&Segment::new("IEA", &["1", &ic.control_number]), out);
 }
 
 #[cfg(test)]

@@ -5,11 +5,13 @@
 //! the normalized format are real structural mappings, as in the paper's
 //! Figure 9 ("Transform EDI to SAP PO").
 
-use super::util::{decimal_to_money, field, money_to_decimal, parse_int};
+use super::util::{decimal_to_money, field, money_to_decimal, parse_int, string_encode_into};
 use super::{FormatCodec, FormatId};
 use crate::date::Date;
 use crate::document::{DocKind, Document};
-use crate::edi::{parse_interchange, write_interchange, Interchange, Segment};
+use crate::edi::{
+    parse_interchange, write_interchange, write_interchange_into, Interchange, Segment,
+};
 use crate::error::{DocumentError, Result};
 use crate::ids::{CorrelationId, DocumentId};
 use crate::money::Currency;
@@ -30,6 +32,25 @@ pub const ACK_CHANGED: &str = "IC";
 pub struct EdiX12Codec;
 
 impl EdiX12Codec {
+    /// Shared front half of `encode`/`encode_into`: format and kind checks
+    /// plus building the interchange.
+    fn interchange_of(&self, doc: &Document) -> Result<Interchange> {
+        if doc.format() != &FormatId::EDI_X12 {
+            return Err(DocumentError::Encode {
+                format: FORMAT.into(),
+                reason: format!("document is in format {}", doc.format()),
+            });
+        }
+        match doc.kind() {
+            DocKind::PurchaseOrder => self.encode_po(doc),
+            DocKind::PurchaseOrderAck => self.encode_poa(doc),
+            other => Err(DocumentError::UnsupportedKind {
+                format: FORMAT.into(),
+                kind: other.to_string(),
+            }),
+        }
+    }
+
     fn encode_po(&self, doc: &Document) -> Result<Interchange> {
         let body = doc.body().as_record("$")?;
         let envelope = field(body, "envelope", FORMAT)?.as_record("envelope")?;
@@ -241,23 +262,15 @@ impl FormatCodec for EdiX12Codec {
     }
 
     fn encode(&self, doc: &Document) -> Result<Vec<u8>> {
-        if doc.format() != &FormatId::EDI_X12 {
-            return Err(DocumentError::Encode {
-                format: FORMAT.into(),
-                reason: format!("document is in format {}", doc.format()),
-            });
-        }
-        let ic = match doc.kind() {
-            DocKind::PurchaseOrder => self.encode_po(doc)?,
-            DocKind::PurchaseOrderAck => self.encode_poa(doc)?,
-            other => {
-                return Err(DocumentError::UnsupportedKind {
-                    format: FORMAT.into(),
-                    kind: other.to_string(),
-                })
-            }
-        };
-        Ok(write_interchange(&ic).into_bytes())
+        Ok(write_interchange(&self.interchange_of(doc)?).into_bytes())
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        let ic = self.interchange_of(doc)?;
+        string_encode_into(out, |s| {
+            write_interchange_into(&ic, s);
+            Ok(())
+        })
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Document> {

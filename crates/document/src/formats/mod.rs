@@ -77,6 +77,16 @@ pub trait FormatCodec: Send + Sync {
     /// Serializes a document (whose body must follow this format's shape).
     fn encode(&self, doc: &Document) -> Result<Vec<u8>>;
 
+    /// Serializes a document by appending to a caller-owned buffer, so hot
+    /// paths can reuse one allocation across documents. The buffer's prior
+    /// contents are untouched on success; on error they are unspecified.
+    /// The default delegates to [`encode`](Self::encode); codecs override
+    /// it to serialize straight into the buffer.
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        out.extend_from_slice(&self.encode(doc)?);
+        Ok(())
+    }
+
     /// Parses wire bytes into a format-shaped document.
     fn decode(&self, bytes: &[u8]) -> Result<Document>;
 }

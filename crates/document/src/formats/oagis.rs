@@ -3,7 +3,7 @@
 //! This is the third B2B protocol format; the paper's Figure 10/15 step
 //! ("add one more trading partner with one more protocol") adds OAGIS.
 
-use super::util::{decimal_to_money, field, money_to_decimal, parse_int};
+use super::util::{decimal_to_money, field, money_to_decimal, parse_int, string_encode_into};
 use super::{FormatCodec, FormatId};
 use crate::date::Date;
 use crate::document::{DocKind, Document};
@@ -12,7 +12,7 @@ use crate::ids::{CorrelationId, DocumentId};
 use crate::money::Currency;
 use crate::record;
 use crate::value::Value;
-use crate::xml::{parse_element, XmlElement};
+use crate::xml::{parse_element, write_element_into, XmlElement};
 
 const FORMAT: &str = "oagis";
 
@@ -66,7 +66,26 @@ fn control_area_value(root: &XmlElement, expect_verb: &str) -> Result<Value> {
 }
 
 impl OagisCodec {
-    fn encode_po(&self, doc: &Document) -> Result<String> {
+    /// Shared front half of `encode`/`encode_into`: format and kind checks
+    /// plus building the element tree.
+    fn element_of(&self, doc: &Document) -> Result<XmlElement> {
+        if doc.format() != &FormatId::OAGIS {
+            return Err(DocumentError::Encode {
+                format: FORMAT.into(),
+                reason: format!("document is in format {}", doc.format()),
+            });
+        }
+        match doc.kind() {
+            DocKind::PurchaseOrder => self.encode_po(doc),
+            DocKind::PurchaseOrderAck => self.encode_poa(doc),
+            other => Err(DocumentError::UnsupportedKind {
+                format: FORMAT.into(),
+                kind: other.to_string(),
+            }),
+        }
+    }
+
+    fn encode_po(&self, doc: &Document) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let da = field(body, "data_area", FORMAT)?.as_record("data_area")?;
         let hdr = field(da, "po_header", FORMAT)?.as_record("po_header")?;
@@ -113,13 +132,10 @@ impl OagisCodec {
                     )),
             );
         }
-        Ok(XmlElement::new("PROCESS_PO")
-            .child(control_area_xml(doc, "PROCESS")?)
-            .child(data_el)
-            .to_xml())
+        Ok(XmlElement::new("PROCESS_PO").child(control_area_xml(doc, "PROCESS")?).child(data_el))
     }
 
-    fn encode_poa(&self, doc: &Document) -> Result<String> {
+    fn encode_poa(&self, doc: &Document) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let da = field(body, "data_area", FORMAT)?.as_record("data_area")?;
         let hdr = field(da, "ack_header", FORMAT)?.as_record("ack_header")?;
@@ -155,8 +171,7 @@ impl OagisCodec {
         }
         Ok(XmlElement::new("ACKNOWLEDGE_PO")
             .child(control_area_xml(doc, "ACKNOWLEDGE")?)
-            .child(data_el)
-            .to_xml())
+            .child(data_el))
     }
 
     fn decode_po(&self, root: &XmlElement) -> Result<Document> {
@@ -258,23 +273,15 @@ impl FormatCodec for OagisCodec {
     }
 
     fn encode(&self, doc: &Document) -> Result<Vec<u8>> {
-        if doc.format() != &FormatId::OAGIS {
-            return Err(DocumentError::Encode {
-                format: FORMAT.into(),
-                reason: format!("document is in format {}", doc.format()),
-            });
-        }
-        let xml = match doc.kind() {
-            DocKind::PurchaseOrder => self.encode_po(doc)?,
-            DocKind::PurchaseOrderAck => self.encode_poa(doc)?,
-            other => {
-                return Err(DocumentError::UnsupportedKind {
-                    format: FORMAT.into(),
-                    kind: other.to_string(),
-                })
-            }
-        };
-        Ok(xml.into_bytes())
+        Ok(self.element_of(doc)?.to_xml().into_bytes())
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        let el = self.element_of(doc)?;
+        string_encode_into(out, |s| {
+            write_element_into(&el, s);
+            Ok(())
+        })
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Document> {

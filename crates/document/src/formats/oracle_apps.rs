@@ -4,7 +4,7 @@
 //! interface table would: a `PO_HEADERS` row plus `PO_LINES` rows. The wire
 //! form is a sectioned key/value text (one `[TABLE]` block per row).
 
-use super::util::{decimal_to_money, field, money_to_decimal, parse_int};
+use super::util::{decimal_to_money, field, money_to_decimal, parse_int, string_encode_into};
 use super::{FormatCodec, FormatId};
 use crate::date::Date;
 use crate::document::{DocKind, Document};
@@ -83,10 +83,29 @@ fn col<'a>(row: &'a Row, name: &str) -> Result<&'a str> {
 }
 
 impl OracleAppsCodec {
-    fn encode_po(&self, doc: &Document) -> Result<String> {
+    /// Shared front half of `encode`/`encode_into`: format and kind checks
+    /// plus dispatch to the row writers.
+    fn encode_text_into(&self, doc: &Document, out: &mut String) -> Result<()> {
+        if doc.format() != &FormatId::ORACLE_APPS {
+            return Err(DocumentError::Encode {
+                format: FORMAT.into(),
+                reason: format!("document is in format {}", doc.format()),
+            });
+        }
+        match doc.kind() {
+            DocKind::PurchaseOrder => self.encode_po(doc, out),
+            DocKind::PurchaseOrderAck => self.encode_poa(doc, out),
+            other => Err(DocumentError::UnsupportedKind {
+                format: FORMAT.into(),
+                kind: other.to_string(),
+            }),
+        }
+    }
+
+    fn encode_po(&self, doc: &Document, out: &mut String) -> Result<()> {
         let body = doc.body().as_record("$")?;
         let hdr = field(body, "po_header", FORMAT)?.as_record("po_header")?;
-        let mut out = String::with_capacity(256);
+        out.reserve(256);
         write_row(
             "PO_HEADERS",
             &[
@@ -113,7 +132,7 @@ impl OracleAppsCodec {
                     money_to_decimal(field(hdr, "total_amount", FORMAT)?.as_money("total_amount")?),
                 ),
             ],
-            &mut out,
+            out,
         );
         for (i, line) in field(body, "po_lines", FORMAT)?.as_list("po_lines")?.iter().enumerate() {
             let at = format!("po_lines[{i}]");
@@ -129,16 +148,16 @@ impl OracleAppsCodec {
                         money_to_decimal(field(rec, "unit_price", FORMAT)?.as_money(&at)?),
                     ),
                 ],
-                &mut out,
+                out,
             );
         }
-        Ok(out)
+        Ok(())
     }
 
-    fn encode_poa(&self, doc: &Document) -> Result<String> {
+    fn encode_poa(&self, doc: &Document, out: &mut String) -> Result<()> {
         let body = doc.body().as_record("$")?;
         let hdr = field(body, "ack_header", FORMAT)?.as_record("ack_header")?;
-        let mut out = String::with_capacity(128);
+        out.reserve(128);
         write_row(
             "PO_ACKNOWLEDGMENTS",
             &[
@@ -146,7 +165,7 @@ impl OracleAppsCodec {
                 ("STATUS", field(hdr, "status", FORMAT)?.as_text("status")?.to_string()),
                 ("ACK_DATE", field(hdr, "ack_date", FORMAT)?.as_date("ack_date")?.to_string()),
             ],
-            &mut out,
+            out,
         );
         for (i, line) in field(body, "ack_lines", FORMAT)?.as_list("ack_lines")?.iter().enumerate()
         {
@@ -159,10 +178,10 @@ impl OracleAppsCodec {
                     ("STATUS", field(rec, "status", FORMAT)?.as_text(&at)?.to_string()),
                     ("QUANTITY", field(rec, "quantity", FORMAT)?.as_int(&at)?.to_string()),
                 ],
-                &mut out,
+                out,
             );
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decode_rows(&self, rows: &[Row]) -> Result<Document> {
@@ -252,23 +271,13 @@ impl FormatCodec for OracleAppsCodec {
     }
 
     fn encode(&self, doc: &Document) -> Result<Vec<u8>> {
-        if doc.format() != &FormatId::ORACLE_APPS {
-            return Err(DocumentError::Encode {
-                format: FORMAT.into(),
-                reason: format!("document is in format {}", doc.format()),
-            });
-        }
-        let text = match doc.kind() {
-            DocKind::PurchaseOrder => self.encode_po(doc)?,
-            DocKind::PurchaseOrderAck => self.encode_poa(doc)?,
-            other => {
-                return Err(DocumentError::UnsupportedKind {
-                    format: FORMAT.into(),
-                    kind: other.to_string(),
-                })
-            }
-        };
+        let mut text = String::with_capacity(256);
+        self.encode_text_into(doc, &mut text)?;
         Ok(text.into_bytes())
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        string_encode_into(out, |s| self.encode_text_into(doc, s))
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Document> {

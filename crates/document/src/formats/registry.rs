@@ -52,6 +52,12 @@ impl FormatRegistry {
         self.codec(doc.format())?.encode(doc)
     }
 
+    /// Encodes a document by appending to a caller-owned buffer (same
+    /// bytes as [`encode`](Self::encode), reusing the buffer's allocation).
+    pub fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        self.codec(doc.format())?.encode_into(doc, out)
+    }
+
     /// Decodes wire bytes claimed to be in `format`.
     pub fn decode(&self, format: &FormatId, bytes: &[u8]) -> Result<Document> {
         self.codec(format)?.decode(bytes)
@@ -80,6 +86,7 @@ impl std::fmt::Debug for FormatRegistry {
 mod tests {
     use super::*;
     use crate::formats::edi_x12::sample_edi_po;
+    use crate::value::Value;
 
     #[test]
     fn builtins_cover_all_wire_formats() {
@@ -104,6 +111,34 @@ mod tests {
         let wire = reg.encode(&doc).unwrap();
         let back = reg.decode(&FormatId::EDI_X12, &wire).unwrap();
         assert_eq!(back.body(), doc.body());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_builtin() {
+        let reg = FormatRegistry::with_builtins();
+        let docs = [
+            sample_edi_po("81", 2),
+            crate::formats::sample_rn_po("82", 2),
+            crate::formats::sample_oagis_po("83", 2),
+            crate::formats::sample_sap_po("84", 2),
+            crate::formats::sample_oracle_po("85", 2),
+        ];
+        let mut buf = Vec::new();
+        for doc in &docs {
+            buf.clear();
+            reg.encode_into(doc, &mut buf).unwrap();
+            assert_eq!(buf, reg.encode(doc).unwrap(), "{}", doc.format());
+        }
+    }
+
+    #[test]
+    fn encode_into_reports_format_mismatch_like_encode() {
+        let reg = FormatRegistry::with_builtins();
+        let doc = sample_edi_po("86", 1).reformatted(FormatId::ROSETTANET, Value::Null);
+        let mut buf = Vec::new();
+        let by_ref = reg.encode_into(&doc, &mut buf).unwrap_err();
+        let by_val = reg.encode(&doc).unwrap_err();
+        assert_eq!(by_ref.to_string(), by_val.to_string());
     }
 
     #[test]

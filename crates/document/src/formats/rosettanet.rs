@@ -5,7 +5,7 @@
 //! PIP code, instance id) separate from the business payload, mirroring
 //! how PIPs layer on RNIF.
 
-use super::util::{decimal_to_money, field, money_to_decimal, parse_int};
+use super::util::{decimal_to_money, field, money_to_decimal, parse_int, string_encode_into};
 use super::{FormatCodec, FormatId};
 use crate::date::Date;
 use crate::document::{DocKind, Document};
@@ -14,7 +14,7 @@ use crate::ids::{CorrelationId, DocumentId};
 use crate::money::Currency;
 use crate::record;
 use crate::value::Value;
-use crate::xml::{parse_element, XmlElement};
+use crate::xml::{parse_element, write_element_into, XmlElement};
 
 const FORMAT: &str = "rosettanet";
 
@@ -73,7 +73,30 @@ fn service_header_value(root: &XmlElement) -> Result<(Value, String)> {
 }
 
 impl RosettaNetCodec {
-    fn encode_po(&self, doc: &Document) -> Result<String> {
+    /// Shared front half of `encode`/`encode_into`: format and kind checks
+    /// plus building the element tree.
+    fn element_of(&self, doc: &Document) -> Result<XmlElement> {
+        if doc.format() != &FormatId::ROSETTANET {
+            return Err(DocumentError::Encode {
+                format: FORMAT.into(),
+                reason: format!("document is in format {}", doc.format()),
+            });
+        }
+        match doc.kind() {
+            DocKind::PurchaseOrder => self.encode_po(doc),
+            DocKind::PurchaseOrderAck => self.encode_poa(doc),
+            DocKind::RequestForQuote => self.encode_rfq(doc),
+            DocKind::Quote => self.encode_quote(doc),
+            DocKind::Receipt => self.encode_signal(doc, "ReceiptAcknowledgment"),
+            DocKind::Exception => self.encode_signal(doc, "Exception"),
+            other => Err(DocumentError::UnsupportedKind {
+                format: FORMAT.into(),
+                kind: other.to_string(),
+            }),
+        }
+    }
+
+    fn encode_po(&self, doc: &Document) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let po = field(body, "purchase_order", FORMAT)?.as_record("purchase_order")?;
         let mut order = XmlElement::new("PurchaseOrder")
@@ -126,11 +149,10 @@ impl RosettaNetCodec {
         ));
         Ok(XmlElement::new("Pip3A4PurchaseOrderRequest")
             .child(service_header_xml(doc)?)
-            .child(order)
-            .to_xml())
+            .child(order))
     }
 
-    fn encode_poa(&self, doc: &Document) -> Result<String> {
+    fn encode_poa(&self, doc: &Document) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let conf = field(body, "confirmation", FORMAT)?.as_record("confirmation")?;
         let mut el = XmlElement::new("PurchaseOrderConfirmation")
@@ -167,17 +189,15 @@ impl RosettaNetCodec {
         }
         Ok(XmlElement::new("Pip3A4PurchaseOrderConfirmation")
             .child(service_header_xml(doc)?)
-            .child(el)
-            .to_xml())
+            .child(el))
     }
 
-    fn encode_signal(&self, doc: &Document, root: &str) -> Result<String> {
+    fn encode_signal(&self, doc: &Document, root: &str) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let reference = field(body, "ref_instance_id", FORMAT)?.as_text("ref_instance_id")?;
         Ok(XmlElement::new(root)
             .child(service_header_xml(doc)?)
-            .child(XmlElement::with_text("ReferencedInstanceId", reference))
-            .to_xml())
+            .child(XmlElement::with_text("ReferencedInstanceId", reference)))
     }
 
     fn decode_po(&self, root: &XmlElement) -> Result<Document> {
@@ -260,7 +280,7 @@ impl RosettaNetCodec {
         ))
     }
 
-    fn encode_rfq(&self, doc: &Document) -> Result<String> {
+    fn encode_rfq(&self, doc: &Document) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let rfq = field(body, "quote_request", FORMAT)?.as_record("quote_request")?;
         let el = XmlElement::new("QuoteRequest")
@@ -284,10 +304,10 @@ impl RosettaNetCodec {
                 "QuoteDeadline",
                 field(rfq, "respond_by", FORMAT)?.as_date("respond_by")?.to_string(),
             ));
-        Ok(XmlElement::new("Pip3A1QuoteRequest").child(service_header_xml(doc)?).child(el).to_xml())
+        Ok(XmlElement::new("Pip3A1QuoteRequest").child(service_header_xml(doc)?).child(el))
     }
 
-    fn encode_quote(&self, doc: &Document) -> Result<String> {
+    fn encode_quote(&self, doc: &Document) -> Result<XmlElement> {
         let body = doc.body().as_record("$")?;
         let quote = field(body, "quote", FORMAT)?.as_record("quote")?;
         let el = XmlElement::new("Quote")
@@ -311,7 +331,7 @@ impl RosettaNetCodec {
                 "QuoteValidUntil",
                 field(quote, "valid_until", FORMAT)?.as_date("valid_until")?.to_string(),
             ));
-        Ok(XmlElement::new("Pip3A1Quote").child(service_header_xml(doc)?).child(el).to_xml())
+        Ok(XmlElement::new("Pip3A1Quote").child(service_header_xml(doc)?).child(el))
     }
 
     fn decode_rfq(&self, root: &XmlElement) -> Result<Document> {
@@ -404,27 +424,15 @@ impl FormatCodec for RosettaNetCodec {
     }
 
     fn encode(&self, doc: &Document) -> Result<Vec<u8>> {
-        if doc.format() != &FormatId::ROSETTANET {
-            return Err(DocumentError::Encode {
-                format: FORMAT.into(),
-                reason: format!("document is in format {}", doc.format()),
-            });
-        }
-        let xml = match doc.kind() {
-            DocKind::PurchaseOrder => self.encode_po(doc)?,
-            DocKind::PurchaseOrderAck => self.encode_poa(doc)?,
-            DocKind::RequestForQuote => self.encode_rfq(doc)?,
-            DocKind::Quote => self.encode_quote(doc)?,
-            DocKind::Receipt => self.encode_signal(doc, "ReceiptAcknowledgment")?,
-            DocKind::Exception => self.encode_signal(doc, "Exception")?,
-            other => {
-                return Err(DocumentError::UnsupportedKind {
-                    format: FORMAT.into(),
-                    kind: other.to_string(),
-                })
-            }
-        };
-        Ok(xml.into_bytes())
+        Ok(self.element_of(doc)?.to_xml().into_bytes())
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        let el = self.element_of(doc)?;
+        string_encode_into(out, |s| {
+            write_element_into(&el, s);
+            Ok(())
+        })
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Document> {

@@ -4,7 +4,7 @@
 //! IDocs and emits ORDRSP acknowledgments. The wire form is the classic
 //! flat-file IDoc rendering: one segment per line, `SEGMENT|field=value|…`.
 
-use super::util::{decimal_to_money, field, money_to_decimal, parse_int};
+use super::util::{decimal_to_money, field, money_to_decimal, parse_int, string_encode_into};
 use super::{FormatCodec, FormatId};
 use crate::date::Date;
 use crate::document::{DocKind, Document};
@@ -87,11 +87,30 @@ fn seg_field<'a>(seg: &'a FlatSegment, key: &str) -> Result<&'a str> {
 }
 
 impl SapIdocCodec {
-    fn encode_po(&self, doc: &Document) -> Result<String> {
+    /// Shared front half of `encode`/`encode_into`: format and kind checks
+    /// plus dispatch to the flat-file writers.
+    fn encode_text_into(&self, doc: &Document, out: &mut String) -> Result<()> {
+        if doc.format() != &FormatId::SAP_IDOC {
+            return Err(DocumentError::Encode {
+                format: FORMAT.into(),
+                reason: format!("document is in format {}", doc.format()),
+            });
+        }
+        match doc.kind() {
+            DocKind::PurchaseOrder => self.encode_po(doc, out),
+            DocKind::PurchaseOrderAck => self.encode_poa(doc, out),
+            other => Err(DocumentError::UnsupportedKind {
+                format: FORMAT.into(),
+                kind: other.to_string(),
+            }),
+        }
+    }
+
+    fn encode_po(&self, doc: &Document, out: &mut String) -> Result<()> {
         let body = doc.body().as_record("$")?;
         let control = field(body, "control", FORMAT)?.as_record("control")?;
         let k01 = field(body, "e1edk01", FORMAT)?.as_record("e1edk01")?;
-        let mut out = String::with_capacity(256);
+        out.reserve(256);
         flat_line(
             "EDI_DC40",
             &[
@@ -100,7 +119,7 @@ impl SapIdocCodec {
                 ("RCVPRN", field(control, "rcvprn", FORMAT)?.as_text("rcvprn")?.to_string()),
                 ("DOCNUM", field(control, "docnum", FORMAT)?.as_text("docnum")?.to_string()),
             ],
-            &mut out,
+            out,
         );
         flat_line(
             "E1EDK01",
@@ -109,7 +128,7 @@ impl SapIdocCodec {
                 ("CURCY", field(k01, "curcy", FORMAT)?.as_text("curcy")?.to_string()),
                 ("AUDAT", field(k01, "audat", FORMAT)?.as_date("audat")?.to_compact()),
             ],
-            &mut out,
+            out,
         );
         for (i, partner) in field(body, "e1edka1", FORMAT)?.as_list("e1edka1")?.iter().enumerate() {
             let at = format!("e1edka1[{i}]");
@@ -120,7 +139,7 @@ impl SapIdocCodec {
                     ("PARVW", field(rec, "parvw", FORMAT)?.as_text(&at)?.to_string()),
                     ("NAME1", field(rec, "name", FORMAT)?.as_text(&at)?.to_string()),
                 ],
-                &mut out,
+                out,
             );
         }
         for (i, line) in field(body, "e1edp01", FORMAT)?.as_list("e1edp01")?.iter().enumerate() {
@@ -134,23 +153,23 @@ impl SapIdocCodec {
                     ("VPREI", money_to_decimal(field(rec, "vprei", FORMAT)?.as_money(&at)?)),
                     ("MATNR", field(rec, "matnr", FORMAT)?.as_text(&at)?.to_string()),
                 ],
-                &mut out,
+                out,
             );
         }
         let s01 = field(body, "e1eds01", FORMAT)?.as_record("e1eds01")?;
         flat_line(
             "E1EDS01",
             &[("SUMME", money_to_decimal(field(s01, "summe", FORMAT)?.as_money("summe")?))],
-            &mut out,
+            out,
         );
-        Ok(out)
+        Ok(())
     }
 
-    fn encode_poa(&self, doc: &Document) -> Result<String> {
+    fn encode_poa(&self, doc: &Document, out: &mut String) -> Result<()> {
         let body = doc.body().as_record("$")?;
         let control = field(body, "control", FORMAT)?.as_record("control")?;
         let k01 = field(body, "e1edk01", FORMAT)?.as_record("e1edk01")?;
-        let mut out = String::with_capacity(256);
+        out.reserve(256);
         flat_line(
             "EDI_DC40",
             &[
@@ -159,7 +178,7 @@ impl SapIdocCodec {
                 ("RCVPRN", field(control, "rcvprn", FORMAT)?.as_text("rcvprn")?.to_string()),
                 ("DOCNUM", field(control, "docnum", FORMAT)?.as_text("docnum")?.to_string()),
             ],
-            &mut out,
+            out,
         );
         flat_line(
             "E1EDK01",
@@ -168,7 +187,7 @@ impl SapIdocCodec {
                 ("AUDAT", field(k01, "audat", FORMAT)?.as_date("audat")?.to_compact()),
                 ("ACTION", field(k01, "action", FORMAT)?.as_text("action")?.to_string()),
             ],
-            &mut out,
+            out,
         );
         for (i, line) in field(body, "e1edp01", FORMAT)?.as_list("e1edp01")?.iter().enumerate() {
             let at = format!("e1edp01[{i}]");
@@ -180,10 +199,10 @@ impl SapIdocCodec {
                     ("MENGE", field(rec, "menge", FORMAT)?.as_int(&at)?.to_string()),
                     ("ACTION", field(rec, "action", FORMAT)?.as_text(&at)?.to_string()),
                 ],
-                &mut out,
+                out,
             );
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decode_flat(&self, segments: &[FlatSegment]) -> Result<Document> {
@@ -295,23 +314,13 @@ impl FormatCodec for SapIdocCodec {
     }
 
     fn encode(&self, doc: &Document) -> Result<Vec<u8>> {
-        if doc.format() != &FormatId::SAP_IDOC {
-            return Err(DocumentError::Encode {
-                format: FORMAT.into(),
-                reason: format!("document is in format {}", doc.format()),
-            });
-        }
-        let text = match doc.kind() {
-            DocKind::PurchaseOrder => self.encode_po(doc)?,
-            DocKind::PurchaseOrderAck => self.encode_poa(doc)?,
-            other => {
-                return Err(DocumentError::UnsupportedKind {
-                    format: FORMAT.into(),
-                    kind: other.to_string(),
-                })
-            }
-        };
+        let mut text = String::with_capacity(256);
+        self.encode_text_into(doc, &mut text)?;
         Ok(text.into_bytes())
+    }
+
+    fn encode_into(&self, doc: &Document, out: &mut Vec<u8>) -> Result<()> {
+        string_encode_into(out, |s| self.encode_text_into(doc, s))
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Document> {

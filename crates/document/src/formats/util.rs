@@ -31,6 +31,20 @@ pub fn parse_int(text: &str, what: &str, format: &str) -> Result<i64> {
     })
 }
 
+/// Runs a string-building encoder against a byte buffer without copying:
+/// the buffer is taken, reused as the `String`'s allocation, and put back.
+/// On error the buffer's contents are unspecified (callers clear before
+/// the next use), matching the `FormatCodec::encode_into` contract.
+pub fn string_encode_into(
+    out: &mut Vec<u8>,
+    f: impl FnOnce(&mut String) -> Result<()>,
+) -> Result<()> {
+    let mut s = String::from_utf8(std::mem::take(out)).unwrap_or_default();
+    let result = f(&mut s);
+    *out = s.into_bytes();
+    result
+}
+
 /// Reads a required record field (codec-internal; paths are static).
 pub fn field<'v>(rec: &'v BTreeMap<String, Value>, name: &str, format: &str) -> Result<&'v Value> {
     rec.get(name).ok_or_else(|| DocumentError::Encode {

@@ -1,0 +1,115 @@
+//! Deterministic string interning for record field names.
+//!
+//! Compiled transformation programs resolve every field name they touch
+//! to a [`Symbol`] once, at compile time, so the hot executor compares and
+//! looks up small integers-backed strings instead of re-parsing path text
+//! per document. Symbols are allocated in first-intern order, which makes
+//! an interner's contents a pure function of the interned sequence —
+//! compiling the same program twice yields identical symbol tables, a
+//! property the sharded runtime's determinism tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An interned string: a dense index into one [`Interner`].
+///
+/// Symbols are only meaningful together with the interner that produced
+/// them; they carry no text themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deterministic string interner.
+///
+/// Interning the same sequence of strings always yields the same symbols:
+/// ids are handed out densely in first-intern order, with no hashing
+/// involved in id assignment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    index: BTreeMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string, returning its symbol. Repeated interning of the
+    /// same string returns the same symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.index.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.into());
+        self.index.insert(name.into(), id);
+        Symbol(id)
+    }
+
+    /// The text behind a symbol.
+    ///
+    /// # Panics
+    /// Panics if the symbol came from a different interner and is out of
+    /// range here.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} symbols", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("po_number");
+        let b = i.intern("lines");
+        let a2 = i.intern("po_number");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "po_number");
+        assert_eq!(i.resolve(b), "lines");
+    }
+
+    #[test]
+    fn same_sequence_yields_same_symbols() {
+        let build = || {
+            let mut i = Interner::new();
+            let syms: Vec<_> =
+                ["header", "total", "header", "lines"].iter().map(|s| i.intern(s)).collect();
+            (i, syms)
+        };
+        let (i1, s1) = build();
+        let (i2, s2) = build();
+        assert_eq!(s1, s2);
+        assert_eq!(i1, i2);
+    }
+}

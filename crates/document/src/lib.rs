@@ -24,6 +24,7 @@ pub mod edi;
 pub mod error;
 pub mod formats;
 pub mod ids;
+pub mod intern;
 pub mod money;
 pub mod normalized;
 pub mod path;
@@ -36,6 +37,7 @@ pub use document::{DocKind, Document};
 pub use error::{DocumentError, Result};
 pub use formats::{FormatCodec, FormatId, FormatRegistry};
 pub use ids::{CorrelationId, DocumentId};
+pub use intern::{Interner, Symbol};
 pub use money::{Currency, Money};
 pub use path::{FieldPath, PathSeg};
 pub use schema::{FieldSpec, Schema, TypeSpec, Violation};

@@ -10,7 +10,7 @@ mod parse;
 mod write;
 
 pub use parse::parse_element;
-pub use write::write_element;
+pub use write::{write_element, write_element_into};
 
 use std::collections::BTreeMap;
 

@@ -6,11 +6,14 @@ use super::{XmlElement, XmlNode};
 /// deterministic byte-for-byte output for a given tree).
 pub fn write_element(el: &XmlElement) -> String {
     let mut out = String::with_capacity(256);
-    write_into(el, &mut out);
+    write_element_into(el, &mut out);
     out
 }
 
-fn write_into(el: &XmlElement, out: &mut String) {
+/// Serializes an element tree by appending to a caller-owned buffer, so
+/// hot paths (the edge's per-(format, kind) encode buffers) can reuse one
+/// allocation across documents.
+pub fn write_element_into(el: &XmlElement, out: &mut String) {
     out.push('<');
     out.push_str(&el.name);
     for (name, value) in &el.attrs {
@@ -27,7 +30,7 @@ fn write_into(el: &XmlElement, out: &mut String) {
     out.push('>');
     for child in &el.children {
         match child {
-            XmlNode::Element(e) => write_into(e, out),
+            XmlNode::Element(e) => write_element_into(e, out),
             XmlNode::Text(t) => escape_into(t, false, out),
         }
     }

@@ -204,10 +204,16 @@ pub struct InboundBatch {
     pub payloads: Vec<Envelope>,
     /// Fresh failure notifications, exactly once, arrival order.
     pub notices: Vec<Envelope>,
+    /// Suppressed duplicate payload deliveries (already-seen message ids,
+    /// payload class only). Never routed — the exactly-once contract on
+    /// `payloads` is unchanged — but surfaced so the edge can count how
+    /// often its decode memo would have re-parsed the same bytes.
+    pub duplicates: Vec<Envelope>,
 }
 
 impl InboundBatch {
-    /// Whether the poll surfaced nothing new.
+    /// Whether the poll surfaced nothing new (duplicates don't count:
+    /// they carry no new information).
     pub fn is_empty(&self) -> bool {
         self.payloads.is_empty() && self.notices.is_empty()
     }
@@ -412,8 +418,18 @@ impl ReliableEndpoint {
     /// sends, and returns the fresh payload and notification envelopes in
     /// arrival order (exactly-once upward).
     pub fn receive(&mut self, net: &mut SimNetwork) -> Result<Vec<Envelope>> {
+        Ok(self.receive_with_duplicates(net)?.0)
+    }
+
+    /// [`receive`](Self::receive) plus the suppressed duplicate envelopes
+    /// (second vec; never part of the exactly-once stream).
+    fn receive_with_duplicates(
+        &mut self,
+        net: &mut SimNetwork,
+    ) -> Result<(Vec<Envelope>, Vec<Envelope>)> {
         let incoming = net.poll(&self.id)?;
         let mut fresh = Vec::new();
+        let mut duplicates = Vec::new();
         for envelope in incoming {
             match envelope.class {
                 WireClass::Ack => {
@@ -490,11 +506,12 @@ impl ReliableEndpoint {
                         fresh.push(envelope);
                     } else {
                         self.stats.duplicates_suppressed += 1;
+                        duplicates.push(envelope);
                     }
                 }
             }
         }
-        Ok(fresh)
+        Ok((fresh, duplicates))
     }
 
     /// Like [`receive`](Self::receive), but classifies the fresh
@@ -503,12 +520,15 @@ impl ReliableEndpoint {
     /// handling in one pass.
     pub fn receive_classified(&mut self, net: &mut SimNetwork) -> Result<InboundBatch> {
         let mut batch = InboundBatch::default();
-        for envelope in self.receive(net)? {
+        let (fresh, duplicates) = self.receive_with_duplicates(net)?;
+        for envelope in fresh {
             match envelope.class {
                 WireClass::Notify => batch.notices.push(envelope),
                 _ => batch.payloads.push(envelope),
             }
         }
+        batch.duplicates =
+            duplicates.into_iter().filter(|e| e.class == WireClass::Payload).collect();
         Ok(batch)
     }
 

@@ -1,0 +1,895 @@
+//! Compiled transformation programs: the binding hot path.
+//!
+//! [`TransformProgram::apply`] interprets a [`MappingRule`] tree per
+//! document, paying for path Display rendering, `BTreeMap` key clones, and
+//! (for `Append`) a full remove/rebuild of the target list on every rule —
+//! costs that exist only to produce good error messages or to keep the
+//! interpreter simple. Since bindings run the *same* program for every
+//! document of an agreement, that work is hoisted here into a one-time
+//! compile:
+//!
+//! * field paths are pre-parsed into segment slices over a shared pool,
+//!   with field names resolved to interned [`Symbol`]s and the exact
+//!   `FieldPath` Display string precomputed for (cold) error paths,
+//! * `ValueMap` tables are lowered to sorted slices searched by binary
+//!   search,
+//! * `ForEach`/`Append` bodies are flattened into one instruction stream
+//!   with relative addressing (an op's body is the `body_len` ops that
+//!   follow it),
+//! * the executor writes into the target tree in place — intermediate
+//!   records are created without re-rendering the path per rule, and
+//!   `Append` pushes onto the existing list instead of removing and
+//!   re-inserting it.
+//!
+//! The contract, pinned by `tests/properties.rs`, is that a compiled
+//! program is *observably identical* to the interpreter: same output
+//! documents, same [`TransformError`] values (byte-identical reasons),
+//! same side effects on a partially written target when a rule fails.
+
+use crate::context::{ContextKey, TransformContext};
+use crate::error::{Result, TransformError};
+use crate::mapping::MappingRule;
+use crate::program::{TransformId, TransformProgram};
+use b2b_document::{
+    DocKind, Document, DocumentError, FormatId, Interner, Money, PathSeg, Symbol, Value,
+};
+
+/// One step of a compiled path: like [`PathSeg`], but with the field name
+/// interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CSeg {
+    /// Record field access by interned name.
+    Field(Symbol),
+    /// List element access by zero-based index.
+    Index(usize),
+}
+
+/// A pre-resolved field path: a span into the shared segment pool plus the
+/// exact `FieldPath` Display rendering (used only when building errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PathInfo {
+    start: u32,
+    len: u32,
+    display: Box<str>,
+    /// Presence analysis: how many leading segments of this (target) path
+    /// are guaranteed to exist when the owning op runs. Execution aborts on
+    /// the first error, so reaching an op proves every earlier op in the
+    /// same scope succeeded — and with it, every key those ops wrote. The
+    /// executor skips the `contains_key` probe for those segments and walks
+    /// each parent record once. Always 0 for source paths.
+    known: u32,
+}
+
+/// A `ValueMap` table lowered to a sorted slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CompiledMap {
+    /// (code, replacement) pairs, sorted by code.
+    pairs: Vec<(Box<str>, Box<str>)>,
+    default: Option<Box<str>>,
+}
+
+/// Pool indexes. `u32` keeps [`Op`] small; programs are far below the cap.
+type PathId = u32;
+type StrId = u32;
+
+/// One flattened instruction. `body_len` fields address the ops that
+/// immediately follow (relative addressing); `rule` names the originating
+/// rule's `describe()` string for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Move { from: PathId, to: PathId, optional: bool, rule: StrId },
+    Const { to: PathId, value: u32, rule: StrId },
+    ValueMap { from: PathId, to: PathId, map: u32, rule: StrId },
+    ForEach { from: PathId, to: PathId, body_len: u32, rule: StrId },
+    Pick { from: PathId, match_field: StrId, equals: StrId, take: StrId, to: PathId, rule: StrId },
+    Append { to: PathId, body_len: u32, rule: StrId },
+    Context { to: PathId, key: ContextKey, rule: StrId },
+    CurrencyOf { from: PathId, to: PathId, rule: StrId },
+    SumMoney { over: PathId, field: StrId, to: PathId, rule: StrId },
+}
+
+/// A [`TransformProgram`] lowered to a flat instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    id: TransformId,
+    kind: DocKind,
+    source_format: FormatId,
+    target_format: FormatId,
+    interner: Interner,
+    segs: Vec<CSeg>,
+    paths: Vec<PathInfo>,
+    strings: Vec<Box<str>>,
+    consts: Vec<Value>,
+    maps: Vec<CompiledMap>,
+    ops: Vec<Op>,
+}
+
+impl CompiledProgram {
+    /// Lowers a program. Compilation is a pure function of the program —
+    /// compiling twice yields identical instruction streams and symbol
+    /// tables, so lazy compilation cannot perturb determinism.
+    pub fn compile(program: &TransformProgram) -> Self {
+        let mut c = Self {
+            id: program.id().clone(),
+            kind: program.kind(),
+            source_format: program.source_format().clone(),
+            target_format: program.target_format().clone(),
+            interner: Interner::new(),
+            segs: Vec::new(),
+            paths: Vec::new(),
+            strings: Vec::new(),
+            consts: Vec::new(),
+            maps: Vec::new(),
+            ops: Vec::new(),
+        };
+        c.lower(program.rules());
+        c
+    }
+
+    /// Program id.
+    pub fn id(&self) -> &TransformId {
+        &self.id
+    }
+
+    /// Document kind handled.
+    pub fn kind(&self) -> DocKind {
+        self.kind
+    }
+
+    /// Source format.
+    pub fn source_format(&self) -> &FormatId {
+        &self.source_format
+    }
+
+    /// Target format.
+    pub fn target_format(&self) -> &FormatId {
+        &self.target_format
+    }
+
+    /// Instructions in the flattened stream (metrics, benches).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Distinct field names interned by this program.
+    pub fn symbol_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Lowering.
+
+    fn lower(&mut self, rules: &[MappingRule]) {
+        let mut present = std::collections::BTreeSet::new();
+        self.lower_scope(rules, &mut present);
+    }
+
+    /// Lowers one scope (the top level, or a `ForEach`/`Append` body, whose
+    /// target tree starts empty per element). `present` tracks which
+    /// pure-field key prefixes of the scope's target are definitely present
+    /// at each program point — see [`PathInfo::known`].
+    fn lower_scope(
+        &mut self,
+        rules: &[MappingRule],
+        present: &mut std::collections::BTreeSet<Vec<Symbol>>,
+    ) {
+        for rule in rules {
+            let desc = self.add_string(&rule.describe());
+            match rule {
+                MappingRule::Move { from, to, optional } => {
+                    let op = Op::Move {
+                        from: self.add_path(from),
+                        // An optional move writes nothing when its source is
+                        // missing, so it proves nothing to later ops.
+                        to: self.add_target_path(to, present, !*optional),
+                        optional: *optional,
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+                MappingRule::Const { to, value } => {
+                    let op = Op::Const {
+                        to: self.add_target_path(to, present, true),
+                        value: self.add_const(value),
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+                MappingRule::ValueMap { from, to, map, default } => {
+                    // BTreeMap iteration is sorted: the pairs slice comes
+                    // out binary-searchable for free.
+                    let lowered = CompiledMap {
+                        pairs: map
+                            .iter()
+                            .map(|(k, v)| (k.as_str().into(), v.as_str().into()))
+                            .collect(),
+                        default: default.as_deref().map(Into::into),
+                    };
+                    let map_id = u32::try_from(self.maps.len()).expect("map pool overflow");
+                    self.maps.push(lowered);
+                    let op = Op::ValueMap {
+                        from: self.add_path(from),
+                        to: self.add_target_path(to, present, true),
+                        map: map_id,
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+                MappingRule::ForEach { from, to, rules } => {
+                    let op = Op::ForEach {
+                        from: self.add_path(from),
+                        to: self.add_target_path(to, present, true),
+                        body_len: 0,
+                        rule: desc,
+                    };
+                    let at = self.push_with_body(op, rules);
+                    let body_len = u32::try_from(self.ops.len() - at - 1).expect("body overflow");
+                    if let Op::ForEach { body_len: slot, .. } = &mut self.ops[at] {
+                        *slot = body_len;
+                    }
+                }
+                MappingRule::Pick { from, match_field, equals, take, to } => {
+                    let op = Op::Pick {
+                        from: self.add_path(from),
+                        match_field: self.add_string(match_field),
+                        equals: self.add_string(equals),
+                        take: self.add_string(take),
+                        to: self.add_target_path(to, present, true),
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+                MappingRule::Append { to, rules } => {
+                    let op = Op::Append {
+                        to: self.add_target_path(to, present, true),
+                        body_len: 0,
+                        rule: desc,
+                    };
+                    let at = self.push_with_body(op, rules);
+                    let body_len = u32::try_from(self.ops.len() - at - 1).expect("body overflow");
+                    if let Op::Append { body_len: slot, .. } = &mut self.ops[at] {
+                        *slot = body_len;
+                    }
+                }
+                MappingRule::Context { to, key } => {
+                    let op = Op::Context {
+                        to: self.add_target_path(to, present, true),
+                        key: *key,
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+                MappingRule::CurrencyOf { from, to } => {
+                    let op = Op::CurrencyOf {
+                        from: self.add_path(from),
+                        to: self.add_target_path(to, present, true),
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+                MappingRule::SumMoney { over, field, to } => {
+                    let op = Op::SumMoney {
+                        over: self.add_path(over),
+                        field: self.add_string(field),
+                        to: self.add_target_path(to, present, true),
+                        rule: desc,
+                    };
+                    self.ops.push(op);
+                }
+            }
+        }
+    }
+
+    /// Pushes a header op, lowers its body right behind it, and returns the
+    /// header's index for back-patching the body length. The body writes
+    /// into a fresh element record per item, so it gets a fresh presence
+    /// scope.
+    fn push_with_body(&mut self, op: Op, body: &[MappingRule]) -> usize {
+        let at = self.ops.len();
+        self.ops.push(op);
+        let mut body_present = std::collections::BTreeSet::new();
+        self.lower_scope(body, &mut body_present);
+        at
+    }
+
+    /// Interns a path's segments into the pool (source paths; `known` 0).
+    fn add_path(&mut self, path: &b2b_document::FieldPath) -> PathId {
+        self.push_path(path, 0)
+    }
+
+    /// Interns a target path, computing how many of its leading keys are
+    /// already guaranteed present and recording the keys this op's write
+    /// will in turn guarantee for later ops (when `writes` — an optional
+    /// move may not write).
+    fn add_target_path(
+        &mut self,
+        path: &b2b_document::FieldPath,
+        present: &mut std::collections::BTreeSet<Vec<Symbol>>,
+        writes: bool,
+    ) -> PathId {
+        // The pure-field prefix is all presence analysis can name; stop at
+        // the first list index.
+        let mut syms = Vec::new();
+        for seg in path.segments() {
+            match seg {
+                PathSeg::Field(name) => syms.push(self.interner.intern(name)),
+                PathSeg::Index(_) => break,
+            }
+        }
+        let mut known = 0u32;
+        for j in 1..=syms.len() {
+            if present.contains(&syms[..j]) {
+                known = u32::try_from(j).expect("path depth overflow");
+            } else {
+                break;
+            }
+        }
+        if writes {
+            // A write may replace the whole subtree below its full path:
+            // anything previously proven underneath is gone. (`Append` and
+            // `ForEach` never destroy existing keys, but invalidating is
+            // merely conservative.)
+            if syms.len() == path.segments().len() {
+                present.retain(|q| !(q.len() > syms.len() && q.starts_with(&syms)));
+            }
+            // ...and proves every key on the path itself.
+            for j in 1..=syms.len() {
+                present.insert(syms[..j].to_vec());
+            }
+        }
+        self.push_path(path, known)
+    }
+
+    fn push_path(&mut self, path: &b2b_document::FieldPath, known: u32) -> PathId {
+        let start = u32::try_from(self.segs.len()).expect("segment pool overflow");
+        for seg in path.segments() {
+            let cseg = match seg {
+                PathSeg::Field(name) => CSeg::Field(self.interner.intern(name)),
+                PathSeg::Index(i) => CSeg::Index(*i),
+            };
+            self.segs.push(cseg);
+        }
+        let len = u32::try_from(path.segments().len()).expect("segment pool overflow");
+        let id = u32::try_from(self.paths.len()).expect("path pool overflow");
+        self.paths.push(PathInfo { start, len, display: path.to_string().into(), known });
+        id
+    }
+
+    fn add_string(&mut self, s: &str) -> StrId {
+        let id = u32::try_from(self.strings.len()).expect("string pool overflow");
+        self.strings.push(s.into());
+        id
+    }
+
+    fn add_const(&mut self, v: &Value) -> u32 {
+        let id = u32::try_from(self.consts.len()).expect("const pool overflow");
+        self.consts.push(v.clone());
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Execution.
+
+    /// Applies the compiled program; drop-in for [`TransformProgram::apply`]
+    /// with identical outputs and errors.
+    pub fn apply(&self, doc: &Document, ctx: &TransformContext) -> Result<Document> {
+        if doc.format() != &self.source_format {
+            return Err(TransformError::WrongInput {
+                program: self.id.to_string(),
+                reason: format!("expected format {}, got {}", self.source_format, doc.format()),
+            });
+        }
+        if doc.kind() != self.kind {
+            return Err(TransformError::WrongInput {
+                program: self.id.to_string(),
+                reason: format!("expected kind {}, got {}", self.kind, doc.kind()),
+            });
+        }
+        let mut target = Value::record();
+        self.run_ops(&self.ops, doc.body(), &mut target, ctx)?;
+        Ok(doc.reformatted(self.target_format.clone(), target))
+    }
+
+    fn run_ops(
+        &self,
+        ops: &[Op],
+        source: &Value,
+        target: &mut Value,
+        ctx: &TransformContext,
+    ) -> Result<()> {
+        let mut i = 0;
+        while i < ops.len() {
+            let op = &ops[i];
+            i += 1;
+            match *op {
+                Op::Move { from, to, optional, rule } => match self.lookup(from, source) {
+                    Some(v) => {
+                        let v = v.clone();
+                        self.set_or_rule_err(to, target, v, rule)?;
+                    }
+                    None if optional => {}
+                    None => {
+                        return Err(self.rule_err(
+                            rule,
+                            format!("source path `{}` not found", self.display(from)),
+                        ))
+                    }
+                },
+                Op::Const { to, value, rule } => {
+                    let v = self.consts[value as usize].clone();
+                    self.set_or_rule_err(to, target, v, rule)?;
+                }
+                Op::ValueMap { from, to, map, rule } => {
+                    let v = self.lookup_required(from, source, rule)?;
+                    let code = self.as_text(v, from, rule)?;
+                    let table = &self.maps[map as usize];
+                    let mapped = match table.pairs.binary_search_by(|(k, _)| k.as_ref().cmp(code)) {
+                        Ok(hit) => table.pairs[hit].1.to_string(),
+                        Err(_) => match &table.default {
+                            Some(d) => d.to_string(),
+                            None => {
+                                return Err(
+                                    self.rule_err(rule, format!("code `{code}` not in value map"))
+                                )
+                            }
+                        },
+                    };
+                    self.set_or_rule_err(to, target, Value::Text(mapped), rule)?;
+                }
+                Op::ForEach { from, to, body_len, rule } => {
+                    let body = &ops[i..i + body_len as usize];
+                    i += body_len as usize;
+                    let items =
+                        self.as_list(self.lookup_required(from, source, rule)?, from, rule)?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        let mut element = Value::record();
+                        self.run_ops(body, item, &mut element, ctx)?;
+                        out.push(element);
+                    }
+                    self.set_or_rule_err(to, target, Value::List(out), rule)?;
+                }
+                Op::Pick { from, match_field, equals, take, to, rule } => {
+                    let items =
+                        self.as_list(self.lookup_required(from, source, rule)?, from, rule)?;
+                    let match_field = &*self.strings[match_field as usize];
+                    let equals = &*self.strings[equals as usize];
+                    let take = &*self.strings[take as usize];
+                    let mut taken = None;
+                    for item in items {
+                        let rec = match item {
+                            Value::Record(fields) => fields,
+                            other => {
+                                return Err(self.mismatch_err("record", other, from, rule));
+                            }
+                        };
+                        if let Some(Value::Text(code)) = rec.get(match_field) {
+                            if code == equals {
+                                taken = Some(rec.get(take).ok_or_else(|| {
+                                    self.rule_err(
+                                        rule,
+                                        format!("matched element has no field `{take}`"),
+                                    )
+                                })?);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(taken) = taken else {
+                        return Err(self.rule_err(
+                            rule,
+                            format!("no element with {match_field} == `{equals}`"),
+                        ));
+                    };
+                    let v = taken.clone();
+                    self.set_or_rule_err(to, target, v, rule)?;
+                }
+                Op::Append { to, body_len, rule } => {
+                    let body = &ops[i..i + body_len as usize];
+                    i += body_len as usize;
+                    let mut element = Value::record();
+                    self.run_ops(body, source, &mut element, ctx)?;
+                    self.append(to, target, element, rule)?;
+                }
+                Op::Context { to, key, rule } => {
+                    self.set_or_rule_err(to, target, Value::text(ctx.get(key)), rule)?;
+                }
+                Op::CurrencyOf { from, to, rule } => {
+                    let v = self.lookup_required(from, source, rule)?;
+                    let money = self.as_money(v, from, rule)?;
+                    self.set_or_rule_err(to, target, Value::text(money.currency().code()), rule)?;
+                }
+                Op::SumMoney { over, field, to, rule } => {
+                    let items =
+                        self.as_list(self.lookup_required(over, source, rule)?, over, rule)?;
+                    let field = &*self.strings[field as usize];
+                    let mut sum: Option<Money> = None;
+                    for (idx, item) in items.iter().enumerate() {
+                        // `at` is only needed for errors; render it lazily
+                        // (the interpreter formats it per item).
+                        let at = || format!("{}[{idx}]", self.display(over));
+                        let rec = match item {
+                            Value::Record(fields) => fields,
+                            other => {
+                                return Err(self.rule_err(
+                                    rule,
+                                    type_mismatch("record", other, at()).to_string(),
+                                ));
+                            }
+                        };
+                        let m = match rec.get(field) {
+                            Some(Value::Money(m)) => *m,
+                            Some(other) => {
+                                return Err(self.rule_err(
+                                    rule,
+                                    type_mismatch("money", other, at()).to_string(),
+                                ));
+                            }
+                            None => {
+                                return Err(
+                                    self.rule_err(rule, format!("{} has no field `{field}`", at()))
+                                );
+                            }
+                        };
+                        sum = Some(match sum {
+                            None => m,
+                            Some(acc) => acc
+                                .checked_add(m)
+                                .map_err(|e| self.rule_err(rule, e.to_string()))?,
+                        });
+                    }
+                    let total =
+                        sum.ok_or_else(|| self.rule_err(rule, "cannot sum an empty list".into()))?;
+                    self.set_or_rule_err(to, target, Value::Money(total), rule)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Path primitives over the segment pool.
+
+    fn path_segs(&self, p: PathId) -> &[CSeg] {
+        let info = &self.paths[p as usize];
+        &self.segs[info.start as usize..(info.start + info.len) as usize]
+    }
+
+    fn display(&self, p: PathId) -> &str {
+        &self.paths[p as usize].display
+    }
+
+    /// `FieldPath::lookup` over pre-resolved segments.
+    fn lookup<'v>(&self, p: PathId, root: &'v Value) -> Option<&'v Value> {
+        let mut cur = root;
+        for seg in self.path_segs(p) {
+            cur = match (seg, cur) {
+                (CSeg::Field(sym), Value::Record(fields)) => {
+                    fields.get(self.interner.resolve(*sym))?
+                }
+                (CSeg::Index(i), Value::List(items)) => items.get(*i)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// `FieldPath::set` over pre-resolved segments: identical writes and
+    /// identical errors, but the path Display string and intermediate map
+    /// keys are only rendered when actually needed.
+    fn set(
+        &self,
+        p: PathId,
+        root: &mut Value,
+        value: Value,
+    ) -> std::result::Result<(), DocumentError> {
+        let known = self.paths[p as usize].known;
+        let segs = self.path_segs(p);
+        let (last, init) = segs.split_last().expect("compiled paths are never empty");
+        let mut cur = root;
+        for (j, seg) in init.iter().enumerate() {
+            cur = self.step_mut(cur, seg, p, (j as u32) < known)?;
+        }
+        match last {
+            CSeg::Field(sym) => {
+                let name = self.interner.resolve(*sym);
+                let rec = self.as_record_mut(cur, p)?;
+                rec.insert(name.to_string(), value);
+                Ok(())
+            }
+            CSeg::Index(i) => match cur {
+                Value::List(items) => {
+                    let slot = items.get_mut(*i).ok_or_else(|| DocumentError::PathNotFound {
+                        path: self.display(p).to_string(),
+                    })?;
+                    *slot = value;
+                    Ok(())
+                }
+                other => Err(type_mismatch("list", other, self.display(p).to_string())),
+            },
+        }
+    }
+
+    /// One intermediate step of a mutable walk, creating missing records
+    /// exactly like `FieldPath::set` does. `known` skips the presence probe
+    /// for keys guaranteed by presence analysis (see [`PathInfo::known`]).
+    fn step_mut<'v>(
+        &self,
+        cur: &'v mut Value,
+        seg: &CSeg,
+        p: PathId,
+        known: bool,
+    ) -> std::result::Result<&'v mut Value, DocumentError> {
+        match seg {
+            CSeg::Field(sym) => {
+                let name = self.interner.resolve(*sym);
+                let rec = self.as_record_mut(cur, p)?;
+                if known || rec.contains_key(name) {
+                    Ok(rec.get_mut(name).expect("presence analysis guarantees this key"))
+                } else {
+                    Ok(rec.entry(name.to_string()).or_insert_with(Value::record))
+                }
+            }
+            CSeg::Index(i) => match cur {
+                Value::List(items) => items.get_mut(*i).ok_or_else(|| {
+                    DocumentError::PathNotFound { path: self.display(p).to_string() }
+                }),
+                other => Err(type_mismatch("list", other, self.display(p).to_string())),
+            },
+        }
+    }
+
+    fn as_record_mut<'v>(
+        &self,
+        v: &'v mut Value,
+        p: PathId,
+    ) -> std::result::Result<&'v mut std::collections::BTreeMap<String, Value>, DocumentError> {
+        match v {
+            Value::Record(fields) => Ok(fields),
+            other => Err(type_mismatch("record", other, self.display(p).to_string())),
+        }
+    }
+
+    /// In-place `Append`: walks to the target once and pushes, where the
+    /// interpreter looks up, removes, rebuilds, and re-inserts the list.
+    /// Error cases (non-list target, bad intermediate, out-of-range index)
+    /// produce byte-identical messages, and partially created intermediate
+    /// records match the interpreter's side effects.
+    fn append(&self, to: PathId, target: &mut Value, element: Value, rule: StrId) -> Result<()> {
+        let known = self.paths[to as usize].known;
+        let segs = self.path_segs(to);
+        let (last, init) = segs.split_last().expect("compiled paths are never empty");
+        let mut cur = target;
+        for (j, seg) in init.iter().enumerate() {
+            cur = self
+                .step_mut(cur, seg, to, (j as u32) < known)
+                .map_err(|e| self.rule_err(rule, e.to_string()))?;
+        }
+        let slot = match last {
+            CSeg::Field(sym) => {
+                let name = self.interner.resolve(*sym);
+                let rec =
+                    self.as_record_mut(cur, to).map_err(|e| self.rule_err(rule, e.to_string()))?;
+                if segs.len() as u32 <= known || rec.contains_key(name) {
+                    rec.get_mut(name).expect("presence analysis guarantees this key")
+                } else {
+                    rec.entry(name.to_string()).or_insert_with(|| Value::List(Vec::new()))
+                }
+            }
+            CSeg::Index(i) => match cur {
+                Value::List(items) => items.get_mut(*i).ok_or_else(|| {
+                    let e = DocumentError::PathNotFound { path: self.display(to).to_string() };
+                    self.rule_err(rule, e.to_string())
+                })?,
+                other => {
+                    let e = type_mismatch("list", other, self.display(to).to_string());
+                    return Err(self.rule_err(rule, e.to_string()));
+                }
+            },
+        };
+        match slot {
+            Value::List(items) => {
+                items.push(element);
+                Ok(())
+            }
+            other => Err(self.rule_err(
+                rule,
+                format!("target `{}` is {}, not a list", self.display(to), other.type_name()),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Error plumbing: reproduce the interpreter's messages exactly.
+
+    fn rule_err(&self, rule: StrId, reason: String) -> TransformError {
+        TransformError::Rule {
+            program: self.id.to_string(),
+            rule: self.strings[rule as usize].to_string(),
+            reason,
+        }
+    }
+
+    fn mismatch_err(
+        &self,
+        expected: &'static str,
+        found: &Value,
+        p: PathId,
+        rule: StrId,
+    ) -> TransformError {
+        self.rule_err(rule, type_mismatch(expected, found, self.display(p).to_string()).to_string())
+    }
+
+    fn lookup_required<'v>(&self, p: PathId, source: &'v Value, rule: StrId) -> Result<&'v Value> {
+        self.lookup(p, source).ok_or_else(|| {
+            self.rule_err(rule, format!("source path `{}` not found", self.display(p)))
+        })
+    }
+
+    fn set_or_rule_err(
+        &self,
+        p: PathId,
+        target: &mut Value,
+        value: Value,
+        rule: StrId,
+    ) -> Result<()> {
+        self.set(p, target, value).map_err(|e| self.rule_err(rule, e.to_string()))
+    }
+
+    fn as_text<'v>(&self, v: &'v Value, p: PathId, rule: StrId) -> Result<&'v str> {
+        match v {
+            Value::Text(s) => Ok(s),
+            other => Err(self.mismatch_err("text", other, p, rule)),
+        }
+    }
+
+    fn as_list<'v>(&self, v: &'v Value, p: PathId, rule: StrId) -> Result<&'v [Value]> {
+        match v {
+            Value::List(items) => Ok(items),
+            other => Err(self.mismatch_err("list", other, p, rule)),
+        }
+    }
+
+    fn as_money(&self, v: &Value, p: PathId, rule: StrId) -> Result<Money> {
+        match v {
+            Value::Money(m) => Ok(*m),
+            other => Err(self.mismatch_err("money", other, p, rule)),
+        }
+    }
+}
+
+fn type_mismatch(expected: &'static str, found: &Value, at: String) -> DocumentError {
+    DocumentError::TypeMismatch { expected, found: found.type_name(), at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::normalized::sample_po;
+    use b2b_document::record;
+
+    fn ctx() -> TransformContext {
+        TransformContext::new("ACME", "GADGET", "000000007", "i-7")
+    }
+
+    fn program(rules: Vec<MappingRule>) -> TransformProgram {
+        TransformProgram::new(
+            DocKind::PurchaseOrder,
+            FormatId::NORMALIZED,
+            FormatId::custom("flat"),
+            rules,
+        )
+    }
+
+    /// Interpreted and compiled agree — documents and errors both.
+    fn assert_equivalent(p: &TransformProgram, doc: &Document) {
+        let compiled = CompiledProgram::compile(p);
+        let a = p.apply(doc, &ctx());
+        let b = compiled.apply(doc, &ctx());
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.body(), y.body());
+                assert_eq!(x.format(), y.format());
+                assert_eq!(x.kind(), y.kind());
+            }
+            _ => assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn builtins_compile_and_match_the_interpreter() {
+        let reg = crate::builtin::all_builtins();
+        let po = sample_po("4711", 25);
+        for p in &reg {
+            let compiled = CompiledProgram::compile(p);
+            assert_eq!(compiled.id(), p.id());
+            assert!(compiled.op_count() >= p.rules().len());
+            if p.source_format() == &FormatId::NORMALIZED && p.kind() == DocKind::PurchaseOrder {
+                assert_equivalent(p, &po);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_compiled_edi_matches_interpreter() {
+        let reg = crate::registry::TransformRegistry::with_builtins();
+        let po = sample_po("88", 3);
+        let out = reg.program(&FormatId::NORMALIZED, &FormatId::EDI_X12, DocKind::PurchaseOrder);
+        let back = reg.program(&FormatId::EDI_X12, &FormatId::NORMALIZED, DocKind::PurchaseOrder);
+        let (out, back) = (out.unwrap(), back.unwrap());
+        let c_out = CompiledProgram::compile(out);
+        let c_back = CompiledProgram::compile(back);
+        let i = back.apply(&out.apply(&po, &ctx()).unwrap(), &ctx()).unwrap();
+        let c = c_back.apply(&c_out.apply(&po, &ctx()).unwrap(), &ctx()).unwrap();
+        assert_eq!(i.body(), c.body());
+    }
+
+    #[test]
+    fn errors_are_byte_identical() {
+        let po = sample_po("9", 2);
+        let cases = vec![
+            // Missing required source.
+            program(vec![MappingRule::mv("header.missing_field", "x")]),
+            // ValueMap over a non-text source.
+            program(vec![MappingRule::value_map("lines", "x", &[("a", "b")])]),
+            // ValueMap with an unknown code.
+            program(vec![MappingRule::value_map("header.currency", "x", &[("XXX", "?")])]),
+            // ForEach over a non-list.
+            program(vec![MappingRule::for_each("header", "x", vec![])]),
+            // Pick with no match.
+            program(vec![MappingRule::pick("lines", "item", "nope", "item", "x")]),
+            // SumMoney over an empty path.
+            program(vec![MappingRule::sum_money("header.missing", "ext", "x")]),
+            // SumMoney item lacking the field.
+            program(vec![MappingRule::sum_money("lines", "missing_money", "x")]),
+            // Append onto a non-list.
+            program(vec![
+                MappingRule::const_text("n1", "oops"),
+                MappingRule::append("n1", vec![MappingRule::const_text("code", "BY")]),
+            ]),
+            // Set through a non-record intermediate.
+            program(vec![
+                MappingRule::const_text("a", "leaf"),
+                MappingRule::const_text("a.b", "deeper"),
+            ]),
+        ];
+        for p in &cases {
+            assert_equivalent(p, &po);
+        }
+    }
+
+    #[test]
+    fn append_and_nested_for_each_flatten_correctly() {
+        let source = record! {
+            "buyer" => Value::text("B"),
+            "seller" => Value::text("S"),
+            "lines" => Value::List(vec![
+                record! { "q" => Value::Int(1) },
+                record! { "q" => Value::Int(2) },
+            ]),
+        };
+        let doc = Document::new(
+            DocKind::PurchaseOrder,
+            FormatId::NORMALIZED,
+            b2b_document::CorrelationId::new("c-1"),
+            source,
+        );
+        let p = program(vec![
+            MappingRule::append(
+                "n1",
+                vec![MappingRule::const_text("code", "BY"), MappingRule::mv("buyer", "name")],
+            ),
+            MappingRule::append(
+                "n1",
+                vec![MappingRule::const_text("code", "SE"), MappingRule::mv("seller", "name")],
+            ),
+            MappingRule::for_each("lines", "items", vec![MappingRule::mv("q", "qty")]),
+            MappingRule::context("env.sender", ContextKey::Sender),
+        ]);
+        assert_equivalent(&p, &doc);
+        let out = CompiledProgram::compile(&p).apply(&doc, &ctx()).unwrap();
+        let n1 = out.get("n1").unwrap().as_list("n1").unwrap();
+        assert_eq!(n1.len(), 2);
+        assert_eq!(out.get("items[1].qty").unwrap(), &Value::Int(2));
+    }
+}

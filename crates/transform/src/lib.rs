@@ -9,7 +9,11 @@
 //!   injection, currency extraction, money aggregation),
 //! * [`program`] — transformation programs: an ordered rule list between a
 //!   (source format, target format, document kind) triple,
+//! * [`compiled`] — programs lowered to a flat instruction stream with
+//!   pre-resolved, interned field paths (the hot path bindings actually
+//!   execute; observably identical to the rule-tree interpreter),
 //! * [`registry`] — the transformation registry bindings resolve against,
+//!   compiling programs lazily on first dispatch,
 //! * [`builtin`] — the twenty concrete programs mapping EDI, RosettaNet,
 //!   OAGIS, SAP, and Oracle shapes to and from the normalized format.
 //!
@@ -19,12 +23,14 @@
 //! reality. Round-trip tests pin down exactly which fields survive.
 
 pub mod builtin;
+pub mod compiled;
 pub mod context;
 pub mod error;
 pub mod mapping;
 pub mod program;
 pub mod registry;
 
+pub use compiled::CompiledProgram;
 pub use context::{ContextKey, TransformContext};
 pub use error::{Result, TransformError};
 pub use mapping::MappingRule;

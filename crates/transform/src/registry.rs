@@ -1,16 +1,101 @@
 //! The transformation registry bindings resolve against.
 
+use crate::compiled::CompiledProgram;
 use crate::context::TransformContext;
 use crate::error::{Result, TransformError};
 use crate::program::TransformProgram;
 use b2b_document::{DocKind, Document, FormatId};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Owned registry key.
+type Key = (FormatId, FormatId, DocKind);
+
+/// Borrowed view of a registry key, so lookups never clone the two
+/// `FormatId`s just to build a temporary key (they used to, once per
+/// document). `BTreeMap::get` accepts any `Q` the owned key can `Borrow`;
+/// a trait object over this view is such a `Q`, and both the owned key
+/// and a tuple of references implement the view.
+trait LookupKey {
+    fn parts(&self) -> (&FormatId, &FormatId, DocKind);
+}
+
+impl LookupKey for Key {
+    fn parts(&self) -> (&FormatId, &FormatId, DocKind) {
+        (&self.0, &self.1, self.2)
+    }
+}
+
+impl LookupKey for (&FormatId, &FormatId, DocKind) {
+    fn parts(&self) -> (&FormatId, &FormatId, DocKind) {
+        (self.0, self.1, self.2)
+    }
+}
+
+impl<'a> Borrow<dyn LookupKey + 'a> for Key {
+    fn borrow(&self) -> &(dyn LookupKey + 'a) {
+        self
+    }
+}
+
+impl PartialEq for dyn LookupKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.parts() == other.parts()
+    }
+}
+
+impl Eq for dyn LookupKey + '_ {}
+
+impl PartialOrd for dyn LookupKey + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for dyn LookupKey + '_ {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.parts().cmp(&other.parts())
+    }
+}
 
 /// Registry of transformation programs keyed by
 /// (source format, target format, document kind).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Dispatch runs compiled programs ([`CompiledProgram`]) by default,
+/// lowering each program lazily on first use and caching the result;
+/// [`set_interpreted`](Self::set_interpreted) switches back to the
+/// rule-tree interpreter (the two are observably identical — the flag
+/// exists so experiments can measure the difference).
+#[derive(Debug, Default)]
 pub struct TransformRegistry {
-    programs: BTreeMap<(FormatId, FormatId, DocKind), TransformProgram>,
+    programs: BTreeMap<Key, TransformProgram>,
+    /// Lazily compiled programs. Interior mutability keeps compilation an
+    /// implementation detail of `&self` dispatch; a `RwLock` (not a
+    /// `RefCell`) because the sharded execute stage shares the registry
+    /// across worker threads. Compilation is deterministic, so which
+    /// thread compiles first never changes the result.
+    compiled: RwLock<BTreeMap<Key, Arc<CompiledProgram>>>,
+    interpret: bool,
+}
+
+impl Clone for TransformRegistry {
+    fn clone(&self) -> Self {
+        Self {
+            programs: self.programs.clone(),
+            compiled: RwLock::new(self.compiled_cache().clone()),
+            interpret: self.interpret,
+        }
+    }
+}
+
+impl PartialEq for TransformRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        // The compile cache is derived state; two registries with the same
+        // programs are the same registry.
+        self.programs == other.programs && self.interpret == other.interpret
+    }
 }
 
 impl TransformRegistry {
@@ -29,28 +114,56 @@ impl TransformRegistry {
         reg
     }
 
-    /// Registers (or replaces) a program.
+    /// Registers (or replaces) a program, invalidating its compiled form.
     pub fn register(&mut self, program: TransformProgram) {
-        self.programs.insert(
-            (program.source_format().clone(), program.target_format().clone(), program.kind()),
-            program,
-        );
+        let key =
+            (program.source_format().clone(), program.target_format().clone(), program.kind());
+        self.compiled_cache_mut().remove(&key);
+        self.programs.insert(key, program);
     }
 
-    /// Looks up the program for a conversion.
+    /// Switches dispatch between the compiled executor (default, `false`)
+    /// and the rule-tree interpreter. Results are identical either way.
+    pub fn set_interpreted(&mut self, interpret: bool) {
+        self.interpret = interpret;
+    }
+
+    /// Whether dispatch currently interprets rule trees.
+    pub fn is_interpreted(&self) -> bool {
+        self.interpret
+    }
+
+    /// Looks up the program for a conversion (borrowed key: no clones).
     pub fn program(
         &self,
         source: &FormatId,
         target: &FormatId,
         kind: DocKind,
     ) -> Result<&TransformProgram> {
-        self.programs.get(&(source.clone(), target.clone(), kind)).ok_or_else(|| {
+        self.programs.get(&(source, target, kind) as &dyn LookupKey).ok_or_else(|| {
             TransformError::NoProgram {
                 source: source.to_string(),
                 target: target.to_string(),
                 kind: kind.to_string(),
             }
         })
+    }
+
+    /// The compiled form of a program, lowering it on first use.
+    pub fn compiled(
+        &self,
+        source: &FormatId,
+        target: &FormatId,
+        kind: DocKind,
+    ) -> Result<Arc<CompiledProgram>> {
+        if let Some(hit) = self.compiled_cache().get(&(source, target, kind) as &dyn LookupKey) {
+            return Ok(hit.clone());
+        }
+        let lowered = Arc::new(CompiledProgram::compile(self.program(source, target, kind)?));
+        let mut cache = self.compiled_cache_mut();
+        // Another thread may have compiled meanwhile; keep the first entry
+        // (both are identical — compilation is deterministic).
+        Ok(cache.entry((source.clone(), target.clone(), kind)).or_insert(lowered).clone())
     }
 
     /// Transforms a document into `target` format, dispatching on the
@@ -61,7 +174,11 @@ impl TransformRegistry {
         target: &FormatId,
         ctx: &TransformContext,
     ) -> Result<Document> {
-        self.program(doc.format(), target, doc.kind())?.apply(doc, ctx)
+        if self.interpret {
+            self.program(doc.format(), target, doc.kind())?.apply(doc, ctx)
+        } else {
+            self.compiled(doc.format(), target, doc.kind())?.apply(doc, ctx)
+        }
     }
 
     /// Number of registered programs.
@@ -74,9 +191,26 @@ impl TransformRegistry {
         self.programs.is_empty()
     }
 
+    /// Number of programs compiled so far (lazily populated).
+    pub fn compiled_count(&self) -> usize {
+        self.compiled_cache().len()
+    }
+
     /// Total rule count across programs (model-size metrics).
     pub fn total_rule_count(&self) -> usize {
         self.programs.values().map(TransformProgram::rule_count).sum()
+    }
+
+    fn compiled_cache(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, BTreeMap<Key, Arc<CompiledProgram>>> {
+        self.compiled.read().expect("transform compile cache poisoned")
+    }
+
+    fn compiled_cache_mut(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<Key, Arc<CompiledProgram>>> {
+        self.compiled.write().expect("transform compile cache poisoned")
     }
 }
 
@@ -112,5 +246,51 @@ mod tests {
             Err(TransformError::NoProgram { source, .. }) => assert_eq!(source, "edi-x12"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn compilation_is_lazy_and_cached() {
+        let reg = TransformRegistry::with_builtins();
+        assert_eq!(reg.compiled_count(), 0, "nothing compiled before first use");
+        let doc = sample_edi_po("2", 1);
+        let ctx = TransformContext::default();
+        reg.transform(&doc, &FormatId::NORMALIZED, &ctx).unwrap();
+        assert_eq!(reg.compiled_count(), 1);
+        reg.transform(&doc, &FormatId::NORMALIZED, &ctx).unwrap();
+        assert_eq!(reg.compiled_count(), 1, "second dispatch reuses the cache");
+        let a = reg
+            .compiled(&FormatId::EDI_X12, &FormatId::NORMALIZED, DocKind::PurchaseOrder)
+            .unwrap();
+        let b = reg
+            .compiled(&FormatId::EDI_X12, &FormatId::NORMALIZED, DocKind::PurchaseOrder)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache returns the same compiled program");
+    }
+
+    #[test]
+    fn register_invalidates_the_compiled_form() {
+        let mut reg = TransformRegistry::with_builtins();
+        let doc = sample_edi_po("3", 1);
+        let ctx = TransformContext::default();
+        reg.transform(&doc, &FormatId::NORMALIZED, &ctx).unwrap();
+        assert_eq!(reg.compiled_count(), 1);
+        let program = reg
+            .program(&FormatId::EDI_X12, &FormatId::NORMALIZED, DocKind::PurchaseOrder)
+            .unwrap()
+            .clone();
+        reg.register(program);
+        assert_eq!(reg.compiled_count(), 0, "re-registering drops the stale compilation");
+    }
+
+    #[test]
+    fn interpreted_and_compiled_dispatch_agree() {
+        let mut reg = TransformRegistry::with_builtins();
+        let doc = sample_edi_po("4", 7);
+        let ctx = TransformContext::new("A", "B", "000000001", "i-1");
+        let compiled = reg.transform(&doc, &FormatId::NORMALIZED, &ctx).unwrap();
+        reg.set_interpreted(true);
+        let interpreted = reg.transform(&doc, &FormatId::NORMALIZED, &ctx).unwrap();
+        assert_eq!(compiled.body(), interpreted.body());
+        assert_eq!(compiled.format(), interpreted.format());
     }
 }

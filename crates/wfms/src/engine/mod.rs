@@ -197,6 +197,12 @@ impl Engine {
         &self.transforms
     }
 
+    /// Mutable transformation registry (dispatch-mode toggles, hot
+    /// re-registration).
+    pub fn transforms_mut(&mut self) -> &mut TransformRegistry {
+        &mut self.transforms
+    }
+
     /// Deploys a workflow type.
     pub fn deploy(&mut self, wf: WorkflowType) {
         self.db.put_type(wf);

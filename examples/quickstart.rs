@@ -34,6 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "buyer filed acknowledgments: {}",
         scenario.buyer.backend("SAP")?.backend().poa_count()
     );
+    // The wire edge caches codec work: decodes are memoized by payload
+    // checksum (hits = re-parses saved) and encode buffers are reused
+    // per (format, kind) after the first allocation.
+    let cache = scenario.buyer.codec_cache_stats();
+    println!(
+        "buyer edge codec caches: {} decode hits / {} misses, {} encode buffer reuses / {} allocs",
+        cache.decode_hits,
+        cache.decode_misses,
+        cache.encode_buffer_reuses,
+        cache.encode_buffer_allocs
+    );
 
     assert_eq!(scenario.buyer.session_state(&correlation), SessionState::Completed);
     assert_eq!(scenario.seller.session_state(&correlation), SessionState::Completed);

@@ -4,13 +4,15 @@
 use proptest::prelude::*;
 use semantic_b2b::document::normalized::{build_poa, check_total_consistency, PoBuilder};
 use semantic_b2b::document::{
-    Currency, Date, Document, FieldPath, FormatId, FormatRegistry, Money,
+    Currency, Date, DocKind, Document, FieldPath, FormatId, FormatRegistry, Money,
 };
 use semantic_b2b::network::{
     Bytes, EndpointId, FaultConfig, ReliableConfig, ReliableEndpoint, SimNetwork,
 };
 use semantic_b2b::rules::{Expr, RuleContext};
-use semantic_b2b::transform::{TransformContext, TransformRegistry};
+use semantic_b2b::transform::{
+    CompiledProgram, ContextKey, MappingRule, TransformContext, TransformProgram, TransformRegistry,
+};
 use std::collections::BTreeSet;
 
 // ---------------------------------------------------------------------
@@ -76,12 +78,22 @@ proptest! {
 
     #[test]
     fn field_path_display_parse_roundtrip(
-        segs in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
-        idx in prop::option::of(0usize..100),
+        segs in prop::collection::vec(
+            ("[a-z][a-z0-9_]{0,8}", prop::collection::vec(0usize..100, 0..3)),
+            1..5,
+        ),
     ) {
-        let mut text = segs.join(".");
-        if let Some(i) = idx {
-            text.push_str(&format!("[{i}]"));
+        // Field segments with any number of interleaved list indexes:
+        // `a`, `a[0].b`, `a[3][7].b[1]`, ...
+        let mut text = String::new();
+        for (i, (name, idxs)) in segs.iter().enumerate() {
+            if i > 0 {
+                text.push('.');
+            }
+            text.push_str(name);
+            for idx in idxs {
+                text.push_str(&format!("[{idx}]"));
+            }
         }
         let p = FieldPath::parse(&text).unwrap();
         prop_assert_eq!(p.to_string(), text);
@@ -111,6 +123,132 @@ proptest! {
         if let Ok(expr) = Expr::parse(&text) {
             let doc = semantic_b2b::document::normalized::sample_po("p", 10);
             let _ = expr.eval(&RuleContext::new("TP1", "SAP", &doc)); // may Err
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled-vs-interpreted equivalence. The compiled executor's contract is
+// observable identity with the rule-tree interpreter: same output
+// documents, byte-identical `TransformError`s, same context injection.
+// Random programs over a vocabulary of paths that sometimes hit, sometimes
+// miss, and sometimes conflict (overwriting earlier writes) exercise both
+// the success paths and every error branch, including the compile-time
+// presence analysis.
+
+fn source_path() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("header.po_number"),
+        Just("header.buyer"),
+        Just("header.currency"),
+        Just("header.order_date"),
+        Just("header"),
+        Just("amount"),
+        Just("lines"),
+        Just("lines[0].item"),
+        Just("lines[0].line_total"),
+        Just("header.missing"),
+        Just("lines[9].item"),
+    ]
+}
+
+fn target_path() -> impl Strategy<Value = &'static str> {
+    // Deliberately few targets so programs collide: `x` then `x.y` (set
+    // through a scalar), `x.y` then `x` then `x.y.z` (re-created parents).
+    prop_oneof![Just("x"), Just("x.y"), Just("x.y.z"), Just("n1"), Just("items"), Just("out")]
+}
+
+fn body_rule() -> impl Strategy<Value = MappingRule> {
+    let from = prop_oneof![
+        Just("line_no"),
+        Just("item"),
+        Just("quantity"),
+        Just("unit_price"),
+        Just("missing")
+    ];
+    let to = || prop_oneof![Just("a"), Just("a.b"), Just("code")];
+    prop_oneof![
+        (from, to(), any::<bool>()).prop_map(|(f, t, opt)| if opt {
+            MappingRule::mv_opt(f, t)
+        } else {
+            MappingRule::mv(f, t)
+        }),
+        ("[a-z]{1,6}", to()).prop_map(|(s, t)| MappingRule::const_text(t, &s)),
+    ]
+}
+
+fn mapping_rule() -> impl Strategy<Value = MappingRule> {
+    prop_oneof![
+        (source_path(), target_path(), any::<bool>()).prop_map(|(f, t, opt)| if opt {
+            MappingRule::mv_opt(f, t)
+        } else {
+            MappingRule::mv(f, t)
+        }),
+        (target_path(), "[a-z]{1,6}").prop_map(|(t, s)| MappingRule::const_text(t, &s)),
+        (source_path(), target_path()).prop_map(|(f, t)| MappingRule::value_map(
+            f,
+            t,
+            &[("USD", "usd"), ("EUR", "eur")]
+        )),
+        (source_path(), target_path()).prop_map(|(f, t)| MappingRule::pick(
+            f,
+            "item",
+            "LAPTOP-T23",
+            "quantity",
+            t
+        )),
+        target_path().prop_map(|t| MappingRule::context(t, ContextKey::Sender)),
+        target_path().prop_map(|t| MappingRule::context(t, ContextKey::ControlNumber)),
+        (source_path(), target_path()).prop_map(|(f, t)| MappingRule::currency_of(f, t)),
+        (source_path(), target_path()).prop_map(|(f, t)| MappingRule::sum_money(
+            f,
+            "unit_price",
+            t
+        )),
+        (source_path(), target_path(), prop::collection::vec(body_rule(), 0..3))
+            .prop_map(|(f, t, rules)| MappingRule::for_each(f, t, rules)),
+        (target_path(), prop::collection::vec(body_rule(), 0..3))
+            .prop_map(|(t, rules)| MappingRule::append(t, rules)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compiled_execution_matches_the_interpreter(
+        po in normalized_po(),
+        rules in prop::collection::vec(mapping_rule(), 1..8),
+    ) {
+        let program = TransformProgram::new(
+            DocKind::PurchaseOrder,
+            FormatId::NORMALIZED,
+            FormatId::custom("prop-target"),
+            rules,
+        );
+        let compiled = CompiledProgram::compile(&program);
+        let ctx = TransformContext::new("ACME", "GADGET", "000000042", "i-prop");
+        let interpreted = program.apply(&po, &ctx);
+        let fast = compiled.apply(&po, &ctx);
+        // Whole-result equality: identical documents (body, format, kind,
+        // correlation) or byte-identical errors.
+        prop_assert_eq!(&interpreted, &fast);
+
+        // Wrong-input dispatch must also agree, message for message.
+        let retagged = po.reformatted(FormatId::custom("elsewhere"), po.body().clone());
+        prop_assert_eq!(program.apply(&retagged, &ctx), compiled.apply(&retagged, &ctx));
+    }
+
+    #[test]
+    fn registry_dispatch_modes_agree_on_builtins(po in normalized_po()) {
+        let mut reg = TransformRegistry::with_builtins();
+        let ctx = TransformContext::new("ACME", "GADGET", "000000007", "i-d");
+        for format in [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::SAP_IDOC] {
+            reg.set_interpreted(false);
+            let compiled = reg.transform(&po, &format, &ctx).unwrap();
+            reg.set_interpreted(true);
+            let interpreted = reg.transform(&po, &format, &ctx).unwrap();
+            prop_assert_eq!(&compiled, &interpreted, "{}", format);
         }
     }
 }

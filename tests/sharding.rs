@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 use semantic_b2b::integration::engine::{IntegrationEngine, IntegrationStats};
+use semantic_b2b::integration::metrics::CodecCacheStats;
 use semantic_b2b::integration::scenario::TwoEnterpriseScenario;
 use semantic_b2b::integration::SessionState;
 use semantic_b2b::network::FaultConfig;
@@ -19,6 +20,7 @@ struct Fingerprint {
     dead_letters: Vec<(u64, String, String)>,
     completed: usize,
     history: Vec<HistoryEvent>,
+    cache: CodecCacheStats,
 }
 
 fn fingerprint(engine: &IntegrationEngine) -> Fingerprint {
@@ -37,20 +39,25 @@ fn fingerprint(engine: &IntegrationEngine) -> Fingerprint {
             .collect(),
         completed: engine.completed_sessions(),
         history: engine.wf().history().to_vec(),
+        cache: *engine.codec_cache_stats(),
     }
 }
 
 /// Runs the two-enterprise scenario with the given worker count and
-/// returns (elapsed ms, buyer fingerprint, seller fingerprint).
+/// transform dispatch mode, returning (elapsed ms, buyer fingerprint,
+/// seller fingerprint).
 fn run(
     faults: FaultConfig,
     seed: u64,
     pos: usize,
     shards: usize,
+    interpreted: bool,
 ) -> (u64, Fingerprint, Fingerprint) {
     let mut s = TwoEnterpriseScenario::new(faults, seed).unwrap();
     s.buyer.set_shards(shards);
     s.seller.set_shards(shards);
+    s.buyer.set_interpreted_transforms(interpreted);
+    s.seller.set_interpreted_transforms(interpreted);
     for i in 0..pos {
         let po = s.po(&format!("po-{i}"), 1_000 + i as i64).unwrap();
         s.submit(po).unwrap();
@@ -72,11 +79,18 @@ proptest! {
         shards in 2usize..=4,
     ) {
         let faults = FaultConfig { loss, duplicate, corrupt, min_delay_ms: 1, max_delay_ms: 40 };
-        let sequential = run(faults.clone(), seed, pos, 1);
-        let sharded = run(faults, seed, pos, shards);
+        let sequential = run(faults.clone(), seed, pos, 1, false);
+        let sharded = run(faults.clone(), seed, pos, shards, false);
         prop_assert_eq!(&sequential.0, &sharded.0, "elapsed simulated time diverged");
         prop_assert_eq!(&sequential.1, &sharded.1, "buyer observables diverged");
         prop_assert_eq!(&sequential.2, &sharded.2, "seller observables diverged");
+        // The compiled transform path is the default above; the same run
+        // with the tree-walking interpreter must be observably identical,
+        // down to the codec cache counters in the fingerprint.
+        let interpreted = run(faults, seed, pos, shards, true);
+        prop_assert_eq!(&sequential.0, &interpreted.0, "elapsed diverged under interpreter");
+        prop_assert_eq!(&sequential.1, &interpreted.1, "buyer diverged under interpreter");
+        prop_assert_eq!(&sequential.2, &interpreted.2, "seller diverged under interpreter");
     }
 }
 
@@ -84,13 +98,43 @@ proptest! {
 fn flaky_broadcast_workload_is_identical_across_shard_counts() {
     // A deterministic anchor alongside the property: a lossy multi-session
     // run compared across 1, 2, 4, and 8 workers.
-    let baseline = run(FaultConfig::flaky(0.3), 7, 8, 1);
+    let baseline = run(FaultConfig::flaky(0.3), 7, 8, 1, false);
     for shards in [2, 4, 8] {
-        let parallel = run(FaultConfig::flaky(0.3), 7, 8, shards);
+        let parallel = run(FaultConfig::flaky(0.3), 7, 8, shards, false);
         assert_eq!(baseline.0, parallel.0, "elapsed diverged at {shards} shards");
         assert_eq!(baseline.1, parallel.1, "buyer diverged at {shards} shards");
         assert_eq!(baseline.2, parallel.2, "seller diverged at {shards} shards");
     }
+    // Dispatch mode must be as invisible as the shard count.
+    let interpreted = run(FaultConfig::flaky(0.3), 7, 8, 4, true);
+    assert_eq!(baseline.0, interpreted.0, "elapsed diverged under interpreter");
+    assert_eq!(baseline.1, interpreted.1, "buyer diverged under interpreter");
+    assert_eq!(baseline.2, interpreted.2, "seller diverged under interpreter");
     // The run was not trivially clean: sessions really completed.
     assert!(baseline.1.completed >= 1, "at least one session completed");
+}
+
+#[test]
+fn decode_memo_hits_track_duplication() {
+    // Every duplicated delivery the reliable layer suppresses is counted
+    // against the decode memo: the original decode populated the memo, so
+    // the duplicate registers as a hit (a re-parse the memo saved).
+    let dup_heavy =
+        FaultConfig { loss: 0.0, duplicate: 0.6, corrupt: 0.0, min_delay_ms: 1, max_delay_ms: 40 };
+    let (_, buyer, seller) = run(dup_heavy, 11, 4, 1, false);
+    assert!(
+        buyer.cache.decode_hits + seller.cache.decode_hits > 0,
+        "duplication-heavy run produced no decode-memo hits: buyer {:?}, seller {:?}",
+        buyer.cache,
+        seller.cache
+    );
+
+    // With duplication disabled (and nothing lost, so nothing is ever
+    // retransmitted) every payload is decoded exactly once and the memo
+    // never hits — but real decodes still happened.
+    let (_, buyer, seller) = run(FaultConfig::reliable(), 11, 4, 1, false);
+    assert_eq!(buyer.cache.decode_hits, 0, "clean run must not hit the decode memo");
+    assert_eq!(seller.cache.decode_hits, 0, "clean run must not hit the decode memo");
+    assert!(buyer.cache.decode_misses > 0, "documents were decoded at the buyer edge");
+    assert!(seller.cache.decode_misses > 0, "documents were decoded at the seller edge");
 }

@@ -21,6 +21,11 @@ impl Bytes {
         Self(Arc::from(bytes))
     }
 
+    /// Copies a slice into a fresh buffer (one exact-size allocation).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(Arc::from(data))
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()
