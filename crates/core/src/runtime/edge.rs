@@ -130,7 +130,9 @@ impl Edge {
     }
 
     /// Encodes a document for the wire, reusing a per-(format, kind)
-    /// buffer so steady-state encodes never grow a fresh allocation.
+    /// buffer so steady-state encodes amortize the growth of the scratch
+    /// buffer. (The returned [`Bytes`] is an `Arc<[u8]>`, so each call
+    /// still pays one exact-size allocation to freeze the result.)
     pub fn encode(&mut self, doc: &Document) -> Result<Bytes, b2b_document::DocumentError> {
         let key = (doc.format().clone(), doc.kind());
         match self.encode_buffers.get_mut(&key) {

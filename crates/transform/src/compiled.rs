@@ -324,15 +324,17 @@ impl CompiledProgram {
                 break;
             }
         }
+        // A write may replace the whole subtree below its full path:
+        // anything previously proven underneath is gone. This must run even
+        // when `writes` is false — an optional move still overwrites the
+        // target whenever its source exists, it just proves nothing when it
+        // doesn't. (`Append` and `ForEach` never destroy existing keys, but
+        // invalidating is merely conservative.)
+        if syms.len() == path.segments().len() {
+            present.retain(|q| !(q.len() > syms.len() && q.starts_with(&syms)));
+        }
         if writes {
-            // A write may replace the whole subtree below its full path:
-            // anything previously proven underneath is gone. (`Append` and
-            // `ForEach` never destroy existing keys, but invalidating is
-            // merely conservative.)
-            if syms.len() == path.segments().len() {
-                present.retain(|q| !(q.len() > syms.len() && q.starts_with(&syms)));
-            }
-            // ...and proves every key on the path itself.
+            // A guaranteed write proves every key on the path itself.
             for j in 1..=syms.len() {
                 present.insert(syms[..j].to_vec());
             }
@@ -856,6 +858,30 @@ mod tests {
         for p in &cases {
             assert_equivalent(p, &po);
         }
+    }
+
+    /// Regression: an optional move is lowered with `writes = false`, but it
+    /// still replaces the target subtree whenever its source exists. Presence
+    /// facts proven by earlier ops must not survive it, or the known fast
+    /// path in `step_mut` panics where the interpreter succeeds.
+    #[test]
+    fn optional_move_overwrite_invalidates_presence_analysis() {
+        let po = sample_po("1", 5);
+        // Source exists: `x` is replaced by the header record (no `y` key).
+        let overwrites = program(vec![
+            MappingRule::const_text("x.y.z", "first"),
+            MappingRule::mv_opt("header", "x"),
+            MappingRule::const_text("x.y.z", "second"),
+        ]);
+        assert_equivalent(&overwrites, &po);
+        // Source missing: nothing is written; the conservative invalidation
+        // only costs the fast path, never correctness.
+        let skips = program(vec![
+            MappingRule::const_text("x.y.z", "first"),
+            MappingRule::mv_opt("header.missing", "x"),
+            MappingRule::const_text("x.y.z", "second"),
+        ]);
+        assert_equivalent(&skips, &po);
     }
 
     #[test]

@@ -153,9 +153,25 @@ fn source_path() -> impl Strategy<Value = &'static str> {
 }
 
 fn target_path() -> impl Strategy<Value = &'static str> {
-    // Deliberately few targets so programs collide: `x` then `x.y` (set
-    // through a scalar), `x.y` then `x` then `x.y.z` (re-created parents).
-    prop_oneof![Just("x"), Just("x.y"), Just("x.y.z"), Just("n1"), Just("items"), Just("out")]
+    // Deliberately few targets, weighted toward one shared prefix, so
+    // programs collide: `x` then `x.y` (set through a scalar), `x.y` then
+    // `x` then `x.y.z` (re-created parents), optional moves overwriting
+    // subtrees earlier rules proved present.
+    // (Repeated variants: the vendored `prop_oneof` has no weight syntax.)
+    prop_oneof![
+        Just("x"),
+        Just("x"),
+        Just("x"),
+        Just("x.y"),
+        Just("x.y"),
+        Just("x.y"),
+        Just("x.y.z"),
+        Just("x.y.z"),
+        Just("x.y.z"),
+        Just("n1"),
+        Just("items"),
+        Just("out"),
+    ]
 }
 
 fn body_rule() -> impl Strategy<Value = MappingRule> {
@@ -213,7 +229,11 @@ fn mapping_rule() -> impl Strategy<Value = MappingRule> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // 512 cases: 128 was too few to surface a presence-analysis bug this
+    // vocabulary can express (an optional move overwriting a subtree an
+    // earlier rule proved present — now also pinned deterministically in
+    // `crates/transform/src/compiled.rs`).
+    #![proptest_config(ProptestConfig::with_cases(512))]
 
     #[test]
     fn compiled_execution_matches_the_interpreter(
@@ -238,6 +258,10 @@ proptest! {
         let retagged = po.reformatted(FormatId::custom("elsewhere"), po.body().clone());
         prop_assert_eq!(program.apply(&retagged, &ctx), compiled.apply(&retagged, &ctx));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn registry_dispatch_modes_agree_on_builtins(po in normalized_po()) {
