@@ -24,4 +24,14 @@ B2B_SHARDS=1 cargo test --offline -q --workspace
 echo "== cargo test (B2B_SHARDS=4) =="
 B2B_SHARDS=4 cargo test --offline -q --workspace
 
+# Third pass on the rule-tree interpreter: every engine the suite builds
+# dispatches business rules interpreted instead of compiled. Identical
+# results are the contract (see tests/properties.rs and tests/sharding.rs).
+echo "== cargo test (B2B_RULES=interpreted) =="
+B2B_RULES=interpreted cargo test --offline -q --workspace
+
+# Benches are not run in CI, but they must keep compiling.
+echo "== cargo bench --no-run =="
+cargo bench --offline --no-run --workspace
+
 echo "CI OK"

@@ -4,7 +4,7 @@
 
 use b2b_document::normalized::sample_po;
 use b2b_rules::approval::{check_need_for_approval, ApprovalThreshold};
-use b2b_rules::{Expr, RuleContext};
+use b2b_rules::{Expr, RuleContext, RuleRegistry};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -69,6 +69,42 @@ fn bench_inlined_guard(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dispatch_modes(c: &mut Criterion) {
+    // The registry's two dispatch modes on the same function: the rule-tree
+    // interpreter vs the lowered instruction programs (E16's
+    // microbenchmark, under criterion's statistics).
+    let mut group = c.benchmark_group("rule-dispatch");
+    let doc = sample_po("r", 42_000);
+    for partners in [2usize, 8, 32] {
+        let f = check_need_for_approval(&thresholds(partners)).unwrap();
+        let name = f.name.clone();
+        let last = format!("TP{partners}");
+        let mut interpreted = RuleRegistry::new();
+        interpreted.register(f.clone());
+        interpreted.set_interpreted(true);
+        let compiled = {
+            let mut reg = RuleRegistry::new();
+            reg.register(f);
+            reg
+        };
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", partners),
+            &interpreted,
+            |bencher, reg| {
+                bencher.iter(|| black_box(reg.invoke(&name, &last, "Oracle", &doc).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled", partners),
+            &compiled,
+            |bencher, reg| {
+                bencher.iter(|| black_box(reg.invoke(&name, &last, "Oracle", &doc).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_parse(c: &mut Criterion) {
     c.bench_function("parse-paper-rule", |bencher| {
         bencher.iter(|| {
@@ -80,5 +116,11 @@ fn bench_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rule_function, bench_inlined_guard, bench_parse);
+criterion_group!(
+    benches,
+    bench_rule_function,
+    bench_inlined_guard,
+    bench_dispatch_modes,
+    bench_parse
+);
 criterion_main!(benches);

@@ -19,6 +19,7 @@ use crate::binding::{
 use crate::compile::{compile_public, public_type_id};
 use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
 use crate::error::{IntegrationError, Result};
+use crate::metrics::StageProfile;
 use crate::partner::{PartnerDirectory, TradingPartner};
 use crate::private_process::{
     approve_activity, audit_activity, initiator_private_process, make_quote_activity,
@@ -88,6 +89,8 @@ pub struct IntegrationEngine {
     pub(crate) stats: IntegrationStats,
     /// Worker count for the execute stage (`B2B_SHARDS`, default 1).
     pub(crate) shards: usize,
+    /// Per-pump-stage counters and timers (experiment E16).
+    pub(crate) profile: StageProfile,
 }
 
 impl IntegrationEngine {
@@ -122,6 +125,12 @@ impl IntegrationEngine {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(1);
+        // `B2B_RULES=interpreted` runs the whole suite on the rule-tree
+        // interpreter instead of compiled programs (results identical; CI
+        // exercises both).
+        if std::env::var("B2B_RULES").is_ok_and(|v| v == "interpreted") {
+            wf.rules_mut().set_interpreted(true);
+        }
         Ok(Self {
             name: name.to_string(),
             endpoint,
@@ -136,6 +145,7 @@ impl IntegrationEngine {
             outstanding_wire: HashMap::new(),
             stats: IntegrationStats::default(),
             shards,
+            profile: StageProfile::default(),
         })
     }
 
@@ -186,6 +196,22 @@ impl IntegrationEngine {
     /// identical; experiments toggle this to measure the difference.
     pub fn set_interpreted_transforms(&mut self, interpret: bool) {
         self.wf.transforms_mut().set_interpreted(interpret);
+    }
+
+    /// Switches the rule registry between compiled programs (default) and
+    /// the tree interpreter — same contract as
+    /// [`set_interpreted_transforms`](Self::set_interpreted_transforms):
+    /// observably identical, toggled by experiments (and by
+    /// `B2B_RULES=interpreted` at construction).
+    pub fn set_interpreted_rules(&mut self, interpret: bool) {
+        self.wf.rules_mut().set_interpreted(interpret);
+    }
+
+    /// Per-pump-stage counters and timers: what the edge, route, execute,
+    /// and emit stages processed and where wall-clock went. The counters
+    /// are deterministic; the timers are measurement only.
+    pub fn stage_profile(&self) -> &StageProfile {
+        &self.profile
     }
 
     /// Registers a trading partner.

@@ -120,6 +120,101 @@ impl fmt::Display for CodecCacheStats {
     }
 }
 
+/// Deterministic per-stage counters for the pump pipeline (experiment
+/// E16).
+///
+/// Every field is a pure function of the interaction trace — never of
+/// wall-clock, thread scheduling, or the shard count — so fingerprint
+/// tests can assert byte-identity across runs. Wall-clock lives in
+/// [`StageTimers`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Pipeline passes ([`crate::engine::IntegrationEngine`]::pump calls).
+    pub pumps: u64,
+    /// Payload envelopes drained by the edge stage.
+    pub edge_payloads: u64,
+    /// Failure notices drained by the edge stage.
+    pub edge_notices: u64,
+    /// Suppressed duplicate envelopes drained by the edge stage.
+    pub edge_duplicates: u64,
+    /// Documents the route stage queued into process instances (inbound
+    /// payloads and back-end outputs).
+    pub routed_documents: u64,
+    /// Execute-stage passes (settle calls; the execute ⇄ emit loop runs
+    /// until the outbox stays empty).
+    pub settle_passes: u64,
+    /// Outbox documents the emit stage routed between instances / onto
+    /// the wire.
+    pub emitted_documents: u64,
+}
+
+impl fmt::Display for StageCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pumps, edge {}+{}n+{}d, {} routed, {} settles, {} emitted",
+            self.pumps,
+            self.edge_payloads,
+            self.edge_notices,
+            self.edge_duplicates,
+            self.routed_documents,
+            self.settle_passes,
+            self.emitted_documents
+        )
+    }
+}
+
+/// Wall-clock spent per pump stage, in nanoseconds.
+///
+/// Timers are measurement, not state: they vary run to run and across
+/// shard counts, so they are deliberately *not* `Eq` and must stay out of
+/// determinism fingerprints. Use [`StageCounters`] there instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimers {
+    /// Draining and decoding at the reliable edge.
+    pub edge_ns: u64,
+    /// Sequential routing (session lookup/creation, queueing).
+    pub route_ns: u64,
+    /// Sharded execution (settling instances to quiescence).
+    pub execute_ns: u64,
+    /// Emitting the sorted outbox (wire sends, hand-offs).
+    pub emit_ns: u64,
+}
+
+impl StageTimers {
+    /// Total time across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.edge_ns + self.route_ns + self.execute_ns + self.emit_ns
+    }
+}
+
+impl fmt::Display for StageTimers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge {:.1}µs route {:.1}µs execute {:.1}µs emit {:.1}µs",
+            self.edge_ns as f64 / 1e3,
+            self.route_ns as f64 / 1e3,
+            self.execute_ns as f64 / 1e3,
+            self.emit_ns as f64 / 1e3
+        )
+    }
+}
+
+/// Per-stage pipeline profile: deterministic counters plus wall-clock
+/// timers, kept separate so tests can fingerprint one without the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageProfile {
+    pub counters: StageCounters,
+    pub timers: StageTimers,
+}
+
+impl fmt::Display for StageProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} | {}", self.counters, self.timers)
+    }
+}
+
 /// What one enterprise can learn about another under a given architecture
 /// (experiment E3).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

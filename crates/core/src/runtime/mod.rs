@@ -31,19 +31,31 @@ use crate::error::Result;
 use crate::session::SessionState;
 use b2b_network::{Bytes, SimNetwork};
 use b2b_protocol::FailureNotice;
+use std::time::Instant;
 
 impl IntegrationEngine {
     /// Runs one pipeline pass: edge → route → (execute ⇄ emit) →
     /// failure containment. Call repeatedly, advancing the network
     /// in between, to drive interactions to completion.
+    ///
+    /// Each pass feeds the per-stage [`crate::metrics::StageProfile`]:
+    /// deterministic counters (what each stage processed) and wall-clock
+    /// timers (where the time went).
     pub fn pump(&mut self, net: &mut SimNetwork) -> Result<()> {
+        self.profile.counters.pumps += 1;
         // Stage 0: let protocol timers (receipt deadlines, timeouts) fire.
         self.wf.advance_time(net.now())?;
 
         // Stage 1: the edge drains the wire and classifies traffic.
+        let edge_started = Instant::now();
         let batch = self.edge.receive(net)?;
+        self.profile.timers.edge_ns += edge_started.elapsed().as_nanos() as u64;
+        self.profile.counters.edge_notices += batch.notices.len() as u64;
+        self.profile.counters.edge_payloads += batch.payloads.len() as u64;
+        self.profile.counters.edge_duplicates += batch.duplicates.len() as u64;
 
         // Stage 2: routing — sequential, canonical.
+        let route_started = Instant::now();
         for envelope in batch.notices {
             self.handle_notify(net, envelope)?;
         }
@@ -56,6 +68,7 @@ impl IntegrationEngine {
             self.edge.note_duplicate(envelope);
         }
         self.poll_backends()?;
+        self.profile.timers.route_ns += route_started.elapsed().as_nanos() as u64;
 
         // Stages 3+4: execute (sharded) and emit, alternating to a
         // fixpoint.
@@ -95,19 +108,25 @@ impl IntegrationEngine {
     /// regardless of the shard count.
     pub(crate) fn settle_and_route(&mut self, net: &mut SimNetwork) -> Result<()> {
         loop {
+            let execute_started = Instant::now();
             {
                 let table = &self.table;
                 self.wf.settle(self.shards, &|id| table.shard_of_instance(id) as usize)?;
             }
+            self.profile.timers.execute_ns += execute_started.elapsed().as_nanos() as u64;
+            self.profile.counters.settle_passes += 1;
             // The outbox is sorted by (instance, channel): emission order
             // is a function of what ran, not of which worker ran it.
             let outputs = self.wf.drain_outbox();
             if outputs.is_empty() {
                 break;
             }
+            let emit_started = Instant::now();
+            self.profile.counters.emitted_documents += outputs.len() as u64;
             for (from, channel, doc) in outputs {
                 self.route_one(net, from, &channel, doc)?;
             }
+            self.profile.timers.emit_ns += emit_started.elapsed().as_nanos() as u64;
         }
         let touched = self.wf.drain_touched();
         self.table.refresh_instances(&self.wf, &touched);
@@ -117,14 +136,27 @@ impl IntegrationEngine {
     /// Sends a failure notification for every failed, not-yet-notified
     /// session, so counterparties can terminate their half deterministically
     /// instead of waiting forever.
+    ///
+    /// Visits only the [`SessionTable`]'s pending-failed index — healthy
+    /// pumps pay nothing here, where this used to scan (and clone the
+    /// state of) every session on every pass.
     pub(crate) fn notify_failed_sessions(&mut self, net: &mut SimNetwork) -> Result<()> {
-        for index in 0..self.table.len() {
+        if self.table.pending_failed().next().is_none() {
+            return Ok(());
+        }
+        // Snapshot the indices: `set_notified` edits the index while we
+        // walk. The set is ascending, matching the historical scan order.
+        let pending: Vec<usize> = self.table.pending_failed().collect();
+        for index in pending {
+            // The index invariant guarantees Failed-and-unnotified; keep
+            // the checks as a cheap guard against future drift.
             if self.table.session(index).notified {
                 continue;
             }
-            let SessionState::Failed(reason) = self.table.state(index).clone() else {
+            let SessionState::Failed(reason) = self.table.state(index) else {
                 continue;
             };
+            let reason = reason.clone();
             self.table.set_notified(index);
             let session = self.table.session(index);
             let Ok(partner) = self.partners.by_name(&session.partner) else {

@@ -23,6 +23,7 @@ use b2b_network::{Envelope, SimNetwork};
 use b2b_wfms::{ChannelId, InstanceId, WorkflowTypeId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What routing can reject: emissions from unknown instances or on
 /// unknown channels, and sessions missing the layer a document targets.
@@ -168,6 +169,7 @@ impl IntegrationEngine {
         if let Some(index) = self.table.index_of(&correlation, &partner) {
             let public = self.table.session(index).public;
             self.wf.enqueue_to(public, &channels::wire_in(), doc)?;
+            self.profile.counters.routed_documents += 1;
             return Ok(());
         }
         // New inbound interaction: find the agreement for (partner, format)
@@ -230,6 +232,7 @@ impl IntegrationEngine {
         self.wf.schedule(public);
         self.wf.schedule(binding);
         self.wf.enqueue_to(public, &channels::wire_in(), doc)?;
+        self.profile.counters.routed_documents += 1;
         Ok(())
     }
 
@@ -250,6 +253,7 @@ impl IntegrationEngine {
                     continue;
                 };
                 self.wf.enqueue_to(bb, &channels::from_app(), poa)?;
+                self.profile.counters.routed_documents += 1;
             }
         }
         Ok(())
@@ -259,12 +263,16 @@ impl IntegrationEngine {
     /// Wire sends happen here, in the canonical order of the sorted
     /// outbox, so the network's fault-decision stream is independent of
     /// the shard count.
+    ///
+    /// Takes the outbox's `Arc<Document>` as-is: queueing into the next
+    /// instance moves the pointer, so a document crossing all three
+    /// process layers is never deep-copied in transit.
     pub(crate) fn route_one(
         &mut self,
         net: &mut SimNetwork,
         from: InstanceId,
         channel: &ChannelId,
-        doc: Document,
+        doc: Arc<Document>,
     ) -> Result<()> {
         let index =
             self.table.index_of_instance(from).ok_or(RouteError::NoSession { instance: from })?;
@@ -405,7 +413,7 @@ impl IntegrationEngine {
         if self.backends.is_empty() {
             return Ok(None);
         }
-        if self.wf.rules().function(SELECT_BACKEND_RULE).is_ok() {
+        if self.wf.rules().function_exists(SELECT_BACKEND_RULE) {
             let value = self.wf.rules().invoke(SELECT_BACKEND_RULE, partner, "", doc)?;
             let name =
                 value.as_text("select-backend result").map_err(IntegrationError::from)?.to_string();

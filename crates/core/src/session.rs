@@ -86,16 +86,18 @@ pub(crate) struct SessionTable {
     groups: HashMap<CorrelationId, Group>,
     /// Σ group size over complete groups — `completed_sessions` in O(1).
     completed_total: usize,
+    /// Failed-and-unnotified sessions, maintained incrementally by
+    /// `apply_state` / `set_notified` / `clear_failure` so the failure
+    /// notification stage visits exactly the sessions that need a notice
+    /// instead of scanning the whole table every pump. A `BTreeSet` so the
+    /// visit order matches the historical full-scan order (ascending
+    /// index).
+    pending_failed: BTreeSet<usize>,
 }
 
 impl SessionTable {
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Number of sessions.
-    pub fn len(&self) -> usize {
-        self.sessions.len()
     }
 
     /// Adds a session (cached state starts `InProgress`) and registers its
@@ -211,11 +213,26 @@ impl SessionTable {
         self.sessions[index].failure = None;
         self.sessions[index].notified = false;
         self.refresh(index, wf);
+        // `refresh` is a no-op when the cached state did not change, but
+        // resetting `notified` alone re-arms the notification: a session
+        // that is still Failed (an instance failed independently of the
+        // cleared marker) must become pending again.
+        if matches!(self.states[index], SessionState::Failed(_)) {
+            self.pending_failed.insert(index);
+        }
     }
 
     /// Marks a session's counterparty as informed (or not needing to be).
     pub fn set_notified(&mut self, index: usize) {
         self.sessions[index].notified = true;
+        self.pending_failed.remove(&index);
+    }
+
+    /// Indices of failed sessions whose counterparty has not been told
+    /// yet, in ascending index order. Maintained incrementally — reading
+    /// it never scans the table.
+    pub fn pending_failed(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pending_failed.iter().copied()
     }
 
     /// Recomputes one session's cached state from the WFMS.
@@ -259,6 +276,14 @@ impl SessionTable {
             self.completed_total -= group.total;
         } else if !was_complete && is_complete {
             self.completed_total += group.total;
+        }
+        match &self.states[index] {
+            SessionState::Failed(_) if !self.sessions[index].notified => {
+                self.pending_failed.insert(index);
+            }
+            _ => {
+                self.pending_failed.remove(&index);
+            }
         }
     }
 }
@@ -350,6 +375,26 @@ mod tests {
         table.insert(session("c-1", "TP2", 20));
         assert_eq!(table.completed_sessions(), 0);
         assert_eq!(table.aggregate_state(&CorrelationId::new("c-1")), SessionState::InProgress);
+    }
+
+    #[test]
+    fn pending_failed_index_tracks_failure_and_notification() {
+        let mut table = SessionTable::new();
+        let a = table.insert(session("c-1", "TP1", 10));
+        let b = table.insert(session("c-2", "TP2", 20));
+        assert_eq!(table.pending_failed().count(), 0);
+        table.mark_failure(b, "late".into(), false);
+        table.mark_failure(a, "boom".into(), false);
+        // Ascending index order, regardless of failure order.
+        assert_eq!(table.pending_failed().collect::<Vec<_>>(), vec![a, b]);
+        table.set_notified(a);
+        assert_eq!(table.pending_failed().collect::<Vec<_>>(), vec![b]);
+        // A completed session leaves the index.
+        table.apply_state(b, SessionState::Completed);
+        assert_eq!(table.pending_failed().count(), 0);
+        // Re-failing an already-notified session does not re-arm it...
+        table.mark_failure(a, "boom again".into(), true);
+        assert_eq!(table.pending_failed().count(), 0);
     }
 
     #[test]

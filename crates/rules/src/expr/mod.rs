@@ -23,7 +23,7 @@
 //! integer as whole currency units, so the paper's `document.amount >=
 //! 55000` reads exactly as written.
 
-mod eval;
+pub(crate) mod eval;
 mod lexer;
 mod parser;
 

@@ -26,6 +26,7 @@ use b2b_document::Document;
 use b2b_network::SimTime;
 use b2b_rules::{RuleError, RuleRegistry};
 use b2b_transform::{TransformContext, TransformRegistry};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -44,6 +45,8 @@ pub struct EngineStats {
     pub rule_invocations: u64,
     /// Transformations applied by transform steps.
     pub transforms: u64,
+    /// Edge-guard expressions evaluated while resolving control flow.
+    pub guard_evals: u64,
 }
 
 impl EngineStats {
@@ -55,6 +58,7 @@ impl EngineStats {
         self.receives += other.receives;
         self.rule_invocations += other.rule_invocations;
         self.transforms += other.transforms;
+        self.guard_evals += other.guard_evals;
     }
 }
 
@@ -100,13 +104,16 @@ pub(crate) struct ExecEnv<'a> {
 #[derive(Default)]
 pub(crate) struct VolatileState {
     /// Global channel queues (documents waiting for *any* receiver).
-    pub channel_queues: BTreeMap<ChannelId, VecDeque<Document>>,
+    /// Documents travel by `Arc` end to end: routing hands off a pointer,
+    /// and the receive step unwraps it (free while the reference is
+    /// unique, copy-on-write otherwise).
+    pub channel_queues: BTreeMap<ChannelId, VecDeque<Arc<Document>>>,
     /// Per-instance directed queues (session-scoped routing).
-    pub directed_queues: BTreeMap<(InstanceId, ChannelId), VecDeque<Document>>,
+    pub directed_queues: BTreeMap<(InstanceId, ChannelId), VecDeque<Arc<Document>>>,
     /// Instances blocked on a channel, FIFO per channel.
     pub waiters: BTreeMap<ChannelId, VecDeque<(InstanceId, StepId)>>,
     /// Documents emitted by send steps, drained by the host.
-    pub outbox: Vec<(InstanceId, ChannelId, Document)>,
+    pub outbox: Vec<(InstanceId, ChannelId, Arc<Document>)>,
     /// Pending timers.
     pub timers: Vec<(SimTime, InstanceId, StepId)>,
     /// Subworkflows delegated to remote engines.
@@ -168,15 +175,29 @@ fn get_instance(
     instances.get(&id).ok_or(WfError::UnknownInstance { instance: id.value() })
 }
 
-pub(crate) fn type_for(env: &ExecEnv<'_>, inst: &WorkflowInstance) -> Result<WorkflowType> {
+/// Resolves the workflow type an instance executes. Borrowed straight
+/// from the environment on the common path; carried types are cloned out
+/// of the instance (carry mode is a migration ablation, and the instance
+/// is mutated while the type is held).
+pub(crate) fn type_for<'e>(
+    env: &ExecEnv<'e>,
+    inst: &WorkflowInstance,
+) -> Result<Cow<'e, WorkflowType>> {
     if let Some(t) = &inst.carried_type {
-        Ok(t.clone())
+        Ok(Cow::Owned(t.clone()))
     } else {
         env.types
             .get(&inst.type_id)
-            .cloned()
+            .map(Cow::Borrowed)
             .ok_or_else(|| WfError::UnknownType { workflow: inst.type_id.to_string() })
     }
+}
+
+/// Takes a document out of its `Arc`: free when the reference is unique
+/// (the common case — each queued document has exactly one consumer),
+/// copy-on-write when something else still holds it.
+fn unwrap_doc(doc: Arc<Document>) -> Document {
+    Arc::try_unwrap(doc).unwrap_or_else(|shared| (*shared).clone())
 }
 
 pub(crate) fn drain_runnable(ctx: &mut ExecCtx<'_>) -> Result<()> {
@@ -192,7 +213,8 @@ pub(crate) fn run_one(ctx: &mut ExecCtx<'_>, id: InstanceId) -> Result<()> {
         ctx.instances.insert(id, inst);
         return Ok(());
     }
-    let wf = match type_for(ctx.env, &inst) {
+    let env = ctx.env;
+    let wf = match type_for(env, &inst) {
         Ok(wf) => wf,
         Err(e) => {
             ctx.instances.insert(id, inst);
@@ -229,7 +251,9 @@ pub(crate) fn run_one(ctx: &mut ExecCtx<'_>, id: InstanceId) -> Result<()> {
             match execute_step(ctx, &mut inst, step) {
                 ExecOutcome::Completed => {
                     ctx.vol.stats.steps_executed += 1;
-                    if let Err(reason) = mark_completed(&mut inst, &wf, &step.id) {
+                    if let Err(reason) =
+                        mark_completed(&mut inst, &wf, &step.id, &mut ctx.vol.stats)
+                    {
                         inst.status = InstanceStatus::Failed(reason.clone());
                         record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceFailed(reason));
                         break;
@@ -258,7 +282,12 @@ pub(crate) fn run_one(ctx: &mut ExecCtx<'_>, id: InstanceId) -> Result<()> {
     }
     let status = inst.status.clone();
     let parent = inst.parent.clone();
-    let vars = inst.vars.clone();
+    // The variable snapshot is only handed to a parent on completion;
+    // every other exit keeps the (potentially large) map un-copied.
+    let vars = match (&parent, &status) {
+        (Some(_), InstanceStatus::Completed) => inst.vars.clone(),
+        _ => BTreeMap::new(),
+    };
     ctx.instances.insert(id, inst);
     if let Some((parent_id, parent_step)) = parent {
         match status {
@@ -294,15 +323,19 @@ fn execute_step(ctx: &mut ExecCtx<'_>, inst: &mut WorkflowInstance, step: &StepD
         }
         StepKind::RuleCheck { function, doc_var, out_var } => {
             ctx.vol.stats.rule_invocations += 1;
-            let doc = match inst.vars.get(doc_var) {
-                Some(Variable::Document(d)) => d.clone(),
+            // Evaluate against the variable in place — rules only borrow
+            // the document, so no copy is needed.
+            let result = match inst.vars.get(doc_var) {
+                Some(Variable::Document(d)) => {
+                    ctx.env.rules.invoke(function, &inst.source, &inst.target, d)
+                }
                 _ => {
                     return ExecOutcome::Failed(format!(
                         "rule check needs document variable `{doc_var}`"
                     ))
                 }
             };
-            match ctx.env.rules.invoke(function, &inst.source, &inst.target, &doc) {
+            match result {
                 Ok(value) => {
                     inst.vars.insert(out_var.clone(), Variable::Value(value));
                     ExecOutcome::Completed
@@ -316,30 +349,32 @@ fn execute_step(ctx: &mut ExecCtx<'_>, inst: &mut WorkflowInstance, step: &StepD
         }
         StepKind::Transform { target_format, var, out_var } => {
             ctx.vol.stats.transforms += 1;
-            let doc = match inst.vars.get(var) {
-                Some(Variable::Document(d)) => d.clone(),
+            let result = match inst.vars.get(var) {
+                Some(Variable::Document(d)) => {
+                    // Direction-aware context: a document leaving the
+                    // normalized format is outbound, so the enterprise
+                    // (rule-context target) is the wire-level sender.
+                    let outbound = d.format() == &b2b_document::FormatId::NORMALIZED;
+                    let (sender, receiver) = if outbound {
+                        (inst.target.as_str(), inst.source.as_str())
+                    } else {
+                        (inst.source.as_str(), inst.target.as_str())
+                    };
+                    let tctx = TransformContext::new(
+                        sender,
+                        receiver,
+                        &format!("{:09}", inst.id.value()),
+                        &format!("i-{}", inst.id.value()),
+                    );
+                    ctx.env.transforms.transform(d, target_format, &tctx)
+                }
                 _ => {
                     return ExecOutcome::Failed(format!(
                         "transform needs document variable `{var}`"
                     ))
                 }
             };
-            // Direction-aware context: a document leaving the
-            // normalized format is outbound, so the enterprise
-            // (rule-context target) is the wire-level sender.
-            let outbound = doc.format() == &b2b_document::FormatId::NORMALIZED;
-            let (sender, receiver) = if outbound {
-                (inst.target.as_str(), inst.source.as_str())
-            } else {
-                (inst.source.as_str(), inst.target.as_str())
-            };
-            let tctx = TransformContext::new(
-                sender,
-                receiver,
-                &format!("{:09}", inst.id.value()),
-                &format!("i-{}", inst.id.value()),
-            );
-            match ctx.env.transforms.transform(&doc, target_format, &tctx) {
+            match result {
                 Ok(out) => {
                     inst.vars.insert(out_var.clone(), Variable::Document(out));
                     ExecOutcome::Completed
@@ -348,8 +383,11 @@ fn execute_step(ctx: &mut ExecCtx<'_>, inst: &mut WorkflowInstance, step: &StepD
             }
         }
         StepKind::Send { channel, var } => {
+            // The one remaining copy on the send path: the variable keeps
+            // its document, so the outbox gets a fresh `Arc` that routing
+            // and delivery then share without further copies.
             let doc = match inst.vars.get(var) {
-                Some(Variable::Document(d)) => d.clone(),
+                Some(Variable::Document(d)) => Arc::new(d.clone()),
                 _ => return ExecOutcome::Failed(format!("send needs document variable `{var}`")),
             };
             ctx.vol.stats.sends += 1;
@@ -366,7 +404,7 @@ fn execute_step(ctx: &mut ExecCtx<'_>, inst: &mut WorkflowInstance, step: &StepD
                 .or_else(|| ctx.vol.channel_queues.get_mut(channel).and_then(VecDeque::pop_front))
             {
                 ctx.vol.stats.receives += 1;
-                inst.vars.insert(var.clone(), Variable::Document(doc));
+                inst.vars.insert(var.clone(), Variable::Document(unwrap_doc(doc)));
                 ExecOutcome::Completed
             } else {
                 ctx.vol
@@ -473,7 +511,7 @@ pub(crate) fn match_waiters(ctx: &mut ExecCtx<'_>, channel: &ChannelId) -> Resul
             }
         };
         let mut inst = take_instance(ctx.instances, inst_id)?;
-        inst.vars.insert(var, Variable::Document(doc));
+        inst.vars.insert(var, Variable::Document(unwrap_doc(doc)));
         ctx.vol.stats.receives += 1;
         record(ctx.vol, ctx.env.now, inst_id, HistoryKind::Delivered(step_id.clone()));
         finish_step_and_resume(ctx, inst, &step_id)?;
@@ -546,7 +584,7 @@ pub(crate) fn finish_step_and_resume(
             return Err(e);
         }
     };
-    if let Err(reason) = mark_completed(&mut inst, &wf, step_id) {
+    if let Err(reason) = mark_completed(&mut inst, &wf, step_id, &mut ctx.vol.stats) {
         inst.status = InstanceStatus::Failed(reason.clone());
         ctx.instances.insert(id, inst);
         record(ctx.vol, ctx.env.now, id, HistoryKind::InstanceFailed(reason));
@@ -578,7 +616,7 @@ pub(crate) fn deliver_to(
     ctx: &mut ExecCtx<'_>,
     instance: InstanceId,
     channel: &ChannelId,
-    doc: Document,
+    doc: Arc<Document>,
 ) -> Result<()> {
     let running =
         ctx.instances.get(&instance).map(|i| i.status == InstanceStatus::Running).unwrap_or(false);
@@ -588,7 +626,8 @@ pub(crate) fn deliver_to(
             reason: format!("instance {instance} is not running"),
         });
     }
-    // Find whether the instance is currently waiting on this channel.
+    // Find whether the instance is currently waiting on this channel, and
+    // which variable its receive step fills (one type lookup for both).
     let step_waiting = {
         let inst = get_instance(ctx.instances, instance)?;
         let wf = type_for(ctx.env, inst)?;
@@ -598,21 +637,19 @@ pub(crate) fn deliver_to(
                 matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
                     && inst.step_state(&s.id) == StepState::Waiting
             })
-            .map(|s| s.id.clone())
+            .map(|s| match &s.kind {
+                StepKind::Receive { var, .. } => (s.id.clone(), var.clone()),
+                _ => unreachable!("matched receive above"),
+            })
     };
     match step_waiting {
-        Some(step_id) => {
-            let wf = type_for(ctx.env, get_instance(ctx.instances, instance)?)?;
-            let var = match &wf.step(&step_id)?.kind {
-                StepKind::Receive { var, .. } => var.clone(),
-                _ => unreachable!("matched receive above"),
-            };
+        Some((step_id, var)) => {
             // Drop the stale global waiter entry for this instance.
             if let Some(q) = ctx.vol.waiters.get_mut(channel) {
                 q.retain(|(i, s)| !(*i == instance && *s == step_id));
             }
             let mut inst = take_instance(ctx.instances, instance)?;
-            inst.vars.insert(var, Variable::Document(doc));
+            inst.vars.insert(var, Variable::Document(unwrap_doc(doc)));
             ctx.vol.stats.receives += 1;
             record(ctx.vol, ctx.env.now, instance, HistoryKind::Delivered(step_id.clone()));
             finish_step_and_resume(ctx, inst, &step_id)?;
@@ -699,6 +736,7 @@ pub(crate) fn mark_completed(
     inst: &mut WorkflowInstance,
     wf: &WorkflowType,
     step_id: &StepId,
+    stats: &mut EngineStats,
 ) -> std::result::Result<(), String> {
     inst.step_states.insert(step_id.clone(), StepState::Completed);
     for i in wf.outgoing(step_id) {
@@ -706,12 +744,22 @@ pub(crate) fn mark_completed(
         let taken = match &edge.guard {
             None => true,
             Some(cond) => {
+                stats.guard_evals += 1;
                 let var = inst
                     .vars
                     .get(&cond.var)
                     .ok_or_else(|| format!("guard variable `{}` is not set", cond.var))?;
-                let doc = var.guard_document();
-                cond.eval(&doc, &inst.source, &inst.target).map_err(|e| e.to_string())?
+                // Documents evaluate in place; only plain values pay the
+                // wrapping copy guards need to address them.
+                match var {
+                    Variable::Document(d) => {
+                        cond.eval(d, &inst.source, &inst.target).map_err(|e| e.to_string())?
+                    }
+                    Variable::Value(_) => {
+                        let doc = var.guard_document();
+                        cond.eval(&doc, &inst.source, &inst.target).map_err(|e| e.to_string())?
+                    }
+                }
             }
         };
         inst.edge_states[i] = if taken { EdgeState::Taken } else { EdgeState::Dead };

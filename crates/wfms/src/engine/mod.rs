@@ -245,8 +245,8 @@ impl Engine {
 
     /// Delivers a document to a channel; a waiting receive step consumes
     /// it (FIFO), otherwise it queues until one does.
-    pub fn deliver(&mut self, channel: &ChannelId, doc: Document) -> Result<()> {
-        self.vol.channel_queues.entry(channel.clone()).or_default().push_back(doc);
+    pub fn deliver(&mut self, channel: &ChannelId, doc: impl Into<Arc<Document>>) -> Result<()> {
+        self.vol.channel_queues.entry(channel.clone()).or_default().push_back(doc.into());
         self.with_ctx(|ctx| {
             exec::match_waiters(ctx, channel)?;
             exec::drain_runnable(ctx)
@@ -262,8 +262,9 @@ impl Engine {
         &mut self,
         instance: InstanceId,
         channel: &ChannelId,
-        doc: Document,
+        doc: impl Into<Arc<Document>>,
     ) -> Result<()> {
+        let doc = doc.into();
         self.with_ctx(|ctx| exec::deliver_to(ctx, instance, channel, doc))
     }
 
@@ -271,11 +272,13 @@ impl Engine {
     /// stepping the instance. Staged hosts use this to decouple routing
     /// (single-threaded) from execution ([`Engine::settle`], sharded);
     /// the queued document wakes its receiver in the next settle.
+    /// Documents move by `Arc`, so re-queueing what [`drain_outbox`]
+    /// (Self::drain_outbox) returned is pointer-cheap.
     pub fn enqueue_to(
         &mut self,
         instance: InstanceId,
         channel: &ChannelId,
-        doc: Document,
+        doc: impl Into<Arc<Document>>,
     ) -> Result<()> {
         let running = self
             .db
@@ -288,7 +291,11 @@ impl Engine {
                 reason: format!("instance {instance} is not running"),
             });
         }
-        self.vol.directed_queues.entry((instance, channel.clone())).or_default().push_back(doc);
+        self.vol
+            .directed_queues
+            .entry((instance, channel.clone()))
+            .or_default()
+            .push_back(doc.into());
         Ok(())
     }
 
@@ -310,7 +317,10 @@ impl Engine {
     /// `(InstanceId, ChannelId)` — per-instance emission order is
     /// preserved (the sort is stable), and the overall order is canonical
     /// regardless of how instances were partitioned across shards.
-    pub fn drain_outbox(&mut self) -> Vec<(InstanceId, ChannelId, Document)> {
+    /// Documents come out as `Arc`s: hosts that re-queue them into
+    /// another instance ([`Engine::enqueue_to`]) move a pointer, not a
+    /// document tree.
+    pub fn drain_outbox(&mut self) -> Vec<(InstanceId, ChannelId, Arc<Document>)> {
         let mut out = std::mem::take(&mut self.vol.outbox);
         out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         out
@@ -475,6 +485,7 @@ impl Engine {
             return false;
         }
         let Ok(wf) = self.type_for(inst) else { return false };
+        let wf = &*wf;
         wf.steps().iter().any(|s| {
             matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
                 && inst.step_state(&s.id) == StepState::Waiting
@@ -706,7 +717,9 @@ impl Engine {
             if inst.status != InstanceStatus::Running {
                 continue;
             }
-            let wf = self.type_for(inst)?;
+            // Owned copy: the Cow would pin `&self` across the waiter
+            // mutations below (cold path, one clone per restart is fine).
+            let wf = self.type_for(inst)?.into_owned();
             for step in wf.steps() {
                 if inst.step_state(&step.id) == StepState::Waiting {
                     if let StepKind::Receive { channel, .. } = &step.kind {
@@ -771,11 +784,13 @@ impl Engine {
         f(&mut ctx)
     }
 
-    fn type_for(&self, inst: &WorkflowInstance) -> Result<WorkflowType> {
+    /// Borrows the type from the database on the common path (see
+    /// [`exec::type_for`] for the carry-mode exception).
+    fn type_for(&self, inst: &WorkflowInstance) -> Result<std::borrow::Cow<'_, WorkflowType>> {
         if let Some(t) = &inst.carried_type {
-            Ok(t.clone())
+            Ok(std::borrow::Cow::Owned(t.clone()))
         } else {
-            self.db.get_type(&inst.type_id).cloned()
+            self.db.get_type(&inst.type_id).map(std::borrow::Cow::Borrowed)
         }
     }
 }

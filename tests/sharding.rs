@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use semantic_b2b::integration::engine::{IntegrationEngine, IntegrationStats};
-use semantic_b2b::integration::metrics::CodecCacheStats;
+use semantic_b2b::integration::metrics::{CodecCacheStats, StageCounters};
 use semantic_b2b::integration::scenario::TwoEnterpriseScenario;
 use semantic_b2b::integration::SessionState;
 use semantic_b2b::network::FaultConfig;
@@ -21,6 +21,8 @@ struct Fingerprint {
     completed: usize,
     history: Vec<HistoryEvent>,
     cache: CodecCacheStats,
+    /// Per-pump-stage counters (not the timers — those are wall-clock).
+    stages: StageCounters,
 }
 
 fn fingerprint(engine: &IntegrationEngine) -> Fingerprint {
@@ -40,12 +42,14 @@ fn fingerprint(engine: &IntegrationEngine) -> Fingerprint {
         completed: engine.completed_sessions(),
         history: engine.wf().history().to_vec(),
         cache: *engine.codec_cache_stats(),
+        stages: engine.stage_profile().counters,
     }
 }
 
 /// Runs the two-enterprise scenario with the given worker count and
-/// transform dispatch mode, returning (elapsed ms, buyer fingerprint,
-/// seller fingerprint).
+/// dispatch mode (`interpreted` switches *both* the transform executor
+/// and the rule programs to their tree interpreters), returning
+/// (elapsed ms, buyer fingerprint, seller fingerprint).
 fn run(
     faults: FaultConfig,
     seed: u64,
@@ -58,6 +62,8 @@ fn run(
     s.seller.set_shards(shards);
     s.buyer.set_interpreted_transforms(interpreted);
     s.seller.set_interpreted_transforms(interpreted);
+    s.buyer.set_interpreted_rules(interpreted);
+    s.seller.set_interpreted_rules(interpreted);
     for i in 0..pos {
         let po = s.po(&format!("po-{i}"), 1_000 + i as i64).unwrap();
         s.submit(po).unwrap();
@@ -84,9 +90,10 @@ proptest! {
         prop_assert_eq!(&sequential.0, &sharded.0, "elapsed simulated time diverged");
         prop_assert_eq!(&sequential.1, &sharded.1, "buyer observables diverged");
         prop_assert_eq!(&sequential.2, &sharded.2, "seller observables diverged");
-        // The compiled transform path is the default above; the same run
-        // with the tree-walking interpreter must be observably identical,
-        // down to the codec cache counters in the fingerprint.
+        // Compiled transform and rule dispatch are the default above; the
+        // same run on the tree-walking interpreters must be observably
+        // identical, down to the codec cache and stage counters in the
+        // fingerprint.
         let interpreted = run(faults, seed, pos, shards, true);
         prop_assert_eq!(&sequential.0, &interpreted.0, "elapsed diverged under interpreter");
         prop_assert_eq!(&sequential.1, &interpreted.1, "buyer diverged under interpreter");
