@@ -15,6 +15,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --offline --release --workspace
 
+# The experiments binary's identity assertions (E15/E16/E17) without the
+# timing loops: compiled-vs-interpreted dispatch agreement, wire byte
+# stability, and broadcast observables across dispatch mode x shard count.
+echo "== experiments --quick (identity assertions) =="
+cargo run --offline --release -q -p b2b-bench --bin experiments -- --quick
+
 # The suite runs twice: once sequential, once with the execute stage
 # sharded across 4 workers, so the parallel path is exercised on every
 # commit. Results must be identical (see tests/sharding.rs).

@@ -1,0 +1,75 @@
+//! Steady-state allocation regression tests.
+//!
+//! The symbol-keyed record core's contract is that after warm-up, a
+//! repeated identical workload interns nothing new (the interner is
+//! frozen) and asks the allocator for exactly the same traffic on every
+//! pump — no hidden per-document key allocations, no cache churn. These
+//! tests pin both properties; a regression that reintroduces per-decode
+//! key strings or per-apply program recompilation fails them.
+
+use b2b_bench::alloc_count;
+use b2b_document::formats::sample_edi_po;
+use b2b_document::{interned_count, FormatId, FormatRegistry};
+use b2b_transform::{TransformContext, TransformRegistry};
+
+/// One steady-state unit of binding work: decode wire bytes, transform
+/// to normalized, transform back, re-encode.
+fn pump_once(
+    formats: &FormatRegistry,
+    transforms: &TransformRegistry,
+    ctx: &TransformContext,
+    wire: &[u8],
+) -> usize {
+    let doc = formats.decode(&FormatId::EDI_X12, wire).expect("decode");
+    let norm = transforms.transform(&doc, &FormatId::NORMALIZED, ctx).expect("to normalized");
+    let back = transforms.transform(&norm, &FormatId::EDI_X12, ctx).expect("back to EDI");
+    formats.encode(&back).expect("encode").len()
+}
+
+#[test]
+fn repeated_po_round_trips_are_allocation_steady() {
+    let formats = FormatRegistry::with_builtins();
+    let transforms = TransformRegistry::with_builtins();
+    let ctx = TransformContext::new("ACME", "GADGET", "000000042", "i-steady");
+    let wire = formats.encode(&sample_edi_po("STEADY", 7)).expect("sample wire");
+
+    // Pump 1 warms every cache: codec symbols are interned at registry
+    // construction, compiled transform programs on first dispatch.
+    std::hint::black_box(pump_once(&formats, &transforms, &ctx, &wire));
+
+    let interned_after_warmup = interned_count();
+    let mut deltas = Vec::new();
+    for _ in 0..3 {
+        let (len, delta) = alloc_count::measure(|| pump_once(&formats, &transforms, &ctx, &wire));
+        assert!(len > 0, "round trip produced bytes");
+        deltas.push(delta);
+    }
+
+    // The interner froze at warm-up: steady-state pumps intern no new
+    // field names (record keys come from the codecs' pre-interned
+    // symbols and already-known path segments).
+    assert_eq!(interned_count(), interned_after_warmup, "steady-state pumps interned new symbols");
+
+    // Pump-to-pump allocation traffic is exactly reproducible: the same
+    // work asks the allocator for the same calls and bytes every time.
+    assert_eq!(deltas[0], deltas[1], "allocation traffic drifted between pumps 2 and 3");
+    assert_eq!(deltas[1], deltas[2], "allocation traffic drifted between pumps 3 and 4");
+}
+
+#[test]
+fn interning_the_same_names_again_allocates_nothing() {
+    // Warm the interner with the vocabulary, then re-intern it: hits on
+    // the read path must not touch the allocator at all.
+    let names = ["envelope", "beg", "po1", "line_no", "quantity", "unit_price"];
+    for name in names {
+        b2b_document::intern(name);
+    }
+    let before = interned_count();
+    let (_, delta) = alloc_count::measure(|| {
+        for name in names {
+            std::hint::black_box(b2b_document::intern(name));
+        }
+    });
+    assert_eq!(interned_count(), before, "re-interning grew the table");
+    assert_eq!(delta.allocations, 0, "re-interning allocated: {delta:?}");
+}

@@ -44,6 +44,13 @@ pub use crate::session::SessionState;
 /// registered back end is used.
 pub const SELECT_BACKEND_RULE: &str = "select-backend";
 
+/// Automatic execute-stage worker count: the machine's available
+/// parallelism capped at 4 (the deterministic simulations see no benefit
+/// past a handful of shards, and results are identical at any count).
+fn auto_shards() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(4)
+}
+
 /// Counters for one integration engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IntegrationStats {
@@ -120,11 +127,13 @@ impl IntegrationEngine {
         wf.register_activity(AUDIT_ACTIVITY, audit_activity());
         wf.register_activity(MAKE_QUOTE_ACTIVITY, make_quote_activity(name));
         wf.register_activity(RECORD_QUOTE_ACTIVITY, record_quote_activity());
-        let shards = std::env::var("B2B_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1);
+        // `B2B_SHARDS=0` means "auto": size to the machine, capped so the
+        // deterministic simulations don't fan out absurdly on big hosts.
+        let shards = match std::env::var("B2B_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(0) => auto_shards(),
+            Some(n) => n,
+            None => 1,
+        };
         // `B2B_RULES=interpreted` runs the whole suite on the rule-tree
         // interpreter instead of compiled programs (results identical; CI
         // exercises both).
@@ -175,9 +184,11 @@ impl IntegrationEngine {
     }
 
     /// Overrides the execute-stage worker count. Results are identical
-    /// for every count ≥ 1 — only wall-clock changes.
+    /// for every count ≥ 1 — only wall-clock changes. Passing `0` picks
+    /// an automatic count from the machine's available parallelism
+    /// (capped at 4; on a 1-core host this is a wash with `1`).
     pub fn set_shards(&mut self, shards: usize) {
-        self.shards = shards.max(1);
+        self.shards = if shards == 0 { auto_shards() } else { shards };
     }
 
     /// Mutable business-rule registry — the *only* thing that changes when

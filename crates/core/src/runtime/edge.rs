@@ -18,10 +18,74 @@ use b2b_protocol::FailureNotice;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Decode-memo bound: past this many distinct payloads the memo is
-/// cleared wholesale (deterministic, unlike an LRU, and the memo exists
-/// for short retransmission windows, not long-term storage).
+/// Decode-memo bound per generation: once the hot generation fills, it
+/// becomes the cold generation and a fresh hot one starts.
 const DECODE_MEMO_CAP: usize = 1024;
+
+/// Two-generation (second-chance) decode memo keyed by
+/// (declared format, payload checksum); the stored payload guards
+/// against checksum collisions.
+///
+/// Entries are inserted into the hot generation. When the hot
+/// generation reaches its cap it is demoted wholesale to cold and the
+/// previous cold generation is dropped; a hit on a cold entry promotes
+/// it back to hot. Keys that keep being looked up therefore survive
+/// eviction indefinitely, while one-shot keys age out after at most two
+/// generations — deterministic like the old wholesale clear, but
+/// without dropping the working set at the cap boundary.
+struct DecodeMemo {
+    hot: HashMap<(FormatId, u64), (Bytes, Document)>,
+    cold: HashMap<(FormatId, u64), (Bytes, Document)>,
+    cap: usize,
+}
+
+impl DecodeMemo {
+    fn new(cap: usize) -> Self {
+        Self { hot: HashMap::new(), cold: HashMap::new(), cap }
+    }
+
+    /// Looks up a memoized decode, promoting cold hits to the hot
+    /// generation. The payload must match the stored payload exactly;
+    /// a checksum collision is treated as a miss.
+    fn get(&mut self, key: &(FormatId, u64), payload: &Bytes) -> Option<&Document> {
+        if let Some((stored, _)) = self.hot.get(key) {
+            if stored == payload {
+                return self.hot.get(key).map(|(_, doc)| doc);
+            }
+            return None;
+        }
+        if let Some((stored, _)) = self.cold.get(key) {
+            if stored != payload {
+                return None;
+            }
+            let entry = self.cold.remove(key).expect("checked above");
+            self.rotate_if_full();
+            return Some(&self.hot.entry(key.clone()).or_insert(entry).1);
+        }
+        None
+    }
+
+    /// Like [`get`](Self::get) but without promotion; used for counting
+    /// suppressed duplicates without mutating generation state.
+    fn peek(&self, key: &(FormatId, u64), payload: &Bytes) -> bool {
+        self.hot
+            .get(key)
+            .or_else(|| self.cold.get(key))
+            .map(|(stored, _)| stored == payload)
+            .unwrap_or(false)
+    }
+
+    fn insert(&mut self, key: (FormatId, u64), payload: Bytes, doc: Document) {
+        self.rotate_if_full();
+        self.hot.insert(key, (payload, doc));
+    }
+
+    fn rotate_if_full(&mut self) {
+        if self.hot.len() >= self.cap {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+    }
+}
 
 /// What the edge rejects (and quarantines) without involving routing.
 #[derive(Debug)]
@@ -49,10 +113,9 @@ pub(crate) struct Edge {
     reliable: ReliableEndpoint,
     formats: FormatRegistry,
     dead_letters: DeadLetterQueue,
-    /// Memoized decodes keyed by (declared format, payload checksum); the
-    /// stored payload guards against checksum collisions. Retransmitted
-    /// duplicates and dead-letter replays skip re-parsing.
-    decode_memo: HashMap<(FormatId, u64), (Bytes, Document)>,
+    /// Memoized decodes; retransmitted duplicates and dead-letter
+    /// replays skip re-parsing.
+    decode_memo: DecodeMemo,
     /// Reusable encode buffers, one per (format, kind): after warm-up,
     /// outbound encodes append into an existing allocation.
     encode_buffers: HashMap<(FormatId, DocKind), Vec<u8>>,
@@ -69,7 +132,7 @@ impl Edge {
             reliable: ReliableEndpoint::new(endpoint, config, net)?,
             formats: FormatRegistry::with_builtins(),
             dead_letters: DeadLetterQueue::default(),
-            decode_memo: HashMap::new(),
+            decode_memo: DecodeMemo::new(DECODE_MEMO_CAP),
             encode_buffers: HashMap::new(),
             cache_stats: CodecCacheStats::default(),
         })
@@ -86,21 +149,16 @@ impl Edge {
     /// hit returns exactly the document a fresh parse would.
     pub fn decode(&mut self, envelope: &Envelope) -> Result<Document, EdgeError> {
         let key = (envelope.format.clone(), envelope.checksum);
-        if let Some((payload, doc)) = self.decode_memo.get(&key) {
-            if payload == &envelope.payload {
-                self.cache_stats.decode_hits += 1;
-                return Ok(doc.clone());
-            }
+        if let Some(doc) = self.decode_memo.get(&key, &envelope.payload) {
+            self.cache_stats.decode_hits += 1;
+            return Ok(doc.clone());
         }
         let doc = self
             .formats
             .decode(&envelope.format, &envelope.payload)
             .map_err(|e| EdgeError::Decode(e.to_string()))?;
         self.cache_stats.decode_misses += 1;
-        if self.decode_memo.len() >= DECODE_MEMO_CAP {
-            self.decode_memo.clear();
-        }
-        self.decode_memo.insert(key, (envelope.payload.clone(), doc.clone()));
+        self.decode_memo.insert(key, envelope.payload.clone(), doc.clone());
         Ok(doc)
     }
 
@@ -110,10 +168,8 @@ impl Edge {
     /// duplicate of a payload the memo no longer holds counts nothing.
     pub fn note_duplicate(&mut self, envelope: &Envelope) {
         let key = (envelope.format.clone(), envelope.checksum);
-        if let Some((payload, _)) = self.decode_memo.get(&key) {
-            if payload == &envelope.payload {
-                self.cache_stats.decode_hits += 1;
-            }
+        if self.decode_memo.peek(&key, &envelope.payload) {
+            self.cache_stats.decode_hits += 1;
         }
     }
 
@@ -211,5 +267,64 @@ impl Edge {
 
     pub fn stats(&self) -> &b2b_network::ReliableStats {
         self.reliable.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_document::{CorrelationId, Value};
+
+    fn doc(n: u64) -> Document {
+        Document::new(
+            DocKind::PurchaseOrder,
+            FormatId::EDI_X12,
+            CorrelationId::for_po_number(&n.to_string()),
+            Value::Int(n as i64),
+        )
+    }
+
+    fn payload(n: u64) -> Bytes {
+        Bytes::copy_from_slice(n.to_string().as_bytes())
+    }
+
+    fn key(n: u64) -> (FormatId, u64) {
+        (FormatId::EDI_X12, n)
+    }
+
+    #[test]
+    fn hot_key_survives_eviction_past_the_cap() {
+        let cap = 8;
+        let mut memo = DecodeMemo::new(cap);
+        memo.insert(key(0), payload(0), doc(0));
+        // Churn through many generations of one-shot keys, re-touching
+        // key 0 after each insert so it keeps getting promoted.
+        for n in 1..(6 * cap as u64) {
+            memo.insert(key(n), payload(n), doc(n));
+            assert!(memo.get(&key(0), &payload(0)).is_some(), "hot key lost after insert {n}");
+        }
+        assert!(memo.get(&key(0), &payload(0)).is_some());
+    }
+
+    #[test]
+    fn untouched_keys_age_out_after_two_generations() {
+        let cap = 4;
+        let mut memo = DecodeMemo::new(cap);
+        memo.insert(key(0), payload(0), doc(0));
+        // Two full generations of churn with no re-touch of key 0.
+        for n in 1..=(2 * cap as u64) {
+            memo.insert(key(n), payload(n), doc(n));
+        }
+        assert!(memo.get(&key(0), &payload(0)).is_none(), "one-shot key should age out");
+        assert!(memo.hot.len() <= cap && memo.cold.len() <= cap, "generations stay bounded");
+    }
+
+    #[test]
+    fn checksum_collision_is_a_miss_not_a_wrong_document() {
+        let mut memo = DecodeMemo::new(4);
+        memo.insert(key(7), payload(7), doc(7));
+        assert!(memo.get(&key(7), &payload(8)).is_none(), "colliding payload must miss");
+        assert!(!memo.peek(&key(7), &payload(8)));
+        assert!(memo.peek(&key(7), &payload(7)));
     }
 }

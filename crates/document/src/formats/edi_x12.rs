@@ -14,9 +14,10 @@ use crate::edi::{
 };
 use crate::error::{DocumentError, Result};
 use crate::ids::{CorrelationId, DocumentId};
+use crate::intern::{intern, Symbol};
 use crate::money::Currency;
-use crate::record;
 use crate::value::Value;
+use crate::{record, record_sym};
 
 const FORMAT: &str = "edi-x12";
 
@@ -27,9 +28,76 @@ pub const ACK_REJECT: &str = "IR";
 /// Accepted with changes.
 pub const ACK_CHANGED: &str = "IC";
 
+/// Field symbols used by decoded EDI bodies, interned once at codec
+/// construction so decoding allocates no key strings.
+#[derive(Debug, Clone)]
+struct Syms {
+    envelope: Symbol,
+    sender: Symbol,
+    receiver: Symbol,
+    control_number: Symbol,
+    beg: Symbol,
+    purpose_code: Symbol,
+    type_code: Symbol,
+    po_number: Symbol,
+    order_date: Symbol,
+    cur: Symbol,
+    currency: Symbol,
+    n1: Symbol,
+    code: Symbol,
+    name: Symbol,
+    po1: Symbol,
+    line_no: Symbol,
+    quantity: Symbol,
+    uom: Symbol,
+    unit_price: Symbol,
+    item: Symbol,
+    amt: Symbol,
+    bak: Symbol,
+    ack_type: Symbol,
+    ack_date: Symbol,
+    ack: Symbol,
+    status_code: Symbol,
+}
+
+impl Default for Syms {
+    fn default() -> Self {
+        Self {
+            envelope: intern("envelope"),
+            sender: intern("sender"),
+            receiver: intern("receiver"),
+            control_number: intern("control_number"),
+            beg: intern("beg"),
+            purpose_code: intern("purpose_code"),
+            type_code: intern("type_code"),
+            po_number: intern("po_number"),
+            order_date: intern("order_date"),
+            cur: intern("cur"),
+            currency: intern("currency"),
+            n1: intern("n1"),
+            code: intern("code"),
+            name: intern("name"),
+            po1: intern("po1"),
+            line_no: intern("line_no"),
+            quantity: intern("quantity"),
+            uom: intern("uom"),
+            unit_price: intern("unit_price"),
+            item: intern("item"),
+            amt: intern("amt"),
+            bak: intern("bak"),
+            ack_type: intern("ack_type"),
+            ack_date: intern("ack_date"),
+            ack: intern("ack"),
+            status_code: intern("status_code"),
+        }
+    }
+}
+
 /// Codec for the EDI X12 format.
 #[derive(Debug, Default, Clone)]
-pub struct EdiX12Codec;
+pub struct EdiX12Codec {
+    syms: Syms,
+}
 
 impl EdiX12Codec {
     /// Shared front half of `encode`/`encode_into`: format and kind checks
@@ -158,21 +226,22 @@ impl EdiX12Codec {
             .unwrap_or_else(|| "USD".to_string());
         let cur = Currency::parse(&currency)?;
 
+        let s = &self.syms;
         let mut n1 = Vec::new();
         for seg in ic.find_all("N1") {
-            n1.push(record! {
-                "code" => Value::text(seg.require(1)?),
-                "name" => Value::text(seg.require(2)?),
+            n1.push(record_sym! {
+                s.code => Value::text(seg.require(1)?),
+                s.name => Value::text(seg.require(2)?),
             });
         }
         let mut po1 = Vec::new();
         for seg in ic.find_all("PO1") {
-            po1.push(record! {
-                "line_no" => Value::Int(parse_int(seg.require(1)?, "PO101", FORMAT)?),
-                "quantity" => Value::Int(parse_int(seg.require(2)?, "PO102", FORMAT)?),
-                "uom" => Value::text(seg.require(3)?),
-                "unit_price" => Value::Money(decimal_to_money(seg.require(4)?, cur, FORMAT)?),
-                "item" => Value::text(seg.require(7)?),
+            po1.push(record_sym! {
+                s.line_no => Value::Int(parse_int(seg.require(1)?, "PO101", FORMAT)?),
+                s.quantity => Value::Int(parse_int(seg.require(2)?, "PO102", FORMAT)?),
+                s.uom => Value::text(seg.require(3)?),
+                s.unit_price => Value::Money(decimal_to_money(seg.require(4)?, cur, FORMAT)?),
+                s.item => Value::text(seg.require(7)?),
             });
         }
         if let Some(ctt) = ic.find("CTT") {
@@ -187,22 +256,22 @@ impl EdiX12Codec {
         let amt = ic.find("AMT").ok_or_else(|| parse_err("missing AMT"))?;
         let total = decimal_to_money(amt.require(2)?, cur, FORMAT)?;
 
-        let body = record! {
-            "envelope" => record! {
-                "sender" => Value::text(&ic.sender),
-                "receiver" => Value::text(&ic.receiver),
-                "control_number" => Value::text(&ic.control_number),
+        let body = record_sym! {
+            s.envelope => record_sym! {
+                s.sender => Value::text(&ic.sender),
+                s.receiver => Value::text(&ic.receiver),
+                s.control_number => Value::text(&ic.control_number),
             },
-            "beg" => record! {
-                "purpose_code" => Value::text(beg.require(1)?),
-                "type_code" => Value::text(beg.require(2)?),
-                "po_number" => Value::text(&po_number),
-                "order_date" => Value::Date(order_date),
+            s.beg => record_sym! {
+                s.purpose_code => Value::text(beg.require(1)?),
+                s.type_code => Value::text(beg.require(2)?),
+                s.po_number => Value::text(&po_number),
+                s.order_date => Value::Date(order_date),
             },
-            "cur" => record! { "currency" => Value::text(&currency) },
-            "n1" => Value::List(n1),
-            "po1" => Value::List(po1),
-            "amt" => Value::Money(total),
+            s.cur => record_sym! { s.currency => Value::text(&currency) },
+            s.n1 => Value::List(n1),
+            s.po1 => Value::List(po1),
+            s.amt => Value::Money(total),
         };
         Ok(Document::with_id(
             DocumentId::new(format!("edi-{}", ic.control_number)),
@@ -216,27 +285,28 @@ impl EdiX12Codec {
     fn decode_poa(&self, ic: &Interchange) -> Result<Document> {
         let bak = ic.find("BAK").ok_or_else(|| parse_err("missing BAK"))?;
         let po_number = bak.require(3)?.to_string();
+        let s = &self.syms;
         let mut acks = Vec::new();
         for (i, seg) in ic.find_all("ACK").enumerate() {
-            acks.push(record! {
-                "line_no" => Value::Int(i as i64 + 1),
-                "status_code" => Value::text(seg.require(1)?),
-                "quantity" => Value::Int(parse_int(seg.require(2)?, "ACK02", FORMAT)?),
+            acks.push(record_sym! {
+                s.line_no => Value::Int(i as i64 + 1),
+                s.status_code => Value::text(seg.require(1)?),
+                s.quantity => Value::Int(parse_int(seg.require(2)?, "ACK02", FORMAT)?),
             });
         }
-        let body = record! {
-            "envelope" => record! {
-                "sender" => Value::text(&ic.sender),
-                "receiver" => Value::text(&ic.receiver),
-                "control_number" => Value::text(&ic.control_number),
+        let body = record_sym! {
+            s.envelope => record_sym! {
+                s.sender => Value::text(&ic.sender),
+                s.receiver => Value::text(&ic.receiver),
+                s.control_number => Value::text(&ic.control_number),
             },
-            "bak" => record! {
-                "purpose_code" => Value::text(bak.require(1)?),
-                "ack_type" => Value::text(bak.require(2)?),
-                "po_number" => Value::text(&po_number),
-                "ack_date" => Value::Date(Date::parse_compact(bak.require(4)?)?),
+            s.bak => record_sym! {
+                s.purpose_code => Value::text(bak.require(1)?),
+                s.ack_type => Value::text(bak.require(2)?),
+                s.po_number => Value::text(&po_number),
+                s.ack_date => Value::Date(Date::parse_compact(bak.require(4)?)?),
             },
-            "ack" => Value::List(acks),
+            s.ack => Value::List(acks),
         };
         Ok(Document::with_id(
             DocumentId::new(format!("edi-{}", ic.control_number)),
@@ -331,7 +401,7 @@ mod tests {
 
     #[test]
     fn po_round_trips_through_wire() {
-        let codec = EdiX12Codec;
+        let codec = EdiX12Codec::default();
         let doc = sample_edi_po("4711", 12);
         let wire = codec.encode(&doc).unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();
@@ -345,7 +415,7 @@ mod tests {
 
     #[test]
     fn poa_round_trips_through_wire() {
-        let codec = EdiX12Codec;
+        let codec = EdiX12Codec::default();
         let body = record! {
             "envelope" => record! {
                 "sender" => Value::text("GADGET"),
@@ -378,7 +448,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_line_count_mismatch() {
-        let codec = EdiX12Codec;
+        let codec = EdiX12Codec::default();
         let wire = String::from_utf8(codec.encode(&sample_edi_po("1", 5)).unwrap()).unwrap();
         let tampered = wire.replace("CTT*1~", "CTT*3~");
         assert!(codec.decode(tampered.as_bytes()).is_err());
@@ -386,7 +456,7 @@ mod tests {
 
     #[test]
     fn encode_rejects_wrong_format_or_kind() {
-        let codec = EdiX12Codec;
+        let codec = EdiX12Codec::default();
         let normalized = crate::normalized::sample_po("1", 10);
         assert!(codec.encode(&normalized).is_err());
         let invoice = Document::new(
@@ -400,7 +470,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_transaction_set() {
-        let codec = EdiX12Codec;
+        let codec = EdiX12Codec::default();
         let wire = String::from_utf8(codec.encode(&sample_edi_po("1", 5)).unwrap()).unwrap();
         let tampered = wire.replace("ST*850*", "ST*997*");
         assert!(codec.decode(tampered.as_bytes()).is_err());

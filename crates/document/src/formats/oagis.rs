@@ -9,10 +9,11 @@ use crate::date::Date;
 use crate::document::{DocKind, Document};
 use crate::error::{DocumentError, Result};
 use crate::ids::{CorrelationId, DocumentId};
+use crate::intern::{intern, Symbol};
 use crate::money::Currency;
-use crate::record;
 use crate::value::Value;
 use crate::xml::{parse_element, write_element_into, XmlElement};
+use crate::{record, record_sym};
 
 const FORMAT: &str = "oagis";
 
@@ -23,9 +24,64 @@ pub const OAGIS_REJECT: &str = "REJECTED";
 /// Accepted with modifications.
 pub const OAGIS_MODIFIED: &str = "MODIFIED";
 
+/// Field symbols used by decoded OAGIS bodies, interned once at codec
+/// construction so decoding allocates no key strings.
+#[derive(Debug, Clone)]
+struct Syms {
+    sender: Symbol,
+    reference_id: Symbol,
+    control_area: Symbol,
+    data_area: Symbol,
+    po_header: Symbol,
+    po_id: Symbol,
+    po_date: Symbol,
+    currency: Symbol,
+    buyer_party: Symbol,
+    seller_party: Symbol,
+    total: Symbol,
+    po_lines: Symbol,
+    line_num: Symbol,
+    item: Symbol,
+    quantity: Symbol,
+    unit_price: Symbol,
+    ack_header: Symbol,
+    status: Symbol,
+    ack_date: Symbol,
+    ack_lines: Symbol,
+}
+
+impl Default for Syms {
+    fn default() -> Self {
+        Self {
+            sender: intern("sender"),
+            reference_id: intern("reference_id"),
+            control_area: intern("control_area"),
+            data_area: intern("data_area"),
+            po_header: intern("po_header"),
+            po_id: intern("po_id"),
+            po_date: intern("po_date"),
+            currency: intern("currency"),
+            buyer_party: intern("buyer_party"),
+            seller_party: intern("seller_party"),
+            total: intern("total"),
+            po_lines: intern("po_lines"),
+            line_num: intern("line_num"),
+            item: intern("item"),
+            quantity: intern("quantity"),
+            unit_price: intern("unit_price"),
+            ack_header: intern("ack_header"),
+            status: intern("status"),
+            ack_date: intern("ack_date"),
+            ack_lines: intern("ack_lines"),
+        }
+    }
+}
+
 /// Codec for OAGIS BODs.
 #[derive(Debug, Default, Clone)]
-pub struct OagisCodec;
+pub struct OagisCodec {
+    syms: Syms,
+}
 
 fn parse_err(reason: impl Into<String>) -> DocumentError {
     DocumentError::Parse { format: FORMAT.into(), offset: 0, reason: reason.into() }
@@ -50,16 +106,16 @@ fn control_area_xml(doc: &Document, verb: &str) -> Result<XmlElement> {
         )))
 }
 
-fn control_area_value(root: &XmlElement, expect_verb: &str) -> Result<Value> {
+fn control_area_value(s: &Syms, root: &XmlElement, expect_verb: &str) -> Result<Value> {
     let ctrl = root.find("CNTROLAREA").ok_or_else(|| parse_err("missing CNTROLAREA"))?;
     let bsr = ctrl.find("BSR").ok_or_else(|| parse_err("missing BSR"))?;
     let verb = bsr.child_text("VERB").ok_or_else(|| parse_err("missing VERB"))?;
     if verb != expect_verb {
         return Err(parse_err(format!("expected verb {expect_verb}, found {verb}")));
     }
-    Ok(record! {
-        "sender" => Value::text(ctrl.child_text("SENDER").ok_or_else(|| parse_err("missing SENDER"))?),
-        "reference_id" => Value::text(
+    Ok(record_sym! {
+        s.sender => Value::text(ctrl.child_text("SENDER").ok_or_else(|| parse_err("missing SENDER"))?),
+        s.reference_id => Value::text(
             ctrl.child_text("REFERENCEID").ok_or_else(|| parse_err("missing REFERENCEID"))?,
         ),
     })
@@ -175,7 +231,8 @@ impl OagisCodec {
     }
 
     fn decode_po(&self, root: &XmlElement) -> Result<Document> {
-        let control = control_area_value(root, "PROCESS")?;
+        let s = &self.syms;
+        let control = control_area_value(s, root, "PROCESS")?;
         let da = root.find("DATAAREA").ok_or_else(|| parse_err("missing DATAAREA"))?;
         let hdr = da.find("POHEADER").ok_or_else(|| parse_err("missing POHEADER"))?;
         let get = |name: &str| -> Result<String> {
@@ -189,27 +246,27 @@ impl OagisCodec {
             let get = |name: &str| -> Result<String> {
                 line.child_text(name).ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
             };
-            lines.push(record! {
-                "line_num" => Value::Int(parse_int(&get("LINENUM")?, "LINENUM", FORMAT)?),
-                "item" => Value::text(get("ITEM")?),
-                "quantity" => Value::Int(parse_int(&get("QUANTITY")?, "QUANTITY", FORMAT)?),
-                "unit_price" => Value::Money(decimal_to_money(&get("UNITPRICE")?, currency, FORMAT)?),
+            lines.push(record_sym! {
+                s.line_num => Value::Int(parse_int(&get("LINENUM")?, "LINENUM", FORMAT)?),
+                s.item => Value::text(get("ITEM")?),
+                s.quantity => Value::Int(parse_int(&get("QUANTITY")?, "QUANTITY", FORMAT)?),
+                s.unit_price => Value::Money(decimal_to_money(&get("UNITPRICE")?, currency, FORMAT)?),
             });
         }
         let reference =
             control.as_record("control_area")?["reference_id"].as_text("reference_id")?.to_string();
-        let body = record! {
-            "control_area" => control,
-            "data_area" => record! {
-                "po_header" => record! {
-                    "po_id" => Value::text(&po_id),
-                    "po_date" => Value::Date(Date::parse_iso(&get("PODATE")?)?),
-                    "currency" => Value::text(&currency_code),
-                    "buyer_party" => Value::text(get("BUYERPARTY")?),
-                    "seller_party" => Value::text(get("SELLERPARTY")?),
-                    "total" => Value::Money(decimal_to_money(&get("POTOTAL")?, currency, FORMAT)?),
+        let body = record_sym! {
+            s.control_area => control,
+            s.data_area => record_sym! {
+                s.po_header => record_sym! {
+                    s.po_id => Value::text(&po_id),
+                    s.po_date => Value::Date(Date::parse_iso(&get("PODATE")?)?),
+                    s.currency => Value::text(&currency_code),
+                    s.buyer_party => Value::text(get("BUYERPARTY")?),
+                    s.seller_party => Value::text(get("SELLERPARTY")?),
+                    s.total => Value::Money(decimal_to_money(&get("POTOTAL")?, currency, FORMAT)?),
                 },
-                "po_lines" => Value::List(lines),
+                s.po_lines => Value::List(lines),
             },
         };
         Ok(Document::with_id(
@@ -222,7 +279,8 @@ impl OagisCodec {
     }
 
     fn decode_poa(&self, root: &XmlElement) -> Result<Document> {
-        let control = control_area_value(root, "ACKNOWLEDGE")?;
+        let s = &self.syms;
+        let control = control_area_value(s, root, "ACKNOWLEDGE")?;
         let da = root.find("DATAAREA").ok_or_else(|| parse_err("missing DATAAREA"))?;
         let hdr = da.find("ACKHEADER").ok_or_else(|| parse_err("missing ACKHEADER"))?;
         let get = |name: &str| -> Result<String> {
@@ -234,23 +292,23 @@ impl OagisCodec {
             let get = |name: &str| -> Result<String> {
                 line.child_text(name).ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
             };
-            lines.push(record! {
-                "line_num" => Value::Int(parse_int(&get("LINENUM")?, "LINENUM", FORMAT)?),
-                "status" => Value::text(get("ACKSTATUS")?),
-                "quantity" => Value::Int(parse_int(&get("QUANTITY")?, "QUANTITY", FORMAT)?),
+            lines.push(record_sym! {
+                s.line_num => Value::Int(parse_int(&get("LINENUM")?, "LINENUM", FORMAT)?),
+                s.status => Value::text(get("ACKSTATUS")?),
+                s.quantity => Value::Int(parse_int(&get("QUANTITY")?, "QUANTITY", FORMAT)?),
             });
         }
         let reference =
             control.as_record("control_area")?["reference_id"].as_text("reference_id")?.to_string();
-        let body = record! {
-            "control_area" => control,
-            "data_area" => record! {
-                "ack_header" => record! {
-                    "po_id" => Value::text(&po_id),
-                    "status" => Value::text(get("ACKSTATUS")?),
-                    "ack_date" => Value::Date(Date::parse_iso(&get("ACKDATE")?)?),
+        let body = record_sym! {
+            s.control_area => control,
+            s.data_area => record_sym! {
+                s.ack_header => record_sym! {
+                    s.po_id => Value::text(&po_id),
+                    s.status => Value::text(get("ACKSTATUS")?),
+                    s.ack_date => Value::Date(Date::parse_iso(&get("ACKDATE")?)?),
                 },
-                "ack_lines" => Value::List(lines),
+                s.ack_lines => Value::List(lines),
             },
         };
         Ok(Document::with_id(
@@ -338,7 +396,7 @@ mod tests {
 
     #[test]
     fn po_round_trips_through_xml() {
-        let codec = OagisCodec;
+        let codec = OagisCodec::default();
         let doc = sample_oagis_po("9001", 25);
         let wire = codec.encode(&doc).unwrap();
         assert!(String::from_utf8_lossy(&wire).starts_with("<PROCESS_PO>"));
@@ -349,7 +407,7 @@ mod tests {
 
     #[test]
     fn poa_round_trips_through_xml() {
-        let codec = OagisCodec;
+        let codec = OagisCodec::default();
         let body = record! {
             "control_area" => record! {
                 "sender" => Value::text("GADGET"),
@@ -380,7 +438,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_verb_mismatch() {
-        let codec = OagisCodec;
+        let codec = OagisCodec::default();
         let wire = String::from_utf8(codec.encode(&sample_oagis_po("1", 1)).unwrap()).unwrap();
         let tampered = wire.replace("<VERB>PROCESS</VERB>", "<VERB>CANCEL</VERB>");
         assert!(codec.decode(tampered.as_bytes()).is_err());

@@ -10,9 +10,10 @@ use crate::date::Date;
 use crate::document::{DocKind, Document};
 use crate::error::{DocumentError, Result};
 use crate::ids::{CorrelationId, DocumentId};
+use crate::intern::{intern, Symbol};
 use crate::money::Currency;
-use crate::record;
 use crate::value::Value;
+use crate::{record, record_sym};
 use std::collections::BTreeMap;
 
 const FORMAT: &str = "oracle-apps";
@@ -24,9 +25,60 @@ pub const ORA_REJECT: &str = "REJECTED";
 /// Accepted with changes.
 pub const ORA_MODIFIED: &str = "MODIFIED";
 
+/// Field symbols used by decoded Oracle bodies, interned once at codec
+/// construction so decoding allocates no key strings.
+#[derive(Debug, Clone)]
+struct Syms {
+    po_header: Symbol,
+    segment1: Symbol,
+    org_id: Symbol,
+    vendor_name: Symbol,
+    agent_name: Symbol,
+    currency_code: Symbol,
+    creation_date: Symbol,
+    total_amount: Symbol,
+    po_lines: Symbol,
+    line_num: Symbol,
+    item_id: Symbol,
+    quantity: Symbol,
+    unit_price: Symbol,
+    ack_header: Symbol,
+    po_number: Symbol,
+    status: Symbol,
+    ack_date: Symbol,
+    ack_lines: Symbol,
+}
+
+impl Default for Syms {
+    fn default() -> Self {
+        Self {
+            po_header: intern("po_header"),
+            segment1: intern("segment1"),
+            org_id: intern("org_id"),
+            vendor_name: intern("vendor_name"),
+            agent_name: intern("agent_name"),
+            currency_code: intern("currency_code"),
+            creation_date: intern("creation_date"),
+            total_amount: intern("total_amount"),
+            po_lines: intern("po_lines"),
+            line_num: intern("line_num"),
+            item_id: intern("item_id"),
+            quantity: intern("quantity"),
+            unit_price: intern("unit_price"),
+            ack_header: intern("ack_header"),
+            po_number: intern("po_number"),
+            status: intern("status"),
+            ack_date: intern("ack_date"),
+            ack_lines: intern("ack_lines"),
+        }
+    }
+}
+
 /// Codec for the Oracle applications format.
 #[derive(Debug, Default, Clone)]
-pub struct OracleAppsCodec;
+pub struct OracleAppsCodec {
+    syms: Syms,
+}
 
 fn parse_err(reason: impl Into<String>) -> DocumentError {
     DocumentError::Parse { format: FORMAT.into(), offset: 0, reason: reason.into() }
@@ -185,6 +237,7 @@ impl OracleAppsCodec {
     }
 
     fn decode_rows(&self, rows: &[Row]) -> Result<Document> {
+        let s = &self.syms;
         match rows[0].table.as_str() {
             "PO_HEADERS" => {
                 let hdr = &rows[0];
@@ -196,24 +249,24 @@ impl OracleAppsCodec {
                     if row.table != "PO_LINES" {
                         return Err(parse_err(format!("unexpected section {}", row.table)));
                     }
-                    lines.push(record! {
-                        "line_num" => Value::Int(parse_int(col(row, "LINE_NUM")?, "LINE_NUM", FORMAT)?),
-                        "item_id" => Value::text(col(row, "ITEM_ID")?),
-                        "quantity" => Value::Int(parse_int(col(row, "QUANTITY")?, "QUANTITY", FORMAT)?),
-                        "unit_price" => Value::Money(decimal_to_money(col(row, "UNIT_PRICE")?, currency, FORMAT)?),
+                    lines.push(record_sym! {
+                        s.line_num => Value::Int(parse_int(col(row, "LINE_NUM")?, "LINE_NUM", FORMAT)?),
+                        s.item_id => Value::text(col(row, "ITEM_ID")?),
+                        s.quantity => Value::Int(parse_int(col(row, "QUANTITY")?, "QUANTITY", FORMAT)?),
+                        s.unit_price => Value::Money(decimal_to_money(col(row, "UNIT_PRICE")?, currency, FORMAT)?),
                     });
                 }
-                let body = record! {
-                    "po_header" => record! {
-                        "segment1" => Value::text(&po_number),
-                        "org_id" => Value::Int(parse_int(col(hdr, "ORG_ID")?, "ORG_ID", FORMAT)?),
-                        "vendor_name" => Value::text(col(hdr, "VENDOR_NAME")?),
-                        "agent_name" => Value::text(col(hdr, "AGENT_NAME")?),
-                        "currency_code" => Value::text(&currency_code),
-                        "creation_date" => Value::Date(Date::parse_iso(col(hdr, "CREATION_DATE")?)?),
-                        "total_amount" => Value::Money(decimal_to_money(col(hdr, "TOTAL_AMOUNT")?, currency, FORMAT)?),
+                let body = record_sym! {
+                    s.po_header => record_sym! {
+                        s.segment1 => Value::text(&po_number),
+                        s.org_id => Value::Int(parse_int(col(hdr, "ORG_ID")?, "ORG_ID", FORMAT)?),
+                        s.vendor_name => Value::text(col(hdr, "VENDOR_NAME")?),
+                        s.agent_name => Value::text(col(hdr, "AGENT_NAME")?),
+                        s.currency_code => Value::text(&currency_code),
+                        s.creation_date => Value::Date(Date::parse_iso(col(hdr, "CREATION_DATE")?)?),
+                        s.total_amount => Value::Money(decimal_to_money(col(hdr, "TOTAL_AMOUNT")?, currency, FORMAT)?),
                     },
-                    "po_lines" => Value::List(lines),
+                    s.po_lines => Value::List(lines),
                 };
                 Ok(Document::with_id(
                     DocumentId::new(format!("ora-{po_number}")),
@@ -231,19 +284,19 @@ impl OracleAppsCodec {
                     if row.table != "PO_ACK_LINES" {
                         return Err(parse_err(format!("unexpected section {}", row.table)));
                     }
-                    lines.push(record! {
-                        "line_num" => Value::Int(parse_int(col(row, "LINE_NUM")?, "LINE_NUM", FORMAT)?),
-                        "status" => Value::text(col(row, "STATUS")?),
-                        "quantity" => Value::Int(parse_int(col(row, "QUANTITY")?, "QUANTITY", FORMAT)?),
+                    lines.push(record_sym! {
+                        s.line_num => Value::Int(parse_int(col(row, "LINE_NUM")?, "LINE_NUM", FORMAT)?),
+                        s.status => Value::text(col(row, "STATUS")?),
+                        s.quantity => Value::Int(parse_int(col(row, "QUANTITY")?, "QUANTITY", FORMAT)?),
                     });
                 }
-                let body = record! {
-                    "ack_header" => record! {
-                        "po_number" => Value::text(&po_number),
-                        "status" => Value::text(col(hdr, "STATUS")?),
-                        "ack_date" => Value::Date(Date::parse_iso(col(hdr, "ACK_DATE")?)?),
+                let body = record_sym! {
+                    s.ack_header => record_sym! {
+                        s.po_number => Value::text(&po_number),
+                        s.status => Value::text(col(hdr, "STATUS")?),
+                        s.ack_date => Value::Date(Date::parse_iso(col(hdr, "ACK_DATE")?)?),
                     },
-                    "ack_lines" => Value::List(lines),
+                    s.ack_lines => Value::List(lines),
                 };
                 Ok(Document::with_id(
                     DocumentId::new(format!("ora-ack-{po_number}")),
@@ -322,7 +375,7 @@ mod tests {
 
     #[test]
     fn po_round_trips_through_rows() {
-        let codec = OracleAppsCodec;
+        let codec = OracleAppsCodec::default();
         let doc = sample_oracle_po("4711", 12);
         let wire = codec.encode(&doc).unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();
@@ -334,7 +387,7 @@ mod tests {
 
     #[test]
     fn poa_round_trips_through_rows() {
-        let codec = OracleAppsCodec;
+        let codec = OracleAppsCodec::default();
         let body = record! {
             "ack_header" => record! {
                 "po_number" => Value::text("4711"),
@@ -359,7 +412,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_malformed_sections() {
-        let codec = OracleAppsCodec;
+        let codec = OracleAppsCodec::default();
         assert!(codec.decode(b"").is_err());
         assert!(codec.decode(b"LINE=1\n").is_err(), "column before section");
         assert!(codec.decode(b"[PO_HEADERS\nX=1\n").is_err(), "unterminated section");

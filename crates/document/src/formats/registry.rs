@@ -27,11 +27,11 @@ impl FormatRegistry {
     /// A registry pre-loaded with all built-in codecs.
     pub fn with_builtins() -> Self {
         let mut reg = Self::new();
-        reg.register(Arc::new(EdiX12Codec));
-        reg.register(Arc::new(RosettaNetCodec));
-        reg.register(Arc::new(OagisCodec));
-        reg.register(Arc::new(SapIdocCodec));
-        reg.register(Arc::new(OracleAppsCodec));
+        reg.register(Arc::new(EdiX12Codec::default()));
+        reg.register(Arc::new(RosettaNetCodec::default()));
+        reg.register(Arc::new(OagisCodec::default()));
+        reg.register(Arc::new(SapIdocCodec::default()));
+        reg.register(Arc::new(OracleAppsCodec::default()));
         reg
     }
 

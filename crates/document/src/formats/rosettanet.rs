@@ -11,10 +11,11 @@ use crate::date::Date;
 use crate::document::{DocKind, Document};
 use crate::error::{DocumentError, Result};
 use crate::ids::{CorrelationId, DocumentId};
+use crate::intern::{intern, Symbol};
 use crate::money::Currency;
-use crate::record;
 use crate::value::Value;
 use crate::xml::{parse_element, write_element_into, XmlElement};
+use crate::{record, record_sym};
 
 const FORMAT: &str = "rosettanet";
 
@@ -25,9 +26,78 @@ pub const RN_REJECT: &str = "Reject";
 /// Accepted with modifications.
 pub const RN_MODIFY: &str = "Modify";
 
+/// Field symbols used by decoded RosettaNet bodies, interned once at
+/// codec construction so decoding allocates no key strings.
+#[derive(Debug, Clone)]
+struct Syms {
+    service_header: Symbol,
+    from_: Symbol,
+    to_: Symbol,
+    pip_code: Symbol,
+    instance_id: Symbol,
+    purchase_order: Symbol,
+    po_number: Symbol,
+    order_date: Symbol,
+    currency: Symbol,
+    buyer: Symbol,
+    seller: Symbol,
+    lines: Symbol,
+    line_number: Symbol,
+    product_id: Symbol,
+    quantity: Symbol,
+    unit_price: Symbol,
+    total_amount: Symbol,
+    confirmation: Symbol,
+    response_code: Symbol,
+    ack_date: Symbol,
+    quote_request: Symbol,
+    rfq_number: Symbol,
+    item: Symbol,
+    respond_by: Symbol,
+    quote: Symbol,
+    valid_until: Symbol,
+    ref_instance_id: Symbol,
+}
+
+impl Default for Syms {
+    fn default() -> Self {
+        Self {
+            service_header: intern("service_header"),
+            from_: intern("from"),
+            to_: intern("to"),
+            pip_code: intern("pip_code"),
+            instance_id: intern("instance_id"),
+            purchase_order: intern("purchase_order"),
+            po_number: intern("po_number"),
+            order_date: intern("order_date"),
+            currency: intern("currency"),
+            buyer: intern("buyer"),
+            seller: intern("seller"),
+            lines: intern("lines"),
+            line_number: intern("line_number"),
+            product_id: intern("product_id"),
+            quantity: intern("quantity"),
+            unit_price: intern("unit_price"),
+            total_amount: intern("total_amount"),
+            confirmation: intern("confirmation"),
+            response_code: intern("response_code"),
+            ack_date: intern("ack_date"),
+            quote_request: intern("quote_request"),
+            rfq_number: intern("rfq_number"),
+            item: intern("item"),
+            respond_by: intern("respond_by"),
+            quote: intern("quote"),
+            valid_until: intern("valid_until"),
+            ref_instance_id: intern("ref_instance_id"),
+        }
+    }
+}
+
 /// Codec for RosettaNet PIP documents.
 #[derive(Debug, Default, Clone)]
-pub struct RosettaNetCodec;
+pub struct RosettaNetCodec {
+    syms: Syms,
+}
 
 fn parse_err(reason: impl Into<String>) -> DocumentError {
     DocumentError::Parse { format: FORMAT.into(), offset: 0, reason: reason.into() }
@@ -55,18 +125,18 @@ fn service_header_xml(doc: &Document) -> Result<XmlElement> {
         )))
 }
 
-fn service_header_value(root: &XmlElement) -> Result<(Value, String)> {
+fn service_header_value(s: &Syms, root: &XmlElement) -> Result<(Value, String)> {
     let hdr = root.find("ServiceHeader").ok_or_else(|| parse_err("missing ServiceHeader"))?;
     let get = |name: &str| -> Result<String> {
         hdr.child_text(name).ok_or_else(|| parse_err(format!("missing ServiceHeader/{name}")))
     };
     let instance_id = get("PipInstanceId")?;
     Ok((
-        record! {
-            "from" => Value::text(get("FromPartner")?),
-            "to" => Value::text(get("ToPartner")?),
-            "pip_code" => Value::text(get("PipCode")?),
-            "instance_id" => Value::text(&instance_id),
+        record_sym! {
+            s.from_ => Value::text(get("FromPartner")?),
+            s.to_ => Value::text(get("ToPartner")?),
+            s.pip_code => Value::text(get("PipCode")?),
+            s.instance_id => Value::text(&instance_id),
         },
         instance_id,
     ))
@@ -201,7 +271,8 @@ impl RosettaNetCodec {
     }
 
     fn decode_po(&self, root: &XmlElement) -> Result<Document> {
-        let (header, instance_id) = service_header_value(root)?;
+        let s = &self.syms;
+        let (header, instance_id) = service_header_value(s, root)?;
         let po = root.find("PurchaseOrder").ok_or_else(|| parse_err("missing PurchaseOrder"))?;
         let get = |name: &str| -> Result<String> {
             po.child_text(name).ok_or_else(|| parse_err(format!("missing PurchaseOrder/{name}")))
@@ -214,23 +285,23 @@ impl RosettaNetCodec {
             let get = |name: &str| -> Result<String> {
                 item.child_text(name).ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
             };
-            lines.push(record! {
-                "line_number" => Value::Int(parse_int(&get("LineNumber")?, "LineNumber", FORMAT)?),
-                "product_id" => Value::text(get("GlobalProductIdentifier")?),
-                "quantity" => Value::Int(parse_int(&get("OrderQuantity")?, "OrderQuantity", FORMAT)?),
-                "unit_price" => Value::Money(decimal_to_money(&get("UnitPrice")?, currency, FORMAT)?),
+            lines.push(record_sym! {
+                s.line_number => Value::Int(parse_int(&get("LineNumber")?, "LineNumber", FORMAT)?),
+                s.product_id => Value::text(get("GlobalProductIdentifier")?),
+                s.quantity => Value::Int(parse_int(&get("OrderQuantity")?, "OrderQuantity", FORMAT)?),
+                s.unit_price => Value::Money(decimal_to_money(&get("UnitPrice")?, currency, FORMAT)?),
             });
         }
-        let body = record! {
-            "service_header" => header,
-            "purchase_order" => record! {
-                "po_number" => Value::text(&po_number),
-                "order_date" => Value::Date(Date::parse_iso(&get("OrderDate")?)?),
-                "currency" => Value::text(&currency_code),
-                "buyer" => Value::text(get("BuyerPartner")?),
-                "seller" => Value::text(get("SellerPartner")?),
-                "lines" => Value::List(lines),
-                "total_amount" => Value::Money(decimal_to_money(&get("TotalAmount")?, currency, FORMAT)?),
+        let body = record_sym! {
+            s.service_header => header,
+            s.purchase_order => record_sym! {
+                s.po_number => Value::text(&po_number),
+                s.order_date => Value::Date(Date::parse_iso(&get("OrderDate")?)?),
+                s.currency => Value::text(&currency_code),
+                s.buyer => Value::text(get("BuyerPartner")?),
+                s.seller => Value::text(get("SellerPartner")?),
+                s.lines => Value::List(lines),
+                s.total_amount => Value::Money(decimal_to_money(&get("TotalAmount")?, currency, FORMAT)?),
             },
         };
         Ok(Document::with_id(
@@ -243,7 +314,8 @@ impl RosettaNetCodec {
     }
 
     fn decode_poa(&self, root: &XmlElement) -> Result<Document> {
-        let (header, instance_id) = service_header_value(root)?;
+        let s = &self.syms;
+        let (header, instance_id) = service_header_value(s, root)?;
         let conf = root
             .find("PurchaseOrderConfirmation")
             .ok_or_else(|| parse_err("missing PurchaseOrderConfirmation"))?;
@@ -256,19 +328,19 @@ impl RosettaNetCodec {
             let get = |name: &str| -> Result<String> {
                 item.child_text(name).ok_or_else(|| parse_err(format!("line {i}: missing {name}")))
             };
-            lines.push(record! {
-                "line_number" => Value::Int(parse_int(&get("LineNumber")?, "LineNumber", FORMAT)?),
-                "response_code" => Value::text(get("GlobalPurchaseOrderAcknowledgmentCode")?),
-                "quantity" => Value::Int(parse_int(&get("OrderQuantity")?, "OrderQuantity", FORMAT)?),
+            lines.push(record_sym! {
+                s.line_number => Value::Int(parse_int(&get("LineNumber")?, "LineNumber", FORMAT)?),
+                s.response_code => Value::text(get("GlobalPurchaseOrderAcknowledgmentCode")?),
+                s.quantity => Value::Int(parse_int(&get("OrderQuantity")?, "OrderQuantity", FORMAT)?),
             });
         }
-        let body = record! {
-            "service_header" => header,
-            "confirmation" => record! {
-                "po_number" => Value::text(&po_number),
-                "response_code" => Value::text(get("GlobalPurchaseOrderAcknowledgmentCode")?),
-                "ack_date" => Value::Date(Date::parse_iso(&get("AcknowledgmentDate")?)?),
-                "lines" => Value::List(lines),
+        let body = record_sym! {
+            s.service_header => header,
+            s.confirmation => record_sym! {
+                s.po_number => Value::text(&po_number),
+                s.response_code => Value::text(get("GlobalPurchaseOrderAcknowledgmentCode")?),
+                s.ack_date => Value::Date(Date::parse_iso(&get("AcknowledgmentDate")?)?),
+                s.lines => Value::List(lines),
             },
         };
         Ok(Document::with_id(
@@ -335,20 +407,21 @@ impl RosettaNetCodec {
     }
 
     fn decode_rfq(&self, root: &XmlElement) -> Result<Document> {
-        let (header, instance_id) = service_header_value(root)?;
+        let s = &self.syms;
+        let (header, instance_id) = service_header_value(s, root)?;
         let rfq = root.find("QuoteRequest").ok_or_else(|| parse_err("missing QuoteRequest"))?;
         let get = |name: &str| -> Result<String> {
             rfq.child_text(name).ok_or_else(|| parse_err(format!("missing QuoteRequest/{name}")))
         };
         let rfq_number = get("GlobalQuoteRequestIdentifier")?;
-        let body = record! {
-            "service_header" => header,
-            "quote_request" => record! {
-                "rfq_number" => Value::text(&rfq_number),
-                "buyer" => Value::text(get("BuyerPartner")?),
-                "item" => Value::text(get("GlobalProductIdentifier")?),
-                "quantity" => Value::Int(parse_int(&get("RequestedQuantity")?, "RequestedQuantity", FORMAT)?),
-                "respond_by" => Value::Date(Date::parse_iso(&get("QuoteDeadline")?)?),
+        let body = record_sym! {
+            s.service_header => header,
+            s.quote_request => record_sym! {
+                s.rfq_number => Value::text(&rfq_number),
+                s.buyer => Value::text(get("BuyerPartner")?),
+                s.item => Value::text(get("GlobalProductIdentifier")?),
+                s.quantity => Value::Int(parse_int(&get("RequestedQuantity")?, "RequestedQuantity", FORMAT)?),
+                s.respond_by => Value::Date(Date::parse_iso(&get("QuoteDeadline")?)?),
             },
         };
         Ok(Document::with_id(
@@ -361,7 +434,8 @@ impl RosettaNetCodec {
     }
 
     fn decode_quote(&self, root: &XmlElement) -> Result<Document> {
-        let (header, instance_id) = service_header_value(root)?;
+        let s = &self.syms;
+        let (header, instance_id) = service_header_value(s, root)?;
         let quote = root.find("Quote").ok_or_else(|| parse_err("missing Quote"))?;
         let get = |name: &str| -> Result<String> {
             quote.child_text(name).ok_or_else(|| parse_err(format!("missing Quote/{name}")))
@@ -369,14 +443,14 @@ impl RosettaNetCodec {
         let rfq_number = get("GlobalQuoteRequestIdentifier")?;
         let currency_code = get("GlobalCurrencyCode")?;
         let currency = Currency::parse(&currency_code)?;
-        let body = record! {
-            "service_header" => header,
-            "quote" => record! {
-                "rfq_number" => Value::text(&rfq_number),
-                "seller" => Value::text(get("SellerPartner")?),
-                "currency" => Value::text(&currency_code),
-                "unit_price" => Value::Money(decimal_to_money(&get("UnitPrice")?, currency, FORMAT)?),
-                "valid_until" => Value::Date(Date::parse_iso(&get("QuoteValidUntil")?)?),
+        let body = record_sym! {
+            s.service_header => header,
+            s.quote => record_sym! {
+                s.rfq_number => Value::text(&rfq_number),
+                s.seller => Value::text(get("SellerPartner")?),
+                s.currency => Value::text(&currency_code),
+                s.unit_price => Value::Money(decimal_to_money(&get("UnitPrice")?, currency, FORMAT)?),
+                s.valid_until => Value::Date(Date::parse_iso(&get("QuoteValidUntil")?)?),
             },
         };
         Ok(Document::with_id(
@@ -389,13 +463,14 @@ impl RosettaNetCodec {
     }
 
     fn decode_signal(&self, root: &XmlElement, kind: DocKind) -> Result<Document> {
-        let (header, instance_id) = service_header_value(root)?;
+        let s = &self.syms;
+        let (header, instance_id) = service_header_value(s, root)?;
         let reference = root
             .child_text("ReferencedInstanceId")
             .ok_or_else(|| parse_err("missing ReferencedInstanceId"))?;
-        let body = record! {
-            "service_header" => header,
-            "ref_instance_id" => Value::text(&reference),
+        let body = record_sym! {
+            s.service_header => header,
+            s.ref_instance_id => Value::text(&reference),
         };
         Ok(Document::with_id(
             DocumentId::new(format!("rn-{instance_id}")),
@@ -493,7 +568,7 @@ mod tests {
 
     #[test]
     fn po_round_trips_through_xml() {
-        let codec = RosettaNetCodec;
+        let codec = RosettaNetCodec::default();
         let doc = sample_rn_po("4711", 12);
         let wire = codec.encode(&doc).unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();
@@ -505,7 +580,7 @@ mod tests {
 
     #[test]
     fn poa_round_trips_through_xml() {
-        let codec = RosettaNetCodec;
+        let codec = RosettaNetCodec::default();
         let body = record! {
             "service_header" => record! {
                 "from" => Value::text("GADGET"),
@@ -536,7 +611,7 @@ mod tests {
 
     #[test]
     fn receipt_signal_round_trips() {
-        let codec = RosettaNetCodec;
+        let codec = RosettaNetCodec::default();
         let body = record! {
             "service_header" => record! {
                 "from" => Value::text("GADGET"),
@@ -559,7 +634,7 @@ mod tests {
 
     #[test]
     fn rfq_and_quote_round_trip_through_xml() {
-        let codec = RosettaNetCodec;
+        let codec = RosettaNetCodec::default();
         let rfq_body = record! {
             "service_header" => record! {
                 "from" => Value::text("ACME"),
@@ -613,7 +688,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_root_and_missing_header() {
-        let codec = RosettaNetCodec;
+        let codec = RosettaNetCodec::default();
         assert!(codec.decode(b"<Unknown/>").is_err());
         assert!(codec.decode(b"<Pip3A4PurchaseOrderRequest/>").is_err());
     }

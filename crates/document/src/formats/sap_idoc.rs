@@ -10,9 +10,10 @@ use crate::date::Date;
 use crate::document::{DocKind, Document};
 use crate::error::{DocumentError, Result};
 use crate::ids::{CorrelationId, DocumentId};
+use crate::intern::{intern, Symbol};
 use crate::money::Currency;
-use crate::record;
 use crate::value::Value;
+use crate::{record, record_sym};
 use std::collections::BTreeMap;
 
 const FORMAT: &str = "sap-idoc";
@@ -24,9 +25,64 @@ pub const SAP_CHANGED: &str = "002";
 /// Rejected.
 pub const SAP_REJECT: &str = "003";
 
+/// Field symbols used by decoded IDoc bodies, interned once at codec
+/// construction so decoding allocates no key strings.
+#[derive(Debug, Clone)]
+struct Syms {
+    control: Symbol,
+    idoctyp: Symbol,
+    sndprn: Symbol,
+    rcvprn: Symbol,
+    docnum: Symbol,
+    e1edk01: Symbol,
+    belnr: Symbol,
+    curcy: Symbol,
+    audat: Symbol,
+    action: Symbol,
+    e1edka1: Symbol,
+    parvw: Symbol,
+    name: Symbol,
+    e1edp01: Symbol,
+    posex: Symbol,
+    menge: Symbol,
+    vprei: Symbol,
+    matnr: Symbol,
+    e1eds01: Symbol,
+    summe: Symbol,
+}
+
+impl Default for Syms {
+    fn default() -> Self {
+        Self {
+            control: intern("control"),
+            idoctyp: intern("idoctyp"),
+            sndprn: intern("sndprn"),
+            rcvprn: intern("rcvprn"),
+            docnum: intern("docnum"),
+            e1edk01: intern("e1edk01"),
+            belnr: intern("belnr"),
+            curcy: intern("curcy"),
+            audat: intern("audat"),
+            action: intern("action"),
+            e1edka1: intern("e1edka1"),
+            parvw: intern("parvw"),
+            name: intern("name"),
+            e1edp01: intern("e1edp01"),
+            posex: intern("posex"),
+            menge: intern("menge"),
+            vprei: intern("vprei"),
+            matnr: intern("matnr"),
+            e1eds01: intern("e1eds01"),
+            summe: intern("summe"),
+        }
+    }
+}
+
 /// Codec for the SAP IDoc format.
 #[derive(Debug, Default, Clone)]
-pub struct SapIdocCodec;
+pub struct SapIdocCodec {
+    syms: Syms,
+}
 
 fn parse_err(reason: impl Into<String>) -> DocumentError {
     DocumentError::Parse { format: FORMAT.into(), offset: 0, reason: reason.into() }
@@ -210,12 +266,13 @@ impl SapIdocCodec {
             .iter()
             .find(|s| s.name == "EDI_DC40")
             .ok_or_else(|| parse_err("missing EDI_DC40 control record"))?;
+        let s = &self.syms;
         let idoctyp = seg_field(dc, "IDOCTYP")?.to_string();
-        let control = record! {
-            "idoctyp" => Value::text(&idoctyp),
-            "sndprn" => Value::text(seg_field(dc, "SNDPRN")?),
-            "rcvprn" => Value::text(seg_field(dc, "RCVPRN")?),
-            "docnum" => Value::text(seg_field(dc, "DOCNUM")?),
+        let control = record_sym! {
+            s.idoctyp => Value::text(&idoctyp),
+            s.sndprn => Value::text(seg_field(dc, "SNDPRN")?),
+            s.rcvprn => Value::text(seg_field(dc, "RCVPRN")?),
+            s.docnum => Value::text(seg_field(dc, "DOCNUM")?),
         };
         let k01 = segments
             .iter()
@@ -232,15 +289,15 @@ impl SapIdocCodec {
                 let mut total = None;
                 for seg in segments {
                     match seg.name.as_str() {
-                        "E1EDKA1" => partners.push(record! {
-                            "parvw" => Value::text(seg_field(seg, "PARVW")?),
-                            "name" => Value::text(seg_field(seg, "NAME1")?),
+                        "E1EDKA1" => partners.push(record_sym! {
+                            s.parvw => Value::text(seg_field(seg, "PARVW")?),
+                            s.name => Value::text(seg_field(seg, "NAME1")?),
                         }),
-                        "E1EDP01" => lines.push(record! {
-                            "posex" => Value::Int(parse_int(seg_field(seg, "POSEX")?, "POSEX", FORMAT)?),
-                            "menge" => Value::Int(parse_int(seg_field(seg, "MENGE")?, "MENGE", FORMAT)?),
-                            "vprei" => Value::Money(decimal_to_money(seg_field(seg, "VPREI")?, currency, FORMAT)?),
-                            "matnr" => Value::text(seg_field(seg, "MATNR")?),
+                        "E1EDP01" => lines.push(record_sym! {
+                            s.posex => Value::Int(parse_int(seg_field(seg, "POSEX")?, "POSEX", FORMAT)?),
+                            s.menge => Value::Int(parse_int(seg_field(seg, "MENGE")?, "MENGE", FORMAT)?),
+                            s.vprei => Value::Money(decimal_to_money(seg_field(seg, "VPREI")?, currency, FORMAT)?),
+                            s.matnr => Value::text(seg_field(seg, "MATNR")?),
                         }),
                         "E1EDS01" => {
                             total = Some(decimal_to_money(seg_field(seg, "SUMME")?, currency, FORMAT)?)
@@ -249,16 +306,16 @@ impl SapIdocCodec {
                     }
                 }
                 let total = total.ok_or_else(|| parse_err("missing E1EDS01"))?;
-                let body = record! {
-                    "control" => control,
-                    "e1edk01" => record! {
-                        "belnr" => Value::text(&belnr),
-                        "curcy" => Value::text(&curcy),
-                        "audat" => Value::Date(Date::parse_compact(seg_field(k01, "AUDAT")?)?),
+                let body = record_sym! {
+                    s.control => control,
+                    s.e1edk01 => record_sym! {
+                        s.belnr => Value::text(&belnr),
+                        s.curcy => Value::text(&curcy),
+                        s.audat => Value::Date(Date::parse_compact(seg_field(k01, "AUDAT")?)?),
                     },
-                    "e1edka1" => Value::List(partners),
-                    "e1edp01" => Value::List(lines),
-                    "e1eds01" => record! { "summe" => Value::Money(total) },
+                    s.e1edka1 => Value::List(partners),
+                    s.e1edp01 => Value::List(lines),
+                    s.e1eds01 => record_sym! { s.summe => Value::Money(total) },
                 };
                 Ok(Document::with_id(
                     DocumentId::new(format!("idoc-{docnum}")),
@@ -272,21 +329,21 @@ impl SapIdocCodec {
                 let mut lines = Vec::new();
                 for seg in segments {
                     if seg.name == "E1EDP01" {
-                        lines.push(record! {
-                            "posex" => Value::Int(parse_int(seg_field(seg, "POSEX")?, "POSEX", FORMAT)?),
-                            "menge" => Value::Int(parse_int(seg_field(seg, "MENGE")?, "MENGE", FORMAT)?),
-                            "action" => Value::text(seg_field(seg, "ACTION")?),
+                        lines.push(record_sym! {
+                            s.posex => Value::Int(parse_int(seg_field(seg, "POSEX")?, "POSEX", FORMAT)?),
+                            s.menge => Value::Int(parse_int(seg_field(seg, "MENGE")?, "MENGE", FORMAT)?),
+                            s.action => Value::text(seg_field(seg, "ACTION")?),
                         });
                     }
                 }
-                let body = record! {
-                    "control" => control,
-                    "e1edk01" => record! {
-                        "belnr" => Value::text(&belnr),
-                        "audat" => Value::Date(Date::parse_compact(seg_field(k01, "AUDAT")?)?),
-                        "action" => Value::text(seg_field(k01, "ACTION")?),
+                let body = record_sym! {
+                    s.control => control,
+                    s.e1edk01 => record_sym! {
+                        s.belnr => Value::text(&belnr),
+                        s.audat => Value::Date(Date::parse_compact(seg_field(k01, "AUDAT")?)?),
+                        s.action => Value::text(seg_field(k01, "ACTION")?),
                     },
-                    "e1edp01" => Value::List(lines),
+                    s.e1edp01 => Value::List(lines),
                 };
                 Ok(Document::with_id(
                     DocumentId::new(format!("idoc-{docnum}")),
@@ -372,7 +429,7 @@ mod tests {
 
     #[test]
     fn po_round_trips_through_flat_file() {
-        let codec = SapIdocCodec;
+        let codec = SapIdocCodec::default();
         let doc = sample_sap_po("4711", 12);
         let wire = codec.encode(&doc).unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();
@@ -385,7 +442,7 @@ mod tests {
 
     #[test]
     fn poa_round_trips_through_flat_file() {
-        let codec = SapIdocCodec;
+        let codec = SapIdocCodec::default();
         let body = record! {
             "control" => record! {
                 "idoctyp" => Value::text("ORDRSP"),
@@ -417,7 +474,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        let codec = SapIdocCodec;
+        let codec = SapIdocCodec::default();
         assert!(codec.decode(b"").is_err());
         assert!(codec.decode(b"E1EDK01|BELNR=1\n").is_err(), "missing control record");
         assert!(codec

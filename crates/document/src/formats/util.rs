@@ -2,8 +2,7 @@
 
 use crate::error::{DocumentError, Result};
 use crate::money::{Currency, Money};
-use crate::value::Value;
-use std::collections::BTreeMap;
+use crate::value::{FieldVec, Value};
 
 /// Formats money as a bare decimal string (`550.00`), as EDI and the XML
 /// standards carry amounts without an inline currency code.
@@ -46,7 +45,7 @@ pub fn string_encode_into(
 }
 
 /// Reads a required record field (codec-internal; paths are static).
-pub fn field<'v>(rec: &'v BTreeMap<String, Value>, name: &str, format: &str) -> Result<&'v Value> {
+pub fn field<'v>(rec: &'v FieldVec, name: &str, format: &str) -> Result<&'v Value> {
     rec.get(name).ok_or_else(|| DocumentError::Encode {
         format: format.to_string(),
         reason: format!("missing field `{name}`"),

@@ -37,8 +37,8 @@ pub use document::{DocKind, Document};
 pub use error::{DocumentError, Result};
 pub use formats::{FormatCodec, FormatId, FormatRegistry};
 pub use ids::{CorrelationId, DocumentId};
-pub use intern::{Interner, Symbol};
+pub use intern::{intern, interned_count, Symbol};
 pub use money::{Currency, Money};
 pub use path::{FieldPath, PathSeg};
 pub use schema::{FieldSpec, Schema, TypeSpec, Violation};
-pub use value::Value;
+pub use value::{FieldVec, Value};

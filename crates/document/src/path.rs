@@ -4,16 +4,22 @@
 //! document content by path, e.g. `header.total` or `lines[2].quantity`.
 
 use crate::error::{DocumentError, Result};
+use crate::intern::{intern, Symbol};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// One step of a field path.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Field names are interned [`Symbol`]s, so resolving a path against a
+/// record is symbol comparison only — no string allocation or byte-walking
+/// on the equal path. `Symbol`'s serde impl keeps the wire shape a plain
+/// string, identical to the former `Field(String)` representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PathSeg {
     /// Record field access by name.
-    Field(String),
+    Field(Symbol),
     /// List element access by zero-based index.
     Index(usize),
 }
@@ -49,7 +55,7 @@ impl FieldPath {
             if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
                 return Err(err("field names may contain [A-Za-z0-9_-] only"));
             }
-            segments.push(PathSeg::Field(name.to_string()));
+            segments.push(PathSeg::Field(intern(name)));
             let mut rest = rest;
             while !rest.is_empty() {
                 let Some(stripped) = rest.strip_prefix('[') else {
@@ -80,7 +86,7 @@ impl FieldPath {
     /// A new path with one more field segment appended.
     pub fn child(&self, field: &str) -> Self {
         let mut segments = self.segments.clone();
-        segments.push(PathSeg::Field(field.to_string()));
+        segments.push(PathSeg::Field(intern(field)));
         Self { segments }
     }
 
@@ -89,7 +95,7 @@ impl FieldPath {
         let mut cur = root;
         for seg in &self.segments {
             cur = match (seg, cur) {
-                (PathSeg::Field(name), Value::Record(fields)) => fields.get(name)?,
+                (PathSeg::Field(name), Value::Record(fields)) => fields.get_sym(*name)?,
                 (PathSeg::Index(i), Value::List(items)) => items.get(*i)?,
                 _ => return None,
             };
@@ -116,7 +122,7 @@ impl FieldPath {
             match seg {
                 PathSeg::Field(name) => {
                     let rec = cur.as_record_mut(&self.to_string())?;
-                    cur = rec.entry(name.clone()).or_insert_with(Value::record);
+                    cur = rec.entry_or_insert_with(*name, Value::record);
                 }
                 PathSeg::Index(i) => {
                     let at = self.to_string();
@@ -140,7 +146,7 @@ impl FieldPath {
         match last {
             PathSeg::Field(name) => {
                 let rec = cur.as_record_mut(&self.to_string())?;
-                rec.insert(name.clone(), value);
+                rec.insert(*name, value);
                 Ok(())
             }
             PathSeg::Index(i) => {
@@ -171,7 +177,7 @@ impl FieldPath {
         let mut cur = root;
         for seg in init {
             let next = match (seg, cur) {
-                (PathSeg::Field(name), Value::Record(fields)) => fields.get_mut(name),
+                (PathSeg::Field(name), Value::Record(fields)) => fields.get_sym_mut(*name),
                 (PathSeg::Index(i), Value::List(items)) => items.get_mut(*i),
                 _ => None,
             };
@@ -181,7 +187,7 @@ impl FieldPath {
             }
         }
         match (last, cur) {
-            (PathSeg::Field(name), Value::Record(fields)) => Ok(fields.remove(name)),
+            (PathSeg::Field(name), Value::Record(fields)) => Ok(fields.remove_sym(*name)),
             (PathSeg::Index(i), Value::List(items)) if *i < items.len() => {
                 Ok(Some(items.remove(*i)))
             }
@@ -206,7 +212,7 @@ impl fmt::Display for FieldPath {
                     if i > 0 {
                         f.write_str(".")?;
                     }
-                    f.write_str(name)?;
+                    f.write_str(name.as_str())?;
                 }
                 PathSeg::Index(idx) => write!(f, "[{idx}]")?,
             }

@@ -167,7 +167,7 @@ fn check_record(
     }
     if !allow_extra {
         for name in fields.keys() {
-            if !specs.iter().any(|s| &s.name == name) {
+            if !specs.iter().any(|s| s.name == name.as_str()) {
                 out.push(Violation {
                     at: format!("{at}.{name}"),
                     problem: "field not allowed by schema".into(),

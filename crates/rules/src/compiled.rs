@@ -8,8 +8,8 @@
 //! references into the document body, `source`/`target` push string
 //! slices, and only genuinely new values (comparison results, arithmetic,
 //! parsed dates) are materialized. Field names are pre-resolved to
-//! interned [`Symbol`]s (the same deterministic [`Interner`] the compiled
-//! transforms use), literal-only subtrees are constant-folded at compile
+//! process-global interned [`Symbol`]s (the same symbols that key every
+//! record), literal-only subtrees are constant-folded at compile
 //! time — including subtrees that always *fail*, which lower to an
 //! in-place [`Op::Fail`] so error order is preserved — and `and`/`or`
 //! short-circuit via skip offsets patched into the stream.
@@ -23,8 +23,8 @@ use crate::expr::eval;
 use crate::expr::{BinOp, Builtin, Expr, PathRoot, RuleContext};
 use crate::rule::RuleFunction;
 use b2b_document::{
-    CorrelationId, Date, DocKind, Document, DocumentError, FieldPath, FormatId, Interner, Money,
-    PathSeg, Symbol, Value,
+    CorrelationId, Date, DocKind, Document, DocumentError, FieldPath, FormatId, Money, PathSeg,
+    Symbol, Value,
 };
 use std::cmp::Ordering;
 
@@ -50,6 +50,24 @@ struct PathInfo {
     miss: u32,
 }
 
+/// A leaf operand a comparison can evaluate in place, without stack
+/// traffic: the fusible subset of expressions (constants — including
+/// folded constant subtrees like `date("…")` —, `source`, `target`,
+/// document paths, and `len(document.path)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Atom {
+    /// A pooled constant.
+    Const(u32),
+    /// The context's `source`.
+    Source,
+    /// The context's `target`.
+    Target,
+    /// A document-rooted path.
+    Path(u32),
+    /// `len()` of a document-rooted path.
+    LenPath(u32),
+}
+
 /// One instruction. Operands live on the evaluation stack; indices point
 /// into the program's constant / string / path pools.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +91,21 @@ enum Op {
     Neg,
     /// Pop two operands, compare, push the bool result.
     Cmp(BinOp),
+    /// Fused comparison of two in-place atoms: no pushes, no pops, one
+    /// dispatch. This is the superinstruction the guard scans of real rule
+    /// functions (`target == "…" and source == "…" and …`) compile into.
+    /// Atom evaluation order (left before right) and every error text
+    /// match the unfused `[lhs, rhs, Cmp]` sequence exactly.
+    Cmp2 { op: BinOp, l: Atom, r: Atom },
+    /// A non-final link of a fused `and` chain: evaluate the comparison in
+    /// place; if false, push `false` and skip past the chain's end; if
+    /// true, fall through to the next link with *no* stack traffic at all.
+    /// Equivalent to `[Cmp2, AndCheck]`, collapsed into one dispatch.
+    Cmp2AndCheck { op: BinOp, l: Atom, r: Atom, skip: u32 },
+    /// A non-final link of a fused `or` chain (mirror of
+    /// [`Op::Cmp2AndCheck`]): if true, push `true` and skip; if false,
+    /// fall through.
+    Cmp2OrCheck { op: BinOp, l: Atom, r: Atom, skip: u32 },
     /// Pop two operands, combine arithmetically, push the result.
     Arith(BinOp),
     /// `and` short-circuit: pop the lhs; if false, push `false` and skip
@@ -110,6 +143,15 @@ enum Operand<'v> {
 enum View<'a> {
     Val(&'a Value),
     Str(&'a str),
+}
+
+/// A resolved fused atom: a borrow into the document body or constant
+/// pool, a context string, or a computed length. Never an owned `Value` —
+/// fused comparisons move nothing.
+enum AtomVal<'v> {
+    Val(&'v Value),
+    Str(&'v str),
+    Int(i64),
 }
 
 impl<'v> Operand<'v> {
@@ -188,6 +230,20 @@ fn compare_operands(l: &Operand<'_>, r: &Operand<'_>) -> Result<Ordering> {
     }
 }
 
+/// Maps a comparison operator over an ordering — the interpreter's exact
+/// truth table, shared by every (fused or not) comparison instruction.
+fn cmp_result(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("comparison arm"),
+    }
+}
+
 /// Arithmetic over operands, mirroring the interpreter's defined cases.
 fn arith_operands(op: BinOp, l: &Operand<'_>, r: &Operand<'_>) -> Result<Value> {
     let overflow = || eval_err("integer overflow");
@@ -227,7 +283,6 @@ pub struct CompiledExpr {
     strings: Vec<Box<str>>,
     segs: Vec<CSeg>,
     paths: Vec<PathInfo>,
-    interner: Interner,
     max_stack: usize,
 }
 
@@ -251,7 +306,6 @@ impl CompiledExpr {
             strings: c.strings,
             segs: c.segs,
             paths: c.paths,
-            interner: c.interner,
             max_stack: c.max_depth,
         }
     }
@@ -271,9 +325,7 @@ impl CompiledExpr {
         let segs = &self.segs[info.start as usize..(info.start + info.len) as usize];
         for seg in segs {
             cur = match (seg, cur) {
-                (CSeg::Field(sym), Value::Record(fields)) => {
-                    fields.get(self.interner.resolve(*sym))?
-                }
+                (CSeg::Field(sym), Value::Record(fields)) => fields.get_sym(*sym)?,
                 (CSeg::Index(i), Value::List(items)) => items.get(*i)?,
                 _ => return None,
             };
@@ -283,6 +335,73 @@ impl CompiledExpr {
 
     fn fail(&self, reason: u32) -> RuleError {
         eval_err(self.strings[reason as usize].to_string())
+    }
+
+    /// Evaluates one fused atom, borrowing wherever possible — no operand
+    /// is materialized, no `Value` is moved. Failures (and failure texts)
+    /// match the unfused instruction sequence exactly.
+    fn atom_val<'v>(&'v self, atom: Atom, ctx: &RuleContext<'v>) -> Result<AtomVal<'v>> {
+        Ok(match atom {
+            Atom::Const(i) => AtomVal::Val(&self.consts[i as usize]),
+            Atom::Source => AtomVal::Str(ctx.source),
+            Atom::Target => AtomVal::Str(ctx.target),
+            Atom::Path(i) => {
+                let info = self.paths[i as usize];
+                match self.walk(info, ctx.document.body()) {
+                    Some(v) => AtomVal::Val(v),
+                    None => return Err(self.fail(info.miss)),
+                }
+            }
+            Atom::LenPath(i) => {
+                let info = self.paths[i as usize];
+                let v = match self.walk(info, ctx.document.body()) {
+                    Some(v) => v,
+                    None => return Err(self.fail(info.miss)),
+                };
+                let n = match v {
+                    Value::List(items) => items.len() as i64,
+                    Value::Text(s) => s.chars().count() as i64,
+                    _ => {
+                        return Err(eval_err(format!(
+                            "len() needs list or text, got {}",
+                            v.type_name()
+                        )))
+                    }
+                };
+                AtomVal::Int(n)
+            }
+        })
+    }
+
+    /// A fused comparison, start to finish: resolve both atoms (left
+    /// first), compare with the interpreter's coercion table, map through
+    /// the operator. Error texts are byte-identical to the stacked
+    /// `[lhs, rhs, Cmp]` sequence.
+    fn cmp2(&self, op: BinOp, l: Atom, r: Atom, ctx: &RuleContext<'_>) -> Result<bool> {
+        let lv = self.atom_val(l, ctx)?;
+        let rv = self.atom_val(r, ctx)?;
+        let ord = match (&lv, &rv) {
+            (AtomVal::Val(a), AtomVal::Val(b)) => eval::compare(a, b)?,
+            (AtomVal::Str(a), AtomVal::Str(b)) => a.cmp(b),
+            (AtomVal::Str(a), AtomVal::Val(Value::Text(b))) => a.cmp(&b.as_str()),
+            (AtomVal::Val(Value::Text(a)), AtomVal::Str(b)) => a.as_str().cmp(b),
+            (AtomVal::Int(a), AtomVal::Int(b)) => a.cmp(b),
+            (AtomVal::Int(a), AtomVal::Val(b)) => eval::compare(&Value::Int(*a), b)?,
+            (AtomVal::Val(a), AtomVal::Int(b)) => eval::compare(a, &Value::Int(*b))?,
+            (AtomVal::Str(_), AtomVal::Val(b)) => {
+                return Err(eval_err(format!("cannot compare text with {}", b.type_name())))
+            }
+            (AtomVal::Val(a), AtomVal::Str(_)) => {
+                return Err(eval_err(format!("cannot compare {} with text", a.type_name())))
+            }
+            (AtomVal::Str(_), AtomVal::Int(_)) => {
+                return Err(eval_err("cannot compare text with int".to_string()))
+            }
+            (AtomVal::Int(_), AtomVal::Str(_)) => {
+                return Err(eval_err("cannot compare int with text".to_string()))
+            }
+        };
+        Ok(cmp_result(op, ord))
     }
 
     /// Runs the program. `stack` is caller-provided so one allocation
@@ -341,16 +460,23 @@ impl CompiledExpr {
                     let r = pop(stack);
                     let l = pop(stack);
                     let ord = compare_operands(&l, &r)?;
-                    let result = match op {
-                        BinOp::Eq => ord == Ordering::Equal,
-                        BinOp::Ne => ord != Ordering::Equal,
-                        BinOp::Lt => ord == Ordering::Less,
-                        BinOp::Le => ord != Ordering::Greater,
-                        BinOp::Gt => ord == Ordering::Greater,
-                        BinOp::Ge => ord != Ordering::Less,
-                        _ => unreachable!("comparison arm"),
-                    };
+                    stack.push(Operand::Owned(Value::Bool(cmp_result(op, ord))));
+                }
+                Op::Cmp2 { op, l, r } => {
+                    let result = self.cmp2(op, l, r, ctx)?;
                     stack.push(Operand::Owned(Value::Bool(result)));
+                }
+                Op::Cmp2AndCheck { op, l, r, skip } => {
+                    if !self.cmp2(op, l, r, ctx)? {
+                        stack.push(Operand::Owned(Value::Bool(false)));
+                        pc += skip as usize;
+                    }
+                }
+                Op::Cmp2OrCheck { op, l, r, skip } => {
+                    if self.cmp2(op, l, r, ctx)? {
+                        stack.push(Operand::Owned(Value::Bool(true)));
+                        pc += skip as usize;
+                    }
                 }
                 Op::Arith(op) => {
                     let r = pop(stack);
@@ -437,6 +563,51 @@ fn is_const(expr: &Expr) -> bool {
     }
 }
 
+/// Flattens nested `chain_op` nodes into their leaf terms, in evaluation
+/// order. Both `(a and b) and c` and `a and (b and c)` yield `[a, b, c]`.
+fn flatten_chain<'e>(expr: &'e Expr, chain_op: BinOp, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary { op, lhs, rhs } if *op == chain_op => {
+            flatten_chain(lhs, chain_op, out);
+            flatten_chain(rhs, chain_op, out);
+        }
+        _ => out.push(expr),
+    }
+}
+
+/// Whether an expression is a comparison whose both sides will atomize —
+/// the non-mutating twin of [`Compiler::atom_of`], used to decide chain
+/// fusion before committing anything to the pools.
+fn fusible_cmp(expr: &Expr, dummy: &RuleContext<'_>) -> bool {
+    match expr {
+        Expr::Binary { op, lhs, rhs }
+            if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or) =>
+        {
+            atomizable(lhs, dummy) && atomizable(rhs, dummy)
+        }
+        _ => false,
+    }
+}
+
+/// Whether [`Compiler::atom_of`] will return `Some` for this expression.
+fn atomizable(expr: &Expr, dummy: &RuleContext<'_>) -> bool {
+    if is_const(expr) {
+        // Constant subtrees that fold to an error stay unfused so their
+        // in-place `Fail` keeps its position.
+        return eval::eval(expr, dummy).is_ok();
+    }
+    match expr {
+        Expr::Path { root: PathRoot::Document, .. } => true,
+        Expr::Path { root: PathRoot::Source | PathRoot::Target, path } => {
+            path.segments().is_empty()
+        }
+        Expr::Call { builtin: Builtin::Len, arg } => {
+            matches!(&**arg, Expr::Path { root: PathRoot::Document, .. })
+        }
+        _ => false,
+    }
+}
+
 #[derive(Default)]
 struct Compiler {
     ops: Vec<Op>,
@@ -444,7 +615,6 @@ struct Compiler {
     strings: Vec<Box<str>>,
     segs: Vec<CSeg>,
     paths: Vec<PathInfo>,
-    interner: Interner,
     depth: usize,
     max_depth: usize,
 }
@@ -488,18 +658,31 @@ impl Compiler {
                 self.ops.push(Op::Neg);
             }
             Expr::Binary { op: BinOp::And, lhs, rhs } => {
-                self.emit_logical(lhs, rhs, dummy, Op::AndCheck(0), Op::AndTail)
+                if !self.try_emit_cmp_chain(expr, BinOp::And, dummy) {
+                    self.emit_logical(lhs, rhs, dummy, Op::AndCheck(0), Op::AndTail)
+                }
             }
             Expr::Binary { op: BinOp::Or, lhs, rhs } => {
-                self.emit_logical(lhs, rhs, dummy, Op::OrCheck(0), Op::OrTail)
+                if !self.try_emit_cmp_chain(expr, BinOp::Or, dummy) {
+                    self.emit_logical(lhs, rhs, dummy, Op::OrCheck(0), Op::OrTail)
+                }
             }
             Expr::Binary { op, lhs, rhs } => {
+                let compare = !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul);
+                // Fuse `atom <cmp> atom` into one stack-free instruction.
+                // (Both sides constant never reaches here — the whole
+                // comparison would have folded above.)
+                if compare {
+                    if let (Some(l), Some(r)) = (self.atom_of(lhs, dummy), self.atom_of(rhs, dummy))
+                    {
+                        self.ops.push(Op::Cmp2 { op: *op, l, r });
+                        self.produced();
+                        return;
+                    }
+                }
                 self.emit(lhs, dummy);
                 self.emit(rhs, dummy);
-                self.ops.push(match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul => Op::Arith(*op),
-                    _ => Op::Cmp(*op),
-                });
+                self.ops.push(if compare { Op::Cmp(*op) } else { Op::Arith(*op) });
                 self.depth -= 1;
             }
             Expr::Call { builtin: Builtin::Date, arg } => {
@@ -536,8 +719,62 @@ impl Compiler {
         }
     }
 
+    /// Chain lowering for `and`/`or` trees whose every term is a fusible
+    /// comparison: `[Cmp2Check(skip→end)…, Cmp2]`, where each non-final
+    /// link decides in place and jumps past the chain when it
+    /// short-circuits. Every skip lands *after* the final op, so no jump
+    /// can target (and therefore bypass) another link. Returns false —
+    /// emitting nothing — when any term doesn't fuse; the caller falls
+    /// back to the general short-circuit lowering.
+    ///
+    /// Soundness of flattening `(a and b) and c` into `a, b, c`: each
+    /// term is a comparison, which can only produce a bool or fail, so
+    /// the tree's intermediate coercions are no-ops and the associativity
+    /// of the source tree is unobservable — the term evaluation order and
+    /// every short-circuit/error outcome are exactly the interpreter's.
+    fn try_emit_cmp_chain(
+        &mut self,
+        expr: &Expr,
+        chain_op: BinOp,
+        dummy: &RuleContext<'_>,
+    ) -> bool {
+        let mut terms = Vec::new();
+        flatten_chain(expr, chain_op, &mut terms);
+        if terms.len() < 2 || !terms.iter().all(|t| fusible_cmp(t, dummy)) {
+            return false;
+        }
+        let mut checks = Vec::new();
+        for (i, term) in terms.iter().enumerate() {
+            let Expr::Binary { op, lhs, rhs } = term else { unreachable!("fusible term") };
+            let l = self.atom_of(lhs, dummy).expect("fusible lhs");
+            let r = self.atom_of(rhs, dummy).expect("fusible rhs");
+            if i + 1 == terms.len() {
+                self.ops.push(Op::Cmp2 { op: *op, l, r });
+            } else {
+                checks.push(self.ops.len());
+                self.ops.push(match chain_op {
+                    BinOp::And => Op::Cmp2AndCheck { op: *op, l, r, skip: 0 },
+                    _ => Op::Cmp2OrCheck { op: *op, l, r, skip: 0 },
+                });
+            }
+        }
+        let end = self.ops.len();
+        for at in checks {
+            let skip = u32::try_from(end - at - 1).expect("rule program too large");
+            self.ops[at] = match self.ops[at] {
+                Op::Cmp2AndCheck { op, l, r, .. } => Op::Cmp2AndCheck { op, l, r, skip },
+                Op::Cmp2OrCheck { op, l, r, .. } => Op::Cmp2OrCheck { op, l, r, skip },
+                other => unreachable!("patching non-check op {other:?}"),
+            };
+        }
+        self.produced();
+        true
+    }
+
     /// Short-circuit lowering: `[lhs…, Check(skip), rhs…, Tail]`, where
-    /// `skip` jumps past the rhs and the tail when the lhs decides.
+    /// `skip` jumps past the rhs and the tail when the lhs decides. The
+    /// tail's only job is the bool coercion of the rhs — when the rhs
+    /// statically produces a bool (or always fails), it is elided.
     fn emit_logical(
         &mut self,
         lhs: &Expr,
@@ -551,13 +788,57 @@ impl Compiler {
         self.ops.push(check);
         self.depth -= 1;
         self.emit(rhs, dummy);
-        self.ops.push(tail);
+        if !self.last_op_is_bool() {
+            self.ops.push(tail);
+        }
         let skip = u32::try_from(self.ops.len() - at - 1).expect("rule program too large");
         self.ops[at] = match self.ops[at] {
             Op::AndCheck(_) => Op::AndCheck(skip),
             Op::OrCheck(_) => Op::OrCheck(skip),
             other => unreachable!("patching non-check op {other:?}"),
         };
+    }
+
+    /// Whether the op just emitted can only ever leave a bool on the stack
+    /// (or fail). Conservative: `false` just keeps the coercing tail.
+    fn last_op_is_bool(&self) -> bool {
+        match self.ops.last() {
+            Some(Op::Cmp(_) | Op::Cmp2 { .. } | Op::Not | Op::ExistsPath(_)) => true,
+            Some(Op::AndTail | Op::OrTail) => true,
+            // A skip target: the preceding check pushes a bool, and the op
+            // here is the rhs tail position — already covered above.
+            Some(Op::Const(i)) => matches!(self.consts[*i as usize], Value::Bool(_)),
+            _ => false,
+        }
+    }
+
+    /// The fusible-atom view of an expression, if it has one. Constant
+    /// subtrees that fold to a *value* become pooled constants; constant
+    /// subtrees that fold to an error are left to normal emission so the
+    /// in-place `Fail` keeps its position.
+    fn atom_of(&mut self, expr: &Expr, dummy: &RuleContext<'_>) -> Option<Atom> {
+        if is_const(expr) {
+            return match eval::eval(expr, dummy) {
+                Ok(v) => Some(Atom::Const(self.push_const(v))),
+                Err(_) => None,
+            };
+        }
+        match expr {
+            Expr::Path { root: PathRoot::Document, path } => Some(Atom::Path(self.push_path(path))),
+            Expr::Path { root: PathRoot::Source, path } if path.segments().is_empty() => {
+                Some(Atom::Source)
+            }
+            Expr::Path { root: PathRoot::Target, path } if path.segments().is_empty() => {
+                Some(Atom::Target)
+            }
+            Expr::Call { builtin: Builtin::Len, arg } => match &**arg {
+                Expr::Path { root: PathRoot::Document, path } => {
+                    Some(Atom::LenPath(self.push_path(path)))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
     fn emit_path(&mut self, root: PathRoot, path: &FieldPath) {
@@ -604,7 +885,7 @@ impl Compiler {
         let start = u32::try_from(self.segs.len()).expect("segment pool too large");
         for seg in path.segments() {
             self.segs.push(match seg {
-                PathSeg::Field(name) => CSeg::Field(self.interner.intern(name)),
+                PathSeg::Field(name) => CSeg::Field(*name),
                 PathSeg::Index(i) => CSeg::Index(*i),
             });
         }
@@ -827,9 +1108,45 @@ mod tests {
 
     #[test]
     fn max_stack_is_sufficient_and_tight() {
+        // Both comparisons fuse to Cmp2 atoms, so the whole guard runs in
+        // one stack slot.
         let expr = Expr::parse("document.amount >= 55000 and source == \"TP1\"").unwrap();
+        let compiled = CompiledExpr::compile(&expr);
+        assert_eq!(compiled.max_stack(), 1);
+        // Arithmetic does not fuse: the unfused operands stack up.
+        let expr = Expr::parse("document.amount + 1 >= 55000").unwrap();
         let compiled = CompiledExpr::compile(&expr);
         assert!(compiled.max_stack() >= 2);
         assert!(compiled.max_stack() <= 3);
+    }
+
+    #[test]
+    fn fused_comparisons_shrink_the_program() {
+        // The paper's guard shape: a fused chain of three comparisons —
+        // two in-place checks that jump past the chain when they decide,
+        // plus the final comparison. No stack traffic until the result.
+        let rule = "target == \"SAP\" and source == \"TP1\" and document.amount >= 55000";
+        let compiled = CompiledExpr::compile(&Expr::parse(rule).unwrap());
+        assert_eq!(compiled.op_count(), 3, "two Cmp2AndCheck + one Cmp2: {compiled:?}");
+        assert_eq!(compiled.max_stack(), 1, "the chain runs in one stack slot");
+        // Fusion changes nothing observable, including the error cases.
+        for src in [
+            "len(document.lines) >= 1 and target == \"SAP\"",
+            "date(\"2001-01-01\") <= document.header.order_date",
+            "document.bogus == 1",
+            "len(document.bogus) == 1",
+            "len(document.amount) == 1",
+            "source == 5",
+            "document.amount >= 55000 or source == \"TP1\"",
+            // Chains: short-circuit exits, late errors, mixed nesting.
+            "source == \"X\" or target == \"SAP\" or document.amount >= 99999",
+            "source == \"X\" or target == \"Y\" or document.amount >= 99999",
+            "target == \"SAP\" and len(document.bogus) >= 1 and source == \"TP1\"",
+            "target == \"X\" and len(document.bogus) >= 1 and source == \"TP1\"",
+            "source == \"TP1\" and (target == \"SAP\" or document.amount >= 99999)",
+            "exists(document.amount) and source == \"TP1\" and target == \"SAP\"",
+        ] {
+            assert_agree(src, "TP1", "SAP", 60_000);
+        }
     }
 }

@@ -183,7 +183,9 @@ impl Parser {
         loop {
             if self.eat(&TokenKind::Dot) {
                 match self.bump() {
-                    Some(TokenKind::Ident(field)) => segments.push(PathSeg::Field(field)),
+                    Some(TokenKind::Ident(field)) => {
+                        segments.push(PathSeg::Field(b2b_document::intern(&field)))
+                    }
                     _ => return Err(self.err("expected field name after `.`")),
                 }
             } else if self.eat(&TokenKind::LBracket) {

@@ -31,7 +31,7 @@ use crate::error::{Result, TransformError};
 use crate::mapping::MappingRule;
 use crate::program::{TransformId, TransformProgram};
 use b2b_document::{
-    DocKind, Document, DocumentError, FormatId, Interner, Money, PathSeg, Symbol, Value,
+    DocKind, Document, DocumentError, FieldVec, FormatId, Money, PathSeg, Symbol, Value,
 };
 
 /// One step of a compiled path: like [`PathSeg`], but with the field name
@@ -95,7 +95,6 @@ pub struct CompiledProgram {
     kind: DocKind,
     source_format: FormatId,
     target_format: FormatId,
-    interner: Interner,
     segs: Vec<CSeg>,
     paths: Vec<PathInfo>,
     strings: Vec<Box<str>>,
@@ -114,7 +113,6 @@ impl CompiledProgram {
             kind: program.kind(),
             source_format: program.source_format().clone(),
             target_format: program.target_format().clone(),
-            interner: Interner::new(),
             segs: Vec::new(),
             paths: Vec::new(),
             strings: Vec::new(),
@@ -151,9 +149,16 @@ impl CompiledProgram {
         self.ops.len()
     }
 
-    /// Distinct field names interned by this program.
+    /// Distinct field names referenced by this program's paths.
     pub fn symbol_count(&self) -> usize {
-        self.interner.len()
+        self.segs
+            .iter()
+            .filter_map(|s| match s {
+                CSeg::Field(sym) => Some(*sym),
+                CSeg::Index(_) => None,
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
     }
 
     // ------------------------------------------------------------------
@@ -312,7 +317,7 @@ impl CompiledProgram {
         let mut syms = Vec::new();
         for seg in path.segments() {
             match seg {
-                PathSeg::Field(name) => syms.push(self.interner.intern(name)),
+                PathSeg::Field(name) => syms.push(*name),
                 PathSeg::Index(_) => break,
             }
         }
@@ -346,7 +351,7 @@ impl CompiledProgram {
         let start = u32::try_from(self.segs.len()).expect("segment pool overflow");
         for seg in path.segments() {
             let cseg = match seg {
-                PathSeg::Field(name) => CSeg::Field(self.interner.intern(name)),
+                PathSeg::Field(name) => CSeg::Field(*name),
                 PathSeg::Index(i) => CSeg::Index(*i),
             };
             self.segs.push(cseg);
@@ -387,7 +392,9 @@ impl CompiledProgram {
                 reason: format!("expected kind {}, got {}", self.kind, doc.kind()),
             });
         }
-        let mut target = Value::record();
+        // Each top-level op sets at most one root field, so the op count
+        // bounds the root record's arity.
+        let mut target = Value::Record(FieldVec::with_capacity(self.ops.len()));
         self.run_ops(&self.ops, doc.body(), &mut target, ctx)?;
         Ok(doc.reformatted(self.target_format.clone(), target))
     }
@@ -445,7 +452,10 @@ impl CompiledProgram {
                         self.as_list(self.lookup_required(from, source, rule)?, from, rule)?;
                     let mut out = Vec::with_capacity(items.len());
                     for item in items {
-                        let mut element = Value::record();
+                        // Each body op sets at most one field; sizing the
+                        // element up front makes construction one
+                        // allocation with no growth reallocs.
+                        let mut element = Value::Record(FieldVec::with_capacity(body_len as usize));
                         self.run_ops(body, item, &mut element, ctx)?;
                         out.push(element);
                     }
@@ -489,7 +499,7 @@ impl CompiledProgram {
                 Op::Append { to, body_len, rule } => {
                     let body = &ops[i..i + body_len as usize];
                     i += body_len as usize;
-                    let mut element = Value::record();
+                    let mut element = Value::Record(FieldVec::with_capacity(body_len as usize));
                     self.run_ops(body, source, &mut element, ctx)?;
                     self.append(to, target, element, rule)?;
                 }
@@ -566,9 +576,7 @@ impl CompiledProgram {
         let mut cur = root;
         for seg in self.path_segs(p) {
             cur = match (seg, cur) {
-                (CSeg::Field(sym), Value::Record(fields)) => {
-                    fields.get(self.interner.resolve(*sym))?
-                }
+                (CSeg::Field(sym), Value::Record(fields)) => fields.get_sym(*sym)?,
                 (CSeg::Index(i), Value::List(items)) => items.get(*i)?,
                 _ => return None,
             };
@@ -594,9 +602,8 @@ impl CompiledProgram {
         }
         match last {
             CSeg::Field(sym) => {
-                let name = self.interner.resolve(*sym);
                 let rec = self.as_record_mut(cur, p)?;
-                rec.insert(name.to_string(), value);
+                rec.insert(*sym, value);
                 Ok(())
             }
             CSeg::Index(i) => match cur {
@@ -624,12 +631,11 @@ impl CompiledProgram {
     ) -> std::result::Result<&'v mut Value, DocumentError> {
         match seg {
             CSeg::Field(sym) => {
-                let name = self.interner.resolve(*sym);
                 let rec = self.as_record_mut(cur, p)?;
-                if known || rec.contains_key(name) {
-                    Ok(rec.get_mut(name).expect("presence analysis guarantees this key"))
+                if known {
+                    Ok(rec.get_sym_mut(*sym).expect("presence analysis guarantees this key"))
                 } else {
-                    Ok(rec.entry(name.to_string()).or_insert_with(Value::record))
+                    Ok(rec.entry_or_insert_with(*sym, Value::record))
                 }
             }
             CSeg::Index(i) => match cur {
@@ -645,7 +651,7 @@ impl CompiledProgram {
         &self,
         v: &'v mut Value,
         p: PathId,
-    ) -> std::result::Result<&'v mut std::collections::BTreeMap<String, Value>, DocumentError> {
+    ) -> std::result::Result<&'v mut b2b_document::FieldVec, DocumentError> {
         match v {
             Value::Record(fields) => Ok(fields),
             other => Err(type_mismatch("record", other, self.display(p).to_string())),
@@ -669,13 +675,12 @@ impl CompiledProgram {
         }
         let slot = match last {
             CSeg::Field(sym) => {
-                let name = self.interner.resolve(*sym);
                 let rec =
                     self.as_record_mut(cur, to).map_err(|e| self.rule_err(rule, e.to_string()))?;
-                if segs.len() as u32 <= known || rec.contains_key(name) {
-                    rec.get_mut(name).expect("presence analysis guarantees this key")
+                if segs.len() as u32 <= known {
+                    rec.get_sym_mut(*sym).expect("presence analysis guarantees this key")
                 } else {
-                    rec.entry(name.to_string()).or_insert_with(|| Value::List(Vec::new()))
+                    rec.entry_or_insert_with(*sym, || Value::List(Vec::new()))
                 }
             }
             CSeg::Index(i) => match cur {

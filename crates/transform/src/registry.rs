@@ -71,13 +71,26 @@ impl Ord for dyn LookupKey + '_ {
 #[derive(Debug, Default)]
 pub struct TransformRegistry {
     programs: BTreeMap<Key, TransformProgram>,
-    /// Lazily compiled programs. Interior mutability keeps compilation an
-    /// implementation detail of `&self` dispatch; a `RwLock` (not a
-    /// `RefCell`) because the sharded execute stage shares the registry
-    /// across worker threads. Compilation is deterministic, so which
-    /// thread compiles first never changes the result.
-    compiled: RwLock<BTreeMap<Key, Arc<CompiledProgram>>>,
+    /// Lazily compiled programs, kept as a flat slice sorted by
+    /// (kind, source, target) — the cheap `DocKind` discriminant decides
+    /// most probes before any format string is compared, and dispatch is
+    /// one binary search with no per-comparison indirection. Interior
+    /// mutability keeps compilation an implementation detail of `&self`
+    /// dispatch; a `RwLock` (not a `RefCell`) because the sharded execute
+    /// stage shares the registry across worker threads. Compilation is
+    /// deterministic, so which thread compiles first never changes the
+    /// result.
+    compiled: RwLock<Vec<(Key, Arc<CompiledProgram>)>>,
     interpret: bool,
+}
+
+/// Dispatch order of the compiled slice: kind first (one byte decides),
+/// then the two format ids by content.
+fn dispatch_cmp(key: &Key, source: &FormatId, target: &FormatId, kind: DocKind) -> Ordering {
+    key.2
+        .cmp(&kind)
+        .then_with(|| key.0.as_str().cmp(source.as_str()))
+        .then_with(|| key.1.as_str().cmp(target.as_str()))
 }
 
 impl Clone for TransformRegistry {
@@ -118,7 +131,11 @@ impl TransformRegistry {
     pub fn register(&mut self, program: TransformProgram) {
         let key =
             (program.source_format().clone(), program.target_format().clone(), program.kind());
-        self.compiled_cache_mut().remove(&key);
+        let mut cache = self.compiled_cache_mut();
+        if let Ok(i) = cache.binary_search_by(|(k, _)| dispatch_cmp(k, &key.0, &key.1, key.2)) {
+            cache.remove(i);
+        }
+        drop(cache);
         self.programs.insert(key, program);
     }
 
@@ -156,14 +173,23 @@ impl TransformRegistry {
         target: &FormatId,
         kind: DocKind,
     ) -> Result<Arc<CompiledProgram>> {
-        if let Some(hit) = self.compiled_cache().get(&(source, target, kind) as &dyn LookupKey) {
-            return Ok(hit.clone());
+        {
+            let cache = self.compiled_cache();
+            if let Ok(i) = cache.binary_search_by(|(k, _)| dispatch_cmp(k, source, target, kind)) {
+                return Ok(cache[i].1.clone());
+            }
         }
         let lowered = Arc::new(CompiledProgram::compile(self.program(source, target, kind)?));
         let mut cache = self.compiled_cache_mut();
         // Another thread may have compiled meanwhile; keep the first entry
         // (both are identical — compilation is deterministic).
-        Ok(cache.entry((source.clone(), target.clone(), kind)).or_insert(lowered).clone())
+        match cache.binary_search_by(|(k, _)| dispatch_cmp(k, source, target, kind)) {
+            Ok(i) => Ok(cache[i].1.clone()),
+            Err(i) => {
+                cache.insert(i, ((source.clone(), target.clone(), kind), lowered.clone()));
+                Ok(lowered)
+            }
+        }
     }
 
     /// Transforms a document into `target` format, dispatching on the
@@ -175,10 +201,20 @@ impl TransformRegistry {
         ctx: &TransformContext,
     ) -> Result<Document> {
         if self.interpret {
-            self.program(doc.format(), target, doc.kind())?.apply(doc, ctx)
-        } else {
-            self.compiled(doc.format(), target, doc.kind())?.apply(doc, ctx)
+            return self.program(doc.format(), target, doc.kind())?.apply(doc, ctx);
         }
+        // Steady-state dispatch: run the program while holding the read
+        // guard — no `Arc` refcount traffic, no key clones. Writers only
+        // appear on first-use compilation and re-registration.
+        {
+            let cache = self.compiled_cache();
+            if let Ok(i) =
+                cache.binary_search_by(|(k, _)| dispatch_cmp(k, doc.format(), target, doc.kind()))
+            {
+                return cache[i].1.apply(doc, ctx);
+            }
+        }
+        self.compiled(doc.format(), target, doc.kind())?.apply(doc, ctx)
     }
 
     /// Number of registered programs.
@@ -201,15 +237,13 @@ impl TransformRegistry {
         self.programs.values().map(TransformProgram::rule_count).sum()
     }
 
-    fn compiled_cache(
-        &self,
-    ) -> std::sync::RwLockReadGuard<'_, BTreeMap<Key, Arc<CompiledProgram>>> {
+    fn compiled_cache(&self) -> std::sync::RwLockReadGuard<'_, Vec<(Key, Arc<CompiledProgram>)>> {
         self.compiled.read().expect("transform compile cache poisoned")
     }
 
     fn compiled_cache_mut(
         &self,
-    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<Key, Arc<CompiledProgram>>> {
+    ) -> std::sync::RwLockWriteGuard<'_, Vec<(Key, Arc<CompiledProgram>)>> {
         self.compiled.write().expect("transform compile cache poisoned")
     }
 }

@@ -416,6 +416,37 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Serde wire-shape compatibility. The symbol-keyed record core must keep
+// the exact JSON representation of the old string-keyed records: maps in
+// lexicographic key order, externally tagged variants, unit variants as
+// bare strings. Pinned two ways: a round-trip property over random
+// documents, and a checked-in fixture serialized before the flattening.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn document_json_roundtrips_byte_identically(po in normalized_po()) {
+        let json = serde_json::to_string(po.body()).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, po.body());
+        let again = serde_json::to_string(&back).unwrap();
+        prop_assert_eq!(again, json, "re-serialization changed bytes");
+    }
+}
+
+#[test]
+fn pre_flattening_fixture_is_byte_identical() {
+    // Serialized by the BTreeMap-keyed record core before the switch to
+    // symbol-keyed field vectors; the new core must parse it and emit the
+    // same bytes.
+    let fixture = include_str!("fixtures/pre_flattening_value.json");
+    let value: Value = serde_json::from_str(fixture).unwrap();
+    let reencoded = serde_json::to_string(&value).unwrap();
+    assert_eq!(reencoded, fixture, "fixture bytes changed under the new record core");
+}
+
+// ---------------------------------------------------------------------
 // Pipeline invariants: random POs survive every format round trip.
 
 proptest! {

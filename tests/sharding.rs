@@ -122,6 +122,24 @@ fn flaky_broadcast_workload_is_identical_across_shard_counts() {
 }
 
 #[test]
+fn zero_shards_means_auto_and_is_identical_to_sequential() {
+    // `set_shards(0)` (and `B2B_SHARDS=0`) resolves to the machine's
+    // available parallelism capped at 4; on a 1-core host this is a wash
+    // with the sequential default. Whatever it resolves to, the run must
+    // stay byte-identical to shards = 1.
+    let mut probe = TwoEnterpriseScenario::new(FaultConfig::reliable(), 1).unwrap();
+    probe.buyer.set_shards(0);
+    let auto = probe.buyer.shards();
+    assert!((1..=4).contains(&auto), "auto shard count out of range: {auto}");
+
+    let baseline = run(FaultConfig::flaky(0.3), 13, 4, 1, false);
+    let auto_run = run(FaultConfig::flaky(0.3), 13, 4, 0, false);
+    assert_eq!(baseline.0, auto_run.0, "elapsed diverged under auto shards");
+    assert_eq!(baseline.1, auto_run.1, "buyer diverged under auto shards");
+    assert_eq!(baseline.2, auto_run.2, "seller diverged under auto shards");
+}
+
+#[test]
 fn decode_memo_hits_track_duplication() {
     // Every duplicated delivery the reliable layer suppresses is counted
     // against the decode memo: the original decode populated the memo, so
