@@ -15,11 +15,18 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --offline --release --workspace
 
-# The experiments binary's identity assertions (E15/E16/E17) without the
+# The experiments binary's identity assertions (E15-E18) without the
 # timing loops: compiled-vs-interpreted dispatch agreement, wire byte
-# stability, and broadcast observables across dispatch mode x shard count.
+# stability, broadcast observables across dispatch mode x shard count,
+# and the chaos coverage invariant with breaker states in the
+# determinism fingerprint.
 echo "== experiments --quick (identity assertions) =="
 cargo run --offline --release -q -p b2b-bench --bin experiments -- --quick
+
+# The same chaos identity on a second, fixed seed, so every commit
+# exercises the fault grid determinism beyond the default seed.
+echo "== experiments --quick (fixed chaos seed) =="
+B2B_CHAOS_SEED=20010917 cargo run --offline --release -q -p b2b-bench --bin experiments -- --quick
 
 # The suite runs twice: once sequential, once with the execute stage
 # sharded across 4 workers, so the parallel path is exercised on every

@@ -23,9 +23,10 @@ use b2b_protocol::{MessageExchangePattern, PublicProcessDef};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--quick") {
-        // CI mode: every identity assertion of the perf experiments
-        // (E15/E16/E17) without the timing loops — seconds, not minutes.
-        println!("==== QUICK — identity assertions for E15/E16/E17, no timing ====");
+        // CI mode: every identity assertion of the perf and chaos
+        // experiments (E15-E18) without the timing loops — seconds, not
+        // minutes.
+        println!("==== QUICK — identity assertions for E15/E16/E17/E18, no timing ====");
         quick_identity();
         println!("quick identity pass: all assertions held");
         return;
@@ -48,6 +49,7 @@ fn main() {
         ("e15", "Binding hot path: compiled transforms and codec caching", e15),
         ("e16", "Decision layer: compiled rules, de-cloned execution, stage profile", e16),
         ("e17", "Document core: symbol-keyed records, allocation audit", e17),
+        ("e18", "Partner failure domains: chaos grid, breakers, graceful degradation", e18),
     ];
     for (id, title, run) in experiments {
         if want(id) {
@@ -1366,7 +1368,157 @@ fn e17() {
     }
 }
 
-/// `--quick`: the identity assertions of E15/E16/E17 with no timing
+fn e18() {
+    use b2b_bench::chaos::{chaos_seed, run_chaos, ChaosConfig, ChaosFault};
+    use b2b_core::PartnerPolicy;
+
+    let seed = chaos_seed();
+    println!("chaos seed: {seed} (override with B2B_CHAOS_SEED)");
+
+    // The armed policy of the grid: a guarded breaker plus a tight
+    // inbound cap so the flood cell actually sheds.
+    let armed = PartnerPolicy { inbound_queue_cap: 4, ..PartnerPolicy::guarded() };
+
+    // Part 1: the fault grid. Five fault shapes x breakers on/off; every
+    // cell must keep the coverage invariant — each submitted order ends
+    // completed, dead-lettered, or shed, and the reliable ledger drains.
+    println!();
+    println!("fault grid: every order completes, dead-letters, or is shed — never silently lost");
+    println!("fault      brk | compl fail shed dead | trips poison shed-in | sim-ms");
+    let faults: [(&str, ChaosFault); 5] = [
+        ("none", ChaosFault::None),
+        ("black-hole", ChaosFault::BlackHole),
+        ("poison", ChaosFault::Poison),
+        ("flood", ChaosFault::Flood { burst: 8 }),
+        ("flap", ChaosFault::Flap { up_ms: 200, down_ms: 200 }),
+    ];
+    for (fname, fault) in faults {
+        for (pname, policy) in [("on", armed.clone()), ("off", PartnerPolicy::permissive())] {
+            let r = run_chaos(&ChaosConfig::cell(fault, policy, seed)).expect("chaos cell");
+            if let Err(e) = r.check_invariant() {
+                panic!("[{fname}/breakers {pname}] {e}");
+            }
+            if pname == "on" {
+                match fault {
+                    ChaosFault::BlackHole => {
+                        assert!(r.breaker_trips >= 1, "black hole must trip the breaker");
+                        assert!(r.shed >= 1, "post-trip sends must be shed");
+                    }
+                    ChaosFault::Poison => {
+                        assert!(r.poison_trips >= 1, "repeated poison must quarantine");
+                    }
+                    ChaosFault::Flood { .. } => {
+                        assert!(r.shed_inbound >= 1, "flood must hit the inbound cap");
+                    }
+                    _ => {}
+                }
+            }
+            println!(
+                "{fname:<10} {pname:>3} | {:>5} {:>4} {:>4} {:>4} | {:>5} {:>6} {:>7} | {:>6}",
+                r.completed,
+                r.failed,
+                r.shed,
+                r.dead_lettered,
+                r.breaker_trips,
+                r.poison_trips,
+                r.shed_inbound,
+                r.elapsed_ms,
+            );
+        }
+    }
+
+    // Part 2: determinism. For every fault shape, the run is byte-
+    // identical across shard counts and dispatch modes — breaker states,
+    // shed counters, and session outcomes are all in the fingerprint.
+    println!();
+    for (fname, fault) in faults {
+        let base = ChaosConfig::cell(fault, armed.clone(), seed);
+        let one = run_chaos(&base).expect("shards=1");
+        let four = run_chaos(&ChaosConfig { shards: 4, ..base.clone() }).expect("shards=4");
+        assert_eq!(one.fingerprint, four.fingerprint, "[{fname}] shard count leaked");
+        let interp =
+            run_chaos(&ChaosConfig { shards: 4, interpreted: true, ..base }).expect("interpreted");
+        assert_eq!(one.fingerprint, interp.fingerprint, "[{fname}] dispatch mode leaked");
+    }
+    println!("determinism: observables byte-identical at shards 1 vs 4, compiled vs interpreted");
+
+    // Part 3: graceful degradation. One partner black-holes under a
+    // finite per-pump send budget (shared-wire contention): without
+    // breakers its retry storm starves the healthy partners' sends; with
+    // breakers the victim is cut off and the healthy partners finish on
+    // time.
+    let headline = |fault: ChaosFault, policy: PartnerPolicy| ChaosConfig {
+        partners: 4,
+        waves: 20,
+        wave_gap_ms: 50,
+        fault,
+        policy,
+        seed,
+        shards: 1,
+        interpreted: false,
+        drain_ms: 120_000,
+    };
+    let breakers_on =
+        PartnerPolicy { pump_send_budget: 1, open_ms: 120_000, ..PartnerPolicy::guarded() };
+    let breakers_off = PartnerPolicy { pump_send_budget: 1, ..PartnerPolicy::permissive() };
+    let baseline = run_chaos(&headline(ChaosFault::None, breakers_on.clone())).expect("baseline");
+    let protected = run_chaos(&headline(ChaosFault::BlackHole, breakers_on)).expect("breakers on");
+    let exposed = run_chaos(&headline(ChaosFault::BlackHole, breakers_off)).expect("breakers off");
+    for r in [&baseline, &protected, &exposed] {
+        if let Err(e) = r.check_invariant() {
+            panic!("headline run broke the invariant: {e}");
+        }
+    }
+    let base_ms = baseline.healthy_done_ms.expect("baseline settles") as f64;
+    let prot_ms = protected.healthy_done_ms.expect("protected settles") as f64;
+    let expo_ms = exposed.healthy_done_ms.expect("exposed settles") as f64;
+    println!();
+    println!("graceful degradation: 3 healthy partners + 1 black-holed, send budget 1/pump");
+    println!("                 healthy-done sim-ms  healthy completed  vs baseline");
+    println!("no fault         {:>19} {:>18} {:>11}", base_ms, baseline.healthy_completed, "1.00x");
+    println!(
+        "breakers on      {:>19} {:>18} {:>10.2}x",
+        prot_ms,
+        protected.healthy_completed,
+        prot_ms / base_ms
+    );
+    println!(
+        "breakers off     {:>19} {:>18} {:>10.2}x",
+        expo_ms,
+        exposed.healthy_completed,
+        expo_ms / base_ms
+    );
+    assert_eq!(
+        protected.healthy_completed, baseline.healthy_completed,
+        "breakers-on run must complete every healthy session"
+    );
+    assert!(
+        prot_ms <= base_ms * 1.10,
+        "breakers-on healthy completion must stay within 10% of no-fault \
+         ({prot_ms} vs {base_ms})"
+    );
+    assert!(
+        expo_ms > base_ms * 1.10,
+        "breakers-off must measurably degrade healthy completion ({expo_ms} vs {base_ms})"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"chaos\",\n  \"seed\": {seed},\n  \
+         \"baseline_healthy_done_ms\": {base_ms},\n  \
+         \"breakers_on_healthy_done_ms\": {prot_ms},\n  \
+         \"breakers_off_healthy_done_ms\": {expo_ms},\n  \
+         \"breakers_on_trips\": {},\n  \"breakers_on_shed\": {},\n  \
+         \"healthy_sessions\": {}\n}}\n",
+        protected.breaker_trips, protected.shed, baseline.healthy_sessions,
+    );
+    if let Err(e) = std::fs::write("BENCH_chaos.json", &json) {
+        println!("(BENCH_chaos.json not written: {e})");
+    } else {
+        println!("wrote BENCH_chaos.json");
+    }
+}
+
+/// `--quick`: the identity assertions of E15/E16/E17/E18 with no timing
 /// loops, cheap enough for every CI run.
 fn quick_identity() {
     use b2b_document::formats::sample_edi_po;
@@ -1455,6 +1607,27 @@ fn quick_identity() {
         assert_broadcast_identical(label, &base, &other);
     }
     println!("  E17: broadcast observables identical across dispatch x shard count");
+
+    // E18: one chaos cell (flapping victim link, guarded breakers) holds
+    // the coverage invariant and is byte-identical across shard count and
+    // dispatch mode — identity only, no degradation timing.
+    {
+        use b2b_bench::chaos::{chaos_seed, run_chaos, ChaosConfig, ChaosFault};
+        use b2b_core::PartnerPolicy;
+        let cell = ChaosConfig::cell(
+            ChaosFault::Flap { up_ms: 200, down_ms: 200 },
+            PartnerPolicy::guarded(),
+            chaos_seed(),
+        );
+        let one = run_chaos(&cell).expect("chaos shards=1");
+        one.check_invariant().expect("chaos coverage invariant");
+        let four = run_chaos(&ChaosConfig { shards: 4, ..cell.clone() }).expect("chaos shards=4");
+        assert_eq!(one.fingerprint, four.fingerprint, "E18: shard count leaked");
+        let interp = run_chaos(&ChaosConfig { shards: 4, interpreted: true, ..cell })
+            .expect("chaos interpreted");
+        assert_eq!(one.fingerprint, interp.fingerprint, "E18: dispatch mode leaked");
+        println!("  E18: chaos cell invariant holds; identical across dispatch x shard count");
+    }
 }
 
 fn broadcast_rfq_live() {

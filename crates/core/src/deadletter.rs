@@ -54,6 +54,10 @@ pub struct DeadLetter {
     pub quarantined_at: SimTime,
     /// Times this letter has been replayed.
     pub replays: u32,
+    /// For letters born from a failed *replay*: the sequence number of
+    /// the original letter, so an operator can follow the chain back to
+    /// the first quarantine instead of losing the history.
+    pub origin_seq: Option<u64>,
 }
 
 /// FIFO queue of quarantined messages.
@@ -68,7 +72,38 @@ impl DeadLetterQueue {
     pub fn push(&mut self, reason: DeadLetterReason, envelope: Envelope, now: SimTime) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.letters.push(DeadLetter { seq, reason, envelope, quarantined_at: now, replays: 0 });
+        self.letters.push(DeadLetter {
+            seq,
+            reason,
+            envelope,
+            quarantined_at: now,
+            replays: 0,
+            origin_seq: None,
+        });
+        seq
+    }
+
+    /// Quarantines the failed outcome of a replay: a fresh letter that
+    /// keeps its provenance — a link to the original letter's sequence
+    /// number and the accumulated replay count.
+    pub fn push_linked(
+        &mut self,
+        reason: DeadLetterReason,
+        envelope: Envelope,
+        now: SimTime,
+        origin_seq: u64,
+        replays: u32,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.letters.push(DeadLetter {
+            seq,
+            reason,
+            envelope,
+            quarantined_at: now,
+            replays,
+            origin_seq: Some(origin_seq),
+        });
         seq
     }
 
@@ -160,6 +195,27 @@ mod tests {
         let c =
             q.push(DeadLetterReason::Unroutable("still none".into()), envelope(), SimTime::ZERO);
         assert_ne!(c, a, "sequence numbers are never reused");
+    }
+
+    #[test]
+    fn linked_push_preserves_provenance() {
+        let mut q = DeadLetterQueue::default();
+        let origin =
+            q.push(DeadLetterReason::DeliveryFailure { attempts: 6 }, envelope(), SimTime::ZERO);
+        assert_eq!(q.get(origin).unwrap().origin_seq, None, "first quarantine has no origin");
+        // Operator replays; the replay fails again → fresh letter, linked.
+        let letter = q.take(origin).unwrap();
+        let relapse = q.push_linked(
+            DeadLetterReason::DeliveryFailure { attempts: 6 },
+            letter.envelope,
+            SimTime::ZERO + 500,
+            origin,
+            letter.replays + 1,
+        );
+        let relapsed = q.get(relapse).unwrap();
+        assert_eq!(relapsed.origin_seq, Some(origin));
+        assert_eq!(relapsed.replays, 1);
+        assert_ne!(relapse, origin, "the relapse is a new letter, history intact");
     }
 
     #[test]

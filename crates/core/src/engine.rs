@@ -19,7 +19,8 @@ use crate::binding::{
 use crate::compile::{compile_public, public_type_id};
 use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
 use crate::error::{IntegrationError, Result};
-use crate::metrics::StageProfile;
+use crate::health::{BreakerState, PartnerHealth, PartnerPolicy};
+use crate::metrics::{HealthStats, StageProfile};
 use crate::partner::{PartnerDirectory, TradingPartner};
 use crate::private_process::{
     approve_activity, audit_activity, initiator_private_process, make_quote_activity,
@@ -30,12 +31,12 @@ use crate::private_process::{
 use crate::runtime::edge::Edge;
 use crate::session::{Session, SessionTable};
 use b2b_backend::ApplicationProcess;
-use b2b_document::{CorrelationId, Document};
-use b2b_network::{EndpointId, MessageId, ReliableConfig, ReliableSnapshot, SimNetwork};
+use b2b_document::{CorrelationId, Document, FormatId};
+use b2b_network::{Bytes, EndpointId, MessageId, ReliableConfig, ReliableSnapshot, SimNetwork};
 use b2b_protocol::{PublicAction, PublicProcessDef, TradingPartnerAgreement};
 use b2b_rules::RuleRegistry;
 use b2b_wfms::{Engine as WfEngine, EngineId, Variable, WorkflowType, WorkflowTypeId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, VecDeque};
 
 pub use crate::session::SessionState;
 
@@ -75,6 +76,22 @@ pub struct IntegrationStats {
     pub notifications_received: u64,
     /// Dead letters replayed through the engine.
     pub replays: u64,
+    /// Outbound payloads shed (breaker open or queue overflow) instead of
+    /// sent — the third leg of `sent = delivered ∪ dead-lettered ∪ shed`.
+    pub shed: u64,
+}
+
+/// One outbound payload waiting in the bounded per-partner send queue
+/// (only used when the policy's `pump_send_budget` is finite; with an
+/// unbounded budget, sends bypass the queue entirely).
+#[derive(Debug)]
+pub(crate) struct PendingSend {
+    pub(crate) session: usize,
+    pub(crate) partner: String,
+    pub(crate) endpoint: EndpointId,
+    pub(crate) format: FormatId,
+    pub(crate) bytes: Bytes,
+    pub(crate) deadline_ms: Option<u64>,
 }
 
 /// The integration engine of one enterprise.
@@ -92,7 +109,17 @@ pub struct IntegrationEngine {
     pub(crate) receipt_deadlines: BTreeMap<String, u64>,
     pub(crate) backends: BTreeMap<String, ApplicationProcess>,
     pub(crate) table: SessionTable,
-    pub(crate) outstanding_wire: HashMap<MessageId, usize>,
+    /// Unacknowledged wire payloads → session index. BTreeMap so the
+    /// per-pump ack sweep visits entries in a deterministic order.
+    pub(crate) outstanding_wire: BTreeMap<MessageId, usize>,
+    /// Partner breakers, poison ladders, and shed counters.
+    pub(crate) health: PartnerHealth,
+    /// Outbound sends queued behind the pump send budget, FIFO.
+    pub(crate) pending_sends: VecDeque<PendingSend>,
+    /// Replayed dead-letter messages back in flight → (original letter's
+    /// seq, accumulated replay count); consulted when a replay fails
+    /// again so the relapse letter keeps its provenance.
+    pub(crate) replay_origins: BTreeMap<MessageId, (u64, u32)>,
     pub(crate) stats: IntegrationStats,
     /// Worker count for the execute stage (`B2B_SHARDS`, default 1).
     pub(crate) shards: usize,
@@ -151,7 +178,10 @@ impl IntegrationEngine {
             receipt_deadlines: BTreeMap::new(),
             backends: BTreeMap::new(),
             table: SessionTable::new(),
-            outstanding_wire: HashMap::new(),
+            outstanding_wire: BTreeMap::new(),
+            health: PartnerHealth::default(),
+            pending_sends: VecDeque::new(),
+            replay_origins: BTreeMap::new(),
             stats: IntegrationStats::default(),
             shards,
             profile: StageProfile::default(),
@@ -228,6 +258,51 @@ impl IntegrationEngine {
     /// Registers a trading partner.
     pub fn add_partner(&mut self, partner: TradingPartner) {
         self.partners.add(partner);
+    }
+
+    /// Installs the partner containment policy (circuit breaker, queue
+    /// caps, poison escalation, pump send budget). The default policy is
+    /// fully permissive — identical to the engine before the health
+    /// subsystem existed.
+    pub fn set_partner_policy(&mut self, policy: PartnerPolicy) {
+        self.health.set_policy(policy);
+    }
+
+    /// The active partner containment policy.
+    pub fn partner_policy(&self) -> &PartnerPolicy {
+        self.health.policy()
+    }
+
+    /// Partner-health counters: breaker trips, sheds, poison quarantines.
+    pub fn health_stats(&self) -> &HealthStats {
+        self.health.stats()
+    }
+
+    /// Circuit-breaker state for one partner (`Closed` if never tripped).
+    pub fn breaker_state(&self, partner: &str) -> BreakerState {
+        self.health.breaker_state(partner)
+    }
+
+    /// Every partner with breaker history, with state and trip count —
+    /// sorted, for determinism fingerprints.
+    pub fn breaker_states(&self) -> Vec<(String, BreakerState, u64)> {
+        self.health.breaker_states()
+    }
+
+    /// Whether outbound payloads are still waiting in the bounded send
+    /// queue (only possible under a finite pump send budget). Quiescence
+    /// checks must include this: the network can be idle while the engine
+    /// still owes sends.
+    pub fn has_pending_wire(&self) -> bool {
+        !self.pending_sends.is_empty()
+    }
+
+    /// Wire sends neither acknowledged nor failed yet. Like
+    /// [`has_pending_wire`](Self::has_pending_wire), this can be non-zero
+    /// while the network is idle: retransmission timers live in the
+    /// reliable layer, not the network queue.
+    pub fn wire_outstanding(&self) -> usize {
+        self.edge.outstanding()
     }
 
     /// Registers a back-end application and deploys its binding types —
@@ -461,7 +536,12 @@ impl IntegrationEngine {
                     envelope.payload.clone(),
                     None,
                 )?;
-                self.outstanding_wire.insert(msg, index);
+                self.outstanding_wire.insert(msg.clone(), index);
+                // Remember where this message came from: if the replay
+                // fails again, the relapse letter links back to the
+                // *first* quarantine (chains collapse to the root).
+                self.replay_origins
+                    .insert(msg, (letter.origin_seq.unwrap_or(letter.seq), letter.replays + 1));
                 // The session gets another chance: in flight again.
                 self.table.clear_failure(index, &self.wf);
                 self.stats.wire_sent += 1;

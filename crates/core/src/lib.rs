@@ -40,6 +40,7 @@ pub mod deadletter;
 pub mod engine;
 pub mod error;
 pub mod figures;
+pub mod health;
 pub mod metrics;
 pub mod partner;
 pub mod private_process;
@@ -50,6 +51,7 @@ pub mod session;
 pub use deadletter::{DeadLetter, DeadLetterQueue, DeadLetterReason};
 pub use engine::{IntegrationEngine, IntegrationStats, SessionState};
 pub use error::{IntegrationError, Result};
+pub use health::{BreakerState, PartnerHealth, PartnerPolicy};
 pub use partner::{PartnerDirectory, TradingPartner};
 pub use runtime::{EdgeError, RouteError};
 pub use scenario::TwoEnterpriseScenario;

@@ -120,6 +120,48 @@ impl fmt::Display for CodecCacheStats {
     }
 }
 
+/// Counters for the partner-health subsystem (experiment E18).
+///
+/// Every field is a pure function of the interaction trace and simulated
+/// time, so these counters join the sharding determinism fingerprint
+/// alongside [`StageCounters`]. The shed counters extend the delivery
+/// invariant: every payload handed to the engine is *delivered,
+/// dead-lettered, or shed* — never silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Circuit-breaker trips (`Closed/HalfOpen → Open`), poison
+    /// quarantines included.
+    pub breaker_trips: u64,
+    /// Poison escalations: a repeated identical decode failure forced a
+    /// partner's breaker open.
+    pub poison_trips: u64,
+    /// Outbound payloads shed (breaker open or outbound queue full)
+    /// instead of being handed to the reliable layer.
+    pub shed_outbound: u64,
+    /// Inbound payloads shed by the per-partner per-pump cap.
+    pub shed_inbound: u64,
+    /// Failure notices suppressed because the counterparty's breaker was
+    /// open (notifying a dead partner would only feed the retry storm).
+    pub shed_notices: u64,
+    /// Sessions failed fast by an open breaker (no retry budget spent).
+    pub fast_failed_sessions: u64,
+}
+
+impl fmt::Display for HealthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trips ({} poison), shed {} out / {} in / {} notices, {} fast-failed",
+            self.breaker_trips,
+            self.poison_trips,
+            self.shed_outbound,
+            self.shed_inbound,
+            self.shed_notices,
+            self.fast_failed_sessions
+        )
+    }
+}
+
 /// Deterministic per-stage counters for the pump pipeline (experiment
 /// E16).
 ///

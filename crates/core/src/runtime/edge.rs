@@ -234,9 +234,31 @@ impl Edge {
         self.reliable.send_notify(net, to, FormatId::ROSETTANET, payload)
     }
 
-    /// Drives retransmissions; returns envelopes that failed permanently.
-    pub fn tick(&mut self, net: &mut SimNetwork) -> b2b_network::Result<Vec<Envelope>> {
-        self.reliable.tick(net)
+    /// Drives retransmissions with a cap on how many run this pump;
+    /// failures are always processed, deferred retransmits stay due.
+    /// Returns envelopes that failed permanently.
+    pub fn tick_budgeted(
+        &mut self,
+        net: &mut SimNetwork,
+        budget: usize,
+    ) -> b2b_network::Result<Vec<Envelope>> {
+        self.reliable.tick_budgeted(net, budget)
+    }
+
+    /// Fails every outstanding send toward `to` immediately (circuit
+    /// breaker trip) and returns the abandoned envelopes.
+    pub fn abandon_to(&mut self, to: &EndpointId) -> Vec<Envelope> {
+        self.reliable.abandon_to(to)
+    }
+
+    /// Delivery status of a previously sent message.
+    pub fn delivery_status(&self, id: &MessageId) -> b2b_network::DeliveryStatus {
+        self.reliable.delivery_status(id)
+    }
+
+    /// Sends awaiting acknowledgment or retransmission.
+    pub fn outstanding(&self) -> usize {
+        self.reliable.outstanding_count()
     }
 
     /// Quarantines an envelope; never drops it.

@@ -25,12 +25,12 @@ pub mod route;
 pub use edge::EdgeError;
 pub use route::RouteError;
 
-use crate::deadletter::DeadLetterReason;
 use crate::engine::IntegrationEngine;
 use crate::error::Result;
 use crate::session::SessionState;
-use b2b_network::{Bytes, SimNetwork};
+use b2b_network::{Bytes, DeliveryStatus, EndpointId, Envelope, MessageId, SimNetwork};
 use b2b_protocol::FailureNotice;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 impl IntegrationEngine {
@@ -43,8 +43,12 @@ impl IntegrationEngine {
     /// timers (where the time went).
     pub fn pump(&mut self, net: &mut SimNetwork) -> Result<()> {
         self.profile.counters.pumps += 1;
-        // Stage 0: let protocol timers (receipt deadlines, timeouts) fire.
+        // Stage 0: let protocol timers (receipt deadlines, timeouts) fire,
+        // and promote expired `Open` breakers to `HalfOpen` at a fixed
+        // point in the pipeline (never lazily mid-stage) so breaker state
+        // is a pure function of the trace.
         self.wf.advance_time(net.now())?;
+        self.health.advance(net.now());
 
         // Stage 1: the edge drains the wire and classifies traffic.
         let edge_started = Instant::now();
@@ -54,12 +58,15 @@ impl IntegrationEngine {
         self.profile.counters.edge_payloads += batch.payloads.len() as u64;
         self.profile.counters.edge_duplicates += batch.duplicates.len() as u64;
 
-        // Stage 2: routing — sequential, canonical.
+        // Stage 2: routing — sequential, canonical. A flooding partner is
+        // capped here: beyond `inbound_queue_cap` payloads per pump its
+        // excess is shed (with one overload notice), not queued to OOM.
         let route_started = Instant::now();
         for envelope in batch.notices {
             self.handle_notify(net, envelope)?;
         }
-        for envelope in batch.payloads {
+        let payloads = self.cap_inbound(net, batch.payloads)?;
+        for envelope in payloads {
             self.route_inbound(net, envelope)?;
         }
         // Suppressed duplicates are never routed; they only tell the
@@ -74,28 +81,157 @@ impl IntegrationEngine {
         // fixpoint.
         self.settle_and_route(net)?;
 
-        // Stage 5: retransmission deadlines — messages the reliable layer
-        // has given up on fail their sessions and are dead-lettered.
-        let failed = self.edge.tick(net)?;
+        // Stage 5: wire health. Retransmissions run under the pump send
+        // budget; permanent failures fail their sessions, feed the
+        // breaker, and are dead-lettered; acknowledged sends are swept
+        // (closing breaker streaks and reclaiming their ledger entries);
+        // the bounded send queue flushes with the leftover budget.
+        let budget = self.health.policy().pump_send_budget;
+        let retries_before = self.edge.stats().retries;
+        let failed = self.edge.tick_budgeted(net, budget)?;
+        let retransmitted = (self.edge.stats().retries - retries_before) as usize;
         for envelope in failed {
-            let attempts = self.edge.attempts(&envelope.id);
-            if let Some(index) = self.outstanding_wire.remove(&envelope.id) {
-                self.stats.delivery_failures += 1;
-                self.table.mark_failure(
-                    index,
-                    format!(
-                        "wire delivery of {} failed permanently after {attempts} attempts",
-                        envelope.id
-                    ),
-                    true,
-                );
-            }
-            self.quarantine(DeadLetterReason::DeliveryFailure { attempts }, envelope, net.now());
+            self.fail_wire_delivery(net, envelope)?;
         }
+        self.sweep_acknowledged();
+        self.flush_pending_sends(net, budget.saturating_sub(retransmitted))?;
 
         // Stage 6: failure containment — tell counterparties about
         // sessions that died on our side.
         self.notify_failed_sessions(net)?;
+        Ok(())
+    }
+
+    /// Handles one permanently failed wire envelope: the owning session
+    /// fails, the envelope is quarantined (linked to its origin letter if
+    /// it was a replay), and the failure feeds the partner's breaker —
+    /// tripping it abandons every other outstanding send on that link.
+    fn fail_wire_delivery(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
+        let attempts = self.edge.attempts(&envelope.id);
+        if let Some(index) = self.outstanding_wire.remove(&envelope.id) {
+            self.stats.delivery_failures += 1;
+            self.table.mark_failure(
+                index,
+                format!(
+                    "wire delivery of {} failed permanently after {attempts} attempts",
+                    envelope.id
+                ),
+                true,
+            );
+        }
+        let partner = self.partners.name_of(&envelope.to).ok().map(str::to_string);
+        self.quarantine_delivery_failure(envelope, attempts, net.now());
+        if let Some(partner) = partner {
+            if self.health.record_failure(&partner, net.now()) {
+                self.trip_partner(net, &partner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweeps the outstanding-wire ledger for acknowledged messages:
+    /// each is an observed delivery success for its partner's breaker,
+    /// and its ledger entry is reclaimed (acknowledged entries used to
+    /// accumulate for the life of the engine).
+    fn sweep_acknowledged(&mut self) {
+        let acked: Vec<(MessageId, usize)> = self
+            .outstanding_wire
+            .iter()
+            .filter(|(id, _)| self.edge.delivery_status(id) == DeliveryStatus::Acknowledged)
+            .map(|(id, &index)| (id.clone(), index))
+            .collect();
+        for (id, index) in acked {
+            self.outstanding_wire.remove(&id);
+            self.replay_origins.remove(&id);
+            let partner = self.table.session(index).partner.clone();
+            self.health.record_success(&partner);
+        }
+    }
+
+    /// Applies the per-partner inbound cap to one pump's payload batch:
+    /// the first `inbound_queue_cap` payloads per source endpoint pass,
+    /// the excess is shed and each overloading partner is told once (an
+    /// `*overload:` notice — partner-level, so it kills no session on the
+    /// other side). Unbounded caps return the batch untouched.
+    fn cap_inbound(
+        &mut self,
+        net: &mut SimNetwork,
+        payloads: Vec<Envelope>,
+    ) -> Result<Vec<Envelope>> {
+        let cap = self.health.policy().inbound_queue_cap;
+        if cap == usize::MAX || payloads.is_empty() {
+            return Ok(payloads);
+        }
+        let mut counts: BTreeMap<EndpointId, usize> = BTreeMap::new();
+        let mut kept = Vec::with_capacity(payloads.len());
+        let mut overloaded: Vec<EndpointId> = Vec::new();
+        for envelope in payloads {
+            let seen = counts.entry(envelope.from.clone()).or_insert(0);
+            *seen += 1;
+            if *seen <= cap {
+                kept.push(envelope);
+            } else {
+                if *seen == cap + 1 {
+                    overloaded.push(envelope.from.clone());
+                }
+                self.health.stats_mut().shed_inbound += 1;
+            }
+        }
+        for endpoint in overloaded {
+            let Ok(partner) = self.partners.name_of(&endpoint).map(str::to_string) else {
+                continue; // unknown flooder: shed silently, nothing to notify
+            };
+            if !self.health.allows_send(&partner) {
+                self.health.stats_mut().shed_notices += 1;
+                continue;
+            }
+            let notice = FailureNotice::new(
+                format!("*overload:{partner}"),
+                String::new(),
+                self.name.clone(),
+                format!("inbound cap of {cap} payloads per pump exceeded; excess shed"),
+            );
+            let payload = serde_json::to_string(&notice).map_err(|e| {
+                crate::error::IntegrationError::Config(format!("encoding notice: {e}"))
+            })?;
+            self.edge.send_notice(net, &endpoint, Bytes::from(payload.into_bytes()))?;
+            self.stats.notifications_sent += 1;
+        }
+        Ok(kept)
+    }
+
+    /// Flushes the bounded outbound queue, oldest first, up to `budget`
+    /// sends. Entries whose partner's breaker opened while they waited
+    /// are shed (failing their sessions fast) without consuming budget.
+    /// Under an unbounded budget the queue is always empty and this is a
+    /// no-op.
+    fn flush_pending_sends(&mut self, net: &mut SimNetwork, mut budget: usize) -> Result<()> {
+        while budget > 0 {
+            let Some(pending) = self.pending_sends.pop_front() else {
+                break;
+            };
+            if !self.health.allows_send(&pending.partner) {
+                self.stats.shed += 1;
+                self.health.stats_mut().shed_outbound += 1;
+                self.health.stats_mut().fast_failed_sessions += 1;
+                self.table.mark_failure(
+                    pending.session,
+                    format!("circuit breaker open for `{}`: queued send shed", pending.partner),
+                    false,
+                );
+                continue;
+            }
+            let msg = self.edge.send_payload(
+                net,
+                &pending.endpoint,
+                pending.format,
+                pending.bytes,
+                pending.deadline_ms,
+            )?;
+            self.outstanding_wire.insert(msg, pending.session);
+            self.stats.wire_sent += 1;
+            budget -= 1;
+        }
         Ok(())
     }
 
@@ -162,6 +298,13 @@ impl IntegrationEngine {
             let Ok(partner) = self.partners.by_name(&session.partner) else {
                 continue;
             };
+            // A notice to a partner whose breaker is open would just feed
+            // the retry storm the breaker exists to stop; shed it. The
+            // session stays notified — the notice is best-effort anyway.
+            if !self.health.allows_send(&session.partner) {
+                self.health.stats_mut().shed_notices += 1;
+                continue;
+            }
             let endpoint = partner.endpoint.clone();
             let notice = FailureNotice::new(
                 session.correlation.to_string(),

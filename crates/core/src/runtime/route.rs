@@ -11,7 +11,7 @@
 use crate::binding::{backend_binding_type_id, wire_binding_type_id, BindingRole};
 use crate::channels;
 use crate::deadletter::DeadLetterReason;
-use crate::engine::{IntegrationEngine, SELECT_BACKEND_RULE};
+use crate::engine::{IntegrationEngine, PendingSend, SELECT_BACKEND_RULE};
 use crate::error::{IntegrationError, Result};
 use crate::private_process::{
     initiator_private_id, quote_generation_id, responder_private_id, rfq_submission_id,
@@ -79,6 +79,64 @@ impl IntegrationEngine {
         self.edge.quarantine(reason, envelope, now);
     }
 
+    /// Quarantines a permanently failed wire message. A message that was
+    /// itself a dead-letter replay produces a *linked* letter carrying the
+    /// original letter's sequence number and the accumulated replay
+    /// count, so the failure history survives the round trip through the
+    /// operator.
+    pub(crate) fn quarantine_delivery_failure(
+        &mut self,
+        envelope: Envelope,
+        attempts: u32,
+        now: b2b_network::SimTime,
+    ) {
+        self.stats.dead_lettered += 1;
+        match self.replay_origins.remove(&envelope.id) {
+            Some((origin_seq, replays)) => {
+                self.edge.dead_letters_mut().push_linked(
+                    DeadLetterReason::DeliveryFailure { attempts },
+                    envelope,
+                    now,
+                    origin_seq,
+                    replays,
+                );
+            }
+            None => {
+                self.edge.quarantine(DeadLetterReason::DeliveryFailure { attempts }, envelope, now)
+            }
+        }
+    }
+
+    /// Runs the consequences of a breaker trip for `partner`: every
+    /// outstanding retransmission toward its endpoint is abandoned
+    /// *now* — sessions fail fast and the envelopes are quarantined —
+    /// instead of burning the remaining retry budget on a link already
+    /// declared dead.
+    pub(crate) fn trip_partner(&mut self, net: &mut SimNetwork, partner: &str) -> Result<()> {
+        let Ok(p) = self.partners.by_name(partner) else {
+            return Ok(());
+        };
+        let endpoint = p.endpoint.clone();
+        for envelope in self.edge.abandon_to(&endpoint) {
+            let attempts = self.edge.attempts(&envelope.id);
+            if let Some(index) = self.outstanding_wire.remove(&envelope.id) {
+                self.stats.delivery_failures += 1;
+                self.health.stats_mut().fast_failed_sessions += 1;
+                self.table.mark_failure(
+                    index,
+                    format!(
+                        "circuit breaker tripped for `{partner}`: {} abandoned after \
+                         {attempts} attempts",
+                        envelope.id
+                    ),
+                    true,
+                );
+            }
+            self.quarantine_delivery_failure(envelope, attempts, net.now());
+        }
+        Ok(())
+    }
+
     /// Routes an inbound failure notification: the counterparty's half of
     /// the interaction failed, so ours terminates deterministically.
     pub(crate) fn handle_notify(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
@@ -95,6 +153,12 @@ impl IntegrationEngine {
             }
         };
         self.stats.notifications_received += 1;
+        // Correlations starting with `*` are partner-level signals (e.g.
+        // `*overload:<name>` shed notices), not session-bound failures:
+        // they are counted but never quarantined and kill no session.
+        if notice.correlation.starts_with('*') {
+            return Ok(());
+        }
         // Route by the *authenticated* sender endpoint, not the claimed
         // reporter name.
         let Ok(partner) = self.partners.name_of(&envelope.from).map(str::to_string) else {
@@ -145,11 +209,25 @@ impl IntegrationEngine {
                 // the raw bytes go to the dead-letter queue for inspection
                 // and replay, never silently dropped.
                 self.stats.decode_failures += 1;
+                let from = envelope.from.clone();
+                let checksum = envelope.checksum;
                 self.quarantine(
                     DeadLetterReason::DecodeFailure(e.to_string()),
                     envelope,
                     net.now(),
                 );
+                // Breaker input: a decode failure attributed to the
+                // (authenticated) sending partner; the same checksum
+                // failing repeatedly climbs the poison ladder up to
+                // partner quarantine instead of being re-parsed forever.
+                if let Ok(partner) = self.partners.name_of(&from).map(str::to_string) {
+                    let now = net.now();
+                    let tripped = self.health.record_failure(&partner, now);
+                    let poisoned = self.health.record_poison(&partner, checksum, now);
+                    if tripped || poisoned {
+                        self.trip_partner(net, &partner)?;
+                    }
+                }
                 return Ok(());
             }
         };
@@ -166,6 +244,10 @@ impl IntegrationEngine {
             return Ok(());
         };
         let partner = partner.to_string();
+        // A cleanly decoded payload is evidence the partner works: it
+        // resets the breaker's failure streak (and walks a half-open
+        // breaker toward closed).
+        self.health.record_success(&partner);
         if let Some(index) = self.table.index_of(&correlation, &partner) {
             let public = self.table.session(index).public;
             self.wf.enqueue_to(public, &channels::wire_in(), doc)?;
@@ -285,16 +367,62 @@ impl IntegrationEngine {
             // Public process → wire.
             "wire:out" => {
                 let session = self.table.session(index);
+                let partner_name = session.partner.clone();
                 let agreement = &self.agreements[&session.agreement_id];
                 let format = agreement.format.clone();
-                let partner_endpoint = self.partners.by_name(&session.partner)?.endpoint.clone();
+                let partner_endpoint = self.partners.by_name(&partner_name)?.endpoint.clone();
                 // A protocol-level WaitReceipt bounds this send's lifetime.
                 let deadline = self.receipt_deadlines.get(&session.agreement_id).copied();
+                // An open breaker sheds the send and fails the session
+                // fast: no retry budget is spent on a partner already
+                // declared dead.
+                if !self.health.allows_send(&partner_name) {
+                    self.stats.shed += 1;
+                    self.health.stats_mut().shed_outbound += 1;
+                    self.health.stats_mut().fast_failed_sessions += 1;
+                    self.table.mark_failure(
+                        index,
+                        format!("circuit breaker open for `{partner_name}`: send shed"),
+                        false,
+                    );
+                    return Ok(());
+                }
+                if self.health.policy().pump_send_budget == usize::MAX
+                    && self.pending_sends.is_empty()
+                {
+                    // Unbounded budget: send directly, exactly as before
+                    // the health subsystem existed.
+                    let bytes = self.edge.encode(&doc)?;
+                    let msg =
+                        self.edge.send_payload(net, &partner_endpoint, format, bytes, deadline)?;
+                    self.outstanding_wire.insert(msg, index);
+                    self.stats.wire_sent += 1;
+                    return Ok(());
+                }
+                // Finite budget: the send joins the bounded FIFO queue
+                // (flushed each pump with whatever budget retransmissions
+                // leave over); overflow is shed-with-failure, not OOM.
+                let queued =
+                    self.pending_sends.iter().filter(|p| p.partner == partner_name).count();
+                if queued >= self.health.policy().outbound_queue_cap {
+                    self.stats.shed += 1;
+                    self.health.stats_mut().shed_outbound += 1;
+                    self.table.mark_failure(
+                        index,
+                        format!("outbound queue to `{partner_name}` full: send shed"),
+                        false,
+                    );
+                    return Ok(());
+                }
                 let bytes = self.edge.encode(&doc)?;
-                let msg =
-                    self.edge.send_payload(net, &partner_endpoint, format, bytes, deadline)?;
-                self.outstanding_wire.insert(msg, index);
-                self.stats.wire_sent += 1;
+                self.pending_sends.push_back(PendingSend {
+                    session: index,
+                    partner: partner_name,
+                    endpoint: partner_endpoint,
+                    format,
+                    bytes,
+                    deadline_ms: deadline,
+                });
             }
             // Binding → private process.
             "to-private" => {

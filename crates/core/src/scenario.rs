@@ -150,7 +150,11 @@ impl TwoEnterpriseScenario {
             self.net.advance(10);
             self.buyer.pump(&mut self.net)?;
             self.seller.pump(&mut self.net)?;
-            if self.net.idle() && self.all_sessions_settled() {
+            if self.net.idle()
+                && self.all_sessions_settled()
+                && !self.buyer.has_pending_wire()
+                && !self.seller.has_pending_wire()
+            {
                 return Ok(self.net.now().as_millis() - start);
             }
         }

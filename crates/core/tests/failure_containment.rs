@@ -223,3 +223,102 @@ fn failed_replay_requeues_the_original_letter() {
     let letter = seller.dead_letters().get(seq).expect("same sequence number survives");
     assert_eq!(letter.replays, 1);
 }
+
+/// An *outbound* dead letter (delivery failure) replayed over a link that
+/// is still dead relapses into a fresh letter that links back to the
+/// original quarantine — and a chain of relapses always points at the
+/// root letter, never the middle of the chain.
+#[test]
+fn relapsed_replay_links_back_to_the_original_letter() {
+    let faults = FaultConfig { loss: 1.0, ..FaultConfig::reliable() };
+    let mut s = TwoEnterpriseScenario::new(faults, 11).unwrap();
+    let po = s.po("relapse", 1_000).unwrap();
+    s.submit(po).unwrap();
+    s.run_until_quiescent(120_000).unwrap();
+
+    // The failed notification also dead-letters; provenance is tracked on
+    // the PO (the EDI payload), so select letters by wire format.
+    let po_letters = |s: &TwoEnterpriseScenario| -> Vec<(u64, Option<u64>, u32)> {
+        s.buyer
+            .dead_letters()
+            .iter()
+            .filter(|l| l.envelope.format == b2b_document::FormatId::EDI_X12)
+            .map(|l| (l.seq, l.origin_seq, l.replays))
+            .collect()
+    };
+    let first = po_letters(&s);
+    assert_eq!(first.len(), 1);
+    let (origin_seq, origin_link, origin_replays) = first[0];
+    assert_eq!(origin_link, None, "the first quarantine is its own origin");
+    assert_eq!(origin_replays, 0);
+
+    // The link is still black-holed: the replay exhausts its retries too.
+    s.buyer.replay_dead_letter(&mut s.net, origin_seq).unwrap();
+    s.run_until_quiescent(120_000).unwrap();
+    let second = po_letters(&s);
+    assert_eq!(second.len(), 1, "the relapse replaced the consumed original");
+    let (relapse_seq, relapse_link, relapse_replays) = second[0];
+    assert_ne!(relapse_seq, origin_seq, "the relapse is a fresh letter");
+    assert_eq!(relapse_link, Some(origin_seq), "provenance links to the origin");
+    assert_eq!(relapse_replays, 1);
+
+    // A second relapse still points at the *root* quarantine.
+    s.buyer.replay_dead_letter(&mut s.net, relapse_seq).unwrap();
+    s.run_until_quiescent(120_000).unwrap();
+    let third = po_letters(&s);
+    assert_eq!(third.len(), 1);
+    assert_eq!(third[0].1, Some(origin_seq), "chains collapse to the root letter");
+    assert_eq!(third[0].2, 2, "two replays accumulated");
+}
+
+/// Poison-message escalation: the same undecodable payload from one
+/// partner dead-letters normally a bounded number of times, then the
+/// partner is quarantined (breaker forced open) — even when the
+/// failure-streak breaker is disabled by policy.
+#[test]
+fn repeated_poison_escalates_to_partner_quarantine() {
+    use b2b_core::{BreakerState, PartnerPolicy};
+    use b2b_network::{Bytes, EndpointId, ReliableEndpoint};
+
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 31);
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    seller.add_partner(TradingPartner::new(BUYER));
+    // Poison escalation only: the streak breaker stays off, so any
+    // quarantine observed here came from the poison ladder.
+    let policy =
+        PartnerPolicy { poison_threshold: 3, open_ms: 10_000, ..PartnerPolicy::permissive() };
+    seller.set_partner_policy(policy);
+
+    // A raw reliable endpoint impersonates TP1's edge, sending validly
+    // checksummed bytes that decode to nothing.
+    let buyer_ep = EndpointId::new(format!("ep:{BUYER}"));
+    let seller_ep = EndpointId::new(format!("ep:{SELLER}"));
+    let mut raw = ReliableEndpoint::new(buyer_ep, ReliableConfig::default(), &mut net).unwrap();
+    let poison = b"this will never parse as any wire format";
+    for round in 0..3 {
+        raw.send(
+            &mut net,
+            &seller_ep,
+            b2b_document::FormatId::EDI_X12,
+            Bytes::from(poison.to_vec()),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            net.advance(10);
+            seller.pump(&mut net).unwrap();
+            raw.receive(&mut net).unwrap();
+        }
+        assert_eq!(seller.stats().decode_failures, round + 1);
+    }
+
+    // Third identical failure: the ladder tops out and TP1 is quarantined.
+    assert_eq!(seller.dead_letters().len(), 3, "every poison copy is kept for inspection");
+    assert_eq!(seller.health_stats().poison_trips, 1);
+    assert_eq!(seller.health_stats().breaker_trips, 1, "quarantine counts as a trip");
+    assert_eq!(seller.breaker_state(BUYER), BreakerState::Open);
+
+    // The open window is time-driven: after `open_ms` the breaker probes.
+    net.advance(10_000);
+    seller.pump(&mut net).unwrap();
+    assert_eq!(seller.breaker_state(BUYER), BreakerState::HalfOpen);
+}

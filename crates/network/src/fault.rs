@@ -54,6 +54,95 @@ impl Default for FaultConfig {
     }
 }
 
+/// One step of a [`FaultSchedule`]: from `from_ms` (inclusive) onward the
+/// link behaves per `faults`, until the next phase starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPhase {
+    /// Offset (ms) into the schedule at which this phase takes effect.
+    pub from_ms: u64,
+    /// Fault profile active during the phase.
+    pub faults: FaultConfig,
+}
+
+/// A time-varying fault profile for one link: an ordered sequence of
+/// phases, optionally repeated with period `cycle_ms` (a flapping link is
+/// a two-phase cycle: healthy, then black-holed, then healthy again…).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    phases: Vec<FaultPhase>,
+    cycle_ms: Option<u64>,
+}
+
+impl FaultSchedule {
+    /// A schedule that applies `faults` forever — equivalent to today's
+    /// static per-network config, but scoped to one link.
+    pub fn constant(faults: FaultConfig) -> Self {
+        Self { phases: vec![FaultPhase { from_ms: 0, faults }], cycle_ms: None }
+    }
+
+    /// Builds a schedule from explicit phases. The first phase must start
+    /// at 0, offsets must strictly ascend, every config must validate, and
+    /// `cycle_ms` (if any) must exceed the last phase's offset.
+    pub fn new(phases: Vec<FaultPhase>, cycle_ms: Option<u64>) -> Result<Self, String> {
+        if phases.is_empty() {
+            return Err("fault schedule needs at least one phase".into());
+        }
+        if phases[0].from_ms != 0 {
+            return Err(format!("first phase must start at 0, got {}", phases[0].from_ms));
+        }
+        for pair in phases.windows(2) {
+            if pair[1].from_ms <= pair[0].from_ms {
+                return Err(format!(
+                    "phase offsets must strictly ascend: {} then {}",
+                    pair[0].from_ms, pair[1].from_ms
+                ));
+            }
+        }
+        for phase in &phases {
+            phase.faults.validate()?;
+        }
+        if let Some(cycle) = cycle_ms {
+            let last = phases.last().expect("non-empty").from_ms;
+            if cycle <= last {
+                return Err(format!("cycle_ms {cycle} must exceed the last phase offset {last}"));
+            }
+        }
+        Ok(Self { phases, cycle_ms })
+    }
+
+    /// A flapping link: healthy for `up_ms`, fully black-holed for
+    /// `down_ms`, repeating forever.
+    pub fn flapping(healthy: FaultConfig, up_ms: u64, down_ms: u64) -> Result<Self, String> {
+        let dead = FaultConfig { loss: 1.0, ..healthy.clone() };
+        Self::new(
+            vec![
+                FaultPhase { from_ms: 0, faults: healthy },
+                FaultPhase { from_ms: up_ms, faults: dead },
+            ],
+            Some(up_ms + down_ms),
+        )
+    }
+
+    /// The fault profile in effect at simulated time `now_ms`. Cyclic
+    /// schedules wrap time modulo the period; acyclic ones stay in their
+    /// last phase forever.
+    pub fn at(&self, now_ms: u64) -> &FaultConfig {
+        let t = match self.cycle_ms {
+            Some(cycle) => now_ms % cycle,
+            None => now_ms,
+        };
+        let mut current = &self.phases[0].faults;
+        for phase in &self.phases {
+            if phase.from_ms <= t {
+                current = &phase.faults;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +162,75 @@ mod tests {
         c.min_delay_ms = 10;
         c.max_delay_ms = 5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn schedule_phases_take_effect_in_order() {
+        let healthy = FaultConfig::reliable();
+        let lossy = FaultConfig { loss: 0.5, ..FaultConfig::reliable() };
+        let s = FaultSchedule::new(
+            vec![
+                FaultPhase { from_ms: 0, faults: healthy.clone() },
+                FaultPhase { from_ms: 1_000, faults: lossy.clone() },
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(s.at(0), &healthy);
+        assert_eq!(s.at(999), &healthy);
+        assert_eq!(s.at(1_000), &lossy);
+        assert_eq!(s.at(1_000_000), &lossy, "acyclic schedules stay in the last phase");
+    }
+
+    #[test]
+    fn flapping_schedule_cycles() {
+        let s = FaultSchedule::flapping(FaultConfig::reliable(), 500, 500).unwrap();
+        assert_eq!(s.at(0).loss, 0.0);
+        assert_eq!(s.at(499).loss, 0.0);
+        assert_eq!(s.at(500).loss, 1.0);
+        assert_eq!(s.at(999).loss, 1.0);
+        assert_eq!(s.at(1_000).loss, 0.0, "period wraps back to healthy");
+        assert_eq!(s.at(1_500).loss, 1.0);
+    }
+
+    #[test]
+    fn schedule_validation_rejects_malformed_input() {
+        assert!(FaultSchedule::new(vec![], None).is_err(), "empty");
+        assert!(
+            FaultSchedule::new(
+                vec![FaultPhase { from_ms: 5, faults: FaultConfig::reliable() }],
+                None
+            )
+            .is_err(),
+            "first phase must start at 0"
+        );
+        assert!(
+            FaultSchedule::new(
+                vec![
+                    FaultPhase { from_ms: 0, faults: FaultConfig::reliable() },
+                    FaultPhase { from_ms: 0, faults: FaultConfig::reliable() },
+                ],
+                None
+            )
+            .is_err(),
+            "offsets must strictly ascend"
+        );
+        assert!(
+            FaultSchedule::new(
+                vec![
+                    FaultPhase { from_ms: 0, faults: FaultConfig::reliable() },
+                    FaultPhase { from_ms: 100, faults: FaultConfig::reliable() },
+                ],
+                Some(100)
+            )
+            .is_err(),
+            "cycle must exceed the last offset"
+        );
+        let mut bad = FaultConfig::reliable();
+        bad.loss = 2.0;
+        assert!(
+            FaultSchedule::new(vec![FaultPhase { from_ms: 0, faults: bad }], None).is_err(),
+            "configs inside phases are validated"
+        );
     }
 }

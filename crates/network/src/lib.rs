@@ -28,7 +28,7 @@ pub mod van;
 pub use bytes::Bytes;
 pub use clock::SimTime;
 pub use error::{NetworkError, Result};
-pub use fault::FaultConfig;
+pub use fault::{FaultConfig, FaultPhase, FaultSchedule};
 pub use message::{checksum_of, EndpointId, Envelope, MessageId, WireClass};
 pub use reliable::{
     BackoffPolicy, DeliveryStatus, InboundBatch, ReliableConfig, ReliableEndpoint,

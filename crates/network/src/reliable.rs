@@ -250,6 +250,14 @@ impl ReliableEndpoint {
         &self.id
     }
 
+    /// Messages sent but neither acknowledged nor failed yet. The network
+    /// can be idle while this is non-zero: retransmission timers live
+    /// here, not in the network queue, so quiescence checks must include
+    /// it.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> &ReliableStats {
         &self.stats
@@ -378,6 +386,17 @@ impl ReliableEndpoint {
     /// Returns the envelopes that failed permanently on this tick (retries
     /// exhausted or deadline passed) so callers can quarantine them.
     pub fn tick(&mut self, net: &mut SimNetwork) -> Result<Vec<Envelope>> {
+        self.tick_budgeted(net, usize::MAX)
+    }
+
+    /// [`tick`](Self::tick) with a cap on retransmissions performed this
+    /// call. Permanent failures (retries exhausted, deadline passed) are
+    /// always processed regardless of the budget; retransmits beyond it
+    /// are deferred — their `next_retry` is untouched, so they remain due
+    /// and go out on a later tick. This is how a host applies per-pump
+    /// backpressure: a sick partner's retry storm cannot monopolize the
+    /// wire beyond the budget it is given.
+    pub fn tick_budgeted(&mut self, net: &mut SimNetwork, budget: usize) -> Result<Vec<Envelope>> {
         let now = net.now();
         let due: Vec<MessageId> = self
             .outstanding
@@ -386,6 +405,7 @@ impl ReliableEndpoint {
             .map(|(id, _)| id.clone())
             .collect();
         let mut failed = Vec::new();
+        let mut retransmitted = 0usize;
         for id in due {
             let o = self.outstanding.get_mut(&id).expect("collected above");
             let expired = o.deadline.is_some_and(|d| d <= now);
@@ -395,6 +415,9 @@ impl ReliableEndpoint {
                 self.status.insert(id, DeliveryStatus::Failed);
                 failed.push(o.envelope);
                 continue;
+            }
+            if retransmitted >= budget {
+                continue; // deferred: next_retry unchanged, still due later
             }
             o.retries_left -= 1;
             o.attempts += 1;
@@ -407,9 +430,32 @@ impl ReliableEndpoint {
                 );
             self.attempts.insert(id.clone(), o.attempts);
             self.stats.retries += 1;
+            retransmitted += 1;
             net.send(o.envelope.clone())?;
         }
         Ok(failed)
+    }
+
+    /// Fails every outstanding send addressed to `to` immediately —
+    /// retries left or not — and returns the abandoned envelopes. Used
+    /// when the partner behind the endpoint is declared unhealthy (circuit
+    /// breaker trip): keeping its retransmissions alive would only burn
+    /// wire budget on a link already known to be dead.
+    pub fn abandon_to(&mut self, to: &EndpointId) -> Vec<Envelope> {
+        let ids: Vec<MessageId> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| &o.envelope.to == to)
+            .map(|(id, _)| id.clone())
+            .collect();
+        let mut abandoned = Vec::new();
+        for id in ids {
+            let o = self.outstanding.remove(&id).expect("collected above");
+            self.stats.failures += 1;
+            self.status.insert(id, DeliveryStatus::Failed);
+            abandoned.push(o.envelope);
+        }
+        abandoned
     }
 
     /// Polls the network inbox: verifies payload integrity (NACKing
@@ -793,6 +839,97 @@ mod tests {
         delivered.dedup();
         assert_eq!(delivered.len(), got.len(), "no duplicate crossed the crash");
         assert_eq!(got.len(), 10, "every payload delivered exactly once");
+    }
+
+    #[test]
+    fn restore_mid_backoff_preserves_attempts_and_retry_deadline() {
+        // E13's snapshots are taken at round boundaries; this pins the gap
+        // in between: a snapshot taken *between* retry attempts must carry
+        // the attempt count and the next-retry deadline, so the restored
+        // endpoint neither re-runs spent attempts nor retransmits early.
+        let mut net = SimNetwork::new(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }, 7);
+        let (mut a, b) = pair(&mut net, ReliableConfig::fixed(100, 5));
+        let to = b.id().clone();
+        let id = a.send(&mut net, &to, FormatId::EDI_X12, Bytes::from_static(b"po")).unwrap();
+        // t=100: the first retransmission fires (attempt 2, next retry 200).
+        net.advance(100);
+        a.tick(&mut net).unwrap();
+        assert_eq!(a.attempts(&id), 2);
+        // t=150: crash mid-backoff, halfway to the next retry.
+        net.advance(50);
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        drop(a);
+        let snap: ReliableSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap.outstanding_count(), 1);
+        let mut a = ReliableEndpoint::restore(ReliableConfig::fixed(100, 5), snap);
+        assert_eq!(a.attempts(&id), 2, "attempt count survived the crash");
+        assert_eq!(a.delivery_status(&id), DeliveryStatus::Pending);
+        // t=190: still inside the preserved backoff window — no wire send.
+        let sent_before = net.stats().sent;
+        net.advance(40);
+        a.tick(&mut net).unwrap();
+        assert_eq!(net.stats().sent, sent_before, "restored endpoint must not retransmit early");
+        // t=200: the preserved deadline arrives and exactly one copy goes out.
+        net.advance(10);
+        a.tick(&mut net).unwrap();
+        assert_eq!(net.stats().sent, sent_before + 1, "retry fired exactly at the deadline");
+        assert_eq!(a.attempts(&id), 3);
+    }
+
+    #[test]
+    fn tick_budget_defers_retransmits_without_dropping_them() {
+        let mut net = SimNetwork::new(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }, 7);
+        let (mut a, b) = pair(&mut net, ReliableConfig::fixed(100, 10));
+        let to = b.id().clone();
+        for i in 0..4 {
+            a.send(&mut net, &to, FormatId::EDI_X12, Bytes::from(format!("po-{i}"))).unwrap();
+        }
+        // All four are due at t=100, but the budget lets only two out.
+        net.advance(100);
+        let sent_before = net.stats().sent;
+        a.tick_budgeted(&mut net, 2).unwrap();
+        assert_eq!(net.stats().sent, sent_before + 2, "budget caps retransmissions");
+        // The deferred two are still due: the next tick sends exactly them.
+        a.tick_budgeted(&mut net, 10).unwrap();
+        assert_eq!(net.stats().sent, sent_before + 4, "deferred retries stayed due");
+        assert_eq!(a.stats().retries, 4, "every message retried exactly once in total");
+    }
+
+    #[test]
+    fn budgeted_tick_still_processes_failures() {
+        let mut net = SimNetwork::new(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }, 7);
+        let (mut a, b) = pair(&mut net, ReliableConfig::fixed(50, 0));
+        let to = b.id().clone();
+        let id = a.send(&mut net, &to, FormatId::EDI_X12, Bytes::from_static(b"po")).unwrap();
+        net.advance(50);
+        // Budget zero: no retransmissions allowed, but the exhausted
+        // message must still fail out rather than hang forever.
+        let failed = a.tick_budgeted(&mut net, 0).unwrap();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(a.delivery_status(&id), DeliveryStatus::Failed);
+    }
+
+    #[test]
+    fn abandon_to_fails_only_that_destination() {
+        let mut net = SimNetwork::new(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }, 7);
+        let config = ReliableConfig::fixed(100, 10);
+        let mut a =
+            ReliableEndpoint::new(EndpointId::new("acme"), config.clone(), &mut net).unwrap();
+        let b = ReliableEndpoint::new(EndpointId::new("gadget"), config.clone(), &mut net).unwrap();
+        let c = ReliableEndpoint::new(EndpointId::new("widget"), config, &mut net).unwrap();
+        let to_b = a.send(&mut net, b.id(), FormatId::EDI_X12, Bytes::from_static(b"pb")).unwrap();
+        let to_c = a.send(&mut net, c.id(), FormatId::EDI_X12, Bytes::from_static(b"pc")).unwrap();
+        let abandoned = a.abandon_to(b.id());
+        assert_eq!(abandoned.len(), 1);
+        assert_eq!(abandoned[0].id, to_b);
+        assert_eq!(a.delivery_status(&to_b), DeliveryStatus::Failed);
+        assert_eq!(a.delivery_status(&to_c), DeliveryStatus::Pending, "other links untouched");
+        assert_eq!(a.stats().failures, 1);
+        // Abandoned messages never retransmit again.
+        let sent_before = net.stats().sent;
+        net.advance(100);
+        a.tick(&mut net).unwrap();
+        assert_eq!(net.stats().sent, sent_before + 1, "only the healthy link retried");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::clock::SimTime;
 use crate::error::{NetworkError, Result};
-use crate::fault::FaultConfig;
+use crate::fault::{FaultConfig, FaultSchedule};
 use crate::message::{EndpointId, Envelope, MessageId};
 use crate::rng::SimRng;
 use bytes::Bytes;
@@ -58,6 +58,10 @@ pub struct SimNetwork {
     now: SimTime,
     rng: SimRng,
     config: FaultConfig,
+    /// Time-varying fault overrides keyed by *destination* endpoint: a
+    /// schedule here replaces `config` for every envelope addressed to
+    /// that endpoint (the link "into" the partner).
+    link_schedules: BTreeMap<EndpointId, FaultSchedule>,
     in_flight: BinaryHeap<InFlight>,
     inboxes: BTreeMap<EndpointId, VecDeque<Envelope>>,
     stats: NetworkStats,
@@ -78,6 +82,7 @@ impl SimNetwork {
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             config,
+            link_schedules: BTreeMap::new(),
             in_flight: BinaryHeap::new(),
             inboxes: BTreeMap::new(),
             stats: NetworkStats::default(),
@@ -107,6 +112,19 @@ impl SimNetwork {
         &self.stats
     }
 
+    /// Installs a time-varying fault schedule on the link *into*
+    /// `endpoint`: every envelope addressed there is subjected to the
+    /// phase active at send time instead of the network-wide config.
+    pub fn set_link_schedule(&mut self, endpoint: EndpointId, schedule: FaultSchedule) {
+        self.link_schedules.insert(endpoint, schedule);
+    }
+
+    /// Removes a per-link schedule, reverting the link to the
+    /// network-wide fault config.
+    pub fn clear_link_schedule(&mut self, endpoint: &EndpointId) {
+        self.link_schedules.remove(endpoint);
+    }
+
     /// Registers an endpoint; ids must be unique.
     pub fn register(&mut self, endpoint: EndpointId) -> Result<()> {
         if self.inboxes.contains_key(&endpoint) {
@@ -124,20 +142,27 @@ impl SimNetwork {
             return Err(NetworkError::UnknownEndpoint { endpoint: envelope.to.to_string() });
         }
         self.stats.sent += 1;
-        if self.rng.chance(self.config.loss) {
+        // Per-link schedules override the network-wide profile; the clone
+        // is alloc-free (FaultConfig is all scalars) and sidesteps the
+        // borrow of `self` that `rng` needs below.
+        let cfg = match self.link_schedules.get(&envelope.to) {
+            Some(schedule) => schedule.at(self.now.as_millis()).clone(),
+            None => self.config.clone(),
+        };
+        if self.rng.chance(cfg.loss) {
             self.stats.lost += 1;
             return Ok(());
         }
-        let copies = if self.rng.chance(self.config.duplicate) {
+        let copies = if self.rng.chance(cfg.duplicate) {
             self.stats.duplicated += 1;
             2
         } else {
             1
         };
         for _ in 0..copies {
-            let delay = self.rng.range(self.config.min_delay_ms, self.config.max_delay_ms);
+            let delay = self.rng.range(cfg.min_delay_ms, cfg.max_delay_ms);
             let mut env = envelope.clone();
-            if !env.payload.is_empty() && self.rng.chance(self.config.corrupt) {
+            if !env.payload.is_empty() && self.rng.chance(cfg.corrupt) {
                 self.stats.corrupted += 1;
                 let mut bytes = env.payload.to_vec();
                 let at = (self.rng.next_u64() as usize) % bytes.len();
@@ -293,6 +318,50 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8000), "different seeds almost surely differ");
+    }
+
+    #[test]
+    fn link_schedule_overrides_only_that_destination() {
+        use crate::fault::FaultSchedule;
+        let mut net = SimNetwork::new(FaultConfig::reliable(), 1);
+        let (a, b) = endpoints(&mut net);
+        // Black-hole the link *into* b; the reverse direction stays clean.
+        net.set_link_schedule(
+            b.clone(),
+            FaultSchedule::constant(FaultConfig { loss: 1.0, ..FaultConfig::reliable() }),
+        );
+        net.send(msg(&a, &b, net.now())).unwrap();
+        net.send(msg(&b, &a, net.now())).unwrap();
+        net.advance(10);
+        assert!(net.poll(&b).unwrap().is_empty(), "a→b is black-holed");
+        assert_eq!(net.poll(&a).unwrap().len(), 1, "b→a is unaffected");
+        // Clearing the schedule restores the network-wide profile.
+        net.clear_link_schedule(&b);
+        net.send(msg(&a, &b, net.now())).unwrap();
+        net.advance(10);
+        assert_eq!(net.poll(&b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn flapping_schedule_is_time_varying_on_the_wire() {
+        use crate::fault::FaultSchedule;
+        let mut net = SimNetwork::new(FaultConfig::reliable(), 1);
+        let (a, b) = endpoints(&mut net);
+        // Up 100 ms, down 100 ms, repeating.
+        net.set_link_schedule(
+            b.clone(),
+            FaultSchedule::flapping(FaultConfig::reliable(), 100, 100).unwrap(),
+        );
+        let mut delivered = 0;
+        for _ in 0..40 {
+            net.send(msg(&a, &b, net.now())).unwrap();
+            net.advance(10);
+            delivered += net.poll(&b).unwrap().len();
+        }
+        net.advance(1_000);
+        delivered += net.poll(&b).unwrap().len();
+        assert_eq!(delivered, 20, "exactly the up-phase sends arrive");
+        assert_eq!(net.stats().lost, 20, "exactly the down-phase sends are lost");
     }
 
     #[test]

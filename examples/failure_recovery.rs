@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example failure_recovery`
 
-use b2b_core::scenario::TwoEnterpriseScenario;
-use b2b_core::SessionState;
+use b2b_core::scenario::{TwoEnterpriseScenario, SELLER};
+use b2b_core::{PartnerPolicy, SessionState};
 use b2b_document::FormatId;
 use b2b_network::{
     Bytes, DeliveryStatus, EndpointId, FaultConfig, ReliableConfig, ReliableEndpoint,
@@ -65,6 +65,48 @@ fn snapshot_restore_demo() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// A dead partner is a failure domain, not a tar pit: with the guarded
+/// policy, the first few orders to a black-holed seller burn the full
+/// retry budget, trip the buyer's circuit breaker, and every order after
+/// that fails fast — shed at the wire edge without consuming a single
+/// retransmission. Nothing is lost: every session is either dead-lettered
+/// (with its delivery failure) or shed with the breaker open.
+fn circuit_breaker_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let faults = FaultConfig { loss: 1.0, ..FaultConfig::flaky(0.0) };
+    let mut scenario = TwoEnterpriseScenario::new(faults, 9)?;
+    scenario.buyer.set_partner_policy(PartnerPolicy::guarded());
+
+    println!("seller black-holed; buyer policy: {:?}", scenario.buyer.partner_policy());
+    for i in 0..6 {
+        let po = scenario.po(&format!("PO-DOOMED-{i}"), 3_000 + i)?;
+        let correlation = scenario.submit(po)?;
+        let elapsed = scenario.run_until_quiescent(60_000)?;
+        println!(
+            "PO-DOOMED-{i}: {:?} after {elapsed:>5} ms, breaker {:?}",
+            scenario.buyer.session_state(&correlation),
+            scenario.buyer.breaker_state(SELLER),
+        );
+    }
+
+    let health = scenario.buyer.health_stats();
+    let stats = scenario.buyer.stats();
+    println!(
+        "buyer health: {} breaker trips, {} sends shed, {} sessions failed fast, \
+         {} shed notices",
+        health.breaker_trips, stats.shed, health.fast_failed_sessions, health.shed_notices
+    );
+    println!(
+        "buyer dead letters: {} (slow failures, with their delivery faults)",
+        stats.dead_lettered
+    );
+
+    assert_eq!(health.breaker_trips, 1, "three permanent failures tripped the breaker once");
+    assert!(health.fast_failed_sessions >= 1, "post-trip orders failed fast");
+    assert!(stats.shed >= 1, "post-trip sends were shed, not retried");
+    assert!(stats.dead_lettered >= 1, "pre-trip failures were quarantined with provenance");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 25% loss, 12% duplication, 10–120 ms latency spread (reordering).
     let faults = FaultConfig::flaky(0.25);
@@ -117,7 +159,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "nothing needed quarantining — retransmission healed every fault"
     );
     assert!(net.lost > 0, "the network really was hostile");
+    let health = scenario.buyer.health_stats();
+    println!(
+        "buyer health: {} breaker trips, {} sends shed, {} dead letters \
+         (retransmission absorbed the faults; the breaker never armed)",
+        health.breaker_trips,
+        scenario.buyer.stats().shed,
+        scenario.buyer.stats().dead_lettered
+    );
 
+    println!();
+    circuit_breaker_demo()?;
     println!();
     snapshot_restore_demo()?;
     println!("OK");

@@ -45,6 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache.encode_buffer_reuses,
         cache.encode_buffer_allocs
     );
+    // Partner health on a clean run: no breaker trips, nothing shed,
+    // nothing dead-lettered (see examples/failure_recovery.rs for the
+    // unhappy paths).
+    let health = scenario.buyer.health_stats();
+    println!(
+        "buyer partner health: {} breaker trips, {} sends shed, {} dead letters",
+        health.breaker_trips,
+        scenario.buyer.stats().shed,
+        scenario.buyer.stats().dead_lettered
+    );
 
     assert_eq!(scenario.buyer.session_state(&correlation), SessionState::Completed);
     assert_eq!(scenario.seller.session_state(&correlation), SessionState::Completed);

@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 use semantic_b2b::integration::engine::{IntegrationEngine, IntegrationStats};
-use semantic_b2b::integration::metrics::{CodecCacheStats, StageCounters};
+use semantic_b2b::integration::metrics::{CodecCacheStats, HealthStats, StageCounters};
 use semantic_b2b::integration::scenario::TwoEnterpriseScenario;
-use semantic_b2b::integration::SessionState;
+use semantic_b2b::integration::{BreakerState, PartnerPolicy, SessionState};
 use semantic_b2b::network::FaultConfig;
 use semantic_b2b::wfms::HistoryEvent;
 
@@ -23,6 +23,10 @@ struct Fingerprint {
     cache: CodecCacheStats,
     /// Per-pump-stage counters (not the timers — those are wall-clock).
     stages: StageCounters,
+    /// Shed/trip counters of the partner-health subsystem.
+    health: HealthStats,
+    /// Final circuit-breaker state and trip count per partner.
+    breakers: Vec<(String, BreakerState, u64)>,
 }
 
 fn fingerprint(engine: &IntegrationEngine) -> Fingerprint {
@@ -43,6 +47,8 @@ fn fingerprint(engine: &IntegrationEngine) -> Fingerprint {
         history: engine.wf().history().to_vec(),
         cache: *engine.codec_cache_stats(),
         stages: engine.stage_profile().counters,
+        health: *engine.health_stats(),
+        breakers: engine.breaker_states(),
     }
 }
 
@@ -57,6 +63,18 @@ fn run(
     shards: usize,
     interpreted: bool,
 ) -> (u64, Fingerprint, Fingerprint) {
+    run_with_policy(faults, seed, pos, shards, interpreted, PartnerPolicy::permissive())
+}
+
+/// [`run`], with a partner containment policy installed on both engines.
+fn run_with_policy(
+    faults: FaultConfig,
+    seed: u64,
+    pos: usize,
+    shards: usize,
+    interpreted: bool,
+    policy: PartnerPolicy,
+) -> (u64, Fingerprint, Fingerprint) {
     let mut s = TwoEnterpriseScenario::new(faults, seed).unwrap();
     s.buyer.set_shards(shards);
     s.seller.set_shards(shards);
@@ -64,6 +82,8 @@ fn run(
     s.seller.set_interpreted_transforms(interpreted);
     s.buyer.set_interpreted_rules(interpreted);
     s.seller.set_interpreted_rules(interpreted);
+    s.buyer.set_partner_policy(policy.clone());
+    s.seller.set_partner_policy(policy);
     for i in 0..pos {
         let po = s.po(&format!("po-{i}"), 1_000 + i as i64).unwrap();
         s.submit(po).unwrap();
@@ -98,6 +118,28 @@ proptest! {
         prop_assert_eq!(&sequential.0, &interpreted.0, "elapsed diverged under interpreter");
         prop_assert_eq!(&sequential.1, &interpreted.1, "buyer diverged under interpreter");
         prop_assert_eq!(&sequential.2, &interpreted.2, "seller diverged under interpreter");
+    }
+
+    /// The same identity with the containment subsystem fully armed: a
+    /// guarded policy (breakers, bounded queues, finite send budget) under
+    /// hostile fault mixes must not introduce any shard-count dependence —
+    /// breaker states and shed counters are part of the fingerprint.
+    #[test]
+    fn guarded_policy_runs_are_byte_identical_across_shards(
+        loss in 0.0f64..0.9,
+        duplicate in 0.0f64..0.25,
+        corrupt in 0.0f64..0.25,
+        seed in any::<u64>(),
+        pos in 1usize..5,
+    ) {
+        let faults = FaultConfig { loss, duplicate, corrupt, min_delay_ms: 1, max_delay_ms: 40 };
+        let policy = PartnerPolicy { pump_send_budget: 4, ..PartnerPolicy::guarded() };
+        let sequential =
+            run_with_policy(faults.clone(), seed, pos, 1, false, policy.clone());
+        let sharded = run_with_policy(faults, seed, pos, 4, false, policy);
+        prop_assert_eq!(&sequential.0, &sharded.0, "elapsed simulated time diverged");
+        prop_assert_eq!(&sequential.1, &sharded.1, "buyer observables diverged");
+        prop_assert_eq!(&sequential.2, &sharded.2, "seller observables diverged");
     }
 }
 
