@@ -43,6 +43,18 @@ B2B_SHARDS=4 cargo test --offline -q --workspace
 echo "== cargo test (B2B_RULES=interpreted) =="
 B2B_RULES=interpreted cargo test --offline -q --workspace
 
+# Fourth pass at the machine's real parallelism: B2B_SHARDS=0 resolves
+# to the host core count, so the pool runs as wide as it ever will on
+# this box. Same byte-identical results required.
+echo "== cargo test (B2B_SHARDS=0, auto) =="
+B2B_SHARDS=0 cargo test --offline -q --workspace
+
+# Pool stress: the sharding determinism properties with every settle
+# and decode round forced to steal-chunk 1 — maximum inter-thread
+# interleaving, the hardest schedule for the fingerprint contract.
+echo "== sharding determinism (B2B_POOL_STRESS=1, steal-chunk 1) =="
+B2B_POOL_STRESS=1 B2B_SHARDS=4 cargo test --offline -q --test sharding
+
 # Benches are not run in CI, but they must keep compiling.
 echo "== cargo bench --no-run =="
 cargo bench --offline --no-run --workspace

@@ -57,6 +57,42 @@ fn repeated_po_round_trips_are_allocation_steady() {
 }
 
 #[test]
+fn pool_rounds_allocate_nothing_after_warm_up() {
+    // The persistent worker pool's dispatch path is allocation-free: a
+    // round publishes a borrowed job pointer through pre-existing shared
+    // state, workers self-schedule with atomic fetch-adds, and the
+    // barrier is a condvar wait. After the workers are spawned, settle
+    // rounds ask the allocator for nothing — at any steal-chunk size.
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let mut pool = b2b_wfms::WorkerPool::default();
+    pool.ensure_workers(3);
+    let slots: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+    let job = |k: usize| {
+        slots[k].fetch_add(1, Ordering::Relaxed);
+    };
+
+    // Warm round: first dispatch wakes every parked worker once.
+    pool.run(slots.len(), 8, &job);
+    let spawned = pool.stats().threads_spawned;
+    assert_eq!(spawned, 3, "pool spawned exactly the requested workers");
+
+    for chunk in [1usize, 8] {
+        let (_, delta) = alloc_count::measure(|| pool.run(slots.len(), chunk, &job));
+        assert_eq!(
+            delta.allocations, 0,
+            "steady-state pool round (chunk {chunk}) allocated: {delta:?}"
+        );
+    }
+
+    let stats = pool.stats();
+    assert_eq!(stats.threads_spawned, spawned, "steady rounds spawned threads");
+    assert_eq!(stats.rounds, 3, "all three rounds dispatched to the pool");
+    let total: u64 = slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+    assert_eq!(total, 3 * 64, "every index ran exactly once per round");
+}
+
+#[test]
 fn interning_the_same_names_again_allocates_nothing() {
     // Warm the interner with the vocabulary, then re-intern it: hits on
     // the read path must not touch the allocator at all.

@@ -46,10 +46,16 @@ pub use crate::session::SessionState;
 pub const SELECT_BACKEND_RULE: &str = "select-backend";
 
 /// Automatic execute-stage worker count: the machine's available
-/// parallelism capped at 4 (the deterministic simulations see no benefit
-/// past a handful of shards, and results are identical at any count).
+/// parallelism. `B2B_SHARDS_CAP=<n>` caps it (for shared hosts or
+/// experiments pinning a fan-out); uncapped, `B2B_SHARDS=0` respects the
+/// real core count. Results are identical at any count — the cap only
+/// changes wall-clock.
 fn auto_shards() -> usize {
-    std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(4)
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    match std::env::var("B2B_SHARDS_CAP").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(cap) if cap > 0 => cores.min(cap),
+        _ => cores,
+    }
 }
 
 /// Counters for one integration engine.
@@ -87,7 +93,8 @@ pub struct IntegrationStats {
 #[derive(Debug)]
 pub(crate) struct PendingSend {
     pub(crate) session: usize,
-    pub(crate) partner: String,
+    /// Interned partner name, shared with the session table.
+    pub(crate) partner: std::sync::Arc<str>,
     pub(crate) endpoint: EndpointId,
     pub(crate) format: FormatId,
     pub(crate) bytes: Bytes,
@@ -154,13 +161,24 @@ impl IntegrationEngine {
         wf.register_activity(AUDIT_ACTIVITY, audit_activity());
         wf.register_activity(MAKE_QUOTE_ACTIVITY, make_quote_activity(name));
         wf.register_activity(RECORD_QUOTE_ACTIVITY, record_quote_activity());
-        // `B2B_SHARDS=0` means "auto": size to the machine, capped so the
-        // deterministic simulations don't fan out absurdly on big hosts.
+        // `B2B_SHARDS=0` means "auto": size to the machine's real core
+        // count (cap it explicitly with `B2B_SHARDS_CAP` when needed).
         let shards = match std::env::var("B2B_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
             Some(0) => auto_shards(),
             Some(n) => n,
             None => 1,
         };
+        // Warm the persistent worker pool now: all thread spawns happen
+        // at construction, none per pump.
+        wf.configure_pool(shards.saturating_sub(1));
+        // `B2B_STEAL_CHUNK=<n>` pins the pool's claim granularity for
+        // every stage (0/unset = per-stage defaults). Fingerprints are
+        // identical for any chunk; `ci.sh` runs chunk 1 as a stress mode.
+        if let Some(chunk) =
+            std::env::var("B2B_STEAL_CHUNK").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            wf.set_steal_chunk(chunk);
+        }
         // `B2B_RULES=interpreted` runs the whole suite on the rule-tree
         // interpreter instead of compiled programs (results identical; CI
         // exercises both).
@@ -216,9 +234,32 @@ impl IntegrationEngine {
     /// Overrides the execute-stage worker count. Results are identical
     /// for every count ≥ 1 — only wall-clock changes. Passing `0` picks
     /// an automatic count from the machine's available parallelism
-    /// (capped at 4; on a 1-core host this is a wash with `1`).
+    /// (cappable via `B2B_SHARDS_CAP`; on a 1-core host this is a wash
+    /// with `1`). The persistent pool grows to match immediately, so no
+    /// later pump pays a thread spawn.
     pub fn set_shards(&mut self, shards: usize) {
         self.shards = if shards == 0 { auto_shards() } else { shards };
+        self.wf.configure_pool(self.shards.saturating_sub(1));
+    }
+
+    /// Overrides the worker pool's steal-chunk size (`0` = per-stage
+    /// defaults). Purely a scheduling knob: fingerprints are identical
+    /// for any value.
+    pub fn set_steal_chunk(&mut self, chunk: usize) {
+        self.wf.set_steal_chunk(chunk);
+    }
+
+    /// Worker-pool utilization counters (also embedded in
+    /// [`stage_profile`](Self::stage_profile) after each pump).
+    pub fn pool_stats(&self) -> b2b_wfms::PoolStats {
+        self.wf.pool_stats()
+    }
+
+    /// Measured retained memory of the session table — the
+    /// bytes-per-open-session figure the compact layout is accountable
+    /// to.
+    pub fn session_memory(&self) -> crate::metrics::SessionMemory {
+        self.table.memory_footprint()
     }
 
     /// Mutable business-rule registry — the *only* thing that changes when
@@ -425,15 +466,15 @@ impl IntegrationEngine {
         let private = self.wf.create_instance(&private_type, vars, &partner, &target)?;
 
         self.table.insert(Session {
-            correlation: correlation.clone(),
-            agreement_id: agreement_id.to_string(),
+            correlation: correlation.as_str().into(),
+            agreement_id: agreement_id.into(),
             role: BindingRole::Initiator,
-            partner,
+            partner: partner.into(),
             public,
             binding,
             private: Some(private),
             backend_binding: None,
-            backend,
+            backend: backend.map(Into::into),
             failure: None,
             notified: false,
         });

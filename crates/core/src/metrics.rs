@@ -243,17 +243,60 @@ impl fmt::Display for StageTimers {
     }
 }
 
+/// Measured retained memory of the session table.
+///
+/// `bytes` is an accounting walk over every owned vector, index, and
+/// interning arena — what the table actually holds onto, not an
+/// allocator high-water mark. Like [`StageTimers`], capacities depend on
+/// growth history, so this is measurement, not state: deliberately not
+/// `Eq` and never part of a determinism fingerprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionMemory {
+    /// Open sessions in the table.
+    pub sessions: usize,
+    /// Retained bytes across slots, indexes, and interned strings.
+    pub bytes: usize,
+    /// `bytes / sessions` (0 when the table is empty).
+    pub bytes_per_session: usize,
+}
+
+impl fmt::Display for SessionMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions, {} bytes ({} per session)",
+            self.sessions, self.bytes, self.bytes_per_session
+        )
+    }
+}
+
 /// Per-stage pipeline profile: deterministic counters plus wall-clock
-/// timers, kept separate so tests can fingerprint one without the other.
+/// timers and pool utilization, kept separate so tests can fingerprint
+/// the counters without the measurements.
+///
+/// Only `counters` belongs in determinism fingerprints: `timers` is
+/// wall-clock and `pool` includes scheduling-dependent steal counts (see
+/// [`b2b_wfms::PoolStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageProfile {
     pub counters: StageCounters,
     pub timers: StageTimers,
+    /// Worker-pool utilization: rounds, chunk claims, steals, spawns.
+    pub pool: b2b_wfms::PoolStats,
 }
 
 impl fmt::Display for StageProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} | {}", self.counters, self.timers)
+        write!(
+            f,
+            "{} | {} | pool {}w {}r {}c ({} stolen)",
+            self.counters,
+            self.timers,
+            self.pool.workers,
+            self.pool.rounds,
+            self.pool.chunks,
+            self.pool.steals
+        )
     }
 }
 

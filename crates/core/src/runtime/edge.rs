@@ -10,12 +10,12 @@
 use crate::deadletter::{DeadLetterQueue, DeadLetterReason};
 use crate::metrics::CodecCacheStats;
 use b2b_document::{DocKind, Document, FormatId, FormatRegistry};
+use b2b_network::fnv::FnvMap;
 use b2b_network::{
     Bytes, EndpointId, Envelope, InboundBatch, MessageId, ReliableConfig, ReliableEndpoint,
     SimNetwork,
 };
 use b2b_protocol::FailureNotice;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Decode-memo bound per generation: once the hot generation fills, it
@@ -34,14 +34,14 @@ const DECODE_MEMO_CAP: usize = 1024;
 /// generations — deterministic like the old wholesale clear, but
 /// without dropping the working set at the cap boundary.
 struct DecodeMemo {
-    hot: HashMap<(FormatId, u64), (Bytes, Document)>,
-    cold: HashMap<(FormatId, u64), (Bytes, Document)>,
+    hot: FnvMap<(FormatId, u64), (Bytes, Document)>,
+    cold: FnvMap<(FormatId, u64), (Bytes, Document)>,
     cap: usize,
 }
 
 impl DecodeMemo {
     fn new(cap: usize) -> Self {
-        Self { hot: HashMap::new(), cold: HashMap::new(), cap }
+        Self { hot: FnvMap::default(), cold: FnvMap::default(), cap }
     }
 
     /// Looks up a memoized decode, promoting cold hits to the hot
@@ -80,12 +80,35 @@ impl DecodeMemo {
         self.hot.insert(key, (payload, doc));
     }
 
+    /// Whether a [`get`](Self::get) would hit, mirroring its quirks (a
+    /// hot entry with a mismatched payload shadows cold) but without
+    /// mutating generation state. Used by the batch-decode planner to
+    /// predict which envelopes need a parse — a wrong prediction only
+    /// costs a wasted parallel parse or an inline fallback, never a
+    /// wrong result.
+    fn predict_hit(&self, key: &(FormatId, u64), payload: &Bytes) -> bool {
+        if let Some((stored, _)) = self.hot.get(key) {
+            return stored == payload;
+        }
+        if let Some((stored, _)) = self.cold.get(key) {
+            return stored == payload;
+        }
+        false
+    }
+
     fn rotate_if_full(&mut self) {
         if self.hot.len() >= self.cap {
             self.cold = std::mem::take(&mut self.hot);
         }
     }
 }
+
+/// One slot of batch-parse output. Sharing across pool workers is sound
+/// because the pool claims each index exactly once, so the owning task's
+/// mutable access is exclusive (same argument as the settle slices).
+struct ParseCell(std::cell::UnsafeCell<Option<b2b_document::Result<Document>>>);
+
+unsafe impl Sync for ParseCell {}
 
 /// What the edge rejects (and quarantines) without involving routing.
 #[derive(Debug)]
@@ -118,7 +141,7 @@ pub(crate) struct Edge {
     decode_memo: DecodeMemo,
     /// Reusable encode buffers, one per (format, kind): after warm-up,
     /// outbound encodes append into an existing allocation.
-    encode_buffers: HashMap<(FormatId, DocKind), Vec<u8>>,
+    encode_buffers: FnvMap<(FormatId, DocKind), Vec<u8>>,
     cache_stats: CodecCacheStats,
 }
 
@@ -133,7 +156,7 @@ impl Edge {
             formats: FormatRegistry::with_builtins(),
             dead_letters: DeadLetterQueue::default(),
             decode_memo: DecodeMemo::new(DECODE_MEMO_CAP),
-            encode_buffers: HashMap::new(),
+            encode_buffers: FnvMap::default(),
             cache_stats: CodecCacheStats::default(),
         })
     }
@@ -160,6 +183,93 @@ impl Edge {
         self.cache_stats.decode_misses += 1;
         self.decode_memo.insert(key, envelope.payload.clone(), doc.clone());
         Ok(doc)
+    }
+
+    /// Decodes a batch of payload envelopes, farming the predicted memo
+    /// misses out to the worker pool. Results, counters, and memo state
+    /// are byte-identical to calling [`decode`](Self::decode) once per
+    /// envelope in order: a sequential replay over the memo is the
+    /// source of truth, and the parallel phase only pre-computes parses
+    /// the replay would have done inline. A mis-prediction (memo
+    /// rotation evicting a predicted hit, or a duplicate key parsed
+    /// twice) costs a wasted or repeated parse, never a different
+    /// outcome.
+    pub fn decode_batch(
+        &mut self,
+        envelopes: &[Envelope],
+        pool: &b2b_wfms::WorkerPool,
+        chunk: usize,
+    ) -> Vec<Result<Document, EdgeError>> {
+        if envelopes.len() <= 1 || pool.workers() == 0 {
+            return envelopes.iter().map(|e| self.decode(e)).collect();
+        }
+
+        // Phase 1: predict which envelopes miss the memo. Only the first
+        // occurrence of a (key, payload) pair parses — the replay inserts
+        // it, so later duplicates hit.
+        let mut planned: FnvMap<(FormatId, u64), &Bytes> = FnvMap::default();
+        let mut jobs: Vec<usize> = Vec::new();
+        for (i, envelope) in envelopes.iter().enumerate() {
+            let key = (envelope.format.clone(), envelope.checksum);
+            if self.decode_memo.predict_hit(&key, &envelope.payload) {
+                continue;
+            }
+            match planned.get(&key) {
+                Some(payload) if **payload == envelope.payload => {}
+                _ => {
+                    planned.insert(key, &envelope.payload);
+                    jobs.push(i);
+                }
+            }
+        }
+
+        // Phase 2: parse predicted misses in parallel. The registry is
+        // shared immutably; codecs are `Send + Sync`.
+        let parsed: Vec<ParseCell> =
+            jobs.iter().map(|_| ParseCell(std::cell::UnsafeCell::new(None))).collect();
+        if jobs.len() > 1 {
+            let formats = &self.formats;
+            pool.run(jobs.len(), chunk, &|k| {
+                let envelope = &envelopes[jobs[k]];
+                let result = formats.decode(&envelope.format, &envelope.payload);
+                unsafe { *parsed[k].0.get() = Some(result) };
+            });
+        } else if let Some(&i) = jobs.first() {
+            let envelope = &envelopes[i];
+            let result = self.formats.decode(&envelope.format, &envelope.payload);
+            unsafe { *parsed[0].0.get() = Some(result) };
+        }
+        let mut pre: FnvMap<usize, b2b_document::Result<Document>> = jobs
+            .iter()
+            .zip(parsed)
+            .map(|(&i, cell)| (i, cell.0.into_inner().expect("pool ran every parse")))
+            .collect();
+
+        // Phase 3: sequential replay against the memo, exactly the loop
+        // `decode` runs, except a pre-parsed result stands in for the
+        // inline parse when available.
+        let mut out = Vec::with_capacity(envelopes.len());
+        for (i, envelope) in envelopes.iter().enumerate() {
+            let key = (envelope.format.clone(), envelope.checksum);
+            if let Some(doc) = self.decode_memo.get(&key, &envelope.payload) {
+                self.cache_stats.decode_hits += 1;
+                out.push(Ok(doc.clone()));
+                continue;
+            }
+            let result = match pre.remove(&i) {
+                Some(result) => result,
+                None => self.formats.decode(&envelope.format, &envelope.payload),
+            };
+            match result {
+                Ok(doc) => {
+                    self.cache_stats.decode_misses += 1;
+                    self.decode_memo.insert(key, envelope.payload.clone(), doc.clone());
+                    out.push(Ok(doc));
+                }
+                Err(e) => out.push(Err(EdgeError::Decode(e.to_string()))),
+            }
+        }
+        out
     }
 
     /// Counts a suppressed duplicate delivery against the decode memo: a

@@ -66,8 +66,14 @@ impl IntegrationEngine {
             self.handle_notify(net, envelope)?;
         }
         let payloads = self.cap_inbound(net, batch.payloads)?;
-        for envelope in payloads {
-            self.route_inbound(net, envelope)?;
+        // Decode the whole batch up front — predicted memo misses parse
+        // on the worker pool — then route sequentially in arrival order.
+        // The replay inside `decode_batch` keeps results, counters, and
+        // memo state byte-identical to envelope-at-a-time decoding.
+        let chunk = self.wf.steal_chunk_or(8);
+        let decoded = self.edge.decode_batch(&payloads, self.wf.pool(), chunk);
+        for (envelope, result) in payloads.into_iter().zip(decoded) {
+            self.route_inbound_decoded(net, envelope, result)?;
         }
         // Suppressed duplicates are never routed; they only tell the
         // decode memo how many re-parses it saved.
@@ -99,6 +105,10 @@ impl IntegrationEngine {
         // Stage 6: failure containment — tell counterparties about
         // sessions that died on our side.
         self.notify_failed_sessions(net)?;
+
+        // Snapshot pool counters (wall-clock-ish diagnostics, never part
+        // of the deterministic fingerprint).
+        self.profile.pool = self.wf.pool_stats();
         Ok(())
     }
 
@@ -308,7 +318,7 @@ impl IntegrationEngine {
             let endpoint = partner.endpoint.clone();
             let notice = FailureNotice::new(
                 session.correlation.to_string(),
-                session.agreement_id.clone(),
+                session.agreement_id.to_string(),
                 self.name.clone(),
                 reason,
             );

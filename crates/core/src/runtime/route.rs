@@ -202,7 +202,21 @@ impl IntegrationEngine {
     /// when the document starts a new interaction). Only queues and
     /// schedules — the execute stage does the stepping.
     pub(crate) fn route_inbound(&mut self, net: &mut SimNetwork, envelope: Envelope) -> Result<()> {
-        let doc = match self.edge.decode(&envelope) {
+        let decoded = self.edge.decode(&envelope);
+        self.route_inbound_decoded(net, envelope, decoded)
+    }
+
+    /// [`route_inbound`](Self::route_inbound) with the decode already
+    /// done — the pump's batch decoder produces the results up front so
+    /// parsing can run on the worker pool, then replays them here in
+    /// arrival order.
+    pub(crate) fn route_inbound_decoded(
+        &mut self,
+        net: &mut SimNetwork,
+        envelope: Envelope,
+        decoded: std::result::Result<Document, crate::runtime::edge::EdgeError>,
+    ) -> Result<()> {
+        let doc = match decoded {
             Ok(doc) => doc,
             Err(e) => {
                 // Malformed content is rejected at the edge — but kept:
@@ -298,10 +312,10 @@ impl IntegrationEngine {
             &self.name,
         )?;
         self.table.insert(Session {
-            correlation,
-            agreement_id: agreement.id.clone(),
+            correlation: correlation.as_str().into(),
+            agreement_id: agreement.id.as_str().into(),
             role: BindingRole::Responder,
-            partner,
+            partner: partner.into(),
             public,
             binding,
             private: None,
@@ -328,8 +342,7 @@ impl IntegrationEngine {
                 let bb = self
                     .table
                     .indices_of_correlation(poa.correlation())
-                    .iter()
-                    .find_map(|&i| self.table.session(i).backend_binding);
+                    .find_map(|i| self.table.session(i).backend_binding);
                 let Some(bb) = bb else {
                     self.stats.unroutable += 1;
                     continue;
@@ -368,11 +381,11 @@ impl IntegrationEngine {
             "wire:out" => {
                 let session = self.table.session(index);
                 let partner_name = session.partner.clone();
-                let agreement = &self.agreements[&session.agreement_id];
+                let agreement = &self.agreements[&*session.agreement_id];
                 let format = agreement.format.clone();
                 let partner_endpoint = self.partners.by_name(&partner_name)?.endpoint.clone();
                 // A protocol-level WaitReceipt bounds this send's lifetime.
-                let deadline = self.receipt_deadlines.get(&session.agreement_id).copied();
+                let deadline = self.receipt_deadlines.get(&*session.agreement_id).copied();
                 // An open breaker sheds the send and fails the session
                 // fast: no retry budget is spent on a partner already
                 // declared dead.
@@ -490,7 +503,7 @@ impl IntegrationEngine {
                     return Err(RouteError::MissingBackend.into());
                 };
                 self.backends
-                    .get_mut(&backend)
+                    .get_mut(&*backend)
                     .expect("session backend validated at selection")
                     .handle(&doc)?;
             }

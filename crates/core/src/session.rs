@@ -17,6 +17,15 @@
 //! after the engine settles, [`SessionTable::refresh_instances`] folds the
 //! touched instances back into the caches.
 //!
+//! Layout: the table is sized for millions of open sessions. Correlation
+//! and partner strings are interned once into symbol arenas (`u32`
+//! symbols, `Arc<str>` storage shared by every session that names them),
+//! the `(correlation, partner)` routing key is an FNV-hashed `(u32, u32)`
+//! map, the instance index is a dense slot array (the WFMS allocates
+//! instance ids contiguously from 1), and per-correlation groups are
+//! slot-id slices sorted by construction. [`SessionTable::memory_footprint`]
+//! reports the measured bytes-per-open-session this buys.
+//!
 //! The table also fixes each session's *shard seed* — an FNV-1a hash of
 //! `(correlation, partner)` — at insertion. The sharded runtime partitions
 //! work by this seed, so every instance of a session lands on the same
@@ -24,9 +33,11 @@
 
 use crate::binding::BindingRole;
 use b2b_document::CorrelationId;
-use b2b_network::checksum_of;
+use b2b_network::fnv::{Fnv1a, FnvMap};
 use b2b_wfms::{Engine as WfEngine, InstanceId, InstanceStatus};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::hash::Hasher;
+use std::sync::Arc;
 
 /// Externally visible state of one business interaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,17 +51,22 @@ pub enum SessionState {
 }
 
 /// One enterprise's half of one business interaction.
+///
+/// String-valued identity fields are `Arc<str>`: [`SessionTable::insert`]
+/// interns them, so a broadcast RFQ to 1000 partners stores its
+/// correlation once, and every session with partner `TP1` shares one
+/// allocation of the name.
 #[derive(Debug)]
 pub(crate) struct Session {
-    pub correlation: CorrelationId,
-    pub agreement_id: String,
+    pub correlation: Arc<str>,
+    pub agreement_id: Arc<str>,
     pub role: BindingRole,
-    pub partner: String,
+    pub partner: Arc<str>,
     pub public: InstanceId,
     pub binding: InstanceId,
     pub private: Option<InstanceId>,
     pub backend_binding: Option<InstanceId>,
-    pub backend: Option<String>,
+    pub backend: Option<Arc<str>>,
     pub failure: Option<String>,
     /// Whether the counterparty has been (or need not be) told about a
     /// failure of this session — set on notify-out and on notify-in, so
@@ -58,12 +74,15 @@ pub(crate) struct Session {
     pub notified: bool,
 }
 
-/// Per-correlation aggregate counters.
+/// Per-correlation aggregate counters plus the member slice.
 #[derive(Debug, Default)]
 struct Group {
     total: usize,
     completed: usize,
     failed: usize,
+    /// Member session slots in creation order — slot ids only grow, so
+    /// the slice is ascending (sorted) by construction.
+    members: Vec<u32>,
 }
 
 impl Group {
@@ -71,6 +90,45 @@ impl Group {
         self.total > 0 && self.failed == 0 && self.completed == self.total
     }
 }
+
+/// Interns strings to dense `u32` symbols; the canonical `Arc<str>` is
+/// shared between the arena's reverse map and every interested session.
+#[derive(Debug, Default)]
+struct SymbolArena {
+    names: Vec<Arc<str>>,
+    index: FnvMap<Arc<str>, u32>,
+}
+
+impl SymbolArena {
+    /// Interns `name`, returning its symbol and the canonical allocation.
+    fn intern(&mut self, name: &str) -> (u32, Arc<str>) {
+        if let Some(&sym) = self.index.get(name) {
+            return (sym, Arc::clone(&self.names[sym as usize]));
+        }
+        let sym = u32::try_from(self.names.len()).expect("symbol arena overflow");
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&arc));
+        self.index.insert(Arc::clone(&arc), sym);
+        (sym, arc)
+    }
+
+    /// The symbol of an already-interned name (read path: no allocation).
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Retained heap bytes: string storage plus both directions of the
+    /// mapping.
+    fn retained_bytes(&self) -> usize {
+        let strings: usize = self.names.iter().map(|n| n.len()).sum();
+        strings
+            + self.names.capacity() * std::mem::size_of::<Arc<str>>()
+            + self.index.capacity() * std::mem::size_of::<(Arc<str>, u32)>()
+    }
+}
+
+/// Slot sentinel for "no session owns this instance id".
+const NO_SESSION: u32 = u32::MAX;
 
 /// All sessions of one engine plus the routing indexes and state caches.
 #[derive(Debug, Default)]
@@ -80,10 +138,22 @@ pub(crate) struct SessionTable {
     states: Vec<SessionState>,
     /// FNV-1a of (correlation, partner): the shard assignment key.
     shard_seeds: Vec<u64>,
-    by_corr_partner: HashMap<(CorrelationId, String), usize>,
-    by_correlation: HashMap<CorrelationId, Vec<usize>>,
-    by_instance: HashMap<InstanceId, usize>,
-    groups: HashMap<CorrelationId, Group>,
+    /// Interned correlation symbol per session (parallel to `sessions`).
+    corr_syms: Vec<u32>,
+    /// Correlation strings, interned once per correlation.
+    corrs: SymbolArena,
+    /// Partner names, interned once per partner.
+    partners: SymbolArena,
+    /// Agreement ids and back-end names — interned for sharing only (no
+    /// symbol is stored); a few distinct values across millions of
+    /// sessions.
+    misc: SymbolArena,
+    /// Wire routing key: two interned symbols, FNV-hashed.
+    by_corr_partner: FnvMap<(u32, u32), u32>,
+    /// Dense instance-id → slot array (the WFMS allocates ids from 1).
+    by_instance: Vec<u32>,
+    /// Per-correlation groups, indexed by correlation symbol.
+    groups: Vec<Group>,
     /// Σ group size over complete groups — `completed_sessions` in O(1).
     completed_total: usize,
     /// Failed-and-unnotified sessions, maintained incrementally by
@@ -100,29 +170,58 @@ impl SessionTable {
         Self::default()
     }
 
-    /// Adds a session (cached state starts `InProgress`) and registers its
-    /// instances; returns its index.
-    pub fn insert(&mut self, session: Session) -> usize {
+    /// Adds a session (cached state starts `InProgress`), interning its
+    /// identity strings and registering its instances; returns its index.
+    pub fn insert(&mut self, mut session: Session) -> usize {
         let index = self.sessions.len();
-        let corr = session.correlation.clone();
-        let seed = checksum_of(format!("{}\u{0}{}", corr, session.partner).as_bytes());
-        self.by_corr_partner.insert((corr.clone(), session.partner.clone()), index);
-        self.by_correlation.entry(corr.clone()).or_default().push(index);
-        self.by_instance.insert(session.public, index);
-        self.by_instance.insert(session.binding, index);
-        if let Some(p) = session.private {
-            self.by_instance.insert(p, index);
+        let slot = u32::try_from(index).expect("session table overflow");
+        let (corr_sym, corr) = self.corrs.intern(&session.correlation);
+        session.correlation = corr;
+        let (partner_sym, partner) = self.partners.intern(&session.partner);
+        session.partner = partner;
+        session.agreement_id = self.misc.intern(&session.agreement_id).1;
+        if let Some(backend) = session.backend.take() {
+            session.backend = Some(self.misc.intern(&backend).1);
         }
-        let group = self.groups.entry(corr).or_default();
+        // Streaming FNV-1a over "corr\0partner" — byte-identical to the
+        // historical `checksum_of(format!(…))`, without the temporary.
+        let seed = {
+            let mut h = Fnv1a::default();
+            h.write(session.correlation.as_bytes());
+            h.write(&[0]);
+            h.write(session.partner.as_bytes());
+            h.finish()
+        };
+        self.by_corr_partner.insert((corr_sym, partner_sym), slot);
+        self.set_instance(session.public, slot);
+        self.set_instance(session.binding, slot);
+        if let Some(p) = session.private {
+            self.set_instance(p, slot);
+        }
+        if self.groups.len() <= corr_sym as usize {
+            self.groups.resize_with(corr_sym as usize + 1, Group::default);
+        }
+        let group = &mut self.groups[corr_sym as usize];
         if group.is_complete() {
             // A fresh in-progress member reopens a completed group.
             self.completed_total -= group.total;
         }
         group.total += 1;
+        group.members.push(slot);
         self.sessions.push(session);
         self.states.push(SessionState::InProgress);
         self.shard_seeds.push(seed);
+        self.corr_syms.push(corr_sym);
         index
+    }
+
+    /// Points the dense instance index at a session slot.
+    fn set_instance(&mut self, id: InstanceId, slot: u32) {
+        let raw = id.value() as usize;
+        if self.by_instance.len() <= raw {
+            self.by_instance.resize(raw + 1, NO_SESSION);
+        }
+        self.by_instance[raw] = slot;
     }
 
     pub fn session(&self, index: usize) -> &Session {
@@ -136,31 +235,47 @@ impl SessionTable {
 
     /// Correlations of all sessions, in creation order.
     pub fn correlations(&self) -> Vec<CorrelationId> {
-        self.sessions.iter().map(|s| s.correlation.clone()).collect()
+        self.sessions.iter().map(|s| CorrelationId::new(&*s.correlation)).collect()
     }
 
     pub fn index_of(&self, correlation: &CorrelationId, partner: &str) -> Option<usize> {
-        self.by_corr_partner.get(&(correlation.clone(), partner.to_string())).copied()
+        let corr_sym = self.corrs.lookup(correlation.as_str())?;
+        let partner_sym = self.partners.lookup(partner)?;
+        self.by_corr_partner.get(&(corr_sym, partner_sym)).map(|&slot| slot as usize)
     }
 
     pub fn index_of_instance(&self, id: InstanceId) -> Option<usize> {
-        self.by_instance.get(&id).copied()
+        match self.by_instance.get(id.value() as usize) {
+            Some(&slot) if slot != NO_SESSION => Some(slot as usize),
+            _ => None,
+        }
     }
 
-    /// Member sessions of a correlation, in creation order.
-    pub fn indices_of_correlation(&self, correlation: &CorrelationId) -> &[usize] {
-        self.by_correlation.get(correlation).map(Vec::as_slice).unwrap_or(&[])
+    /// Member sessions of a correlation, in creation order (ascending).
+    pub fn indices_of_correlation(
+        &self,
+        correlation: &CorrelationId,
+    ) -> impl Iterator<Item = usize> + '_ {
+        self.corrs
+            .lookup(correlation.as_str())
+            .and_then(|sym| self.groups.get(sym as usize))
+            .map(|g| g.members.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&slot| slot as usize)
     }
 
     /// Aggregate state over all sessions of a correlation: Completed only
     /// when all are, Failed when any is (first failure in index order).
     pub fn aggregate_state(&self, correlation: &CorrelationId) -> SessionState {
-        let Some(group) = self.groups.get(correlation) else {
+        let group =
+            self.corrs.lookup(correlation.as_str()).and_then(|sym| self.groups.get(sym as usize));
+        let Some(group) = group else {
             return SessionState::InProgress;
         };
         if group.failed > 0 {
-            for &i in self.indices_of_correlation(correlation) {
-                if let SessionState::Failed(reason) = &self.states[i] {
+            for &slot in &group.members {
+                if let SessionState::Failed(reason) = &self.states[slot as usize] {
                     return SessionState::Failed(reason.clone());
                 }
             }
@@ -181,20 +296,23 @@ impl SessionTable {
     /// instances). A pure function of session identity, so the shard
     /// assignment never depends on execution order.
     pub fn shard_of_instance(&self, id: InstanceId) -> u64 {
-        self.by_instance.get(&id).map(|&i| self.shard_seeds[i]).unwrap_or(0)
+        match self.by_instance.get(id.value() as usize) {
+            Some(&slot) if slot != NO_SESSION => self.shard_seeds[slot as usize],
+            _ => 0,
+        }
     }
 
     /// Attaches a lazily created private process to a session.
     pub fn set_private(&mut self, index: usize, id: InstanceId, backend: Option<String>) {
+        self.sessions[index].backend = backend.map(|b| self.misc.intern(&b).1);
         self.sessions[index].private = Some(id);
-        self.sessions[index].backend = backend;
-        self.by_instance.insert(id, index);
+        self.set_instance(id, index as u32);
     }
 
     /// Attaches a lazily created back-end binding to a session.
     pub fn set_backend_binding(&mut self, index: usize, id: InstanceId) {
         self.sessions[index].backend_binding = Some(id);
-        self.by_instance.insert(id, index);
+        self.set_instance(id, index as u32);
     }
 
     /// Records a failure. `overwrite` replaces an existing reason (wire
@@ -245,9 +363,50 @@ impl SessionTable {
     /// owning session is recomputed exactly once.
     pub fn refresh_instances(&mut self, wf: &WfEngine, touched: &[InstanceId]) {
         let indices: BTreeSet<usize> =
-            touched.iter().filter_map(|id| self.by_instance.get(id).copied()).collect();
+            touched.iter().filter_map(|id| self.index_of_instance(*id)).collect();
         for index in indices {
             self.refresh(index, wf);
+        }
+    }
+
+    /// Measured retained memory of the table: every slot vector, index,
+    /// arena, and failure string, divided by the number of open sessions.
+    /// An accounting walk over owned capacities — not an allocator
+    /// estimate — so benches can report honest bytes-per-open-session.
+    pub fn memory_footprint(&self) -> crate::metrics::SessionMemory {
+        use std::mem::size_of;
+        let failure_bytes: usize =
+            self.sessions.iter().filter_map(|s| s.failure.as_ref().map(|f| f.capacity())).sum();
+        let state_bytes: usize = self
+            .states
+            .iter()
+            .filter_map(|s| match s {
+                SessionState::Failed(reason) => Some(reason.capacity()),
+                _ => None,
+            })
+            .sum();
+        let bytes = self.sessions.capacity() * size_of::<Session>()
+            + failure_bytes
+            + self.states.capacity() * size_of::<SessionState>()
+            + state_bytes
+            + self.shard_seeds.capacity() * size_of::<u64>()
+            + self.corr_syms.capacity() * size_of::<u32>()
+            + self.corrs.retained_bytes()
+            + self.partners.retained_bytes()
+            + self.misc.retained_bytes()
+            + self.by_corr_partner.capacity() * size_of::<((u32, u32), u32)>()
+            + self.by_instance.capacity() * size_of::<u32>()
+            + self.groups.capacity() * size_of::<Group>()
+            + self.groups.iter().map(|g| g.members.capacity() * size_of::<u32>()).sum::<usize>()
+            + self.pending_failed.len() * size_of::<usize>();
+        crate::metrics::SessionMemory {
+            sessions: self.sessions.len(),
+            bytes,
+            bytes_per_session: if self.sessions.is_empty() {
+                0
+            } else {
+                bytes / self.sessions.len()
+            },
         }
     }
 
@@ -258,8 +417,7 @@ impl SessionTable {
             return;
         }
         let old = std::mem::replace(&mut self.states[index], new);
-        let corr = &self.sessions[index].correlation;
-        let group = self.groups.get_mut(corr).expect("session has a group");
+        let group = &mut self.groups[self.corr_syms[index] as usize];
         let was_complete = group.is_complete();
         match old {
             SessionState::Completed => group.completed -= 1,
@@ -320,7 +478,7 @@ mod tests {
 
     fn session(corr: &str, partner: &str, first_instance: u64) -> Session {
         Session {
-            correlation: CorrelationId::new(corr),
+            correlation: corr.into(),
             agreement_id: "tpa".into(),
             role: BindingRole::Initiator,
             partner: partner.into(),
@@ -342,8 +500,24 @@ mod tests {
         let c = table.insert(session("c-2", "TP1", 30));
         assert_eq!(table.index_of(&CorrelationId::new("c-1"), "TP2"), Some(b));
         assert_eq!(table.index_of_instance(InstanceId::new(31)), Some(c));
-        assert_eq!(table.indices_of_correlation(&CorrelationId::new("c-1")), &[a, b]);
+        assert_eq!(
+            table.indices_of_correlation(&CorrelationId::new("c-1")).collect::<Vec<_>>(),
+            vec![a, b]
+        );
         assert_eq!(table.index_of(&CorrelationId::new("c-9"), "TP1"), None);
+    }
+
+    #[test]
+    fn interning_shares_identity_strings() {
+        let mut table = SessionTable::new();
+        let a = table.insert(session("c-1", "TP1", 10));
+        let b = table.insert(session("c-1", "TP1", 20)); // same identity, later instances
+        let c = table.insert(session("c-2", "TP1", 30));
+        // One allocation per distinct string, shared via Arc.
+        assert!(Arc::ptr_eq(&table.session(a).correlation, &table.session(b).correlation));
+        assert!(Arc::ptr_eq(&table.session(a).partner, &table.session(c).partner));
+        assert!(Arc::ptr_eq(&table.session(a).agreement_id, &table.session(c).agreement_id));
+        assert!(!Arc::ptr_eq(&table.session(a).correlation, &table.session(c).correlation));
     }
 
     #[test]
@@ -411,5 +585,23 @@ mod tests {
             t2.shard_of_instance(InstanceId::new(50))
         );
         assert_eq!(t1.shard_of_instance(InstanceId::new(999)), 0, "foreign instances default");
+        // And the streaming seed matches the historical formula exactly.
+        assert_eq!(
+            t1.shard_of_instance(InstanceId::new(10)),
+            b2b_network::checksum_of("c-1\u{0}TP1".as_bytes())
+        );
+    }
+
+    #[test]
+    fn memory_footprint_reports_per_session_bytes() {
+        let mut table = SessionTable::new();
+        assert_eq!(table.memory_footprint().bytes_per_session, 0);
+        for i in 0..100u64 {
+            table.insert(session(&format!("c-{i}"), "TP1", 1 + i * 3));
+        }
+        let memory = table.memory_footprint();
+        assert_eq!(memory.sessions, 100);
+        assert!(memory.bytes > 0);
+        assert_eq!(memory.bytes_per_session, memory.bytes / 100);
     }
 }

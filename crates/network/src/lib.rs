@@ -19,6 +19,7 @@
 pub mod clock;
 pub mod error;
 pub mod fault;
+pub mod fnv;
 pub mod message;
 pub mod reliable;
 pub mod rng;
@@ -29,6 +30,7 @@ pub use bytes::Bytes;
 pub use clock::SimTime;
 pub use error::{NetworkError, Result};
 pub use fault::{FaultConfig, FaultPhase, FaultSchedule};
+pub use fnv::{Fnv1a, FnvBuildHasher, FnvMap, FnvSet};
 pub use message::{checksum_of, EndpointId, Envelope, MessageId, WireClass};
 pub use reliable::{
     BackoffPolicy, DeliveryStatus, InboundBatch, ReliableConfig, ReliableEndpoint,

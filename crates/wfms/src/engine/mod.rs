@@ -11,12 +11,14 @@
 pub mod instance;
 
 mod exec;
+mod pool;
 
 #[cfg(test)]
 mod tests;
 
 pub use exec::EngineStats;
 pub use instance::{EdgeState, InstanceStatus, StepState, Variable, WorkflowInstance};
+pub use pool::{PoolStats, WorkerPool};
 
 use crate::db::WorkflowDatabase;
 use crate::error::{Result, WfError};
@@ -30,6 +32,15 @@ use b2b_transform::TransformRegistry;
 use exec::{ExecCtx, ExecEnv, ShardSlice, VolatileState};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// One shard slice plus its settle result. During a round the pool
+/// claims each cell's index exactly once, so exactly one thread holds a
+/// `&mut` into it; after the round the dispatcher owns them all again.
+struct SliceCell(std::cell::UnsafeCell<(ShardSlice, Option<Result<()>>)>);
+
+// SAFETY: the pool's claim protocol (one `fetch_add` winner per index)
+// makes access to each cell exclusive within a round.
+unsafe impl Sync for SliceCell {}
 
 /// Context handed to an [`Activity`] implementation.
 pub struct ActivityContext<'a> {
@@ -114,6 +125,12 @@ pub struct Engine {
     transforms: TransformRegistry,
     carry_types: bool,
     vol: VolatileState,
+    /// Persistent settle workers; empty until the first multi-shard
+    /// settle (or an explicit [`Engine::configure_pool`]) warms it up.
+    pool: WorkerPool,
+    /// Steal-chunk override (`None` = per-stage defaults: 1 for settle
+    /// slices, 8 for decode batches).
+    steal_chunk: Option<usize>,
 }
 
 impl Engine {
@@ -128,7 +145,42 @@ impl Engine {
             transforms: TransformRegistry::new(),
             carry_types: false,
             vol: VolatileState::default(),
+            pool: WorkerPool::default(),
+            steal_chunk: None,
         }
+    }
+
+    /// Pre-spawns pool workers so the first settle does not pay spawn
+    /// cost. `settle` also grows the pool lazily; this merely front-loads
+    /// the warm-up. Grow-only.
+    pub fn configure_pool(&mut self, workers: usize) {
+        self.pool.ensure_workers(workers);
+    }
+
+    /// The settle worker pool (hosts reuse it for other index-parallel
+    /// stages, e.g. batched edge decode).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Pool utilization counters. Scheduling-dependent fields — keep out
+    /// of determinism fingerprints (see [`PoolStats`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Overrides the work-stealing chunk size for every pool dispatch;
+    /// `0` restores the per-stage defaults. The fingerprint is identical
+    /// for any chunk size — this knob trades scheduling granularity
+    /// against claim traffic, and doubles as the `B2B_POOL_STRESS`
+    /// interleaving maximizer (chunk 1).
+    pub fn set_steal_chunk(&mut self, chunk: usize) {
+        self.steal_chunk = if chunk == 0 { None } else { Some(chunk) };
+    }
+
+    /// The effective steal chunk for a stage whose default is `default`.
+    pub fn steal_chunk_or(&self, default: usize) -> usize {
+        self.steal_chunk.unwrap_or(default)
     }
 
     /// Engine id.
@@ -384,6 +436,10 @@ impl Engine {
         assign: &(dyn Fn(InstanceId) -> usize + Sync),
     ) -> Result<()> {
         let shards = shards.max(1);
+        // Warm the persistent pool once: the dispatching thread works
+        // too, so `shards` ways of parallelism need `shards - 1` helpers.
+        // After this, no settle round ever spawns a thread.
+        self.pool.ensure_workers(shards.saturating_sub(1));
         loop {
             self.apply_deferred()?;
             if self.global_match_possible() {
@@ -493,14 +549,22 @@ impl Engine {
     }
 
     /// One parallel round: partition the busy shards' instances and
-    /// volatile queues into slices, settle each slice (scoped threads when
-    /// more than one), and merge everything back canonically.
+    /// volatile queues into slices, settle each slice (on the persistent
+    /// pool when more than one), and merge everything back canonically.
     fn settle_round(
         &mut self,
         busy: &[usize],
         shards: usize,
         assign: &(dyn Fn(InstanceId) -> usize + Sync),
     ) -> Result<()> {
+        if shards == 1 {
+            // The single slice would be the entire database: settle it in
+            // place instead of moving every instance out and back. Same
+            // fresh volatile state, same canonical merge — only the O(live
+            // instances) partition/reinsert per round disappears, which is
+            // what keeps sequential engines linear in open sessions.
+            return self.settle_whole_engine_round();
+        }
         let slice_index: BTreeMap<usize, usize> =
             busy.iter().enumerate().map(|(k, s)| (*s, k)).collect();
         let mut slices: Vec<ShardSlice> = busy.iter().map(|_| ShardSlice::default()).collect();
@@ -535,9 +599,13 @@ impl Engine {
             }
         }
 
-        // Execute. One busy slice runs inline; more fan out across scoped
-        // threads sharing the read-only environment.
-        let results: Vec<Result<()>> = {
+        // Execute on the persistent pool: each slice is one task, claimed
+        // by exactly one thread (the dispatcher participates), results
+        // written into its own cell. Which thread ran a slice is
+        // invisible after the merge below.
+        let cells: Vec<SliceCell> =
+            slices.into_iter().map(|s| SliceCell(std::cell::UnsafeCell::new((s, None)))).collect();
+        {
             let env = ExecEnv {
                 types: self.db.types_map(),
                 activities: &self.activities,
@@ -546,43 +614,59 @@ impl Engine {
                 carry_types: self.carry_types,
                 now: self.now,
             };
-            if slices.len() == 1 {
-                let slice = &mut slices[0];
+            let chunk = self.steal_chunk.unwrap_or(1);
+            self.pool.run(cells.len(), chunk, &|k| {
+                // SAFETY: the pool claims each index exactly once, so
+                // this &mut access to cell `k` is exclusive.
+                let (slice, result) = unsafe { &mut *cells[k].0.get() };
                 let mut ctx = ExecCtx {
                     env: &env,
                     instances: &mut slice.instances,
                     ids: None,
                     vol: &mut slice.vol,
                 };
-                vec![exec::settle_slice(&mut ctx)]
-            } else {
-                let env = &env;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = slices
-                        .iter_mut()
-                        .map(|slice| {
-                            scope.spawn(move || {
-                                let mut ctx = ExecCtx {
-                                    env,
-                                    instances: &mut slice.instances,
-                                    ids: None,
-                                    vol: &mut slice.vol,
-                                };
-                                exec::settle_slice(&mut ctx)
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-                })
-            }
-        };
+                *result = Some(exec::settle_slice(&mut ctx));
+            });
+        }
 
-        // Merge canonically: the merged state must not depend on how
-        // instances were partitioned.
+        self.merge_round(cells.into_iter().map(|cell| cell.0.into_inner()).collect())
+    }
+
+    /// Settles the degenerate one-shard round without partitioning: the
+    /// executor borrows the database's instance map directly and writes
+    /// into a fresh [`VolatileState`], so the byte-for-byte computation is
+    /// identical to a one-slice [`Engine::settle_round`] minus the move of
+    /// every live instance out of and back into the database.
+    fn settle_whole_engine_round(&mut self) -> Result<()> {
+        let mut slice = ShardSlice::default();
+        slice.vol.runnable = std::mem::take(&mut self.vol.runnable);
+        slice.vol.directed_queues = std::mem::take(&mut self.vol.directed_queues);
+        let result = {
+            let Engine { db, activities, rules, transforms, carry_types, now, .. } = &mut *self;
+            let (types, instances, _) = db.split_mut();
+            let env = ExecEnv {
+                types,
+                activities,
+                rules,
+                transforms,
+                carry_types: *carry_types,
+                now: *now,
+            };
+            let mut ctx = ExecCtx { env: &env, instances, ids: None, vol: &mut slice.vol };
+            exec::settle_slice(&mut ctx)
+        };
+        self.merge_round(vec![(slice, Some(result))])
+    }
+
+    /// Merge canonically — in slice (shard) order, never claim order: the
+    /// merged state must not depend on how instances were partitioned or
+    /// which thread settled them.
+    fn merge_round(&mut self, settled: Vec<(ShardSlice, Option<Result<()>>)>) -> Result<()> {
         let mut first_err = None;
         let mut history_segment = Vec::new();
         let mut new_waiters: BTreeMap<ChannelId, Vec<(InstanceId, StepId)>> = BTreeMap::new();
-        for (slice, result) in slices.into_iter().zip(results) {
+        for (slice, result) in settled {
+            let result = result.expect("pool ran every slice");
             if let Err(e) = result {
                 first_err.get_or_insert(e);
             }

@@ -34,7 +34,9 @@ pub mod history;
 pub mod model;
 
 pub use db::WorkflowDatabase;
-pub use engine::{Activity, ActivityContext, Engine, EngineStats, InstanceStatus, Variable};
+pub use engine::{
+    Activity, ActivityContext, Engine, EngineStats, InstanceStatus, PoolStats, Variable, WorkerPool,
+};
 pub use error::{Result, WfError};
 pub use federation::{EngineId, Federation, FederationStats, SharedArtifact};
 pub use history::{HistoryEvent, HistoryKind};

@@ -78,12 +78,43 @@ fn run_with_policy(
     let mut s = TwoEnterpriseScenario::new(faults, seed).unwrap();
     s.buyer.set_shards(shards);
     s.seller.set_shards(shards);
+    // Under `B2B_POOL_STRESS=1` (CI's second pass) every pool round runs
+    // at steal-chunk 1 — maximum inter-thread interleaving, the hardest
+    // schedule for the determinism bar.
+    if std::env::var("B2B_POOL_STRESS").as_deref() == Ok("1") {
+        s.buyer.set_steal_chunk(1);
+        s.seller.set_steal_chunk(1);
+    }
     s.buyer.set_interpreted_transforms(interpreted);
     s.seller.set_interpreted_transforms(interpreted);
     s.buyer.set_interpreted_rules(interpreted);
     s.seller.set_interpreted_rules(interpreted);
     s.buyer.set_partner_policy(policy.clone());
     s.seller.set_partner_policy(policy);
+    for i in 0..pos {
+        let po = s.po(&format!("po-{i}"), 1_000 + i as i64).unwrap();
+        s.submit(po).unwrap();
+    }
+    let elapsed = s.run_until_quiescent(240_000).unwrap();
+    (elapsed, fingerprint(&s.buyer), fingerprint(&s.seller))
+}
+
+/// [`run`], with an explicit steal-chunk override on both engines
+/// (`0` restores the per-stage defaults).
+fn run_with_chunk(
+    faults: FaultConfig,
+    seed: u64,
+    pos: usize,
+    shards: usize,
+    chunk: usize,
+) -> (u64, Fingerprint, Fingerprint) {
+    let mut s = TwoEnterpriseScenario::new(faults, seed).unwrap();
+    s.buyer.set_shards(shards);
+    s.seller.set_shards(shards);
+    s.buyer.set_steal_chunk(chunk);
+    s.seller.set_steal_chunk(chunk);
+    s.buyer.set_partner_policy(PartnerPolicy::permissive());
+    s.seller.set_partner_policy(PartnerPolicy::permissive());
     for i in 0..pos {
         let po = s.po(&format!("po-{i}"), 1_000 + i as i64).unwrap();
         s.submit(po).unwrap();
@@ -143,6 +174,47 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case is seven full scenario runs; fewer cases keep the matrix
+    // affordable while still sampling the fault space.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pool shape is invisible: for pool sizes 1, 2, and 4 workers
+    /// (shards = workers + 1) crossed with steal chunks 1 and 8, every
+    /// fingerprint is byte-identical to the sequential run. Chunk 1
+    /// maximizes inter-thread interleaving; chunk 8 gives one worker
+    /// long uncontended runs — opposite extremes of the steal schedule.
+    #[test]
+    fn pool_size_and_steal_chunk_are_invisible(
+        loss in 0.0f64..0.35,
+        duplicate in 0.0f64..0.25,
+        seed in any::<u64>(),
+        pos in 1usize..5,
+    ) {
+        let faults = FaultConfig {
+            loss, duplicate, corrupt: 0.0, min_delay_ms: 1, max_delay_ms: 40,
+        };
+        let sequential = run(faults.clone(), seed, pos, 1, false);
+        for workers in [1usize, 2, 4] {
+            for chunk in [1usize, 8] {
+                let pooled = run_with_chunk(faults.clone(), seed, pos, workers + 1, chunk);
+                prop_assert_eq!(
+                    &sequential.0, &pooled.0,
+                    "elapsed diverged at {} workers, chunk {}", workers, chunk
+                );
+                prop_assert_eq!(
+                    &sequential.1, &pooled.1,
+                    "buyer diverged at {} workers, chunk {}", workers, chunk
+                );
+                prop_assert_eq!(
+                    &sequential.2, &pooled.2,
+                    "seller diverged at {} workers, chunk {}", workers, chunk
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn flaky_broadcast_workload_is_identical_across_shard_counts() {
     // A deterministic anchor alongside the property: a lossy multi-session
@@ -166,19 +238,65 @@ fn flaky_broadcast_workload_is_identical_across_shard_counts() {
 #[test]
 fn zero_shards_means_auto_and_is_identical_to_sequential() {
     // `set_shards(0)` (and `B2B_SHARDS=0`) resolves to the machine's
-    // available parallelism capped at 4; on a 1-core host this is a wash
-    // with the sequential default. Whatever it resolves to, the run must
-    // stay byte-identical to shards = 1.
+    // real available parallelism, capped only by `B2B_SHARDS_CAP` when
+    // that is set. Whatever it resolves to, the run must stay
+    // byte-identical to shards = 1.
     let mut probe = TwoEnterpriseScenario::new(FaultConfig::reliable(), 1).unwrap();
     probe.buyer.set_shards(0);
     let auto = probe.buyer.shards();
-    assert!((1..=4).contains(&auto), "auto shard count out of range: {auto}");
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    assert!(auto >= 1, "auto shard count must be positive: {auto}");
+    assert!(auto <= cores, "auto shard count {auto} exceeds host parallelism {cores}");
 
     let baseline = run(FaultConfig::flaky(0.3), 13, 4, 1, false);
     let auto_run = run(FaultConfig::flaky(0.3), 13, 4, 0, false);
     assert_eq!(baseline.0, auto_run.0, "elapsed diverged under auto shards");
     assert_eq!(baseline.1, auto_run.1, "buyer diverged under auto shards");
     assert_eq!(baseline.2, auto_run.2, "seller diverged under auto shards");
+}
+
+#[test]
+fn pool_spawns_no_threads_after_warm_up() {
+    // The persistent pool is the point of the exercise: `shards = N`
+    // spawns its N-1 workers once (the dispatcher is the Nth), then every
+    // subsequent pump reuses them. A fork/join regression would show up
+    // here as a growing `threads_spawned`.
+    let mut s = TwoEnterpriseScenario::new(FaultConfig::flaky(0.2), 17).unwrap();
+    s.buyer.set_shards(4);
+    s.seller.set_shards(4);
+    for i in 0..4 {
+        let po = s.po(&format!("po-warm-{i}"), 1_000 + i).unwrap();
+        s.submit(po).unwrap();
+    }
+    s.run_until_quiescent(240_000).unwrap();
+    let warm = (s.buyer.pool_stats(), s.seller.pool_stats());
+    for (who, stats) in [("buyer", warm.0), ("seller", warm.1)] {
+        assert_eq!(stats.workers, 3, "{who}: 4 shards keep 3 pool workers");
+        assert_eq!(stats.threads_spawned, 3, "{who}: warm-up spawns exactly the workers");
+        assert!(stats.tasks >= stats.rounds, "{who}: every round ran at least one task");
+    }
+    // A session's instances all pin to one shard, so an engine whose
+    // sessions happen to share a shard settles inline; across both
+    // engines the multi-session run must have dispatched real rounds.
+    assert!(warm.0.rounds + warm.1.rounds > 0, "no parallel rounds dispatched: {warm:?}");
+
+    for batch in 0..2 {
+        for i in 0..4 {
+            let po = s.po(&format!("po-steady-{batch}-{i}"), 2_000 + batch * 10 + i).unwrap();
+            s.submit(po).unwrap();
+        }
+        s.run_until_quiescent(240_000).unwrap();
+    }
+    let steady = (s.buyer.pool_stats(), s.seller.pool_stats());
+    assert_eq!(
+        (steady.0.threads_spawned, steady.1.threads_spawned),
+        (warm.0.threads_spawned, warm.1.threads_spawned),
+        "steady-state pumps must spawn zero threads"
+    );
+    assert!(
+        steady.0.rounds + steady.1.rounds > warm.0.rounds + warm.1.rounds,
+        "steady-state pumps kept using the pool"
+    );
 }
 
 #[test]
