@@ -49,6 +49,12 @@ B2B_RULES=interpreted cargo test --offline -q --workspace
 echo "== cargo test (B2B_SHARDS=0, auto) =="
 B2B_SHARDS=0 cargo test --offline -q --workspace
 
+# Fifth pass on the compact binary wire format: every scenario the
+# suite builds (round trips, chaos grid, examples' plumbing) runs its
+# partners on the binary codec's zero-copy decode path instead of EDI.
+echo "== cargo test (B2B_WIRE_FORMAT=binary) =="
+B2B_WIRE_FORMAT=binary cargo test --offline -q --workspace
+
 # Pool stress: the sharding determinism properties with every settle
 # and decode round forced to steal-chunk 1 — maximum inter-thread
 # interleaving, the hardest schedule for the fingerprint contract.

@@ -26,7 +26,7 @@ fn main() {
         // CI mode: every identity assertion of the perf and chaos
         // experiments (E15-E18) without the timing loops — seconds, not
         // minutes.
-        println!("==== QUICK — identity assertions for E15/E16/E17/E18/E19, no timing ====");
+        println!("==== QUICK — identity assertions for E15/E16/E17/E18/E19/E20, no timing ====");
         quick_identity();
         println!("quick identity pass: all assertions held");
         return;
@@ -51,6 +51,7 @@ fn main() {
         ("e17", "Document core: symbol-keyed records, allocation audit", e17),
         ("e18", "Partner failure domains: chaos grid, breakers, graceful degradation", e18),
         ("e19", "Persistent-worker runtime: pool utilization, per-session memory", e19),
+        ("e20", "Compact binary wire format: zero-copy decode, per-format codec cost", e20),
     ];
     for (id, title, run) in experiments {
         if want(id) {
@@ -1039,6 +1040,20 @@ struct BroadcastRun {
 /// dispatch modes (transforms AND rules together) and shard counts, and
 /// the message-processing phase allocation-audited.
 fn rfq_broadcast_audited(sellers_n: usize, interpret: bool, shards: usize) -> BroadcastRun {
+    rfq_broadcast_audited_mixed(sellers_n, interpret, shards, false)
+}
+
+/// [`rfq_broadcast_audited`] with an optional wire-format mix: when
+/// `mixed_binary` is set, every odd-numbered seller trades on the compact
+/// binary wire format while the even ones stay on RosettaNet — the E20
+/// configuration proving the zero-copy codec coexists with the text
+/// codecs inside one broadcast without perturbing any observable.
+fn rfq_broadcast_audited_mixed(
+    sellers_n: usize,
+    interpret: bool,
+    shards: usize,
+    mixed_binary: bool,
+) -> BroadcastRun {
     use b2b_core::engine::IntegrationEngine;
     use b2b_core::partner::TradingPartner;
     use b2b_core::private_process::QUOTE_PRICE_RULE;
@@ -1066,11 +1081,13 @@ fn rfq_broadcast_audited(sellers_n: usize, interpret: bool, shards: usize) -> Br
         );
         seller.rules_mut().register(f);
         buyer.add_partner(TradingPartner::new(&name));
+        let wire_format =
+            if mixed_binary && i % 2 == 1 { FormatId::BINARY } else { FormatId::ROSETTANET };
         let (init, resp) = MessageExchangePattern::RequestReply {
             request: DocKind::RequestForQuote,
             reply: DocKind::Quote,
         }
-        .role_processes(&format!("rfq-{name}"), FormatId::ROSETTANET)
+        .role_processes(&format!("rfq-{name}"), wire_format)
         .expect("processes");
         let agreement = TradingPartnerAgreement::between(
             &format!("rfq-{name}"),
@@ -1621,6 +1638,217 @@ fn e19() {
     }
 }
 
+fn e20() {
+    use b2b_bench::alloc_count;
+    use b2b_document::formats::sample_edi_po;
+    use b2b_document::{FormatId, FormatRegistry, Value};
+    use b2b_network::Bytes as WireBytes;
+    use b2b_transform::{TransformContext, TransformRegistry};
+
+    // Part 1: the full binding round trip — decode wire bytes, transform
+    // to normalized, transform back, re-encode into a reused buffer (the
+    // edge's steady-state encode path) — measured per wire format on the
+    // SAME 7-line purchase order. One run, one host state, so the text
+    // vs binary comparison is apples to apples; the historical E17
+    // constants are printed alongside for the trajectory.
+    const BATCHES: u32 = 16;
+    const BATCH_ITERS: u32 = 500;
+    let formats = FormatRegistry::with_builtins();
+    let transforms = TransformRegistry::with_builtins();
+    let ctx = TransformContext::new("ACME", "GADGET", "000000042", "i-e20");
+    let norm = transforms
+        .transform(&sample_edi_po("E20", 7), &FormatId::NORMALIZED, &ctx)
+        .expect("normalize sample");
+
+    let wire_formats = [
+        FormatId::EDI_X12,
+        FormatId::ROSETTANET,
+        FormatId::OAGIS,
+        FormatId::SAP_IDOC,
+        FormatId::ORACLE_APPS,
+        FormatId::BINARY,
+    ];
+    struct WireRow {
+        name: String,
+        wire_len: usize,
+        us: f64,
+        allocs: f64,
+        bytes: f64,
+    }
+    let mut rows: Vec<WireRow> = Vec::new();
+    for fmt in &wire_formats {
+        let wire_doc = transforms.transform(&norm, fmt, &ctx).expect("render");
+        let wire = WireBytes::from(formats.encode(&wire_doc).expect("encode"));
+        // Codec identity first: decode -> re-encode must reproduce the
+        // wire bytes exactly for every codec, binary included.
+        let redecoded = formats.decode_bytes(fmt, &wire).expect("decode");
+        assert_eq!(
+            formats.encode(&redecoded).expect("re-encode"),
+            &wire[..],
+            "{fmt}: wire bytes drifted"
+        );
+        let mut buf = Vec::with_capacity(wire.len() * 2);
+        let round_trip = |buf: &mut Vec<u8>| {
+            let doc = formats.decode_bytes(fmt, &wire).expect("decode");
+            let n = transforms.transform(&doc, &FormatId::NORMALIZED, &ctx).expect("to norm");
+            let back = transforms.transform(&n, fmt, &ctx).expect("from norm");
+            buf.clear();
+            formats.encode_into(&back, buf).expect("encode");
+            std::hint::black_box(buf.len());
+        };
+        let warm = std::time::Instant::now();
+        while warm.elapsed().as_millis() < 40 {
+            round_trip(&mut buf);
+        }
+        let mut us = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let started = std::time::Instant::now();
+            for _ in 0..BATCH_ITERS {
+                round_trip(&mut buf);
+            }
+            us = us.min(started.elapsed().as_secs_f64() * 1e6 / f64::from(BATCH_ITERS));
+        }
+        let ((), delta) = alloc_count::measure(|| {
+            for _ in 0..BATCH_ITERS {
+                round_trip(&mut buf);
+            }
+        });
+        rows.push(WireRow {
+            name: fmt.to_string(),
+            wire_len: wire.len(),
+            us,
+            allocs: delta.allocations as f64 / f64::from(BATCH_ITERS),
+            bytes: delta.bytes as f64 / f64::from(BATCH_ITERS),
+        });
+    }
+    println!(
+        "binding round trip per wire format (decode -> normalize -> render -> encode, \
+         same 7-line PO, best of {BATCHES}x{BATCH_ITERS}):"
+    );
+    println!("format       | wire B |  us/doc | allocs/doc | bytes/doc");
+    for r in &rows {
+        println!(
+            "{:<12} | {:>6} | {:>7.2} | {:>10.1} | {:>9.0}",
+            r.name, r.wire_len, r.us, r.allocs, r.bytes
+        );
+    }
+
+    // The headline ratios are asserted, not just printed: the binary
+    // partner's round trip must stay >=3x cheaper in allocator calls and
+    // >=2x faster than the EDI text partner's, or E20 fails loudly.
+    let edi = &rows[0];
+    let bin = rows.last().expect("binary row");
+    let alloc_ratio = edi.allocs / bin.allocs;
+    let us_ratio = edi.us / bin.us;
+    println!();
+    println!(
+        "binary vs EDI text partner: {alloc_ratio:.1}x fewer allocs/doc, {us_ratio:.1}x faster"
+    );
+    assert!(
+        alloc_ratio >= 3.0,
+        "binary round trip must be >=3x cheaper in allocs (got {alloc_ratio:.2}x)"
+    );
+    assert!(us_ratio >= 2.0, "binary round trip must be >=2x faster (got {us_ratio:.2}x)");
+
+    // Zero-copy is structural, not incidental: every text node of a
+    // binary cache-miss decode borrows from the payload allocation.
+    {
+        let wire_doc = transforms.transform(&norm, &FormatId::BINARY, &ctx).expect("render");
+        let wire = WireBytes::from(formats.encode(&wire_doc).expect("encode"));
+        let doc = formats.decode_bytes(&FormatId::BINARY, &wire).expect("decode");
+        fn all_text_borrowed(v: &Value) -> bool {
+            match v {
+                Value::Text(s) => s.is_borrowed(),
+                Value::List(items) => items.iter().all(all_text_borrowed),
+                Value::Record(fields) => fields.iter().all(|(_, v)| all_text_borrowed(v)),
+                _ => true,
+            }
+        }
+        assert!(all_text_borrowed(doc.body()), "binary decode copied a string payload");
+        println!("zero-copy: every text node of the binary decode borrows from the payload");
+    }
+
+    // Context: the E17 constants this PR set out to beat (transform-only
+    // scope — no codec in the loop — so strictly easier than the rows
+    // above, which pay decode + encode too).
+    let field_after = |path: &str, anchor: &str, key: &str| -> Option<f64> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let tail = text.split(&format!("\"{anchor}\"")).nth(1)?;
+        let tail = tail.split(&format!("\"{key}\":")).nth(1)?;
+        tail.split([',', '}']).next()?.trim().parse::<f64>().ok()
+    };
+    let e17_us = field_after("BENCH_doc.json", "roundtrip", "us_per_doc").unwrap_or(1.65);
+    let e17_allocs = field_after("BENCH_doc.json", "roundtrip", "allocs_per_doc").unwrap_or(34.0);
+    let e17_routed =
+        field_after("BENCH_doc.json", "rfq_broadcast", "allocs_per_doc").unwrap_or(739.0);
+    println!(
+        "E17 text baseline for scale: {e17_us:.2} us / {e17_allocs:.0} allocs per transform-only \
+         round trip, {e17_routed:.0} allocs/routed broadcast doc"
+    );
+
+    // Part 2: the 24-seller RFQ broadcast with binary partners in the mix
+    // — every odd seller on the binary codec — asserted observably
+    // identical across dispatch mode x shard count, exactly like the
+    // homogeneous E17 broadcast.
+    const SELLERS: usize = 24;
+    std::hint::black_box(rfq_broadcast_audited_mixed(SELLERS, false, 1, true)); // warm-up
+    let mixed1 = rfq_broadcast_audited_mixed(SELLERS, false, 1, true);
+    let mixed4 = rfq_broadcast_audited_mixed(SELLERS, false, 4, true);
+    let mixed_i1 = rfq_broadcast_audited_mixed(SELLERS, true, 1, true);
+    let mixed_i4 = rfq_broadcast_audited_mixed(SELLERS, true, 4, true);
+    for (label, other) in [
+        ("mixed compiled/4", &mixed4),
+        ("mixed interpreted/1", &mixed_i1),
+        ("mixed interpreted/4", &mixed_i4),
+    ] {
+        assert_broadcast_identical(label, &mixed1, other);
+    }
+    let pure = rfq_broadcast_audited(SELLERS, false, 1);
+    let mixed_allocs = mixed1.alloc.allocations as f64 / mixed1.fleet_routed as f64;
+    let pure_allocs = pure.alloc.allocations as f64 / pure.fleet_routed as f64;
+    println!();
+    println!(
+        "{SELLERS}-seller RFQ broadcast, {} sellers on the binary codec \
+         (all observables identical across modes and shard counts):",
+        SELLERS / 2
+    );
+    println!("  mixed fleet:       {mixed_allocs:>6.0} allocs/routed doc");
+    println!("  all-RosettaNet:    {pure_allocs:>6.0} allocs/routed doc");
+    println!("  E17 baseline:      {e17_routed:>6.0} allocs/routed doc");
+
+    let per_format_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"format\": \"{}\", \"wire_bytes\": {}, \"us_per_doc\": {:.3}, \
+                 \"allocs_per_doc\": {:.2}, \"bytes_per_doc\": {:.0}}}",
+                r.name, r.wire_len, r.us, r.allocs, r.bytes
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"wire\",\n  \"roundtrip\": {{\"batches\": {BATCHES}, \
+         \"batch_iters\": {BATCH_ITERS}, \"lines\": 7, \"per_format\": [\n{per_format_json}\n  ]}},\n  \
+         \"binary_vs_edi\": {{\"alloc_ratio\": {alloc_ratio:.2}, \"us_ratio\": {us_ratio:.2}}},\n  \
+         \"e17_baseline\": {{\"transform_only_us_per_doc\": {e17_us:.3}, \
+         \"transform_only_allocs_per_doc\": {e17_allocs:.2}, \
+         \"broadcast_allocs_per_routed_doc\": {e17_routed:.1}}},\n  \
+         \"mixed_broadcast\": {{\"sellers\": {SELLERS}, \"binary_sellers\": {}, \
+         \"allocs_per_routed_doc\": {mixed_allocs:.1}, \
+         \"pure_rosettanet_allocs_per_routed_doc\": {pure_allocs:.1}, \
+         \"compiled_wall_ms_1shard\": {:.2}, \"compiled_wall_ms_4shards\": {:.2}}}\n}}\n",
+        SELLERS / 2,
+        mixed1.wall_ms,
+        mixed4.wall_ms,
+    );
+    if let Err(e) = std::fs::write("BENCH_wire.json", &json) {
+        println!("(BENCH_wire.json not written: {e})");
+    } else {
+        println!("wrote BENCH_wire.json");
+    }
+}
+
 /// `--quick`: the identity assertions of E15/E16/E17/E18 with no timing
 /// loops, cheap enough for every CI run.
 fn quick_identity() {
@@ -1746,6 +1974,58 @@ fn quick_identity() {
             .expect("chaos interpreted");
         assert_eq!(one.fingerprint, interp.fingerprint, "E18: dispatch mode leaked");
         println!("  E18: chaos cell invariant holds; identical across dispatch x shard count");
+    }
+
+    // E20: every codec's wire bytes are stable (decode -> re-encode is
+    // the identity on bytes), binary decode borrows its text from the
+    // payload, and the mixed text/binary broadcast is observably
+    // identical across dispatch mode x shard count.
+    {
+        use b2b_document::Value;
+        use b2b_network::Bytes as WireBytes;
+        let norm = reg.transform(&doc, &FormatId::NORMALIZED, &ctx).expect("normalize");
+        for fmt in [
+            FormatId::EDI_X12,
+            FormatId::ROSETTANET,
+            FormatId::OAGIS,
+            FormatId::SAP_IDOC,
+            FormatId::ORACLE_APPS,
+            FormatId::BINARY,
+        ] {
+            let wire_doc = reg.transform(&norm, &fmt, &ctx).expect("render");
+            let wire = WireBytes::from(formats.encode(&wire_doc).expect("encode"));
+            let redecoded = formats.decode_bytes(&fmt, &wire).expect("decode");
+            assert_eq!(
+                formats.encode(&redecoded).expect("re-encode"),
+                &wire[..],
+                "E20: {fmt} wire bytes drifted"
+            );
+            if fmt == FormatId::BINARY {
+                fn all_text_borrowed(v: &Value) -> bool {
+                    match v {
+                        Value::Text(s) => s.is_borrowed(),
+                        Value::List(items) => items.iter().all(all_text_borrowed),
+                        Value::Record(fields) => fields.iter().all(|(_, v)| all_text_borrowed(v)),
+                        _ => true,
+                    }
+                }
+                assert!(
+                    all_text_borrowed(redecoded.body()),
+                    "E20: binary decode copied a string payload"
+                );
+            }
+        }
+        let mixed = rfq_broadcast_audited_mixed(24, false, 1, true);
+        for (label, interpret, shards) in
+            [("compiled/4", false, 4), ("interpreted/1", true, 1), ("interpreted/4", true, 4)]
+        {
+            let other = rfq_broadcast_audited_mixed(24, interpret, shards, true);
+            assert_broadcast_identical(&format!("E20 mixed {label}"), &mixed, &other);
+        }
+        println!(
+            "  E20: six codecs byte-stable; binary decode zero-copy; \
+             mixed-format broadcast identical across dispatch x shard count"
+        );
     }
 }
 

@@ -11,14 +11,13 @@
 use b2b_backend::{AckPolicy, ApplicationProcess, SapSystem};
 use b2b_core::engine::IntegrationEngine;
 use b2b_core::error::Result;
-use b2b_core::scenario::seller_rules;
+use b2b_core::scenario::{seller_rules, ScenarioProtocol};
 use b2b_core::{PartnerPolicy, SessionState, TradingPartner};
 use b2b_document::normalized::PoBuilder;
-use b2b_document::{CorrelationId, Currency, Date, FormatId, Money};
+use b2b_document::{CorrelationId, Currency, Date, Money};
 use b2b_network::{
     Bytes, EndpointId, FaultConfig, FaultSchedule, ReliableConfig, ReliableEndpoint, SimNetwork,
 };
-use b2b_protocol::edi_roundtrip::edi_roundtrip_processes;
 use b2b_protocol::TradingPartnerAgreement;
 
 /// The hub enterprise. Named `TP1` so the stock seller-side approval
@@ -184,7 +183,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
     hub.set_interpreted_rules(cfg.interpreted);
     hub.add_backend(ApplicationProcess::new(Box::new(SapSystem::new(AckPolicy::AcceptAll))))?;
 
-    let (init_def, resp_def) = edi_roundtrip_processes()?;
+    // The harness runs on the suite-wide default wire format, so a
+    // `B2B_WIRE_FORMAT=binary` CI pass drives the whole fault grid —
+    // including the poison ladder — through the binary decoder.
+    let protocol = ScenarioProtocol::from_env();
+    let wire_format = protocol.format();
+    let (init_def, resp_def) = protocol.processes()?;
     let mut partners: Vec<(String, IntegrationEngine)> = Vec::new();
     for k in 0..cfg.partners {
         let name = format!("CS{k}");
@@ -194,7 +198,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
         seller_rules(&mut p)?;
         hub.add_partner(TradingPartner::new(&name));
         let agreement = TradingPartnerAgreement::between(
-            &format!("edi-{HUB}-{name}"),
+            &format!("{wire_format}-{HUB}-{name}"),
             HUB,
             &name,
             &init_def,
@@ -264,7 +268,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
                     raw.send(
                         net,
                         &hub_ep,
-                        FormatId::EDI_X12,
+                        wire_format.clone(),
                         Bytes::from(&b"poison: same bytes every time"[..]),
                     )?;
                 }
@@ -277,7 +281,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
                         raw.send(
                             net,
                             &hub_ep,
-                            FormatId::EDI_X12,
+                            wire_format.clone(),
                             Bytes::from(format!("flood #{rogue_seq}")),
                         )?;
                     }
@@ -306,7 +310,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
             )
             .line("LAPTOP-T23", 1_000 + wave as i64, Money::from_units(1, Currency::Usd))?
             .build()?;
-            let c = hub.initiate(&mut net, &format!("edi-{HUB}-{name}"), po)?;
+            let c = hub.initiate(&mut net, &format!("{wire_format}-{HUB}-{name}"), po)?;
             correlations.push((name.clone(), c));
         }
         for _ in 0..(cfg.wave_gap_ms / 10) {

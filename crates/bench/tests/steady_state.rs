@@ -93,6 +93,65 @@ fn pool_rounds_allocate_nothing_after_warm_up() {
 }
 
 #[test]
+fn binary_decode_allocations_are_independent_of_text_payload() {
+    // The zero-copy contract of the binary codec: a cache-miss decode
+    // borrows every text node from the payload `Bytes`, so allocator
+    // traffic depends only on the document's *structure* — two documents
+    // with identical shape but wildly different string payloads must ask
+    // the allocator for exactly the same calls and bytes. A regression
+    // that reintroduces per-string-field copies breaks the equality.
+    use b2b_document::normalized::PoBuilder;
+    use b2b_document::{
+        CorrelationId, Currency, Date, DocKind, Document, DocumentId, Money, Value,
+    };
+    use b2b_network::Bytes;
+
+    let formats = FormatRegistry::with_builtins();
+    let po = |item: &str| -> Bytes {
+        let built =
+            PoBuilder::new("Z1", "ACME", "GADGET", Date::new(2001, 5, 21).unwrap(), Currency::Usd)
+                .line(item, 3, Money::from_cents(995, Currency::Usd))
+                .unwrap()
+                .build()
+                .unwrap();
+        let doc = Document::with_id(
+            DocumentId::new("bin-Z1"),
+            DocKind::PurchaseOrder,
+            FormatId::BINARY,
+            CorrelationId::for_po_number("Z1"),
+            built.into_body(),
+        );
+        Bytes::from(formats.encode(&doc).expect("encode"))
+    };
+    let short = po("W");
+    let long = po(&"WIDGET-".repeat(64));
+    assert!(long.len() > short.len() + 400, "the payloads really differ in text volume");
+
+    // Warm once, then measure: the short and long decode must be
+    // allocation-identical, and every text node must borrow.
+    std::hint::black_box(formats.decode_bytes(&FormatId::BINARY, &short).expect("decode"));
+    let (doc_short, delta_short) =
+        alloc_count::measure(|| formats.decode_bytes(&FormatId::BINARY, &short).expect("decode"));
+    let (doc_long, delta_long) =
+        alloc_count::measure(|| formats.decode_bytes(&FormatId::BINARY, &long).expect("decode"));
+    assert_eq!(
+        delta_short, delta_long,
+        "binary decode allocator traffic scaled with text payload size"
+    );
+
+    fn all_text_borrowed(v: &Value) -> bool {
+        match v {
+            Value::Text(s) => s.is_borrowed(),
+            Value::List(items) => items.iter().all(all_text_borrowed),
+            Value::Record(fields) => fields.iter().all(|(_, v)| all_text_borrowed(v)),
+            _ => true,
+        }
+    }
+    assert!(all_text_borrowed(doc_short.body()), "short decode copied a string");
+    assert!(all_text_borrowed(doc_long.body()), "long decode copied a string");
+}
+
+#[test]
 fn interning_the_same_names_again_allocates_nothing() {
     // Warm the interner with the vocabulary, then re-intern it: hits on
     // the read path must not touch the allocator at all.

@@ -383,7 +383,7 @@ mod tests {
                 .unwrap(),
         );
         let m = ModelSize::of_types([&wf]).with_registries(&transforms, &rules);
-        assert_eq!(m.external_transforms, 24);
+        assert_eq!(m.external_transforms, 32);
         assert_eq!(m.external_rules, 4);
         assert!(m.total_elements() > m.workflow_elements());
     }

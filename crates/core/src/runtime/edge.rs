@@ -178,7 +178,7 @@ impl Edge {
         }
         let doc = self
             .formats
-            .decode(&envelope.format, &envelope.payload)
+            .decode_bytes(&envelope.format, &envelope.payload)
             .map_err(|e| EdgeError::Decode(e.to_string()))?;
         self.cache_stats.decode_misses += 1;
         self.decode_memo.insert(key, envelope.payload.clone(), doc.clone());
@@ -231,12 +231,12 @@ impl Edge {
             let formats = &self.formats;
             pool.run(jobs.len(), chunk, &|k| {
                 let envelope = &envelopes[jobs[k]];
-                let result = formats.decode(&envelope.format, &envelope.payload);
+                let result = formats.decode_bytes(&envelope.format, &envelope.payload);
                 unsafe { *parsed[k].0.get() = Some(result) };
             });
         } else if let Some(&i) = jobs.first() {
             let envelope = &envelopes[i];
-            let result = self.formats.decode(&envelope.format, &envelope.payload);
+            let result = self.formats.decode_bytes(&envelope.format, &envelope.payload);
             unsafe { *parsed[0].0.get() = Some(result) };
         }
         let mut pre: FnvMap<usize, b2b_document::Result<Document>> = jobs
@@ -258,7 +258,7 @@ impl Edge {
             }
             let result = match pre.remove(&i) {
                 Some(result) => result,
-                None => self.formats.decode(&envelope.format, &envelope.payload),
+                None => self.formats.decode_bytes(&envelope.format, &envelope.payload),
             };
             match result {
                 Ok(doc) => {

@@ -8,6 +8,7 @@ use b2b_backend::{AckPolicy, ApplicationProcess, OracleSystem, SapSystem};
 use b2b_document::normalized::PoBuilder;
 use b2b_document::{CorrelationId, Currency, Date, Document, FormatId, Money};
 use b2b_network::{FaultConfig, SimNetwork};
+use b2b_protocol::binary_roundtrip::binary_roundtrip_processes;
 use b2b_protocol::edi_roundtrip::edi_roundtrip_processes;
 use b2b_protocol::oagis_bod::oagis_po_processes;
 use b2b_protocol::pip3a4::pip3a4_processes;
@@ -46,6 +47,8 @@ pub enum ScenarioProtocol {
     RosettaNet,
     /// OAGIS PROCESS_PO / ACKNOWLEDGE_PO.
     Oagis,
+    /// The compact binary wire format, same 850/855 shape.
+    Binary,
 }
 
 impl ScenarioProtocol {
@@ -55,6 +58,7 @@ impl ScenarioProtocol {
             Self::Edi => edi_roundtrip_processes()?,
             Self::RosettaNet => pip3a4_processes()?,
             Self::Oagis => oagis_po_processes()?,
+            Self::Binary => binary_roundtrip_processes()?,
         })
     }
 
@@ -64,17 +68,34 @@ impl ScenarioProtocol {
             Self::Edi => FormatId::EDI_X12,
             Self::RosettaNet => FormatId::ROSETTANET,
             Self::Oagis => FormatId::OAGIS,
+            Self::Binary => FormatId::BINARY,
+        }
+    }
+
+    /// The suite-wide default protocol: `B2B_WIRE_FORMAT` when set to a
+    /// known wire format (`edi-x12`, `rosettanet`, `oagis`, `binary`),
+    /// EDI otherwise. Lets the whole test suite, the examples, and the
+    /// chaos harness run their partners on another codec without code
+    /// changes — CI runs one full pass with `B2B_WIRE_FORMAT=binary`.
+    pub fn from_env() -> Self {
+        match std::env::var("B2B_WIRE_FORMAT").as_deref() {
+            Ok("rosettanet") => Self::RosettaNet,
+            Ok("oagis") => Self::Oagis,
+            Ok("binary") => Self::Binary,
+            _ => Self::Edi,
         }
     }
 }
 
 impl TwoEnterpriseScenario {
     /// Builds the scenario over a network with the given fault profile and
-    /// seed. The buyer (`TP1`) initiates EDI round trips; the seller runs
-    /// SAP + Oracle with the paper's `check-need-for-approval` thresholds
-    /// and a `select-backend` rule sending TP1 traffic to SAP.
+    /// seed. The buyer (`TP1`) initiates round trips on the suite-wide
+    /// default wire format (EDI unless `B2B_WIRE_FORMAT` overrides it);
+    /// the seller runs SAP + Oracle with the paper's
+    /// `check-need-for-approval` thresholds and a `select-backend` rule
+    /// sending TP1 traffic to SAP.
     pub fn new(faults: FaultConfig, seed: u64) -> Result<Self> {
-        Self::with_protocol(ScenarioProtocol::Edi, faults, seed)
+        Self::with_protocol(ScenarioProtocol::from_env(), faults, seed)
     }
 
     /// Builds the scenario on a chosen protocol.
@@ -214,8 +235,10 @@ mod tests {
     }
 
     #[test]
-    fn rosettanet_and_oagis_round_trips_complete() {
-        for protocol in [ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis] {
+    fn rosettanet_oagis_and_binary_round_trips_complete() {
+        for protocol in
+            [ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis, ScenarioProtocol::Binary]
+        {
             let mut s = TwoEnterpriseScenario::with_protocol(protocol, FaultConfig::reliable(), 42)
                 .unwrap();
             let po = s.po("9001", 5_000).unwrap();

@@ -237,12 +237,14 @@ fn relapsed_replay_links_back_to_the_original_letter() {
     s.run_until_quiescent(120_000).unwrap();
 
     // The failed notification also dead-letters; provenance is tracked on
-    // the PO (the EDI payload), so select letters by wire format.
+    // the PO (the wire payload), so select letters by the scenario's wire
+    // format (EDI unless `B2B_WIRE_FORMAT` overrides the suite default).
+    let wire = b2b_core::scenario::ScenarioProtocol::from_env().format();
     let po_letters = |s: &TwoEnterpriseScenario| -> Vec<(u64, Option<u64>, u32)> {
         s.buyer
             .dead_letters()
             .iter()
-            .filter(|l| l.envelope.format == b2b_document::FormatId::EDI_X12)
+            .filter(|l| l.envelope.format == wire)
             .map(|l| (l.seq, l.origin_seq, l.replays))
             .collect()
     };
@@ -321,4 +323,46 @@ fn repeated_poison_escalates_to_partner_quarantine() {
     net.advance(10_000);
     seller.pump(&mut net).unwrap();
     assert_eq!(seller.breaker_state(BUYER), BreakerState::HalfOpen);
+}
+
+/// A truncated binary payload climbs the same poison ladder as corrupt
+/// text: the decoder NACKs it (no panic on the cut-short length
+/// prefixes), each copy dead-letters, and the third identical copy
+/// quarantines the partner.
+#[test]
+fn truncated_binary_payload_feeds_the_poison_ladder() {
+    use b2b_core::{BreakerState, PartnerPolicy};
+    use b2b_document::formats::sample_binary_po;
+    use b2b_document::{FormatId, FormatRegistry};
+    use b2b_network::{Bytes, EndpointId, ReliableEndpoint};
+
+    let mut net = SimNetwork::new(FaultConfig::reliable(), 33);
+    let mut seller = IntegrationEngine::new(SELLER, &mut net).unwrap();
+    seller.add_partner(TradingPartner::new(BUYER));
+    let policy =
+        PartnerPolicy { poison_threshold: 3, open_ms: 10_000, ..PartnerPolicy::permissive() };
+    seller.set_partner_policy(policy);
+
+    // A well-formed binary PO, cut mid-record: the magic and header
+    // survive, so the decoder walks into a length prefix that promises
+    // more bytes than remain.
+    let wire = FormatRegistry::with_builtins().encode(&sample_binary_po("P1", 4)).unwrap();
+    let truncated = Bytes::from(wire[..wire.len() * 3 / 5].to_vec());
+
+    let buyer_ep = EndpointId::new(format!("ep:{BUYER}"));
+    let seller_ep = EndpointId::new(format!("ep:{SELLER}"));
+    let mut raw = ReliableEndpoint::new(buyer_ep, ReliableConfig::default(), &mut net).unwrap();
+    for round in 0..3 {
+        raw.send(&mut net, &seller_ep, FormatId::BINARY, truncated.clone()).unwrap();
+        for _ in 0..5 {
+            net.advance(10);
+            seller.pump(&mut net).unwrap();
+            raw.receive(&mut net).unwrap();
+        }
+        assert_eq!(seller.stats().decode_failures, round + 1);
+    }
+
+    assert_eq!(seller.dead_letters().len(), 3, "every truncated copy is kept for inspection");
+    assert_eq!(seller.health_stats().poison_trips, 1);
+    assert_eq!(seller.breaker_state(BUYER), BreakerState::Open);
 }

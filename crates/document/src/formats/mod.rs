@@ -7,6 +7,7 @@
 //! without touching any other layer, which is exactly the locality-of-change
 //! property the paper claims for the advanced architecture.
 
+mod binary;
 mod edi_x12;
 mod oagis;
 mod oracle_apps;
@@ -15,6 +16,7 @@ mod rosettanet;
 mod sap_idoc;
 mod util;
 
+pub use binary::{sample_binary_po, BinaryCodec};
 pub use edi_x12::{sample_edi_po, EdiX12Codec, ACK_ACCEPT, ACK_CHANGED, ACK_REJECT};
 pub use oagis::{sample_oagis_po, OagisCodec, OAGIS_ACCEPT, OAGIS_MODIFIED, OAGIS_REJECT};
 pub use oracle_apps::{sample_oracle_po, OracleAppsCodec, ORA_ACCEPT, ORA_MODIFIED, ORA_REJECT};
@@ -24,6 +26,7 @@ pub use sap_idoc::{sample_sap_po, SapIdocCodec, SAP_ACCEPT, SAP_CHANGED, SAP_REJ
 
 use crate::document::{DocKind, Document};
 use crate::error::Result;
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::fmt;
@@ -48,6 +51,8 @@ impl FormatId {
     pub const SAP_IDOC: FormatId = FormatId(Cow::Borrowed("sap-idoc"));
     /// Oracle-applications-style back-end format.
     pub const ORACLE_APPS: FormatId = FormatId(Cow::Borrowed("oracle-apps"));
+    /// Compact binary partner format (length-prefixed, self-describing).
+    pub const BINARY: FormatId = FormatId(Cow::Borrowed("binary"));
 
     /// Mints a format id for a custom format.
     pub fn custom(name: impl Into<String>) -> Self {
@@ -89,6 +94,15 @@ pub trait FormatCodec: Send + Sync {
 
     /// Parses wire bytes into a format-shaped document.
     fn decode(&self, bytes: &[u8]) -> Result<Document>;
+
+    /// Parses a shared payload buffer into a document. The default
+    /// delegates to [`decode`](Self::decode); codecs that can borrow from
+    /// the payload (the binary codec) override it so decoded text slices
+    /// reference `bytes` instead of copying — the caller keeps the buffer
+    /// alive for free because [`Bytes`] is reference-counted.
+    fn decode_bytes(&self, bytes: &Bytes) -> Result<Document> {
+        self.decode(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +118,7 @@ mod tests {
             FormatId::OAGIS,
             FormatId::SAP_IDOC,
             FormatId::ORACLE_APPS,
+            FormatId::BINARY,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -1,10 +1,12 @@
 //! The format registry: the single place where codecs are looked up.
 
 use super::{
-    EdiX12Codec, FormatCodec, FormatId, OagisCodec, OracleAppsCodec, RosettaNetCodec, SapIdocCodec,
+    BinaryCodec, EdiX12Codec, FormatCodec, FormatId, OagisCodec, OracleAppsCodec, RosettaNetCodec,
+    SapIdocCodec,
 };
 use crate::document::{DocKind, Document};
 use crate::error::{DocumentError, Result};
+use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -32,6 +34,7 @@ impl FormatRegistry {
         reg.register(Arc::new(OagisCodec::default()));
         reg.register(Arc::new(SapIdocCodec::default()));
         reg.register(Arc::new(OracleAppsCodec::default()));
+        reg.register(Arc::new(BinaryCodec));
         reg
     }
 
@@ -61,6 +64,12 @@ impl FormatRegistry {
     /// Decodes wire bytes claimed to be in `format`.
     pub fn decode(&self, format: &FormatId, bytes: &[u8]) -> Result<Document> {
         self.codec(format)?.decode(bytes)
+    }
+
+    /// Decodes a shared payload buffer claimed to be in `format`,
+    /// borrowing text out of the buffer where the codec supports it.
+    pub fn decode_bytes(&self, format: &FormatId, bytes: &Bytes) -> Result<Document> {
+        self.codec(format)?.decode_bytes(bytes)
     }
 
     /// All registered formats, sorted for deterministic iteration.
@@ -97,6 +106,7 @@ mod tests {
             FormatId::OAGIS,
             FormatId::SAP_IDOC,
             FormatId::ORACLE_APPS,
+            FormatId::BINARY,
         ] {
             assert!(reg.codec(&format).is_ok(), "{format} missing");
             assert!(reg.supports(&format, DocKind::PurchaseOrder));
@@ -122,6 +132,7 @@ mod tests {
             crate::formats::sample_oagis_po("83", 2),
             crate::formats::sample_sap_po("84", 2),
             crate::formats::sample_oracle_po("85", 2),
+            crate::formats::sample_binary_po("86", 2),
         ];
         let mut buf = Vec::new();
         for doc in &docs {

@@ -29,6 +29,7 @@ pub mod money;
 pub mod normalized;
 pub mod path;
 pub mod schema;
+pub mod text;
 pub mod value;
 pub mod xml;
 
@@ -41,4 +42,5 @@ pub use intern::{intern, interned_count, Symbol};
 pub use money::{Currency, Money};
 pub use path::{FieldPath, PathSeg};
 pub use schema::{FieldSpec, Schema, TypeSpec, Violation};
+pub use text::Str;
 pub use value::{FieldVec, Value};

@@ -4,6 +4,7 @@ use crate::date::Date;
 use crate::error::{DocumentError, Result};
 use crate::intern::{intern, Symbol};
 use crate::money::Money;
+use crate::text::Str;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
@@ -256,8 +257,9 @@ pub enum Value {
     Int(i64),
     /// Exact monetary amount.
     Money(Money),
-    /// Free text (names, codes, identifiers).
-    Text(String),
+    /// Free text (names, codes, identifiers) — owned or borrowed from a
+    /// shared wire payload; see [`Str`].
+    Text(Str),
     /// Calendar date.
     Date(Date),
     /// Ordered collection (e.g. purchase-order lines).
@@ -286,9 +288,9 @@ impl Value {
         Self::Record(FieldVec::new())
     }
 
-    /// Builds a text value.
+    /// Builds an owned text value.
     pub fn text(s: impl Into<String>) -> Self {
-        Self::Text(s.into())
+        Self::Text(Str::from(s.into()))
     }
 
     /// Extracts a bool or reports a type mismatch at `at`.

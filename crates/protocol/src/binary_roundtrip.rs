@@ -1,0 +1,36 @@
+//! The PO/POA round trip on the compact binary wire format.
+//!
+//! Same 850/855 shape as [`crate::edi_roundtrip`], but the messages cross
+//! the wire in the length-prefixed binary codec instead of a text format.
+//! Like EDI, the binary format defines no public processes of its own, so
+//! this module is the borrowed definition binary partners agree on.
+
+use crate::error::Result;
+use crate::model::PublicProcessDef;
+use crate::patterns::MessageExchangePattern;
+use b2b_document::{DocKind, FormatId};
+
+/// Process id prefix.
+pub const BINARY_ROUNDTRIP: &str = "binary-roundtrip";
+
+/// The (buyer, seller) public processes of the binary round trip.
+pub fn binary_roundtrip_processes() -> Result<(PublicProcessDef, PublicProcessDef)> {
+    MessageExchangePattern::RequestReply {
+        request: DocKind::PurchaseOrder,
+        reply: DocKind::PurchaseOrderAck,
+    }
+    .role_processes(BINARY_ROUNDTRIP, FormatId::BINARY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_are_complementary_and_binary() {
+        let (buyer, seller) = binary_roundtrip_processes().unwrap();
+        assert_eq!(buyer.format, FormatId::BINARY);
+        assert_eq!(seller.format, FormatId::BINARY);
+        PublicProcessDef::check_complementary(&buyer, &seller).unwrap();
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`pip3a4`] — RosettaNet PIP 3A4 with RNIF-style receipt
 //!   acknowledgments and time-outs,
 //! * [`edi_roundtrip`] — the classic EDI 850/855 round trip,
+//! * [`binary_roundtrip`] — the same round trip on the compact binary
+//!   wire format,
 //! * [`oagis_bod`] — OAGIS PROCESS_PO / ACKNOWLEDGE_PO,
 //! * [`bpss`] — an ebXML-BPSS-like textual language for *negotiated*
 //!   public processes, with complementarity checking,
@@ -22,6 +24,7 @@
 //!   when one side of a running interaction fails permanently.
 
 pub mod agreement;
+pub mod binary_roundtrip;
 pub mod bpss;
 pub mod edi_roundtrip;
 pub mod error;

@@ -177,7 +177,7 @@ impl<'v> Operand<'v> {
         match self {
             Operand::Owned(v) => v,
             Operand::Ref(v) => v.clone(),
-            Operand::Str(s) => Value::Text(s.to_string()),
+            Operand::Str(s) => Value::text(s),
         }
     }
 

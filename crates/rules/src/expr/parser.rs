@@ -134,7 +134,7 @@ impl Parser {
     fn factor(&mut self) -> Result<Expr> {
         match self.bump() {
             Some(TokenKind::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
-            Some(TokenKind::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(TokenKind::Str(s)) => Ok(Expr::Literal(Value::Text(s.into()))),
             Some(TokenKind::Minus) => Ok(Expr::Neg(Box::new(self.factor()?))),
             Some(TokenKind::LParen) => {
                 let inner = self.or_expr()?;

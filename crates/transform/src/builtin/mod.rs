@@ -13,12 +13,14 @@
 //! | `rejected` | `IR` | `RD` | `Reject` | `REJECTED` | `003` | `REJECTED` |
 //! | `accepted-with-changes` | `IC` | `AC` | `Modify` | `MODIFIED` | `002` | `MODIFIED` |
 
+mod binary;
 mod edi;
 mod oagis;
 mod oracle;
 mod rosettanet;
 mod sap;
 
+pub use binary::binary_programs;
 pub use edi::edi_programs;
 pub use oagis::oagis_programs;
 pub use oracle::oracle_programs;
@@ -29,14 +31,15 @@ use crate::mapping::MappingRule;
 use crate::program::TransformProgram;
 
 /// All built-in programs (4 per format for PO/POA, plus the RosettaNet
-/// RFQ/quote pair).
+/// and binary RFQ/quote pairs).
 pub fn all_builtins() -> Vec<TransformProgram> {
-    let mut out = Vec::with_capacity(24);
+    let mut out = Vec::with_capacity(32);
     out.extend(edi_programs());
     out.extend(rosettanet_programs());
     out.extend(oagis_programs());
     out.extend(sap_programs());
     out.extend(oracle_programs());
+    out.extend(binary_programs());
     out
 }
 
@@ -60,15 +63,17 @@ mod tests {
     #[test]
     fn all_programs_have_unique_ids() {
         let programs = all_builtins();
-        assert_eq!(programs.len(), 24);
+        assert_eq!(programs.len(), 32);
         let ids: BTreeSet<String> = programs.iter().map(|p| p.id().to_string()).collect();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 32);
     }
 
     #[test]
     fn every_program_has_rules() {
         for p in all_builtins() {
-            assert!(p.rule_count() >= 4, "{} looks empty", p.id());
+            // Binary programs are whole-subtree moves (the wire shape is
+            // the normalized shape), so one rule can be a full mapping.
+            assert!(p.rule_count() >= 1, "{} looks empty", p.id());
         }
     }
 }

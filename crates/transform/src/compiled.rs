@@ -443,7 +443,7 @@ impl CompiledProgram {
                             }
                         },
                     };
-                    self.set_or_rule_err(to, target, Value::Text(mapped), rule)?;
+                    self.set_or_rule_err(to, target, Value::Text(mapped.into()), rule)?;
                 }
                 Op::ForEach { from, to, body_len, rule } => {
                     let body = &ops[i..i + body_len as usize];

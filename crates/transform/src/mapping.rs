@@ -209,7 +209,7 @@ impl MappingRule {
                         .clone()
                         .ok_or_else(|| err(format!("code `{code}` not in value map")))?,
                 };
-                to.set(target, Value::Text(mapped)).map_err(|e| err(e.to_string()))
+                to.set(target, Value::Text(mapped.into())).map_err(|e| err(e.to_string()))
             }
             Self::ForEach { from, to, rules } => {
                 let items = from

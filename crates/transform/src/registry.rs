@@ -262,6 +262,7 @@ mod tests {
             FormatId::OAGIS,
             FormatId::SAP_IDOC,
             FormatId::ORACLE_APPS,
+            FormatId::BINARY,
         ];
         for f in &wire_formats {
             for kind in [DocKind::PurchaseOrder, DocKind::PurchaseOrderAck] {
@@ -269,7 +270,13 @@ mod tests {
                 assert!(reg.program(&FormatId::NORMALIZED, f, kind).is_ok(), "norm -> {f} {kind}");
             }
         }
-        assert_eq!(reg.len(), 24);
+        for f in [FormatId::ROSETTANET, FormatId::BINARY] {
+            for kind in [DocKind::RequestForQuote, DocKind::Quote] {
+                assert!(reg.program(&f, &FormatId::NORMALIZED, kind).is_ok(), "{f} -> norm {kind}");
+                assert!(reg.program(&FormatId::NORMALIZED, &f, kind).is_ok(), "norm -> {f} {kind}");
+            }
+        }
+        assert_eq!(reg.len(), 32);
     }
 
     #[test]

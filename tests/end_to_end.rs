@@ -27,7 +27,12 @@ fn the_running_example_roundtrip() {
 
 #[test]
 fn every_protocol_reaches_the_same_business_outcome() {
-    for protocol in [ScenarioProtocol::Edi, ScenarioProtocol::RosettaNet, ScenarioProtocol::Oagis] {
+    for protocol in [
+        ScenarioProtocol::Edi,
+        ScenarioProtocol::RosettaNet,
+        ScenarioProtocol::Oagis,
+        ScenarioProtocol::Binary,
+    ] {
         let mut s =
             TwoEnterpriseScenario::with_protocol(protocol, FaultConfig::reliable(), 1).unwrap();
         let po = s.po("same-outcome", 7_000).unwrap();

@@ -295,7 +295,7 @@ fn rule_literal() -> impl Strategy<Value = Value> {
         (-10_000i64..10_000).prop_map(Value::Int),
         (-5_000_000i64..5_000_000, currency())
             .prop_map(|(cents, cur)| Value::Money(Money::from_cents(cents, cur))),
-        "[A-Za-z0-9 ]{0,8}".prop_map(Value::Text),
+        "[A-Za-z0-9 ]{0,8}".prop_map(Value::text),
         date().prop_map(Value::Date),
     ]
 }
@@ -379,7 +379,7 @@ fn rule_expr() -> impl Strategy<Value = Expr> {
             (builtin, inner).prop_map(|(builtin, arg)| Expr::Call { builtin, arg: Box::new(arg) }),
             (call_builtin, call_text).prop_map(|(builtin, text)| Expr::Call {
                 builtin,
-                arg: Box::new(Expr::Literal(Value::Text(text.to_string()))),
+                arg: Box::new(Expr::Literal(Value::text(text))),
             }),
         ]
     })
@@ -468,6 +468,7 @@ proptest! {
             FormatId::OAGIS,
             FormatId::SAP_IDOC,
             FormatId::ORACLE_APPS,
+            FormatId::BINARY,
         ] {
             let down = transforms.transform(&po, &format, &ctx).unwrap();
             let back = transforms.transform(&down, &FormatId::NORMALIZED, &ctx).unwrap();
@@ -480,12 +481,89 @@ proptest! {
         let transforms = TransformRegistry::with_builtins();
         let formats = FormatRegistry::with_builtins();
         let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
-        for format in [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS] {
+        for format in [FormatId::EDI_X12, FormatId::ROSETTANET, FormatId::OAGIS, FormatId::BINARY] {
             let wire_doc = transforms.transform(&po, &format, &ctx).unwrap();
             let bytes = formats.encode(&wire_doc).unwrap();
             let decoded = formats.decode(&format, &bytes).unwrap();
             prop_assert_eq!(decoded.body(), wire_doc.body(), "{}", format);
             prop_assert_eq!(decoded.correlation(), wire_doc.correlation());
+        }
+    }
+
+    #[test]
+    fn every_codec_reencodes_to_identical_wire_bytes(po in normalized_po()) {
+        // Cross-codec identity: decode -> encode is the identity on wire
+        // bytes for all six codecs — a decoded document carries everything
+        // its canonical encoding needs, bit for bit.
+        let transforms = TransformRegistry::with_builtins();
+        let formats = FormatRegistry::with_builtins();
+        let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
+        for format in [
+            FormatId::EDI_X12,
+            FormatId::ROSETTANET,
+            FormatId::OAGIS,
+            FormatId::SAP_IDOC,
+            FormatId::ORACLE_APPS,
+            FormatId::BINARY,
+        ] {
+            let wire_doc = transforms.transform(&po, &format, &ctx).unwrap();
+            let bytes = formats.encode(&wire_doc).unwrap();
+            let decoded = formats.decode(&format, &bytes).unwrap();
+            prop_assert_eq!(&formats.encode(&decoded).unwrap(), &bytes, "{}", format);
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_binary_decodes_are_indistinguishable(po in normalized_po()) {
+        // The zero-copy decode path (text borrowed from the payload
+        // `Bytes`) and the plain path (owned strings) must produce
+        // documents that compare equal, re-encode to identical wire
+        // bytes, and serialize to the same JSON-ish structural
+        // fingerprint — ownership of a `Str` is invisible everywhere.
+        let transforms = TransformRegistry::with_builtins();
+        let formats = FormatRegistry::with_builtins();
+        let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
+        let wire_doc = transforms.transform(&po, &FormatId::BINARY, &ctx).unwrap();
+        let wire = Bytes::from(formats.encode(&wire_doc).unwrap());
+        let owned = formats.decode(&FormatId::BINARY, &wire).unwrap();
+        let borrowed = formats.decode_bytes(&FormatId::BINARY, &wire).unwrap();
+        prop_assert_eq!(&borrowed, &owned);
+        prop_assert_eq!(&formats.encode(&borrowed).unwrap(), &formats.encode(&owned).unwrap());
+        prop_assert_eq!(
+            serde_json::to_string(borrowed.body()).unwrap(),
+            serde_json::to_string(owned.body()).unwrap(),
+            "structural fingerprints diverged between borrowed and owned text"
+        );
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_mutated_payloads(
+        po in normalized_po(),
+        cut in 0usize..=100,
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 0..8),
+    ) {
+        // Decoder hardening: arbitrary truncations and byte flips of a
+        // valid payload (length prefixes, tags, counts, UTF-8 — anything
+        // can be hit) must yield Ok or a Parse error, never a panic or
+        // an unbounded allocation.
+        let transforms = TransformRegistry::with_builtins();
+        let formats = FormatRegistry::with_builtins();
+        let ctx = TransformContext::new("ACME", "GADGET", "000000001", "i-1");
+        let wire_doc = transforms.transform(&po, &FormatId::BINARY, &ctx).unwrap();
+        let mut bytes = formats.encode(&wire_doc).unwrap();
+        for (at, byte) in &flips {
+            let len = bytes.len();
+            bytes[at % len] = *byte;
+        }
+        bytes.truncate(bytes.len() * cut / 100);
+        let mutated = Bytes::from(bytes);
+        // Both decode paths: plain slice and shared-payload.
+        if let Ok(doc) = formats.decode(&FormatId::BINARY, &mutated) {
+            // A surviving decode must still re-encode cleanly.
+            formats.encode(&doc).unwrap();
+        }
+        if let Ok(doc) = formats.decode_bytes(&FormatId::BINARY, &mutated) {
+            formats.encode(&doc).unwrap();
         }
     }
 
@@ -511,6 +589,7 @@ proptest! {
             FormatId::OAGIS,
             FormatId::SAP_IDOC,
             FormatId::ORACLE_APPS,
+            FormatId::BINARY,
         ] {
             let down = transforms.transform(&poa, &format, &ctx).unwrap();
             let back = transforms.transform(&down, &FormatId::NORMALIZED, &ctx).unwrap();

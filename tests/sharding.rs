@@ -300,6 +300,59 @@ fn pool_spawns_no_threads_after_warm_up() {
 }
 
 #[test]
+fn binary_protocol_fingerprints_are_identical_across_shards() {
+    // The zero-copy decode path must be as deterministic as the text
+    // codecs: with both partners on the compact binary wire format
+    // (documents full of borrowed `Str`s at the edge), a lossy run's
+    // fingerprint is byte-identical across shard counts and dispatch
+    // modes. Text ownership — borrowed slices of the payload `Bytes`
+    // versus owned strings after a transform — must be invisible to
+    // every counter, state, and audit record.
+    use semantic_b2b::integration::scenario::ScenarioProtocol;
+
+    let run_binary = |shards: usize, interpreted: bool| {
+        let mut s = TwoEnterpriseScenario::with_protocol(
+            ScenarioProtocol::Binary,
+            FaultConfig::flaky(0.3),
+            23,
+        )
+        .unwrap();
+        s.buyer.set_shards(shards);
+        s.seller.set_shards(shards);
+        s.buyer.set_interpreted_transforms(interpreted);
+        s.seller.set_interpreted_transforms(interpreted);
+        s.buyer.set_interpreted_rules(interpreted);
+        s.seller.set_interpreted_rules(interpreted);
+        s.buyer.set_partner_policy(PartnerPolicy::permissive());
+        s.seller.set_partner_policy(PartnerPolicy::permissive());
+        for i in 0..6 {
+            let po = s.po(&format!("po-bin-{i}"), 1_000 + i).unwrap();
+            s.submit(po).unwrap();
+        }
+        let elapsed = s.run_until_quiescent(240_000).unwrap();
+        (elapsed, fingerprint(&s.buyer), fingerprint(&s.seller))
+    };
+
+    let baseline = run_binary(1, false);
+    assert!(baseline.1.completed >= 1, "at least one binary session completed");
+    for (shards, interpreted) in [(4, false), (1, true), (4, true)] {
+        let other = run_binary(shards, interpreted);
+        assert_eq!(
+            baseline.0, other.0,
+            "elapsed diverged at {shards} shards (interpreted: {interpreted})"
+        );
+        assert_eq!(
+            baseline.1, other.1,
+            "buyer diverged at {shards} shards (interpreted: {interpreted})"
+        );
+        assert_eq!(
+            baseline.2, other.2,
+            "seller diverged at {shards} shards (interpreted: {interpreted})"
+        );
+    }
+}
+
+#[test]
 fn decode_memo_hits_track_duplication() {
     // Every duplicated delivery the reliable layer suppresses is counted
     // against the decode memo: the original decode populated the memo, so
