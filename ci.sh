@@ -15,11 +15,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --offline --release --workspace
 
-# The experiments binary's identity assertions (E15-E18) without the
+# The experiments binary's identity assertions (E15-E21) without the
 # timing loops: compiled-vs-interpreted dispatch agreement, wire byte
 # stability, broadcast observables across dispatch mode x shard count,
-# and the chaos coverage invariant with breaker states in the
-# determinism fingerprint.
+# the chaos coverage invariant with breaker states in the determinism
+# fingerprint, and the Small-tier population identity + flat-cost pass
+# (touched-only vs full-partition settle, 10x idle growth).
 echo "== experiments --quick (identity assertions) =="
 cargo run --offline --release -q -p b2b-bench --bin experiments -- --quick
 
@@ -60,6 +61,12 @@ B2B_WIRE_FORMAT=binary cargo test --offline -q --workspace
 # interleaving, the hardest schedule for the fingerprint contract.
 echo "== sharding determinism (B2B_POOL_STRESS=1, steal-chunk 1) =="
 B2B_POOL_STRESS=1 B2B_SHARDS=4 cargo test --offline -q --test sharding
+
+# The big population fixtures (Large and Huge tiers, up to a million
+# sessions) are generated to disk once; later E21 runs load them
+# instead of regenerating. Idempotent: existing fixtures are reused.
+echo "== population fixtures (Large + Huge tiers) =="
+cargo run --offline --release -q -p b2b-bench --bin experiments -- --fixtures
 
 # Benches are not run in CI, but they must keep compiling.
 echo "== cargo bench --no-run =="

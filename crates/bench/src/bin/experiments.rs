@@ -6,6 +6,7 @@
 //! cargo run -p b2b-bench --bin experiments -- e5 e9   # selected ones
 //! ```
 
+use b2b_bench::population::SizeTier;
 use b2b_bench::{explosion_row, run_roundtrips};
 use b2b_core::baseline::cooperative::IntegrationConfig;
 use b2b_core::baseline::distributed::run_distributed_roundtrip;
@@ -26,9 +27,29 @@ fn main() {
         // CI mode: every identity assertion of the perf and chaos
         // experiments (E15-E18) without the timing loops — seconds, not
         // minutes.
-        println!("==== QUICK — identity assertions for E15/E16/E17/E18/E19/E20, no timing ====");
+        println!(
+            "==== QUICK — identity assertions for E15/E16/E17/E18/E19/E20/E21, no timing ===="
+        );
         quick_identity();
         println!("quick identity pass: all assertions held");
+        return;
+    }
+    if args.iter().any(|a| a == "--fixtures") {
+        // Generate the big population fixtures to disk once, so full E21
+        // runs (and any future tier) load instead of regenerating.
+        use b2b_bench::population::{PopulationPlan, DEFAULT_POPULATION_SEED};
+        let dir = std::path::Path::new("fixtures");
+        for tier in [SizeTier::Large, SizeTier::Huge] {
+            let plan = PopulationPlan::load_or_generate(tier, DEFAULT_POPULATION_SEED, dir);
+            let path = PopulationPlan::fixture_path(dir, tier, DEFAULT_POPULATION_SEED);
+            println!(
+                "fixture {}: {} partners, {} sessions ({})",
+                tier.name(),
+                plan.partners.len(),
+                plan.traffic.len(),
+                path.display(),
+            );
+        }
         return;
     }
     let all = args.is_empty();
@@ -52,6 +73,7 @@ fn main() {
         ("e18", "Partner failure domains: chaos grid, breakers, graceful degradation", e18),
         ("e19", "Persistent-worker runtime: pool utilization, per-session memory", e19),
         ("e20", "Compact binary wire format: zero-copy decode, per-format codec cost", e20),
+        ("e21", "Population-scale settle: touched-only rounds, million-session harness", e21),
     ];
     for (id, title, run) in experiments {
         if want(id) {
@@ -401,17 +423,17 @@ fn e14() {
     use b2b_protocol::TradingPartnerAgreement;
     use b2b_rules::{BusinessRule, RuleFunction};
 
-    const SELLERS: usize = 24;
+    let sellers_n = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
 
-    // One buyer broadcasts an RFQ to SELLERS sellers over one correlation:
-    // SELLERS independent sessions on the buyer's engine, the workload the
+    // One buyer broadcasts an RFQ to sellers_n sellers over one correlation:
+    // sellers_n independent sessions on the buyer's engine, the workload the
     // sharded execute stage partitions by hash of (correlation, partner).
     let run = |shards: usize| -> (f64, u64, IntegrationStats, IntegrationStats, usize) {
         let mut net = SimNetwork::new(FaultConfig::reliable(), 14);
         let mut buyer = IntegrationEngine::new("ACME", &mut net).expect("buyer");
         buyer.set_shards(shards);
         let mut sellers = Vec::new();
-        for i in 0..SELLERS {
+        for i in 0..sellers_n {
             let name = format!("Seller{i:02}");
             let mut seller = IntegrationEngine::new(&name, &mut net).expect("seller");
             seller.set_shards(shards);
@@ -495,7 +517,7 @@ fn e14() {
     };
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("{SELLERS}-seller RFQ broadcast; results asserted identical at every shard count");
+    println!("{sellers_n}-seller RFQ broadcast; results asserted identical at every shard count");
     println!("host cores: {cores} (speedup is bounded by physical parallelism)");
     println!("shards | wall ms | sessions/s | speedup | completed sim-ms");
     let baseline = run(1);
@@ -579,13 +601,13 @@ fn e15() {
     // sellers, RosettaNet RFQ -> Quote) with the whole fleet toggled
     // between dispatch modes. Outcomes must be identical — the toggle may
     // only move wall-clock time.
-    const SELLERS: usize = 24;
+    let sellers_n = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
     let run = |interpret: bool| -> (f64, u64, IntegrationStats, usize, CodecCacheStats) {
         let mut net = SimNetwork::new(FaultConfig::reliable(), 15);
         let mut buyer = IntegrationEngine::new("ACME", &mut net).expect("buyer");
         buyer.set_interpreted_transforms(interpret);
         let mut sellers = Vec::new();
-        for i in 0..SELLERS {
+        for i in 0..sellers_n {
             let name = format!("Seller{i:02}");
             let mut seller = IntegrationEngine::new(&name, &mut net).expect("seller");
             seller.set_interpreted_transforms(interpret);
@@ -669,7 +691,7 @@ fn e15() {
     let interp_per_s = interp_done as f64 / (interp_wall / 1_000.0);
     let comp_per_s = comp_done as f64 / (comp_wall / 1_000.0);
     println!();
-    println!("{SELLERS}-seller RFQ broadcast, end to end (results asserted identical):");
+    println!("{sellers_n}-seller RFQ broadcast, end to end (results asserted identical):");
     println!("  interpreted: {interp_wall:>7.1} ms wall  {interp_per_s:>8.0} sessions/s");
     println!(
         "  compiled:    {comp_wall:>7.1} ms wall  {comp_per_s:>8.0} sessions/s  ({:.2}x)",
@@ -681,7 +703,7 @@ fn e15() {
         "{{\n  \"experiment\": \"binding\",\n  \"roundtrip\": {{\"batches\": {BATCHES}, \
          \"batch_iters\": {BATCH_ITERS}, \
          \"interpreted_us_per_doc\": {interp_us:.3}, \"compiled_us_per_doc\": {compiled_us:.3}, \
-         \"speedup\": {speedup:.3}}},\n  \"rfq_broadcast\": {{\"sellers\": {SELLERS}, \
+         \"speedup\": {speedup:.3}}},\n  \"rfq_broadcast\": {{\"sellers\": {sellers_n}, \
          \"interpreted_wall_ms\": {interp_wall:.2}, \"compiled_wall_ms\": {comp_wall:.2}, \
          \"interpreted_sessions_per_s\": {interp_per_s:.1}, \"compiled_sessions_per_s\": \
          {comp_per_s:.1}, \"speedup\": {:.3}}},\n  \"codec_cache\": {{\"decode_hits\": {}, \
@@ -824,7 +846,7 @@ fn e16() {
     // integration stats, WFMS counters (guard evaluations included),
     // completions, simulated clock, per-stage counters — must be
     // byte-identical across all four runs; only wall-clock may move.
-    const SELLERS: usize = 24;
+    let sellers_n = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
     struct Run {
         wall_ms: f64,
         sim_ms: u64,
@@ -840,7 +862,7 @@ fn e16() {
         buyer.set_interpreted_rules(interpret);
         buyer.set_shards(shards);
         let mut sellers = Vec::new();
-        for i in 0..SELLERS {
+        for i in 0..sellers_n {
             let name = format!("Seller{i:02}");
             let mut seller = IntegrationEngine::new(&name, &mut net).expect("seller");
             seller.set_interpreted_rules(interpret);
@@ -947,7 +969,7 @@ fn e16() {
     }
     println!();
     println!(
-        "{SELLERS}-seller RFQ broadcast, end to end \
+        "{sellers_n}-seller RFQ broadcast, end to end \
          (all observables asserted identical across modes and shard counts):"
     );
     println!("  interpreted rules, 1 shard:  {:>7.1} ms wall", interp1.wall_ms);
@@ -986,7 +1008,7 @@ fn e16() {
          \"plain_interpreted_us_per_invoke\": {plain_interp_us:.3}, \
          \"plain_compiled_us_per_invoke\": {plain_compiled_us:.3}, \
          \"plain_speedup\": {plain_speedup:.3}}},\n  \
-         \"rfq_broadcast\": {{\"sellers\": {SELLERS}, \
+         \"rfq_broadcast\": {{\"sellers\": {sellers_n}, \
          \"interpreted_wall_ms_1shard\": {:.2}, \"interpreted_wall_ms_4shards\": {:.2}, \
          \"compiled_wall_ms_1shard\": {:.2}, \"compiled_wall_ms_4shards\": {:.2}, \
          \"speedup_vs_binding_baseline\": {vs_baseline}}},\n  \
@@ -1318,12 +1340,12 @@ fn e17() {
     // WFMS counters, completions, simulated clock, stage counters, codec
     // cache traffic, fleet routing) must be byte-identical — only wall
     // clock and allocator traffic may move.
-    const SELLERS: usize = 24;
-    std::hint::black_box(rfq_broadcast_audited(SELLERS, false, 1)); // warm-up
+    let sellers = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
+    std::hint::black_box(rfq_broadcast_audited(sellers, false, 1)); // warm-up
     let best = |interpret: bool, shards: usize| -> BroadcastRun {
-        let mut best = rfq_broadcast_audited(SELLERS, interpret, shards);
+        let mut best = rfq_broadcast_audited(sellers, interpret, shards);
         for _ in 0..2 {
-            let next = rfq_broadcast_audited(SELLERS, interpret, shards);
+            let next = rfq_broadcast_audited(sellers, interpret, shards);
             if next.wall_ms < best.wall_ms {
                 best = next;
             }
@@ -1342,7 +1364,7 @@ fn e17() {
     let bc_allocs = compiled1.alloc.allocations as f64 / compiled1.fleet_routed as f64;
     println!();
     println!(
-        "{SELLERS}-seller RFQ broadcast, end to end \
+        "{sellers}-seller RFQ broadcast, end to end \
          (all observables asserted identical across modes and shard counts):"
     );
     println!("  interpreted, 1 shard:  {:>7.1} ms wall", interp1.wall_ms);
@@ -1363,7 +1385,7 @@ fn e17() {
          \"rule_scan\": {{\"partners\": {PARTNERS}, \"us_per_invoke\": {scan_us:.3}, \
          \"allocs_per_invoke\": {scan_allocs:.2}, \
          \"speedup_vs_exec_baseline\": {scan_speedup}}},\n  \
-         \"rfq_broadcast\": {{\"sellers\": {SELLERS}, \
+         \"rfq_broadcast\": {{\"sellers\": {sellers}, \
          \"compiled_wall_ms_1shard\": {:.2}, \"compiled_wall_ms_4shards\": {:.2}, \
          \"interpreted_wall_ms_1shard\": {:.2}, \"interpreted_wall_ms_4shards\": {:.2}, \
          \"fleet_routed_documents\": {}, \"allocs_per_doc\": {bc_allocs:.1}}}\n}}\n",
@@ -1545,16 +1567,17 @@ fn e19() {
     // Wall clock is honest about the host: on a {cores}-core machine the
     // speedup column is bounded by physical parallelism, and the win the
     // pool buys is the *absence* of per-round spawn/join cost.
-    println!("E14 broadcast workload on the persistent worker pool (24 sellers)");
+    let sellers = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
+    println!("E14 broadcast workload on the persistent worker pool ({sellers} sellers)");
     println!("host cores: {cores} (speedup is bounded by physical parallelism)");
     println!("shards | wall ms | speedup | rounds | inline | chunks | steals | spawned");
-    let base = rfq_broadcast_audited(24, false, 1);
+    let base = rfq_broadcast_audited(sellers, false, 1);
     let mut rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         let run = if shards == 1 {
-            rfq_broadcast_audited(24, false, 1)
+            rfq_broadcast_audited(sellers, false, 1)
         } else {
-            rfq_broadcast_audited(24, false, shards)
+            rfq_broadcast_audited(sellers, false, shards)
         };
         assert_broadcast_identical(&format!("pool shards={shards}"), &base, &run);
         let p = run.pool;
@@ -1790,12 +1813,12 @@ fn e20() {
     // — every odd seller on the binary codec — asserted observably
     // identical across dispatch mode x shard count, exactly like the
     // homogeneous E17 broadcast.
-    const SELLERS: usize = 24;
-    std::hint::black_box(rfq_broadcast_audited_mixed(SELLERS, false, 1, true)); // warm-up
-    let mixed1 = rfq_broadcast_audited_mixed(SELLERS, false, 1, true);
-    let mixed4 = rfq_broadcast_audited_mixed(SELLERS, false, 4, true);
-    let mixed_i1 = rfq_broadcast_audited_mixed(SELLERS, true, 1, true);
-    let mixed_i4 = rfq_broadcast_audited_mixed(SELLERS, true, 4, true);
+    let sellers = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
+    std::hint::black_box(rfq_broadcast_audited_mixed(sellers, false, 1, true)); // warm-up
+    let mixed1 = rfq_broadcast_audited_mixed(sellers, false, 1, true);
+    let mixed4 = rfq_broadcast_audited_mixed(sellers, false, 4, true);
+    let mixed_i1 = rfq_broadcast_audited_mixed(sellers, true, 1, true);
+    let mixed_i4 = rfq_broadcast_audited_mixed(sellers, true, 4, true);
     for (label, other) in [
         ("mixed compiled/4", &mixed4),
         ("mixed interpreted/1", &mixed_i1),
@@ -1803,14 +1826,14 @@ fn e20() {
     ] {
         assert_broadcast_identical(label, &mixed1, other);
     }
-    let pure = rfq_broadcast_audited(SELLERS, false, 1);
+    let pure = rfq_broadcast_audited(sellers, false, 1);
     let mixed_allocs = mixed1.alloc.allocations as f64 / mixed1.fleet_routed as f64;
     let pure_allocs = pure.alloc.allocations as f64 / pure.fleet_routed as f64;
     println!();
     println!(
-        "{SELLERS}-seller RFQ broadcast, {} sellers on the binary codec \
+        "{sellers}-seller RFQ broadcast, {} sellers on the binary codec \
          (all observables identical across modes and shard counts):",
-        SELLERS / 2
+        sellers / 2
     );
     println!("  mixed fleet:       {mixed_allocs:>6.0} allocs/routed doc");
     println!("  all-RosettaNet:    {pure_allocs:>6.0} allocs/routed doc");
@@ -1834,11 +1857,11 @@ fn e20() {
          \"e17_baseline\": {{\"transform_only_us_per_doc\": {e17_us:.3}, \
          \"transform_only_allocs_per_doc\": {e17_allocs:.2}, \
          \"broadcast_allocs_per_routed_doc\": {e17_routed:.1}}},\n  \
-         \"mixed_broadcast\": {{\"sellers\": {SELLERS}, \"binary_sellers\": {}, \
+         \"mixed_broadcast\": {{\"sellers\": {sellers}, \"binary_sellers\": {}, \
          \"allocs_per_routed_doc\": {mixed_allocs:.1}, \
          \"pure_rosettanet_allocs_per_routed_doc\": {pure_allocs:.1}, \
          \"compiled_wall_ms_1shard\": {:.2}, \"compiled_wall_ms_4shards\": {:.2}}}\n}}\n",
-        SELLERS / 2,
+        sellers / 2,
         mixed1.wall_ms,
         mixed4.wall_ms,
     );
@@ -1846,6 +1869,152 @@ fn e20() {
         println!("(BENCH_wire.json not written: {e})");
     } else {
         println!("wrote BENCH_wire.json");
+    }
+}
+
+fn e21() {
+    use b2b_bench::population::{
+        run_flat_cost, run_population, PopulationConfig, PopulationPlan, DEFAULT_POPULATION_SEED,
+    };
+    use std::path::Path;
+
+    let tier = SizeTier::from_env(SizeTier::Large);
+    let seed = DEFAULT_POPULATION_SEED;
+    let plan = PopulationPlan::load_or_generate(tier, seed, Path::new("fixtures"));
+    println!(
+        "population: tier={} ({} partners, {} sessions; {} responder-directed), seed={seed}",
+        tier.name(),
+        plan.partners.len(),
+        plan.traffic.len(),
+        plan.responder_sessions(),
+    );
+
+    // Part 1: sharded-vs-sequential byte-identity at scale. Two full
+    // population runs — every deterministic observable (stats, session
+    // outcomes, settle rounds/touched, network counters) must agree.
+    let seq = run_population(&plan, &PopulationConfig::default()).expect("sequential run");
+    let sharded = run_population(&plan, &PopulationConfig { shards: 4, ..Default::default() })
+        .expect("sharded run");
+    assert_eq!(
+        seq.fingerprint, sharded.fingerprint,
+        "shard count leaked into population observables"
+    );
+    println!("identity: sequential and 4-shard runs byte-identical at {} sessions", seq.sessions);
+
+    // The touched-only-vs-full-partition differential runs one tier down:
+    // the reference path deliberately moves every resident instance each
+    // round, which is exactly the quadratic blow-up the optimization
+    // removed — at the full tier it would dominate the experiment.
+    let diff_tier = match tier {
+        SizeTier::Tiny | SizeTier::Small => tier,
+        _ => SizeTier::Medium,
+    };
+    let diff_plan = PopulationPlan::generate(diff_tier, seed);
+    let touched = run_population(&diff_plan, &PopulationConfig { shards: 4, ..Default::default() })
+        .expect("touched-only run");
+    let full = run_population(
+        &diff_plan,
+        &PopulationConfig { shards: 4, full_partition: true, ..Default::default() },
+    )
+    .expect("full-partition run");
+    assert_eq!(
+        touched.fingerprint, full.fingerprint,
+        "touched-only settle diverged from the full-partition reference"
+    );
+    println!(
+        "identity: touched-only vs full-partition reference byte-identical at tier {} \
+         ({} vs {} instances moved)",
+        diff_tier.name(),
+        touched.settle.moved_total,
+        full.settle.moved_total,
+    );
+
+    // Part 2: sustained-throughput numbers from the sharded run.
+    let wall_s = sharded.wall_ms / 1_000.0;
+    let docs_per_s = sharded.routed_docs as f64 / wall_s;
+    let sessions_per_s = sharded.sessions as f64 / wall_s;
+    let allocs_per_doc = sharded.alloc.allocations as f64 / sharded.routed_docs.max(1) as f64;
+    println!();
+    println!("sustained traffic (4 shards, faults on):");
+    println!(
+        "  {:.0} docs/s routed, {:.0} sessions/s initiated ({} completed, {} quotes, \
+         {} duplicate deliveries suppressed)",
+        docs_per_s,
+        sessions_per_s,
+        sharded.completed,
+        sharded.replies,
+        sharded.duplicates_suppressed,
+    );
+    println!(
+        "  {} bytes/open session ({} sessions retained), {allocs_per_doc:.0} allocs/routed doc",
+        sharded.memory.bytes_per_session, sharded.memory.sessions,
+    );
+    if let Some(kb) = sharded.vm_hwm_kb {
+        println!("  peak RSS (VmHWM): {:.1} MiB", kb as f64 / 1024.0);
+    }
+
+    // Part 3: the flat-cost assertion — the same active burst against a
+    // 1x and a 10x idle-session backdrop must cost the same per round
+    // (instances moved) and per routed document (allocator calls),
+    // within 5%. This is the in-run guard on the touched-only settle.
+    let (base_idle, active) = match tier {
+        SizeTier::Tiny => (40, 24),
+        SizeTier::Small => (300, 200),
+        SizeTier::Medium => (1_000, 600),
+        SizeTier::Large | SizeTier::Huge => (5_000, 2_000),
+    };
+    let flat = run_flat_cost(tier, seed, 4, base_idle, active).expect("flat-cost probe");
+    println!();
+    println!("flat-cost probe (4 shards, {active} active sessions per burst):");
+    println!("  idle sessions | resident | moved/round | allocs/doc");
+    for phase in [&flat.base, &flat.grown] {
+        println!(
+            "  {:>13} | {:>8} | {:>11.1} | {:>10.0}",
+            phase.idle_sessions,
+            phase.instances_resident,
+            phase.moved_per_round,
+            phase.allocs_per_doc,
+        );
+    }
+    let drift = flat.max_drift();
+    println!("  max drift: {:.2}% (limit 5%)", drift * 100.0);
+    assert!(drift <= 0.05, "per-round settle cost must stay flat under 10x idle growth: {flat:?}");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"population\",\n  \"tier\": \"{}\",\n  \"seed\": {seed},\n  \
+         \"partners\": {},\n  \"sessions\": {},\n  \"completed\": {},\n  \"replies\": {},\n  \
+         \"duplicates_suppressed\": {},\n  \
+         \"throughput\": {{\"docs_per_s\": {docs_per_s:.0}, \"sessions_per_s\": {sessions_per_s:.0}, \
+         \"wall_ms\": {:.1}, \"allocs_per_routed_doc\": {allocs_per_doc:.1}, \
+         \"bytes_per_session\": {}, \"vm_hwm_kb\": {}}},\n  \
+         \"settle\": {{\"rounds\": {}, \"touched_total\": {}, \"moved_total\": {}}},\n  \
+         \"flat_cost\": {{\"base_idle\": {}, \"grown_idle\": {}, \
+         \"base_moved_per_round\": {:.2}, \"grown_moved_per_round\": {:.2}, \
+         \"base_allocs_per_doc\": {:.1}, \"grown_allocs_per_doc\": {:.1}, \
+         \"max_drift\": {drift:.4}}}\n}}\n",
+        tier.name(),
+        sharded.partners,
+        sharded.sessions,
+        sharded.completed,
+        sharded.replies,
+        sharded.duplicates_suppressed,
+        sharded.wall_ms,
+        sharded.memory.bytes_per_session,
+        sharded.vm_hwm_kb.unwrap_or(0),
+        sharded.settle.rounds,
+        sharded.settle.touched_total,
+        sharded.settle.moved_total,
+        flat.base.idle_sessions,
+        flat.grown.idle_sessions,
+        flat.base.moved_per_round,
+        flat.grown.moved_per_round,
+        flat.base.allocs_per_doc,
+        flat.grown.allocs_per_doc,
+    );
+    if let Err(e) = std::fs::write("BENCH_population.json", &json) {
+        println!("(BENCH_population.json not written: {e})");
+    } else {
+        println!("wrote BENCH_population.json");
     }
 }
 
@@ -1930,11 +2099,12 @@ fn quick_identity() {
 
     // E17: the RFQ broadcast is observably identical across dispatch mode
     // x shard count (single run per configuration — identity only).
+    let sellers = SizeTier::from_env(SizeTier::Small).broadcast_sellers();
     let base = rfq_broadcast_audited(24, false, 1);
     for (label, interpret, shards) in
         [("compiled/4", false, 4), ("interpreted/1", true, 1), ("interpreted/4", true, 4)]
     {
-        let other = rfq_broadcast_audited(24, interpret, shards);
+        let other = rfq_broadcast_audited(sellers, interpret, shards);
         assert_broadcast_identical(label, &base, &other);
     }
     println!("  E17: broadcast observables identical across dispatch x shard count");
@@ -1944,7 +2114,7 @@ fn quick_identity() {
     // and that the sharded run's observables already matched (asserted
     // in the E17 block; pool shape is invisible in every fingerprint).
     {
-        let pooled = rfq_broadcast_audited(24, false, 4);
+        let pooled = rfq_broadcast_audited(sellers, false, 4);
         assert_broadcast_identical("E19 pool/4", &base, &pooled);
         assert_eq!(pooled.pool.threads_spawned, 3, "E19: pool must spawn exactly 3 workers");
         assert!(
@@ -2015,16 +2185,60 @@ fn quick_identity() {
                 );
             }
         }
-        let mixed = rfq_broadcast_audited_mixed(24, false, 1, true);
+        let mixed = rfq_broadcast_audited_mixed(sellers, false, 1, true);
         for (label, interpret, shards) in
             [("compiled/4", false, 4), ("interpreted/1", true, 1), ("interpreted/4", true, 4)]
         {
-            let other = rfq_broadcast_audited_mixed(24, interpret, shards, true);
+            let other = rfq_broadcast_audited_mixed(sellers, interpret, shards, true);
             assert_broadcast_identical(&format!("E20 mixed {label}"), &mixed, &other);
         }
         println!(
             "  E20: six codecs byte-stable; binary decode zero-copy; \
              mixed-format broadcast identical across dispatch x shard count"
+        );
+    }
+
+    // E21: a Small-tier population run (partners in the thousands is the
+    // full experiment; CI runs the same machinery at 64 partners / 2,000
+    // sessions) is byte-identical across shard count and against the
+    // full-partition settle reference, and per-round settle cost stays
+    // flat as the idle-session population grows 10x.
+    {
+        use b2b_bench::population::{
+            run_flat_cost, run_population, PopulationConfig, PopulationPlan,
+            DEFAULT_POPULATION_SEED,
+        };
+        let tier = SizeTier::Small;
+        let plan = PopulationPlan::generate(tier, DEFAULT_POPULATION_SEED);
+        let base = run_population(&plan, &PopulationConfig::default()).expect("population/1");
+        assert_eq!(base.completed, plan.responder_sessions(), "E21: sessions went missing");
+        for (label, cfg) in [
+            ("shards=4", PopulationConfig { shards: 4, ..Default::default() }),
+            (
+                "full-partition/4",
+                PopulationConfig { shards: 4, full_partition: true, ..Default::default() },
+            ),
+            (
+                "interpreted/4",
+                PopulationConfig { shards: 4, interpreted: true, ..Default::default() },
+            ),
+        ] {
+            let other = run_population(&plan, &cfg).expect(label);
+            assert_eq!(base.fingerprint, other.fingerprint, "E21: {label} diverged");
+        }
+        let flat =
+            run_flat_cost(tier, DEFAULT_POPULATION_SEED, 4, 300, 200).expect("E21 flat-cost probe");
+        assert!(
+            flat.max_drift() <= 0.05,
+            "E21: settle cost must stay flat under 10x idle growth: {flat:?}"
+        );
+        println!(
+            "  E21: {}-partner population identical across shards/settle paths; \
+             settle cost flat at {} -> {} idle sessions (drift {:.2}%)",
+            plan.partners.len(),
+            flat.base.idle_sessions,
+            flat.grown.idle_sessions,
+            flat.max_drift() * 100.0,
         );
     }
 }

@@ -152,6 +152,46 @@ fn binary_decode_allocations_are_independent_of_text_payload() {
 }
 
 #[test]
+fn settle_cost_is_independent_of_idle_session_population() {
+    // The touched-only settle contract at the harness level: grow the
+    // idle-session population 10x and run the *identical* active burst —
+    // per-round planner work (instances moved into shard slices) and
+    // per-document allocator traffic must not drift. Before the
+    // touched-only planner, every idle instance was moved into a shard
+    // slice every round, so this probe scaled linearly with idle mass.
+    use b2b_bench::population::{run_flat_cost, SizeTier};
+
+    let report = run_flat_cost(SizeTier::Tiny, 5, 2, 40, 24).expect("flat-cost probe");
+    assert_eq!(
+        report.base.active_sessions, report.grown.active_sessions,
+        "both phases ran the same burst"
+    );
+    assert!(
+        report.grown.idle_sessions >= report.base.idle_sessions * 5,
+        "idle population must have grown substantially: {} -> {}",
+        report.base.idle_sessions,
+        report.grown.idle_sessions
+    );
+    assert!(
+        report.grown.instances_resident >= report.base.instances_resident * 5,
+        "resident instances must have grown with the idle sessions"
+    );
+    // The planner's touched set is exactly the active traffic, so the
+    // identical burst touches (and moves) the identical instances — the
+    // counters match exactly, not just within a tolerance.
+    assert_eq!(report.base.rounds, report.grown.rounds, "settle rounds drifted");
+    assert_eq!(report.base.moved, report.grown.moved, "instances moved drifted");
+    assert_eq!(report.base.touched, report.grown.touched, "touched set drifted");
+    // Allocator traffic per routed document may wobble with BTreeMap
+    // depth and pool-thread timing, but must stay within the 5% band the
+    // experiment asserts.
+    assert!(
+        report.max_drift() <= 0.05,
+        "per-document allocation cost drifted under idle growth: {report:?}"
+    );
+}
+
+#[test]
 fn interning_the_same_names_again_allocates_nothing() {
     // Warm the interner with the vocabulary, then re-intern it: hits on
     // the read path must not touch the allocator at all.

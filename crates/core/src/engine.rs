@@ -255,6 +255,24 @@ impl IntegrationEngine {
         self.wf.pool_stats()
     }
 
+    /// Settle-cost counters of the workflow engine: instances resident,
+    /// the last round's touched set, instances physically moved into
+    /// shard slices (also embedded in
+    /// [`stage_profile`](Self::stage_profile) after each pump). The
+    /// touched/round members are deterministic; the moved counts depend
+    /// on the shard layout (see [`b2b_wfms::SettleMetrics`]).
+    pub fn settle_metrics(&self) -> b2b_wfms::SettleMetrics {
+        self.wf.settle_metrics()
+    }
+
+    /// Switches the workflow engine's multi-shard settle rounds to the
+    /// full-partition reference path (every busy shard's instances move
+    /// every round). Differential tests prove touched-only settle is
+    /// byte-identical to this; production code never needs it.
+    pub fn set_full_partition_settle(&mut self, full: bool) {
+        self.wf.set_full_partition_settle(full);
+    }
+
     /// Measured retained memory of the session table — the
     /// bytes-per-open-session figure the compact layout is accountable
     /// to.

@@ -271,31 +271,38 @@ impl fmt::Display for SessionMemory {
 }
 
 /// Per-stage pipeline profile: deterministic counters plus wall-clock
-/// timers and pool utilization, kept separate so tests can fingerprint
-/// the counters without the measurements.
+/// timers, pool utilization, and settle-cost counters, kept separate so
+/// tests can fingerprint the counters without the measurements.
 ///
-/// Only `counters` belongs in determinism fingerprints: `timers` is
-/// wall-clock and `pool` includes scheduling-dependent steal counts (see
-/// [`b2b_wfms::PoolStats`]).
+/// Only `counters` belongs in determinism fingerprints wholesale:
+/// `timers` is wall-clock, `pool` includes scheduling-dependent steal
+/// counts (see [`b2b_wfms::PoolStats`]), and `settle` mixes deterministic
+/// members (rounds, touched sets, resident instances) with the
+/// shard-layout-dependent moved counts (see [`b2b_wfms::SettleMetrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageProfile {
     pub counters: StageCounters,
     pub timers: StageTimers,
     /// Worker-pool utilization: rounds, chunk claims, steals, spawns.
     pub pool: b2b_wfms::PoolStats,
+    /// Settle-cost counters: resident instances, touched sets, moves.
+    pub settle: b2b_wfms::SettleMetrics,
 }
 
 impl fmt::Display for StageProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} | {} | pool {}w {}r {}c ({} stolen)",
+            "{} | {} | pool {}w {}r {}c ({} stolen) | settle {} resident, {} touched, {} moved",
             self.counters,
             self.timers,
             self.pool.workers,
             self.pool.rounds,
             self.pool.chunks,
-            self.pool.steals
+            self.pool.steals,
+            self.settle.instances_resident,
+            self.settle.touched_total,
+            self.settle.moved_total
         )
     }
 }

@@ -107,8 +107,10 @@ impl IntegrationEngine {
         self.notify_failed_sessions(net)?;
 
         // Snapshot pool counters (wall-clock-ish diagnostics, never part
-        // of the deterministic fingerprint).
+        // of the deterministic fingerprint) and settle-cost counters
+        // (deterministic except for the shard-layout-dependent moves).
         self.profile.pool = self.wf.pool_stats();
+        self.profile.settle = self.wf.settle_metrics();
         Ok(())
     }
 

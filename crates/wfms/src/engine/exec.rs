@@ -108,8 +108,11 @@ pub(crate) struct VolatileState {
     /// and the receive step unwraps it (free while the reference is
     /// unique, copy-on-write otherwise).
     pub channel_queues: BTreeMap<ChannelId, VecDeque<Arc<Document>>>,
-    /// Per-instance directed queues (session-scoped routing).
-    pub directed_queues: BTreeMap<(InstanceId, ChannelId), VecDeque<Arc<Document>>>,
+    /// Per-instance directed queues (session-scoped routing), grouped by
+    /// receiving instance so a settle round can move one instance's whole
+    /// queue set in a single `remove`/`insert` — the population-scale
+    /// partition never clones a channel key.
+    pub directed_queues: BTreeMap<InstanceId, BTreeMap<ChannelId, VecDeque<Arc<Document>>>>,
     /// Instances blocked on a channel, FIFO per channel.
     pub waiters: BTreeMap<ChannelId, VecDeque<(InstanceId, StepId)>>,
     /// Documents emitted by send steps, drained by the host.
@@ -398,7 +401,8 @@ fn execute_step(ctx: &mut ExecCtx<'_>, inst: &mut WorkflowInstance, step: &StepD
             let directed = ctx
                 .vol
                 .directed_queues
-                .get_mut(&(inst.id, channel.clone()))
+                .get_mut(&inst.id)
+                .and_then(|qs| qs.get_mut(channel))
                 .and_then(VecDeque::pop_front);
             if let Some(doc) = directed
                 .or_else(|| ctx.vol.channel_queues.get_mut(channel).and_then(VecDeque::pop_front))
@@ -656,7 +660,13 @@ pub(crate) fn deliver_to(
             drain_runnable(ctx)
         }
         None => {
-            ctx.vol.directed_queues.entry((instance, channel.clone())).or_default().push_back(doc);
+            ctx.vol
+                .directed_queues
+                .entry(instance)
+                .or_default()
+                .entry(channel.clone())
+                .or_default()
+                .push_back(doc);
             Ok(())
         }
     }
@@ -713,17 +723,17 @@ pub(crate) fn settle_slice(ctx: &mut ExecCtx<'_>) -> Result<()> {
 /// Completes the first (in key order) directed delivery whose receiver
 /// is waiting; returns whether one was found.
 fn wake_one_directed(ctx: &mut ExecCtx<'_>) -> Result<bool> {
-    let key = ctx
-        .vol
-        .directed_queues
-        .iter()
-        .find(|((id, chan), q)| !q.is_empty() && receive_waiting(ctx.env, ctx.instances, *id, chan))
-        .map(|(k, _)| k.clone());
+    let key = ctx.vol.directed_queues.iter().find_map(|(id, qs)| {
+        qs.iter()
+            .find(|(chan, q)| !q.is_empty() && receive_waiting(ctx.env, ctx.instances, *id, chan))
+            .map(|(chan, _)| (*id, chan.clone()))
+    });
     let Some((id, chan)) = key else { return Ok(false) };
     let doc = ctx
         .vol
         .directed_queues
-        .get_mut(&(id, chan.clone()))
+        .get_mut(&id)
+        .and_then(|qs| qs.get_mut(&chan))
         .and_then(VecDeque::pop_front)
         .expect("checked non-empty");
     deliver_to(ctx, id, &chan, doc)?;

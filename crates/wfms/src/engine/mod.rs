@@ -19,6 +19,7 @@ mod tests;
 pub use exec::EngineStats;
 pub use instance::{EdgeState, InstanceStatus, StepState, Variable, WorkflowInstance};
 pub use pool::{PoolStats, WorkerPool};
+// `SettleMetrics` is defined below and re-exported from the crate root.
 
 use crate::db::WorkflowDatabase;
 use crate::error::{Result, WfError};
@@ -30,8 +31,51 @@ use b2b_network::SimTime;
 use b2b_rules::RuleRegistry;
 use b2b_transform::TransformRegistry;
 use exec::{ExecCtx, ExecEnv, ShardSlice, VolatileState};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Settle-cost counters, read via [`Engine::settle_metrics`].
+///
+/// `rounds`, `touched_*`, and `instances_resident` are pure functions of
+/// the interaction trace — identical at any shard count or dispatch mode,
+/// so they may join determinism fingerprints. `moved_*` counts instances
+/// physically moved into shard slices, which is `0` for in-place rounds
+/// (one shard) and shard-layout-dependent otherwise: measurement only,
+/// keep it out of fingerprints (the struct is deliberately not `Eq`,
+/// like [`PoolStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SettleMetrics {
+    /// Instances resident in the workflow database right now.
+    pub instances_resident: u64,
+    /// Settle rounds executed (whole-engine and sharded).
+    pub rounds: u64,
+    /// Touched-set size of the last round: instances that were runnable
+    /// or had a directed document their receive step was waiting on.
+    pub touched_last_round: u64,
+    /// Cumulative touched-set sizes across all rounds.
+    pub touched_total: u64,
+    /// Instances moved into shard slices by the last round (`0` when the
+    /// round settled in place).
+    pub moved_last_round: u64,
+    /// Cumulative instances moved into shard slices.
+    pub moved_total: u64,
+}
+
+/// Round-scoped partition scratch, reused across rounds so steady-state
+/// planning allocates nothing: the buffers keep their capacity between
+/// rounds and between settle calls.
+#[derive(Default)]
+struct SettleScratch {
+    /// The round's touched set as sorted, deduped `(instance, shard)`
+    /// pairs — one `assign` evaluation per instance per round, and the
+    /// only id→shard map the round needs (runnable ids resolve their
+    /// shard by binary search instead of re-hashing).
+    touched: Vec<(InstanceId, usize)>,
+    /// shard → slice position for this round (`usize::MAX` = shard idle).
+    slice_of_shard: Vec<usize>,
+    /// Busy slices laid out this round.
+    slices: usize,
+}
 
 /// One shard slice plus its settle result. During a round the pool
 /// claims each cell's index exactly once, so exactly one thread holds a
@@ -131,6 +175,14 @@ pub struct Engine {
     /// Steal-chunk override (`None` = per-stage defaults: 1 for settle
     /// slices, 8 for decode batches).
     steal_chunk: Option<usize>,
+    /// Settle-cost counters (see [`SettleMetrics`]).
+    settle_counters: SettleMetrics,
+    /// Reusable round-planning buffers.
+    scratch: SettleScratch,
+    /// Differential-testing reference: partition every instance of a busy
+    /// shard per round (the pre-touched-set behaviour) instead of only
+    /// the touched ones. Byte-identical results, O(live instances) cost.
+    full_partition: bool,
 }
 
 impl Engine {
@@ -147,7 +199,30 @@ impl Engine {
             vol: VolatileState::default(),
             pool: WorkerPool::default(),
             steal_chunk: None,
+            settle_counters: SettleMetrics::default(),
+            scratch: SettleScratch::default(),
+            full_partition: false,
         }
+    }
+
+    /// Settle-cost counters: instances resident, the last round's touched
+    /// set, and how many instances rounds physically moved. The
+    /// `touched`/`rounds` members are deterministic; `moved_*` depends on
+    /// the shard layout (see [`SettleMetrics`]).
+    pub fn settle_metrics(&self) -> SettleMetrics {
+        SettleMetrics {
+            instances_resident: self.db.instance_count() as u64,
+            ..self.settle_counters
+        }
+    }
+
+    /// Switches multi-shard settle rounds back to full-partition mode:
+    /// every instance of a busy shard moves into its slice each round,
+    /// exactly as before the touched-set optimization. Results are
+    /// byte-identical either way — this exists so differential tests can
+    /// prove that, and costs O(live instances) per round.
+    pub fn set_full_partition_settle(&mut self, full: bool) {
+        self.full_partition = full;
     }
 
     /// Pre-spawns pool workers so the first settle does not pay spawn
@@ -345,7 +420,9 @@ impl Engine {
         }
         self.vol
             .directed_queues
-            .entry((instance, channel.clone()))
+            .entry(instance)
+            .or_default()
+            .entry(channel.clone())
             .or_default()
             .push_back(doc.into());
         Ok(())
@@ -448,14 +525,13 @@ impl Engine {
                 self.with_settle_ctx(exec::settle_slice)?;
                 continue;
             }
-            let busy = self.busy_shards(shards, assign);
-            if busy.is_empty() {
+            if !self.plan_round(shards, assign) {
                 if self.vol.spawns.is_empty() && self.vol.parent_finishes.is_empty() {
                     return Ok(());
                 }
                 continue;
             }
-            self.settle_round(&busy, shards, assign)?;
+            self.settle_round(shards, assign)?;
         }
     }
 
@@ -520,83 +596,157 @@ impl Engine {
         })
     }
 
-    /// Shards that currently have work: a runnable instance or a directed
-    /// delivery whose receiver is waiting.
-    fn busy_shards(&self, shards: usize, assign: &dyn Fn(InstanceId) -> usize) -> Vec<usize> {
-        let mut busy = BTreeSet::new();
-        for id in &self.vol.runnable {
-            busy.insert(assign(*id) % shards);
+    /// Plans one settle round in a single pass over the wakeable work:
+    /// collects the touched set — instances that are runnable, or have a
+    /// non-empty directed queue their receive step is waiting on — as
+    /// sorted `(instance, shard)` pairs, and lays out one slice per busy
+    /// shard in ascending shard order (the canonical merge order).
+    /// Everything lands in reusable scratch buffers, so a steady-state
+    /// round plans without touching the allocator. Returns whether the
+    /// round has any work.
+    ///
+    /// This is the one place `assign` runs: the partition, the runnable
+    /// distribution, and the queue moves in [`Engine::settle_round`] all
+    /// resolve shards from the scratch instead of re-hashing (the old
+    /// code rebuilt a `slice_index` map and re-ran `assign` three times
+    /// per round).
+    fn plan_round(&mut self, shards: usize, assign: &dyn Fn(InstanceId) -> usize) -> bool {
+        let Engine { db, vol, scratch, settle_counters, .. } = self;
+        scratch.touched.clear();
+        for id in &vol.runnable {
+            scratch.touched.push((*id, assign(*id) % shards));
         }
-        for ((id, channel), queue) in &self.vol.directed_queues {
-            if !queue.is_empty() && self.receive_waiting(*id, channel) {
-                busy.insert(assign(*id) % shards);
+        for (id, qs) in &vol.directed_queues {
+            let Ok(inst) = db.get_instance(*id) else { continue };
+            if inst.status != InstanceStatus::Running {
+                continue;
+            }
+            let wf = match &inst.carried_type {
+                Some(t) => t,
+                None => match db.get_type(&inst.type_id) {
+                    Ok(wf) => wf,
+                    Err(_) => continue,
+                },
+            };
+            let waiting = wf.steps().iter().any(|s| {
+                matches!(&s.kind, StepKind::Receive { channel: c, .. }
+                    if qs.get(c).is_some_and(|q| !q.is_empty()))
+                    && inst.step_state(&s.id) == StepState::Waiting
+            });
+            if waiting {
+                scratch.touched.push((*id, assign(*id) % shards));
             }
         }
-        busy.into_iter().collect()
-    }
-
-    fn receive_waiting(&self, id: InstanceId, channel: &ChannelId) -> bool {
-        let Ok(inst) = self.db.get_instance(id) else { return false };
-        if inst.status != InstanceStatus::Running {
+        scratch.touched.sort_unstable();
+        scratch.touched.dedup();
+        if scratch.touched.is_empty() {
             return false;
         }
-        let Ok(wf) = self.type_for(inst) else { return false };
-        let wf = &*wf;
-        wf.steps().iter().any(|s| {
-            matches!(&s.kind, StepKind::Receive { channel: c, .. } if c == channel)
-                && inst.step_state(&s.id) == StepState::Waiting
-        })
+        scratch.slice_of_shard.clear();
+        scratch.slice_of_shard.resize(shards, usize::MAX);
+        for &(_, shard) in &scratch.touched {
+            scratch.slice_of_shard[shard] = 0;
+        }
+        let mut slices = 0;
+        for entry in scratch.slice_of_shard.iter_mut() {
+            if *entry != usize::MAX {
+                *entry = slices;
+                slices += 1;
+            }
+        }
+        scratch.slices = slices;
+        settle_counters.touched_last_round = scratch.touched.len() as u64;
+        settle_counters.touched_total += scratch.touched.len() as u64;
+        true
     }
 
-    /// One parallel round: partition the busy shards' instances and
-    /// volatile queues into slices, settle each slice (on the persistent
-    /// pool when more than one), and merge everything back canonically.
+    /// One parallel round: move the planned touched set — and nothing
+    /// else — into per-busy-shard slices, settle each slice (on the
+    /// persistent pool when more than one), and merge everything back
+    /// canonically.
+    ///
+    /// Idle instances stay shard-resident: an instance outside the
+    /// touched set cannot execute this round (it is not runnable, no
+    /// directed document can wake it, global channels match between
+    /// rounds, and spawns/parent completions defer), so leaving it — and
+    /// its directed queues — in place is invisible to the merge. That is
+    /// what makes a round's cost proportional to busy work instead of
+    /// the live population.
     fn settle_round(
         &mut self,
-        busy: &[usize],
         shards: usize,
         assign: &(dyn Fn(InstanceId) -> usize + Sync),
     ) -> Result<()> {
         if shards == 1 {
             // The single slice would be the entire database: settle it in
             // place instead of moving every instance out and back. Same
-            // fresh volatile state, same canonical merge — only the O(live
-            // instances) partition/reinsert per round disappears, which is
-            // what keeps sequential engines linear in open sessions.
+            // fresh volatile state, same canonical merge — only the move
+            // of touched instances out of and back into the database
+            // disappears.
             return self.settle_whole_engine_round();
         }
-        let slice_index: BTreeMap<usize, usize> =
-            busy.iter().enumerate().map(|(k, s)| (*s, k)).collect();
-        let mut slices: Vec<ShardSlice> = busy.iter().map(|_| ShardSlice::default()).collect();
+        // The scratch buffers leave `self` for the duration of the round
+        // (the partition needs them alongside `&mut self.db`) and return
+        // at the end, keeping their capacity for the next round.
+        let touched = std::mem::take(&mut self.scratch.touched);
+        let slice_of_shard = std::mem::take(&mut self.scratch.slice_of_shard);
+        let mut slices: Vec<ShardSlice> =
+            (0..self.scratch.slices).map(|_| ShardSlice::default()).collect();
 
-        // Partition instances of busy shards out of the database.
-        {
+        let mut moved = 0u64;
+        if self.full_partition {
+            // Reference mode: the pre-touched-set partition. Every
+            // instance and directed queue of a busy shard moves into its
+            // slice, everything else is reinserted — O(live instances).
             let (_, instances, _) = self.db.split_mut();
             let all = std::mem::take(instances);
             for (id, inst) in all {
-                match slice_index.get(&(assign(id) % shards)) {
-                    Some(&k) => {
-                        slices[k].instances.insert(id, inst);
-                    }
-                    None => {
+                match slice_of_shard[assign(id) % shards] {
+                    usize::MAX => {
                         instances.insert(id, inst);
                     }
+                    k => {
+                        slices[k].instances.insert(id, inst);
+                        moved += 1;
+                    }
+                }
+            }
+            for (id, qs) in std::mem::take(&mut self.vol.directed_queues) {
+                match slice_of_shard[assign(id) % shards] {
+                    usize::MAX => {
+                        self.vol.directed_queues.insert(id, qs);
+                    }
+                    k => {
+                        slices[k].vol.directed_queues.insert(id, qs);
+                    }
+                }
+            }
+        } else {
+            // Touched-only: lift exactly the planned instances, each with
+            // its whole directed-queue set — a runnable instance may reach
+            // a receive mid-round and must see documents queued before it.
+            let (_, instances, _) = self.db.split_mut();
+            for &(id, shard) in &touched {
+                let k = slice_of_shard[shard];
+                if let Some(inst) = instances.remove(&id) {
+                    slices[k].instances.insert(id, inst);
+                    moved += 1;
+                }
+                if let Some(qs) = self.vol.directed_queues.remove(&id) {
+                    slices[k].vol.directed_queues.insert(id, qs);
                 }
             }
         }
+        self.settle_counters.moved_last_round = moved;
+        self.settle_counters.moved_total += moved;
+        self.settle_counters.rounds += 1;
         for id in std::mem::take(&mut self.vol.runnable) {
-            let k = slice_index[&(assign(id) % shards)];
+            // Every runnable id is in the touched set by construction
+            // (stale ids included — their slice yields the UnknownInstance
+            // error exactly as the unsharded engine would).
+            let at = touched.partition_point(|&(i, _)| i < id);
+            let k = slice_of_shard[touched[at].1];
             slices[k].vol.runnable.push_back(id);
-        }
-        for ((id, channel), queue) in std::mem::take(&mut self.vol.directed_queues) {
-            match slice_index.get(&(assign(id) % shards)) {
-                Some(&k) => {
-                    slices[k].vol.directed_queues.insert((id, channel), queue);
-                }
-                None => {
-                    self.vol.directed_queues.insert((id, channel), queue);
-                }
-            }
         }
 
         // Execute on the persistent pool: each slice is one task, claimed
@@ -629,7 +779,10 @@ impl Engine {
             });
         }
 
-        self.merge_round(cells.into_iter().map(|cell| cell.0.into_inner()).collect())
+        let merged = self.merge_round(cells.into_iter().map(|cell| cell.0.into_inner()).collect());
+        self.scratch.touched = touched;
+        self.scratch.slice_of_shard = slice_of_shard;
+        merged
     }
 
     /// Settles the degenerate one-shard round without partitioning: the
@@ -638,6 +791,8 @@ impl Engine {
     /// identical to a one-slice [`Engine::settle_round`] minus the move of
     /// every live instance out of and back into the database.
     fn settle_whole_engine_round(&mut self) -> Result<()> {
+        self.settle_counters.moved_last_round = 0;
+        self.settle_counters.rounds += 1;
         let mut slice = ShardSlice::default();
         slice.vol.runnable = std::mem::take(&mut self.vol.runnable);
         slice.vol.directed_queues = std::mem::take(&mut self.vol.directed_queues);
@@ -674,9 +829,13 @@ impl Engine {
                 self.db.put_instance(inst);
             }
             let v = slice.vol;
-            for (key, queue) in v.directed_queues {
-                if !queue.is_empty() {
-                    self.vol.directed_queues.insert(key, queue);
+            for (id, mut qs) in v.directed_queues {
+                // Drained queues die here, so the resident map holds only
+                // instances with documents actually pending — the next
+                // round's plan scans pending work, not history.
+                qs.retain(|_, queue| !queue.is_empty());
+                if !qs.is_empty() {
+                    self.vol.directed_queues.insert(id, qs);
                 }
             }
             for (channel, ws) in v.waiters {

@@ -35,7 +35,8 @@ pub mod model;
 
 pub use db::WorkflowDatabase;
 pub use engine::{
-    Activity, ActivityContext, Engine, EngineStats, InstanceStatus, PoolStats, Variable, WorkerPool,
+    Activity, ActivityContext, Engine, EngineStats, InstanceStatus, PoolStats, SettleMetrics,
+    Variable, WorkerPool,
 };
 pub use error::{Result, WfError};
 pub use federation::{EngineId, Federation, FederationStats, SharedArtifact};

@@ -1,0 +1,105 @@
+//! Population-scale differential tests: a hub trading with a seeded
+//! partner population (mixed wire formats, Zipf-skewed traffic, lurker
+//! partners that leave sessions idle forever) must be byte-identical
+//! across shard counts, dispatch modes, and the touched-only vs
+//! full-partition settle paths — the population-scale complement to the
+//! two-enterprise matrix in `tests/sharding.rs`.
+
+use b2b_bench::population::{run_population, PopulationConfig, PopulationPlan, SizeTier};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case is four full population runs over a 8-partner / 64-session
+    // population; a handful of cases samples the seed space.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary population seeds (arbitrary wire-format mixes,
+    /// responder/lurker splits, and Zipf traffic shapes), the run
+    /// fingerprint — session outcomes, every engine counter, the settle
+    /// planner's rounds/touched, the network's delivery counters — is
+    /// independent of shard count, dispatch mode, and settle path.
+    #[test]
+    fn population_runs_are_settle_path_invariant(seed in any::<u64>()) {
+        let plan = PopulationPlan::generate(SizeTier::Tiny, seed);
+        let base = run_population(&plan, &PopulationConfig::default()).unwrap();
+        for (label, cfg) in [
+            ("shards=4", PopulationConfig { shards: 4, ..PopulationConfig::default() }),
+            (
+                "full-partition/4",
+                PopulationConfig {
+                    shards: 4,
+                    full_partition: true,
+                    ..PopulationConfig::default()
+                },
+            ),
+            (
+                "interpreted/2",
+                PopulationConfig {
+                    shards: 2,
+                    interpreted: true,
+                    ..PopulationConfig::default()
+                },
+            ),
+        ] {
+            let other = run_population(&plan, &cfg).unwrap();
+            prop_assert_eq!(
+                &base.fingerprint, &other.fingerprint,
+                "{} diverged for seed {}", label, seed
+            );
+        }
+    }
+}
+
+#[test]
+fn mostly_idle_population_is_settle_path_invariant() {
+    // The hostile case for the touched-only planner: ~90% of traffic is
+    // aimed at lurker partners, so almost every session goes idle and
+    // stays resident. The idle mass must be invisible — same outcomes,
+    // same planner counters — whether idle instances stay shard-resident
+    // (touched-only) or are moved every round (full partition).
+    let mut plan = PopulationPlan::generate(SizeTier::Tiny, 97);
+    let lurkers: Vec<u32> = plan
+        .partners
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.responder)
+        .map(|(i, _)| i as u32)
+        .collect();
+    let responders: Vec<u32> = plan
+        .partners
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.responder)
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert!(!lurkers.is_empty() && !responders.is_empty(), "seed 97 must mix behaviours");
+    plan.traffic = (0..plan.traffic.len())
+        .map(|i| {
+            if i % 10 == 0 {
+                responders[i / 10 % responders.len()]
+            } else {
+                lurkers[i % lurkers.len()]
+            }
+        })
+        .collect();
+    let idle = plan.traffic.len() - plan.responder_sessions();
+    assert!(idle * 2 > plan.traffic.len(), "the mix must be mostly idle");
+
+    let base = run_population(&plan, &PopulationConfig::default()).unwrap();
+    assert_eq!(base.completed, plan.responder_sessions(), "responder sessions completed");
+    assert_eq!(
+        base.settle.instances_resident as usize,
+        3 * plan.traffic.len(),
+        "each session keeps its public, binding, and private instances resident"
+    );
+    for (label, cfg) in [
+        ("shards=4", PopulationConfig { shards: 4, ..PopulationConfig::default() }),
+        (
+            "full-partition/4",
+            PopulationConfig { shards: 4, full_partition: true, ..PopulationConfig::default() },
+        ),
+    ] {
+        let other = run_population(&plan, &cfg).unwrap();
+        assert_eq!(base.fingerprint, other.fingerprint, "{label} diverged on the idle-heavy mix");
+    }
+}

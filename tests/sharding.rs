@@ -352,6 +352,111 @@ fn binary_protocol_fingerprints_are_identical_across_shards() {
     }
 }
 
+/// [`run`], with a scenario wire protocol and the settle reference path
+/// selectable. Returns the fingerprints plus both engines' settle
+/// planner counters (rounds / touched), which are part of the
+/// determinism bar for the touched-only path.
+fn run_settle(
+    protocol: semantic_b2b::integration::scenario::ScenarioProtocol,
+    faults: FaultConfig,
+    seed: u64,
+    pos: usize,
+    shards: usize,
+    interpreted: bool,
+    full_partition: bool,
+) -> (u64, Fingerprint, Fingerprint, [(u64, u64); 2]) {
+    let mut s = TwoEnterpriseScenario::with_protocol(protocol, faults, seed).unwrap();
+    s.buyer.set_shards(shards);
+    s.seller.set_shards(shards);
+    s.buyer.set_interpreted_transforms(interpreted);
+    s.seller.set_interpreted_transforms(interpreted);
+    s.buyer.set_interpreted_rules(interpreted);
+    s.seller.set_interpreted_rules(interpreted);
+    s.buyer.set_full_partition_settle(full_partition);
+    s.seller.set_full_partition_settle(full_partition);
+    s.buyer.set_partner_policy(PartnerPolicy::permissive());
+    s.seller.set_partner_policy(PartnerPolicy::permissive());
+    for i in 0..pos {
+        let po = s.po(&format!("po-{i}"), 1_000 + i as i64).unwrap();
+        s.submit(po).unwrap();
+    }
+    let elapsed = s.run_until_quiescent(240_000).unwrap();
+    let planner = [&s.buyer, &s.seller].map(|e| {
+        let m = e.settle_metrics();
+        (m.rounds, m.touched_total)
+    });
+    (elapsed, fingerprint(&s.buyer), fingerprint(&s.seller), planner)
+}
+
+proptest! {
+    // Each case is ten full scenario runs (2 protocols x 5 settle
+    // configurations); fewer cases keep the matrix affordable.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The touched-only settle planner is an optimization, not a
+    /// semantics: against the full-partition reference path (every
+    /// resident instance moved into a shard slice every round) the run
+    /// must be byte-identical, across shard counts {1, 2, 4}, both
+    /// dispatch modes, and both a text (EDI) and the binary wire
+    /// protocol. The planner's own counters (rounds, touched) must also
+    /// be shard-count- and dispatch-invariant: slices settle to
+    /// quiescence independently inside a round, so how the touched set
+    /// is split cannot change what was touched.
+    #[test]
+    fn touched_only_settle_matches_full_partition_reference(
+        loss in 0.0f64..0.35,
+        duplicate in 0.0f64..0.25,
+        seed in any::<u64>(),
+        pos in 1usize..5,
+        interpreted in any::<bool>(),
+    ) {
+        use semantic_b2b::integration::scenario::ScenarioProtocol;
+        let faults = FaultConfig {
+            loss, duplicate, corrupt: 0.0, min_delay_ms: 1, max_delay_ms: 40,
+        };
+        for protocol in [ScenarioProtocol::Edi, ScenarioProtocol::Binary] {
+            let touched =
+                run_settle(protocol, faults.clone(), seed, pos, 1, interpreted, false);
+            for shards in [2usize, 4] {
+                let sharded =
+                    run_settle(protocol, faults.clone(), seed, pos, shards, interpreted, false);
+                prop_assert_eq!(
+                    &touched.0, &sharded.0,
+                    "{:?}: elapsed diverged at {} shards", protocol, shards
+                );
+                prop_assert_eq!(
+                    &touched.1, &sharded.1,
+                    "{:?}: buyer diverged at {} shards", protocol, shards
+                );
+                prop_assert_eq!(
+                    &touched.2, &sharded.2,
+                    "{:?}: seller diverged at {} shards", protocol, shards
+                );
+                prop_assert_eq!(
+                    &touched.3, &sharded.3,
+                    "{:?}: settle planner counters diverged at {} shards", protocol, shards
+                );
+            }
+            for shards in [1usize, 4] {
+                let full =
+                    run_settle(protocol, faults.clone(), seed, pos, shards, interpreted, true);
+                prop_assert_eq!(
+                    &touched.0, &full.0,
+                    "{:?}: elapsed diverged vs full partition at {} shards", protocol, shards
+                );
+                prop_assert_eq!(
+                    &touched.1, &full.1,
+                    "{:?}: buyer diverged vs full partition at {} shards", protocol, shards
+                );
+                prop_assert_eq!(
+                    &touched.2, &full.2,
+                    "{:?}: seller diverged vs full partition at {} shards", protocol, shards
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn decode_memo_hits_track_duplication() {
     // Every duplicated delivery the reliable layer suppresses is counted
