@@ -302,11 +302,30 @@ pub struct PopulationConfig {
     pub full_partition: bool,
     /// Inject wire faults: 0.5% loss + 1% duplicates (all seeded).
     pub faults: bool,
+    /// Pool-batched outbound encode (off = the sequential emit
+    /// reference path; differential testing of PR 10).
+    pub emit_batch: bool,
+    /// Max consecutive same-partner outbound documents per wire frame
+    /// (1 = classic per-document payloads).
+    pub emit_coalesce: usize,
+    /// Initiate each traffic wave with deferred settles: the whole
+    /// wave's RFQs drain through *one* settle pass — the bulk shape
+    /// that exercises the pool-batched emit and the frame coalescer.
+    /// Off = E21's classic one-settle-per-initiate traffic.
+    pub bulk_initiate: bool,
 }
 
 impl Default for PopulationConfig {
     fn default() -> Self {
-        Self { shards: 1, interpreted: false, full_partition: false, faults: true }
+        Self {
+            shards: 1,
+            interpreted: false,
+            full_partition: false,
+            faults: true,
+            emit_batch: true,
+            emit_coalesce: 1,
+            bulk_initiate: false,
+        }
     }
 }
 
@@ -419,6 +438,8 @@ impl Population {
         hub.set_interpreted_transforms(cfg.interpreted);
         hub.set_interpreted_rules(cfg.interpreted);
         hub.set_full_partition_settle(cfg.full_partition);
+        hub.set_batched_emit(cfg.emit_batch);
+        hub.set_emit_coalesce(cfg.emit_coalesce);
         let mut partners = Vec::with_capacity(plan.partners.len());
         let mut agreement_ids = Vec::with_capacity(plan.partners.len());
         for (i, spec) in plan.partners.iter().enumerate() {
@@ -468,14 +489,14 @@ impl Population {
         })
     }
 
-    /// Initiates one session toward partner `index`. Session numbers
-    /// come from an internal counter so every RFQ number (and therefore
+    /// Builds the next uniquely-numbered RFQ. Session numbers come from
+    /// an internal counter so every RFQ number (and therefore
     /// correlation) is unique across the run.
-    pub fn initiate(&mut self, index: usize) -> Result<CorrelationId> {
+    fn next_rfq(&mut self) -> Document {
         let n = self.sessions_initiated;
         self.sessions_initiated += 1;
         let number = format!("S{n:07}");
-        let rfq = Document::new(
+        Document::new(
             DocKind::RequestForQuote,
             FormatId::NORMALIZED,
             CorrelationId::for_rfq_number(&number),
@@ -488,9 +509,24 @@ impl Population {
                     "respond_by" => Value::Date(Date::new(2001, 10, 1).expect("date")),
                 },
             },
-        );
+        )
+    }
+
+    /// Initiates one session toward partner `index`, settling (and
+    /// therefore sending the RFQ) immediately.
+    pub fn initiate(&mut self, index: usize) -> Result<CorrelationId> {
+        let rfq = self.next_rfq();
         let Population { net, hub, agreement_ids, .. } = self;
         hub.initiate(net, &agreement_ids[index], rfq)
+    }
+
+    /// Initiates one session toward partner `index` with the settle
+    /// deferred to the next [`step`](Self::step): a wave initiated this
+    /// way drains through one emit pass, so consecutive same-partner
+    /// RFQs batch-encode on the pool and coalesce into shared frames.
+    pub fn initiate_deferred(&mut self, index: usize) -> Result<CorrelationId> {
+        let rfq = self.next_rfq();
+        self.hub.initiate_deferred(&self.agreement_ids[index], rfq)
     }
 
     /// One simulation step: advance 10 ms, pump the hub, pump every
@@ -561,6 +597,12 @@ pub struct PopulationReport {
     pub sim_ms: u64,
     /// Hub documents routed to sessions.
     pub routed_docs: u64,
+    /// Pool-batched outbound encode rounds the hub ran (0 when
+    /// `emit_batch` is off).
+    pub encode_batches: u64,
+    /// Multi-document wire frames the hub's emit coalescer built (0 at
+    /// `emit_coalesce` 1).
+    pub coalesced_frames: u64,
     /// Allocator traffic of the traffic phase (hub + partner sims).
     pub alloc: crate::alloc_count::AllocDelta,
     /// Hub settle counters at the end of the run.
@@ -596,7 +638,16 @@ pub fn run_population(plan: &PopulationPlan, cfg: &PopulationConfig) -> Result<P
         while initiated < plan.traffic.len() {
             let end = (initiated + wave).min(plan.traffic.len());
             for &p in &plan.traffic[initiated..end] {
-                pop.initiate(p as usize).expect("initiate");
+                if cfg.bulk_initiate {
+                    pop.initiate_deferred(p as usize).expect("initiate");
+                } else {
+                    pop.initiate(p as usize).expect("initiate");
+                }
+            }
+            if cfg.bulk_initiate {
+                // Deferred instances only move on a pump; `quiescent`
+                // cannot see them, so force the settling step.
+                pop.step().expect("bulk settle step");
             }
             initiated = end;
             pop.drain(4_000).expect("wave drain");
@@ -609,6 +660,16 @@ pub fn run_population(plan: &PopulationPlan, cfg: &PopulationConfig) -> Result<P
     }
     let settle = pop.hub.settle_metrics();
     let profile = pop.hub.stage_profile();
+    // The emit-path counters deliberately differ between the batched and
+    // sequential emit modes (they *count* the batching), so the
+    // fingerprint zeroes them to stay comparable across emit
+    // configurations — E22's differential relies on this. Their own
+    // shard-invariance is pinned by the sharding proptests; here they are
+    // reported as explicit fields instead.
+    let mut stage_counters = profile.counters;
+    stage_counters.encode_batches = 0;
+    stage_counters.coalesced_frames = 0;
+    stage_counters.emit_buffer_reuses = 0;
     let fingerprint = format!(
         "stats={:?} wf={:?} completed={} replies={} dups={} stages={:?} cache={:?} \
          health={:?} breakers={:?} dead={} sim={} net={:?} settle=({},{},{})",
@@ -617,7 +678,7 @@ pub fn run_population(plan: &PopulationPlan, cfg: &PopulationConfig) -> Result<P
         pop.hub.completed_sessions(),
         pop.replies(),
         pop.duplicates_suppressed(),
-        profile.counters,
+        stage_counters,
         pop.hub.codec_cache_stats(),
         pop.hub.health_stats(),
         pop.hub.breaker_states(),
@@ -637,6 +698,8 @@ pub fn run_population(plan: &PopulationPlan, cfg: &PopulationConfig) -> Result<P
         wall_ms,
         sim_ms: pop.net.now().as_millis() - sim_start,
         routed_docs: profile.counters.routed_documents,
+        encode_batches: profile.counters.encode_batches,
+        coalesced_frames: profile.counters.coalesced_frames,
         alloc,
         settle,
         memory: pop.hub.session_memory(),
@@ -842,6 +905,33 @@ mod tests {
             let other = run_population(&plan, &cfg).expect(label);
             assert_eq!(base.fingerprint, other.fingerprint, "{label} diverged");
         }
+    }
+
+    #[test]
+    fn bulk_waves_match_per_initiate_runs_and_exercise_the_batch_encoder() {
+        let plan = PopulationPlan::generate(SizeTier::Tiny, 11);
+        let classic = run_population(&plan, &PopulationConfig::default()).expect("classic");
+        let bulk_cfg = PopulationConfig { bulk_initiate: true, ..PopulationConfig::default() };
+        let bulk = run_population(&plan, &bulk_cfg).expect("bulk");
+        // Deferring a wave changes *when* first legs settle, not what the
+        // population computes: completions and replies must agree, and the
+        // single settle pass per wave must drive the pooled batch encoder.
+        assert_eq!(classic.completed, bulk.completed);
+        assert_eq!(classic.replies, bulk.replies);
+        assert!(bulk.encode_batches > 0, "bulk waves must hit the batch encoder");
+        // Coalesce > 1 changes the envelope count, so on this lossy network
+        // it lawfully draws a different fault sequence than coalesce = 1;
+        // what must still hold is shard-invariance within the mode.
+        let coalesced_cfg = PopulationConfig { emit_coalesce: 8, ..bulk_cfg };
+        let coalesced = run_population(&plan, &coalesced_cfg).expect("coalesced");
+        let coalesced_sharded =
+            run_population(&plan, &PopulationConfig { shards: 4, ..coalesced_cfg })
+                .expect("coalesced/4sh");
+        assert_eq!(
+            coalesced.fingerprint, coalesced_sharded.fingerprint,
+            "coalesced run diverged across shard counts"
+        );
+        assert!(coalesced.coalesced_frames > 0, "coalesce=8 must emit multi-part frames");
     }
 
     #[test]

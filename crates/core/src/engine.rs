@@ -101,6 +101,40 @@ pub(crate) struct PendingSend {
     pub(crate) deadline_ms: Option<u64>,
 }
 
+/// The session(s) owning one unacknowledged wire send. Almost always a
+/// single session; a coalesced batch frame (PR 10) carries one document
+/// per owning session, in frame order, so acks and failures can be
+/// booked per session and a poisoned frame can be split back into
+/// per-document dead letters.
+#[derive(Debug, Clone)]
+pub(crate) enum WireOwners {
+    /// One payload, one owning session.
+    One(usize),
+    /// A coalesced frame: owning session of each document, in order.
+    Many(Vec<usize>),
+}
+
+impl WireOwners {
+    /// The owning sessions as a slice, regardless of arity.
+    pub(crate) fn as_slice(&self) -> &[usize] {
+        match self {
+            Self::One(index) => std::slice::from_ref(index),
+            Self::Many(indices) => indices,
+        }
+    }
+}
+
+/// One partially filled coalesced frame: documents already encoded for
+/// the wire, waiting for the emit pass to flush them as a single
+/// [`b2b_network::WireClass::Batch`] envelope.
+#[derive(Debug, Default)]
+pub(crate) struct FrameAcc {
+    /// Owning session of each part, in frame order.
+    pub(crate) owners: Vec<usize>,
+    /// Encoded wire bytes of each part, in frame order.
+    pub(crate) parts: Vec<Bytes>,
+}
+
 /// The integration engine of one enterprise.
 pub struct IntegrationEngine {
     pub(crate) name: String,
@@ -116,9 +150,9 @@ pub struct IntegrationEngine {
     pub(crate) receipt_deadlines: BTreeMap<String, u64>,
     pub(crate) backends: BTreeMap<String, ApplicationProcess>,
     pub(crate) table: SessionTable,
-    /// Unacknowledged wire payloads → session index. BTreeMap so the
+    /// Unacknowledged wire payloads → owning session(s). BTreeMap so the
     /// per-pump ack sweep visits entries in a deterministic order.
-    pub(crate) outstanding_wire: BTreeMap<MessageId, usize>,
+    pub(crate) outstanding_wire: BTreeMap<MessageId, WireOwners>,
     /// Partner breakers, poison ladders, and shed counters.
     pub(crate) health: PartnerHealth,
     /// Outbound sends queued behind the pump send budget, FIFO.
@@ -130,6 +164,19 @@ pub struct IntegrationEngine {
     pub(crate) stats: IntegrationStats,
     /// Worker count for the execute stage (`B2B_SHARDS`, default 1).
     pub(crate) shards: usize,
+    /// Whether the emit stage pre-encodes outbound batches on the worker
+    /// pool (`B2B_EMIT_BATCH`, default on). Off = the sequential
+    /// reference path, byte-identical by construction.
+    pub(crate) emit_batch: bool,
+    /// Max consecutive same-partner documents coalesced into one wire
+    /// frame (`B2B_EMIT_COALESCE`, default 1 = no frames).
+    pub(crate) emit_coalesce: usize,
+    /// Partially filled coalesced frames of the current emit pass, keyed
+    /// by (endpoint, format, deadline). BTreeMap so the end-of-pass
+    /// flush walks groups in a deterministic order.
+    pub(crate) emit_frames: BTreeMap<(EndpointId, FormatId, Option<u64>), FrameAcc>,
+    /// Reused scratch for assembling batch frames.
+    pub(crate) frame_scratch: Vec<u8>,
     /// Per-pump-stage counters and timers (experiment E16).
     pub(crate) profile: StageProfile,
 }
@@ -185,6 +232,18 @@ impl IntegrationEngine {
         if std::env::var("B2B_RULES").is_ok_and(|v| v == "interpreted") {
             wf.rules_mut().set_interpreted(true);
         }
+        // `B2B_EMIT_BATCH=0` falls back to the sequential per-document
+        // emit path (the differential reference); default is the
+        // pool-batched path, byte-identical by construction.
+        let emit_batch = !std::env::var("B2B_EMIT_BATCH").is_ok_and(|v| v == "0" || v == "false");
+        // `B2B_EMIT_COALESCE=<n>` coalesces up to n consecutive outbound
+        // documents to the same partner into one wire frame; the default
+        // of 1 sends classic per-document payloads.
+        let emit_coalesce = std::env::var("B2B_EMIT_COALESCE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
         Ok(Self {
             name: name.to_string(),
             endpoint,
@@ -202,6 +261,10 @@ impl IntegrationEngine {
             replay_origins: BTreeMap::new(),
             stats: IntegrationStats::default(),
             shards,
+            emit_batch,
+            emit_coalesce,
+            emit_frames: BTreeMap::new(),
+            frame_scratch: Vec::new(),
             profile: StageProfile::default(),
         })
     }
@@ -271,6 +334,24 @@ impl IntegrationEngine {
     /// byte-identical to this; production code never needs it.
     pub fn set_full_partition_settle(&mut self, full: bool) {
         self.wf.set_full_partition_settle(full);
+    }
+
+    /// Switches the emit stage between the pool-batched outbound encode
+    /// (default) and the sequential per-document reference path.
+    /// Differential tests prove the batched path is byte-identical to
+    /// this; production code never needs it off.
+    pub fn set_batched_emit(&mut self, batched: bool) {
+        self.emit_batch = batched;
+    }
+
+    /// Sets the max consecutive same-partner outbound documents
+    /// coalesced into one wire frame (clamped to ≥ 1; `1` = classic
+    /// per-document payloads). Coalescing changes wire-level framing and
+    /// message ids but never business outcomes: the receiving endpoint
+    /// splits an intact frame back into per-document payloads, and a
+    /// failed frame dead-letters per document.
+    pub fn set_emit_coalesce(&mut self, coalesce: usize) {
+        self.emit_coalesce = coalesce.max(1);
     }
 
     /// Measured retained memory of the session table — the
@@ -453,6 +534,19 @@ impl IntegrationEngine {
         agreement_id: &str,
         po: Document,
     ) -> Result<CorrelationId> {
+        let correlation = self.initiate_deferred(agreement_id, po)?;
+        self.settle_and_route(net)?;
+        Ok(correlation)
+    }
+
+    /// [`initiate`](Self::initiate) without the immediate settle pass:
+    /// the session's instances are created and scheduled but nothing
+    /// moves until the next [`pump`](Self::pump) (or another initiate)
+    /// settles. Initiating a whole wave this way lets one settle pass
+    /// drain every first-leg document through a single emit batch —
+    /// the bulk-traffic shape the pool-batched emit path (PR 10) is
+    /// built for.
+    pub fn initiate_deferred(&mut self, agreement_id: &str, po: Document) -> Result<CorrelationId> {
         let agreement = self
             .agreements
             .get(agreement_id)
@@ -501,7 +595,6 @@ impl IntegrationEngine {
         self.wf.schedule(public);
         self.wf.schedule(binding);
         self.wf.schedule(private);
-        self.settle_and_route(net)?;
         Ok(correlation)
     }
 
@@ -595,7 +688,7 @@ impl IntegrationEngine {
                     envelope.payload.clone(),
                     None,
                 )?;
-                self.outstanding_wire.insert(msg.clone(), index);
+                self.outstanding_wire.insert(msg.clone(), WireOwners::One(index));
                 // Remember where this message came from: if the replay
                 // fails again, the relapse letter links back to the
                 // *first* quarantine (chains collapse to the root).

@@ -3,42 +3,77 @@
 //! provided.
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<[u8]>);
+/// An immutable, reference-counted byte buffer: a (start, end) view into
+/// shared storage, so [`slice`](Bytes::slice) is zero-copy and clones of
+/// any view keep the one backing allocation alive.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
+    fn whole(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Self { data, start: 0, end }
+    }
+
     /// An empty buffer.
     pub fn new() -> Self {
-        Self(Arc::from(&[][..]))
+        Self::whole(Arc::from(&[][..]))
     }
 
     /// Wraps a static byte slice (copied once into the shared buffer).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self(Arc::from(bytes))
+        Self::whole(Arc::from(bytes))
     }
 
     /// Copies a slice into a fresh buffer (one exact-size allocation).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self(Arc::from(data))
+        Self::whole(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A sub-view of this buffer sharing the same backing storage (no
+    /// copy, no allocation beyond the reference-count bump). Panics if
+    /// the range is out of bounds, like slicing a `&[u8]`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice {start}..{end} out of bounds");
+        Self { data: self.data.clone(), start: self.start + start, end: self.start + end }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -46,19 +81,48 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+// Equality, ordering, and hashing follow the visible bytes, not the
+// backing storage, so a slice equals an independently built buffer with
+// the same contents.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self(Arc::from(v.into_boxed_slice()))
+        Self::whole(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -83,7 +147,7 @@ impl From<&'static str> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.iter() {
             if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -97,8 +161,8 @@ impl fmt::Debug for Bytes {
 // Serialized as a hex string: compact and unambiguous for arbitrary bytes.
 impl serde::Serialize for Bytes {
     fn to_content(&self) -> serde::Content {
-        let mut hex = String::with_capacity(self.0.len() * 2);
-        for b in self.0.iter() {
+        let mut hex = String::with_capacity(self.len() * 2);
+        for b in self.iter() {
             hex.push_str(&format!("{b:02x}"));
         }
         serde::Content::Str(hex)
@@ -154,6 +218,24 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = a.slice(1..4);
+        assert_eq!(mid.as_ref(), &[2, 3, 4]);
+        assert_eq!(mid.as_ptr(), unsafe { a.as_ptr().add(1) }, "no copy");
+        assert_eq!(mid.slice(1..).as_ref(), &[3, 4], "views re-slice");
+        assert_eq!(mid, Bytes::from(vec![2, 3, 4]), "equality follows contents");
+        assert!(a.slice(..0).is_empty());
+        assert_eq!(a.slice(..), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
     }
 
     #[test]

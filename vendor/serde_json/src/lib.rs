@@ -35,6 +35,14 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value as JSON into a reused buffer (cleared first), so
+/// steady-state callers skip the per-call string allocation of
+/// [`to_string`].
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_content(&value.to_content(), out)
+}
+
 /// Deserializes a value from a JSON string.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
@@ -378,6 +386,16 @@ mod tests {
         let json = to_string(&m).unwrap();
         assert_eq!(json, "[[3,\"x\"]]");
         assert_eq!(from_str::<BTreeMap<u64, String>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn to_string_into_reuses_the_buffer() {
+        let mut buf = String::with_capacity(64);
+        to_string_into(&41u64, &mut buf).unwrap();
+        let ptr = buf.as_ptr();
+        to_string_into(&"hello", &mut buf).unwrap();
+        assert_eq!(buf, "\"hello\"");
+        assert_eq!(buf.as_ptr(), ptr, "buffer reused, not regrown");
     }
 
     #[test]
